@@ -1,0 +1,254 @@
+//! Per-qubit Gaussian discriminant analysis (LDA/QDA) on boxcar-integrated
+//! IQ points — the classical baselines of Tables V and VI.
+
+use mlr_core::Discriminator;
+use mlr_dsp::{integrate, Demodulator};
+use mlr_linalg::{covariance_matrix, Cholesky, Matrix};
+use mlr_num::Complex;
+use mlr_sim::{DatasetSplit, TraceDataset};
+
+/// Which covariance model the discriminant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscriminantKind {
+    /// Linear discriminant analysis: one covariance pooled across classes.
+    Lda,
+    /// Quadratic discriminant analysis: one covariance per class.
+    Qda,
+}
+
+/// Per-class Gaussian model of one qubit's integrated IQ point.
+#[derive(Debug, Clone)]
+struct QubitModel {
+    /// Class means, one per level.
+    means: Vec<Vec<f64>>,
+    /// Class log-priors.
+    log_priors: Vec<f64>,
+    /// Cholesky factors of the covariances: one per class for QDA, a single
+    /// pooled entry for LDA.
+    chols: Vec<Cholesky>,
+    kind: DiscriminantKind,
+}
+
+impl QubitModel {
+    fn discriminant(&self, x: &[f64], class: usize) -> f64 {
+        let d: Vec<f64> = x
+            .iter()
+            .zip(&self.means[class])
+            .map(|(a, b)| a - b)
+            .collect();
+        let chol = match self.kind {
+            DiscriminantKind::Lda => &self.chols[0],
+            DiscriminantKind::Qda => &self.chols[class],
+        };
+        let quad = chol.mahalanobis_sq(&d);
+        let log_det = match self.kind {
+            DiscriminantKind::Lda => 0.0, // common constant, drops out
+            DiscriminantKind::Qda => chol.log_det(),
+        };
+        -0.5 * (quad + log_det) + self.log_priors[class]
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let scores: Vec<f64> = (0..self.means.len())
+            .map(|c| self.discriminant(x, c))
+            .collect();
+        mlr_num::argmax(&scores).expect("at least one class")
+    }
+}
+
+/// Training-free per-qubit LDA/QDA over demodulated, boxcar-integrated IQ
+/// points (two features per qubit).
+///
+/// These are the "fast" classical rows of Table VI: cheap to fit and
+/// evaluate, blind to trace-shape information (mid-readout decay), and
+/// blind to other qubits' state (crosstalk) — which is exactly why the
+/// matched-filter + NN designs beat them.
+#[derive(Debug, Clone)]
+pub struct DiscriminantAnalysis {
+    demod: Demodulator,
+    models: Vec<QubitModel>,
+    kind: DiscriminantKind,
+}
+
+impl DiscriminantAnalysis {
+    /// Ridge added to covariance diagonals so a Cholesky always exists.
+    const RIDGE: f64 = 1e-9;
+
+    /// Fits per-qubit class Gaussians from the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training split is empty, indexes out of range, or a
+    /// qubit is missing a level (no class statistics).
+    pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, kind: DiscriminantKind) -> Self {
+        assert!(!split.train.is_empty(), "empty training split");
+        let config = dataset.config();
+        let demod = Demodulator::new(config);
+        let levels = dataset.levels();
+
+        let models = (0..config.n_qubits())
+            .map(|q| {
+                // Integrated IQ features per training shot.
+                let feats: Vec<Vec<f64>> = split
+                    .train
+                    .iter()
+                    .map(|&i| {
+                        let z = integrate(&demod.demodulate(&dataset.shots()[i].raw, q));
+                        vec![z.re, z.im]
+                    })
+                    .collect();
+                let labels: Vec<usize> =
+                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
+
+                let mut means = Vec::with_capacity(levels);
+                let mut log_priors = Vec::with_capacity(levels);
+                let mut class_covs = Vec::with_capacity(levels);
+                let mut counts = Vec::with_capacity(levels);
+                for c in 0..levels {
+                    let members: Vec<&Vec<f64>> = feats
+                        .iter()
+                        .zip(&labels)
+                        .filter(|(_, &l)| l == c)
+                        .map(|(f, _)| f)
+                        .collect();
+                    assert!(
+                        !members.is_empty(),
+                        "qubit {q} has no training traces for level {c}"
+                    );
+                    let data = Matrix::from_fn(members.len(), 2, |i, j| members[i][j]);
+                    means.push(mlr_linalg::mean_vector(&data));
+                    log_priors.push((members.len() as f64 / feats.len() as f64).ln());
+                    class_covs.push(covariance_matrix(&data));
+                    counts.push(members.len());
+                }
+
+                let ridge = |m: &Matrix| -> Matrix {
+                    let mut r = m.clone();
+                    for i in 0..r.rows() {
+                        r[(i, i)] += Self::RIDGE + 1e-12 * r[(i, i)].abs();
+                    }
+                    r
+                };
+
+                let chols: Vec<Cholesky> = match kind {
+                    DiscriminantKind::Qda => class_covs
+                        .iter()
+                        .map(|c| ridge(c).cholesky().expect("SPD covariance"))
+                        .collect(),
+                    DiscriminantKind::Lda => {
+                        // Pooled covariance, weighted by class df.
+                        let total_df: f64 =
+                            counts.iter().map(|&n| (n.max(2) - 1) as f64).sum();
+                        let mut pooled = Matrix::zeros(2, 2);
+                        for (cov, &n) in class_covs.iter().zip(&counts) {
+                            pooled = &pooled + &cov.scale((n.max(2) - 1) as f64 / total_df);
+                        }
+                        vec![ridge(&pooled).cholesky().expect("SPD covariance")]
+                    }
+                };
+
+                QubitModel {
+                    means,
+                    log_priors,
+                    chols,
+                    kind,
+                }
+            })
+            .collect();
+
+        Self {
+            demod,
+            models,
+            kind,
+        }
+    }
+
+    /// The covariance model in use.
+    pub fn kind(&self) -> DiscriminantKind {
+        self.kind
+    }
+}
+
+impl Discriminator for DiscriminantAnalysis {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(q, model)| {
+                let z = integrate(&self.demod.demodulate(raw, q));
+                model.predict(&[z.re, z.im])
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        match self.kind {
+            DiscriminantKind::Lda => "LDA",
+            DiscriminantKind::Qda => "QDA",
+        }
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.models.len()
+    }
+
+    fn weight_count(&self) -> usize {
+        0 // no neural network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_core::evaluate;
+    use mlr_sim::ChipConfig;
+
+    fn dataset() -> (TraceDataset, DatasetSplit) {
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = 150;
+        let ds = TraceDataset::generate(&c, 3, 30, 17);
+        let split = ds.split(0.5, 0.0, 17);
+        (ds, split)
+    }
+
+    #[test]
+    fn lda_and_qda_discriminate_three_levels() {
+        let (ds, split) = dataset();
+        for kind in [DiscriminantKind::Lda, DiscriminantKind::Qda] {
+            let da = DiscriminantAnalysis::fit(&ds, &split, kind);
+            let report = evaluate(&da, &ds, &split.test);
+            for (q, f) in report.per_qubit_fidelity.iter().enumerate() {
+                assert!(*f > 0.75, "{kind:?} qubit {q} fidelity {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn qda_handles_unequal_class_variances_at_least_as_well() {
+        let (ds, split) = dataset();
+        let lda = DiscriminantAnalysis::fit(&ds, &split, DiscriminantKind::Lda);
+        let qda = DiscriminantAnalysis::fit(&ds, &split, DiscriminantKind::Qda);
+        let f_lda = evaluate(&lda, &ds, &split.test).geometric_mean_fidelity();
+        let f_qda = evaluate(&qda, &ds, &split.test).geometric_mean_fidelity();
+        // Trace variance is state dependent (decay), so QDA should not lose
+        // by much — allow a small statistical margin.
+        assert!(f_qda > f_lda - 0.02, "LDA {f_lda} vs QDA {f_qda}");
+    }
+
+    #[test]
+    fn names_and_sizes() {
+        let (ds, split) = dataset();
+        let lda = DiscriminantAnalysis::fit(&ds, &split, DiscriminantKind::Lda);
+        assert_eq!(lda.name(), "LDA");
+        assert_eq!(lda.n_qubits(), 2);
+        assert_eq!(lda.weight_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training split")]
+    fn rejects_empty_split() {
+        let (ds, _) = dataset();
+        let empty = DatasetSplit::default();
+        let _ = DiscriminantAnalysis::fit(&ds, &empty, DiscriminantKind::Lda);
+    }
+}

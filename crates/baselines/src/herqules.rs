@@ -1,0 +1,198 @@
+//! The HERQULES baseline (Fig. 2 bottom): matched-filter features into a
+//! joint classifier whose output layer scales as `levelsⁿ`.
+
+use mlr_core::{Discriminator, FeatureExtractor};
+use mlr_dsp::MatchedFilterKind;
+use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
+use mlr_num::Complex;
+use mlr_sim::{basis_state_count, BasisState, DatasetSplit, TraceDataset};
+
+/// Configuration of [`HerqulesBaseline::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HerqulesConfig {
+    /// Hidden layer widths; the paper's Fig. 2 uses `[60, 120]`.
+    pub hidden: Vec<usize>,
+    /// Matched-filter kernel normalisation.
+    pub mf_kind: MatchedFilterKind,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for HerqulesConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![60, 120],
+            mf_kind: MatchedFilterKind::default(),
+            train: TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                learning_rate: 2e-3,
+                early_stop_patience: Some(10),
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// The ISCA '23 scaling baseline: per-qubit **qubit and relaxation**
+/// matched filters (no excitation filters — that is one of the two things
+/// the paper fixes), merged into one network that classifies **all qubits
+/// jointly** with a `levelsⁿ`-way softmax.
+///
+/// At two levels this design beats the FNN at a fraction of the cost; at
+/// three levels the exponential output layer and the missing excitation
+/// information collapse its fidelity (paper Table II) — this implementation
+/// reproduces both behaviours.
+#[derive(Debug, Clone)]
+pub struct HerqulesBaseline {
+    extractor: FeatureExtractor,
+    standardizer: Standardizer,
+    mlp: Mlp,
+    n_qubits: usize,
+    levels: usize,
+}
+
+impl HerqulesBaseline {
+    /// Fits matched filters and the joint classifier on the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is missing a level in the training split or the
+    /// split indexes out of range.
+    pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &HerqulesConfig) -> Self {
+        let extractor = FeatureExtractor::fit(
+            dataset,
+            &split.train,
+            /* include_emf = */ false,
+            config.mf_kind,
+        )
+        .expect("every qubit needs every level in the training split");
+
+        let n_qubits = dataset.config().n_qubits();
+        let levels = dataset.levels();
+        let n_classes = basis_state_count(n_qubits, levels);
+
+        let raw_train = extractor.extract_batch(dataset, &split.train);
+        let standardizer = Standardizer::fit(&raw_train).expect("nonempty training batch");
+        let train_x = standardizer.transform_batch(&raw_train);
+        let train_y: Vec<usize> = split.train.iter().map(|&i| dataset.joint_label(i)).collect();
+        let data = TrainData::from_f64(&train_x, train_y, n_classes).expect("validated batch");
+
+        let val_data = if split.val.is_empty() {
+            None
+        } else {
+            let val_x =
+                standardizer.transform_batch(&extractor.extract_batch(dataset, &split.val));
+            let val_y: Vec<usize> = split.val.iter().map(|&i| dataset.joint_label(i)).collect();
+            Some(TrainData::from_f64(&val_x, val_y, n_classes).expect("validated batch"))
+        };
+
+        let mut sizes = vec![extractor.feature_dim()];
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(n_classes);
+        let mut mlp = Mlp::new(&sizes, config.train.seed);
+        // Trained exactly as published: plain (unweighted) cross-entropy on
+        // the joint one-hot labels; the class imbalance of natural leakage
+        // is part of what the evaluation measures.
+        mlp.train(&data, val_data.as_ref(), &config.train);
+
+        Self {
+            extractor,
+            standardizer,
+            mlp,
+            n_qubits,
+            levels,
+        }
+    }
+
+    /// Borrows the fitted matched-filter feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Borrows the trained joint classifier.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+impl Discriminator for HerqulesBaseline {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        let features = self.extractor.extract(raw);
+        let x = self.standardizer.transform_f32(&features);
+        // HERQULES outputs the joint basis state (Fig. 2 of the paper):
+        // argmax over the k^n classes, then split into digits. Under the
+        // natural-leakage imbalance this is exactly what collapses at three
+        // levels: rare leaked joint classes never win the argmax.
+        let joint = self.mlp.predict(&x);
+        BasisState::from_flat_index(joint, self.n_qubits, self.levels)
+            .levels()
+            .iter()
+            .map(|l| l.index())
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "HERQULES"
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    fn weight_count(&self) -> usize {
+        self.mlp.weight_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_core::evaluate;
+    use mlr_sim::ChipConfig;
+
+    #[test]
+    fn paper_scale_topology() {
+        // 5 qubits x 6 filters = 30 inputs, 243 outputs: ~38k weights.
+        let mlp = Mlp::new(&[30, 60, 120, 243], 0);
+        assert_eq!(mlp.weight_count(), 38_160);
+    }
+
+    #[test]
+    fn two_level_readout_works_well() {
+        // HERQULES' home turf: two-level readout on a small chip. Small
+        // batches keep the Adam step count useful on a tiny train split.
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = 200;
+        let ds = TraceDataset::generate(&c, 2, 50, 31);
+        let split = ds.split(0.5, 0.1, 31);
+        let config = HerqulesConfig {
+            train: TrainConfig {
+                batch_size: 16,
+                ..HerqulesConfig::default().train
+            },
+            ..HerqulesConfig::default()
+        };
+        let herq = HerqulesBaseline::fit(&ds, &split, &config);
+        let report = evaluate(&herq, &ds, &split.test);
+        for (q, f) in report.per_qubit_fidelity.iter().enumerate() {
+            assert!(*f > 0.9, "qubit {q} fidelity {f}");
+        }
+        // 2 qubits x 2 filters = 4 inputs; 2^2 outputs.
+        assert_eq!(herq.extractor().feature_dim(), 4);
+        assert_eq!(herq.mlp().output_len(), 4);
+    }
+
+    #[test]
+    fn feature_dim_excludes_emf() {
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = 80;
+        let ds = TraceDataset::generate(&c, 3, 15, 7);
+        let split = ds.split(0.6, 0.0, 7);
+        let herq = HerqulesBaseline::fit(&ds, &split, &HerqulesConfig::default());
+        // 2 qubits x (3 QMF + 3 RMF) = 12 features, 9 joint classes.
+        assert_eq!(herq.extractor().feature_dim(), 12);
+        assert_eq!(herq.mlp().output_len(), 9);
+        assert_eq!(herq.name(), "HERQULES");
+    }
+}

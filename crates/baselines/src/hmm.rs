@@ -1,0 +1,516 @@
+//! Per-qubit Gaussian hidden Markov model readout, after the
+//! transmon-leakage HMM detectors of Varbanov et al. (npj QI 6, 2020) —
+//! the "Hidden Markov Models" line of related work in the paper's Sec. I.
+//!
+//! Where an IQ-point discriminator collapses the whole trace to one
+//! integrated point, the HMM keeps the *time structure*: the trace is
+//! split into short windows, each window emits a 2-D IQ observation from a
+//! level-conditioned Gaussian, and the hidden level may decay or excite
+//! between windows. A trace that starts `|1⟩`-like and ends `|0⟩`-like is
+//! then evidence for "prepared `|1⟩`, relaxed mid-readout" rather than an
+//! ambiguous smear between clusters — the same relaxation physics the
+//! paper's RMF matched filters target, modelled generatively.
+
+use mlr_core::Discriminator;
+use mlr_dsp::{boxcar_decimate, Demodulator};
+use mlr_linalg::{covariance_matrix, Cholesky, Matrix};
+use mlr_num::Complex;
+use mlr_sim::{DatasetSplit, TraceDataset};
+
+/// Hyper-parameters of [`HmmBaseline::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmConfig {
+    /// ADC samples averaged into one HMM observation window. 25 samples at
+    /// 500 MS/s is a 50 ns window — 20 observations over the paper's 1 µs
+    /// trace.
+    pub window: usize,
+    /// Rounds of segmental (Viterbi) re-estimation after the label-based
+    /// initial fit. 0 keeps the initial estimates.
+    pub viterbi_rounds: usize,
+    /// Laplace smoothing added to every transition count so rare
+    /// transitions keep nonzero probability.
+    pub transition_smoothing: f64,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        Self {
+            window: 25,
+            viterbi_rounds: 2,
+            transition_smoothing: 1.0,
+        }
+    }
+}
+
+/// One level's windowed-IQ emission model: a 2-D Gaussian.
+#[derive(Debug, Clone)]
+struct Emission {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl Emission {
+    /// Fits a Gaussian to rows of `points`, ridging the covariance so the
+    /// Cholesky always exists.
+    fn fit(points: &[Vec<f64>]) -> Self {
+        let data = Matrix::from_fn(points.len(), 2, |i, j| points[i][j]);
+        let mean = mlr_linalg::mean_vector(&data);
+        let mut cov = covariance_matrix(&data);
+        for i in 0..2 {
+            cov[(i, i)] += 1e-9 + 1e-12 * cov[(i, i)].abs();
+        }
+        let chol = cov.cholesky().expect("ridged covariance is SPD");
+        Self { mean, chol }
+    }
+
+    /// Log-density of one IQ observation.
+    fn log_pdf(&self, x: &[f64; 2]) -> f64 {
+        const LOG_TAU: f64 = 1.837_877_066_409_345_5; // ln(2π)
+        let d = [x[0] - self.mean[0], x[1] - self.mean[1]];
+        -0.5 * (2.0 * LOG_TAU + self.chol.log_det() + self.chol.mahalanobis_sq(&d))
+    }
+}
+
+/// One qubit's fitted chain: emissions, log-transitions, label log-priors.
+#[derive(Debug, Clone)]
+struct QubitHmm {
+    emissions: Vec<Emission>,
+    /// `log_trans[from][to]`, rows normalised in probability space.
+    log_trans: Vec<Vec<f64>>,
+    log_priors: Vec<f64>,
+}
+
+impl QubitHmm {
+    /// Log-likelihood of an observation sequence given the chain starts in
+    /// `init` (delta initial distribution), by the forward algorithm in
+    /// log space.
+    fn forward_loglik(&self, obs: &[[f64; 2]], init: usize) -> f64 {
+        let k = self.emissions.len();
+        let mut alpha = vec![f64::NEG_INFINITY; k];
+        alpha[init] = self.emissions[init].log_pdf(&obs[0]);
+        let mut next = vec![f64::NEG_INFINITY; k];
+        for o in &obs[1..] {
+            for (s, slot) in next.iter_mut().enumerate() {
+                let terms: Vec<f64> = (0..k)
+                    .map(|p| alpha[p] + self.log_trans[p][s])
+                    .collect();
+                *slot = log_sum_exp(&terms) + self.emissions[s].log_pdf(o);
+            }
+            std::mem::swap(&mut alpha, &mut next);
+        }
+        log_sum_exp(&alpha)
+    }
+
+    /// Most likely state path given the chain starts in `init`.
+    fn viterbi_path(&self, obs: &[[f64; 2]], init: usize) -> Vec<usize> {
+        let k = self.emissions.len();
+        let t_len = obs.len();
+        let mut delta = vec![f64::NEG_INFINITY; k];
+        delta[init] = self.emissions[init].log_pdf(&obs[0]);
+        let mut back = vec![vec![0usize; k]; t_len];
+        let mut next = vec![f64::NEG_INFINITY; k];
+        for (t, o) in obs.iter().enumerate().skip(1) {
+            for s in 0..k {
+                let (best_p, best_v) = (0..k)
+                    .map(|p| (p, delta[p] + self.log_trans[p][s]))
+                    .fold((0, f64::NEG_INFINITY), |acc, cur| {
+                        if cur.1 > acc.1 {
+                            cur
+                        } else {
+                            acc
+                        }
+                    });
+                back[t][s] = best_p;
+                next[s] = best_v + self.emissions[s].log_pdf(o);
+            }
+            std::mem::swap(&mut delta, &mut next);
+        }
+        let mut state = mlr_num::argmax(&delta).expect("nonempty states");
+        let mut path = vec![0usize; t_len];
+        for t in (0..t_len).rev() {
+            path[t] = state;
+            if t > 0 {
+                state = back[t][state];
+            }
+        }
+        path
+    }
+
+    /// Readout decision: argmax over initial levels of forward
+    /// log-likelihood plus label log-prior.
+    fn predict(&self, obs: &[[f64; 2]]) -> usize {
+        let scores: Vec<f64> = (0..self.emissions.len())
+            .map(|l| self.forward_loglik(obs, l) + self.log_priors[l])
+            .collect();
+        mlr_num::argmax(&scores).expect("at least one level")
+    }
+}
+
+/// Numerically stable `ln Σ exp`, tolerating `-∞` entries.
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f64>().ln()
+}
+
+/// Per-qubit Gaussian-emission HMM discriminator.
+///
+/// Fitting is segmental: emissions start from label-pooled windows, then
+/// [`HmmConfig::viterbi_rounds`] of Viterbi alignment re-estimate emissions
+/// and transitions jointly (the hard-EM / segmental-k-means recipe).
+/// Decisions marginalise over mid-readout decay paths with the forward
+/// algorithm, scoring each candidate *initial* level.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlr_baselines::{HmmBaseline, HmmConfig};
+/// use mlr_core::{evaluate, Discriminator};
+/// use mlr_sim::{ChipConfig, TraceDataset};
+///
+/// let config = ChipConfig::five_qubit_paper();
+/// let dataset = TraceDataset::generate(&config, 3, 40, 7);
+/// let split = dataset.split(0.5, 0.0, 7);
+/// let hmm = HmmBaseline::fit(&dataset, &split, &HmmConfig::default());
+/// let report = evaluate(&hmm, &dataset, &split.test);
+/// println!("HMM F5Q = {:.4}", report.geometric_mean_fidelity());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmmBaseline {
+    demod: Demodulator,
+    models: Vec<QubitHmm>,
+    window: usize,
+}
+
+impl HmmBaseline {
+    /// Fits one chain per qubit from the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training split is empty or indexes out of range, if a
+    /// qubit is missing a level in the training split, or if traces are
+    /// shorter than one observation window.
+    pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &HmmConfig) -> Self {
+        assert!(!split.train.is_empty(), "empty training split");
+        assert!(config.window > 0, "window must be positive");
+        let chip = dataset.config();
+        assert!(
+            chip.n_samples >= config.window,
+            "trace shorter than one HMM window"
+        );
+        let demod = Demodulator::new(chip);
+        let levels = dataset.levels();
+
+        let models = (0..chip.n_qubits())
+            .map(|q| {
+                // Windowed observation sequences + initial-level labels.
+                let seqs: Vec<Vec<[f64; 2]>> = split
+                    .train
+                    .iter()
+                    .map(|&i| {
+                        windowed_obs(
+                            &demod.demodulate(&dataset.shots()[i].raw, q),
+                            config.window,
+                        )
+                    })
+                    .collect();
+                let labels: Vec<usize> =
+                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
+
+                // Round 0: pool every window of level-l traces as level l's
+                // emission sample. Mid-readout decay contaminates the tail,
+                // which the Viterbi rounds below clean up.
+                let mut assignments: Vec<Vec<usize>> = seqs
+                    .iter()
+                    .zip(&labels)
+                    .map(|(s, &l)| vec![l; s.len()])
+                    .collect();
+                let mut model = Self::estimate(&seqs, &assignments, &labels, levels, config);
+
+                for _ in 0..config.viterbi_rounds {
+                    assignments = seqs
+                        .iter()
+                        .zip(&labels)
+                        .map(|(s, &l)| model.viterbi_path(s, l))
+                        .collect();
+                    model = Self::estimate(&seqs, &assignments, &labels, levels, config);
+                }
+                model
+            })
+            .collect();
+
+        Self {
+            demod,
+            models,
+            window: config.window,
+        }
+    }
+
+    /// Re-estimates emissions, transitions and priors from per-window state
+    /// assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some level has no assigned windows (level missing from the
+    /// training split).
+    fn estimate(
+        seqs: &[Vec<[f64; 2]>],
+        assignments: &[Vec<usize>],
+        labels: &[usize],
+        levels: usize,
+        config: &HmmConfig,
+    ) -> QubitHmm {
+        // Emissions.
+        let emissions: Vec<Emission> = (0..levels)
+            .map(|l| {
+                let points: Vec<Vec<f64>> = seqs
+                    .iter()
+                    .zip(assignments)
+                    .flat_map(|(seq, path)| {
+                        seq.iter()
+                            .zip(path)
+                            .filter(move |(_, &s)| s == l)
+                            .map(|(o, _)| vec![o[0], o[1]])
+                    })
+                    .collect();
+                assert!(
+                    points.len() >= 2,
+                    "level {l} has fewer than two assigned windows"
+                );
+                Emission::fit(&points)
+            })
+            .collect();
+
+        // Transitions with Laplace smoothing.
+        let mut counts = vec![vec![config.transition_smoothing; levels]; levels];
+        for path in assignments {
+            for pair in path.windows(2) {
+                counts[pair[0]][pair[1]] += 1.0;
+            }
+        }
+        let log_trans: Vec<Vec<f64>> = counts
+            .iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.iter().map(|&c| (c / total).ln()).collect()
+            })
+            .collect();
+
+        // Label priors.
+        let mut prior_counts = vec![1.0f64; levels];
+        for &l in labels {
+            prior_counts[l] += 1.0;
+        }
+        let total: f64 = prior_counts.iter().sum();
+        let log_priors = prior_counts.iter().map(|&c| (c / total).ln()).collect();
+
+        QubitHmm {
+            emissions,
+            log_trans,
+            log_priors,
+        }
+    }
+
+    /// Observation window length in ADC samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Fitted transition probabilities of qubit `q` (`[from][to]`, rows
+    /// summing to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn transition_matrix(&self, q: usize) -> Vec<Vec<f64>> {
+        self.models[q]
+            .log_trans
+            .iter()
+            .map(|row| row.iter().map(|&l| l.exp()).collect())
+            .collect()
+    }
+}
+
+/// Boxcar-windows a baseband trace into 2-D IQ observations.
+fn windowed_obs(baseband: &[Complex], window: usize) -> Vec<[f64; 2]> {
+    boxcar_decimate(baseband, window)
+        .iter()
+        .map(|z| [z.re, z.im])
+        .collect()
+}
+
+impl Discriminator for HmmBaseline {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(q, model)| {
+                let obs = windowed_obs(&self.demod.demodulate(raw, q), self.window);
+                model.predict(&obs)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "HMM"
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.models.len()
+    }
+
+    fn weight_count(&self) -> usize {
+        0 // generative model, no neural network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_core::evaluate;
+    use mlr_sim::ChipConfig;
+
+    fn dataset(n_samples: usize) -> (TraceDataset, DatasetSplit) {
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = n_samples;
+        let ds = TraceDataset::generate(&c, 3, 30, 23);
+        let split = ds.split(0.5, 0.0, 23);
+        (ds, split)
+    }
+
+    #[test]
+    fn log_sum_exp_handles_neg_infinity() {
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        let v = log_sum_exp(&[0.0, f64::NEG_INFINITY]);
+        assert!((v - 0.0).abs() < 1e-12);
+        let both = log_sum_exp(&[(2.0f64).ln(), (3.0f64).ln()]);
+        assert!((both - (5.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discriminates_three_levels() {
+        let (ds, split) = dataset(200);
+        let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
+        let report = evaluate(&hmm, &ds, &split.test);
+        for (q, f) in report.per_qubit_fidelity.iter().enumerate() {
+            assert!(*f > 0.75, "qubit {q} fidelity {f}");
+        }
+        assert_eq!(report.design, "HMM");
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let (ds, split) = dataset(150);
+        let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
+        for q in 0..2 {
+            for row in hmm.transition_matrix(q) {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "row {row:?}");
+                assert!(row.iter().all(|&p| p > 0.0), "smoothed rows are positive");
+            }
+        }
+    }
+
+    #[test]
+    fn self_transitions_dominate() {
+        // T1 ≫ trace length, so staying put must be far likelier than
+        // hopping levels within one 50 ns window.
+        let (ds, split) = dataset(200);
+        let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
+        let trans = hmm.transition_matrix(0);
+        for (s, row) in trans.iter().enumerate() {
+            assert!(
+                row[s] > 0.8,
+                "state {s} self-transition {} too small",
+                row[s]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_likelihood_prefers_true_initial_state() {
+        let (ds, split) = dataset(200);
+        let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
+        // Average forward log-lik margin on test shots whose qubit-0 label
+        // is |1>: the true initial state should usually win.
+        let model = &hmm.models[0];
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for &i in &split.test {
+            if ds.label(i, 0) != 1 {
+                continue;
+            }
+            let obs = windowed_obs(
+                &hmm.demod.demodulate(&ds.shots()[i].raw, 0),
+                hmm.window,
+            );
+            let ll1 = model.forward_loglik(&obs, 1);
+            let ll0 = model.forward_loglik(&obs, 0);
+            if ll1 > ll0 {
+                wins += 1;
+            }
+            total += 1;
+        }
+        assert!(total > 10, "need |1> test shots");
+        assert!(
+            wins as f64 / total as f64 > 0.8,
+            "true-initial wins only {wins}/{total}"
+        );
+    }
+
+    #[test]
+    fn viterbi_path_starts_at_constrained_state() {
+        let (ds, split) = dataset(150);
+        let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
+        let obs = windowed_obs(
+            &hmm.demod.demodulate(&ds.shots()[0].raw, 0),
+            hmm.window,
+        );
+        for init in 0..3 {
+            let path = hmm.models[0].viterbi_path(&obs, init);
+            assert_eq!(path[0], init);
+            assert_eq!(path.len(), obs.len());
+        }
+    }
+
+    #[test]
+    fn more_viterbi_rounds_do_not_break_fit() {
+        let (ds, split) = dataset(150);
+        let base = HmmBaseline::fit(
+            &ds,
+            &split,
+            &HmmConfig {
+                viterbi_rounds: 0,
+                ..HmmConfig::default()
+            },
+        );
+        let refined = HmmBaseline::fit(
+            &ds,
+            &split,
+            &HmmConfig {
+                viterbi_rounds: 3,
+                ..HmmConfig::default()
+            },
+        );
+        let f_base = evaluate(&base, &ds, &split.test).geometric_mean_fidelity();
+        let f_ref = evaluate(&refined, &ds, &split.test).geometric_mean_fidelity();
+        // Refinement may help or tie, but must not collapse the model.
+        assert!(f_ref > f_base - 0.05, "base {f_base} refined {f_ref}");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace shorter than one HMM window")]
+    fn rejects_oversized_window() {
+        let (ds, split) = dataset(20);
+        let _ = HmmBaseline::fit(
+            &ds,
+            &split,
+            &HmmConfig {
+                window: 64,
+                ..HmmConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion microbenches of the substrate layers: trace simulation,
+//! clustering, linear algebra, and the surface-code cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use mlr_cluster::{KMeans, SpectralClustering};
+use mlr_linalg::Matrix;
+use mlr_qec::{LeakageParams, LeakageSimulator, SurfaceCode};
+use mlr_sim::{BasisState, ChipConfig, Level, ReadoutSimulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = ReadoutSimulator::new(ChipConfig::five_qubit_paper());
+    let prepared = BasisState::uniform(5, Level::Excited);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(40);
+    group.bench_function("simulate_shot_5q_500samples", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sim.simulate_shot(black_box(&prepared), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // Three-lobe point cloud like an MTV scatter.
+    let points: Vec<Vec<f64>> = (0..600)
+        .map(|i| {
+            let lobe = i % 3;
+            let t = i as f64 * 0.618;
+            vec![
+                lobe as f64 * 3.0 + t.sin() * 0.3,
+                lobe as f64 * 1.5 + t.cos() * 0.3,
+            ]
+        })
+        .collect();
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(20);
+    group.bench_function("kmeans_600pts_k3", |b| {
+        b.iter(|| black_box(KMeans::new(3).with_seed(1).fit(black_box(&points))))
+    });
+    group.bench_function("spectral_600pts_k3_sub240", |b| {
+        b.iter(|| {
+            black_box(
+                SpectralClustering::new(3)
+                    .with_seed(1)
+                    .fit(black_box(&points)),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let a = Matrix::from_fn(60, 60, |i, j| {
+        1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 }
+    });
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(30);
+    group.bench_function("jacobi_eigen_60x60", |b| {
+        b.iter(|| black_box(black_box(&a).symmetric_eigen()))
+    });
+    group.bench_function("cholesky_60x60", |b| {
+        b.iter(|| black_box(black_box(&a).cholesky()))
+    });
+    group.finish();
+}
+
+fn bench_qec(c: &mut Criterion) {
+    let code = SurfaceCode::rotated(7);
+    let mut group = c.benchmark_group("qec");
+    group.sample_size(40);
+    group.bench_function("surface_d7_cycle", |b| {
+        let mut sim = LeakageSimulator::new(code.clone(), LeakageParams::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(sim.run_cycle(&mut rng, Some(0.05))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_clustering,
+    bench_linalg,
+    bench_qec
+);
+criterion_main!(benches);

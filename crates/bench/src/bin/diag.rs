@@ -1,0 +1,57 @@
+//! Per-level recall diagnostics for simulator calibration: fits the cheap
+//! designs (OURS, HERQULES, LDA, QDA — FNN only with `MLR_DIAG_FNN=1`) and
+//! prints each qubit's per-level recall, which is what the balanced
+//! fidelities of the paper's tables decompose into.
+
+use mlr_baselines::{
+    DiscriminantAnalysis, DiscriminantKind, FnnBaseline, FnnConfig, HerqulesBaseline,
+    HerqulesConfig,
+};
+use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_core::{evaluate, EvalReport, OursConfig, OursDiscriminator};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn recall_rows(report: &EvalReport) -> Vec<Vec<String>> {
+    (0..report.per_qubit_fidelity.len())
+        .map(|q| {
+            let mut row = vec![format!("{} Q{}", report.design, q + 1)];
+            for l in 0..report.per_level_recall[q].len() {
+                row.push(format!("{:.3}", report.per_level_recall[q][l]));
+            }
+            row.push(format!("{:.4}", report.per_qubit_fidelity[q]));
+            row
+        })
+        .collect()
+}
+
+fn main() {
+    let config = ChipConfig::five_qubit_paper();
+    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let split = dataset.paper_split(seed());
+    eprintln!(
+        "[diag] {} shots, train {}, test {}",
+        dataset.len(),
+        split.train.len(),
+        split.test.len()
+    );
+
+    let mut rows = Vec::new();
+    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
+    rows.extend(recall_rows(&evaluate(&ours, &dataset, &split.test)));
+    let herq = HerqulesBaseline::fit(&dataset, &split, &HerqulesConfig::default());
+    rows.extend(recall_rows(&evaluate(&herq, &dataset, &split.test)));
+    let lda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda);
+    rows.extend(recall_rows(&evaluate(&lda, &dataset, &split.test)));
+    let qda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Qda);
+    rows.extend(recall_rows(&evaluate(&qda, &dataset, &split.test)));
+    if std::env::var("MLR_DIAG_FNN").as_deref() == Ok("1") {
+        let fnn = FnnBaseline::fit(&dataset, &split, &FnnConfig::default());
+        rows.extend(recall_rows(&evaluate(&fnn, &dataset, &split.test)));
+    }
+
+    print_table(
+        "Per-level recall by design and qubit",
+        &["Design", "r(|0>)", "r(|1>)", "r(|2>)", "balanced F"],
+        &rows,
+    );
+}

@@ -1,0 +1,106 @@
+//! Ablation study on the proposed design (the DESIGN.md design-choice
+//! checks, not a paper artifact):
+//!
+//! * excitation matched filters on/off (the paper's addition over
+//!   HERQULES' filter set);
+//! * the paper's variance-difference MF kernel vs the robust variance-sum
+//!   kernel;
+//! * fixed-point quantisation of the per-qubit heads (16/8/6 bits), which
+//!   underpins the FPGA resource model's 8-bit assumption.
+
+use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_core::{evaluate, Discriminator, OursConfig, OursDiscriminator};
+use mlr_dsp::MatchedFilterKind;
+use mlr_nn::FixedPointFormat;
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn main() {
+    let config = ChipConfig::five_qubit_paper();
+    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let split = dataset.paper_split(seed());
+
+    let variants = [
+        ("full design (EMF, variance-sum)", true, MatchedFilterKind::VarianceSum),
+        ("no EMF (HERQULES filter set)", false, MatchedFilterKind::VarianceSum),
+        (
+            "paper kernel (variance-diff)",
+            true,
+            MatchedFilterKind::PaperVarianceDiff,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut full_model = None;
+    for (name, include_emf, mf_kind) in variants {
+        let ours = OursDiscriminator::fit(
+            &dataset,
+            &split,
+            &OursConfig {
+                include_emf,
+                mf_kind,
+                ..OursConfig::default()
+            },
+        );
+        let report = evaluate(&ours, &dataset, &split.test);
+        let mut row = vec![name.to_owned()];
+        row.extend(report.per_qubit_fidelity.iter().map(|f| format!("{f:.4}")));
+        row.push(format!("{:.4}", report.geometric_mean_fidelity()));
+        rows.push(row);
+        if include_emf && mf_kind == MatchedFilterKind::VarianceSum {
+            full_model = Some(ours);
+        }
+    }
+    print_table(
+        "Ablation: filter bank and kernel variants",
+        &["Variant", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"],
+        &rows,
+    );
+
+    // Quantisation sweep on the full design.
+    let ours = full_model.expect("full design fitted");
+    let formats = [
+        ("f32 (no quantisation)", None),
+        ("ap_fixed<16,6>", Some(FixedPointFormat::HLS4ML_DEFAULT)),
+        ("ap_fixed<8,3>", Some(FixedPointFormat::new(8, 3))),
+        ("ap_fixed<6,3>", Some(FixedPointFormat::new(6, 3))),
+    ];
+    let mut rows = Vec::new();
+    for (name, format) in formats {
+        // Balanced per-qubit fidelity under (quantised) inference.
+        let n_qubits = ours.n_qubits();
+        let levels = 3usize;
+        let mut hits = vec![vec![0usize; levels]; n_qubits];
+        let mut counts = vec![vec![0usize; levels]; n_qubits];
+        for &i in &split.test {
+            let features = ours.extractor().extract(&dataset.shots()[i].raw);
+            let decided = match format {
+                None => ours.predict_features(&features),
+                Some(f) => ours.predict_features_quantized(&features, f),
+            };
+            for q in 0..n_qubits {
+                let truth = dataset.label(i, q);
+                counts[q][truth] += 1;
+                if decided[q] == truth {
+                    hits[q][truth] += 1;
+                }
+            }
+        }
+        let fidelities: Vec<f64> = (0..n_qubits)
+            .map(|q| {
+                let present: Vec<f64> = (0..levels)
+                    .filter(|&l| counts[q][l] > 0)
+                    .map(|l| hits[q][l] as f64 / counts[q][l] as f64)
+                    .collect();
+                present.iter().sum::<f64>() / present.len().max(1) as f64
+            })
+            .collect();
+        let mut row = vec![name.to_owned()];
+        row.push(format!("{:.4}", mlr_nn::geometric_mean(&fidelities)));
+        rows.push(row);
+    }
+    print_table(
+        "Ablation: head quantisation (deployment precision)",
+        &["Precision", "F5Q"],
+        &rows,
+    );
+}

@@ -1,0 +1,181 @@
+//! Runs the shared fidelity study **once** and prints every table/figure
+//! that depends on it (Fig. 1(c), Tables II, IV, V, VI), then the
+//! study-independent artifacts (Fig. 1(d), Fig. 5(a), Sec. III-A, Table I,
+//! Sec. VII-B, Sec. VII-D).
+//!
+//! This is the one-shot reproduction entry point used to fill
+//! `EXPERIMENTS.md`; the individual `repro_*` binaries regenerate single
+//! artifacts.
+
+use mlr_bench::{fidelity_row, print_table, run_fidelity_study, seed, shots_per_state};
+use mlr_fpga::{DiscriminatorHw, FpgaDevice, PowerModel};
+use mlr_qec::{
+    CnotChannel, EraserConfig, EraserExperiment, QecCycleTiming, RepeatedCnotExperiment,
+    SpeculationMode,
+};
+
+fn main() {
+    let study = run_fidelity_study(shots_per_state(), seed());
+
+    // ---- Fig. 1(c) ----
+    let rows: Vec<Vec<String>> = [&study.herqules, &study.fnn, &study.ours]
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.design.clone()];
+            row.extend(r.per_qubit_fidelity.iter().map(|f| format!("{:.4}", 1.0 - f)));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 1(c): readout inaccuracy per qubit (paper: OURS <= FNN << HERQULES)",
+        &["Design", "Q1", "Q2", "Q3", "Q4", "Q5"],
+        &rows,
+    );
+
+    // ---- Table II ----
+    print_table(
+        "Table II: existing designs (paper: FNN F5Q 0.898, HERQULES 0.591)",
+        &["Design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"],
+        &[fidelity_row(&study.fnn), fidelity_row(&study.herqules)],
+    );
+
+    // ---- Table IV ----
+    print_table(
+        "Table IV: FNN vs OURS (paper: 0.8985 vs 0.9052, +6.6% relative)",
+        &["Design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"],
+        &[fidelity_row(&study.fnn), fidelity_row(&study.ours)],
+    );
+    let (f_fnn, f_ours) = (
+        study.fnn.geometric_mean_fidelity(),
+        study.ours.geometric_mean_fidelity(),
+    );
+    println!(
+        "  relative improvement: {:.1}%  | model size: {}x smaller",
+        100.0 * (f_ours - f_fnn) / (1.0 - f_fnn),
+        study.weight_counts.1 / study.weight_counts.0.max(1)
+    );
+
+    // ---- Table V ----
+    let mut rows = Vec::new();
+    for (label, q) in [("Qubit 3", 2usize), ("Qubit 4", 3usize)] {
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.4}", study.lda.per_qubit_fidelity[q]),
+            format!("{:.4}", study.qda.per_qubit_fidelity[q]),
+            format!("{:.4}", study.fnn.per_qubit_fidelity[q]),
+            format!("{:.4}", study.ours.per_qubit_fidelity[q]),
+        ]);
+    }
+    print_table(
+        "Table V: single-qubit fidelity (paper Q3: 0.8966/0.914/0.939/0.959)",
+        &["", "LDA", "QDA", "NN", "OURS"],
+        &rows,
+    );
+
+    // ---- Table VI ----
+    let device = FpgaDevice::xczu7ev();
+    let ours_hw = DiscriminatorHw::ours_paper(5, 3, 500);
+    let fnn_hw = DiscriminatorHw::fnn_paper(5, 3, 500);
+    let trials = std::env::var("MLR_QEC_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let exp = EraserExperiment::new(EraserConfig {
+        trials,
+        ..EraserConfig::default()
+    });
+    let entries = [
+        ("LDA", study.lda.mean_error_excluding(&[1]), "Fast"),
+        ("QDA", study.qda.mean_error_excluding(&[1]), "Fast"),
+        ("FNN", study.fnn.mean_error_excluding(&[1]), fnn_hw.speed_class(&device)),
+        ("Ours", study.ours.mean_error_excluding(&[1]), ours_hw.speed_class(&device)),
+    ];
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(name, err, speed)| {
+            let res = exp.run(SpeculationMode::EraserM { readout_error: *err });
+            vec![
+                (*name).to_owned(),
+                format!("{:.1}", 100.0 * err),
+                (*speed).to_owned(),
+                format!("{:.3}", res.speculation_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table VI: speculation vs readout error (paper: 0.914/0.921/0.943/0.947)",
+        &["Design", "Error(%)", "Speed", "Speculation Accuracy"],
+        &rows,
+    );
+
+    // ---- Table I ----
+    let plain = exp.run(SpeculationMode::Eraser);
+    let with_m = exp.run(SpeculationMode::EraserM { readout_error: 0.05 });
+    print_table(
+        "Table I: ERASER vs ERASER+M (paper: 0.957/4.19e-3 vs 0.971/2.97e-3)",
+        &["Design", "Accuracy", "Leakage Population"],
+        &[
+            vec![
+                "ERASER".into(),
+                format!("{:.3}", plain.speculation_accuracy),
+                format!("{:.2e}", plain.leakage_population),
+            ],
+            vec![
+                "ERASER+M".into(),
+                format!("{:.3}", with_m.speculation_accuracy),
+                format!("{:.2e}", with_m.leakage_population),
+            ],
+        ],
+    );
+
+    // ---- Fig. 1(d) / Fig. 5(a) ----
+    let designs = [
+        DiscriminatorHw::fnn_paper(5, 3, 500),
+        DiscriminatorHw::herqules_paper(5, 3, 500),
+        DiscriminatorHw::ours_paper(5, 3, 500),
+    ];
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|hw| {
+            let est = hw.estimate(&device);
+            let u = est.utilization(&device);
+            vec![
+                hw.name.clone(),
+                format!("{:.1}%", u.lut_pct),
+                format!("{:.1}%", u.ff_pct),
+                format!("{:.1}%", u.bram_pct),
+                format!("{:.1}%", u.dsp_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1(d)/5(a): utilisation on xczu7ev (paper LUTs: 420%/28%/7%)",
+        &["Design", "LUT", "FF", "BRAM", "DSP"],
+        &rows,
+    );
+
+    // ---- Sec. III-A ----
+    let cnot = RepeatedCnotExperiment::new(CnotChannel::default(), 10_000, 12, 33);
+    let leaked = cnot.run(true);
+    let clean = cnot.run(false);
+    println!(
+        "\nSec. III-A: 12-CNOT leakage growth {:.1}x (paper ~3x); \
+         single-gate transfer {:.2}% (paper 1.5-2%)",
+        leaked.target_leak_vs_gates[11] / clean.target_leak_vs_gates[11].max(1e-9),
+        100.0 * leaked.single_gate_transfer_rate
+    );
+
+    // ---- Sec. VII-B / VII-D ----
+    let base = QecCycleTiming::versluis_surface17(1000.0);
+    let fast = QecCycleTiming::versluis_surface17(800.0);
+    println!(
+        "Sec. VII-B: 200 ns faster readout -> {:.1}% shorter Surface-17 cycle (paper ~17%)",
+        100.0 * base.relative_reduction(&fast)
+    );
+    let power = PowerModel::tsmc45();
+    println!(
+        "Sec. VII-D: OURS NN engine {:.3} mW @ 1 GHz, {} cycles (paper 1.561 mW, 5 cycles)",
+        power.nn_power_mw(&ours_hw, 1.0e6),
+        ours_hw.latency_cycles()
+    );
+}

@@ -1,0 +1,34 @@
+//! Reproduces Fig. 1(c): readout classification inaccuracy (1 − fidelity)
+//! over all five qubits for HERQULES, FNN, and the proposed method.
+//!
+//! Shape to match: OURS ≤ FNN ≪ HERQULES at three levels.
+
+use mlr_bench::{print_table, run_fidelity_study, seed, shots_per_state};
+
+fn main() {
+    let study = run_fidelity_study(shots_per_state(), seed());
+    let rows: Vec<Vec<String>> = [&study.herqules, &study.fnn, &study.ours]
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.design.clone()];
+            row.extend(
+                r.per_qubit_fidelity
+                    .iter()
+                    .map(|f| format!("{:.4}", 1.0 - f)),
+            );
+            row.push(format!("{:.4}", 1.0 - r.geometric_mean_fidelity()));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 1(c): three-level readout inaccuracy per qubit",
+        &["Design", "Q1", "Q2", "Q3", "Q4", "Q5", "mean(1-F5Q)"],
+        &rows,
+    );
+    println!(
+        "\nShape check: OURS ({:.4}) <= FNN ({:.4}) << HERQULES ({:.4})",
+        1.0 - study.ours.geometric_mean_fidelity(),
+        1.0 - study.fnn.geometric_mean_fidelity(),
+        1.0 - study.herqules.geometric_mean_fidelity()
+    );
+}

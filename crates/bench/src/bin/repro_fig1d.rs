@@ -1,0 +1,48 @@
+//! Reproduces Fig. 1(d): FPGA LUT utilisation of HERQULES, the FNN design,
+//! and the proposed method on the xczu7ev.
+//!
+//! Paper: FNN ≈ 420 %, HERQULES ≈ 28 %, OURS ≈ 7 % — i.e. ~60× and ~15×
+//! more LUTs than the proposed design.
+
+use mlr_bench::print_table;
+use mlr_fpga::{DiscriminatorHw, FpgaDevice};
+
+fn main() {
+    let device = FpgaDevice::xczu7ev();
+    let designs = [
+        DiscriminatorHw::herqules_paper(5, 3, 500),
+        DiscriminatorHw::fnn_paper(5, 3, 500),
+        DiscriminatorHw::ours_paper(5, 3, 500),
+    ];
+
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|hw| {
+            let est = hw.estimate(&device);
+            let util = est.utilization(&device);
+            vec![
+                hw.name.clone(),
+                format!("{}", hw.nn_weights),
+                format!("{}", est.luts),
+                format!("{:.1}%", util.lut_pct),
+                if est.fits(&device) { "yes" } else { "NO" }.to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 1(d): LUT utilisation on {}", device.name),
+        &["Design", "NN weights", "LUTs", "LUT %", "fits?"],
+        &rows,
+    );
+
+    let ours = designs[2].estimate(&device);
+    let fnn = designs[1].estimate(&device);
+    let herq = designs[0].estimate(&device);
+    println!(
+        "\nRatios: FNN/OURS {:.0}x (paper ~60x), FNN/HERQULES {:.0}x (paper ~15x), \
+         HERQULES/OURS {:.1}x (paper ~4x)",
+        fnn.luts as f64 / ours.luts as f64,
+        fnn.luts as f64 / herq.luts as f64,
+        herq.luts as f64 / ours.luts as f64
+    );
+}

@@ -1,0 +1,54 @@
+//! Reproduces Fig. 5(a): full FPGA resource utilisation comparison
+//! (LUT / FF / BRAM / DSP) of the three designs on the xczu7ev.
+//!
+//! Paper shape: FNN ≫ HERQULES > OURS, with >5× fewer FFs and ~4× fewer
+//! LUTs for OURS vs HERQULES.
+
+use mlr_bench::print_table;
+use mlr_fpga::{DiscriminatorHw, FpgaDevice, PowerModel};
+
+fn main() {
+    let device = FpgaDevice::xczu7ev();
+    let designs = [
+        DiscriminatorHw::fnn_paper(5, 3, 500),
+        DiscriminatorHw::herqules_paper(5, 3, 500),
+        DiscriminatorHw::ours_paper(5, 3, 500),
+    ];
+
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|hw| {
+            let est = hw.estimate(&device);
+            let util = est.utilization(&device);
+            vec![
+                hw.name.clone(),
+                format!("{} ({:.1}%)", est.luts, util.lut_pct),
+                format!("{} ({:.1}%)", est.ffs, util.ff_pct),
+                format!("{} ({:.1}%)", est.brams, util.bram_pct),
+                format!("{} ({:.1}%)", est.dsps, util.dsp_pct),
+                format!("{}", hw.latency_cycles()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 5(a): resource utilisation on {}", device.name),
+        &["Design", "LUT", "FF", "BRAM", "DSP", "latency (cyc)"],
+        &rows,
+    );
+
+    let herq = designs[1].estimate(&device);
+    let ours = designs[2].estimate(&device);
+    println!(
+        "\nOURS vs HERQULES: {:.1}x fewer LUTs (paper ~4x), {:.1}x fewer FFs (paper >5x)",
+        herq.luts as f64 / ours.luts as f64,
+        herq.ffs as f64 / ours.ffs as f64
+    );
+    let model = PowerModel::tsmc45();
+    println!(
+        "Sec. VII-D cross-check: OURS NN engine {:.3} mW @ {} GHz, {} cycles \
+         (paper: 1.561 mW, 5 cycles)",
+        model.nn_power_mw(&designs[2], 1.0e6),
+        model.clock_ghz,
+        designs[2].latency_cycles()
+    );
+}

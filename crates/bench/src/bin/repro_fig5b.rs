@@ -1,0 +1,58 @@
+//! Reproduces Fig. 5(b): mean readout accuracy of the proposed design as a
+//! function of readout duration.
+//!
+//! Paper shape: accuracy is flat from 1 µs down to ~800 ns (so 200 ns can
+//! be shaved off for free — the 20 % readout-time reduction headline) and
+//! degrades below that. Filters and heads are refit per duration, matching
+//! the paper's per-duration calibration.
+
+use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_core::{evaluate, OursConfig, OursDiscriminator};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn main() {
+    let config = ChipConfig::five_qubit_paper();
+    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let split = dataset.paper_split(seed());
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &n_samples in &[250usize, 300, 350, 400, 450, 500] {
+        let truncated = dataset.truncated(n_samples);
+        let ours = OursDiscriminator::fit(&truncated, &split, &OursConfig::default());
+        let report = evaluate(&ours, &truncated, &split.test);
+        let duration_ns = n_samples as f64 * 2.0; // 500 MS/s -> 2 ns/sample
+        let mean_acc = report.per_qubit_fidelity.iter().sum::<f64>()
+            / report.per_qubit_fidelity.len() as f64;
+        series.push((duration_ns, mean_acc));
+        let mut row = vec![
+            format!("{duration_ns:.0}"),
+            format!("{:.4}", mean_acc),
+            format!("{:.4}", report.geometric_mean_fidelity()),
+        ];
+        row.extend(report.per_qubit_fidelity.iter().map(|f| format!("{f:.3}")));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 5(b): mean accuracy vs readout duration (refit per duration)",
+        &["ns", "mean acc", "F5Q", "Q1", "Q2", "Q3", "Q4", "Q5"],
+        &rows,
+    );
+
+    let full = series.last().expect("nonempty sweep").1;
+    let at_800 = series
+        .iter()
+        .find(|(ns, _)| (*ns - 800.0).abs() < 1.0)
+        .expect("800 ns point")
+        .1;
+    println!(
+        "\n1000 ns -> 800 ns: mean accuracy {:.4} -> {:.4} (delta {:+.4})",
+        full,
+        at_800,
+        at_800 - full
+    );
+    println!(
+        "Paper claim: a 200 ns (20%) shorter readout costs almost no accuracy, \
+         enabling faster leakage detection and a ~17% shorter QEC cycle (Sec. VII-B)."
+    );
+}

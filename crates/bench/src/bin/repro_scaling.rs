@@ -1,0 +1,77 @@
+//! Scaling study backing Sec. IV-C: model size and FPGA feasibility of the
+//! three architectures as the qubit count and level count grow.
+//!
+//! The paper's argument is analytic — joint classifiers carry a `kⁿ`
+//! output layer while the proposed per-qubit heads grow polynomially
+//! (`O(nk²)` input, `n` heads). This sweep instantiates all three designs
+//! across `(n, k)` with the Fig. 1(d)/5(a) hardware model and prints the
+//! weight counts, LUT demand, and the feasibility frontier on the paper's
+//! xczu7ev part.
+
+use mlr_bench::print_table;
+use mlr_fpga::{max_feasible_qubits, scaling_study, FpgaDevice};
+
+fn main() {
+    let device = FpgaDevice::xczu7ev();
+    let qubit_counts = [2usize, 3, 5, 8, 10, 15, 20];
+    let level_counts = [2usize, 3, 4];
+    let points = scaling_study(&qubit_counts, &level_counts, 500, &device);
+
+    for &k in &level_counts {
+        let rows: Vec<Vec<String>> = qubit_counts
+            .iter()
+            .flat_map(|&n| {
+                ["OURS", "HERQULES", "FNN"].iter().map(move |&d| (n, d))
+            })
+            .map(|(n, design)| {
+                let p = points
+                    .iter()
+                    .find(|p| p.design == design && p.n_qubits == n && p.levels == k)
+                    .expect("swept point");
+                vec![
+                    format!("{n}"),
+                    design.to_owned(),
+                    format!("{}", p.joint_states),
+                    format!("{}", p.nn_weights),
+                    format!("{}", p.estimate.luts),
+                    if p.fits { "yes".into() } else { "NO".to_owned() },
+                    p.min_reuse
+                        .map_or("never".to_owned(), |r| format!("R={r}")),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Sec. IV-C scaling sweep at k = {k} levels (xczu7ev, 500-sample traces)"),
+            &[
+                "n",
+                "design",
+                "k^n states",
+                "NN weights",
+                "LUTs",
+                "fits @R=1?",
+                "min reuse",
+            ],
+            &rows,
+        );
+        println!();
+    }
+
+    println!("Feasibility frontier (largest swept n that fits at any reuse):");
+    for &k in &level_counts {
+        let line: Vec<String> = ["OURS", "HERQULES", "FNN"]
+            .iter()
+            .map(|&d| {
+                format!(
+                    "{d}: {}",
+                    max_feasible_qubits(&points, d, k)
+                        .map_or("never".to_owned(), |n| format!("n <= {n}"))
+                )
+            })
+            .collect();
+        println!("  k = {k}: {}", line.join(", "));
+    }
+    println!(
+        "\nShape to match (paper Sec. IV-C): OURS polynomial in (n, k); \
+         HERQULES and FNN exponential in n via the k^n output layer."
+    );
+}

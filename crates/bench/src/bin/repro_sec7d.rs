@@ -1,0 +1,43 @@
+//! Reproduces Sec. VII-D: power consumption of the proposed design's NN
+//! engine under the 45 nm model.
+//!
+//! Paper: 1.561 mW total power at a 1 GHz clock with a 5-cycle (5 ns)
+//! latency.
+
+use mlr_bench::print_table;
+use mlr_fpga::{DiscriminatorHw, PowerModel};
+
+fn main() {
+    let model = PowerModel::tsmc45();
+    let designs = [
+        DiscriminatorHw::ours_paper(5, 3, 500),
+        DiscriminatorHw::herqules_paper(5, 3, 500),
+        DiscriminatorHw::fnn_paper(5, 3, 500),
+    ];
+    // Back-to-back 1 us readouts -> 1 MHz inference rate.
+    let rate = 1.0e6;
+
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|hw| {
+            vec![
+                hw.name.clone(),
+                format!("{}", hw.nn_weights),
+                format!("{:.3}", model.nn_power_mw(hw, rate)),
+                format!("{:.1}", model.energy_per_inference_pj(hw) / 1000.0),
+                format!("{:.0}", model.latency_ns(hw)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sec. VII-D: 45 nm power model at 1 GHz, 1 MHz inference rate",
+        &["Design", "weights", "power (mW)", "energy/inf (nJ)", "latency (ns)"],
+        &rows,
+    );
+    println!(
+        "\nPaper: proposed design draws 1.561 mW at 1 GHz with 5 ns latency; \
+         model reproduces {:.3} mW / {:.0} ns.",
+        model.nn_power_mw(&designs[0], rate),
+        model.latency_ns(&designs[0])
+    );
+}

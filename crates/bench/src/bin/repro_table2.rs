@@ -1,0 +1,26 @@
+//! Reproduces Table II: three-level readout fidelity of the existing
+//! state-of-the-art designs (FNN vs HERQULES), with the cumulative
+//! accuracy `F5Q = (F1 F2 F3 F4 F5)^(1/5)`.
+//!
+//! Paper: FNN 0.967/0.728/0.927/0.932/0.962 → 0.898;
+//! HERQULES 0.598/0.549/0.608/0.607/0.594 → 0.591.
+
+use mlr_bench::{fidelity_row, print_table, run_fidelity_study, seed, shots_per_state};
+
+fn main() {
+    let study = run_fidelity_study(shots_per_state(), seed());
+    let rows = vec![fidelity_row(&study.fnn), fidelity_row(&study.herqules)];
+    print_table(
+        "Table II: three-level readout fidelity of existing designs",
+        &["Design", "Qubit 1", "Qubit 2", "Qubit 3", "Qubit 4", "Qubit 5", "F5Q"],
+        &rows,
+    );
+    println!("\nPaper: FNN 0.967 0.728 0.927 0.932 0.962 | 0.898");
+    println!("       HERQULES 0.598 0.549 0.608 0.607 0.594 | 0.591");
+    println!(
+        "\nShape check: FNN F5Q {:.4} > HERQULES F5Q {:.4} (HERQULES degrades at 3 levels: \
+         its joint k^n output cannot track rare leaked states)",
+        study.fnn.geometric_mean_fidelity(),
+        study.herqules.geometric_mean_fidelity()
+    );
+}

@@ -1,0 +1,43 @@
+//! Reproduces Table V: single-quantum-state (per-qubit) three-level
+//! fidelity of the discriminant-analysis baselines vs the neural designs,
+//! on the two leakage-prone qubits.
+//!
+//! Paper (qubits 3 and 4): LDA 0.8966/0.9181, QDA 0.914/0.921,
+//! NN 0.939/0.926, OURS 0.959/0.930.
+
+use mlr_bench::{print_table, run_fidelity_study, seed, shots_per_state};
+
+fn main() {
+    let study = run_fidelity_study(shots_per_state(), seed());
+    // Qubits 3 and 4 are indices 2 and 3.
+    let mut rows = Vec::new();
+    for (label, q) in [("Qubit 3", 2usize), ("Qubit 4", 3usize)] {
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.4}", study.lda.per_qubit_fidelity[q]),
+            format!("{:.4}", study.qda.per_qubit_fidelity[q]),
+            format!("{:.4}", study.fnn.per_qubit_fidelity[q]),
+            format!("{:.4}", study.ours.per_qubit_fidelity[q]),
+        ]);
+    }
+    print_table(
+        "Table V: single-qubit three-level fidelity (leakage-prone qubits)",
+        &["", "LDA", "QDA", "NN", "OURS"],
+        &rows,
+    );
+    println!("\nPaper: Qubit 3: LDA 0.8966  QDA 0.914  NN 0.939  OURS 0.959");
+    println!("       Qubit 4: LDA 0.9181  QDA 0.921  NN 0.926  OURS 0.930");
+    for q in [2usize, 3] {
+        let (lda, ours) = (
+            study.lda.per_qubit_fidelity[q],
+            study.ours.per_qubit_fidelity[q],
+        );
+        println!(
+            "Shape check qubit {}: OURS {:.4} vs LDA {:.4} ({:+.1}% absolute)",
+            q + 1,
+            ours,
+            lda,
+            100.0 * (ours - lda)
+        );
+    }
+}

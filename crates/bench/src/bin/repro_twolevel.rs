@@ -1,0 +1,88 @@
+//! Reproduces the Sec. IV-B crossover claim: "While the HERQULES design
+//! outperforms FNN for two-level readout, it struggles with the increased
+//! complexity of three-level readout."
+//!
+//! Two studies on the five-qubit paper chip at the same shot budget:
+//!
+//! * **two-level**: all 32 computational basis states prepared and
+//!   labelled as prepared (the ISCA '23 setting) — HERQULES' matched-filter
+//!   features beat the raw-trace FNN at a fraction of its size;
+//! * **three-level**: the natural-leakage methodology of the main tables —
+//!   the exponential joint output flips the ordering (Table II).
+//!
+//! `MLR_SHOTS` / `MLR_SEED` scale the run as for the other binaries.
+
+use mlr_baselines::{FnnBaseline, FnnConfig, HerqulesBaseline, HerqulesConfig};
+use mlr_bench::{fidelity_row, print_table, seed, shots_per_state};
+use mlr_core::{evaluate, Discriminator, EvalReport};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn fit_pair(dataset: &TraceDataset, seed: u64) -> (EvalReport, EvalReport, usize, usize) {
+    let split = dataset.paper_split(seed);
+    let herq = HerqulesBaseline::fit(dataset, &split, &HerqulesConfig::default());
+    let fnn = FnnBaseline::fit(dataset, &split, &FnnConfig::default());
+    (
+        evaluate(&herq, dataset, &split.test),
+        evaluate(&fnn, dataset, &split.test),
+        herq.weight_count(),
+        fnn.weight_count(),
+    )
+}
+
+fn main() {
+    let chip = ChipConfig::five_qubit_paper();
+    let shots = shots_per_state();
+    let seed = seed();
+
+    eprintln!("[twolevel] generating two-level dataset (32 states x {shots})...");
+    let ds2 = TraceDataset::generate(&chip, 2, shots, seed);
+    let (herq2, fnn2, w_herq2, w_fnn2) = fit_pair(&ds2, seed);
+
+    eprintln!("[twolevel] generating three-level natural-leakage dataset...");
+    let ds3 = TraceDataset::generate_natural(&chip, shots, seed);
+    let (herq3, fnn3, w_herq3, w_fnn3) = fit_pair(&ds3, seed);
+
+    let qubit_headers: Vec<&str> = ["design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"].to_vec();
+    print_table(
+        &format!("Two-level readout (HERQULES {w_herq2} vs FNN {w_fnn2} weights)"),
+        &qubit_headers,
+        &[fidelity_row(&herq2), fidelity_row(&fnn2)],
+    );
+    print_table(
+        &format!("Three-level readout (HERQULES {w_herq3} vs FNN {w_fnn3} weights)"),
+        &qubit_headers,
+        &[fidelity_row(&herq3), fidelity_row(&fnn3)],
+    );
+
+    let f = |r: &EvalReport| r.geometric_mean_fidelity();
+    println!(
+        "\nTwo-level: HERQULES−FNN = {:+.4} (paper: HERQULES wins its home turf, \
+         here with {}x fewer weights).",
+        f(&herq2) - f(&fnn2),
+        w_fnn2 / w_herq2
+    );
+    println!(
+        "Three-level: HERQULES F5Q drops {:.4} -> {:.4} on the same chip — the \
+         Sec. IV-B/Fig. 1(c)\ndegradation. (The FNN row under-trains at \
+         reproduction scale — deviation D1 in\nEXPERIMENTS.md — so the paper's \
+         FNN>HERQULES three-level ordering is out of reach here;\nthe \
+         within-HERQULES collapse and its mechanism below are the reproducible \
+         shape.)",
+        f(&herq2),
+        f(&herq3)
+    );
+    // Leak recall is the mechanism behind the three-level flip; print it so
+    // the transcript carries the explanation, not just the ordering.
+    let leak_recall = |r: &EvalReport| -> String {
+        r.per_level_recall
+            .iter()
+            .map(|q| format!("{:.2}", q.get(2).copied().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    println!(
+        "Three-level |2> recall per qubit: HERQULES {} vs FNN {}",
+        leak_recall(&herq3),
+        leak_recall(&fnn3)
+    );
+}

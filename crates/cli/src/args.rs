@@ -1,0 +1,208 @@
+//! Flat `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Why the command line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared with no value following it.
+    MissingValue(String),
+    /// A positional token appeared where a `--flag` was expected.
+    UnexpectedPositional(String),
+    /// A flag's value failed to parse as the requested type.
+    BadValue {
+        /// The flag in question.
+        flag: String,
+        /// The raw value supplied.
+        value: String,
+    },
+    /// A flag this command does not understand.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} expects a value"),
+            ArgError::UnexpectedPositional(tok) => {
+                write!(f, "unexpected positional argument '{tok}'")
+            }
+            ArgError::BadValue { flag, value } => {
+                write!(f, "could not parse '{value}' for {flag}")
+            }
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` pairs and bare `--switch` flags of one subcommand.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_cli::Args;
+///
+/// let args = Args::parse(["--shots", "50", "--natural"].iter().map(|s| s.to_string())).unwrap();
+/// assert_eq!(args.get_or("--shots", 10usize).unwrap(), 50);
+/// assert!(args.switch("--natural"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Bare switches (no value) recognised across subcommands; anything else
+/// starting with `--` is treated as a key expecting a value.
+const SWITCHES: &[&str] = &["--natural", "--quiet", "--help"];
+
+impl Args {
+    /// Parses an iterator of argument tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on positional tokens or a trailing valueless
+    /// flag.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if !tok.starts_with("--") {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+            if SWITCHES.contains(&tok.as_str()) {
+                switches.push(tok);
+                continue;
+            }
+            match it.next() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(tok, v);
+                }
+                _ => return Err(ArgError::MissingValue(tok)),
+            }
+        }
+        Ok(Self {
+            values,
+            switches,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Typed lookup with a default when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparseable.
+    pub fn get_or<T: FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_owned(),
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// String lookup, `None` when absent.
+    pub fn get_str(&self, flag: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// `true` when the bare switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+
+    /// After all lookups, rejects any flag the command never asked about —
+    /// catching typos like `--shot 50`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnknownFlag`] naming the first stray flag.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for flag in self.values.keys() {
+            if !consumed.iter().any(|c| c == flag) {
+                return Err(ArgError::UnknownFlag(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = parse(&["--shots", "100", "--natural", "--seed", "9"]).unwrap();
+        assert_eq!(a.get_or("--shots", 0usize).unwrap(), 100);
+        assert_eq!(a.get_or("--seed", 0u64).unwrap(), 9);
+        assert!(a.switch("--natural"));
+        assert!(!a.switch("--quiet"));
+    }
+
+    #[test]
+    fn default_applies_when_absent() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.get_or("--shots", 40usize).unwrap(), 40);
+        assert_eq!(a.get_str("--model"), None);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert_eq!(
+            parse(&["train"]).unwrap_err(),
+            ArgError::UnexpectedPositional("train".into())
+        );
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert_eq!(
+            parse(&["--shots"]).unwrap_err(),
+            ArgError::MissingValue("--shots".into())
+        );
+        // A flag followed by another flag is also missing its value.
+        assert!(matches!(
+            parse(&["--shots", "--seed", "3"]),
+            Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn bad_value_names_the_flag() {
+        let a = parse(&["--shots", "many"]).unwrap();
+        let err = a.get_or("--shots", 0usize).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::BadValue {
+                flag: "--shots".into(),
+                value: "many".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = parse(&["--shot", "50"]).unwrap();
+        let _ = a.get_or("--shots", 0usize); // command asks for --shots
+        assert_eq!(
+            a.reject_unknown().unwrap_err(),
+            ArgError::UnknownFlag("--shot".into())
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Subcommand dispatch and implementations.
+
+use std::fmt;
+
+use mlr_core::{
+    evaluate, evaluate_streaming, Discriminator, ModelIoError, OursConfig, OursDiscriminator,
+    StreamingConfig, StreamingReadout,
+};
+use mlr_fpga::{max_feasible_qubits, scaling_study, DiscriminatorHw, FpgaDevice, PowerModel};
+use mlr_nn::TrainConfig;
+use mlr_qec::{EraserConfig, EraserExperiment, SpeculationMode};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+use crate::{ArgError, Args};
+
+/// Top-level usage text printed by `mlr help` and on bad invocations.
+pub const USAGE: &str = "\
+mlr — multi-level superconducting qubit readout toolkit
+
+USAGE:
+    mlr <COMMAND> [--flag value]...
+
+COMMANDS:
+    dataset    Generate a synthetic readout dataset and print its statistics
+                 --qubits N (default 5: the paper chip)  --shots N (default 40)
+                 --seed N   --samples N   --natural (harvest natural leakage)
+    train      Fit the paper's discriminator and save it as JSON
+                 --out FILE (required)  --qubits N  --shots N  --seed N
+                 --epochs N  --natural
+    eval       Evaluate a saved model on freshly simulated shots
+                 --model FILE (required)  --shots N  --seed N
+    resources  FPGA resource report for OURS / HERQULES / FNN
+                 --qubits N  --levels K  --samples N
+    scaling    Model-size and feasibility sweep across (n, k)
+                 --samples N
+    qec        ERASER vs ERASER+M leakage-speculation comparison
+                 --distance D  --cycles N  --trials N  --readout-error P
+    streaming  Adaptive readout: early-termination accuracy/duration tradeoff
+                 --qubits N  --shots N  --seed N  --samples N  --confidence P
+    help       Show this text
+";
+
+/// Why a CLI invocation failed.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown command, bad flags).
+    Usage(String),
+    /// Argument parsing failure.
+    Arg(ArgError),
+    /// Model file I/O failure.
+    Model(ModelIoError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[doc(hidden)]
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelIoError> for CliError {
+    fn from(e: ModelIoError) -> Self {
+        CliError::Model(e)
+    }
+}
+
+/// Runs one CLI invocation; `argv` excludes the program name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] describing bad usage, bad flags, or model-file
+/// failures. All command output goes to stdout.
+pub fn run(argv: Vec<String>) -> Result<(), CliError> {
+    let (command, rest) = match argv.split_first() {
+        None => return Err(CliError::Usage(USAGE.to_owned())),
+        Some((c, rest)) => (c.clone(), rest.to_vec()),
+    };
+    let args = Args::parse(rest)?;
+    if args.switch("--help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match command.as_str() {
+        "dataset" => cmd_dataset(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "resources" => cmd_resources(&args),
+        "scaling" => cmd_scaling(&args),
+        "qec" => cmd_qec(&args),
+        "streaming" => cmd_streaming(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Builds the chip from `--qubits` (5 selects the calibrated paper chip)
+/// and applies `--samples` when given.
+fn chip_from(args: &Args) -> Result<ChipConfig, CliError> {
+    let n_qubits: usize = args.get_or("--qubits", 5)?;
+    let mut chip = if n_qubits == 5 {
+        ChipConfig::five_qubit_paper()
+    } else {
+        ChipConfig::uniform(n_qubits)
+    };
+    chip.n_samples = args.get_or("--samples", chip.n_samples)?;
+    Ok(chip)
+}
+
+/// Generates per `--natural` (two-level preparation, natural leakage) or
+/// the full three-level basis.
+fn dataset_from(args: &Args, chip: &ChipConfig) -> Result<TraceDataset, CliError> {
+    let shots: usize = args.get_or("--shots", 40)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    Ok(if args.switch("--natural") {
+        TraceDataset::generate_natural(chip, shots, seed)
+    } else {
+        TraceDataset::generate(chip, 3, shots, seed)
+    })
+}
+
+fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+fn cmd_dataset(args: &Args) -> Result<(), CliError> {
+    let chip = chip_from(args)?;
+    let ds = dataset_from(args, &chip)?;
+    args.reject_unknown()?;
+    println!(
+        "{} shots on {} qubits, {} samples/trace ({} ns at {} MS/s), labels: {:?}",
+        ds.len(),
+        chip.n_qubits(),
+        chip.n_samples,
+        chip.n_samples as f64 * chip.dt_us() * 1000.0,
+        (1.0 / chip.dt_us()).round(),
+        ds.label_source(),
+    );
+    let rows: Vec<Vec<String>> = (0..chip.n_qubits())
+        .map(|q| {
+            let mut counts = [0usize; 3];
+            for i in 0..ds.len() {
+                counts[ds.label(i, q)] += 1;
+            }
+            vec![
+                format!("q{q}"),
+                counts[0].to_string(),
+                counts[1].to_string(),
+                counts[2].to_string(),
+                format!("{:.3}%", 100.0 * counts[2] as f64 / ds.len() as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "per-qubit level occupancy",
+        &["qubit", "|0>", "|1>", "|2>", "leak %"],
+        &rows,
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), CliError> {
+    let out = args
+        .get_str("--out")
+        .ok_or_else(|| CliError::Usage("train requires --out FILE".to_owned()))?
+        .to_owned();
+    let chip = chip_from(args)?;
+    let ds = dataset_from(args, &chip)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    let epochs: usize = args.get_or("--epochs", OursConfig::default().train.epochs)?;
+    args.reject_unknown()?;
+
+    let split = ds.paper_split(seed);
+    let config = OursConfig {
+        train: TrainConfig {
+            epochs,
+            seed,
+            ..OursConfig::default().train
+        },
+        ..OursConfig::default()
+    };
+    let ours = OursDiscriminator::fit(&ds, &split, &config);
+    let report = evaluate(&ours, &ds, &split.test);
+    let rows: Vec<Vec<String>> = report
+        .per_qubit_fidelity
+        .iter()
+        .enumerate()
+        .map(|(q, f)| vec![format!("q{q}"), format!("{f:.4}")])
+        .collect();
+    print_table("test fidelity", &["qubit", "balanced fidelity"], &rows);
+    println!(
+        "geometric mean {:.4}, {} NN weights",
+        report.geometric_mean_fidelity(),
+        ours.weight_count()
+    );
+    ours.save_json_file(&out)?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get_str("--model")
+        .ok_or_else(|| CliError::Usage("eval requires --model FILE".to_owned()))?
+        .to_owned();
+    let shots: usize = args.get_or("--shots", 40)?;
+    let seed: u64 = args.get_or("--seed", 1)?;
+    args.reject_unknown()?;
+
+    let ours = OursDiscriminator::load_json_file(&path)?;
+    let chip = ours.extractor().chip_config().clone();
+    let ds = TraceDataset::generate(&chip, ours.levels(), shots, seed);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let report = evaluate(&ours, &ds, &all);
+    let rows: Vec<Vec<String>> = report
+        .per_qubit_fidelity
+        .iter()
+        .enumerate()
+        .map(|(q, f)| vec![format!("q{q}"), format!("{f:.4}")])
+        .collect();
+    print_table(
+        &format!("fidelity of {path} on {} fresh shots", ds.len()),
+        &["qubit", "balanced fidelity"],
+        &rows,
+    );
+    println!("geometric mean {:.4}", report.geometric_mean_fidelity());
+    Ok(())
+}
+
+fn cmd_resources(args: &Args) -> Result<(), CliError> {
+    let n: usize = args.get_or("--qubits", 5)?;
+    let k: usize = args.get_or("--levels", 3)?;
+    let samples: usize = args.get_or("--samples", 500)?;
+    args.reject_unknown()?;
+
+    let device = FpgaDevice::xczu7ev();
+    let power = PowerModel::tsmc45();
+    let rows: Vec<Vec<String>> = [
+        DiscriminatorHw::ours_paper(n, k, samples),
+        DiscriminatorHw::herqules_paper(n, k, samples),
+        DiscriminatorHw::fnn_paper(n, k, samples),
+    ]
+    .iter()
+    .map(|hw| {
+        let est = hw.estimate(&device);
+        let util = est.utilization(&device);
+        vec![
+            hw.name.clone(),
+            hw.nn_weights.to_string(),
+            format!("{:.1}%", util.lut_pct),
+            format!("{:.1}%", util.ff_pct),
+            format!("{:.1}%", util.bram_pct),
+            format!("{:.1}%", util.dsp_pct),
+            format!("{}", hw.latency_cycles()),
+            format!("{:.3}", power.nn_power_mw(hw, 1e6)),
+            hw.speed_class(&device).to_owned(),
+        ]
+    })
+    .collect();
+    print_table(
+        &format!("{n} qubits x {k} levels on {}", device.name),
+        &[
+            "design", "weights", "LUT", "FF", "BRAM", "DSP", "cycles", "mW@1MHz", "class",
+        ],
+        &rows,
+    );
+    Ok(())
+}
+
+fn cmd_scaling(args: &Args) -> Result<(), CliError> {
+    let samples: usize = args.get_or("--samples", 500)?;
+    args.reject_unknown()?;
+    let device = FpgaDevice::xczu7ev();
+    let points = scaling_study(&[2, 5, 10, 15, 20], &[2, 3, 4], samples, &device);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.levels.to_string(),
+                p.n_qubits.to_string(),
+                p.design.clone(),
+                p.nn_weights.to_string(),
+                if p.fits { "yes".into() } else { "NO".to_owned() },
+                p.min_reuse
+                    .map_or("never".to_owned(), |r| format!("R={r}")),
+            ]
+        })
+        .collect();
+    print_table(
+        "scaling sweep",
+        &["k", "n", "design", "weights", "fits@R=1", "min reuse"],
+        &rows,
+    );
+    for k in [2usize, 3, 4] {
+        println!(
+            "k={k}: OURS feasible to n<={}, HERQULES n<={}, FNN n<={}",
+            max_feasible_qubits(&points, "OURS", k).unwrap_or(0),
+            max_feasible_qubits(&points, "HERQULES", k).unwrap_or(0),
+            max_feasible_qubits(&points, "FNN", k).unwrap_or(0),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_qec(args: &Args) -> Result<(), CliError> {
+    let distance: usize = args.get_or("--distance", 7)?;
+    let cycles: usize = args.get_or("--cycles", 10)?;
+    let trials: usize = args.get_or("--trials", 200)?;
+    let readout_error: f64 = args.get_or("--readout-error", 0.05)?;
+    let seed: u64 = args.get_or("--seed", 71)?;
+    args.reject_unknown()?;
+
+    let config = EraserConfig {
+        distance,
+        cycles,
+        trials,
+        seed,
+        ..EraserConfig::default()
+    };
+    let experiment = EraserExperiment::new(config);
+    let base = experiment.run(SpeculationMode::Eraser);
+    let multi = experiment.run(SpeculationMode::EraserM { readout_error });
+    let rows = vec![
+        vec![
+            "ERASER".to_owned(),
+            format!("{:.3}", base.speculation_accuracy),
+            format!("{:.2e}", base.leakage_population),
+        ],
+        vec![
+            format!("ERASER+M (err {readout_error})"),
+            format!("{:.3}", multi.speculation_accuracy),
+            format!("{:.2e}", multi.leakage_population),
+        ],
+    ];
+    print_table(
+        &format!("d={distance}, {cycles} cycles, {trials} trials"),
+        &["design", "speculation accuracy", "leakage population"],
+        &rows,
+    );
+    Ok(())
+}
+
+fn cmd_streaming(args: &Args) -> Result<(), CliError> {
+    let chip = chip_from(args)?;
+    let ds = dataset_from(args, &chip)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    let confidence: f64 = args.get_or("--confidence", 0.9)?;
+    args.reject_unknown()?;
+
+    let split = ds.paper_split(seed);
+    let n = chip.n_samples;
+    let checkpoints = vec![3 * n / 5, 4 * n / 5, n];
+    let dt_ns = chip.dt_us() * 1000.0;
+    let mut rows = Vec::new();
+    for (label, conf) in [(format!("{confidence}"), confidence), ("never".to_owned(), 2.0)] {
+        let readout = StreamingReadout::fit(
+            &ds,
+            &split,
+            &StreamingConfig {
+                checkpoints: checkpoints.clone(),
+                confidence: conf,
+                base: OursConfig::default(),
+            },
+        );
+        let report = evaluate_streaming(&readout, &ds, &split.test);
+        let mean_f = report.per_qubit_fidelity.iter().sum::<f64>()
+            / report.per_qubit_fidelity.len() as f64;
+        rows.push(vec![
+            label,
+            format!("{mean_f:.4}"),
+            format!("{:.0}", report.mean_duration_ns(dt_ns)),
+            report
+                .checkpoint_counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]);
+    }
+    print_table(
+        &format!(
+            "adaptive readout (checkpoints {} samples)",
+            checkpoints
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        ),
+        &["confidence", "mean fidelity", "mean dur (ns)", "decided at cp"],
+        &rows,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<(), CliError> {
+        run(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_tokens(&["help"]).is_ok());
+        let err = run_tokens(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        assert!(run_tokens(&[]).is_err());
+    }
+
+    #[test]
+    fn dataset_command_runs_small() {
+        run_tokens(&[
+            "dataset", "--qubits", "2", "--shots", "3", "--samples", "60", "--seed", "4",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn dataset_rejects_typo_flag() {
+        let err = run_tokens(&["dataset", "--qubit", "2"]).unwrap_err();
+        assert!(err.to_string().contains("--qubit"), "{err}");
+    }
+
+    #[test]
+    fn resources_and_scaling_run() {
+        run_tokens(&["resources", "--qubits", "5", "--levels", "3"]).unwrap();
+        run_tokens(&["scaling", "--samples", "500"]).unwrap();
+    }
+
+    #[test]
+    fn qec_runs_tiny() {
+        run_tokens(&[
+            "qec",
+            "--distance",
+            "3",
+            "--cycles",
+            "2",
+            "--trials",
+            "5",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn streaming_runs_small() {
+        run_tokens(&[
+            "streaming", "--qubits", "2", "--shots", "20", "--samples", "150", "--seed", "3",
+            "--confidence", "0.8",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn train_then_eval_roundtrip() {
+        let dir = std::env::temp_dir().join("mlr_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        let model_str = model.to_str().unwrap();
+        run_tokens(&[
+            "train", "--qubits", "2", "--shots", "8", "--samples", "100", "--epochs", "4",
+            "--seed", "3", "--out", model_str,
+        ])
+        .unwrap();
+        run_tokens(&["eval", "--model", model_str, "--shots", "4", "--seed", "9"]).unwrap();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn train_requires_out() {
+        let err = run_tokens(&["train", "--shots", "2"]).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn eval_missing_model_file_is_io_error() {
+        let err =
+            run_tokens(&["eval", "--model", "/nonexistent/mlr.json"]).unwrap_err();
+        assert!(matches!(err, CliError::Model(_)), "{err}");
+    }
+}

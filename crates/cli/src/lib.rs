@@ -1,0 +1,18 @@
+//! Argument parsing and command implementations for the `mlr` binary.
+//!
+//! The CLI is the downstream-user entry point to the workspace: generate a
+//! synthetic readout dataset, train and save the paper's discriminator,
+//! evaluate a saved model against fresh shots, and print the FPGA-resource
+//! / QEC-impact reports — all without writing Rust.
+//!
+//! Parsing is a deliberate ~100 lines of `--key value` handling rather
+//! than a dependency: the grammar is flat, and the library crates carry
+//! all the real behaviour.
+
+#![deny(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError, USAGE};

@@ -1,0 +1,44 @@
+//! Clustering algorithms for calibration-free leakage discovery.
+//!
+//! Sec. V-A of the paper identifies naturally occurring leakage by
+//! *spectral clustering* of Mean Trace Value (MTV) points: most traces fall
+//! into the two computational-state lobes, and the small third cluster is
+//! leaked. This crate implements the required pieces from scratch:
+//! [`KMeans`] (k-means++ initialisation + Lloyd iterations), and
+//! [`SpectralClustering`] (k-nearest-neighbour affinity graph, normalised
+//! graph Laplacian, smallest-eigenvector embedding, k-means on the
+//! embedding), plus a [`silhouette_score`] quality metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_cluster::KMeans;
+//!
+//! let pts = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+//!     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
+//! ];
+//! let result = KMeans::new(2).with_seed(1).fit(&pts);
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[3]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod kmeans;
+mod metrics;
+mod spectral;
+
+pub use kmeans::{KMeans, KMeansResult};
+pub use metrics::silhouette_score;
+pub use spectral::{SpectralClustering, SpectralResult};
+
+/// Squared Euclidean distance between two equal-length points.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub(crate) fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}

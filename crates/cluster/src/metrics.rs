@@ -1,0 +1,118 @@
+//! Clustering quality metrics.
+
+use crate::dist_sq;
+
+/// Mean silhouette score of a labelled clustering, in `[-1, 1]`; higher is
+/// better. Points in singleton clusters contribute 0, following the usual
+/// convention.
+///
+/// Cost is `O(n²)`; intended for the subsampled cluster sizes used in this
+/// workspace.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or fewer than two clusters are present.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_cluster::silhouette_score;
+///
+/// let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let labels = vec![0, 0, 1, 1];
+/// assert!(silhouette_score(&pts, &labels) > 0.9);
+/// ```
+pub fn silhouette_score(points: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "silhouette needs at least two clusters");
+    let n = points.len();
+
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        if sizes[labels[i]] <= 1 {
+            continue; // singleton contributes 0
+        }
+        // Mean distance to every cluster.
+        let mut sum = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sum[labels[j]] += dist_sq(&points[i], &points[j]).sqrt();
+            }
+        }
+        let own = labels[i];
+        let a = sum[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sum[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_scores_high() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.2],
+            vec![20.0, 0.0],
+            vec![20.0, 0.2],
+        ];
+        assert!(silhouette_score(&pts, &[0, 0, 1, 1]) > 0.95);
+    }
+
+    #[test]
+    fn shuffled_labels_score_poorly() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.2],
+            vec![20.0, 0.0],
+            vec![20.0, 0.2],
+        ];
+        let good = silhouette_score(&pts, &[0, 0, 1, 1]);
+        let bad = silhouette_score(&pts, &[0, 1, 0, 1]);
+        assert!(bad < 0.0 && bad < good);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let pts = vec![vec![0.0], vec![0.1], vec![5.0]];
+        let s = silhouette_score(&pts, &[0, 0, 1]);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn rejects_single_cluster() {
+        let _ = silhouette_score(&[vec![0.0], vec![1.0]], &[0, 0]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Silhouette scores always land in [-1, 1].
+        #[test]
+        fn silhouette_is_bounded(
+            xs in proptest::collection::vec(-10.0f64..10.0, 8..30),
+        ) {
+            let points: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let labels: Vec<usize> = (0..points.len()).map(|i| i % 2).collect();
+            let s = silhouette_score(&points, &labels);
+            prop_assert!((-1.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The fixed-point deployment of a trained discriminator.
+//!
+//! [`OursDiscriminator::predict_features_quantized`] estimates the accuracy
+//! cost of quantisation but rebuilds a quantised head on every call — fine
+//! for a spot check, wasteful in a sweep. [`DeployedDiscriminator`]
+//! quantises once, holds the per-qubit heads as [`IntMlp`] integer
+//! datapaths (bit-identical to the float quantisation model, see
+//! `mlr-nn::intmlp`), and serves predictions at full speed. This is the
+//! software twin of the bitstream an hls4ml flow would generate from the
+//! same weights.
+
+use mlr_num::Complex;
+use mlr_nn::{FixedPointFormat, IntMlp, Standardizer};
+
+use crate::{Discriminator, FeatureExtractor, OursDiscriminator};
+
+/// A trained pipeline frozen into fixed-point heads.
+///
+/// The analog front end (demodulation + matched-filter dot products) stays
+/// in host precision — on the FPGA those run in wide DSP48 arithmetic whose
+/// rounding is negligible next to the heads' narrow weights, which is where
+/// the paper's precision analysis applies.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlr_core::{DeployedDiscriminator, Discriminator, OursConfig, OursDiscriminator};
+/// use mlr_nn::FixedPointFormat;
+/// use mlr_sim::{ChipConfig, TraceDataset};
+///
+/// let chip = ChipConfig::five_qubit_paper();
+/// let dataset = TraceDataset::generate(&chip, 3, 50, 7);
+/// let split = dataset.paper_split(7);
+/// let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
+/// let deployed = DeployedDiscriminator::new(&ours, FixedPointFormat::HLS4ML_DEFAULT);
+/// let decision = deployed.predict_shot(&dataset.shots()[0].raw);
+/// println!("integer decision: {decision:?}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeployedDiscriminator {
+    extractor: FeatureExtractor,
+    standardizer: Standardizer,
+    heads: Vec<IntMlp>,
+    format: FixedPointFormat,
+    levels: usize,
+}
+
+impl DeployedDiscriminator {
+    /// Quantises every head of a trained discriminator to `format`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `format` is wider than 24 bits (see
+    /// [`IntMlp::from_mlp`]).
+    pub fn new(source: &OursDiscriminator, format: FixedPointFormat) -> Self {
+        Self {
+            extractor: source.extractor.clone(),
+            standardizer: source.standardizer.clone(),
+            heads: source
+                .heads
+                .iter()
+                .map(|h| IntMlp::from_mlp(h, format))
+                .collect(),
+            format,
+            levels: source.levels,
+        }
+    }
+
+    /// The deployed word format.
+    pub fn format(&self) -> FixedPointFormat {
+        self.format
+    }
+
+    /// Borrows qubit `q`'s integer head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn head(&self, q: usize) -> &IntMlp {
+        &self.heads[q]
+    }
+
+    /// Level-alphabet size.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Classifies a pre-extracted (raw, unstandardised) merged feature
+    /// vector through the integer heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the extractor's dimension.
+    pub fn predict_features(&self, features: &[f64]) -> Vec<usize> {
+        let x = self.standardizer.transform_f32(features);
+        self.heads.iter().map(|h| h.predict(&x)).collect()
+    }
+}
+
+impl Discriminator for DeployedDiscriminator {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        self.predict_features(&self.extractor.extract(raw))
+    }
+
+    fn name(&self) -> &str {
+        "OURS-INT"
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn weight_count(&self) -> usize {
+        // Same weights as the source model, now stored as integers.
+        self.heads
+            .iter()
+            .map(|h| {
+                h.sizes()
+                    .windows(2)
+                    .map(|w| w[0] * w[1])
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, OursConfig};
+    use mlr_nn::TrainConfig;
+    use mlr_sim::{ChipConfig, TraceDataset};
+
+    fn fitted() -> (TraceDataset, mlr_sim::DatasetSplit, OursDiscriminator) {
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = 200;
+        let ds = TraceDataset::generate(&c, 3, 30, 19);
+        let split = ds.split(0.6, 0.1, 19);
+        let config = OursConfig {
+            train: TrainConfig {
+                epochs: 20,
+                ..OursConfig::default().train
+            },
+            ..OursConfig::default()
+        };
+        let ours = OursDiscriminator::fit(&ds, &split, &config);
+        (ds, split, ours)
+    }
+
+    #[test]
+    fn matches_per_call_quantisation_exactly() {
+        let (ds, split, ours) = fitted();
+        let fmt = FixedPointFormat::HLS4ML_DEFAULT;
+        let deployed = DeployedDiscriminator::new(&ours, fmt);
+        for &i in split.test.iter().take(60) {
+            let feats = ours.extractor().extract(&ds.shots()[i].raw);
+            assert_eq!(
+                deployed.predict_features(&feats),
+                ours.predict_features_quantized(&feats, fmt),
+                "shot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_deployment_keeps_accuracy() {
+        let (ds, split, ours) = fitted();
+        let deployed = DeployedDiscriminator::new(&ours, FixedPointFormat::HLS4ML_DEFAULT);
+        let f_float = evaluate(&ours, &ds, &split.test).geometric_mean_fidelity();
+        let f_int = evaluate(&deployed, &ds, &split.test).geometric_mean_fidelity();
+        assert!(
+            (f_float - f_int).abs() < 0.02,
+            "float {f_float:.4} vs int {f_int:.4}"
+        );
+    }
+
+    #[test]
+    fn coarse_words_degrade_more() {
+        let (ds, split, ours) = fitted();
+        let f16 = evaluate(
+            &DeployedDiscriminator::new(&ours, FixedPointFormat::new(16, 6)),
+            &ds,
+            &split.test,
+        )
+        .geometric_mean_fidelity();
+        let f6 = evaluate(
+            &DeployedDiscriminator::new(&ours, FixedPointFormat::new(6, 3)),
+            &ds,
+            &split.test,
+        )
+        .geometric_mean_fidelity();
+        assert!(f16 >= f6 - 1e-9, "16-bit {f16:.4} vs 6-bit {f6:.4}");
+    }
+
+    #[test]
+    fn metadata_mirrors_source() {
+        let (_, _, ours) = fitted();
+        let deployed = DeployedDiscriminator::new(&ours, FixedPointFormat::HLS4ML_DEFAULT);
+        assert_eq!(deployed.n_qubits(), 2);
+        assert_eq!(deployed.levels(), 3);
+        assert_eq!(deployed.weight_count(), ours.weight_count());
+        assert_eq!(deployed.name(), "OURS-INT");
+        assert_eq!(deployed.head(0).sizes(), ours.head(0).sizes());
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end feature extraction: raw multiplexed trace → merged
+//! matched-filter scores from every qubit (Fig. 4(a)–(b)).
+
+use mlr_dsp::{iq_features, Demodulator, MatchedFilterKind};
+use mlr_num::Complex;
+use mlr_sim::{ChipConfig, TraceDataset};
+use rayon::prelude::*;
+
+use crate::QubitMfBank;
+
+/// Demodulates a raw trace and scores every qubit's matched-filter bank,
+/// merging the scores into one feature vector (`9 × n` entries for the
+/// paper's three-level banks).
+///
+/// The same extractor (with `include_emf = false`) produces HERQULES'
+/// `6 × n` feature vector, which is how the baseline shares this code path.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    chip: ChipConfig,
+    demod: Demodulator,
+    banks: Vec<QubitMfBank>,
+}
+
+impl FeatureExtractor {
+    /// Fits one matched-filter bank per qubit from the training shots of
+    /// `dataset` selected by `train_indices`.
+    ///
+    /// Returns `None` if any qubit is missing a level in the training
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_indices` is empty or out of range.
+    pub fn fit(
+        dataset: &TraceDataset,
+        train_indices: &[usize],
+        include_emf: bool,
+        kind: MatchedFilterKind,
+    ) -> Option<Self> {
+        assert!(!train_indices.is_empty(), "no training shots");
+        let config = dataset.config();
+        let demod = Demodulator::new(config);
+        let levels = dataset.levels();
+
+        let banks: Option<Vec<QubitMfBank>> = (0..config.n_qubits())
+            .into_par_iter()
+            .map(|q| {
+                let features: Vec<Vec<f64>> = train_indices
+                    .iter()
+                    .map(|&i| iq_features(&demod.demodulate(&dataset.shots()[i].raw, q)))
+                    .collect();
+                let labels: Vec<usize> =
+                    train_indices.iter().map(|&i| dataset.label(i, q)).collect();
+                QubitMfBank::fit(&features, &labels, levels, include_emf, kind)
+            })
+            .collect();
+
+        Some(Self {
+            chip: config.clone(),
+            demod,
+            banks: banks?,
+        })
+    }
+
+    /// Reassembles an extractor from a chip description and fitted banks —
+    /// the deserialisation path of [`crate::SavedModel`]. The demodulator
+    /// is derived data and is rebuilt from `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or its length differs from the chip's
+    /// qubit count.
+    pub fn from_parts(chip: ChipConfig, banks: Vec<QubitMfBank>) -> Self {
+        assert!(!banks.is_empty(), "no banks");
+        assert_eq!(banks.len(), chip.n_qubits(), "bank count != qubit count");
+        let demod = Demodulator::new(&chip);
+        Self { chip, demod, banks }
+    }
+
+    /// The chip description the extractor was fitted for.
+    pub fn chip_config(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Scores per qubit (9 for the full three-level bank).
+    pub fn per_qubit_dim(&self) -> usize {
+        self.banks.first().map_or(0, QubitMfBank::n_filters)
+    }
+
+    /// Total merged feature dimensionality (`per_qubit_dim × n_qubits`).
+    pub fn feature_dim(&self) -> usize {
+        self.banks.iter().map(QubitMfBank::n_filters).sum()
+    }
+
+    /// Borrows qubit `q`'s bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn bank(&self, q: usize) -> &QubitMfBank {
+        &self.banks[q]
+    }
+
+    /// Extracts the merged feature vector of one raw trace: demodulate each
+    /// channel, score its bank, concatenate in qubit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is longer than the configured readout window.
+    pub fn extract(&self, raw: &[Complex]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.feature_dim());
+        for (q, bank) in self.banks.iter().enumerate() {
+            let baseband = self.demod.demodulate(raw, q);
+            out.extend(bank.apply(&iq_features(&baseband)));
+        }
+        out
+    }
+
+    /// Extracts features for many dataset shots in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn extract_batch(&self, dataset: &TraceDataset, indices: &[usize]) -> Vec<Vec<f64>> {
+        indices
+            .par_iter()
+            .map(|&i| self.extract(&dataset.shots()[i].raw))
+            .collect()
+    }
+
+    /// Merged partial feature vector after only the first `n_samples` of a
+    /// raw trace, scored against the full-length kernels — what a streaming
+    /// accumulator holds mid-readout. At `n_samples == raw.len()` (full
+    /// trace) this equals [`FeatureExtractor::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_samples` exceeds the trace or the configured window.
+    pub fn extract_prefix(&self, raw: &[Complex], n_samples: usize) -> Vec<f64> {
+        assert!(n_samples <= raw.len(), "prefix longer than trace");
+        let mut out = Vec::with_capacity(self.feature_dim());
+        for (q, bank) in self.banks.iter().enumerate() {
+            let baseband = self.demod.demodulate(&raw[..n_samples], q);
+            out.extend(bank.apply_prefix(&baseband));
+        }
+        out
+    }
+
+    /// Extracts prefix features for many dataset shots in parallel.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FeatureExtractor::extract_prefix`]; indices must be in
+    /// range.
+    pub fn extract_prefix_batch(
+        &self,
+        dataset: &TraceDataset,
+        indices: &[usize],
+        n_samples: usize,
+    ) -> Vec<Vec<f64>> {
+        indices
+            .par_iter()
+            .map(|&i| self.extract_prefix(&dataset.shots()[i].raw, n_samples))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_sim::ChipConfig;
+
+    fn small_dataset() -> TraceDataset {
+        let mut c = ChipConfig::five_qubit_paper();
+        c.n_samples = 60;
+        // Boost leakage so every level is present with few shots.
+        TraceDataset::generate(&c, 3, 6, 13)
+    }
+
+    #[test]
+    fn merged_feature_dimensions_match_paper() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .expect("all levels present");
+        assert_eq!(fx.n_qubits(), 5);
+        assert_eq!(fx.per_qubit_dim(), 9);
+        assert_eq!(fx.feature_dim(), 45);
+        let f = fx.extract(&ds.shots()[0].raw);
+        assert_eq!(f.len(), 45);
+    }
+
+    #[test]
+    fn herqules_variant_has_six_per_qubit() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, false, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        assert_eq!(fx.per_qubit_dim(), 6);
+        assert_eq!(fx.feature_dim(), 30);
+    }
+
+    #[test]
+    fn batch_matches_single_extraction() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        let batch = fx.extract_batch(&ds, &[0, 5, 10]);
+        assert_eq!(batch[1], fx.extract(&ds.shots()[5].raw));
+    }
+
+    #[test]
+    fn full_length_prefix_equals_extract() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        let raw = &ds.shots()[2].raw;
+        let full = fx.extract(raw);
+        let prefix = fx.extract_prefix(raw, raw.len());
+        for (a, b) in full.iter().zip(&prefix) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Prefix features differ from full features mid-trace.
+        let early = fx.extract_prefix(raw, raw.len() / 2);
+        assert_ne!(early, full);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_a_working_extractor() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        let banks: Vec<QubitMfBank> = (0..fx.n_qubits()).map(|q| fx.bank(q).clone()).collect();
+        let rebuilt = FeatureExtractor::from_parts(fx.chip_config().clone(), banks);
+        let raw = &ds.shots()[0].raw;
+        assert_eq!(fx.extract(raw), rebuilt.extract(raw));
+    }
+
+    #[test]
+    #[should_panic(expected = "bank count != qubit count")]
+    fn from_parts_checks_bank_count() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        let _ = FeatureExtractor::from_parts(
+            fx.chip_config().clone(),
+            vec![fx.bank(0).clone()], // 1 bank for a 5-qubit chip
+        );
+    }
+
+    #[test]
+    fn features_separate_ground_from_leaked() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
+            .unwrap();
+        // QMF(0,2) score of qubit 0 (feature index 1 in its bank) should on
+        // average be higher for |2...> than |0...> preparations.
+        let roles = fx.bank(0).roles();
+        let idx = roles
+            .iter()
+            .position(|r| *r == crate::FilterRole::Qubit(0, 2))
+            .unwrap();
+        let mean_score = |target: usize| -> f64 {
+            let idxs: Vec<usize> = (0..ds.len())
+                .filter(|&i| ds.label(i, 0) == target)
+                .collect();
+            let total: f64 = idxs
+                .iter()
+                .map(|&i| fx.extract(&ds.shots()[i].raw)[idx])
+                .sum();
+            total / idxs.len() as f64
+        };
+        assert!(mean_score(2) > mean_score(0));
+    }
+}

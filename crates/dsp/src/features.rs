@@ -1,0 +1,161 @@
+//! Trace-level feature extraction: real feature vectors and the Mean Trace
+//! Value (MTV) of Sec. V-A.
+
+use mlr_num::Complex;
+
+/// Flattens a complex trace into a real feature vector: all I samples
+/// followed by all Q samples (length `2 * trace.len()`).
+///
+/// This is the layout fed to matched filters and to the raw-trace FNN
+/// baseline (500 I + 500 Q = 1000 inputs in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::iq_features;
+/// use mlr_num::Complex;
+///
+/// let f = iq_features(&[Complex::new(1.0, 3.0), Complex::new(2.0, 4.0)]);
+/// assert_eq!(f, vec![1.0, 2.0, 3.0, 4.0]);
+/// ```
+pub fn iq_features(trace: &[Complex]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(trace.len() * 2);
+    out.extend(trace.iter().map(|z| z.re));
+    out.extend(trace.iter().map(|z| z.im));
+    out
+}
+
+/// Mean Trace Value: the temporal mean of a trace, one point in the IQ
+/// plane per trace.
+///
+/// The paper (Sec. V-A) clusters MTV points to find naturally occurring
+/// leakage without explicit `|2⟩` calibration; numerically the MTV is
+/// identical to [`crate::integrate`], re-exported here under the paper's
+/// name for readability at call sites.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::mean_trace_value;
+/// use mlr_num::Complex;
+///
+/// let mtv = mean_trace_value(&[Complex::new(0.0, 2.0), Complex::new(2.0, 0.0)]);
+/// assert_eq!(mtv, Complex::new(1.0, 1.0));
+/// ```
+pub fn mean_trace_value(trace: &[Complex]) -> Complex {
+    crate::integrate(trace)
+}
+
+/// Total energy of a trace (sum of squared magnitudes); a cheap scalar
+/// sanity statistic used in tests and diagnostics.
+pub fn trace_energy(trace: &[Complex]) -> f64 {
+    trace.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Single-bin discrete Fourier transform of a complex trace at an
+/// arbitrary frequency (in MHz, with `dt_us` the sample period):
+/// `X(f) = Σ_n x[n] e^{-i 2π f n dt}`, normalised by the sample count.
+///
+/// The per-tone probe a multiplexed readout chain uses for diagnostics:
+/// evaluate it at each qubit's intermediate frequency to measure tone
+/// power and at the neighbours' frequencies to measure inter-channel
+/// leakage — without computing a full FFT (the classic Goertzel use).
+///
+/// Returns zero for an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::tone_amplitude;
+/// use mlr_num::Complex;
+///
+/// // Unit tone at 25 MHz, sampled at 500 MS/s.
+/// let dt = 0.002; // µs
+/// let trace: Vec<Complex> = (0..500)
+///     .map(|n| Complex::cis(std::f64::consts::TAU * 25.0 * n as f64 * dt))
+///     .collect();
+/// assert!((tone_amplitude(&trace, 25.0, dt).abs() - 1.0).abs() < 1e-9);
+/// assert!(tone_amplitude(&trace, 75.0, dt).abs() < 0.01);
+/// ```
+pub fn tone_amplitude(trace: &[Complex], freq_mhz: f64, dt_us: f64) -> Complex {
+    if trace.is_empty() {
+        return Complex::ZERO;
+    }
+    let step = Complex::cis(-std::f64::consts::TAU * freq_mhz * dt_us);
+    let mut phasor = Complex::ONE;
+    let mut acc = Complex::ZERO;
+    for &z in trace {
+        acc += z * phasor;
+        phasor = phasor * step;
+    }
+    acc / trace.len() as f64
+}
+
+/// Power (squared magnitude) of [`tone_amplitude`] at `freq_mhz`.
+pub fn tone_power(trace: &[Complex], freq_mhz: f64, dt_us: f64) -> f64 {
+    tone_amplitude(trace, freq_mhz, dt_us).norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_layout_is_i_then_q() {
+        let t = vec![
+            Complex::new(1.0, -1.0),
+            Complex::new(2.0, -2.0),
+            Complex::new(3.0, -3.0),
+        ];
+        let f = iq_features(&t);
+        assert_eq!(f[..3], [1.0, 2.0, 3.0]);
+        assert_eq!(f[3..], [-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn mtv_matches_integrate() {
+        let t = vec![Complex::new(1.0, 0.5), Complex::new(3.0, 1.5)];
+        assert_eq!(mean_trace_value(&t), crate::integrate(&t));
+    }
+
+    #[test]
+    fn energy_of_unit_trace() {
+        let t = vec![Complex::ONE; 8];
+        assert_eq!(trace_energy(&t), 8.0);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        assert!(iq_features(&[]).is_empty());
+        assert_eq!(trace_energy(&[]), 0.0);
+        assert_eq!(mean_trace_value(&[]), Complex::ZERO);
+        assert_eq!(tone_amplitude(&[], 10.0, 0.002), Complex::ZERO);
+    }
+
+    #[test]
+    fn tone_amplitude_resolves_multiplexed_tones() {
+        // Two tones of different amplitude 50 MHz apart: each probe reads
+        // back its own tone's amplitude and phase, not the neighbour's.
+        let dt = 0.002;
+        let trace: Vec<Complex> = (0..500)
+            .map(|n| {
+                let t = n as f64 * dt;
+                Complex::cis(std::f64::consts::TAU * (-25.0) * t) * 2.0
+                    + Complex::cis(std::f64::consts::TAU * 25.0 * t) * 0.5
+            })
+            .collect();
+        let a_lo = tone_amplitude(&trace, -25.0, dt);
+        let a_hi = tone_amplitude(&trace, 25.0, dt);
+        assert!((a_lo.abs() - 2.0).abs() < 1e-9, "{}", a_lo.abs());
+        assert!((a_hi.abs() - 0.5).abs() < 1e-9, "{}", a_hi.abs());
+        // And the power probe squares it.
+        assert!((tone_power(&trace, -25.0, dt) - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tone_amplitude_at_dc_is_the_mtv() {
+        let trace = vec![Complex::new(1.0, 2.0), Complex::new(3.0, -1.0)];
+        let dc = tone_amplitude(&trace, 0.0, 0.002);
+        assert!((dc - mean_trace_value(&trace)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Boxcar (averaging) filters and full-trace integration.
+
+use mlr_num::Complex;
+
+/// Integrates a complex trace to a single IQ point (the arithmetic mean of
+/// all samples) — the classic boxcar-integrated readout value used by
+/// IQ-plane discriminators such as LDA/QDA.
+///
+/// Returns zero for an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::integrate;
+/// use mlr_num::Complex;
+///
+/// let trace = vec![Complex::new(1.0, 1.0); 10];
+/// assert_eq!(integrate(&trace), Complex::new(1.0, 1.0));
+/// ```
+pub fn integrate(trace: &[Complex]) -> Complex {
+    if trace.is_empty() {
+        return Complex::ZERO;
+    }
+    trace.iter().copied().sum::<Complex>() / trace.len() as f64
+}
+
+/// Boxcar-filters and decimates a trace: averages every window of `window`
+/// consecutive samples into one output sample. A trailing partial window is
+/// averaged over its actual length.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::boxcar_decimate;
+/// use mlr_num::Complex;
+///
+/// let trace: Vec<_> = (0..6).map(|n| Complex::new(n as f64, 0.0)).collect();
+/// let out = boxcar_decimate(&trace, 2);
+/// assert_eq!(out.len(), 3);
+/// assert_eq!(out[0].re, 0.5);
+/// ```
+pub fn boxcar_decimate(trace: &[Complex], window: usize) -> Vec<Complex> {
+    assert!(window > 0, "window must be positive");
+    trace
+        .chunks(window)
+        .map(|chunk| chunk.iter().copied().sum::<Complex>() / chunk.len() as f64)
+        .collect()
+}
+
+/// Centred moving average over a real signal with an odd window of
+/// `2 * half + 1` samples, shrinking near the edges.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_dsp::moving_average;
+///
+/// let out = moving_average(&[1.0, 2.0, 3.0, 4.0, 5.0], 1);
+/// assert_eq!(out[2], 3.0);
+/// assert_eq!(out[0], 1.5); // edge window shrinks to [1, 2]
+/// ```
+pub fn moving_average(signal: &[f64], half: usize) -> Vec<f64> {
+    let n = signal.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            signal[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrate_empty_is_zero() {
+        assert_eq!(integrate(&[]), Complex::ZERO);
+    }
+
+    #[test]
+    fn integrate_averages() {
+        let t = vec![Complex::new(2.0, -2.0), Complex::new(4.0, 2.0)];
+        assert_eq!(integrate(&t), Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn boxcar_partial_window() {
+        let t: Vec<_> = (0..5).map(|n| Complex::new(n as f64, 0.0)).collect();
+        let out = boxcar_decimate(&t, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].re, 4.0); // lone trailing sample
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn boxcar_rejects_zero_window() {
+        let _ = boxcar_decimate(&[Complex::ZERO], 0);
+    }
+
+    #[test]
+    fn moving_average_constant_is_identity() {
+        let s = vec![3.0; 7];
+        assert_eq!(moving_average(&s, 2), s);
+    }
+
+    #[test]
+    fn moving_average_smooths_impulse() {
+        let mut s = vec![0.0; 9];
+        s[4] = 9.0;
+        let out = moving_average(&s, 1);
+        assert_eq!(out[3], 3.0);
+        assert_eq!(out[4], 3.0);
+        assert_eq!(out[5], 3.0);
+        assert_eq!(out[0], 0.0);
+    }
+}

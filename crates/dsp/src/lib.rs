@@ -1,0 +1,40 @@
+//! Classical signal processing for the readout chain: digital
+//! down-conversion, boxcar filtering, matched filters, and trace summary
+//! statistics.
+//!
+//! This is the "Filtering" and "Demultiplexing" stage of the readout
+//! pipeline in Fig. 1(b) of the paper. The raw composite ADC trace from
+//! [`mlr_sim`] is demodulated per qubit ([`Demodulator`]), optionally
+//! reduced by a boxcar filter, and then either summarised to a single IQ
+//! point (for LDA/QDA-style discriminators) or scored against
+//! [`MatchedFilter`] kernels (for HERQULES and the proposed design).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_sim::{BasisState, ChipConfig, Level, ReadoutSimulator};
+//! use mlr_dsp::Demodulator;
+//! use rand::SeedableRng;
+//!
+//! let config = ChipConfig::five_qubit_paper();
+//! let sim = ReadoutSimulator::new(config.clone());
+//! let demod = Demodulator::new(&config);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let shot = sim.simulate_shot(&BasisState::uniform(5, Level::Ground), &mut rng);
+//! let baseband = demod.demodulate(&shot.raw, 0);
+//! assert_eq!(baseband.len(), shot.raw.len());
+//! ```
+
+#![deny(missing_docs)]
+
+mod demod;
+mod features;
+mod filter;
+mod matched;
+mod streaming;
+
+pub use demod::Demodulator;
+pub use features::{iq_features, mean_trace_value, tone_amplitude, tone_power, trace_energy};
+pub use filter::{boxcar_decimate, integrate, moving_average};
+pub use matched::{MatchedFilter, MatchedFilterKind};
+pub use streaming::StreamingDemodulator;

@@ -1,0 +1,79 @@
+//! FPGA device descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource capacity of an FPGA part.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_fpga::FpgaDevice;
+///
+/// let d = FpgaDevice::xczu7ev();
+/// assert_eq!(d.luts, 230_400);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Part name.
+    pub name: String,
+    /// 6-input look-up tables.
+    pub luts: usize,
+    /// Flip-flops (registers).
+    pub ffs: usize,
+    /// 36 Kb block RAMs.
+    pub bram36: usize,
+    /// DSP48E2 slices.
+    pub dsps: usize,
+}
+
+impl FpgaDevice {
+    /// The paper's target: Xilinx Zynq UltraScale+ MPSoC
+    /// `xczu7ev-ffvc1156-2-i` (230,400 LUTs / 460,800 FFs / 312 BRAM36 /
+    /// 1,728 DSP48E2).
+    pub fn xczu7ev() -> Self {
+        Self {
+            name: "xczu7ev-ffvc1156-2-i".to_owned(),
+            luts: 230_400,
+            ffs: 460_800,
+            bram36: 312,
+            dsps: 1_728,
+        }
+    }
+
+    /// A smaller Zynq-7020-class part, used in scaling tests.
+    pub fn z7020() -> Self {
+        Self {
+            name: "xc7z020".to_owned(),
+            luts: 53_200,
+            ffs: 106_400,
+            bram36: 140,
+            dsps: 220,
+        }
+    }
+}
+
+impl Default for FpgaDevice {
+    fn default() -> Self {
+        Self::xczu7ev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xczu7ev_capacities() {
+        let d = FpgaDevice::xczu7ev();
+        assert_eq!(d.ffs, 2 * d.luts); // UltraScale+ CLB structure
+        assert_eq!(d.dsps, 1728);
+        assert_eq!(d.bram36, 312);
+    }
+
+    #[test]
+    fn z7020_is_smaller() {
+        let small = FpgaDevice::z7020();
+        let big = FpgaDevice::xczu7ev();
+        assert!(small.luts < big.luts && small.dsps < big.dsps);
+    }
+}

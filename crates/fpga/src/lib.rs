@@ -1,0 +1,37 @@
+//! FPGA resource and ASIC power estimation for readout discriminators,
+//! mirroring the paper's hls4ml + Vivado HLS methodology (Sec. VI) and its
+//! Synopsys DC power analysis (Sec. VII-D).
+//!
+//! The paper synthesises each discriminator's neural network with hls4ml
+//! targeting a Xilinx Zynq UltraScale+ `xczu7ev` and reports utilisation
+//! (Figs. 1(d) and 5(a)). We replace the synthesis run with an **analytic
+//! estimator** ([`DiscriminatorHw::estimate`]) whose constants are fitted to
+//! the utilisation figures the paper reports; the model exposes the same
+//! levers (weight count, precision, reuse factor, matched-filter channels)
+//! so relative comparisons between designs — the content of those figures —
+//! are preserved.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_fpga::{DiscriminatorHw, FpgaDevice};
+//!
+//! let device = FpgaDevice::xczu7ev();
+//! let ours = DiscriminatorHw::ours_paper(5, 3, 500);
+//! let fnn = DiscriminatorHw::fnn_paper(5, 3, 500);
+//! let u_ours = ours.estimate(&device).utilization(&device);
+//! let u_fnn = fnn.estimate(&device).utilization(&device);
+//! assert!(u_fnn.lut_pct / u_ours.lut_pct > 10.0); // FNN is far larger
+//! ```
+
+#![deny(missing_docs)]
+
+mod device;
+mod estimate;
+mod power;
+mod scaling;
+
+pub use device::FpgaDevice;
+pub use estimate::{DiscriminatorHw, ResourceEstimate, ResourceUtilization};
+pub use power::PowerModel;
+pub use scaling::{max_feasible_qubits, scaling_study, ScalingPoint};

@@ -1,0 +1,217 @@
+//! Model-size and resource scaling in qubit count and level count.
+//!
+//! Sec. IV-C of the paper argues the scaling case analytically: joint
+//! classifiers carry a `kⁿ`-way output layer (exponential in the qubit
+//! count `n`), HERQULES additionally an `O(nk²)` input stage, while the
+//! proposed per-qubit heads grow polynomially in both `n` and `k`. This
+//! module sweeps the three architectures across `(n, k)` with the same
+//! hardware model used for Figs. 1(d)/5(a), turning the argument into a
+//! reproducible table: weight counts, resource estimates, and the largest
+//! system each design still fits on the paper's FPGA.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DiscriminatorHw, FpgaDevice, ResourceEstimate};
+
+/// One `(design, n, k)` cell of a scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Design name (`"OURS"`, `"HERQULES"`, `"FNN"`).
+    pub design: String,
+    /// Qubit count `n`.
+    pub n_qubits: usize,
+    /// Levels per qubit `k`.
+    pub levels: usize,
+    /// Joint basis-state count `kⁿ` (the output width of the exponential
+    /// designs).
+    pub joint_states: u128,
+    /// Neural-network weight count.
+    pub nn_weights: usize,
+    /// Resource demand on the study's device.
+    pub estimate: ResourceEstimate,
+    /// Whether the fully configured design fits the device.
+    pub fits: bool,
+    /// Smallest hls4ml reuse factor that fits, if any.
+    pub min_reuse: Option<usize>,
+}
+
+/// Scaling sweep over qubit counts and level counts on one device.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_fpga::{scaling_study, FpgaDevice};
+///
+/// let points = scaling_study(&[2, 5, 10], &[2, 3], 500, &FpgaDevice::xczu7ev());
+/// // OURS stays feasible at 10 qubits; the joint designs do not.
+/// let ours10 = points.iter().find(|p| p.design == "OURS" && p.n_qubits == 10 && p.levels == 3).unwrap();
+/// assert!(ours10.fits);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any requested `kⁿ` exceeds `u128` (far beyond any system the
+/// sweep is meant for) or `levels < 2`.
+pub fn scaling_study(
+    qubit_counts: &[usize],
+    level_counts: &[usize],
+    n_samples: usize,
+    device: &FpgaDevice,
+) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &k in level_counts {
+        assert!(k >= 2, "need at least two levels");
+        for &n in qubit_counts {
+            let joint = (k as u128)
+                .checked_pow(n as u32)
+                .expect("k^n exceeds u128");
+            for hw in [
+                DiscriminatorHw::ours_paper(n, k, n_samples),
+                DiscriminatorHw::herqules_paper(n, k, n_samples),
+                DiscriminatorHw::fnn_paper(n, k, n_samples),
+            ] {
+                let estimate = hw.estimate(device);
+                out.push(ScalingPoint {
+                    design: hw.name.clone(),
+                    n_qubits: n,
+                    levels: k,
+                    joint_states: joint,
+                    nn_weights: hw.nn_weights,
+                    estimate,
+                    fits: estimate.fits(device),
+                    min_reuse: hw.min_feasible_reuse(device),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The largest qubit count in `qubit_counts` at which `design` still fits
+/// `device` at `k` levels (with reuse allowed), or `None` if it never fits.
+///
+/// This is the "how far does each architecture scale" headline the sweep
+/// supports.
+pub fn max_feasible_qubits(
+    points: &[ScalingPoint],
+    design: &str,
+    levels: usize,
+) -> Option<usize> {
+    points
+        .iter()
+        .filter(|p| p.design == design && p.levels == levels && p.min_reuse.is_some())
+        .map(|p| p.n_qubits)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Vec<ScalingPoint> {
+        scaling_study(&[2, 3, 5, 8, 10, 15], &[2, 3, 4], 500, &FpgaDevice::xczu7ev())
+    }
+
+    fn weights(points: &[ScalingPoint], design: &str, n: usize, k: usize) -> usize {
+        points
+            .iter()
+            .find(|p| p.design == design && p.n_qubits == n && p.levels == k)
+            .expect("point present")
+            .nn_weights
+    }
+
+    #[test]
+    fn paper_point_matches_known_counts() {
+        let points = study();
+        assert_eq!(weights(&points, "OURS", 5, 3), 5 * (45 * 22 + 22 * 11 + 11 * 3));
+        assert_eq!(weights(&points, "FNN", 5, 3), 685_750);
+        assert_eq!(weights(&points, "HERQULES", 5, 3), 30 * 60 + 60 * 120 + 120 * 243);
+    }
+
+    #[test]
+    fn ours_grows_polynomially_in_qubits() {
+        let points = study();
+        // n: 5 -> 10 at k = 3. Head width scales with n, head count with n;
+        // growth must be bounded by ~n^3 (factor 8), nowhere near 3^5 = 243.
+        let w5 = weights(&points, "OURS", 5, 3);
+        let w10 = weights(&points, "OURS", 10, 3);
+        assert!(w10 / w5 <= 10, "growth {}x", w10 / w5);
+    }
+
+    #[test]
+    fn joint_designs_grow_exponentially_in_qubits() {
+        let points = study();
+        let ours_growth = weights(&points, "OURS", 10, 3) as f64
+            / weights(&points, "OURS", 5, 3) as f64;
+        for design in ["HERQULES", "FNN"] {
+            let w5 = weights(&points, design, 5, 3) as f64;
+            let w10 = weights(&points, design, 10, 3) as f64;
+            let w15 = weights(&points, design, 15, 3) as f64;
+            // Much faster than the per-qubit design over the same span…
+            assert!(
+                w10 / w5 > 2.0 * ours_growth,
+                "{design} grew {:.1}x vs OURS {:.1}x",
+                w10 / w5,
+                ours_growth
+            );
+            // …and asymptotically ×k⁵ = 243 per +5 qubits once the output
+            // term dominates — the exponential signature no polynomial has
+            // (OURS stays below 10x per +5 qubits).
+            assert!(
+                w15 / w10 > 100.0,
+                "{design} growth {:.1}x per +5 qubits is not in the exponential regime",
+                w15 / w10
+            );
+            let ours_tail = weights(&points, "OURS", 15, 3) as f64
+                / weights(&points, "OURS", 10, 3) as f64;
+            assert!(ours_tail < 10.0, "OURS tail growth {ours_tail:.1}x");
+        }
+    }
+
+    #[test]
+    fn ours_input_stage_is_quadratic_in_levels() {
+        let points = study();
+        // Filters per qubit: 3·C(k,2) = 3k(k−1)/2, so k: 2 -> 4 multiplies
+        // the input stage by 6; total head weights grow ~quadratically in
+        // the input width. Verify the direction and rough magnitude.
+        let w2 = weights(&points, "OURS", 5, 2);
+        let w4 = weights(&points, "OURS", 5, 4);
+        let ratio = w4 as f64 / w2 as f64;
+        assert!(
+            (5.0..60.0).contains(&ratio),
+            "k-scaling ratio {ratio} out of the polynomial range"
+        );
+    }
+
+    #[test]
+    fn feasibility_frontier_ordering() {
+        let points = study();
+        let ours = max_feasible_qubits(&points, "OURS", 3).unwrap_or(0);
+        let herq = max_feasible_qubits(&points, "HERQULES", 3).unwrap_or(0);
+        let fnn = max_feasible_qubits(&points, "FNN", 3).unwrap_or(0);
+        assert!(
+            ours >= herq && herq >= fnn,
+            "frontier OURS {ours} >= HERQULES {herq} >= FNN {fnn} violated"
+        );
+        // OURS scales to the largest swept system on the paper's part.
+        assert_eq!(ours, 15);
+        // The exponential designs die within the sweep.
+        assert!(herq < 15, "HERQULES unexpectedly fits at 15 qubits");
+    }
+
+    #[test]
+    fn joint_states_field_is_k_pow_n() {
+        let points = study();
+        let p = points
+            .iter()
+            .find(|p| p.design == "FNN" && p.n_qubits == 10 && p.levels == 3)
+            .unwrap();
+        assert_eq!(p.joint_states, 3u128.pow(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn rejects_single_level() {
+        let _ = scaling_study(&[2], &[1], 500, &FpgaDevice::xczu7ev());
+    }
+}

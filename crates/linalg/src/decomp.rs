@@ -1,0 +1,336 @@
+//! LU (partial pivoting) and Cholesky factorisations.
+
+use crate::Matrix;
+
+/// LU factorisation with partial pivoting: `P * A = L * U`.
+///
+/// Used for solving the small linear systems and log-determinants needed by
+/// the QDA discriminator.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = a.lu().expect("nonsingular");
+/// let x = lu.solve(&[3.0, 5.0]);
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorises `a`. Returns `None` if `a` is non-square or singular to
+    /// working precision.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        if a.rows() != a.cols() {
+            return None;
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: pick the largest magnitude in column k at/below k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Some(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // substitution loops index two vectors
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Forward substitution on the permuted right-hand side.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Natural log of `|det A|`; `-inf` never occurs because construction
+    /// rejects singular matrices.
+    pub fn log_abs_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.lu[(i, i)].abs().ln()).sum()
+    }
+
+    /// Inverse of the original matrix, column by column.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+/// Cholesky factorisation `A = L * L^T` of a symmetric positive-definite
+/// matrix.
+///
+/// Preferred over [`Lu`] for covariance matrices: roughly half the work and
+/// it doubles as a positive-definiteness check.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = a.cholesky().expect("SPD");
+/// assert!((ch.log_det() - (4.0f64 * 3.0 - 4.0).ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (entries above the diagonal are zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorises `a`. Returns `None` if `a` is non-square or not positive
+    /// definite to working precision.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        if a.rows() != a.cols() {
+            return None;
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // substitution loops index two vectors
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * y[j];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `ln det A = 2 * sum(ln L_ii)`.
+    pub fn log_det(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+
+    /// Squared Mahalanobis distance `d^T A^{-1} d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len()` differs from the matrix dimension.
+    pub fn mahalanobis_sq(&self, d: &[f64]) -> f64 {
+        let x = self.solve(d);
+        d.iter().zip(&x).map(|(a, b)| a * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant_system() {
+        let a = Matrix::from_rows(&[
+            &[10.0, 2.0, 3.0],
+            &[1.0, 12.0, -1.0],
+            &[2.0, -3.0, 9.0],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let x = a.lu().unwrap().solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.lu().is_none());
+        assert!(Matrix::zeros(2, 3).lu().is_none());
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = &a * &inv;
+        assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() - 5.0).abs() < 1e-12);
+        assert!((lu.log_abs_det() - 5.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0],
+            &[2.0, 5.0, 2.0],
+            &[1.0, 2.0, 4.0],
+        ]);
+        let ch = a.cholesky().unwrap();
+        let l = ch.factor();
+        let reconstructed = l * &l.transpose();
+        assert!((&reconstructed - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_and_mahalanobis() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ch = a.cholesky().unwrap();
+        let x = ch.solve(&[8.0, 27.0]);
+        assert_eq!(x, vec![2.0, 3.0]);
+        // d^T diag(1/4, 1/9) d with d = (2, 3) -> 1 + 1 = 2
+        assert!((ch.mahalanobis_sq(&[2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

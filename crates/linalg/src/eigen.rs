@@ -1,0 +1,208 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+
+use crate::Matrix;
+
+/// Eigendecomposition `A = V * diag(values) * V^T` of a symmetric matrix,
+/// computed with cyclic Jacobi rotations.
+///
+/// Eigenvalues are returned in ascending order; `vectors` stores the
+/// corresponding eigenvectors as *columns*. Spectral clustering consumes the
+/// smallest eigenvectors of a graph Laplacian, so ascending order is the
+/// natural convention here.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0]]);
+/// let eig = a.symmetric_eigen();
+/// assert!((eig.values[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, ordered to match `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Maximum number of full Jacobi sweeps before giving up; in practice the
+    /// Laplacians here converge in well under 20 sweeps.
+    const MAX_SWEEPS: usize = 64;
+
+    /// Computes the decomposition of `a`.
+    ///
+    /// Only the lower triangle is read, so slight asymmetry from floating
+    /// point accumulation is harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Self {
+        assert_eq!(a.rows(), a.cols(), "symmetric eigen needs a square matrix");
+        let n = a.rows();
+        // Work on a symmetrised copy.
+        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut v = Matrix::identity(n);
+
+        let off_diag_norm = |m: &Matrix| -> f64 {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s.sqrt()
+        };
+
+        let scale = m.max_abs().max(1e-300);
+        let tol = 1e-14 * scale * n as f64;
+
+        for _sweep in 0..Self::MAX_SWEEPS {
+            if off_diag_norm(&m) <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n * n) as f64 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation angle.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply rotation to rows/cols p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Extract and sort ascending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        Self { values, vectors }
+    }
+
+    /// Returns the `k` eigenvectors with the smallest eigenvalues, as rows of
+    /// length `n` stacked into a `n x k` matrix (i.e. the spectral embedding
+    /// of each node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the matrix dimension.
+    pub fn smallest_embedding(&self, k: usize) -> Matrix {
+        let n = self.vectors.rows();
+        assert!(k <= n, "requested more eigenvectors than available");
+        Matrix::from_fn(n, k, |i, j| self.vectors[(i, j)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(eig: &SymmetricEigen) -> Matrix {
+        let v = &eig.vectors;
+        let lambda = Matrix::from_diag(&eig.values);
+        &(v * &lambda) * &v.transpose()
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]);
+        let eig = a.symmetric_eigen();
+        assert!((&reconstruct(&eig) - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_values_sorted_ascending() {
+        let a = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, -3.0]]);
+        let eig = a.symmetric_eigen();
+        assert!(eig.values.windows(2).all(|w| w[0] <= w[1]));
+        assert!((eig.values[0] + 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_fn(5, 5, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let eig = a.symmetric_eigen();
+        let vtv = &eig.vectors.transpose() * &eig.vectors;
+        assert!((&vtv - &Matrix::identity(5)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_eigenvalues_2x2() {
+        // [[1,2],[2,1]] has eigenvalues -1 and 3.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let eig = a.symmetric_eigen();
+        assert!((eig.values[0] + 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn laplacian_null_vector() {
+        // Path-graph Laplacian: smallest eigenvalue 0 with constant vector.
+        let a = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 1.0],
+        ]);
+        let eig = a.symmetric_eigen();
+        assert!(eig.values[0].abs() < 1e-10);
+        let v0 = eig.vectors.col(0);
+        let first = v0[0];
+        assert!(v0.iter().all(|&x| (x - first).abs() < 1e-8));
+    }
+
+    #[test]
+    fn smallest_embedding_shape() {
+        let a = Matrix::identity(4);
+        let eig = a.symmetric_eigen();
+        let emb = eig.smallest_embedding(2);
+        assert_eq!((emb.rows(), emb.cols()), (4, 2));
+    }
+
+    #[test]
+    fn eigen_of_identity() {
+        let eig = Matrix::identity(3).symmetric_eigen();
+        assert!(eig.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,28 @@
+//! Small dense linear algebra for the `multilevel-readout` workspace.
+//!
+//! Provides exactly what the discriminators and clustering code need and no
+//! more: a row-major [`Matrix`], LU and Cholesky factorisations
+//! ([`Lu`], [`Cholesky`]), and a cyclic-Jacobi symmetric eigensolver
+//! ([`SymmetricEigen`]). Matrices here are small (classifier covariances,
+//! graph Laplacians of a few hundred nodes), so clarity is favoured over
+//! blocked/vectorised kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let eig = a.symmetric_eigen();
+//! assert!(eig.values[0] < eig.values[1]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod decomp;
+mod eigen;
+mod matrix;
+
+pub use decomp::{Cholesky, Lu};
+pub use eigen::SymmetricEigen;
+pub use matrix::{covariance_matrix, mean_vector, Matrix};

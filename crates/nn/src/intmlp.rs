@@ -1,0 +1,321 @@
+//! Bit-accurate integer inference, mirroring the FPGA dense-layer datapath.
+//!
+//! [`crate::QuantizedMlp`] estimates deployment accuracy by snapping values
+//! to the fixed-point grid in floating point. [`IntMlp`] goes one step
+//! further: it *is* the hardware datapath — two's-complement Q-format
+//! weights, 64-bit multiply-accumulate, a round-half-away rescale shift and
+//! width-saturation after every layer. Its outputs are bit-identical to
+//! `QuantizedMlp` (a property the tests pin down), so the float model can
+//! be used for fast sweeps and this one as the RTL-reference for a real
+//! deployment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::FixedPointFormat;
+use crate::Mlp;
+
+/// A dense network in two's-complement fixed point with an integer-only
+/// forward pass.
+///
+/// Weights and activations are `Q(int_bits, fraction_bits)` values stored
+/// in `i32`; layer accumulation happens in `i64` at double fractional
+/// precision, exactly as a DSP48-based FPGA MAC chain would.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::{FixedPointFormat, IntMlp, Mlp, QuantizedMlp};
+///
+/// let mlp = Mlp::new(&[4, 8, 3], 1);
+/// let fmt = FixedPointFormat::HLS4ML_DEFAULT;
+/// let imlp = IntMlp::from_mlp(&mlp, fmt);
+/// let qmlp = QuantizedMlp::from_mlp(&mlp, fmt);
+/// let x = [0.25f32, -0.5, 0.125, 1.0];
+/// // The integer datapath reproduces the float quantisation model exactly.
+/// assert_eq!(imlp.forward(&x), qmlp.forward(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntMlp {
+    sizes: Vec<usize>,
+    /// `weights[l][o * sizes[l] + i]` in `Q(fraction_bits)`.
+    weights: Vec<Vec<i32>>,
+    /// Biases pre-shifted to the accumulator's `Q(2 × fraction_bits)`.
+    biases: Vec<Vec<i64>>,
+    format: FixedPointFormat,
+}
+
+/// Rounds `x` (in real units) to a `Q(frac)` integer, half away from zero,
+/// saturating to the `total` bit two's-complement range.
+fn to_fixed(x: f64, format: FixedPointFormat) -> i32 {
+    let scale = 2f64.powi(format.fraction_bits() as i32);
+    let max = (1i64 << (format.total_bits() - 1)) - 1;
+    let min = -(1i64 << (format.total_bits() - 1));
+    let v = (x * scale).round() as i64;
+    v.clamp(min, max) as i32
+}
+
+/// Divides by `2^shift`, rounding half away from zero — the behaviour of
+/// `f64::round`, so integer and float quantisation agree on grid midpoints.
+fn rounding_shift(acc: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return acc;
+    }
+    let half = 1i64 << (shift - 1);
+    if acc >= 0 {
+        (acc + half) >> shift
+    } else {
+        -((-acc + half) >> shift)
+    }
+}
+
+impl IntMlp {
+    /// Quantises a trained float network into the integer datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `format.total_bits() > 24`: wider words could overflow the
+    /// 64-bit accumulator for the layer widths used here, and no FPGA
+    /// deployment in this workspace uses more than 18-bit words.
+    pub fn from_mlp(mlp: &Mlp, format: FixedPointFormat) -> Self {
+        assert!(
+            format.total_bits() <= 24,
+            "IntMlp supports at most 24-bit words"
+        );
+        let frac = format.fraction_bits();
+        let weights = mlp
+            .weights
+            .iter()
+            .map(|w| w.iter().map(|&v| to_fixed(v as f64, format)).collect())
+            .collect();
+        let biases = mlp
+            .biases
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .map(|&v| (to_fixed(v as f64, format) as i64) << frac)
+                    .collect()
+            })
+            .collect();
+        Self {
+            sizes: mlp.sizes().to_vec(),
+            weights,
+            biases,
+            format,
+        }
+    }
+
+    /// The fixed-point format of weights and activations.
+    pub fn format(&self) -> FixedPointFormat {
+        self.format
+    }
+
+    /// Layer widths from input to output.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Quantises a real-valued input vector to `Q(fraction_bits)` words.
+    pub fn quantize_input(&self, x: &[f32]) -> Vec<i32> {
+        x.iter().map(|&v| to_fixed(v as f64, self.format)).collect()
+    }
+
+    /// Integer-only forward pass over quantised inputs, returning
+    /// `Q(fraction_bits)` output words.
+    ///
+    /// Each layer: `acc = bias + Σ w·x` in `Q(2·frac)` with `i64`
+    /// accumulation, ReLU on the accumulator for hidden layers, then a
+    /// round-half-away rescale to `Q(frac)` saturated to the word width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_raw(&self, x: &[i32]) -> Vec<i32> {
+        assert_eq!(x.len(), self.sizes[0], "input length mismatch");
+        let frac = self.format.fraction_bits();
+        let max = (1i64 << (self.format.total_bits() - 1)) - 1;
+        let min = -(1i64 << (self.format.total_bits() - 1));
+        let n_layers = self.weights.len();
+        let mut cur: Vec<i32> = x.to_vec();
+        for l in 0..n_layers {
+            let n_in = cur.len();
+            let relu = l + 1 < n_layers;
+            let mut next = Vec::with_capacity(self.biases[l].len());
+            for (o, &bias) in self.biases[l].iter().enumerate() {
+                let row = &self.weights[l][o * n_in..(o + 1) * n_in];
+                let mut acc: i64 = bias;
+                for (&w, &v) in row.iter().zip(&cur) {
+                    acc += w as i64 * v as i64;
+                }
+                if relu {
+                    acc = acc.max(0);
+                }
+                let scaled = rounding_shift(acc, frac).clamp(min, max);
+                next.push(scaled as i32);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Forward pass from real-valued inputs to real-valued (dequantised)
+    /// outputs — the drop-in analogue of [`Mlp::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let scale = 2f32.powi(-(self.format.fraction_bits() as i32));
+        self.forward_raw(&self.quantize_input(x))
+            .iter()
+            .map(|&v| v as f32 * scale)
+            .collect()
+    }
+
+    /// Hard class prediction (argmax over output words; ties resolve to the
+    /// lowest class index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let out = self.forward_raw(&self.quantize_input(x));
+        out.iter()
+            .enumerate()
+            .fold((0usize, i32::MIN), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Minimum accumulator width (bits) that cannot overflow for the
+    /// widest layer of this network: `2·total_bits + ⌈log₂(n_in + 1)⌉`,
+    /// the sizing rule hls4ml applies to dense-layer accumulators.
+    pub fn accumulator_bits_required(&self) -> u32 {
+        let widest = self
+            .sizes
+            .iter()
+            .take(self.sizes.len() - 1)
+            .copied()
+            .max()
+            .unwrap_or(0);
+        2 * self.format.total_bits() + ((widest + 1) as f64).log2().ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantizedMlp;
+
+    #[test]
+    fn to_fixed_rounds_half_away_and_saturates() {
+        let fmt = FixedPointFormat::new(8, 4); // Q4.4: range [-8, 7.9375]
+        assert_eq!(to_fixed(1.0, fmt), 16);
+        assert_eq!(to_fixed(0.03125, fmt), 1); // 0.5 LSB rounds away
+        assert_eq!(to_fixed(-0.03125, fmt), -1);
+        assert_eq!(to_fixed(100.0, fmt), 127);
+        assert_eq!(to_fixed(-100.0, fmt), -128);
+    }
+
+    #[test]
+    fn rounding_shift_is_symmetric() {
+        assert_eq!(rounding_shift(5, 1), 3); // 2.5 -> 3
+        assert_eq!(rounding_shift(-5, 1), -3); // -2.5 -> -3
+        assert_eq!(rounding_shift(4, 2), 1);
+        assert_eq!(rounding_shift(6, 2), 2); // 1.5 -> 2
+        assert_eq!(rounding_shift(-6, 2), -2);
+        assert_eq!(rounding_shift(7, 0), 7);
+    }
+
+    #[test]
+    fn matches_float_quantization_model_exactly() {
+        // The headline property: integer datapath == float grid-snapping
+        // model, bit for bit, across formats and topologies.
+        for (seed, sizes) in [(0u64, vec![6, 12, 4]), (1, vec![10, 5, 5, 3]), (2, vec![3, 3])]
+        {
+            let mlp = Mlp::new(&sizes, seed);
+            for fmt in [
+                FixedPointFormat::HLS4ML_DEFAULT,
+                FixedPointFormat::new(12, 5),
+                FixedPointFormat::new(18, 8),
+            ] {
+                let imlp = IntMlp::from_mlp(&mlp, fmt);
+                let qmlp = QuantizedMlp::from_mlp(&mlp, fmt);
+                for trial in 0..20 {
+                    let x: Vec<f32> = (0..sizes[0])
+                        .map(|i| ((i + trial) as f32 * 0.37).sin() * 2.0)
+                        .collect();
+                    assert_eq!(
+                        imlp.forward(&x),
+                        qmlp.forward(&x),
+                        "seed {seed} fmt {fmt:?} trial {trial}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_agree_with_quantized_model() {
+        let mlp = Mlp::new(&[8, 16, 5], 9);
+        let fmt = FixedPointFormat::HLS4ML_DEFAULT;
+        let imlp = IntMlp::from_mlp(&mlp, fmt);
+        let qmlp = QuantizedMlp::from_mlp(&mlp, fmt);
+        for trial in 0..50 {
+            let x: Vec<f32> = (0..8)
+                .map(|i| ((i * 13 + trial * 7) as f32 * 0.11).cos())
+                .collect();
+            assert_eq!(imlp.predict(&x), qmlp.predict(&x), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_hot_outputs() {
+        // A weight of ~max value times an input of ~max value overflows the
+        // word range; the output must saturate, not wrap.
+        let fmt = FixedPointFormat::new(8, 4);
+        let mut mlp = Mlp::new(&[1, 1], 0);
+        mlp.weights[0] = vec![7.0];
+        mlp.biases[0] = vec![0.0];
+        let imlp = IntMlp::from_mlp(&mlp, fmt);
+        let out = imlp.forward(&[7.0]);
+        // 7*7 = 49 saturates to max_value (7.9375).
+        assert!((out[0] - 7.9375).abs() < 1e-6, "{out:?}");
+        let out_neg = imlp.forward(&[-7.0]);
+        assert!((out_neg[0] + 8.0).abs() < 1e-6, "{out_neg:?}");
+    }
+
+    #[test]
+    fn relu_applies_on_hidden_layers_only() {
+        let fmt = FixedPointFormat::new(16, 6);
+        let mut mlp = Mlp::new(&[1, 1, 1], 0);
+        mlp.weights[0] = vec![1.0];
+        mlp.biases[0] = vec![0.0];
+        mlp.weights[1] = vec![1.0];
+        mlp.biases[1] = vec![-1.0];
+        let imlp = IntMlp::from_mlp(&mlp, fmt);
+        // Hidden clamps -2 -> 0; output stays linear at -1.
+        let out = imlp.forward(&[-2.0]);
+        assert!((out[0] + 1.0).abs() < 1e-4, "{out:?}");
+    }
+
+    #[test]
+    fn accumulator_sizing_covers_worst_case() {
+        let mlp = Mlp::new(&[45, 22, 11, 3], 0);
+        let imlp = IntMlp::from_mlp(&mlp, FixedPointFormat::HLS4ML_DEFAULT);
+        // 2*16 + ceil(log2(46)) = 32 + 6 = 38.
+        assert_eq!(imlp.accumulator_bits_required(), 38);
+        assert!(imlp.accumulator_bits_required() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 24-bit")]
+    fn wide_words_are_rejected() {
+        let mlp = Mlp::new(&[2, 2], 0);
+        let _ = IntMlp::from_mlp(&mlp, FixedPointFormat::new(32, 8));
+    }
+}

@@ -1,0 +1,372 @@
+//! Classification metrics: accuracy, confusion matrices, and the paper's
+//! geometric-mean fidelity.
+
+/// Fraction of matching prediction/label pairs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty inputs");
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Geometric mean of per-qubit fidelities — the paper's cumulative accuracy
+/// `F5Q = (F1 F2 F3 F4 F5)^(1/5)` (Tables II and IV).
+///
+/// # Panics
+///
+/// Panics on an empty slice or a negative fidelity.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::geometric_mean;
+///
+/// let f5q = geometric_mean(&[0.967, 0.728, 0.928, 0.932, 0.962]);
+/// assert!((f5q - 0.8985).abs() < 5e-4); // the paper's FNN row
+/// ```
+pub fn geometric_mean(fidelities: &[f64]) -> f64 {
+    assert!(!fidelities.is_empty(), "empty fidelities");
+    assert!(fidelities.iter().all(|&f| f >= 0.0), "negative fidelity");
+    let log_sum: f64 = fidelities.iter().map(|&f| f.max(1e-300).ln()).sum();
+    (log_sum / fidelities.len() as f64).exp()
+}
+
+
+/// A point on a receiver-operating-characteristic curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold: positives are scores `>= threshold`.
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at this threshold.
+    pub tpr: f64,
+}
+
+/// ROC curve of a scalar score against boolean labels, one point per
+/// distinct score (thresholds descending, so points run from (0,0)-ish
+/// toward (1,1)).
+///
+/// Used to characterise leakage detection: score = the discriminator's
+/// `|2⟩` probability, label = whether the shot truly leaked. The curve
+/// (with [`auc`]) is what a control system consults to pick the flag
+/// threshold that trades missed leakage against spurious LRC resets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or either class is
+/// absent.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::roc_curve;
+///
+/// let points = roc_curve(&[0.9, 0.8, 0.3, 0.1], &[true, true, false, false]);
+/// // A perfect separator reaches TPR 1 before any false positive.
+/// assert!(points.iter().any(|p| p.tpr == 1.0 && p.fpr == 0.0));
+/// ```
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    assert!(positives > 0 && negatives > 0, "need both classes");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+
+    let mut points = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume every sample tied at this score before emitting a point.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold,
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve by the Mann-Whitney U statistic: the
+/// probability that a random positive outscores a random negative (ties
+/// count half).
+///
+/// # Panics
+///
+/// As for [`roc_curve`].
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::auc;
+///
+/// assert_eq!(auc(&[0.9, 0.8, 0.3], &[true, true, false]), 1.0);
+/// assert_eq!(auc(&[0.1, 0.9], &[true, false]), 0.0); // inverted scores
+/// ```
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    assert!(!pos.is_empty() && !neg.is_empty(), "need both classes");
+    let mut u = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            u += if p > n {
+                1.0
+            } else if p == n {
+                0.5
+            } else {
+                0.0
+            };
+        }
+    }
+    u / (pos.len() * neg.len()) as f64
+}
+
+/// A `k x k` confusion matrix with rows = true class, columns = predicted.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(2, 2);
+/// cm.record(2, 1);
+/// assert_eq!(cm.count(2, 1), 1);
+/// assert_eq!(cm.class_accuracy(2), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `k x k` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one (true, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "class out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Records a batch of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range classes.
+    pub fn record_all(&mut self, truths: &[usize], predictions: &[usize]) {
+        assert_eq!(truths.len(), predictions.len(), "length mismatch");
+        for (&t, &p) in truths.iter().zip(predictions) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count in cell `(truth, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        assert!(truth < self.k && predicted < self.k, "class out of range");
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.k).map(|i| self.counts[i * self.k + i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (diagonal over row sum); 0 for an empty row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_accuracy(&self, class: usize) -> f64 {
+        assert!(class < self.k, "class out of range");
+        let row_sum: u64 = (0..self.k).map(|j| self.counts[class * self.k + j]).sum();
+        if row_sum == 0 {
+            return 0.0;
+        }
+        self.counts[class * self.k + class] as f64 / row_sum as f64
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.k, other.k, "shape mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roc_of_random_scores_has_half_auc() {
+        // Deterministic interleaving: scores carry no information.
+        let scores: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let a = auc(&scores, &labels);
+        assert!((a - 0.5).abs() < 0.1, "auc {a}");
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_and_ends_at_one_one() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2, 0.1];
+        let labels = [true, true, false, true, false, false];
+        let points = roc_curve(&scores, &labels);
+        for w in points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].threshold < w[0].threshold);
+        }
+        let last = points.last().unwrap();
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn auc_handles_ties_as_half() {
+        // One positive and one negative share the same score.
+        assert_eq!(auc(&[0.5, 0.5], &[true, false]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn roc_requires_both_classes() {
+        let _ = roc_curve(&[0.1, 0.2], &[true, true]);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[1, 0], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_f5q() {
+        // Table IV "OURS" row.
+        let f = geometric_mean(&[0.971, 0.745, 0.923, 0.939, 0.969]);
+        assert!((f - 0.9052).abs() < 5e-4, "F5Q = {f}");
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_for_spread_values() {
+        let vals = [0.7, 0.9, 0.99];
+        let geo = geometric_mean(&vals);
+        let ari = vals.iter().sum::<f64>() / 3.0;
+        assert!(geo < ari);
+    }
+
+    #[test]
+    fn confusion_matrix_accounting() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_all(&[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0]);
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.class_accuracy(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.class_accuracy(1), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_merge() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(1, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn confusion_matrix_bounds() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn empty_class_row_is_zero() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.class_accuracy(0), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Fixed-point quantisation of trained networks, mirroring the
+//! `ap_fixed<W, I>` types an hls4ml deployment would use.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::argmax_f32;
+use crate::{Mlp, TrainData};
+
+/// An `ap_fixed<total_bits, int_bits>`-style signed fixed-point format:
+/// `total_bits` overall, of which `int_bits` are integer (including sign).
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::FixedPointFormat;
+///
+/// let fmt = FixedPointFormat::new(16, 6);
+/// assert_eq!(fmt.fraction_bits(), 10);
+/// let q = fmt.quantize(0.30078125);
+/// assert!((q - 0.30078125).abs() < fmt.resolution());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedPointFormat {
+    total_bits: u32,
+    int_bits: u32,
+}
+
+impl FixedPointFormat {
+    /// hls4ml's default dense-layer precision, `ap_fixed<16, 6>`.
+    pub const HLS4ML_DEFAULT: FixedPointFormat = FixedPointFormat {
+        total_bits: 16,
+        int_bits: 6,
+    };
+
+    /// Creates a format with `total_bits` overall and `int_bits` integer
+    /// bits (sign included).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= int_bits <= total_bits <= 64`.
+    pub fn new(total_bits: u32, int_bits: u32) -> Self {
+        assert!(
+            (1..=total_bits).contains(&int_bits) && total_bits <= 64,
+            "invalid fixed point format"
+        );
+        Self {
+            total_bits,
+            int_bits,
+        }
+    }
+
+    /// Total width in bits.
+    pub fn total_bits(self) -> u32 {
+        self.total_bits
+    }
+
+    /// Integer bits (including sign).
+    pub fn int_bits(self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional bits.
+    pub fn fraction_bits(self) -> u32 {
+        self.total_bits - self.int_bits
+    }
+
+    /// Smallest representable increment.
+    pub fn resolution(self) -> f64 {
+        2f64.powi(-(self.fraction_bits() as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> f64 {
+        2f64.powi(self.int_bits as i32 - 1) - self.resolution()
+    }
+
+    /// Rounds `x` to the nearest representable value, saturating at the
+    /// format limits.
+    pub fn quantize(self, x: f64) -> f64 {
+        let scale = 2f64.powi(self.fraction_bits() as i32);
+        let min = -(2f64.powi(self.int_bits as i32 - 1));
+        (x * scale).round().clamp(min * scale, self.max_value() * scale) / scale
+    }
+}
+
+/// A network whose weights and activations are rounded to a
+/// [`FixedPointFormat`], for estimating post-deployment accuracy.
+///
+/// The quantised model keeps `f32` storage but snaps every weight, bias and
+/// intermediate activation to the fixed-point grid — numerically equivalent
+/// to integer arithmetic with the same widths, while staying simple.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::{FixedPointFormat, Mlp, QuantizedMlp};
+///
+/// let mlp = Mlp::new(&[4, 8, 2], 3);
+/// let q = QuantizedMlp::from_mlp(&mlp, FixedPointFormat::HLS4ML_DEFAULT);
+/// let x = [0.25, -0.5, 0.125, 0.0];
+/// // 16-bit fixed point tracks f32 closely on a freshly initialised net.
+/// let dense = mlp.forward(&x);
+/// let fixed = q.forward(&x);
+/// assert!(dense.iter().zip(&fixed).all(|(a, b)| (a - b).abs() < 0.02));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    sizes: Vec<usize>,
+    weights: Vec<Vec<f32>>,
+    biases: Vec<Vec<f32>>,
+    format: FixedPointFormat,
+}
+
+impl QuantizedMlp {
+    /// Quantises a trained network's parameters to `format`.
+    pub fn from_mlp(mlp: &Mlp, format: FixedPointFormat) -> Self {
+        let q = |v: &f32| format.quantize(*v as f64) as f32;
+        Self {
+            sizes: mlp.sizes().to_vec(),
+            weights: mlp.weights.iter().map(|w| w.iter().map(q).collect()).collect(),
+            biases: mlp.biases.iter().map(|b| b.iter().map(q).collect()).collect(),
+            format,
+        }
+    }
+
+    /// The fixed-point format in use.
+    pub fn format(&self) -> FixedPointFormat {
+        self.format
+    }
+
+    /// Forward pass with activations snapped to the fixed-point grid after
+    /// every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.sizes[0], "input length mismatch");
+        let n_layers = self.weights.len();
+        let mut cur: Vec<f32> = x
+            .iter()
+            .map(|&v| self.format.quantize(v as f64) as f32)
+            .collect();
+        for l in 0..n_layers {
+            let n_in = cur.len();
+            let relu = l + 1 < n_layers;
+            let mut next = Vec::with_capacity(self.biases[l].len());
+            for (o, &bias) in self.biases[l].iter().enumerate() {
+                let row = &self.weights[l][o * n_in..(o + 1) * n_in];
+                let mut acc = bias as f64;
+                for (w, v) in row.iter().zip(&cur) {
+                    acc += (*w as f64) * (*v as f64);
+                }
+                let act = if relu { acc.max(0.0) } else { acc };
+                next.push(self.format.quantize(act) as f32);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Hard class prediction under quantised inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax_f32(&self.forward(x))
+    }
+
+    /// Accuracy on a labelled dataset under quantised inference.
+    pub fn evaluate(&self, data: &TrainData) -> f64 {
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                self.predict(x) == y
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainConfig;
+
+    #[test]
+    fn format_arithmetic() {
+        let fmt = FixedPointFormat::new(8, 4);
+        assert_eq!(fmt.fraction_bits(), 4);
+        assert_eq!(fmt.resolution(), 0.0625);
+        assert_eq!(fmt.max_value(), 8.0 - 0.0625);
+        // Saturation both ways.
+        assert_eq!(fmt.quantize(100.0), fmt.max_value());
+        assert_eq!(fmt.quantize(-100.0), -8.0);
+        // Exact grid points survive.
+        assert_eq!(fmt.quantize(1.25), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fixed point format")]
+    fn format_rejects_zero_int_bits() {
+        let _ = FixedPointFormat::new(8, 0);
+    }
+
+    #[test]
+    fn quantized_net_tracks_float_net() {
+        let mlp = Mlp::new(&[6, 12, 4], 5);
+        let q = QuantizedMlp::from_mlp(&mlp, FixedPointFormat::new(18, 6));
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 - 3.0) / 4.0).collect();
+        let dense = mlp.forward(&x);
+        let fixed = q.forward(&x);
+        for (a, b) in dense.iter().zip(&fixed) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn coarse_quantization_degrades_gracefully() {
+        // Train a small classifier, then crush it to 6 bits: accuracy drops
+        // but the 16-bit version matches float closely.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let c = i % 2;
+            inputs.push(vec![
+                c as f32 + rng.gen::<f32>() * 0.3,
+                -(c as f32) + rng.gen::<f32>() * 0.3,
+            ]);
+            labels.push(c);
+        }
+        let data = TrainData::new(inputs, labels, 2).unwrap();
+        let mut mlp = Mlp::new(&[2, 8, 2], 1);
+        mlp.train(
+            &data,
+            None,
+            &TrainConfig {
+                epochs: 40,
+                learning_rate: 0.02,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        );
+        let float_acc = mlp.evaluate(&data);
+        assert!(float_acc > 0.95);
+        let q16 = QuantizedMlp::from_mlp(&mlp, FixedPointFormat::HLS4ML_DEFAULT);
+        assert!((q16.evaluate(&data) - float_acc).abs() < 0.03);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-feature standardisation (zero mean, unit variance).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-feature affine transform `x → (x − mean) / std`, estimated
+/// on training data and then applied identically at inference time.
+///
+/// Constant features (zero variance) pass through shifted but unscaled.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::Standardizer;
+///
+/// let train = vec![vec![0.0, 10.0], vec![2.0, 10.0]];
+/// let s = Standardizer::fit(&train).unwrap();
+/// let z = s.transform(&[1.0, 10.0]);
+/// assert!(z[0].abs() < 1e-9 && z[1].abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Estimates means and standard deviations from training rows.
+    ///
+    /// Returns `None` for empty input or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Option<Self> {
+        let dim = rows.first()?.len();
+        if rows.iter().any(|r| r.len() != dim) {
+            return None;
+        }
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, &v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        let mut vars = vec![0.0; dim];
+        for r in rows {
+            for ((v, &x), &m) in vars.iter_mut().zip(r).zip(&means) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n.max(1.0)).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Some(Self { means, stds })
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardises one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimensionality.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardises one row directly into `f32` network precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted dimensionality.
+    pub fn transform_f32(&self, x: &[f64]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| ((v - m) / s) as f32)
+            .collect()
+    }
+
+    /// Standardises a batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the fitted dimensionality.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, -4.0], vec![3.0, 0.0], vec![5.0, 4.0]];
+        let s = Standardizer::fit(&rows).unwrap();
+        let z = s.transform_batch(&rows);
+        for d in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = z.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_features_pass_through() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let s = Standardizer::fit(&rows).unwrap();
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+        assert_eq!(s.transform(&[8.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_or_empty() {
+        assert!(Standardizer::fit(&[]).is_none());
+        assert!(Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+    }
+
+    #[test]
+    fn f32_transform_matches_f64() {
+        let rows = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let s = Standardizer::fit(&rows).unwrap();
+        let x = [1.5, 2.5];
+        let a = s.transform(&x);
+        let b = s.transform_f32(&x);
+        for (va, vb) in a.iter().zip(&b) {
+            assert!((*va as f32 - *vb).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! Minibatch Adam training with cross-entropy loss.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::mlp::{softmax, Mlp};
+
+/// A labelled classification dataset in network precision.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::TrainData;
+///
+/// let data = TrainData::new(vec![vec![0.0], vec![1.0]], vec![0, 1], 2).unwrap();
+/// assert_eq!(data.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainData {
+    inputs: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+/// Why a [`TrainData`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataError {
+    /// No samples were provided.
+    Empty,
+    /// `inputs` and `labels` lengths differ.
+    LengthMismatch,
+    /// Input rows have inconsistent dimensionality.
+    Ragged,
+    /// A label is `>= n_classes`.
+    LabelOutOfRange,
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "dataset is empty"),
+            DataError::LengthMismatch => write!(f, "inputs and labels differ in length"),
+            DataError::Ragged => write!(f, "input rows differ in dimensionality"),
+            DataError::LabelOutOfRange => write!(f, "label exceeds n_classes"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl TrainData {
+    /// Validates and wraps a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DataError`] describing the first violated invariant.
+    pub fn new(
+        inputs: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Self, DataError> {
+        if inputs.is_empty() {
+            return Err(DataError::Empty);
+        }
+        if inputs.len() != labels.len() {
+            return Err(DataError::LengthMismatch);
+        }
+        let dim = inputs[0].len();
+        if inputs.iter().any(|x| x.len() != dim) {
+            return Err(DataError::Ragged);
+        }
+        if labels.iter().any(|&y| y >= n_classes) {
+            return Err(DataError::LabelOutOfRange);
+        }
+        Ok(Self {
+            inputs,
+            labels,
+            n_classes,
+        })
+    }
+
+    /// Converts `f64` feature vectors (the DSP-side precision) into network
+    /// precision and validates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrainData::new`].
+    pub fn from_f64(
+        inputs: &[Vec<f64>],
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Self, DataError> {
+        let converted = inputs
+            .iter()
+            .map(|x| x.iter().map(|&v| v as f32).collect())
+            .collect();
+        Self::new(converted, labels, n_classes)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` when there are no samples (unreachable after construction).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Number of classes in the label alphabet.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Borrows sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> (&[f32], usize) {
+        (&self.inputs[i], self.labels[i])
+    }
+
+    /// Borrows all inputs.
+    pub fn inputs(&self) -> &[Vec<f32>] {
+        &self.inputs
+    }
+
+    /// Borrows all labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+/// Hyper-parameters for [`Mlp::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam step size.
+    pub learning_rate: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    /// Adam first-moment decay.
+    pub beta1: f32,
+    /// Adam second-moment decay.
+    pub beta2: f32,
+    /// Shuffling/initialisation seed.
+    pub seed: u64,
+    /// Stop after this many epochs without validation improvement
+    /// (requires a validation set); `None` disables early stopping.
+    pub early_stop_patience: Option<usize>,
+    /// Optional per-class loss weights (length = number of classes) for
+    /// imbalanced data, e.g. rare naturally-leaked states. `None` weights
+    /// every class equally.
+    pub class_weights: Option<Vec<f32>>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            weight_decay: 0.0,
+            beta1: 0.9,
+            beta2: 0.999,
+            seed: 0,
+            early_stop_patience: Some(6),
+            class_weights: None,
+        }
+    }
+}
+
+/// Inverse-frequency class weights, normalised to mean 1 over observed
+/// classes and capped at `cap` (unobserved classes get weight 1).
+///
+/// # Panics
+///
+/// Panics if `labels` is empty, a label exceeds `n_classes`, or `cap <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_nn::inverse_frequency_weights;
+///
+/// let w = inverse_frequency_weights(&[0, 0, 0, 1], 2, 10.0);
+/// assert!(w[1] > w[0]);
+/// ```
+pub fn inverse_frequency_weights(labels: &[usize], n_classes: usize, cap: f32) -> Vec<f32> {
+    assert!(!labels.is_empty(), "no labels");
+    assert!(cap > 0.0, "cap must be positive");
+    let mut counts = vec![0usize; n_classes];
+    for &y in labels {
+        assert!(y < n_classes, "label out of range");
+        counts[y] += 1;
+    }
+    let observed = counts.iter().filter(|&&c| c > 0).count().max(1);
+    let mean_count = labels.len() as f32 / observed as f32;
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                1.0
+            } else {
+                (mean_count / c as f32).min(cap)
+            }
+        })
+        .collect()
+}
+
+/// Per-epoch telemetry returned by [`Mlp::train`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean cross-entropy per epoch.
+    pub train_losses: Vec<f64>,
+    /// Validation accuracy per epoch (empty without a validation set).
+    pub val_accuracies: Vec<f64>,
+    /// Epoch whose weights were kept (best validation accuracy, or the last
+    /// epoch without a validation set).
+    pub best_epoch: usize,
+}
+
+/// Best-so-far snapshot kept by early stopping: validation score plus a
+/// copy of the weights and biases that achieved it.
+pub(crate) type Checkpoint = (f64, Vec<Vec<f32>>, Vec<Vec<f32>>);
+
+/// Adam state paralleling the network parameters. Shared with the MSE
+/// trainer in [`crate::regression`].
+pub(crate) struct Adam {
+    pub(crate) m_w: Vec<Vec<f32>>,
+    pub(crate) v_w: Vec<Vec<f32>>,
+    pub(crate) m_b: Vec<Vec<f32>>,
+    pub(crate) v_b: Vec<Vec<f32>>,
+    pub(crate) t: i32,
+}
+
+impl Adam {
+    pub(crate) fn new(mlp: &Mlp) -> Self {
+        Self {
+            m_w: mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect(),
+            v_w: mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect(),
+            m_b: mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+            v_b: mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+            t: 0,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_inplace(
+        param: &mut [f32],
+        grad: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        bc1: f32,
+        bc2: f32,
+        weight_decay: f32,
+    ) {
+        const EPS: f32 = 1e-8;
+        for i in 0..param.len() {
+            let g = grad[i] + weight_decay * param[i];
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            param[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+impl Mlp {
+    /// Trains the network with minibatch Adam on softmax cross-entropy.
+    ///
+    /// With a validation set, the weights with the best validation accuracy
+    /// are restored at the end and `early_stop_patience` can cut training
+    /// short; without one, the final weights are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data dimensions do not match the network topology or
+    /// `batch_size == 0`.
+    pub fn train(
+        &mut self,
+        data: &TrainData,
+        val: Option<&TrainData>,
+        config: &TrainConfig,
+    ) -> TrainReport {
+        assert_eq!(data.input_dim(), self.input_len(), "input width mismatch");
+        assert!(
+            data.n_classes() <= self.output_len(),
+            "more classes than output units"
+        );
+        assert!(config.batch_size > 0, "batch_size must be positive");
+
+        let mut adam = Adam::new(self);
+        let mut grad_w: Vec<Vec<f32>> =
+            self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_b: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut report = TrainReport::default();
+        let mut best: Option<Checkpoint> = None;
+        let mut stale = 0usize;
+
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(config.batch_size) {
+                grad_w.iter_mut().for_each(|g| g.fill(0.0));
+                grad_b.iter_mut().for_each(|g| g.fill(0.0));
+                for &i in batch {
+                    let (x, y) = data.sample(i);
+                    let w = config
+                        .class_weights
+                        .as_ref()
+                        .map_or(1.0, |cw| cw.get(y).copied().unwrap_or(1.0));
+                    epoch_loss += self.backprop(x, y, w, &mut grad_w, &mut grad_b);
+                }
+                let scale = 1.0 / batch.len() as f32;
+                adam.t += 1;
+                let bc1 = 1.0 - config.beta1.powi(adam.t);
+                let bc2 = 1.0 - config.beta2.powi(adam.t);
+                for l in 0..self.weights.len() {
+                    grad_w[l].iter_mut().for_each(|g| *g *= scale);
+                    grad_b[l].iter_mut().for_each(|g| *g *= scale);
+                    Adam::step_inplace(
+                        &mut self.weights[l],
+                        &grad_w[l],
+                        &mut adam.m_w[l],
+                        &mut adam.v_w[l],
+                        config.learning_rate,
+                        config.beta1,
+                        config.beta2,
+                        bc1,
+                        bc2,
+                        config.weight_decay,
+                    );
+                    Adam::step_inplace(
+                        &mut self.biases[l],
+                        &grad_b[l],
+                        &mut adam.m_b[l],
+                        &mut adam.v_b[l],
+                        config.learning_rate,
+                        config.beta1,
+                        config.beta2,
+                        bc1,
+                        bc2,
+                        0.0,
+                    );
+                }
+            }
+            report.train_losses.push(epoch_loss / data.len() as f64);
+
+            if let Some(val) = val {
+                // With class weights the caller cares about balanced
+                // accuracy (rare classes matter); select the best epoch on
+                // the same criterion.
+                let acc = if config.class_weights.is_some() {
+                    self.evaluate_balanced(val)
+                } else {
+                    self.evaluate(val)
+                };
+                report.val_accuracies.push(acc);
+                if best.as_ref().is_none_or(|(b, _, _)| acc > *b) {
+                    best = Some((acc, self.weights.clone(), self.biases.clone()));
+                    report.best_epoch = epoch;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if config
+                        .early_stop_patience
+                        .is_some_and(|p| stale >= p)
+                    {
+                        break;
+                    }
+                }
+            } else {
+                report.best_epoch = epoch;
+            }
+        }
+
+        if let Some((_, w, b)) = best {
+            self.weights = w;
+            self.biases = b;
+        }
+        report
+    }
+
+    /// Accuracy of the network on a labelled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data dimensionality differs from the input width.
+    pub fn evaluate(&self, data: &TrainData) -> f64 {
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                self.predict(x) == y
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Balanced accuracy: per-class recall averaged over the classes present
+    /// in `data` — the right selection metric under heavy class imbalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data dimensionality differs from the input width.
+    pub fn evaluate_balanced(&self, data: &TrainData) -> f64 {
+        let k = data.n_classes();
+        let mut hits = vec![0usize; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..data.len() {
+            let (x, y) = data.sample(i);
+            counts[y] += 1;
+            if self.predict(x) == y {
+                hits[y] += 1;
+            }
+        }
+        let present: Vec<f64> = (0..k)
+            .filter(|&c| counts[c] > 0)
+            .map(|c| hits[c] as f64 / counts[c] as f64)
+            .collect();
+        present.iter().sum::<f64>() / present.len().max(1) as f64
+    }
+
+    /// One-sample backprop accumulating gradients; returns the sample's
+    /// (weighted) cross-entropy loss.
+    fn backprop(
+        &self,
+        x: &[f32],
+        y: usize,
+        sample_weight: f32,
+        grad_w: &mut [Vec<f32>],
+        grad_b: &mut [Vec<f32>],
+    ) -> f64 {
+        let acts = self.forward_cached(x);
+        let n_layers = self.weights.len();
+        let logits = &acts[n_layers];
+        let probs = softmax(logits);
+        let loss = -(probs[y].max(1e-12) as f64).ln() * sample_weight as f64;
+
+        // Output delta: softmax - onehot, scaled by the class weight.
+        let mut delta: Vec<f32> = probs;
+        delta[y] -= 1.0;
+        if sample_weight != 1.0 {
+            delta.iter_mut().for_each(|d| *d *= sample_weight);
+        }
+
+        for l in (0..n_layers).rev() {
+            let a_in = &acts[l];
+            let n_in = a_in.len();
+            // Accumulate weight/bias gradients.
+            for (o, &d) in delta.iter().enumerate() {
+                grad_b[l][o] += d;
+                if d != 0.0 {
+                    let g_row = &mut grad_w[l][o * n_in..(o + 1) * n_in];
+                    for (g, &a) in g_row.iter_mut().zip(a_in) {
+                        *g += d * a;
+                    }
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            // delta_prev = W^T delta, masked by ReLU' (post-activation > 0).
+            let mut prev = vec![0.0f32; n_in];
+            for (o, &d) in delta.iter().enumerate() {
+                if d != 0.0 {
+                    let row = &self.weights[l][o * n_in..(o + 1) * n_in];
+                    for (p, &w) in prev.iter_mut().zip(row) {
+                        *p += d * w;
+                    }
+                }
+            }
+            for (p, &a) in prev.iter_mut().zip(a_in) {
+                if a <= 0.0 {
+                    *p = 0.0;
+                }
+            }
+            delta = prev;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(n_per: usize, seed: u64) -> TrainData {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [[0.0f32, 0.0], [3.0, 0.0], [0.0, 3.0]];
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                inputs.push(vec![
+                    center[0] + rng.gen::<f32>() - 0.5,
+                    center[1] + rng.gen::<f32>() - 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        TrainData::new(inputs, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn data_validation() {
+        assert_eq!(
+            TrainData::new(vec![], vec![], 2).unwrap_err(),
+            DataError::Empty
+        );
+        assert_eq!(
+            TrainData::new(vec![vec![0.0]], vec![0, 1], 2).unwrap_err(),
+            DataError::LengthMismatch
+        );
+        assert_eq!(
+            TrainData::new(vec![vec![0.0], vec![0.0, 1.0]], vec![0, 1], 2).unwrap_err(),
+            DataError::Ragged
+        );
+        assert_eq!(
+            TrainData::new(vec![vec![0.0]], vec![5], 2).unwrap_err(),
+            DataError::LabelOutOfRange
+        );
+    }
+
+    #[test]
+    fn learns_linearly_separable_blobs() {
+        let train = blob_data(60, 1);
+        let test = blob_data(30, 2);
+        let mut mlp = Mlp::new(&[2, 8, 3], 0);
+        let config = TrainConfig {
+            epochs: 60,
+            learning_rate: 0.01,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        mlp.train(&train, None, &config);
+        assert!(mlp.evaluate(&test) > 0.97);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let train = blob_data(40, 3);
+        let mut mlp = Mlp::new(&[2, 6, 3], 1);
+        let report = mlp.train(
+            &train,
+            None,
+            &TrainConfig {
+                epochs: 20,
+                learning_rate: 0.01,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
+        );
+        let first = report.train_losses.first().copied().unwrap();
+        let last = report.train_losses.last().copied().unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let train = blob_data(40, 4);
+        let val = blob_data(20, 5);
+        let mut mlp = Mlp::new(&[2, 6, 3], 2);
+        let report = mlp.train(
+            &train,
+            Some(&val),
+            &TrainConfig {
+                epochs: 100,
+                learning_rate: 0.02,
+                batch_size: 8,
+                early_stop_patience: Some(3),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!report.val_accuracies.is_empty());
+        let best_acc = report.val_accuracies[report.best_epoch];
+        // Restored weights must reproduce the best recorded accuracy.
+        assert!((mlp.evaluate(&val) - best_acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let train = blob_data(30, 6);
+        let config = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let mut a = Mlp::new(&[2, 4, 3], 9);
+        let ra = a.train(&train, None, &config);
+        let mut b = Mlp::new(&[2, 4, 3], 9);
+        let rb = b.train(&train, None, &config);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index drives in-place weight nudges
+    fn gradient_matches_finite_difference() {
+        // Numerical check of backprop on a tiny network.
+        let mut mlp = Mlp::new(&[2, 3, 2], 11);
+        let x = [0.7f32, -0.4];
+        let y = 1usize;
+        let mut grad_w: Vec<Vec<f32>> =
+            mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_b: Vec<Vec<f32>> = mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+        mlp.backprop(&x, y, 1.0, &mut grad_w, &mut grad_b);
+
+        let loss_of = |mlp: &Mlp| {
+            let p = mlp.predict_proba(&x);
+            -(p[y] as f64).ln()
+        };
+        let eps = 1e-3f32;
+        for l in 0..mlp.weights.len() {
+            for i in (0..mlp.weights[l].len()).step_by(3) {
+                let orig = mlp.weights[l][i];
+                mlp.weights[l][i] = orig + eps;
+                let lp = loss_of(&mlp);
+                mlp.weights[l][i] = orig - eps;
+                let lm = loss_of(&mlp);
+                mlp.weights[l][i] = orig;
+                let numeric = (lp - lm) / (2.0 * eps as f64);
+                let analytic = grad_w[l][i] as f64;
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "layer {l} weight {i}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

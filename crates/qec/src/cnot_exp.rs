@@ -1,0 +1,209 @@
+//! The leakage-injection CNOT experiments of Sec. III-A.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stochastic two-qubit CNOT channel with leakage effects, matching the
+/// behaviour the paper measures on IBM Lagos:
+///
+/// * a small intrinsic chance of leaking either participant per gate;
+/// * with a **leaked control**, the target suffers random bit flips and
+///   receives the control's leakage with probability 1.5–2 % per gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnotChannel {
+    /// Intrinsic leakage probability per participant per gate.
+    pub gate_leak_prob: f64,
+    /// Leakage transport probability from a leaked control to the target.
+    pub transport_prob: f64,
+    /// Probability the target's computational bit randomises when the
+    /// control is leaked (gate malfunction).
+    pub malfunction_flip_prob: f64,
+}
+
+impl Default for CnotChannel {
+    fn default() -> Self {
+        Self {
+            gate_leak_prob: 0.004,
+            transport_prob: 0.014,
+            malfunction_flip_prob: 0.35,
+        }
+    }
+}
+
+/// One qubit's state in this experiment: a computational bit plus a leak
+/// flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Q {
+    bit: bool,
+    leaked: bool,
+}
+
+impl CnotChannel {
+    /// Applies the channel to (control, target).
+    fn apply(&self, control: &mut Q, target: &mut Q, rng: &mut impl Rng) {
+        // Intrinsic gate-induced leakage.
+        if !control.leaked && rng.gen::<f64>() < self.gate_leak_prob {
+            control.leaked = true;
+        }
+        if !target.leaked && rng.gen::<f64>() < self.gate_leak_prob {
+            target.leaked = true;
+        }
+        if control.leaked {
+            // Malfunction: no clean CNOT happens; the target may flip
+            // randomly and may inherit the leakage.
+            if !target.leaked && rng.gen::<f64>() < self.transport_prob {
+                target.leaked = true;
+            }
+            if rng.gen::<f64>() < self.malfunction_flip_prob {
+                target.bit = rng.gen::<bool>();
+            }
+        } else if !target.leaked {
+            // Ideal CNOT on the computational subspace.
+            target.bit ^= control.bit;
+        }
+    }
+}
+
+/// Results of a repeated-CNOT leakage-injection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnotExperimentResult {
+    /// Fraction of shots whose target ended leaked, per CNOT count
+    /// (index 0 = after 1 gate).
+    pub target_leak_vs_gates: Vec<f64>,
+    /// Fraction of shots whose target bit differs from the ideal-CNOT
+    /// expectation after one gate (bit-flip evidence).
+    pub single_gate_flip_rate: f64,
+    /// Fraction of shots where a single gate transported leakage
+    /// control→target (the paper measures 1.5–2 %).
+    pub single_gate_transfer_rate: f64,
+}
+
+/// The Sec. III-A experiment: initialise the control in `|2⟩`, run repeated
+/// CNOTs, and measure leakage growth in the target over many shots.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_qec::RepeatedCnotExperiment;
+///
+/// let exp = RepeatedCnotExperiment::new(Default::default(), 2_000, 12, 5);
+/// let with_leak = exp.run(true);
+/// let without = exp.run(false);
+/// let ratio = with_leak.target_leak_vs_gates[11] / without.target_leak_vs_gates[11];
+/// assert!(ratio > 2.0); // the paper reports ~3x growth
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepeatedCnotExperiment {
+    channel: CnotChannel,
+    shots: usize,
+    n_gates: usize,
+    seed: u64,
+}
+
+impl RepeatedCnotExperiment {
+    /// Creates the experiment (`shots` = 10 000 in the paper, 12 CNOTs).
+    pub fn new(channel: CnotChannel, shots: usize, n_gates: usize, seed: u64) -> Self {
+        Self {
+            channel,
+            shots,
+            n_gates,
+            seed,
+        }
+    }
+
+    /// Runs the experiment with the control initialised leaked
+    /// (`control_leaked = true`) or in `|1⟩` (`false`, the baseline).
+    #[allow(clippy::needless_range_loop)] // gate index also addresses leak_counts
+    pub fn run(&self, control_leaked: bool) -> CnotExperimentResult {
+        let mut leak_counts = vec![0usize; self.n_gates];
+        let mut flips = 0usize;
+        let mut transfers = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        for _ in 0..self.shots {
+            let mut control = Q {
+                bit: true,
+                leaked: control_leaked,
+            };
+            let mut target = Q::default();
+            for g in 0..self.n_gates {
+                let target_before = target;
+                self.channel.apply(&mut control, &mut target, &mut rng);
+                if g == 0 {
+                    // Single-gate statistics.
+                    let ideal_bit = if control_leaked {
+                        target_before.bit // leaked control: ideally no-op
+                    } else {
+                        target_before.bit ^ control.bit
+                    };
+                    if !target.leaked && target.bit != ideal_bit {
+                        flips += 1;
+                    }
+                    if control_leaked && target.leaked && !target_before.leaked {
+                        transfers += 1;
+                    }
+                }
+                if target.leaked {
+                    leak_counts[g] += 1;
+                }
+            }
+        }
+
+        let n = self.shots as f64;
+        CnotExperimentResult {
+            target_leak_vs_gates: leak_counts.iter().map(|&c| c as f64 / n).collect(),
+            single_gate_flip_rate: flips as f64 / n,
+            single_gate_transfer_rate: transfers as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment() -> RepeatedCnotExperiment {
+        RepeatedCnotExperiment::new(CnotChannel::default(), 20_000, 12, 9)
+    }
+
+    #[test]
+    fn leaked_control_grows_target_leakage_about_3x() {
+        let exp = experiment();
+        let leaked = exp.run(true);
+        let clean = exp.run(false);
+        let ratio =
+            leaked.target_leak_vs_gates[11] / clean.target_leak_vs_gates[11].max(1e-9);
+        assert!(
+            (2.0..5.0).contains(&ratio),
+            "growth ratio {ratio} (paper: ~3x)"
+        );
+    }
+
+    #[test]
+    fn single_gate_transfer_in_paper_band() {
+        let exp = experiment();
+        let res = exp.run(true);
+        assert!(
+            (0.012..0.022).contains(&res.single_gate_transfer_rate),
+            "transfer {} (paper: 1.5-2%)",
+            res.single_gate_transfer_rate
+        );
+    }
+
+    #[test]
+    fn leaked_control_causes_random_flips() {
+        let exp = experiment();
+        let leaked = exp.run(true);
+        let clean = exp.run(false);
+        assert!(leaked.single_gate_flip_rate > 0.1);
+        assert!(clean.single_gate_flip_rate < 0.01);
+    }
+
+    #[test]
+    fn leakage_is_monotone_in_gate_count() {
+        let res = experiment().run(true);
+        for w in res.target_leak_vs_gates.windows(2) {
+            assert!(w[1] >= w[0] - 0.01);
+        }
+    }
+}

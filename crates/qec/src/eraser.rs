@@ -1,0 +1,369 @@
+//! ERASER-style leakage speculation (MICRO '23) with and without
+//! multi-level readout — the engine behind Tables I and VI.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{LeakageParams, LeakageSimulator, SurfaceCode};
+
+/// Which speculation signals are available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeculationMode {
+    /// Plain ERASER: syndrome-pattern anomalies only (two-level readout).
+    Eraser,
+    /// ERASER+M: parity qubits are read with three-level readout whose
+    /// per-shot error probability is `readout_error` — this is where the
+    /// discriminator quality of the main study (Tables IV/V) plugs in.
+    EraserM {
+        /// Probability that one ancilla's leak/not-leak report is wrong.
+        readout_error: f64,
+    },
+}
+
+/// Configuration of an [`EraserExperiment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraserConfig {
+    /// Surface-code distance (Table I uses 7).
+    pub distance: usize,
+    /// QEC cycles per trial (Table I uses 10).
+    pub cycles: usize,
+    /// Independent trials to average over.
+    pub trials: usize,
+    /// Physical leakage/error rates.
+    pub params: LeakageParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for EraserConfig {
+    fn default() -> Self {
+        Self {
+            distance: 7,
+            cycles: 10,
+            trials: 300,
+            params: LeakageParams::default(),
+            seed: 71,
+        }
+    }
+}
+
+/// Aggregate outcome of an ERASER run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraserResult {
+    /// The paper's speculation accuracy: the balanced mean of episode
+    /// recall (leak episodes flagged before they ended) and the per-decision
+    /// true-negative rate (non-leaked qubit-cycles left alone). Penalising
+    /// false flags matters because unnecessary LRCs inject fresh errors
+    /// (Sec. III-B).
+    pub speculation_accuracy: f64,
+    /// Fraction of leakage episodes (data + ancilla) flagged before they
+    /// ended.
+    pub episode_recall: f64,
+    /// Episode recall restricted to data qubits.
+    pub data_recall: f64,
+    /// Episode recall restricted to ancilla qubits.
+    pub ancilla_recall: f64,
+    /// Fraction of non-leaked qubit-cycle decisions correctly left
+    /// unflagged.
+    pub true_negative_rate: f64,
+    /// Mean leakage population (fraction of data qubits leaked) at the end
+    /// of the run — Table I's LP column.
+    pub leakage_population: f64,
+    /// False LRC applications (on non-leaked qubits) per qubit per cycle.
+    pub false_flag_rate: f64,
+    /// Total leakage episodes observed across trials.
+    pub episodes: usize,
+}
+
+/// Runs repeated-trial leakage speculation on a rotated surface code.
+///
+/// Speculation rules (one decision per qubit per cycle):
+///
+/// * **data qubits** — flagged when at least two (and at least half) of
+///   their adjacent stabilizers produced *detection events* (syndrome
+///   changes) this cycle: a leaked data qubit randomises every adjacent
+///   check, so this pattern is its signature;
+/// * **ancilla qubits, ERASER** — flagged after their own syndrome produced
+///   detection events in two consecutive cycles;
+/// * **ancilla qubits, ERASER+M** — flagged directly when the three-level
+///   readout reports `L` (subject to the configured readout error); a
+///   reported-leaked ancilla also strengthens the case of an adjacent data
+///   qubit that shows any syndrome activity (leakage transport evidence).
+///
+/// Flagged qubits receive an LRC immediately.
+#[derive(Debug, Clone)]
+pub struct EraserExperiment {
+    config: EraserConfig,
+}
+
+impl EraserExperiment {
+    /// Creates an experiment with the given configuration.
+    pub fn new(config: EraserConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the experiment in the given speculation mode.
+    #[allow(clippy::needless_range_loop)] // qubit index addresses several parallel arrays
+    pub fn run(&self, mode: SpeculationMode) -> EraserResult {
+        let code = SurfaceCode::rotated(self.config.distance);
+        let n_data = code.n_data();
+        let n_anc = code.n_stabilizers();
+
+        let mut episodes = 0usize;
+        let mut detected = 0usize;
+        let mut data_episodes = 0usize;
+        let mut data_detected = 0usize;
+        let mut anc_episodes = 0usize;
+        let mut anc_detected = 0usize;
+        let mut false_flags = 0usize;
+        let mut qubit_cycles = 0usize;
+        let mut leaked_decisions = 0usize;
+        let mut lp_sum = 0.0;
+
+        for trial in 0..self.config.trials {
+            let mut rng =
+                StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64 * 7919));
+            let mut sim = LeakageSimulator::new(code.clone(), self.config.params);
+            let mut prev_syndromes = vec![false; n_anc];
+            // Last two cycles' detection events per ancilla (for the
+            // 2-of-3-cycles flicker rule).
+            let mut anc_events_1 = vec![false; n_anc];
+            let mut anc_events_2 = vec![false; n_anc];
+            // Episode state: currently-leaked? was the current episode
+            // flagged at least once?
+            let mut data_episode_open = vec![false; n_data];
+            let mut data_episode_flagged = vec![false; n_data];
+            let mut anc_episode_open = vec![false; n_anc];
+            let mut anc_episode_flagged = vec![false; n_anc];
+
+            for _cycle in 0..self.config.cycles {
+                let readout_error = match mode {
+                    SpeculationMode::Eraser => None,
+                    SpeculationMode::EraserM { readout_error } => Some(readout_error),
+                };
+                let rec = sim.run_cycle(&mut rng, readout_error);
+
+                // Open episodes on the post-cycle truth: a leak that appears
+                // during cycle t is first observable in cycle t's syndromes,
+                // so same-cycle detection must count.
+                for q in 0..n_data {
+                    if sim.data_leaked(q) && !data_episode_open[q] {
+                        data_episode_open[q] = true;
+                        data_episode_flagged[q] = false;
+                        episodes += 1;
+                        data_episodes += 1;
+                    }
+                }
+                for a in 0..n_anc {
+                    if sim.ancilla_leaked(a) && !anc_episode_open[a] {
+                        anc_episode_open[a] = true;
+                        anc_episode_flagged[a] = false;
+                        episodes += 1;
+                        anc_episodes += 1;
+                    }
+                }
+                let events: Vec<bool> = rec
+                    .syndromes
+                    .iter()
+                    .zip(&prev_syndromes)
+                    .map(|(&s, &p)| s != p)
+                    .collect();
+
+                // --- Ancilla speculation ---
+                let mut anc_flags = vec![false; n_anc];
+                for a in 0..n_anc {
+                    anc_flags[a] = match mode {
+                        SpeculationMode::Eraser => {
+                            // A leaked ancilla randomises its own outcome, so
+                            // its syndrome flickers: >= 2 detection events in
+                            // the last 3 cycles is the anomaly signature.
+                            let fired = usize::from(events[a])
+                                + usize::from(anc_events_1[a])
+                                + usize::from(anc_events_2[a]);
+                            fired >= 2
+                        }
+                        SpeculationMode::EraserM { .. } => rec.ancilla_leak_flags[a],
+                    };
+                }
+
+                // --- Data speculation ---
+                let mut data_flags = vec![false; n_data];
+                for q in 0..n_data {
+                    let adjacent = code.stabilizers_of(q);
+                    let fired = adjacent.iter().filter(|&&a| events[a]).count();
+                    let strong = fired >= 2 && 2 * fired >= adjacent.len();
+                    let transported_evidence = matches!(mode, SpeculationMode::EraserM { .. })
+                        && fired >= 1
+                        && adjacent.iter().any(|&a| rec.ancilla_leak_flags[a]);
+                    data_flags[q] = strong || transported_evidence;
+                }
+
+                // --- Apply LRCs, account accuracy ---
+                for q in 0..n_data {
+                    qubit_cycles += 1;
+                    if sim.data_leaked(q) {
+                        leaked_decisions += 1;
+                    }
+                    if data_flags[q] {
+                        if sim.data_leaked(q) {
+                            if data_episode_open[q] && !data_episode_flagged[q] {
+                                data_episode_flagged[q] = true;
+                                detected += 1;
+                                data_detected += 1;
+                            }
+                        } else {
+                            false_flags += 1;
+                        }
+                        sim.apply_lrc_data(q, &mut rng);
+                    }
+                }
+                for a in 0..n_anc {
+                    qubit_cycles += 1;
+                    if sim.ancilla_leaked(a) {
+                        leaked_decisions += 1;
+                    }
+                    if anc_flags[a] {
+                        if sim.ancilla_leaked(a) {
+                            if anc_episode_open[a] && !anc_episode_flagged[a] {
+                                anc_episode_flagged[a] = true;
+                                detected += 1;
+                                anc_detected += 1;
+                            }
+                        } else {
+                            false_flags += 1;
+                        }
+                        sim.apply_lrc_ancilla(a, &mut rng);
+                    }
+                }
+
+                // Close episodes that ended (LRC or seepage).
+                for q in 0..n_data {
+                    if data_episode_open[q] && !sim.data_leaked(q) {
+                        data_episode_open[q] = false;
+                    }
+                }
+                for a in 0..n_anc {
+                    if anc_episode_open[a] && !sim.ancilla_leaked(a) {
+                        anc_episode_open[a] = false;
+                    }
+                }
+
+                prev_syndromes = rec.syndromes;
+                anc_events_2 = std::mem::replace(&mut anc_events_1, events);
+            }
+            lp_sum += sim.leakage_population();
+        }
+
+        let recall = |det: usize, total: usize| -> f64 {
+            if total == 0 {
+                1.0
+            } else {
+                det as f64 / total as f64
+            }
+        };
+        let clean_decisions = qubit_cycles - leaked_decisions;
+        let true_negative_rate = if clean_decisions == 0 {
+            1.0
+        } else {
+            1.0 - false_flags as f64 / clean_decisions as f64
+        };
+        let episode_recall = recall(detected, episodes);
+        EraserResult {
+            speculation_accuracy: 0.5 * (episode_recall + true_negative_rate),
+            episode_recall,
+            data_recall: recall(data_detected, data_episodes),
+            ancilla_recall: recall(anc_detected, anc_episodes),
+            true_negative_rate,
+            leakage_population: lp_sum / self.config.trials as f64,
+            false_flag_rate: false_flags as f64 / qubit_cycles.max(1) as f64,
+            episodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> EraserConfig {
+        EraserConfig {
+            distance: 5,
+            cycles: 10,
+            trials: 60,
+            ..EraserConfig::default()
+        }
+    }
+
+    #[test]
+    fn multi_level_readout_improves_speculation() {
+        // Higher leak rate + more trials for statistical power on LP.
+        let mut config = quick_config();
+        config.trials = 300;
+        config.params.leak_per_gate = 2e-3;
+        let exp = EraserExperiment::new(config);
+        let plain = exp.run(SpeculationMode::Eraser);
+        let with_m = exp.run(SpeculationMode::EraserM {
+            readout_error: 0.05,
+        });
+        assert!(
+            with_m.episode_recall > plain.episode_recall,
+            "ERASER recall {} vs +M {}",
+            plain.episode_recall,
+            with_m.episode_recall
+        );
+        assert!(
+            with_m.leakage_population < plain.leakage_population,
+            "LP {} vs {}",
+            plain.leakage_population,
+            with_m.leakage_population
+        );
+    }
+
+    #[test]
+    fn better_readout_means_better_speculation() {
+        let exp = EraserExperiment::new(quick_config());
+        let good = exp.run(SpeculationMode::EraserM {
+            readout_error: 0.05,
+        });
+        let bad = exp.run(SpeculationMode::EraserM {
+            readout_error: 0.20,
+        });
+        assert!(good.speculation_accuracy > bad.speculation_accuracy);
+    }
+
+    #[test]
+    fn leakage_population_is_suppressed_vs_unmitigated() {
+        let config = quick_config();
+        let exp = EraserExperiment::new(config.clone());
+        let mitigated = exp.run(SpeculationMode::EraserM {
+            readout_error: 0.05,
+        });
+        // Unmitigated baseline: same physics, no LRCs.
+        let code = SurfaceCode::rotated(config.distance);
+        let mut lp = 0.0;
+        for trial in 0..config.trials {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(trial as u64));
+            let mut sim = LeakageSimulator::new(code.clone(), config.params);
+            for _ in 0..config.cycles {
+                let _ = sim.run_cycle(&mut rng, None);
+            }
+            lp += sim.leakage_population();
+        }
+        lp /= config.trials as f64;
+        assert!(
+            mitigated.leakage_population < lp,
+            "mitigated {} vs unmitigated {}",
+            mitigated.leakage_population,
+            lp
+        );
+    }
+
+    #[test]
+    fn false_flag_rate_is_small() {
+        let exp = EraserExperiment::new(quick_config());
+        let res = exp.run(SpeculationMode::EraserM {
+            readout_error: 0.05,
+        });
+        assert!(res.false_flag_rate < 0.08, "rate {}", res.false_flag_rate);
+    }
+}

@@ -1,0 +1,199 @@
+//! Rotated surface-code lattice geometry.
+
+/// The Pauli type a stabilizer measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabilizerKind {
+    /// X-type (detects Z errors).
+    X,
+    /// Z-type (detects X errors).
+    Z,
+}
+
+/// One weight-2/weight-4 stabilizer of the rotated surface code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// X or Z type.
+    pub kind: StabilizerKind,
+    /// Indices of the data qubits in this check's support (2 on the
+    /// boundary, 4 in the bulk).
+    pub data: Vec<usize>,
+}
+
+/// A distance-`d` rotated surface code: `d²` data qubits on a `d x d` grid
+/// and `d² − 1` stabilizers on the dual checkerboard.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_qec::SurfaceCode;
+///
+/// let code = SurfaceCode::rotated(7);
+/// assert_eq!(code.n_data(), 49);
+/// assert_eq!(code.n_stabilizers(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceCode {
+    d: usize,
+    stabilizers: Vec<Stabilizer>,
+    /// `neighbors[q]` lists the stabilizer indices touching data qubit `q`.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl SurfaceCode {
+    /// Builds the rotated surface code of odd distance `d >= 3`.
+    ///
+    /// Uses the standard construction: data qubits at integer grid points
+    /// `(r, c)` with `0 <= r, c < d`; ancilla sites at half-integer plaquette
+    /// centres, alternating X/Z in a checkerboard, with weight-2 checks on
+    /// alternating boundary edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or smaller than 3.
+    pub fn rotated(d: usize) -> Self {
+        assert!(d >= 3 && d % 2 == 1, "distance must be odd and >= 3");
+        let data_index = |r: usize, c: usize| r * d + c;
+        let mut stabilizers = Vec::new();
+
+        // Plaquette centres live between grid rows/cols: site (r, c) covers
+        // data qubits (r-1..r, c-1..c) intersected with the grid. Site
+        // parity decides X vs Z; boundary sites are kept only where the
+        // rotated code has its weight-2 checks.
+        for r in 0..=d {
+            for c in 0..=d {
+                let mut support = Vec::new();
+                for (dr, dc) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                    // Data qubit at (r-1+dr, c-1+dc) if inside the grid.
+                    let rr = (r + dr).checked_sub(1);
+                    let cc = (c + dc).checked_sub(1);
+                    if let (Some(rr), Some(cc)) = (rr, cc) {
+                        if rr < d && cc < d {
+                            support.push(data_index(rr, cc));
+                        }
+                    }
+                }
+                if support.len() < 2 {
+                    continue; // corners
+                }
+                let is_z = (r + c) % 2 == 0;
+                // Boundary rule for the rotated code: top/bottom rows keep
+                // only one colour, left/right columns the other.
+                if support.len() == 2 {
+                    let on_horizontal_boundary = r == 0 || r == d;
+                    let on_vertical_boundary = c == 0 || c == d;
+                    if on_horizontal_boundary && is_z {
+                        continue;
+                    }
+                    if on_vertical_boundary && !is_z {
+                        continue;
+                    }
+                }
+                stabilizers.push(Stabilizer {
+                    kind: if is_z {
+                        StabilizerKind::Z
+                    } else {
+                        StabilizerKind::X
+                    },
+                    data: support,
+                });
+            }
+        }
+
+        let mut neighbors = vec![Vec::new(); d * d];
+        for (s, stab) in stabilizers.iter().enumerate() {
+            for &q in &stab.data {
+                neighbors[q].push(s);
+            }
+        }
+        Self {
+            d,
+            stabilizers,
+            neighbors,
+        }
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.d
+    }
+
+    /// Number of data qubits (`d²`).
+    pub fn n_data(&self) -> usize {
+        self.d * self.d
+    }
+
+    /// Number of stabilizers / ancilla qubits (`d² − 1`).
+    pub fn n_stabilizers(&self) -> usize {
+        self.stabilizers.len()
+    }
+
+    /// All stabilizers.
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabilizers
+    }
+
+    /// The stabilizers touching data qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn stabilizers_of(&self, q: usize) -> &[usize] {
+        &self.neighbors[q]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_rotated_code() {
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::rotated(d);
+            assert_eq!(code.n_data(), d * d);
+            assert_eq!(code.n_stabilizers(), d * d - 1, "distance {d}");
+            let x = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.kind == StabilizerKind::X)
+                .count();
+            assert_eq!(x, (d * d - 1) / 2, "balanced X/Z at distance {d}");
+        }
+    }
+
+    #[test]
+    fn stabilizer_weights_are_2_or_4() {
+        let code = SurfaceCode::rotated(5);
+        for s in code.stabilizers() {
+            assert!(s.data.len() == 2 || s.data.len() == 4);
+        }
+        let weight4 = code.stabilizers().iter().filter(|s| s.data.len() == 4).count();
+        // Bulk plaquettes: (d-1)^2 of them.
+        assert_eq!(weight4, 16);
+    }
+
+    #[test]
+    fn every_data_qubit_is_checked() {
+        let code = SurfaceCode::rotated(7);
+        for q in 0..code.n_data() {
+            let stabs = code.stabilizers_of(q);
+            assert!(
+                (2..=4).contains(&stabs.len()),
+                "qubit {q} touches {} checks",
+                stabs.len()
+            );
+            // Each qubit must be covered by at least one X and one Z check.
+            let kinds: std::collections::HashSet<_> = stabs
+                .iter()
+                .map(|&s| code.stabilizers()[s].kind)
+                .collect();
+            assert_eq!(kinds.len(), 2, "qubit {q} missing a check type");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be odd")]
+    fn rejects_even_distance() {
+        let _ = SurfaceCode::rotated(4);
+    }
+}

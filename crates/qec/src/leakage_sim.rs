@@ -1,0 +1,393 @@
+//! Stochastic leakage dynamics of a surface code under repeated QEC cycles.
+
+use rand::Rng;
+
+use crate::{SurfaceCode, StabilizerKind};
+
+/// Physical rates of the leakage simulator, per QEC cycle unless noted.
+///
+/// Defaults follow the regimes the paper cites: gate-induced leakage in the
+/// `10⁻⁴–10⁻³` band per gate (Sec. III-A), 1.5–2 % leakage transport per
+/// CNOT with a leaked partner, and imperfect LRCs that can themselves
+/// inject errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageParams {
+    /// Probability a data qubit leaks per two-qubit gate (4 gates/cycle).
+    pub leak_per_gate: f64,
+    /// Probability a leaked qubit transfers leakage to its CNOT partner,
+    /// per gate (the paper measures 1.5–2 %).
+    pub transport_per_gate: f64,
+    /// Probability a leaked control randomises its CNOT partner's parity
+    /// contribution (gate malfunction, Sec. III-A).
+    pub malfunction_flip_prob: f64,
+    /// Intrinsic depolarising/bit-flip error per data qubit per cycle.
+    pub phys_error_per_cycle: f64,
+    /// Classical measurement flip probability per ancilla readout.
+    pub meas_error: f64,
+    /// Probability a leaked qubit relaxes back to the computational
+    /// subspace on its own during one cycle (seepage).
+    pub seepage_per_cycle: f64,
+    /// Probability an applied LRC actually removes leakage.
+    pub lrc_success: f64,
+    /// Probability an LRC applied to a *non-leaked* qubit leaks it — why
+    /// indiscriminate LRC application is harmful (Sec. III-B).
+    pub lrc_induced_leak: f64,
+}
+
+impl Default for LeakageParams {
+    fn default() -> Self {
+        Self {
+            leak_per_gate: 5e-4,
+            transport_per_gate: 0.0175,
+            malfunction_flip_prob: 0.4,
+            phys_error_per_cycle: 3e-3,
+            meas_error: 8e-3,
+            seepage_per_cycle: 0.04,
+            lrc_success: 0.98,
+            lrc_induced_leak: 1e-3,
+        }
+    }
+}
+
+/// Per-cycle observation of the code: ancilla syndromes plus (optionally)
+/// multi-level ancilla outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleRecord {
+    /// Syndrome bit per stabilizer (parity of the adjacent data errors,
+    /// corrupted by leakage and measurement noise).
+    pub syndromes: Vec<bool>,
+    /// Multi-level readout of each ancilla: `true` where the ancilla was
+    /// *reported* leaked (only populated in ERASER+M mode; subject to the
+    /// configured readout error).
+    pub ancilla_leak_flags: Vec<bool>,
+}
+
+/// Stochastic simulator of leakage spreading through a rotated surface code
+/// under repeated stabilizer-measurement cycles.
+///
+/// Tracks, per data and ancilla qubit, whether it is leaked and whether it
+/// carries an X/Z error; one call to [`LeakageSimulator::run_cycle`]
+/// executes the four CNOT layers (with leaked-gate malfunction and
+/// transport), measures all stabilizers, and resets ancillas.
+#[derive(Debug, Clone)]
+pub struct LeakageSimulator {
+    code: SurfaceCode,
+    params: LeakageParams,
+    /// Leak state of data qubits.
+    data_leaked: Vec<bool>,
+    /// Leak state of ancilla qubits.
+    ancilla_leaked: Vec<bool>,
+    /// X-error frame on data qubits (as seen by Z checks).
+    data_x: Vec<bool>,
+    /// Z-error frame on data qubits (as seen by X checks).
+    data_z: Vec<bool>,
+    prev_syndromes: Vec<bool>,
+}
+
+impl LeakageSimulator {
+    /// Creates a fresh (error- and leakage-free) simulator.
+    pub fn new(code: SurfaceCode, params: LeakageParams) -> Self {
+        let n_data = code.n_data();
+        let n_anc = code.n_stabilizers();
+        Self {
+            code,
+            params,
+            data_leaked: vec![false; n_data],
+            ancilla_leaked: vec![false; n_anc],
+            data_x: vec![false; n_data],
+            data_z: vec![false; n_data],
+            prev_syndromes: vec![false; n_anc],
+        }
+    }
+
+    /// Borrows the lattice.
+    pub fn code(&self) -> &SurfaceCode {
+        &self.code
+    }
+
+    /// Borrows the parameters.
+    pub fn params(&self) -> &LeakageParams {
+        &self.params
+    }
+
+    /// True leak state of data qubit `q` (ground truth for speculation
+    /// accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn data_leaked(&self, q: usize) -> bool {
+        self.data_leaked[q]
+    }
+
+    /// True leak state of ancilla `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn ancilla_leaked(&self, a: usize) -> bool {
+        self.ancilla_leaked[a]
+    }
+
+    /// Fraction of data qubits currently leaked — the paper's "leakage
+    /// population".
+    pub fn leakage_population(&self) -> f64 {
+        let leaked = self.data_leaked.iter().filter(|&&l| l).count();
+        leaked as f64 / self.data_leaked.len() as f64
+    }
+
+    /// Executes one full QEC cycle and returns the observation record.
+    ///
+    /// `multi_level_readout_error` is `Some(err)` in ERASER+M mode: ancilla
+    /// levels are then read with three-level readout whose per-shot error
+    /// probability is `err` (this is where the readout discriminator
+    /// quality from the main study enters the QEC picture).
+    pub fn run_cycle(
+        &mut self,
+        rng: &mut impl Rng,
+        multi_level_readout_error: Option<f64>,
+    ) -> CycleRecord {
+        let p = self.params;
+        let n_anc = self.code.n_stabilizers();
+
+        // 1. Intrinsic physical errors on data qubits.
+        for q in 0..self.code.n_data() {
+            if rng.gen::<f64>() < p.phys_error_per_cycle {
+                self.data_x[q] ^= true;
+            }
+            if rng.gen::<f64>() < p.phys_error_per_cycle {
+                self.data_z[q] ^= true;
+            }
+        }
+
+        // 2. Four CNOT layers: gate-induced leakage, transport, malfunction.
+        //    Each stabilizer couples to each of its data qubits once.
+        let stab_supports: Vec<(usize, Vec<usize>)> = self
+            .code
+            .stabilizers()
+            .iter()
+            .enumerate()
+            .map(|(a, s)| (a, s.data.clone()))
+            .collect();
+        for (a, support) in &stab_supports {
+            for &q in support {
+                // Fresh gate-induced leakage on either partner.
+                if !self.data_leaked[q] && rng.gen::<f64>() < p.leak_per_gate {
+                    self.data_leaked[q] = true;
+                }
+                if !self.ancilla_leaked[*a] && rng.gen::<f64>() < p.leak_per_gate {
+                    self.ancilla_leaked[*a] = true;
+                }
+                // Leakage transport between partners.
+                if self.data_leaked[q]
+                    && !self.ancilla_leaked[*a]
+                    && rng.gen::<f64>() < p.transport_per_gate
+                {
+                    self.ancilla_leaked[*a] = true;
+                }
+                if self.ancilla_leaked[*a]
+                    && !self.data_leaked[q]
+                    && rng.gen::<f64>() < p.transport_per_gate
+                {
+                    self.data_leaked[q] = true;
+                }
+                // Malfunction: a leaked partner randomises the data qubit's
+                // error frame.
+                if (self.data_leaked[q] || self.ancilla_leaked[*a])
+                    && rng.gen::<f64>() < p.malfunction_flip_prob
+                {
+                    if rng.gen::<bool>() {
+                        self.data_x[q] ^= true;
+                    } else {
+                        self.data_z[q] ^= true;
+                    }
+                }
+            }
+        }
+
+        // 3. Stabilizer measurement.
+        let mut syndromes = vec![false; n_anc];
+        let mut ancilla_leak_flags = vec![false; n_anc];
+        for (a, stab) in self.code.stabilizers().iter().enumerate() {
+            let mut parity = false;
+            let mut any_leaked_data = false;
+            for &q in &stab.data {
+                if self.data_leaked[q] {
+                    any_leaked_data = true;
+                    continue; // a leaked qubit contributes no defined parity
+                }
+                parity ^= match stab.kind {
+                    StabilizerKind::Z => self.data_x[q],
+                    StabilizerKind::X => self.data_z[q],
+                };
+            }
+            // Leaked support or leaked ancilla randomises the outcome.
+            if any_leaked_data || self.ancilla_leaked[a] {
+                parity = rng.gen::<bool>();
+            }
+            if rng.gen::<f64>() < p.meas_error {
+                parity ^= true;
+            }
+            syndromes[a] = parity;
+
+            // Multi-level ancilla readout (ERASER+M): report the ancilla's
+            // level with the given three-level readout error.
+            if let Some(err) = multi_level_readout_error {
+                let truth = self.ancilla_leaked[a];
+                ancilla_leak_flags[a] = if rng.gen::<f64>() < err { !truth } else { truth };
+            }
+        }
+
+        // 4. Ancilla reset (does not lift |2>) and seepage.
+        for leaked in self.data_leaked.iter_mut().chain(&mut self.ancilla_leaked) {
+            if *leaked && rng.gen::<f64>() < p.seepage_per_cycle {
+                *leaked = false;
+            }
+        }
+
+        self.prev_syndromes.clone_from(&syndromes);
+        CycleRecord {
+            syndromes,
+            ancilla_leak_flags,
+        }
+    }
+
+    /// Applies a Leakage Reduction Circuit to data qubit `q`: clears
+    /// leakage with probability `lrc_success`; on a non-leaked qubit it may
+    /// *induce* leakage with probability `lrc_induced_leak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_lrc_data(&mut self, q: usize, rng: &mut impl Rng) {
+        if self.data_leaked[q] {
+            if rng.gen::<f64>() < self.params.lrc_success {
+                self.data_leaked[q] = false;
+            }
+        } else if rng.gen::<f64>() < self.params.lrc_induced_leak {
+            self.data_leaked[q] = true;
+        }
+    }
+
+    /// Applies an LRC to ancilla `a` (same semantics as
+    /// [`LeakageSimulator::apply_lrc_data`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn apply_lrc_ancilla(&mut self, a: usize, rng: &mut impl Rng) {
+        if self.ancilla_leaked[a] {
+            if rng.gen::<f64>() < self.params.lrc_success {
+                self.ancilla_leaked[a] = false;
+            }
+        } else if rng.gen::<f64>() < self.params.lrc_induced_leak {
+            self.ancilla_leaked[a] = true;
+        }
+    }
+
+    /// Force-leaks data qubit `q` (used by injection experiments/tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn inject_data_leak(&mut self, q: usize) {
+        self.data_leaked[q] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim() -> LeakageSimulator {
+        LeakageSimulator::new(SurfaceCode::rotated(5), LeakageParams::default())
+    }
+
+    #[test]
+    fn clean_code_has_quiet_syndromes() {
+        let params = LeakageParams {
+            leak_per_gate: 0.0,
+            phys_error_per_cycle: 0.0,
+            meas_error: 0.0,
+            ..LeakageParams::default()
+        };
+        let mut s = LeakageSimulator::new(SurfaceCode::rotated(5), params);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rec = s.run_cycle(&mut rng, None);
+        assert!(rec.syndromes.iter().all(|&b| !b));
+        assert_eq!(s.leakage_population(), 0.0);
+    }
+
+    #[test]
+    fn leaked_qubit_randomises_adjacent_checks() {
+        let params = LeakageParams {
+            phys_error_per_cycle: 0.0,
+            meas_error: 0.0,
+            seepage_per_cycle: 0.0,
+            transport_per_gate: 0.0,
+            malfunction_flip_prob: 0.0,
+            leak_per_gate: 0.0,
+            ..LeakageParams::default()
+        };
+        let code = SurfaceCode::rotated(5);
+        let mut s = LeakageSimulator::new(code, params);
+        s.inject_data_leak(12); // bulk qubit
+        let mut rng = StdRng::seed_from_u64(3);
+        let adjacent = s.code().stabilizers_of(12).to_vec();
+        let mut flips = 0usize;
+        let cycles = 400;
+        for _ in 0..cycles {
+            let rec = s.run_cycle(&mut rng, None);
+            flips += adjacent.iter().filter(|&&a| rec.syndromes[a]).count();
+        }
+        // Each adjacent check fires ~50% of cycles.
+        let rate = flips as f64 / (cycles * adjacent.len()) as f64;
+        assert!((rate - 0.5).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn leakage_grows_without_mitigation() {
+        let mut s = sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let _ = s.run_cycle(&mut rng, None);
+        }
+        assert!(s.leakage_population() > 0.0);
+    }
+
+    #[test]
+    fn lrc_clears_injected_leak() {
+        let params = LeakageParams {
+            lrc_success: 1.0,
+            ..LeakageParams::default()
+        };
+        let mut s = LeakageSimulator::new(SurfaceCode::rotated(3), params);
+        let mut rng = StdRng::seed_from_u64(7);
+        s.inject_data_leak(4);
+        assert!(s.data_leaked(4));
+        s.apply_lrc_data(4, &mut rng);
+        assert!(!s.data_leaked(4));
+    }
+
+    #[test]
+    fn multi_level_readout_reports_ancilla_leakage() {
+        let params = LeakageParams {
+            leak_per_gate: 0.0,
+            transport_per_gate: 1.0, // transport leaks to ancillas fast
+            seepage_per_cycle: 0.0,
+            ..LeakageParams::default()
+        };
+        let mut s = LeakageSimulator::new(SurfaceCode::rotated(3), params);
+        s.inject_data_leak(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rec = s.run_cycle(&mut rng, Some(0.0)); // perfect 3-level readout
+        let flagged = rec.ancilla_leak_flags.iter().filter(|&&f| f).count();
+        assert!(flagged > 0, "transported leakage must be visible");
+        // Flags match ground truth exactly at zero readout error.
+        for (a, &flag) in rec.ancilla_leak_flags.iter().enumerate() {
+            assert_eq!(flag, s.ancilla_leaked(a));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! QEC cycle timing (Sec. VII-B): how a faster readout shortens the
+//! surface-code cycle.
+
+/// Timing model of one surface-code QEC cycle, following the Surface-17
+/// schedule of Versluis et al. (Phys. Rev. Applied 8, 034021): a layer of
+/// basis-change single-qubit gates, four two-qubit interaction steps, the
+/// closing basis change, then ancilla measurement.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_qec::QecCycleTiming;
+///
+/// let t = QecCycleTiming::versluis_surface17(1000.0);
+/// assert_eq!(t.cycle_ns(), 1200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QecCycleTiming {
+    /// Single-qubit gate duration, nanoseconds.
+    pub single_qubit_gate_ns: f64,
+    /// Two-qubit (CZ) gate duration, nanoseconds.
+    pub two_qubit_gate_ns: f64,
+    /// Number of two-qubit interaction steps per cycle (4 for the surface
+    /// code).
+    pub n_interaction_steps: usize,
+    /// Number of single-qubit gate layers per cycle (2: opening and closing
+    /// basis changes).
+    pub n_single_qubit_layers: usize,
+    /// Ancilla readout duration, nanoseconds — the knob the paper's 20 %
+    /// faster readout turns.
+    pub measurement_ns: f64,
+}
+
+impl QecCycleTiming {
+    /// The Surface-17 schedule with 20 ns single-qubit gates, 40 ns CZs,
+    /// four interaction steps, and the given measurement time.
+    pub fn versluis_surface17(measurement_ns: f64) -> Self {
+        Self {
+            single_qubit_gate_ns: 20.0,
+            two_qubit_gate_ns: 40.0,
+            n_interaction_steps: 4,
+            n_single_qubit_layers: 2,
+            measurement_ns,
+        }
+    }
+
+    /// Total cycle duration in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        self.n_single_qubit_layers as f64 * self.single_qubit_gate_ns
+            + self.n_interaction_steps as f64 * self.two_qubit_gate_ns
+            + self.measurement_ns
+    }
+
+    /// Fraction of the cycle spent in measurement.
+    pub fn measurement_fraction(&self) -> f64 {
+        self.measurement_ns / self.cycle_ns()
+    }
+
+    /// Relative cycle-time reduction achieved by `faster` over `self`.
+    pub fn relative_reduction(&self, faster: &QecCycleTiming) -> f64 {
+        (self.cycle_ns() - faster.cycle_ns()) / self.cycle_ns()
+    }
+
+    /// Total runtime of `cycles` QEC rounds, nanoseconds.
+    pub fn total_ns(&self, cycles: usize) -> f64 {
+        self.cycle_ns() * cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sec7b_reduction_is_about_17_percent() {
+        // 1 us readout -> 800 ns readout (the paper's 200 ns saving).
+        let base = QecCycleTiming::versluis_surface17(1000.0);
+        let fast = QecCycleTiming::versluis_surface17(800.0);
+        let r = base.relative_reduction(&fast);
+        assert!((r - 1.0 / 6.0).abs() < 1e-9, "reduction {r}"); // 16.7%
+    }
+
+    #[test]
+    fn measurement_dominates_the_cycle() {
+        let t = QecCycleTiming::versluis_surface17(1000.0);
+        assert!(t.measurement_fraction() > 0.8);
+    }
+
+    #[test]
+    fn total_scales_linearly() {
+        let t = QecCycleTiming::versluis_surface17(800.0);
+        assert_eq!(t.total_ns(10), 10.0 * t.cycle_ns());
+    }
+
+    #[test]
+    fn zero_reduction_for_identical_timing() {
+        let t = QecCycleTiming::versluis_surface17(900.0);
+        assert_eq!(t.relative_reduction(&t), 0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Labelled trace datasets and stratified train/validation/test splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::{basis_state_count, BasisState, ChipConfig, ReadoutSimulator, Shot};
+
+/// SplitMix64 — mixes a seed and an index into an independent per-shot seed
+/// so parallel generation is deterministic regardless of scheduling.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Where a shot's classification label comes from.
+///
+/// The paper's three-level dataset is *not* explicitly calibrated: leaked
+/// labels come from spectral clustering of naturally leaked traces
+/// (Sec. V-A / VI). [`LabelSource::Initial`] models that pipeline — the
+/// label is the state actually occupied at the start of the readout window
+/// (computational preparation, natural leakage included) — while
+/// [`LabelSource::Prepared`] labels by the nominal preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelSource {
+    /// Label = nominally prepared state (explicit calibration).
+    #[default]
+    Prepared,
+    /// Label = true state at the start of the window (cluster-harvested
+    /// natural leakage, as in the paper's methodology).
+    Initial,
+}
+
+/// A labelled collection of simulated readout shots, the stand-in for the
+/// paper's captured five-qubit dataset (all `kⁿ` basis states, a fixed
+/// number of shots each).
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::{ChipConfig, TraceDataset};
+///
+/// let mut config = ChipConfig::five_qubit_paper();
+/// config.n_samples = 100; // keep the doctest fast
+/// let ds = TraceDataset::generate(&config, 2, 2, 42);
+/// assert_eq!(ds.len(), 32 * 2); // 2^5 states x 2 shots
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceDataset {
+    config: ChipConfig,
+    levels: usize,
+    shots: Vec<Shot>,
+    label_source: LabelSource,
+}
+
+impl TraceDataset {
+    /// Simulates `shots_per_state` shots for **every** `levels^n` basis
+    /// state of the chip (in flat-index order), in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not 2 or 3 or the config is invalid.
+    pub fn generate(config: &ChipConfig, levels: usize, shots_per_state: usize, seed: u64) -> Self {
+        assert!((2..=3).contains(&levels), "levels must be 2 or 3");
+        let states: Vec<BasisState> = (0..basis_state_count(config.n_qubits(), levels))
+            .map(|i| BasisState::from_flat_index(i, config.n_qubits(), levels))
+            .collect();
+        Self::generate_states(config, levels, &states, shots_per_state, seed)
+    }
+
+    /// Simulates `shots_per_state` shots for each of the given prepared
+    /// states, in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not 2 or 3 or the config is invalid.
+    pub fn generate_states(
+        config: &ChipConfig,
+        levels: usize,
+        states: &[BasisState],
+        shots_per_state: usize,
+        seed: u64,
+    ) -> Self {
+        assert!((2..=3).contains(&levels), "levels must be 2 or 3");
+        let sim = ReadoutSimulator::new(config.clone());
+        let jobs: Vec<(usize, usize)> = (0..states.len())
+            .flat_map(|s| (0..shots_per_state).map(move |r| (s, r)))
+            .collect();
+        let shots: Vec<Shot> = jobs
+            .par_iter()
+            .map(|&(s, r)| {
+                let shot_seed = mix_seed(seed, (s * shots_per_state + r) as u64);
+                let mut rng = StdRng::seed_from_u64(shot_seed);
+                sim.simulate_shot(&states[s], &mut rng)
+            })
+            .collect();
+        Self {
+            config: config.clone(),
+            levels,
+            shots,
+            label_source: LabelSource::Prepared,
+        }
+    }
+
+    /// Simulates the paper's calibration-free methodology: only the `2ⁿ`
+    /// computational basis states are prepared (`shots_per_state` each), and
+    /// shots are **labelled by their true initial three-level state** —
+    /// leaked labels exist only where natural leakage occurred, giving the
+    /// heavily imbalanced class counts the paper reports (487 leaked traces
+    /// on qubit 1 vs 17,642 on qubit 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn generate_natural(config: &ChipConfig, shots_per_state: usize, seed: u64) -> Self {
+        let states: Vec<BasisState> = (0..basis_state_count(config.n_qubits(), 2))
+            .map(|i| BasisState::from_flat_index(i, config.n_qubits(), 2))
+            .collect();
+        let mut ds = Self::generate_states(config, 3, &states, shots_per_state, seed);
+        ds.label_source = LabelSource::Initial;
+        ds
+    }
+
+    /// The chip configuration the shots were generated with.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Number of levels per qudit in the label alphabet (2 or 3).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// All shots, in generation order (grouped by prepared state).
+    pub fn shots(&self) -> &[Shot] {
+        &self.shots
+    }
+
+    /// Number of shots in the dataset.
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// `true` if the dataset holds no shots.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// Where this dataset's labels come from.
+    pub fn label_source(&self) -> LabelSource {
+        self.label_source
+    }
+
+    /// The labelled basis state of shot `i` (per [`TraceDataset::label_source`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn labelled_state(&self, i: usize) -> &BasisState {
+        match self.label_source {
+            LabelSource::Prepared => &self.shots[i].prepared,
+            LabelSource::Initial => &self.shots[i].initial,
+        }
+    }
+
+    /// Per-qubit level label of shot `i` (`0`, `1` or `2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `qubit` is out of range.
+    pub fn label(&self, i: usize, qubit: usize) -> usize {
+        self.labelled_state(i).level(qubit).index()
+    }
+
+    /// Joint flat-index label of shot `i` over the dataset's level alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn joint_label(&self, i: usize) -> usize {
+        self.labelled_state(i).flat_index(self.levels)
+    }
+
+    /// Returns a dataset with every trace truncated to `n_samples` (for the
+    /// readout-duration sweep). Labels are preserved.
+    pub fn truncated(&self, n_samples: usize) -> Self {
+        Self {
+            config: self.config.truncated(n_samples),
+            levels: self.levels,
+            shots: self
+                .shots
+                .iter()
+                .map(|s| s.truncated(n_samples, self.config.sample_rate_mhz))
+                .collect(),
+            label_source: self.label_source,
+        }
+    }
+
+    /// Stratified split into train/validation/test index sets following the
+    /// paper's methodology: per prepared state, `train_frac` of the shots go
+    /// to training (of which `val_frac` are carved out for validation) and
+    /// the rest to test. The paper uses `train_frac = 0.3`,
+    /// `val_frac = 0.15`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are outside `[0, 1]`.
+    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> DatasetSplit {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac out of range");
+        assert!((0.0..=1.0).contains(&val_frac), "val_frac out of range");
+        // Group indices by prepared state.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..self.shots.len() {
+            groups.entry(self.joint_label(i)).or_default().push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut split = DatasetSplit::default();
+        for (_, mut idxs) in groups {
+            idxs.shuffle(&mut rng);
+            let n_train_total = (idxs.len() as f64 * train_frac).round() as usize;
+            let n_val = (n_train_total as f64 * val_frac).round() as usize;
+            for (pos, idx) in idxs.into_iter().enumerate() {
+                if pos < n_train_total.saturating_sub(n_val) {
+                    split.train.push(idx);
+                } else if pos < n_train_total {
+                    split.val.push(idx);
+                } else {
+                    split.test.push(idx);
+                }
+            }
+        }
+        split
+    }
+
+    /// The paper's split: 30 % train / 70 % test per state, 15 % of train
+    /// reserved for validation.
+    pub fn paper_split(&self, seed: u64) -> DatasetSplit {
+        self.split(0.3, 0.15, seed)
+    }
+}
+
+/// Index sets produced by [`TraceDataset::split`]. Indices refer to
+/// [`TraceDataset::shots`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatasetSplit {
+    /// Training-set shot indices.
+    pub train: Vec<usize>,
+    /// Validation-set shot indices (carved out of the training fraction).
+    pub val: Vec<usize>,
+    /// Test-set shot indices.
+    pub test: Vec<usize>,
+}
+
+impl DatasetSplit {
+    /// Total number of indexed shots across the three sets.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// `true` if no shots are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ChipConfig {
+        let mut c = ChipConfig::five_qubit_paper();
+        c.n_samples = 50;
+        c
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_complete() {
+        let c = small_config();
+        let a = TraceDataset::generate(&c, 2, 3, 7);
+        let b = TraceDataset::generate(&c, 2, 3, 7);
+        assert_eq!(a.len(), 32 * 3);
+        assert_eq!(a.shots(), b.shots());
+        let other = TraceDataset::generate(&c, 2, 3, 8);
+        assert_ne!(a.shots(), other.shots());
+    }
+
+    #[test]
+    fn labels_follow_flat_index_grouping() {
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 3, 2, 1);
+        assert_eq!(ds.len(), 243 * 2);
+        // First two shots belong to |00000>, last two to |22222>.
+        assert_eq!(ds.joint_label(0), 0);
+        assert_eq!(ds.joint_label(1), 0);
+        assert_eq!(ds.joint_label(ds.len() - 1), 242);
+        assert_eq!(ds.label(ds.len() - 1, 0), 2);
+    }
+
+    #[test]
+    fn paper_split_proportions() {
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 2, 20, 3);
+        let split = ds.paper_split(11);
+        assert_eq!(split.len(), ds.len());
+        // 30% of 20 = 6 per state; 15% of 6 = 1 val.
+        assert_eq!(split.train.len(), 32 * 5);
+        assert_eq!(split.val.len(), 32);
+        assert_eq!(split.test.len(), 32 * 14);
+        // Disjoint.
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ds.len());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 2, 10, 3);
+        let split = ds.split(0.5, 0.0, 1);
+        // Each state contributes exactly 5 train shots.
+        let mut per_state = std::collections::HashMap::new();
+        for &i in &split.train {
+            *per_state.entry(ds.joint_label(i)).or_insert(0usize) += 1;
+        }
+        assert!(per_state.values().all(|&n| n == 5));
+    }
+
+    #[test]
+    fn truncated_dataset_shortens_all_traces() {
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 2, 1, 5).truncated(20);
+        assert!(ds.shots().iter().all(|s| s.len() == 20));
+        assert_eq!(ds.config().n_samples, 20);
+    }
+
+    #[test]
+    fn natural_dataset_labels_by_initial_state() {
+        let mut c = small_config();
+        c.qubits[3].prep_leak_prob = 0.2; // make leakage plentiful
+        let ds = TraceDataset::generate_natural(&c, 20, 9);
+        assert_eq!(ds.levels(), 3);
+        assert_eq!(ds.label_source(), LabelSource::Initial);
+        assert_eq!(ds.len(), 32 * 20);
+        // Leaked labels exist despite only computational preparations...
+        let leaked = (0..ds.len()).filter(|&i| ds.label(i, 3) == 2).count();
+        assert!(leaked > 20, "found {leaked} leaked labels");
+        // ...and labels agree with the simulator's ground truth.
+        for i in 0..ds.len() {
+            assert_eq!(ds.label(i, 3), ds.shots()[i].initial.level(3).index());
+            assert!(!ds.shots()[i].prepared.has_leakage());
+        }
+    }
+
+    #[test]
+    fn natural_split_is_stratified_by_true_state() {
+        let mut c = small_config();
+        c.qubits[0].prep_leak_prob = 0.3;
+        let ds = TraceDataset::generate_natural(&c, 10, 2);
+        let split = ds.split(0.5, 0.0, 1);
+        assert_eq!(split.len(), ds.len());
+        // Leaked-label shots appear in both train and test.
+        let leaked_train = split.train.iter().filter(|&&i| ds.label(i, 0) == 2).count();
+        let leaked_test = split.test.iter().filter(|&&i| ds.label(i, 0) == 2).count();
+        assert!(leaked_train > 0 && leaked_test > 0);
+    }
+
+    #[test]
+    fn generate_states_subset() {
+        let c = small_config();
+        let states = vec![
+            BasisState::from_flat_index(0, 5, 3),
+            BasisState::from_flat_index(242, 5, 3),
+        ];
+        let ds = TraceDataset::generate_states(&c, 3, &states, 4, 9);
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.joint_label(0), 0);
+        assert_eq!(ds.joint_label(7), 242);
+    }
+}

@@ -1,0 +1,347 @@
+//! Qubit energy levels and multi-qubit basis states.
+
+use std::fmt;
+
+/// One energy level of a transmon treated as a three-level system.
+///
+/// The computational subspace is `{Ground, Excited}`; [`Level::Leaked`] is
+/// the `|2⟩` state outside it, the target of leakage detection throughout
+/// this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::Level;
+///
+/// assert_eq!(Level::Leaked.index(), 2);
+/// assert_eq!(Level::from_index(1), Some(Level::Excited));
+/// assert!(Level::Leaked.is_leaked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Level {
+    /// `|0⟩`, the ground state.
+    #[default]
+    Ground,
+    /// `|1⟩`, the excited computational state.
+    Excited,
+    /// `|2⟩`, the leaked state outside the computational subspace.
+    Leaked,
+}
+
+impl Level {
+    /// All three levels in energy order.
+    pub const ALL: [Level; 3] = [Level::Ground, Level::Excited, Level::Leaked];
+
+    /// Numeric index of the level (`0`, `1`, `2`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Level::Ground => 0,
+            Level::Excited => 1,
+            Level::Leaked => 2,
+        }
+    }
+
+    /// Inverse of [`Level::index`]; `None` for indices above 2.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<Level> {
+        match i {
+            0 => Some(Level::Ground),
+            1 => Some(Level::Excited),
+            2 => Some(Level::Leaked),
+            _ => None,
+        }
+    }
+
+    /// `true` only for [`Level::Leaked`].
+    #[inline]
+    pub const fn is_leaked(self) -> bool {
+        matches!(self, Level::Leaked)
+    }
+
+    /// The level one quantum of energy below, or `Ground` if already there.
+    #[inline]
+    pub const fn decayed(self) -> Level {
+        match self {
+            Level::Ground | Level::Excited => Level::Ground,
+            Level::Leaked => Level::Excited,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|{}>", self.index())
+    }
+}
+
+/// Number of joint basis states for `n` qubits with `k` levels each (`k^n`).
+///
+/// # Panics
+///
+/// Panics on overflow (not reachable for the system sizes used here).
+pub fn basis_state_count(n_qubits: usize, levels: usize) -> usize {
+    levels
+        .checked_pow(n_qubits as u32)
+        .expect("basis state count overflow")
+}
+
+/// A joint computational/leakage basis state of an `n`-qubit register, e.g.
+/// `|0 2 1 0 0⟩`.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::{BasisState, Level};
+///
+/// let s = BasisState::from_flat_index(7, 2, 3); // base-3 digits of 7 = [2, 1]
+/// assert_eq!(s.level(0), Level::Leaked);
+/// assert_eq!(s.level(1), Level::Excited);
+/// assert_eq!(s.flat_index(3), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BasisState(Vec<Level>);
+
+impl BasisState {
+    /// Builds a basis state from per-qubit levels.
+    pub fn new(levels: Vec<Level>) -> Self {
+        Self(levels)
+    }
+
+    /// All `n` qubits prepared in the same `level`.
+    pub fn uniform(n: usize, level: Level) -> Self {
+        Self(vec![level; n])
+    }
+
+    /// Decodes a flat index into a basis state, treating the index as an
+    /// `n_qubits`-digit base-`levels` number. Qubit 0 is the *most
+    /// significant* digit, matching the `|q0 q1 …⟩` ket ordering used in the
+    /// paper's state tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or greater than 3, or if `index` is out of
+    /// range.
+    pub fn from_flat_index(index: usize, n_qubits: usize, levels: usize) -> Self {
+        assert!((1..=3).contains(&levels), "levels must be 1..=3");
+        assert!(
+            index < basis_state_count(n_qubits, levels),
+            "flat index out of range"
+        );
+        let mut digits = vec![Level::Ground; n_qubits];
+        let mut rem = index;
+        for q in (0..n_qubits).rev() {
+            digits[q] = Level::from_index(rem % levels).expect("digit < levels <= 3");
+            rem /= levels;
+        }
+        Self(digits)
+    }
+
+    /// Encodes this state as a flat base-`levels` index (inverse of
+    /// [`BasisState::from_flat_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit occupies a level `>= levels`.
+    pub fn flat_index(&self, levels: usize) -> usize {
+        let mut idx = 0;
+        for level in &self.0 {
+            assert!(level.index() < levels, "level outside the encoded alphabet");
+            idx = idx * levels + level.index();
+        }
+        idx
+    }
+
+    /// Number of qubits in the register.
+    pub fn n_qubits(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Level of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn level(&self, q: usize) -> Level {
+        self.0[q]
+    }
+
+    /// Replaces the level of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_level(&mut self, q: usize, level: Level) {
+        self.0[q] = level;
+    }
+
+    /// Per-qubit levels as a slice.
+    pub fn levels(&self) -> &[Level] {
+        &self.0
+    }
+
+    /// Count of qubits in the leaked state.
+    pub fn leaked_count(&self) -> usize {
+        self.0.iter().filter(|l| l.is_leaked()).count()
+    }
+
+    /// `true` if any qubit is leaked.
+    pub fn has_leakage(&self) -> bool {
+        self.0.iter().any(|l| l.is_leaked())
+    }
+}
+
+impl fmt::Display for BasisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|")?;
+        for l in &self.0 {
+            write!(f, "{}", l.index())?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<&[usize]> for BasisState {
+    fn from(indices: &[usize]) -> Self {
+        Self(
+            indices
+                .iter()
+                .map(|&i| Level::from_index(i).expect("level index out of range"))
+                .collect(),
+        )
+    }
+}
+
+/// Iterator over every joint basis state of `n` qubits with `k` levels, in
+/// flat-index order. Created by [`BasisStates::new`].
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::BasisStates;
+///
+/// let all: Vec<_> = BasisStates::new(2, 3).collect();
+/// assert_eq!(all.len(), 9);
+/// assert_eq!(all[4].to_string(), "|11>");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasisStates {
+    n_qubits: usize,
+    levels: usize,
+    next: usize,
+    total: usize,
+}
+
+impl BasisStates {
+    /// Iterates over all `levels^n_qubits` basis states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or greater than 3.
+    pub fn new(n_qubits: usize, levels: usize) -> Self {
+        assert!((1..=3).contains(&levels), "levels must be 1..=3");
+        Self {
+            n_qubits,
+            levels,
+            next: 0,
+            total: basis_state_count(n_qubits, levels),
+        }
+    }
+}
+
+impl Iterator for BasisStates {
+    type Item = BasisState;
+
+    fn next(&mut self) -> Option<BasisState> {
+        if self.next >= self.total {
+            return None;
+        }
+        let s = BasisState::from_flat_index(self.next, self.n_qubits, self.levels);
+        self.next += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BasisStates {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_index_roundtrip() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_index(l.index()), Some(l));
+        }
+        assert_eq!(Level::from_index(3), None);
+    }
+
+    #[test]
+    fn decay_ladder() {
+        assert_eq!(Level::Leaked.decayed(), Level::Excited);
+        assert_eq!(Level::Excited.decayed(), Level::Ground);
+        assert_eq!(Level::Ground.decayed(), Level::Ground);
+    }
+
+    #[test]
+    fn basis_state_roundtrip_all_243() {
+        for idx in 0..basis_state_count(5, 3) {
+            let s = BasisState::from_flat_index(idx, 5, 3);
+            assert_eq!(s.flat_index(3), idx);
+        }
+    }
+
+    #[test]
+    fn basis_state_msb_is_qubit_zero() {
+        // index 162 = 2*81 -> |20000>
+        let s = BasisState::from_flat_index(162, 5, 3);
+        assert_eq!(s.level(0), Level::Leaked);
+        assert!(s.levels()[1..].iter().all(|&l| l == Level::Ground));
+    }
+
+    #[test]
+    fn two_level_encoding_matches_binary() {
+        let s = BasisState::from_flat_index(0b10110, 5, 2);
+        let expect = [1, 0, 1, 1, 0].map(|i| Level::from_index(i).unwrap());
+        assert_eq!(s.levels(), &expect);
+    }
+
+    #[test]
+    fn leakage_queries() {
+        let mut s = BasisState::uniform(3, Level::Ground);
+        assert!(!s.has_leakage());
+        s.set_level(1, Level::Leaked);
+        assert!(s.has_leakage());
+        assert_eq!(s.leaked_count(), 1);
+        assert_eq!(s.to_string(), "|020>");
+    }
+
+    #[test]
+    fn iterator_covers_all_states_once() {
+        let states: Vec<_> = BasisStates::new(3, 3).collect();
+        assert_eq!(states.len(), 27);
+        let mut seen = std::collections::HashSet::new();
+        for s in &states {
+            assert!(seen.insert(s.flat_index(3)));
+        }
+    }
+
+    #[test]
+    fn iterator_size_hint_exact() {
+        let mut it = BasisStates::new(2, 2);
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat index out of range")]
+    fn flat_index_bounds_checked() {
+        let _ = BasisState::from_flat_index(243, 5, 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! A single readout shot and the transition events inside it.
+
+use mlr_num::Complex;
+
+use crate::{BasisState, Level};
+
+/// A level transition that occurred during a readout window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionEvent {
+    /// Which qubit jumped.
+    pub qubit: usize,
+    /// When the jump occurred, microseconds into the readout window.
+    pub time_us: f64,
+    /// Level before the jump.
+    pub from: Level,
+    /// Level after the jump.
+    pub to: Level,
+}
+
+impl TransitionEvent {
+    /// `true` if the jump lost energy (relaxation), `false` for excitation.
+    pub fn is_relaxation(&self) -> bool {
+        self.to.index() < self.from.index()
+    }
+}
+
+/// One digitised readout shot of the whole chip.
+///
+/// `raw` is the composite frequency-multiplexed trace as seen by the ADC —
+/// the sum of every qubit's tone plus receiver noise. Per-qubit information
+/// is recovered by demodulation (`mlr-dsp`). The ground-truth fields record
+/// what the simulator actually did, for labelling and for validating the
+/// error-trace tagging of the discriminators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shot {
+    /// Composite ADC trace, one complex (I, Q) sample per time bin.
+    pub raw: Vec<Complex>,
+    /// State the register was *nominally* prepared in (the classification
+    /// label, as in the paper's labelled dataset).
+    pub prepared: BasisState,
+    /// State actually occupied at the start of the window (differs from
+    /// `prepared` when natural leakage or SPAM errors strike).
+    pub initial: BasisState,
+    /// State occupied at the end of the window.
+    pub final_state: BasisState,
+    /// Every mid-trace level transition, in time order per qubit.
+    pub events: Vec<TransitionEvent>,
+}
+
+impl Shot {
+    /// Number of ADC samples in the trace.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// `true` if qubit `q` jumped at least once during the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range for the register.
+    pub fn qubit_jumped(&self, q: usize) -> bool {
+        assert!(q < self.prepared.n_qubits(), "qubit index out of range");
+        self.events.iter().any(|e| e.qubit == q)
+    }
+
+    /// Returns a copy with the trace truncated to the first `n_samples`
+    /// samples and events outside the shortened window dropped — used by the
+    /// readout-duration sweep (Fig. 5b).
+    pub fn truncated(&self, n_samples: usize, sample_rate_mhz: f64) -> Shot {
+        let n = n_samples.min(self.raw.len());
+        let t_max = n as f64 / sample_rate_mhz;
+        let mut out = self.clone();
+        out.raw.truncate(n);
+        out.events.retain(|e| e.time_us < t_max);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shot_with_events() -> Shot {
+        Shot {
+            raw: vec![Complex::ZERO; 500],
+            prepared: BasisState::uniform(2, Level::Excited),
+            initial: BasisState::uniform(2, Level::Excited),
+            final_state: BasisState::uniform(2, Level::Ground),
+            events: vec![
+                TransitionEvent {
+                    qubit: 0,
+                    time_us: 0.3,
+                    from: Level::Excited,
+                    to: Level::Ground,
+                },
+                TransitionEvent {
+                    qubit: 1,
+                    time_us: 0.9,
+                    from: Level::Excited,
+                    to: Level::Leaked,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn relaxation_vs_excitation() {
+        let s = shot_with_events();
+        assert!(s.events[0].is_relaxation());
+        assert!(!s.events[1].is_relaxation());
+    }
+
+    #[test]
+    fn jump_queries() {
+        let s = shot_with_events();
+        assert!(s.qubit_jumped(0));
+        assert!(s.qubit_jumped(1));
+    }
+
+    #[test]
+    fn truncation_drops_late_events() {
+        let s = shot_with_events();
+        let t = s.truncated(250, 500.0); // keep first 0.5 us
+        assert_eq!(t.len(), 250);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].qubit, 0);
+    }
+
+    #[test]
+    fn truncation_is_clamped() {
+        let s = shot_with_events();
+        assert_eq!(s.truncated(10_000, 500.0).len(), 500);
+    }
+}

@@ -1,0 +1,282 @@
+//! The end-to-end shot simulator: level dynamics → resonator response →
+//! crosstalk → multiplexed feedline → digitiser.
+
+use mlr_num::Complex;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::trajectory::{baseband_response, sample_level_timeline};
+use crate::{BasisState, ChipConfig, Level, Shot, TransitionEvent};
+
+/// Simulates digitised readout shots for a configured chip.
+///
+/// The simulator is deterministic given the caller-provided RNG, so datasets
+/// are reproducible and dataset generation can be parallelised by seeding a
+/// per-shot RNG.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::{BasisState, ChipConfig, Level, ReadoutSimulator};
+/// use rand::SeedableRng;
+///
+/// let sim = ReadoutSimulator::new(ChipConfig::five_qubit_paper());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let shot = sim.simulate_shot(&BasisState::uniform(5, Level::Ground), &mut rng);
+/// assert_eq!(shot.prepared.n_qubits(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadoutSimulator {
+    config: ChipConfig,
+    /// Precomputed per-qubit tone phasors `e^{+i 2π f_q t_n}` — sin/cos is
+    /// the dominant cost of naive shot generation, so it is paid once per
+    /// simulator instead of once per shot.
+    tone_tables: Vec<Vec<Complex>>,
+}
+
+impl ReadoutSimulator {
+    /// Creates a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ChipConfig::validate`]; construct
+    /// and validate the config separately to handle errors gracefully.
+    pub fn new(config: ChipConfig) -> Self {
+        config.validate().expect("invalid chip configuration");
+        let dt_us = config.dt_us();
+        let tone_tables = config
+            .qubits
+            .iter()
+            .map(|q| {
+                (0..config.n_samples)
+                    .map(|n| {
+                        Complex::cis(std::f64::consts::TAU * q.if_freq_mhz * n as f64 * dt_us)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            config,
+            tone_tables,
+        }
+    }
+
+    /// Borrows the chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Simulates one readout shot with the register nominally prepared in
+    /// `prepared`.
+    ///
+    /// Preparation leakage is applied first (a computational state may
+    /// actually start leaked with the per-qubit `prep_leak_prob`), then each
+    /// qubit follows a stochastic level timeline whose resonator response is
+    /// mixed through the crosstalk matrix, modulated to its tone frequency,
+    /// summed on the feedline, and digitised with additive receiver noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` has a different number of qubits than the chip.
+    pub fn simulate_shot(&self, prepared: &BasisState, rng: &mut impl Rng) -> Shot {
+        let n_qubits = self.config.n_qubits();
+        assert_eq!(
+            prepared.n_qubits(),
+            n_qubits,
+            "prepared state does not match chip size"
+        );
+        let n_samples = self.config.n_samples;
+        let dt_us = self.config.dt_us();
+        let duration = self.config.duration_us();
+
+        // 1. Preparation: natural leakage may replace a computational state.
+        let mut initial = prepared.clone();
+        for (q, params) in self.config.qubits.iter().enumerate() {
+            if !prepared.level(q).is_leaked() && rng.gen::<f64>() < params.prep_leak_prob {
+                initial.set_level(q, Level::Leaked);
+            }
+        }
+
+        // 2. Level dynamics and per-qubit baseband responses.
+        let mut basebands: Vec<Vec<Complex>> = Vec::with_capacity(n_qubits);
+        let mut events = Vec::new();
+        let mut final_state = initial.clone();
+        for (q, params) in self.config.qubits.iter().enumerate() {
+            let segments = sample_level_timeline(params, initial.level(q), duration, rng);
+            for w in segments.windows(2) {
+                events.push(TransitionEvent {
+                    qubit: q,
+                    time_us: w[1].start_us,
+                    from: w[0].level,
+                    to: w[1].level,
+                });
+            }
+            final_state.set_level(q, segments.last().expect("nonempty timeline").level);
+            basebands.push(baseband_response(params, &segments, n_samples, dt_us));
+        }
+
+        // 3. Crosstalk: each channel picks up a fraction of its neighbours.
+        let mixed: Vec<Vec<Complex>> = (0..n_qubits)
+            .map(|q| {
+                let row = &self.config.crosstalk[q];
+                (0..n_samples)
+                    .map(|n| {
+                        let mut s = basebands[q][n];
+                        for (p, &beta) in row.iter().enumerate() {
+                            if p != q && beta != 0.0 {
+                                s += basebands[p][n].scale(beta);
+                            }
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // 4. Frequency multiplexing onto the feedline + receiver noise.
+        let noise = Normal::new(0.0, self.config.rx_noise).expect("validated sigma");
+        let mut raw = Vec::with_capacity(n_samples);
+        for n in 0..n_samples {
+            let mut s = Complex::ZERO;
+            for (q, mixed_q) in mixed.iter().enumerate() {
+                s += mixed_q[n] * self.tone_tables[q][n];
+            }
+            s += Complex::new(noise.sample(rng), noise.sample(rng));
+            raw.push(self.quantize(s));
+        }
+
+        events.sort_by(|a, b| a.time_us.partial_cmp(&b.time_us).expect("finite times"));
+        Shot {
+            raw,
+            prepared: prepared.clone(),
+            initial,
+            final_state,
+            events,
+        }
+    }
+
+    /// Applies the ADC transfer function (clipping + uniform quantisation) to
+    /// one complex sample.
+    fn quantize(&self, s: Complex) -> Complex {
+        match self.config.adc_bits {
+            None => s,
+            Some(bits) => {
+                let fs = self.config.adc_full_scale;
+                let lsb = 2.0 * fs / (1u64 << bits) as f64;
+                let q = |x: f64| (x.clamp(-fs, fs) / lsb).round() * lsb;
+                Complex::new(q(s.re), q(s.im))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim() -> ReadoutSimulator {
+        ReadoutSimulator::new(ChipConfig::five_qubit_paper())
+    }
+
+    #[test]
+    fn shot_has_expected_shape() {
+        let s = sim();
+        let mut rng = StdRng::seed_from_u64(1);
+        let shot = s.simulate_shot(&BasisState::uniform(5, Level::Ground), &mut rng);
+        assert_eq!(shot.len(), 500);
+        assert_eq!(shot.prepared.n_qubits(), 5);
+        assert_eq!(shot.final_state.n_qubits(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = sim();
+        let prepared = BasisState::from_flat_index(121, 5, 3);
+        let a = s.simulate_shot(&prepared, &mut StdRng::seed_from_u64(99));
+        let b = s.simulate_shot(&prepared, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+        let c = s.simulate_shot(&prepared, &mut StdRng::seed_from_u64(100));
+        assert_ne!(a.raw, c.raw);
+    }
+
+    #[test]
+    fn events_match_state_change() {
+        let s = sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..200 {
+            let prepared = BasisState::from_flat_index(i % 243, 5, 3);
+            let shot = s.simulate_shot(&prepared, &mut rng);
+            // No events => final state equals initial state.
+            if shot.events.is_empty() {
+                assert_eq!(shot.initial, shot.final_state);
+            }
+            // Events are time ordered.
+            for w in shot.events.windows(2) {
+                assert!(w[0].time_us <= w[1].time_us);
+            }
+        }
+    }
+
+    #[test]
+    fn excited_population_decays_in_aggregate() {
+        let s = sim();
+        let mut rng = StdRng::seed_from_u64(17);
+        let prepared = BasisState::uniform(5, Level::Excited);
+        let shots = 2_000;
+        let mut decayed = 0usize;
+        let mut total = 0usize;
+        for _ in 0..shots {
+            let shot = s.simulate_shot(&prepared, &mut rng);
+            for q in 0..5 {
+                total += 1;
+                if shot.final_state.level(q) == Level::Ground {
+                    decayed += 1;
+                }
+            }
+        }
+        let frac = decayed as f64 / total as f64;
+        // Chip-average T1 ~ 24 us over a 1 us window -> a few percent decay.
+        assert!(frac > 0.01 && frac < 0.15, "decay fraction {frac}");
+    }
+
+    #[test]
+    fn natural_leakage_appears_without_preparing_it() {
+        let s = sim();
+        let mut rng = StdRng::seed_from_u64(23);
+        let prepared = BasisState::uniform(5, Level::Ground);
+        let mut leaked_initial = 0usize;
+        let shots = 4_000;
+        for _ in 0..shots {
+            let shot = s.simulate_shot(&prepared, &mut rng);
+            if shot.initial.has_leakage() {
+                leaked_initial += 1;
+            }
+        }
+        // Sum of the preset's prep_leak_probs is ~7.9% per 5-qubit shot.
+        let frac = leaked_initial as f64 / shots as f64;
+        assert!(frac > 0.04 && frac < 0.13, "leak fraction {frac}");
+    }
+
+    #[test]
+    fn quantization_respects_full_scale() {
+        let mut config = ChipConfig::five_qubit_paper();
+        config.adc_bits = Some(6);
+        config.adc_full_scale = 4.0;
+        let s = ReadoutSimulator::new(config);
+        let mut rng = StdRng::seed_from_u64(2);
+        let shot = s.simulate_shot(&BasisState::uniform(5, Level::Leaked), &mut rng);
+        for z in &shot.raw {
+            assert!(z.re.abs() <= 4.0 + 1e-9 && z.im.abs() <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared state does not match chip size")]
+    fn rejects_wrong_register_width() {
+        let s = sim();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = s.simulate_shot(&BasisState::uniform(3, Level::Ground), &mut rng);
+    }
+}

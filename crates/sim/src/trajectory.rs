@@ -1,0 +1,269 @@
+//! Stochastic level timelines and the resonator's response to them.
+
+use mlr_num::Complex;
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+use crate::{Level, QubitParams};
+
+/// One piece of a piecewise-constant level timeline: the qubit occupies
+/// `level` from `start_us` (inclusive) to `end_us` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSegment {
+    /// Segment start time within the readout window, microseconds.
+    pub start_us: f64,
+    /// Segment end time, microseconds.
+    pub end_us: f64,
+    /// Level occupied during the segment.
+    pub level: Level,
+}
+
+/// Samples the stochastic level trajectory of one qubit over a readout
+/// window of `duration_us`, starting from `initial`.
+///
+/// Relaxation (`1/T1` rates, with `|2⟩` branching to `|1⟩` or directly to
+/// `|0⟩`) competes with measurement-induced excitation; the earliest
+/// exponential clock fires and the walk continues from the new level.
+///
+/// The result is never empty and its segments tile `[0, duration_us]`
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::{sample_level_timeline, Level, QubitParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let segs = sample_level_timeline(&QubitParams::nominal(), Level::Ground, 1.0, &mut rng);
+/// assert_eq!(segs[0].start_us, 0.0);
+/// assert_eq!(segs.last().unwrap().end_us, 1.0);
+/// ```
+pub fn sample_level_timeline(
+    params: &QubitParams,
+    initial: Level,
+    duration_us: f64,
+    rng: &mut impl Rng,
+) -> Vec<LevelSegment> {
+    let mut segments = Vec::with_capacity(2);
+    let mut t = 0.0;
+    let mut level = initial;
+
+    while t < duration_us {
+        // Candidate processes from the current level: (rate per us, target).
+        let mut processes: Vec<(f64, Level)> = Vec::with_capacity(3);
+        match level {
+            Level::Ground => {
+                processes.push((params.exc_ge_per_us, Level::Excited));
+                processes.push((params.exc_gf_per_us, Level::Leaked));
+            }
+            Level::Excited => {
+                processes.push((1.0 / params.t1_ge_us, Level::Ground));
+                processes.push((params.exc_ef_per_us, Level::Leaked));
+            }
+            Level::Leaked => {
+                let decay_rate = 1.0 / params.t1_ef_us;
+                let direct = params.direct_leak_decay_prob;
+                processes.push((decay_rate * (1.0 - direct), Level::Excited));
+                processes.push((decay_rate * direct, Level::Ground));
+            }
+        }
+
+        // Earliest firing clock wins.
+        let mut first: Option<(f64, Level)> = None;
+        for (rate, target) in processes {
+            if rate <= 0.0 {
+                continue;
+            }
+            let wait = Exp::new(rate).expect("positive rate").sample(rng);
+            if first.is_none_or(|(best, _)| wait < best) {
+                first = Some((wait, target));
+            }
+        }
+
+        match first {
+            Some((wait, target)) if t + wait < duration_us => {
+                segments.push(LevelSegment {
+                    start_us: t,
+                    end_us: t + wait,
+                    level,
+                });
+                t += wait;
+                level = target;
+            }
+            _ => {
+                segments.push(LevelSegment {
+                    start_us: t,
+                    end_us: duration_us,
+                    level,
+                });
+                break;
+            }
+        }
+    }
+    segments
+}
+
+/// Steady-state dispersive response of the resonator when the qubit sits in
+/// `level`.
+pub(crate) fn steady_state(params: &QubitParams, level: Level) -> Complex {
+    Complex::from_polar(params.amplitude, params.phase_deg[level.index()].to_radians())
+}
+
+/// Integrates the resonator response to a level timeline.
+///
+/// The resonator starts empty (`s(0) = 0`, ring-up) and relaxes toward the
+/// steady-state point of the currently occupied level with time constant
+/// `ring_up_tau_ns`; a mid-trace jump re-targets the relaxation, producing
+/// the characteristic kinked trajectories that relaxation/excitation matched
+/// filters key on.
+///
+/// Returns one complex (I, Q) sample per time bin.
+pub(crate) fn baseband_response(
+    params: &QubitParams,
+    segments: &[LevelSegment],
+    n_samples: usize,
+    dt_us: f64,
+) -> Vec<Complex> {
+    let tau_us = params.ring_up_tau_ns * 1e-3;
+    let alpha = (-dt_us / tau_us).exp();
+    let mut out = Vec::with_capacity(n_samples);
+    let mut s = Complex::ZERO;
+    let mut seg_idx = 0;
+    for n in 0..n_samples {
+        let t = n as f64 * dt_us;
+        while seg_idx + 1 < segments.len() && t >= segments[seg_idx].end_us {
+            seg_idx += 1;
+        }
+        let target = steady_state(params, segments[seg_idx].level);
+        // First-order relaxation toward the target over one sample period.
+        s = target + (s - target).scale(alpha);
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nominal() -> QubitParams {
+        QubitParams::nominal()
+    }
+
+    #[test]
+    fn timeline_tiles_window() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for init in Level::ALL {
+            for _ in 0..50 {
+                let segs = sample_level_timeline(&nominal(), init, 1.0, &mut rng);
+                assert!(!segs.is_empty());
+                assert_eq!(segs[0].start_us, 0.0);
+                assert_eq!(segs.last().unwrap().end_us, 1.0);
+                for w in segs.windows(2) {
+                    assert!((w[0].end_us - w[1].start_us).abs() < 1e-12);
+                    assert_ne!(w[0].level, w[1].level, "segments only split at jumps");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excited_state_decays_at_roughly_t1_rate() {
+        let mut params = nominal();
+        params.t1_ge_us = 5.0;
+        params.exc_ef_per_us = 0.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut decayed = 0;
+        for _ in 0..trials {
+            let segs = sample_level_timeline(&params, Level::Excited, 1.0, &mut rng);
+            if segs.last().unwrap().level == Level::Ground {
+                decayed += 1;
+            }
+        }
+        let p = decayed as f64 / trials as f64;
+        let expected = 1.0 - (-1.0f64 / 5.0).exp(); // ~0.181
+        assert!(
+            (p - expected).abs() < 0.01,
+            "decay fraction {p} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ground_state_mostly_stays_put() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stayed = 0;
+        let trials = 5_000;
+        for _ in 0..trials {
+            let segs = sample_level_timeline(&nominal(), Level::Ground, 1.0, &mut rng);
+            if segs.len() == 1 {
+                stayed += 1;
+            }
+        }
+        // exc rates are ~0.005/us, so >98% of shots should be jump-free.
+        assert!(stayed as f64 / trials as f64 > 0.98);
+    }
+
+    #[test]
+    fn leaked_state_decays_through_cascade() {
+        let mut params = nominal();
+        params.t1_ef_us = 0.05; // decay almost surely within the window
+        params.t1_ge_us = 0.05;
+        let mut rng = StdRng::seed_from_u64(11);
+        let segs = sample_level_timeline(&params, Level::Leaked, 1.0, &mut rng);
+        assert!(segs.len() >= 2);
+        assert_eq!(segs.last().unwrap().level, Level::Ground);
+    }
+
+    #[test]
+    fn zero_rates_freeze_the_ground_state() {
+        let mut params = nominal();
+        params.exc_ge_per_us = 0.0;
+        params.exc_gf_per_us = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let segs = sample_level_timeline(&params, Level::Ground, 1.0, &mut rng);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].level, Level::Ground);
+    }
+
+    #[test]
+    fn response_rings_up_to_steady_state() {
+        let params = nominal();
+        let segs = [LevelSegment {
+            start_us: 0.0,
+            end_us: 1.0,
+            level: Level::Excited,
+        }];
+        let resp = baseband_response(&params, &segs, 500, 1.0 / 500.0);
+        let target = steady_state(&params, Level::Excited);
+        // Early sample far from steady state, late sample converged.
+        assert!((resp[0] - target).abs() > 0.5 * target.abs());
+        assert!((resp[499] - target).abs() < 1e-3 * target.abs());
+    }
+
+    #[test]
+    fn response_tracks_mid_trace_jump() {
+        let params = nominal();
+        let segs = [
+            LevelSegment {
+                start_us: 0.0,
+                end_us: 0.5,
+                level: Level::Excited,
+            },
+            LevelSegment {
+                start_us: 0.5,
+                end_us: 1.0,
+                level: Level::Ground,
+            },
+        ];
+        let resp = baseband_response(&params, &segs, 500, 1.0 / 500.0);
+        let e = steady_state(&params, Level::Excited);
+        let g = steady_state(&params, Level::Ground);
+        // Just before the jump: near |1>; at the end: near |0>.
+        assert!((resp[249] - e).abs() < 0.1 * e.abs());
+        assert!((resp[499] - g).abs() < 0.1 * g.abs());
+    }
+}

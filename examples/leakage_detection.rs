@@ -1,0 +1,56 @@
+//! Calibration-free leakage discovery (Sec. V-A of the paper): find
+//! naturally occurring leaked traces with spectral clustering of Mean
+//! Trace Values — no explicit `|2⟩` preparation needed.
+//!
+//! ```sh
+//! cargo run --release --example leakage_detection
+//! ```
+
+use mlr_core::NaturalLeakageDetector;
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn main() {
+    let config = ChipConfig::five_qubit_paper();
+    println!("Simulating two-level readout of the five-qubit chip...");
+    let dataset = TraceDataset::generate_natural(&config, 300, 11);
+    let all: Vec<usize> = (0..dataset.len()).collect();
+    let detector = NaturalLeakageDetector::new();
+
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "qubit", "|0> lobe", "|1> lobe", "L lobe", "found %", "recall"
+    );
+    for q in 0..config.n_qubits() {
+        let harvest = detector.detect(&dataset, q, &all);
+
+        // Simulation luxury: compare against ground truth.
+        let truly_leaked: Vec<bool> = all
+            .iter()
+            .map(|&i| dataset.shots()[i].initial.level(q).is_leaked())
+            .collect();
+        let n_true = truly_leaked.iter().filter(|&&b| b).count();
+        let found = harvest
+            .leaked_positions
+            .iter()
+            .filter(|&&p| truly_leaked[p])
+            .count();
+        let recall = if n_true == 0 {
+            1.0
+        } else {
+            found as f64 / n_true as f64
+        };
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>8.2}% {:>8.2}",
+            format!("Q{}", q + 1),
+            harvest.cluster_sizes[0],
+            harvest.cluster_sizes[1],
+            harvest.cluster_sizes[2],
+            100.0 * harvest.leakage_fraction(),
+            recall
+        );
+    }
+    println!(
+        "\nThe smallest cluster is the leakage candidate; qubits 3 and 4 are the\n\
+         leakage-prone ones, mirroring the paper's 487..17,642 trace spread."
+    );
+}

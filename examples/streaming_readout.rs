@@ -1,0 +1,63 @@
+//! Adaptive-duration readout: stream ADC samples through the pipeline and
+//! terminate each shot as soon as every qubit's decision is confident.
+//!
+//! The paper's Fig. 5(b) shortens readout by a *fixed* 200 ns; the
+//! streaming front end generalises that — easy shots decide at the first
+//! checkpoint, ambiguous ones integrate longer. This example sweeps the
+//! confidence knob and prints the accuracy/mean-duration tradeoff.
+//!
+//! ```sh
+//! cargo run --release --example streaming_readout
+//! ```
+
+use mlr_core::{evaluate_streaming, StreamingConfig, StreamingReadout};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+fn main() {
+    let mut chip = ChipConfig::uniform(2);
+    chip.n_samples = 400; // 800 ns readout window
+    chip.qubits[0].prep_leak_prob = 0.03;
+    chip.qubits[1].prep_leak_prob = 0.05;
+    let dt_ns = chip.dt_us() * 1000.0;
+
+    println!("Generating natural-leakage dataset...");
+    let dataset = TraceDataset::generate_natural(&chip, 400, 11);
+    let split = dataset.paper_split(11);
+
+    println!("Fitting checkpoint heads at 200/300/400 samples...\n");
+    println!(
+        "{:>10}  {:>12}  {:>14}  {:>20}",
+        "confidence", "mean fid.", "mean dur (ns)", "decided at cp 0/1/2"
+    );
+    for confidence in [0.6, 0.8, 0.9, 0.95, 0.99, 2.0] {
+        let config = StreamingConfig {
+            checkpoints: vec![200, 300, 400],
+            confidence,
+            base: Default::default(),
+        };
+        let readout = StreamingReadout::fit(&dataset, &split, &config);
+        let report = evaluate_streaming(&readout, &dataset, &split.test);
+        let mean_f = report.per_qubit_fidelity.iter().sum::<f64>()
+            / report.per_qubit_fidelity.len() as f64;
+        let label = if confidence > 1.0 {
+            "never".to_owned()
+        } else {
+            format!("{confidence:.2}")
+        };
+        println!(
+            "{label:>10}  {mean_f:>12.4}  {:>14.0}  {:>20}",
+            report.mean_duration_ns(dt_ns),
+            report
+                .checkpoint_counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+    }
+    println!(
+        "\nReading guide: lowering the confidence threshold trades a little\n\
+         fidelity for a substantially shorter mean readout; 'never' is the\n\
+         fixed-duration deployment the paper evaluates."
+    );
+}

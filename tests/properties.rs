@@ -1,0 +1,263 @@
+//! Property-based tests on the workspace's core data structures and
+//! numeric invariants.
+
+use proptest::prelude::*;
+
+use mlr_dsp::{Demodulator, MatchedFilter, MatchedFilterKind, StreamingDemodulator};
+use mlr_linalg::Matrix;
+use mlr_nn::{geometric_mean, FixedPointFormat, IntMlp, Mlp, QuantizedMlp};
+use mlr_num::{Complex, Welford};
+use mlr_qec::QecCycleTiming;
+use mlr_sim::{basis_state_count, BasisState, ChipConfig};
+
+proptest! {
+    #[test]
+    fn basis_state_flat_index_roundtrip(
+        n_qubits in 1usize..8,
+        levels in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let total = basis_state_count(n_qubits, levels);
+        let index = (seed as usize) % total;
+        let state = BasisState::from_flat_index(index, n_qubits, levels);
+        prop_assert_eq!(state.flat_index(levels), index);
+        prop_assert_eq!(state.n_qubits(), n_qubits);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..60)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-8 * (1.0 + var));
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent(
+        a in prop::collection::vec(-50f64..50.0, 1..30),
+        b in prop::collection::vec(-50f64..50.0, 1..30),
+    ) {
+        let mut wa = Welford::new();
+        a.iter().for_each(|&x| wa.push(x));
+        let mut wb = Welford::new();
+        b.iter().for_each(|&x| wb.push(x));
+        let mut ab = wa;
+        ab.merge(&wb);
+        let mut all = Welford::new();
+        a.iter().chain(&b).for_each(|&x| all.push(x));
+        prop_assert!((ab.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - all.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_multiplication_preserves_magnitude(
+        r1 in 0.01f64..10.0, p1 in -std::f64::consts::PI..std::f64::consts::PI,
+        r2 in 0.01f64..10.0, p2 in -std::f64::consts::PI..std::f64::consts::PI,
+    ) {
+        let a = Complex::from_polar(r1, p1);
+        let b = Complex::from_polar(r2, p2);
+        prop_assert!(((a * b).abs() - r1 * r2).abs() < 1e-9 * (1.0 + r1 * r2));
+    }
+
+    #[test]
+    fn matched_filter_score_is_linear(
+        xs in prop::collection::vec(-5f64..5.0, 4),
+        k in 0.1f64..4.0,
+    ) {
+        // Fixed two-class fit, then check score linearity in the input.
+        let c0 = [vec![0.0, 0.0, 0.0, 0.2], vec![0.2, -0.1, 0.1, 0.0]];
+        let c1 = [vec![1.0, 1.1, 0.9, 1.0], vec![0.9, 1.0, 1.1, 0.8]];
+        let mf = MatchedFilter::fit(
+            c0.iter().map(|v| v.as_slice()),
+            c1.iter().map(|v| v.as_slice()),
+            MatchedFilterKind::VarianceSum,
+        ).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        prop_assert!((mf.apply(&scaled) - k * mf.apply(&xs)).abs() < 1e-6 * (1.0 + mf.apply(&xs).abs() * k));
+    }
+
+    #[test]
+    fn quantization_is_idempotent_and_bounded(
+        x in -1e4f64..1e4,
+        total in 4u32..24,
+        int_frac in 1u32..8,
+    ) {
+        let int_bits = int_frac.min(total);
+        let fmt = FixedPointFormat::new(total, int_bits);
+        let q = fmt.quantize(x);
+        prop_assert_eq!(fmt.quantize(q), q, "idempotent");
+        prop_assert!(q <= fmt.max_value() + 1e-12);
+        prop_assert!(q >= -(fmt.max_value() + fmt.resolution()) - 1e-12);
+        // Within half an LSB when in range.
+        if x.abs() < fmt.max_value() {
+            prop_assert!((q - x).abs() <= fmt.resolution() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(
+        seed in prop::collection::vec(-1f64..1.0, 9),
+        rhs in prop::collection::vec(-10f64..10.0, 3),
+    ) {
+        // Diagonally dominant 3x3 built from the seed: always solvable.
+        let a = Matrix::from_fn(3, 3, |i, j| {
+            let v = seed[i * 3 + j];
+            if i == j { 5.0 + v } else { v }
+        });
+        let lu = a.lu().expect("diagonally dominant");
+        let x = lu.solve(&rhs);
+        let ax = a.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_random_symmetric(
+        seed in prop::collection::vec(-2f64..2.0, 10),
+    ) {
+        // Build a symmetric 4x4 from 10 free entries.
+        let mut m = Matrix::zeros(4, 4);
+        let mut it = seed.iter();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = *it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let eig = m.symmetric_eigen();
+        let v = &eig.vectors;
+        let rec = &(v * &Matrix::from_diag(&eig.values)) * &v.transpose();
+        prop_assert!((&rec - &m).max_abs() < 1e-8);
+        // Ascending eigenvalues.
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_bounded_by_extremes(
+        fs in prop::collection::vec(0.01f64..1.0, 1..8),
+    ) {
+        let g = geometric_mean(&fs);
+        let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min - 1e-12 && g <= max + 1e-12);
+    }
+
+    #[test]
+    fn cycle_reduction_matches_measurement_share(meas in 100f64..2000.0, saving in 0f64..100.0) {
+        let base = QecCycleTiming::versluis_surface17(meas);
+        let fast = QecCycleTiming::versluis_surface17(meas - saving);
+        let r = base.relative_reduction(&fast);
+        prop_assert!((r - saving / base.cycle_ns()).abs() < 1e-12);
+        prop_assert!((0.0..1.0).contains(&r));
+    }
+
+    #[test]
+    fn integer_datapath_matches_float_quantisation_model(
+        seed in any::<u64>(),
+        hidden in 1usize..24,
+        n_in in 1usize..16,
+        n_out in 2usize..6,
+        total_bits in 8u32..20,
+        int_bits in 4u32..8,
+        xs in prop::collection::vec(-4f32..4.0, 16),
+    ) {
+        // The headline IntMlp property: bit-identical to QuantizedMlp for
+        // any topology, format, and input.
+        let fmt = FixedPointFormat::new(total_bits, int_bits.min(total_bits));
+        let mlp = Mlp::new(&[n_in, hidden, n_out], seed);
+        let imlp = IntMlp::from_mlp(&mlp, fmt);
+        let qmlp = QuantizedMlp::from_mlp(&mlp, fmt);
+        let x = &xs[..n_in];
+        prop_assert_eq!(imlp.forward(x), qmlp.forward(x));
+        prop_assert_eq!(imlp.predict(x), qmlp.predict(x));
+    }
+
+    #[test]
+    fn iq_prefix_score_completes_to_full_apply(
+        trace in prop::collection::vec((-3f64..3.0, -3f64..3.0), 8..32),
+        split_at in 0usize..8,
+    ) {
+        // A matched filter fitted at the trace length scores a full-length
+        // prefix identically to the batch feature path.
+        let traces: Vec<Vec<Complex>> = vec![
+            trace.iter().map(|&(re, im)| Complex::new(re, im)).collect(),
+        ];
+        let full: &[Complex] = &traces[0];
+        let c0: Vec<Vec<f64>> = vec![vec![0.0; 2 * full.len()], vec![0.1; 2 * full.len()]];
+        let c1: Vec<Vec<f64>> = vec![vec![1.0; 2 * full.len()], vec![0.9; 2 * full.len()]];
+        let mf = MatchedFilter::fit(
+            c0.iter().map(|v| v.as_slice()),
+            c1.iter().map(|v| v.as_slice()),
+            MatchedFilterKind::VarianceSum,
+        ).expect("both classes populated");
+        let batch = mf.apply(&mlr_dsp::iq_features(full));
+        let via_prefix = mf.apply_iq_prefix(full);
+        prop_assert!((batch - via_prefix).abs() < 1e-9 * (1.0 + batch.abs()));
+        // Prefix scores accumulate monotonically in information: a prefix
+        // is the partial sum of per-sample contributions.
+        let k = split_at.min(full.len());
+        let head = mf.apply_iq_prefix(&full[..k]);
+        let tail: f64 = (k..full.len())
+            .map(|t| {
+                let l = mf.kernel().len() / 2;
+                mf.kernel()[t] * full[t].re + mf.kernel()[l + t] * full[t].im
+            })
+            .sum();
+        prop_assert!((head + tail - via_prefix).abs() < 1e-9 * (1.0 + via_prefix.abs()));
+    }
+
+    #[test]
+    fn streaming_demod_matches_batch_tables(
+        samples in prop::collection::vec((-2f64..2.0, -2f64..2.0), 1..120),
+        n_qubits in 1usize..4,
+    ) {
+        let mut chip = ChipConfig::uniform(n_qubits);
+        chip.n_samples = 120;
+        let batch = Demodulator::new(&chip);
+        let mut stream = StreamingDemodulator::new(&chip);
+        let raw: Vec<Complex> = samples
+            .iter()
+            .map(|&(re, im)| Complex::new(re, im))
+            .collect();
+        let reference: Vec<Vec<Complex>> = (0..n_qubits)
+            .map(|q| batch.demodulate(&raw, q))
+            .collect();
+        for (t, &z) in raw.iter().enumerate() {
+            let bb = stream.push(z).to_vec();
+            for q in 0..n_qubits {
+                prop_assert!((bb[q] - reference[q][t]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_probabilities_are_a_distribution(
+        seed in any::<u64>(),
+        xs in prop::collection::vec(-10f32..10.0, 5),
+    ) {
+        let mlp = Mlp::new(&[5, 7, 4], seed);
+        let p = mlp.predict_proba(&xs);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // predict() agrees with the argmax of the distribution (ties
+        // resolve to the lowest index, hence the strictly-greater fold).
+        let argmax = p
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |acc, (i, &v)| {
+                if v > acc.1 { (i, v) } else { acc }
+            })
+            .0;
+        prop_assert_eq!(mlp.predict(&xs), argmax);
+    }
+}
