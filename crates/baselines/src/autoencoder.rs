@@ -12,8 +12,8 @@
 
 use mlr_core::Discriminator;
 use mlr_dsp::{boxcar_decimate, iq_features, Demodulator};
-use mlr_num::Complex;
 use mlr_nn::{Mlp, RegressionData, Standardizer, TrainConfig, TrainData};
+use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
 use rayon::prelude::*;
 
@@ -121,11 +121,7 @@ impl AutoencoderBaseline {
     ///
     /// Panics if the training split is empty or indexes out of range, or if
     /// decimation leaves no samples.
-    pub fn fit(
-        dataset: &TraceDataset,
-        split: &DatasetSplit,
-        config: &AutoencoderConfig,
-    ) -> Self {
+    pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &AutoencoderConfig) -> Self {
         assert!(!split.train.is_empty(), "empty training split");
         assert!(config.decimation > 0, "decimation must be positive");
         let chip = dataset.config();
@@ -151,12 +147,9 @@ impl AutoencoderBaseline {
         let models = (0..chip.n_qubits())
             .map(|q| {
                 let train_raw = features_of(q, &split.train);
-                let standardizer =
-                    Standardizer::fit(&train_raw).expect("nonempty training batch");
+                let standardizer = Standardizer::fit(&train_raw).expect("nonempty training batch");
                 let to_f32 = |rows: &[Vec<f64>]| -> Vec<Vec<f32>> {
-                    rows.iter()
-                        .map(|r| standardizer.transform_f32(r))
-                        .collect()
+                    rows.iter().map(|r| standardizer.transform_f32(r)).collect()
                 };
                 let train_x = to_f32(&train_raw);
                 let val_x = if split.val.is_empty() {
@@ -167,17 +160,9 @@ impl AutoencoderBaseline {
 
                 // Stage 1: unsupervised reconstruction.
                 let d = train_x[0].len();
-                let sizes = [
-                    d,
-                    config.hidden,
-                    config.bottleneck,
-                    config.hidden,
-                    d,
-                ];
-                let mut autoencoder =
-                    Mlp::new(&sizes, config.ae_train.seed.wrapping_add(q as u64));
-                let ae_data =
-                    RegressionData::identity(train_x.clone()).expect("validated batch");
+                let sizes = [d, config.hidden, config.bottleneck, config.hidden, d];
+                let mut autoencoder = Mlp::new(&sizes, config.ae_train.seed.wrapping_add(q as u64));
+                let ae_data = RegressionData::identity(train_x.clone()).expect("validated batch");
                 let ae_val = val_x
                     .as_ref()
                     .map(|vx| RegressionData::identity(vx.clone()).expect("validated batch"));
@@ -192,14 +177,12 @@ impl AutoencoderBaseline {
                 let encode_rows = |rows: &[Vec<f32>]| -> Vec<Vec<f32>> {
                     rows.iter()
                         .map(|r| {
-                            stack.autoencoder.layer_outputs(r)[QubitAe::BOTTLENECK_LAYER]
-                                .clone()
+                            stack.autoencoder.layer_outputs(r)[QubitAe::BOTTLENECK_LAYER].clone()
                         })
                         .collect()
                 };
                 let codes = encode_rows(&train_x);
-                let labels: Vec<usize> =
-                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
+                let labels: Vec<usize> = split.train.iter().map(|&i| dataset.label(i, q)).collect();
                 let data = TrainData::new(codes, labels, levels).expect("validated codes");
                 let val_data = val_x.as_ref().map(|vx| {
                     let vcodes = encode_rows(vx);
@@ -245,12 +228,7 @@ impl AutoencoderBaseline {
     /// # Panics
     ///
     /// Panics if `q` or any index is out of range.
-    pub fn reconstruction_mse(
-        &self,
-        dataset: &TraceDataset,
-        q: usize,
-        indices: &[usize],
-    ) -> f64 {
+    pub fn reconstruction_mse(&self, dataset: &TraceDataset, q: usize, indices: &[usize]) -> f64 {
         let model = &self.models[q];
         let rows: Vec<Vec<f32>> = indices
             .iter()

@@ -97,8 +97,7 @@ impl DiscriminantAnalysis {
                         vec![z.re, z.im]
                     })
                     .collect();
-                let labels: Vec<usize> =
-                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
+                let labels: Vec<usize> = split.train.iter().map(|&i| dataset.label(i, q)).collect();
 
                 let mut means = Vec::with_capacity(levels);
                 let mut log_priors = Vec::with_capacity(levels);
@@ -137,8 +136,7 @@ impl DiscriminantAnalysis {
                         .collect(),
                     DiscriminantKind::Lda => {
                         // Pooled covariance, weighted by class df.
-                        let total_df: f64 =
-                            counts.iter().map(|&n| (n.max(2) - 1) as f64).sum();
+                        let total_df: f64 = counts.iter().map(|&n| (n.max(2) - 1) as f64).sum();
                         let mut pooled = Matrix::zeros(2, 2);
                         for (cov, &n) in class_covs.iter().zip(&counts) {
                             pooled = &pooled + &cov.scale((n.max(2) - 1) as f64 / total_df);

@@ -69,7 +69,11 @@ impl FnnBaseline {
         let raw_train = featurize(&split.train);
         let standardizer = Standardizer::fit(&raw_train).expect("nonempty training batch");
         let train_x = standardizer.transform_batch(&raw_train);
-        let train_y: Vec<usize> = split.train.iter().map(|&i| dataset.joint_label(i)).collect();
+        let train_y: Vec<usize> = split
+            .train
+            .iter()
+            .map(|&i| dataset.joint_label(i))
+            .collect();
         let data = TrainData::from_f64(&train_x, train_y, n_classes).expect("validated batch");
 
         let val_data = if split.val.is_empty() {
@@ -89,10 +93,13 @@ impl FnnBaseline {
         // where rare leaked joint classes still get thousands of examples.
         // At this reproduction's dataset scale the same classes would be
         // starved, so the FNN gets capped inverse-frequency class weights —
-        // without them it cannot learn leakage at all (see EXPERIMENTS.md).
+        // without them it cannot learn leakage at all (see the README's deviations note).
         if train_cfg.class_weights.is_none() {
-            train_cfg.class_weights =
-                Some(mlr_nn::inverse_frequency_weights(data.labels(), n_classes, 20.0));
+            train_cfg.class_weights = Some(mlr_nn::inverse_frequency_weights(
+                data.labels(),
+                n_classes,
+                20.0,
+            ));
         }
         mlp.train(&data, val_data.as_ref(), &train_cfg);
 
@@ -121,6 +128,18 @@ impl Discriminator for FnnBaseline {
         // Per-qubit decisions come from the joint softmax's marginals — the
         // optimal per-qubit rule, pooling mass across rare joint classes.
         self.mlp.predict_marginal(&x, self.n_qubits, self.levels)
+    }
+
+    /// Native batch path: featurise and standardise the whole batch once,
+    /// then decode marginals row by row (fanned over cores). Decisions
+    /// match mapping `predict_shot` exactly — the raw-trace FNN has no
+    /// demodulation stage to fuse, so the win is the amortised setup.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let features: Vec<Vec<f64>> = mlr_core::par_map(shots, |raw| iq_features(raw));
+        let xs = self.standardizer.transform_batch_f32(&features);
+        mlr_core::par_map(&xs, |x| {
+            self.mlp.predict_marginal(x, self.n_qubits, self.levels)
+        })
     }
 
     fn name(&self) -> &str {

@@ -75,14 +75,17 @@ impl HerqulesBaseline {
         let raw_train = extractor.extract_batch(dataset, &split.train);
         let standardizer = Standardizer::fit(&raw_train).expect("nonempty training batch");
         let train_x = standardizer.transform_batch(&raw_train);
-        let train_y: Vec<usize> = split.train.iter().map(|&i| dataset.joint_label(i)).collect();
+        let train_y: Vec<usize> = split
+            .train
+            .iter()
+            .map(|&i| dataset.joint_label(i))
+            .collect();
         let data = TrainData::from_f64(&train_x, train_y, n_classes).expect("validated batch");
 
         let val_data = if split.val.is_empty() {
             None
         } else {
-            let val_x =
-                standardizer.transform_batch(&extractor.extract_batch(dataset, &split.val));
+            let val_x = standardizer.transform_batch(&extractor.extract_batch(dataset, &split.val));
             let val_y: Vec<usize> = split.val.iter().map(|&i| dataset.joint_label(i)).collect();
             Some(TrainData::from_f64(&val_x, val_y, n_classes).expect("validated batch"))
         };
@@ -114,6 +117,15 @@ impl HerqulesBaseline {
     pub fn mlp(&self) -> &Mlp {
         &self.mlp
     }
+
+    /// Splits a joint-class argmax into per-qubit level indices.
+    fn decode_joint(&self, joint: usize) -> Vec<usize> {
+        BasisState::from_flat_index(joint, self.n_qubits, self.levels)
+            .levels()
+            .iter()
+            .map(|l| l.index())
+            .collect()
+    }
 }
 
 impl Discriminator for HerqulesBaseline {
@@ -125,10 +137,18 @@ impl Discriminator for HerqulesBaseline {
         // natural-leakage imbalance this is exactly what collapses at three
         // levels: rare leaked joint classes never win the argmax.
         let joint = self.mlp.predict(&x);
-        BasisState::from_flat_index(joint, self.n_qubits, self.levels)
-            .levels()
-            .iter()
-            .map(|l| l.index())
+        self.decode_joint(joint)
+    }
+
+    /// Native batch path: fused tiled extraction shared with the proposed
+    /// design, standardise-once, then the joint classifier over all rows.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let features = self.extractor.extract_batch_traces(shots);
+        let xs = self.standardizer.transform_batch_f32(&features);
+        self.mlp
+            .predict_batch(&xs)
+            .into_iter()
+            .map(|joint| self.decode_joint(joint))
             .collect()
     }
 

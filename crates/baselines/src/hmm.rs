@@ -91,9 +91,7 @@ impl QubitHmm {
         let mut next = vec![f64::NEG_INFINITY; k];
         for o in &obs[1..] {
             for (s, slot) in next.iter_mut().enumerate() {
-                let terms: Vec<f64> = (0..k)
-                    .map(|p| alpha[p] + self.log_trans[p][s])
-                    .collect();
+                let terms: Vec<f64> = (0..k).map(|p| alpha[p] + self.log_trans[p][s]).collect();
                 *slot = log_sum_exp(&terms) + self.emissions[s].log_pdf(o);
             }
             std::mem::swap(&mut alpha, &mut next);
@@ -111,15 +109,16 @@ impl QubitHmm {
         let mut next = vec![f64::NEG_INFINITY; k];
         for (t, o) in obs.iter().enumerate().skip(1) {
             for s in 0..k {
-                let (best_p, best_v) = (0..k)
-                    .map(|p| (p, delta[p] + self.log_trans[p][s]))
-                    .fold((0, f64::NEG_INFINITY), |acc, cur| {
+                let (best_p, best_v) = (0..k).map(|p| (p, delta[p] + self.log_trans[p][s])).fold(
+                    (0, f64::NEG_INFINITY),
+                    |acc, cur| {
                         if cur.1 > acc.1 {
                             cur
                         } else {
                             acc
                         }
-                    });
+                    },
+                );
                 back[t][s] = best_p;
                 next[s] = best_v + self.emissions[s].log_pdf(o);
             }
@@ -210,14 +209,10 @@ impl HmmBaseline {
                     .train
                     .iter()
                     .map(|&i| {
-                        windowed_obs(
-                            &demod.demodulate(&dataset.shots()[i].raw, q),
-                            config.window,
-                        )
+                        windowed_obs(&demod.demodulate(&dataset.shots()[i].raw, q), config.window)
                     })
                     .collect();
-                let labels: Vec<usize> =
-                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
+                let labels: Vec<usize> = split.train.iter().map(|&i| dataset.label(i, q)).collect();
 
                 // Round 0: pool every window of level-l traces as level l's
                 // emission sample. Mid-readout decay contaminates the tail,
@@ -382,7 +377,10 @@ mod tests {
 
     #[test]
     fn log_sum_exp_handles_neg_infinity() {
-        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
         let v = log_sum_exp(&[0.0, f64::NEG_INFINITY]);
         assert!((v - 0.0).abs() < 1e-12);
         let both = log_sum_exp(&[(2.0f64).ln(), (3.0f64).ln()]);
@@ -442,10 +440,7 @@ mod tests {
             if ds.label(i, 0) != 1 {
                 continue;
             }
-            let obs = windowed_obs(
-                &hmm.demod.demodulate(&ds.shots()[i].raw, 0),
-                hmm.window,
-            );
+            let obs = windowed_obs(&hmm.demod.demodulate(&ds.shots()[i].raw, 0), hmm.window);
             let ll1 = model.forward_loglik(&obs, 1);
             let ll0 = model.forward_loglik(&obs, 0);
             if ll1 > ll0 {
@@ -464,10 +459,7 @@ mod tests {
     fn viterbi_path_starts_at_constrained_state() {
         let (ds, split) = dataset(150);
         let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
-        let obs = windowed_obs(
-            &hmm.demod.demodulate(&ds.shots()[0].raw, 0),
-            hmm.window,
-        );
+        let obs = windowed_obs(&hmm.demod.demodulate(&ds.shots()[0].raw, 0), hmm.window);
         for init in 0..3 {
             let path = hmm.models[0].viterbi_path(&obs, init);
             assert_eq!(path[0], init);

@@ -11,6 +11,7 @@ use mlr_baselines::{
     DiscriminantAnalysis, DiscriminantKind, FnnBaseline, FnnConfig, HerqulesBaseline,
     HerqulesConfig,
 };
+use mlr_bench::measure_throughput;
 use mlr_core::{Discriminator, OursConfig, OursDiscriminator};
 use mlr_dsp::{iq_features, Demodulator};
 use mlr_nn::TrainConfig;
@@ -108,8 +109,69 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("mf_bank_45_filters", |b| {
         b.iter(|| black_box(f.ours.extractor().extract(black_box(raw))))
     });
+    group.bench_function("mf_bank_45_filters_fused", |b| {
+        b.iter(|| black_box(f.ours.extractor().extract_fused(black_box(raw))))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Per-shot loop vs one `predict_batch` call on ≥1000 five-qubit shots —
+/// the throughput claim of the batch-first refactor. The shim criterion
+/// prints per-iteration time; divide the two lines (or read the printed
+/// shots/s) for the speedup.
+fn bench_batch_throughput(c: &mut Criterion) {
+    let f = fixtures();
+    assert!(
+        f.dataset.len() >= 1000,
+        "the fixture must generate at least 1000 shots for the throughput claim"
+    );
+    let shots: Vec<&[mlr_num::Complex]> = f
+        .dataset
+        .shots()
+        .iter()
+        .take(1000)
+        .map(|s| s.raw.as_slice())
+        .collect();
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    group.bench_function("ours_per_shot_1000", |b| {
+        b.iter(|| {
+            let decisions: Vec<Vec<usize>> = shots
+                .iter()
+                .map(|raw| f.ours.predict_shot(black_box(raw)))
+                .collect();
+            black_box(decisions)
+        })
+    });
+    group.bench_function("ours_predict_batch_1000", |b| {
+        b.iter(|| black_box(f.ours.predict_batch(black_box(&shots))))
+    });
+    group.bench_function("herqules_per_shot_1000", |b| {
+        b.iter(|| {
+            let decisions: Vec<Vec<usize>> = shots
+                .iter()
+                .map(|raw| f.herqules.predict_shot(black_box(raw)))
+                .collect();
+            black_box(decisions)
+        })
+    });
+    group.bench_function("herqules_predict_batch_1000", |b| {
+        b.iter(|| black_box(f.herqules.predict_batch(black_box(&shots))))
+    });
+    group.finish();
+
+    // The measured rates, printed so CHANGES.md numbers are reproducible
+    // from `cargo bench -p mlr-bench --bench discriminators`.
+    let report = measure_throughput(&f.ours, &shots);
+    println!(
+        "ours: per-shot {:.0} shots/s, batch {:.0} shots/s, speedup {:.2}x over {} shots",
+        report.per_shot_rate,
+        report.batch_rate,
+        report.speedup(),
+        report.n_shots
+    );
+}
+
+criterion_group!(benches, bench_inference, bench_batch_throughput);
 criterion_main!(benches);

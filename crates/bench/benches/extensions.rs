@@ -61,7 +61,9 @@ fn bench_int_vs_float_head(c: &mut Criterion) {
     let q_head = QuantizedMlp::from_mlp(&head, FixedPointFormat::HLS4ML_DEFAULT);
     let x: Vec<f32> = (0..45).map(|i| ((i as f32) * 0.17).sin()).collect();
     let mut group = c.benchmark_group("head_inference");
-    group.bench_function("float_f32", |b| b.iter(|| black_box(head.predict(black_box(&x)))));
+    group.bench_function("float_f32", |b| {
+        b.iter(|| black_box(head.predict(black_box(&x))))
+    });
     group.bench_function("int_q16", |b| {
         b.iter(|| black_box(int_head.predict(black_box(&x))))
     });
@@ -72,9 +74,7 @@ fn bench_int_vs_float_head(c: &mut Criterion) {
 }
 
 fn bench_related_work_predict(c: &mut Criterion) {
-    use mlr_baselines::{
-        AutoencoderBaseline, AutoencoderConfig, HmmBaseline, HmmConfig,
-    };
+    use mlr_baselines::{AutoencoderBaseline, AutoencoderConfig, HmmBaseline, HmmConfig};
     use mlr_core::Discriminator;
     use mlr_nn::TrainConfig;
 

@@ -1,5 +1,5 @@
-//! Ablation study on the proposed design (the DESIGN.md design-choice
-//! checks, not a paper artifact):
+//! Ablation study on the proposed design (design-choice checks, not a
+//! paper artifact):
 //!
 //! * excitation matched filters on/off (the paper's addition over
 //!   HERQULES' filter set);
@@ -20,8 +20,16 @@ fn main() {
     let split = dataset.paper_split(seed());
 
     let variants = [
-        ("full design (EMF, variance-sum)", true, MatchedFilterKind::VarianceSum),
-        ("no EMF (HERQULES filter set)", false, MatchedFilterKind::VarianceSum),
+        (
+            "full design (EMF, variance-sum)",
+            true,
+            MatchedFilterKind::VarianceSum,
+        ),
+        (
+            "no EMF (HERQULES filter set)",
+            false,
+            MatchedFilterKind::VarianceSum,
+        ),
         (
             "paper kernel (variance-diff)",
             true,
@@ -56,8 +64,12 @@ fn main() {
         &rows,
     );
 
-    // Quantisation sweep on the full design.
+    // Quantisation sweep on the full design: features are extracted once
+    // through the batch engine and shared across every precision; heads
+    // are quantised once per format (predict_features_quantized_batch)
+    // instead of once per shot.
     let ours = full_model.expect("full design fitted");
+    let features = ours.extractor().extract_batch(&dataset, &split.test);
     let formats = [
         ("f32 (no quantisation)", None),
         ("ap_fixed<16,6>", Some(FixedPointFormat::HLS4ML_DEFAULT)),
@@ -71,12 +83,11 @@ fn main() {
         let levels = 3usize;
         let mut hits = vec![vec![0usize; levels]; n_qubits];
         let mut counts = vec![vec![0usize; levels]; n_qubits];
-        for &i in &split.test {
-            let features = ours.extractor().extract(&dataset.shots()[i].raw);
-            let decided = match format {
-                None => ours.predict_features(&features),
-                Some(f) => ours.predict_features_quantized(&features, f),
-            };
+        let decisions = match format {
+            None => ours.predict_features_batch(&features),
+            Some(f) => ours.predict_features_quantized_batch(&features, f),
+        };
+        for (&i, decided) in split.test.iter().zip(&decisions) {
             for q in 0..n_qubits {
                 let truth = dataset.label(i, q);
                 counts[q][truth] += 1;

@@ -24,8 +24,7 @@ fn main() {
 
     println!(
         "Generating natural-leakage dataset ({} states x {} shots)...",
-        32,
-        shots
+        32, shots
     );
     let dataset = TraceDataset::generate_natural(&chip, shots, seed);
     let split = dataset.paper_split(seed);
@@ -41,8 +40,8 @@ fn main() {
         };
         let readout = StreamingReadout::fit(&dataset, &split, &config);
         let report = evaluate_streaming(&readout, &dataset, &split.test);
-        let mean_f = report.per_qubit_fidelity.iter().sum::<f64>()
-            / report.per_qubit_fidelity.len() as f64;
+        let mean_f =
+            report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         let dur_ns = report.mean_duration_ns(dt_ns);
         let cycle = QecCycleTiming::versluis_surface17(dur_ns);
         let base_cycle = QecCycleTiming::versluis_surface17(1000.0);

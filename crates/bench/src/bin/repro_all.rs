@@ -4,7 +4,7 @@
 //! Sec. VII-B, Sec. VII-D).
 //!
 //! This is the one-shot reproduction entry point used to fill
-//! `EXPERIMENTS.md`; the individual `repro_*` binaries regenerate single
+//! the README; the individual `repro_*` binaries regenerate single
 //! artifacts.
 
 use mlr_bench::{fidelity_row, print_table, run_fidelity_study, seed, shots_per_state};
@@ -22,7 +22,11 @@ fn main() {
         .iter()
         .map(|r| {
             let mut row = vec![r.design.clone()];
-            row.extend(r.per_qubit_fidelity.iter().map(|f| format!("{:.4}", 1.0 - f)));
+            row.extend(
+                r.per_qubit_fidelity
+                    .iter()
+                    .map(|f| format!("{:.4}", 1.0 - f)),
+            );
             row
         })
         .collect();
@@ -87,13 +91,23 @@ fn main() {
     let entries = [
         ("LDA", study.lda.mean_error_excluding(&[1]), "Fast"),
         ("QDA", study.qda.mean_error_excluding(&[1]), "Fast"),
-        ("FNN", study.fnn.mean_error_excluding(&[1]), fnn_hw.speed_class(&device)),
-        ("Ours", study.ours.mean_error_excluding(&[1]), ours_hw.speed_class(&device)),
+        (
+            "FNN",
+            study.fnn.mean_error_excluding(&[1]),
+            fnn_hw.speed_class(&device),
+        ),
+        (
+            "Ours",
+            study.ours.mean_error_excluding(&[1]),
+            ours_hw.speed_class(&device),
+        ),
     ];
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|(name, err, speed)| {
-            let res = exp.run(SpeculationMode::EraserM { readout_error: *err });
+            let res = exp.run(SpeculationMode::EraserM {
+                readout_error: *err,
+            });
             vec![
                 (*name).to_owned(),
                 format!("{:.1}", 100.0 * err),
@@ -110,7 +124,9 @@ fn main() {
 
     // ---- Table I ----
     let plain = exp.run(SpeculationMode::Eraser);
-    let with_m = exp.run(SpeculationMode::EraserM { readout_error: 0.05 });
+    let with_m = exp.run(SpeculationMode::EraserM {
+        readout_error: 0.05,
+    });
     print_table(
         "Table I: ERASER vs ERASER+M (paper: 0.957/4.19e-3 vs 0.971/2.97e-3)",
         &["Design", "Accuracy", "Leakage Population"],

@@ -55,8 +55,7 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(pos, &i)| {
-            harvest.assigned_levels[*pos] == 2
-                && dataset.shots()[i].initial.level(q).is_leaked()
+            harvest.assigned_levels[*pos] == 2 && dataset.shots()[i].initial.level(q).is_leaked()
         })
         .count();
     println!(

@@ -22,8 +22,8 @@ fn main() {
         let ours = OursDiscriminator::fit(&truncated, &split, &OursConfig::default());
         let report = evaluate(&ours, &truncated, &split.test);
         let duration_ns = n_samples as f64 * 2.0; // 500 MS/s -> 2 ns/sample
-        let mean_acc = report.per_qubit_fidelity.iter().sum::<f64>()
-            / report.per_qubit_fidelity.len() as f64;
+        let mean_acc =
+            report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         series.push((duration_ns, mean_acc));
         let mut row = vec![
             format!("{duration_ns:.0}"),

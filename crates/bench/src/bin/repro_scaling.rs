@@ -20,9 +20,7 @@ fn main() {
     for &k in &level_counts {
         let rows: Vec<Vec<String>> = qubit_counts
             .iter()
-            .flat_map(|&n| {
-                ["OURS", "HERQULES", "FNN"].iter().map(move |&d| (n, d))
-            })
+            .flat_map(|&n| ["OURS", "HERQULES", "FNN"].iter().map(move |&d| (n, d)))
             .map(|(n, design)| {
                 let p = points
                     .iter()
@@ -34,9 +32,12 @@ fn main() {
                     format!("{}", p.joint_states),
                     format!("{}", p.nn_weights),
                     format!("{}", p.estimate.luts),
-                    if p.fits { "yes".into() } else { "NO".to_owned() },
-                    p.min_reuse
-                        .map_or("never".to_owned(), |r| format!("R={r}")),
+                    if p.fits {
+                        "yes".into()
+                    } else {
+                        "NO".to_owned()
+                    },
+                    p.min_reuse.map_or("never".to_owned(), |r| format!("R={r}")),
                 ]
             })
             .collect();

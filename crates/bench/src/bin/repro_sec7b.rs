@@ -22,7 +22,12 @@ fn main() {
         .collect();
     print_table(
         "Sec. VII-B: Surface-17 cycle time vs readout duration",
-        &["Readout (ns)", "Cycle (ns)", "Meas. fraction", "Cycle reduction"],
+        &[
+            "Readout (ns)",
+            "Cycle (ns)",
+            "Meas. fraction",
+            "Cycle reduction",
+        ],
         &rows,
     );
 

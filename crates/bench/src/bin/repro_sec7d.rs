@@ -31,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         "Sec. VII-D: 45 nm power model at 1 GHz, 1 MHz inference rate",
-        &["Design", "weights", "power (mW)", "energy/inf (nJ)", "latency (ns)"],
+        &[
+            "Design",
+            "weights",
+            "power (mW)",
+            "energy/inf (nJ)",
+            "latency (ns)",
+        ],
         &rows,
     );
     println!(

@@ -1,10 +1,10 @@
-//! Sensitivity study (DESIGN.md robustness checks, not a paper artifact):
+//! Sensitivity study (robustness checks, not a paper artifact):
 //! how the proposed design and the classical LDA baseline respond to the
 //! physical knobs the simulator exposes —
 //!
 //! * **receiver noise** (SNR): both designs must degrade monotonically;
 //!   the sweep also charts how the simulator's LDA-friendliness
-//!   (deviation D3 in EXPERIMENTS.md — Gaussian stationary IQ clusters
+//!   (a known deviation from the paper — Gaussian stationary IQ clusters
 //!   are LDA's ideal input) varies with SNR;
 //! * **qubit lifetime** (T1 scale): short lifetimes put relaxation events
 //!   inside the readout window — pressure on the RMF features;
@@ -82,7 +82,11 @@ fn main() {
     );
 
     // --- Seed variance -----------------------------------------------
-    let seeds = [seed0, seed0 ^ 0x9e37_79b9, seed0.wrapping_mul(6364136223846793005)];
+    let seeds = [
+        seed0,
+        seed0 ^ 0x9e37_79b9,
+        seed0.wrapping_mul(6364136223846793005),
+    ];
     let mut ours_f = Vec::new();
     let mut lda_f = Vec::new();
     for &s in &seeds {
@@ -103,14 +107,18 @@ fn main() {
         &format!("Seed variance over {} runs", seeds.len()),
         &["design", "mean F5Q", "std"],
         &[
-            vec!["OURS".into(), format!("{m_ours:.4}"), format!("{s_ours:.4}")],
+            vec![
+                "OURS".into(),
+                format!("{m_ours:.4}"),
+                format!("{s_ours:.4}"),
+            ],
             vec!["LDA".into(), format!("{m_lda:.4}"), format!("{s_lda:.4}")],
         ],
     );
     println!(
         "\nReading guide: dataset regeneration and retraining are both reseeded,\n\
          so the std column bounds the run-to-run wobble behind every fidelity\n\
-         table in EXPERIMENTS.md. Expected shapes: fidelity falls monotonically\n\
+         table in the README. Expected shapes: fidelity falls monotonically\n\
          with rx noise and rises with T1 for both designs; the OURS-LDA column\n\
          tracks deviation D3 (this simulator favours LDA) and narrows as shot\n\
          budgets grow."

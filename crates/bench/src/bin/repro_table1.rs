@@ -42,7 +42,13 @@ fn main() {
     ];
     print_table(
         "Table I: readout impact on leakage speculation (d=7, 10 cycles)",
-        &["Design", "Accuracy", "Leakage Pop.", "Episode recall", "False-flag rate"],
+        &[
+            "Design",
+            "Accuracy",
+            "Leakage Pop.",
+            "Episode recall",
+            "False-flag rate",
+        ],
         &rows,
     );
     println!("\nPaper: ERASER 0.957 / 4.19e-3 ; ERASER+M 0.971 / 2.97e-3");

@@ -12,7 +12,9 @@ fn main() {
     let rows = vec![fidelity_row(&study.fnn), fidelity_row(&study.herqules)];
     print_table(
         "Table II: three-level readout fidelity of existing designs",
-        &["Design", "Qubit 1", "Qubit 2", "Qubit 3", "Qubit 4", "Qubit 5", "F5Q"],
+        &[
+            "Design", "Qubit 1", "Qubit 2", "Qubit 3", "Qubit 4", "Qubit 5", "F5Q",
+        ],
         &rows,
     );
     println!("\nPaper: FNN 0.967 0.728 0.927 0.932 0.962 | 0.898");

@@ -11,7 +11,9 @@ fn main() {
     let rows = vec![fidelity_row(&study.fnn), fidelity_row(&study.ours)];
     print_table(
         "Table IV: three-level readout fidelity, FNN vs OURS",
-        &["Design", "QUBIT1", "QUBIT2", "QUBIT3", "QUBIT4", "QUBIT5", "F5Q"],
+        &[
+            "Design", "QUBIT1", "QUBIT2", "QUBIT3", "QUBIT4", "QUBIT5", "F5Q",
+        ],
         &rows,
     );
 

@@ -37,8 +37,16 @@ fn main() {
     let entries = [
         ("LDA", study.lda.mean_error_excluding(&[1]), "Fast"),
         ("QDA", study.qda.mean_error_excluding(&[1]), "Fast"),
-        ("FNN", study.fnn.mean_error_excluding(&[1]), fnn_hw.speed_class(&device)),
-        ("Ours", study.ours.mean_error_excluding(&[1]), ours_hw.speed_class(&device)),
+        (
+            "FNN",
+            study.fnn.mean_error_excluding(&[1]),
+            fnn_hw.speed_class(&device),
+        ),
+        (
+            "Ours",
+            study.ours.mean_error_excluding(&[1]),
+            ours_hw.speed_class(&device),
+        ),
     ];
 
     let rows: Vec<Vec<String>> = entries

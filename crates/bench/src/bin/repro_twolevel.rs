@@ -64,7 +64,7 @@ fn main() {
     println!(
         "Three-level: HERQULES F5Q drops {:.4} -> {:.4} on the same chip — the \
          Sec. IV-B/Fig. 1(c)\ndegradation. (The FNN row under-trains at \
-         reproduction scale — deviation D1 in\nEXPERIMENTS.md — so the paper's \
+         reproduction scale — a known scale deviation —\nso the paper's \
          FNN>HERQULES three-level ordering is out of reach here;\nthe \
          within-HERQULES collapse and its mechanism below are the reproducible \
          shape.)",

@@ -3,7 +3,7 @@
 //! V, VI), and table formatting.
 //!
 //! Every `repro_*` binary in `src/bin/` regenerates one table or figure of
-//! the paper; see `DESIGN.md` for the experiment index. Binaries honour two
+//! the paper; see the README's experiment index. Binaries honour two
 //! environment variables:
 //!
 //! * `MLR_SHOTS` — shots per prepared basis state (default 40; the paper
@@ -19,6 +19,7 @@ use mlr_baselines::{
     HerqulesConfig,
 };
 use mlr_core::{evaluate, Discriminator, EvalReport, OursConfig, OursDiscriminator};
+use mlr_num::Complex;
 use mlr_sim::{ChipConfig, DatasetSplit, TraceDataset};
 
 /// Shots per prepared computational basis state, from `MLR_SHOTS`
@@ -85,7 +86,11 @@ pub fn run_fidelity_study(shots_per_state: usize, seed: u64) -> FidelityStudy {
     let dataset = TraceDataset::generate_natural(&config, shots_per_state, seed);
     let split = dataset.paper_split(seed);
     let leaked_counts: Vec<usize> = (0..config.n_qubits())
-        .map(|q| (0..dataset.len()).filter(|&i| dataset.label(i, q) == 2).count())
+        .map(|q| {
+            (0..dataset.len())
+                .filter(|&i| dataset.label(i, q) == 2)
+                .count()
+        })
         .collect();
     eprintln!(
         "[study] {} shots in {:.1}s (train {}, val {}, test {}); leaked per qubit {:?}",
@@ -133,6 +138,83 @@ pub fn run_fidelity_study(shots_per_state: usize, seed: u64) -> FidelityStudy {
         lda,
         qda,
         weight_counts,
+    }
+}
+
+/// Shots-per-second of a discriminator's per-shot loop vs its batch path
+/// over the same shots, measured by [`measure_throughput`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Design name.
+    pub design: String,
+    /// Sequential `predict_shot` loop, in shots per second.
+    pub per_shot_rate: f64,
+    /// One `predict_batch` call, in shots per second.
+    pub batch_rate: f64,
+    /// Shots measured.
+    pub n_shots: usize,
+}
+
+impl ThroughputReport {
+    /// Batch speedup over the per-shot loop.
+    pub fn speedup(&self) -> f64 {
+        self.batch_rate / self.per_shot_rate
+    }
+}
+
+/// Times a sequential `predict_shot` loop against one `predict_batch`
+/// call over `shots`, checking that the two paths agree.
+///
+/// Each path runs three timed passes after a warm-up; the fastest pass
+/// counts, which suppresses scheduler and allocator jitter the way
+/// criterion's statistics would.
+///
+/// Agreement is budgeted rather than bit-exact: for designs whose batch
+/// path uses the fused (demodulation-folded) kernels, per-shot and batch
+/// features differ at the ~1e-13 floating-point-reassociation level, so a
+/// shot sitting exactly on a decision boundary can legitimately flip.
+/// More than 0.1 % of shots disagreeing means a real divergence.
+///
+/// # Panics
+///
+/// Panics if `shots` is empty or the paths disagree on more than 0.1 % of
+/// shots.
+pub fn measure_throughput(
+    disc: &(impl Discriminator + ?Sized),
+    shots: &[&[Complex]],
+) -> ThroughputReport {
+    assert!(!shots.is_empty(), "no shots to measure");
+    let warm = shots.len().min(64);
+    let _ = disc.predict_batch(&shots[..warm]);
+    let _: Vec<Vec<usize>> = shots[..warm]
+        .iter()
+        .map(|raw| disc.predict_shot(raw))
+        .collect();
+
+    let mut t_per_shot = f64::INFINITY;
+    let mut t_batch = f64::INFINITY;
+    let mut per_shot = Vec::new();
+    let mut batch = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        per_shot = shots.iter().map(|raw| disc.predict_shot(raw)).collect();
+        t_per_shot = t_per_shot.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        batch = disc.predict_batch(shots);
+        t_batch = t_batch.min(t.elapsed().as_secs_f64());
+    }
+    let mismatches = per_shot.iter().zip(&batch).filter(|(a, b)| a != b).count();
+    assert!(
+        mismatches * 1000 <= shots.len(),
+        "batch path diverged from per-shot path on {mismatches}/{} shots",
+        shots.len()
+    );
+
+    ThroughputReport {
+        design: disc.name().to_owned(),
+        per_shot_rate: shots.len() as f64 / t_per_shot,
+        batch_rate: shots.len() as f64 / t_batch,
+        n_shots: shots.len(),
     }
 }
 

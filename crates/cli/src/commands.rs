@@ -37,6 +37,8 @@ COMMANDS:
                  --distance D  --cycles N  --trials N  --readout-error P
     streaming  Adaptive readout: early-termination accuracy/duration tradeoff
                  --qubits N  --shots N  --seed N  --samples N  --confidence P
+    throughput Per-shot vs batched inference rate of the trained design
+                 --qubits N  --shots N  --seed N  --samples N  --epochs N
     help       Show this text
 ";
 
@@ -101,6 +103,7 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
         "scaling" => cmd_scaling(&args),
         "qec" => cmd_qec(&args),
         "streaming" => cmd_streaming(&args),
+        "throughput" => cmd_throughput(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -316,9 +319,12 @@ fn cmd_scaling(args: &Args) -> Result<(), CliError> {
                 p.n_qubits.to_string(),
                 p.design.clone(),
                 p.nn_weights.to_string(),
-                if p.fits { "yes".into() } else { "NO".to_owned() },
-                p.min_reuse
-                    .map_or("never".to_owned(), |r| format!("R={r}")),
+                if p.fits {
+                    "yes".into()
+                } else {
+                    "NO".to_owned()
+                },
+                p.min_reuse.map_or("never".to_owned(), |r| format!("R={r}")),
             ]
         })
         .collect();
@@ -388,7 +394,10 @@ fn cmd_streaming(args: &Args) -> Result<(), CliError> {
     let checkpoints = vec![3 * n / 5, 4 * n / 5, n];
     let dt_ns = chip.dt_us() * 1000.0;
     let mut rows = Vec::new();
-    for (label, conf) in [(format!("{confidence}"), confidence), ("never".to_owned(), 2.0)] {
+    for (label, conf) in [
+        (format!("{confidence}"), confidence),
+        ("never".to_owned(), 2.0),
+    ] {
         let readout = StreamingReadout::fit(
             &ds,
             &split,
@@ -399,8 +408,8 @@ fn cmd_streaming(args: &Args) -> Result<(), CliError> {
             },
         );
         let report = evaluate_streaming(&readout, &ds, &split.test);
-        let mean_f = report.per_qubit_fidelity.iter().sum::<f64>()
-            / report.per_qubit_fidelity.len() as f64;
+        let mean_f =
+            report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         rows.push(vec![
             label,
             format!("{mean_f:.4}"),
@@ -422,9 +431,58 @@ fn cmd_streaming(args: &Args) -> Result<(), CliError> {
                 .collect::<Vec<_>>()
                 .join("/")
         ),
-        &["confidence", "mean fidelity", "mean dur (ns)", "decided at cp"],
+        &[
+            "confidence",
+            "mean fidelity",
+            "mean dur (ns)",
+            "decided at cp",
+        ],
         &rows,
     );
+    Ok(())
+}
+
+fn cmd_throughput(args: &Args) -> Result<(), CliError> {
+    let chip = chip_from(args)?;
+    let ds = dataset_from(args, &chip)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    // Throughput is about the inference path, not model quality, so the
+    // default training budget is deliberately small.
+    let epochs: usize = args.get_or("--epochs", 8)?;
+    args.reject_unknown()?;
+
+    let split = ds.paper_split(seed);
+    let config = OursConfig {
+        train: TrainConfig {
+            epochs,
+            seed,
+            ..OursConfig::default().train
+        },
+        ..OursConfig::default()
+    };
+    let ours = OursDiscriminator::fit(&ds, &split, &config);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let shots = mlr_core::gather_shots(&ds, &all);
+    let report = mlr_bench::measure_throughput(&ours, &shots);
+    print_table(
+        &format!(
+            "inference throughput over {} shots ({} threads)",
+            report.n_shots,
+            mlr_core::batch_threads()
+        ),
+        &["path", "shots/s"],
+        &[
+            vec![
+                "per-shot loop".to_owned(),
+                format!("{:.0}", report.per_shot_rate),
+            ],
+            vec![
+                "predict_batch".to_owned(),
+                format!("{:.0}", report.batch_rate),
+            ],
+        ],
+    );
+    println!("batch speedup: {:.2}x", report.speedup());
     Ok(())
 }
 
@@ -447,7 +505,15 @@ mod tests {
     #[test]
     fn dataset_command_runs_small() {
         run_tokens(&[
-            "dataset", "--qubits", "2", "--shots", "3", "--samples", "60", "--seed", "4",
+            "dataset",
+            "--qubits",
+            "2",
+            "--shots",
+            "3",
+            "--samples",
+            "60",
+            "--seed",
+            "4",
         ])
         .unwrap();
     }
@@ -466,14 +532,23 @@ mod tests {
 
     #[test]
     fn qec_runs_tiny() {
+        run_tokens(&["qec", "--distance", "3", "--cycles", "2", "--trials", "5"]).unwrap();
+    }
+
+    #[test]
+    fn throughput_runs_small() {
         run_tokens(&[
-            "qec",
-            "--distance",
-            "3",
-            "--cycles",
+            "throughput",
+            "--qubits",
             "2",
-            "--trials",
-            "5",
+            "--shots",
+            "10",
+            "--samples",
+            "100",
+            "--epochs",
+            "2",
+            "--seed",
+            "6",
         ])
         .unwrap();
     }
@@ -481,8 +556,17 @@ mod tests {
     #[test]
     fn streaming_runs_small() {
         run_tokens(&[
-            "streaming", "--qubits", "2", "--shots", "20", "--samples", "150", "--seed", "3",
-            "--confidence", "0.8",
+            "streaming",
+            "--qubits",
+            "2",
+            "--shots",
+            "20",
+            "--samples",
+            "150",
+            "--seed",
+            "3",
+            "--confidence",
+            "0.8",
         ])
         .unwrap();
     }
@@ -494,8 +578,19 @@ mod tests {
         let model = dir.join("model.json");
         let model_str = model.to_str().unwrap();
         run_tokens(&[
-            "train", "--qubits", "2", "--shots", "8", "--samples", "100", "--epochs", "4",
-            "--seed", "3", "--out", model_str,
+            "train",
+            "--qubits",
+            "2",
+            "--shots",
+            "8",
+            "--samples",
+            "100",
+            "--epochs",
+            "4",
+            "--seed",
+            "3",
+            "--out",
+            model_str,
         ])
         .unwrap();
         run_tokens(&["eval", "--model", model_str, "--shots", "4", "--seed", "9"]).unwrap();
@@ -510,8 +605,7 @@ mod tests {
 
     #[test]
     fn eval_missing_model_file_is_io_error() {
-        let err =
-            run_tokens(&["eval", "--model", "/nonexistent/mlr.json"]).unwrap_err();
+        let err = run_tokens(&["eval", "--model", "/nonexistent/mlr.json"]).unwrap_err();
         assert!(matches!(err, CliError::Model(_)), "{err}");
     }
 }

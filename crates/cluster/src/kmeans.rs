@@ -176,10 +176,7 @@ impl KMeans {
     fn kmeanspp_init(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Vec<Vec<f64>> {
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
         centroids.push(points[rng.gen_range(0..points.len())].clone());
-        let mut d2: Vec<f64> = points
-            .iter()
-            .map(|p| dist_sq(p, &centroids[0]))
-            .collect();
+        let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centroids[0])).collect();
         while centroids.len() < self.k {
             let total: f64 = d2.iter().sum();
             let idx = if total <= 0.0 {

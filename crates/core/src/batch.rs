@@ -1,0 +1,139 @@
+//! The workspace's parallel batch engine: order-preserving chunked maps on
+//! OS threads.
+//!
+//! The rayon dependency is an in-tree sequential shim (the build image has
+//! no registry access), so hot batch paths get their parallelism here
+//! instead: [`par_map`] splits a slice into one contiguous chunk per
+//! available core and maps each chunk on a `std::thread::scope` thread.
+//! Output order matches input order, so batch results are positionally
+//! identical to a sequential map — the invariant the
+//! [`crate::Discriminator::predict_batch`] equivalence tests rely on.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads batch maps fan out over (the machine's
+/// available parallelism, read once per call; 1 disables threading).
+pub fn batch_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, preserving order, fanning out over
+/// [`batch_threads`] scoped threads when both the machine and the batch
+/// are big enough for threading to pay.
+///
+/// # Examples
+///
+/// ```
+/// let squares = mlr_core::par_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = batch_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks, sized so every thread gets within one item of an
+    // equal share; ordering is restored by concatenating in chunk order.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("batch worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`par_map`] with the item index, for callers that need positional
+/// context (e.g. labelling shots by dataset index).
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = batch_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let f = &f;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(c * chunk_len + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("batch worker panicked"));
+        }
+    });
+    out
+}
+
+/// Reshapes head-major decision columns into shot-major rows
+/// (`per_head[h][s]` → `out[s][h]`) — the final step every batched
+/// multi-head classification shares.
+///
+/// # Panics
+///
+/// Panics if any head column is shorter than `n_shots`.
+pub(crate) fn transpose_decisions(per_head: &[Vec<usize>], n_shots: usize) -> Vec<Vec<usize>> {
+    (0..n_shots)
+        .map(|s| per_head.iter().map(|head| head[s]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_decisions_reshapes() {
+        let per_head = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        assert_eq!(
+            transpose_decisions(&per_head, 3),
+            vec![vec![1, 4], vec![2, 5], vec![3, 6]]
+        );
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let mapped = par_map(&items, |&x| x * 2);
+        assert_eq!(mapped, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny() {
+        assert_eq!(par_map::<usize, usize, _>(&[], |&x| x), Vec::<usize>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn indexed_map_sees_global_positions() {
+        let items = vec!["a"; 257];
+        let mapped = par_map_indexed(&items, |i, _| i);
+        assert_eq!(mapped, (0..257).collect::<Vec<_>>());
+    }
+}

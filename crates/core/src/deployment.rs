@@ -9,8 +9,8 @@
 //! software twin of the bitstream an hls4ml flow would generate from the
 //! same weights.
 
-use mlr_num::Complex;
 use mlr_nn::{FixedPointFormat, IntMlp, Standardizer};
+use mlr_num::Complex;
 
 use crate::{Discriminator, FeatureExtractor, OursDiscriminator};
 
@@ -95,11 +95,35 @@ impl DeployedDiscriminator {
         let x = self.standardizer.transform_f32(features);
         self.heads.iter().map(|h| h.predict(&x)).collect()
     }
+
+    /// Classifies a batch of pre-extracted feature vectors: standardise
+    /// once, then run each integer head over the whole batch. Decisions
+    /// are identical to mapping
+    /// [`DeployedDiscriminator::predict_features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the extractor's dimension.
+    pub fn predict_features_batch(&self, features: &[Vec<f64>]) -> Vec<Vec<usize>> {
+        let xs = self.standardizer.transform_batch_f32(features);
+        let per_head: Vec<Vec<usize>> = self
+            .heads
+            .iter()
+            .map(|h| xs.iter().map(|x| h.predict(x)).collect())
+            .collect();
+        crate::batch::transpose_decisions(&per_head, xs.len())
+    }
 }
 
 impl Discriminator for DeployedDiscriminator {
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
         self.predict_features(&self.extractor.extract(raw))
+    }
+
+    /// Native batch path: fused demodulation-free tiled extraction,
+    /// standardise-once, head-major integer classification.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
     }
 
     fn name(&self) -> &str {
@@ -114,12 +138,7 @@ impl Discriminator for DeployedDiscriminator {
         // Same weights as the source model, now stored as integers.
         self.heads
             .iter()
-            .map(|h| {
-                h.sizes()
-                    .windows(2)
-                    .map(|w| w[0] * w[1])
-                    .sum::<usize>()
-            })
+            .map(|h| h.sizes().windows(2).map(|w| w[0] * w[1]).sum::<usize>())
             .sum()
     }
 }

@@ -4,16 +4,32 @@
 use mlr_num::Complex;
 use mlr_sim::TraceDataset;
 
-/// A single-shot multi-level readout discriminator: maps one raw composite
-/// ADC trace to a per-qubit level decision.
+/// A multi-level readout discriminator: maps raw composite ADC traces to
+/// per-qubit level decisions, one shot at a time or as a batch.
 ///
 /// Implemented by [`crate::OursDiscriminator`] and by every baseline in
 /// `mlr-baselines`, so the evaluation and reproduction harnesses can treat
-/// them uniformly.
-pub trait Discriminator {
+/// them uniformly. The harness-facing entry point is
+/// [`Discriminator::predict_batch`]: [`evaluate`] and the bench/CLI layers
+/// feed whole shot sets through it, and implementations with a cheaper
+/// amortised path (shared demodulation, standardise-once, one-time head
+/// quantisation) override it. The `Sync` supertrait is what lets the
+/// default implementation fan shots out across threads.
+pub trait Discriminator: Sync {
     /// Classifies one raw multiplexed trace, returning the level index
     /// (`0`, `1`, `2`) decided for each qubit.
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize>;
+
+    /// Classifies a batch of raw traces, returning one per-qubit decision
+    /// vector per shot, in input order.
+    ///
+    /// The default implementation fans [`Discriminator::predict_shot`] out
+    /// over the machine's cores ([`crate::par_map`]); overrides must
+    /// decide every shot exactly as the per-shot path does (the
+    /// workspace's property tests enforce this equivalence).
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        crate::par_map(shots, |raw| self.predict_shot(raw))
+    }
 
     /// Human-readable design name as used in the paper's tables
     /// (e.g. `"FNN"`, `"HERQULES"`, `"OURS"`).
@@ -77,10 +93,26 @@ impl EvalReport {
     }
 }
 
+/// Borrows the raw traces of the selected dataset shots — the glue
+/// between index-based splits and the slice-based batch API.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather_shots<'d>(dataset: &'d TraceDataset, indices: &[usize]) -> Vec<&'d [Complex]> {
+    indices
+        .iter()
+        .map(|&i| dataset.shots()[i].raw.as_slice())
+        .collect()
+}
+
 /// Evaluates a discriminator on the dataset shots selected by `indices`
 /// (typically a test split), scoring each qubit's decision against the
 /// dataset's label ([`mlr_sim::LabelSource`]) and reporting **balanced**
 /// per-qubit fidelities, as the paper's tables do.
+///
+/// All decisions come from one [`Discriminator::predict_batch`] call, so
+/// natively batched designs evaluate at their amortised cost.
 ///
 /// # Panics
 ///
@@ -93,13 +125,13 @@ pub fn evaluate(
     assert!(!indices.is_empty(), "no shots to evaluate");
     let n_qubits = disc.n_qubits();
     let levels = dataset.levels();
+    let shots = gather_shots(dataset, indices);
+    let decisions = disc.predict_batch(&shots);
     // hits[q][l], counts[q][l]
     let mut hits = vec![vec![0usize; levels]; n_qubits];
     let mut counts = vec![vec![0usize; levels]; n_qubits];
     let mut joint_hits = 0usize;
-    for &i in indices {
-        let shot = &dataset.shots()[i];
-        let decided = disc.predict_shot(&shot.raw);
+    for (&i, decided) in indices.iter().zip(&decisions) {
         assert_eq!(decided.len(), n_qubits, "discriminator output width");
         let mut all = true;
         for q in 0..n_qubits {
@@ -157,6 +189,7 @@ pub fn evaluate(
 /// The balanced fidelities of [`evaluate`] are derivable from these, but
 /// the full matrices additionally expose *which* confusions dominate —
 /// e.g. HERQULES misreading `|2⟩` as `|1⟩` (the Fig. 1(c) mechanism).
+/// Decisions come from one [`Discriminator::predict_batch`] call.
 ///
 /// # Panics
 ///
@@ -169,9 +202,10 @@ pub fn evaluate_confusion(
     assert!(!indices.is_empty(), "no shots to evaluate");
     let n_qubits = disc.n_qubits();
     let levels = dataset.levels();
+    let shots = gather_shots(dataset, indices);
+    let decisions = disc.predict_batch(&shots);
     let mut matrices = vec![mlr_nn::ConfusionMatrix::new(levels); n_qubits];
-    for &i in indices {
-        let decided = disc.predict_shot(&dataset.shots()[i].raw);
+    for (&i, decided) in indices.iter().zip(&decisions) {
         for (q, matrix) in matrices.iter_mut().enumerate() {
             matrix.record(dataset.label(i, q), decided[q]);
         }

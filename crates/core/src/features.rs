@@ -8,17 +8,98 @@ use rayon::prelude::*;
 
 use crate::QubitMfBank;
 
+/// One matched filter with the demodulation rotation folded in: weights in
+/// the **raw-trace** domain, so a score is a single dot product against
+/// the undemodulated composite trace — no per-shot demodulation at all.
+///
+/// Derivation: with reference phasor `c_t = e^{-i 2π f_q t}`, the baseband
+/// is `b_t = z_t · c_t`, and the bank scores `Σ_t k_I[t]·Re(b_t) +
+/// k_Q[t]·Im(b_t)`. Substituting gives raw-domain weights
+/// `w_I[t] = k_I[t]·Re(c_t) + k_Q[t]·Im(c_t)` and
+/// `w_Q[t] = k_Q[t]·Re(c_t) − k_I[t]·Im(c_t)` — exactly the pre-rotated
+/// coefficient memory an FPGA datapath would load. The weights are stored
+/// interleaved (`w[2t] = w_I[t]`, `w[2t+1] = w_Q[t]`) so the score is one
+/// contiguous dot product against the flattened `[re, im, re, im, …]`
+/// trace.
+#[derive(Debug, Clone)]
+struct FusedKernel {
+    w: Vec<f64>,
+}
+
+/// Shots per tile in the batched extraction: kernels stay cache-resident
+/// across a tile, which is where the batch path's amortisation comes from.
+const BATCH_TILE: usize = 16;
+
+/// Writes a complex trace as interleaved `[re, im, …]` into `flat`.
+fn flatten_iq(raw: &[Complex], flat: &mut Vec<f64>) {
+    flat.clear();
+    flat.reserve(2 * raw.len());
+    for z in raw {
+        flat.push(z.re);
+        flat.push(z.im);
+    }
+}
+
+/// Contiguous dot product with four independent accumulators, breaking the
+/// FMA latency chain so the compiler can keep SIMD lanes busy. Every
+/// fused-path score — single-shot and batched — goes through this one
+/// function, which is what makes the two bit-identical.
+fn fused_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc[0] += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
 /// Demodulates a raw trace and scores every qubit's matched-filter bank,
 /// merging the scores into one feature vector (`9 × n` entries for the
 /// paper's three-level banks).
 ///
 /// The same extractor (with `include_emf = false`) produces HERQULES'
 /// `6 × n` feature vector, which is how the baseline shares this code path.
+///
+/// Two extraction paths exist: the per-shot reference path
+/// ([`FeatureExtractor::extract`]: demodulate, then score each bank), and
+/// the batched fused path ([`FeatureExtractor::extract_batch_traces`]),
+/// which folds each qubit's demodulation rotation into its kernels at
+/// construction time and scores tiles of shots against the shared,
+/// cache-resident kernel memory. The two agree to floating-point
+/// reassociation (≈1e-13 relative); downstream decisions are identical.
 #[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     chip: ChipConfig,
     demod: Demodulator,
     banks: Vec<QubitMfBank>,
+    /// Raw-domain kernels, flattened in qubit-major score order; derived
+    /// from `banks` + `demod`, rebuilt rather than serialised.
+    fused: Vec<FusedKernel>,
+}
+
+/// Folds every bank's kernels through its qubit's reference phasors.
+fn fuse_kernels(demod: &Demodulator, banks: &[QubitMfBank]) -> Vec<FusedKernel> {
+    let mut fused = Vec::with_capacity(banks.iter().map(QubitMfBank::n_filters).sum());
+    for (q, bank) in banks.iter().enumerate() {
+        let refs = demod.reference(q);
+        for (ki, kq) in bank.kernels_iq() {
+            let mut w = Vec::with_capacity(2 * refs.len());
+            for (c, (i, q)) in refs.iter().zip(ki.iter().zip(&kq)) {
+                w.push(i * c.re + q * c.im);
+                w.push(q * c.re - i * c.im);
+            }
+            fused.push(FusedKernel { w });
+        }
+    }
+    fused
 }
 
 impl FeatureExtractor {
@@ -55,10 +136,13 @@ impl FeatureExtractor {
             })
             .collect();
 
+        let banks = banks?;
+        let fused = fuse_kernels(&demod, &banks);
         Some(Self {
             chip: config.clone(),
             demod,
-            banks: banks?,
+            banks,
+            fused,
         })
     }
 
@@ -74,7 +158,13 @@ impl FeatureExtractor {
         assert!(!banks.is_empty(), "no banks");
         assert_eq!(banks.len(), chip.n_qubits(), "bank count != qubit count");
         let demod = Demodulator::new(&chip);
-        Self { chip, demod, banks }
+        let fused = fuse_kernels(&demod, &banks);
+        Self {
+            chip,
+            demod,
+            banks,
+            fused,
+        }
     }
 
     /// The chip description the extractor was fitted for.
@@ -121,15 +211,80 @@ impl FeatureExtractor {
         out
     }
 
-    /// Extracts features for many dataset shots in parallel.
+    /// Extracts features for many dataset shots through the fused batch
+    /// engine ([`FeatureExtractor::extract_batch_traces`]) — the fit-time
+    /// and serve-time batch paths share one implementation, so training
+    /// sees exactly the features batched inference produces.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn extract_batch(&self, dataset: &TraceDataset, indices: &[usize]) -> Vec<Vec<f64>> {
-        indices
-            .par_iter()
-            .map(|&i| self.extract(&dataset.shots()[i].raw))
+        let shots: Vec<&[Complex]> = indices
+            .iter()
+            .map(|&i| dataset.shots()[i].raw.as_slice())
+            .collect();
+        self.extract_batch_traces(&shots)
+    }
+
+    /// Extracts merged feature vectors for a batch of raw traces through
+    /// the fused kernels: no per-shot demodulation, each trace flattened
+    /// once and scored by contiguous SIMD-friendly dot products, kernels
+    /// read once per [`BATCH_TILE`]-shot tile instead of once per shot,
+    /// tiles fanned out over cores.
+    ///
+    /// Scores agree with the per-shot [`FeatureExtractor::extract`] path
+    /// to floating-point reassociation (≈1e-13 relative); decisions
+    /// downstream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn extract_batch_traces(&self, shots: &[&[Complex]]) -> Vec<Vec<f64>> {
+        let dim = self.feature_dim();
+        let n_samples = self.demod.n_samples();
+        let tiles: Vec<&[&[Complex]]> = shots.chunks(BATCH_TILE).collect();
+        let per_tile = crate::par_map(&tiles, |tile| {
+            // Flatten the tile's traces once; every kernel reuses them.
+            let mut flats: Vec<Vec<f64>> = Vec::with_capacity(tile.len());
+            for raw in tile.iter() {
+                assert_eq!(raw.len(), n_samples, "trace length != readout window");
+                let mut flat = Vec::new();
+                flatten_iq(raw, &mut flat);
+                flats.push(flat);
+            }
+            let mut out = vec![vec![0.0; dim]; tile.len()];
+            // Filter-major over the tile: each kernel is loaded once and
+            // stays cache-hot across the tile's shots.
+            for (f, kernel) in self.fused.iter().enumerate() {
+                for (features, flat) in out.iter_mut().zip(&flats) {
+                    features[f] = fused_dot(flat, &kernel.w);
+                }
+            }
+            out
+        });
+        per_tile.into_iter().flatten().collect()
+    }
+
+    /// Fused-path extraction of one raw trace — the single-shot view of
+    /// [`FeatureExtractor::extract_batch_traces`] (identical arithmetic),
+    /// exposed so streaming / deployment layers can share the
+    /// demodulation-free path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn extract_fused(&self, raw: &[Complex]) -> Vec<f64> {
+        assert_eq!(
+            raw.len(),
+            self.demod.n_samples(),
+            "trace length != readout window"
+        );
+        let mut flat = Vec::new();
+        flatten_iq(raw, &mut flat);
+        self.fused
+            .iter()
+            .map(|kernel| fused_dot(&flat, &kernel.w))
             .collect()
     }
 
@@ -199,8 +354,7 @@ mod tests {
     fn herqules_variant_has_six_per_qubit() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, false, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, false, MatchedFilterKind::VarianceSum).unwrap();
         assert_eq!(fx.per_qubit_dim(), 6);
         assert_eq!(fx.feature_dim(), 30);
     }
@@ -209,18 +363,39 @@ mod tests {
     fn batch_matches_single_extraction() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let batch = fx.extract_batch(&ds, &[0, 5, 10]);
-        assert_eq!(batch[1], fx.extract(&ds.shots()[5].raw));
+        // The batch engine is bit-identical to the single-shot fused path…
+        assert_eq!(batch[1], fx.extract_fused(&ds.shots()[5].raw));
+        // …and agrees with the demodulate-then-score reference path to
+        // floating-point reassociation.
+        let reference = fx.extract(&ds.shots()[5].raw);
+        for (a, b) in batch[1].iter().zip(&reference) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "fused {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_tiles_are_independent_of_batch_size() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
+        // A batch spanning several tiles must equal per-shot fused calls.
+        let idxs: Vec<usize> = (0..40).collect();
+        let batch = fx.extract_batch(&ds, &idxs);
+        for (&i, row) in idxs.iter().zip(&batch) {
+            assert_eq!(row, &fx.extract_fused(&ds.shots()[i].raw), "shot {i}");
+        }
     }
 
     #[test]
     fn full_length_prefix_equals_extract() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let raw = &ds.shots()[2].raw;
         let full = fx.extract(raw);
         let prefix = fx.extract_prefix(raw, raw.len());
@@ -236,8 +411,7 @@ mod tests {
     fn from_parts_rebuilds_a_working_extractor() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let banks: Vec<QubitMfBank> = (0..fx.n_qubits()).map(|q| fx.bank(q).clone()).collect();
         let rebuilt = FeatureExtractor::from_parts(fx.chip_config().clone(), banks);
         let raw = &ds.shots()[0].raw;
@@ -249,8 +423,7 @@ mod tests {
     fn from_parts_checks_bank_count() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let _ = FeatureExtractor::from_parts(
             fx.chip_config().clone(),
             vec![fx.bank(0).clone()], // 1 bank for a 5-qubit chip
@@ -261,8 +434,7 @@ mod tests {
     fn features_separate_ground_from_leaked() {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
-        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         // QMF(0,2) score of qubit 0 (feature index 1 in its bank) should on
         // average be higher for |2...> than |0...> preparations.
         let roles = fx.bank(0).roles();

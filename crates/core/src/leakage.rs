@@ -202,8 +202,7 @@ impl NaturalLeakageDetector {
             // Prefer assignments whose leakage cluster is small: weight by
             // the negative leaked-cluster size fraction.
             let total: usize = sizes.iter().sum();
-            let score =
-                share(c0, 0) + share(c1, 1) - 0.5 * sizes[cl] as f64 / total.max(1) as f64;
+            let score = share(c0, 0) + share(c1, 1) - 0.5 * sizes[cl] as f64 / total.max(1) as f64;
             if score > best.0 {
                 best = (score, perm);
             }

@@ -38,6 +38,7 @@
 
 #![deny(missing_docs)]
 
+mod batch;
 mod deployment;
 mod discriminator;
 mod features;
@@ -47,8 +48,9 @@ mod model_io;
 mod pipeline;
 mod streaming;
 
+pub use batch::{batch_threads, par_map, par_map_indexed};
 pub use deployment::DeployedDiscriminator;
-pub use discriminator::{evaluate, evaluate_confusion, Discriminator, EvalReport};
+pub use discriminator::{evaluate, evaluate_confusion, gather_shots, Discriminator, EvalReport};
 pub use features::FeatureExtractor;
 pub use leakage::{LeakageHarvest, NaturalLeakageDetector};
 pub use mf_bank::{FilterRole, QubitMfBank};

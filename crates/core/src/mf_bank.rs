@@ -297,9 +297,8 @@ mod tests {
     #[test]
     fn bank_has_nine_filters_and_orders_scores() {
         let (features, labels) = synthetic();
-        let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .expect("all levels present");
+        let bank = QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
+            .expect("all levels present");
         assert_eq!(bank.n_filters(), 9);
         // QMF(0,1) must score level-1-like traces above level-0-like ones.
         let qmf01 = bank.filter(FilterRole::Qubit(0, 1)).unwrap();
@@ -312,8 +311,7 @@ mod tests {
     fn relaxation_filter_flags_decayed_traces() {
         let (features, labels) = synthetic();
         let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .unwrap();
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).unwrap();
         let rmf10 = bank.filter(FilterRole::Relaxation(1, 0)).unwrap();
         // A decayed level-1 trace (last eight) scores above a clean one.
         let clean = &features[20];
@@ -329,8 +327,7 @@ mod tests {
         features = keep.iter().map(|&i| features[i].clone()).collect();
         labels = keep.iter().map(|&i| labels[i]).collect();
         assert!(
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .is_none()
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).is_none()
         );
     }
 
@@ -340,8 +337,7 @@ mod tests {
         let keep: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] < 2).collect();
         let f2: Vec<Vec<f64>> = keep.iter().map(|&i| features[i].clone()).collect();
         let l2: Vec<usize> = keep.iter().map(|&i| labels[i]).collect();
-        let bank = QubitMfBank::fit(&f2, &l2, 2, false, MatchedFilterKind::VarianceSum)
-            .unwrap();
+        let bank = QubitMfBank::fit(&f2, &l2, 2, false, MatchedFilterKind::VarianceSum).unwrap();
         assert_eq!(bank.n_filters(), 2);
         assert_eq!(
             bank.roles(),
@@ -353,8 +349,7 @@ mod tests {
     fn kernels_iq_split_is_consistent_with_apply() {
         let (features, labels) = synthetic();
         let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .unwrap();
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).unwrap();
         let kernels = bank.kernels_iq();
         assert_eq!(kernels.len(), 9);
         let trace: Vec<Complex> = (0..8)
@@ -380,8 +375,7 @@ mod tests {
     fn full_prefix_equals_apply_trace() {
         let (features, labels) = synthetic();
         let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .unwrap();
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).unwrap();
         let trace: Vec<Complex> = (0..8)
             .map(|t| Complex::new((t as f64 * 0.7).sin(), (t as f64 * 0.3).cos()))
             .collect();
@@ -399,8 +393,7 @@ mod tests {
     fn bank_serde_roundtrip() {
         let (features, labels) = synthetic();
         let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .unwrap();
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).unwrap();
         let json = serde_json::to_string(&bank).unwrap();
         let back: QubitMfBank = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bank);
@@ -410,8 +403,7 @@ mod tests {
     fn apply_trace_equals_apply_features() {
         let (features, labels) = synthetic();
         let bank =
-            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum)
-                .unwrap();
+            QubitMfBank::fit(&features, &labels, 3, true, MatchedFilterKind::VarianceSum).unwrap();
         let trace: Vec<Complex> = (0..8).map(|_| Complex::new(1.0, -1.0)).collect();
         let via_trace = bank.apply_trace(&trace);
         let via_features = bank.apply(&mlr_dsp::iq_features(&trace));

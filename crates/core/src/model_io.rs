@@ -259,7 +259,10 @@ mod tests {
         ours.save_json(&mut buf).unwrap();
         let restored = OursDiscriminator::load_json(buf.as_slice()).unwrap();
         for shot in ds.shots().iter().take(30) {
-            assert_eq!(ours.predict_shot(&shot.raw), restored.predict_shot(&shot.raw));
+            assert_eq!(
+                ours.predict_shot(&shot.raw),
+                restored.predict_shot(&shot.raw)
+            );
         }
         assert_eq!(restored.weight_count(), ours.weight_count());
     }

@@ -2,9 +2,9 @@
 //! lightweight neural networks (Fig. 4).
 
 use mlr_dsp::MatchedFilterKind;
+use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
-use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 
 use crate::{Discriminator, FeatureExtractor};
 
@@ -70,13 +70,9 @@ impl OursDiscriminator {
     /// Panics if the training split is missing a level for some qubit
     /// (banks would be underdetermined), or splits index out of range.
     pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &OursConfig) -> Self {
-        let extractor = FeatureExtractor::fit(
-            dataset,
-            &split.train,
-            config.include_emf,
-            config.mf_kind,
-        )
-        .expect("every qubit needs every level in the training split");
+        let extractor =
+            FeatureExtractor::fit(dataset, &split.train, config.include_emf, config.mf_kind)
+                .expect("every qubit needs every level in the training split");
 
         let raw_train_x = extractor.extract_batch(dataset, &split.train);
         let standardizer = Standardizer::fit(&raw_train_x).expect("nonempty training batch");
@@ -93,10 +89,9 @@ impl OursDiscriminator {
 
         let heads: Vec<Mlp> = (0..dataset.config().n_qubits())
             .map(|q| {
-                let labels: Vec<usize> =
-                    split.train.iter().map(|&i| dataset.label(i, q)).collect();
-                let data = TrainData::from_f64(&train_x, labels, levels)
-                    .expect("validated feature batch");
+                let labels: Vec<usize> = split.train.iter().map(|&i| dataset.label(i, q)).collect();
+                let data =
+                    TrainData::from_f64(&train_x, labels, levels).expect("validated feature batch");
                 let val_data = val_x.as_ref().map(|vx| {
                     let vlabels: Vec<usize> =
                         split.val.iter().map(|&i| dataset.label(i, q)).collect();
@@ -158,6 +153,20 @@ impl OursDiscriminator {
         self.heads.iter().map(|h| h.predict(&x)).collect()
     }
 
+    /// Classifies a batch of pre-extracted feature vectors: standardise
+    /// once ([`Standardizer::transform_batch_f32`]), then run each head
+    /// over the whole batch so its weights stay cache-resident. Decisions
+    /// are identical to mapping [`OursDiscriminator::predict_features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the extractor's dimension.
+    pub fn predict_features_batch(&self, features: &[Vec<f64>]) -> Vec<Vec<usize>> {
+        let xs = self.standardizer.transform_batch_f32(features);
+        let per_head: Vec<Vec<usize>> = self.heads.iter().map(|h| h.predict_batch(&xs)).collect();
+        crate::batch::transpose_decisions(&per_head, xs.len())
+    }
+
     /// The probability qubit `q`'s head assigns to the leaked state
     /// (softmax mass on the highest level) for a pre-extracted raw feature
     /// vector.
@@ -195,11 +204,51 @@ impl OursDiscriminator {
             .map(|h| mlr_nn::QuantizedMlp::from_mlp(h, format).predict(&x))
             .collect()
     }
+
+    /// Batched quantised classification: quantises every head **once**,
+    /// then classifies all rows — unlike the per-shot
+    /// [`OursDiscriminator::predict_features_quantized`], which rebuilds
+    /// the quantised heads on every call. Decisions are identical, because
+    /// quantisation is deterministic in the weights and format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the extractor's dimension.
+    pub fn predict_features_quantized_batch(
+        &self,
+        features: &[Vec<f64>],
+        format: mlr_nn::FixedPointFormat,
+    ) -> Vec<Vec<usize>> {
+        let quantized: Vec<mlr_nn::QuantizedMlp> = self
+            .heads
+            .iter()
+            .map(|h| mlr_nn::QuantizedMlp::from_mlp(h, format))
+            .collect();
+        let xs = self.standardizer.transform_batch_f32(features);
+        let per_head: Vec<Vec<usize>> = quantized
+            .iter()
+            .map(|h| xs.iter().map(|x| h.predict(x)).collect())
+            .collect();
+        crate::batch::transpose_decisions(&per_head, xs.len())
+    }
 }
 
 impl Discriminator for OursDiscriminator {
+    /// Single-shot inference through the published per-shot datapath:
+    /// demodulate each channel, score its bank, run the heads. This is
+    /// the latency-critical path a control system takes one shot at a
+    /// time; bulk work belongs on [`Discriminator::predict_batch`].
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
         self.predict_features(&self.extractor.extract(raw))
+    }
+
+    /// Native batch inference: fused demodulation-free tiled feature
+    /// extraction (kernels read once per shot tile instead of once per
+    /// shot), then standardise-once and head-major classification.
+    /// Decisions match the per-shot path — the feature stages agree to
+    /// floating-point reassociation, far below any decision boundary.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
     }
 
     fn name(&self) -> &str {
@@ -284,7 +333,41 @@ mod tests {
     fn predict_features_matches_predict_shot() {
         let (ds, _, ours) = fit_small();
         let raw = &ds.shots()[7].raw;
-        let via_features = ours.predict_features(&ours.extractor().extract(raw));
-        assert_eq!(via_features, ours.predict_shot(raw));
+        // predict_shot routes through the reference extraction, so this
+        // is the exact contract…
+        let via_reference = ours.predict_features(&ours.extractor().extract(raw));
+        assert_eq!(via_reference, ours.predict_shot(raw));
+        // …while the fused extraction (the batch engine's arithmetic)
+        // agrees on the decision — not bit-exact in features, identical in
+        // outcome away from exact decision-boundary ties.
+        let via_fused = ours.predict_features(&ours.extractor().extract_fused(raw));
+        assert_eq!(via_fused, ours.predict_shot(raw));
+    }
+
+    #[test]
+    fn batch_equals_per_shot_exactly() {
+        let (ds, split, ours) = fit_small();
+        let shots: Vec<&[mlr_num::Complex]> = split.test[..40]
+            .iter()
+            .map(|&i| ds.shots()[i].raw.as_slice())
+            .collect();
+        let batch = ours.predict_batch(&shots);
+        for (raw, decided) in shots.iter().zip(&batch) {
+            assert_eq!(decided, &ours.predict_shot(raw));
+        }
+    }
+
+    #[test]
+    fn quantized_batch_matches_per_shot_quantisation() {
+        let (ds, split, ours) = fit_small();
+        let fmt = mlr_nn::FixedPointFormat::HLS4ML_DEFAULT;
+        let features: Vec<Vec<f64>> = split.test[..20]
+            .iter()
+            .map(|&i| ours.extractor().extract_fused(&ds.shots()[i].raw))
+            .collect();
+        let batch = ours.predict_features_quantized_batch(&features, fmt);
+        for (f, decided) in features.iter().zip(&batch) {
+            assert_eq!(decided, &ours.predict_features_quantized(f, fmt));
+        }
     }
 }

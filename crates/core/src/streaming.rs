@@ -21,8 +21,8 @@
 //! `mlr-qec::timing` the same way the paper's fixed 200 ns saving does.
 
 use mlr_dsp::StreamingDemodulator;
-use mlr_num::Complex;
 use mlr_nn::{Mlp, Standardizer, TrainData};
+use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
 
 use crate::{Discriminator, FeatureExtractor, OursConfig};
@@ -46,12 +46,7 @@ impl StreamingConfig {
     /// paper-flavoured default confidence of 0.95.
     pub fn quarters(n_samples: usize) -> Self {
         Self {
-            checkpoints: vec![
-                n_samples / 4,
-                n_samples / 2,
-                3 * n_samples / 4,
-                n_samples,
-            ],
+            checkpoints: vec![n_samples / 4, n_samples / 2, 3 * n_samples / 4, n_samples],
             confidence: 0.95,
             base: OursConfig::default(),
         }
@@ -76,16 +71,16 @@ impl Checkpoint {
             .iter()
             .map(|h| {
                 let p = h.predict_proba(&x);
-                let (level, conf) = p
-                    .iter()
-                    .enumerate()
-                    .fold((0usize, f64::MIN), |acc, (i, &v)| {
-                        if (v as f64) > acc.1 {
-                            (i, v as f64)
-                        } else {
-                            acc
-                        }
-                    });
+                let (level, conf) =
+                    p.iter()
+                        .enumerate()
+                        .fold((0usize, f64::MIN), |acc, (i, &v)| {
+                            if (v as f64) > acc.1 {
+                                (i, v as f64)
+                            } else {
+                                acc
+                            }
+                        });
                 (level, conf)
             })
             .collect()
@@ -169,17 +164,14 @@ impl StreamingReadout {
             .enumerate()
             .map(|(ci, &n_samples)| {
                 let raw_train = extractor.extract_prefix_batch(dataset, &split.train, n_samples);
-                let standardizer =
-                    Standardizer::fit(&raw_train).expect("nonempty training batch");
+                let standardizer = Standardizer::fit(&raw_train).expect("nonempty training batch");
                 let train_x = standardizer.transform_batch(&raw_train);
                 let val_x = if split.val.is_empty() {
                     None
                 } else {
-                    Some(standardizer.transform_batch(&extractor.extract_prefix_batch(
-                        dataset,
-                        &split.val,
-                        n_samples,
-                    )))
+                    Some(standardizer.transform_batch(
+                        &extractor.extract_prefix_batch(dataset, &split.val, n_samples),
+                    ))
                 };
 
                 let heads: Vec<Mlp> = (0..n_qubits)
@@ -191,24 +183,19 @@ impl StreamingReadout {
                         let val_data = val_x.as_ref().map(|vx| {
                             let vlabels: Vec<usize> =
                                 split.val.iter().map(|&i| dataset.label(i, q)).collect();
-                            TrainData::from_f64(vx, vlabels, levels)
-                                .expect("validated val batch")
+                            TrainData::from_f64(vx, vlabels, levels).expect("validated val batch")
                         });
                         let seed_base = config.base.train.seed;
-                        let mut head = Mlp::new(
-                            &sizes,
-                            seed_base.wrapping_add((ci * 100 + q) as u64),
-                        );
+                        let mut head =
+                            Mlp::new(&sizes, seed_base.wrapping_add((ci * 100 + q) as u64));
                         let mut train_cfg = config.base.train.clone();
-                        train_cfg.seed =
-                            seed_base.wrapping_add((10_000 + ci * 100 + q) as u64);
+                        train_cfg.seed = seed_base.wrapping_add((10_000 + ci * 100 + q) as u64);
                         if train_cfg.class_weights.is_none() {
-                            train_cfg.class_weights =
-                                Some(mlr_nn::inverse_frequency_weights(
-                                    data.labels(),
-                                    levels,
-                                    config.base.class_weight_cap,
-                                ));
+                            train_cfg.class_weights = Some(mlr_nn::inverse_frequency_weights(
+                                data.labels(),
+                                levels,
+                                config.base.class_weight_cap,
+                            ));
                         }
                         head.train(&data, val_data.as_ref(), &train_cfg);
                         head
@@ -264,6 +251,17 @@ impl StreamingReadout {
         unreachable!("the final checkpoint always decides");
     }
 
+    /// Streams a batch of captured traces, fanning shots out over the
+    /// machine's cores; decisions match mapping
+    /// [`StreamingReadout::process_shot`] exactly, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace is shorter than the last checkpoint.
+    pub fn process_batch(&self, shots: &[&[Complex]]) -> Vec<StreamingDecision> {
+        crate::par_map(shots, |raw| self.process_shot(raw))
+    }
+
     /// Decision at checkpoint `ci` for a partial feature vector, plus
     /// whether it clears the confidence gate.
     fn checkpoint_decision(&self, ci: usize, features: &[f64]) -> (StreamingDecision, bool) {
@@ -283,6 +281,14 @@ impl StreamingReadout {
 impl Discriminator for StreamingReadout {
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
         self.process_shot(raw).levels
+    }
+
+    /// Native batch path: one [`StreamingReadout::process_batch`] call.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.process_batch(shots)
+            .into_iter()
+            .map(|decision| decision.levels)
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -419,7 +425,8 @@ impl StreamingReport {
 }
 
 /// Evaluates a [`StreamingReadout`] on the dataset shots selected by
-/// `indices`, reporting balanced fidelities and latency statistics.
+/// `indices`, reporting balanced fidelities and latency statistics. All
+/// decisions come from one [`StreamingReadout::process_batch`] call.
 ///
 /// # Panics
 ///
@@ -432,12 +439,13 @@ pub fn evaluate_streaming(
     assert!(!indices.is_empty(), "no shots to evaluate");
     let n_qubits = readout.n_qubits;
     let levels = dataset.levels();
+    let shots = crate::gather_shots(dataset, indices);
+    let decisions = readout.process_batch(&shots);
     let mut hits = vec![vec![0usize; levels]; n_qubits];
     let mut counts = vec![vec![0usize; levels]; n_qubits];
     let mut total_samples = 0usize;
     let mut checkpoint_counts = vec![0usize; readout.checkpoints.len()];
-    for &i in indices {
-        let decision = readout.process_shot(&dataset.shots()[i].raw);
+    for (&i, decision) in indices.iter().zip(&decisions) {
         total_samples += decision.samples_used;
         checkpoint_counts[decision.checkpoint_index] += 1;
         for q in 0..n_qubits {

@@ -54,6 +54,16 @@ impl Demodulator {
         self.references.first().map_or(0, Vec::len)
     }
 
+    /// Borrows qubit `q`'s reference phasor table `e^{-i 2π f_q t_n}` —
+    /// what a fused demodulate-and-score path folds into its kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn reference(&self, q: usize) -> &[Complex] {
+        &self.references[q]
+    }
+
     /// Demodulates the composite trace to qubit `q`'s baseband.
     ///
     /// Traces shorter than the reference table are allowed (truncated
@@ -78,7 +88,9 @@ impl Demodulator {
     ///
     /// As for [`Demodulator::demodulate`].
     pub fn demodulate_all(&self, raw: &[Complex]) -> Vec<Vec<Complex>> {
-        (0..self.n_qubits()).map(|q| self.demodulate(raw, q)).collect()
+        (0..self.n_qubits())
+            .map(|q| self.demodulate(raw, q))
+            .collect()
     }
 }
 

@@ -86,7 +86,7 @@ pub fn tone_amplitude(trace: &[Complex], freq_mhz: f64, dt_us: f64) -> Complex {
     let mut acc = Complex::ZERO;
     for &z in trace {
         acc += z * phasor;
-        phasor = phasor * step;
+        phasor *= step;
     }
     acc / trace.len() as f64
 }

@@ -99,8 +99,7 @@ impl MatchedFilter {
             }
             MatchedFilterKind::VarianceSum => v0.iter().zip(&v1).map(|(a, b)| a + b).collect(),
         };
-        let scale =
-            raw_denoms.iter().map(|d| d.abs()).sum::<f64>() / raw_denoms.len() as f64;
+        let scale = raw_denoms.iter().map(|d| d.abs()).sum::<f64>() / raw_denoms.len() as f64;
         let floor = (scale * Self::DENOM_FLOOR_REL).max(1e-12);
         let kernel: Vec<f64> = mu0
             .iter()
@@ -134,11 +133,7 @@ impl MatchedFilter {
     #[inline]
     pub fn apply(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.kernel.len(), "feature length mismatch");
-        features
-            .iter()
-            .zip(&self.kernel)
-            .map(|(a, b)| a * b)
-            .sum()
+        features.iter().zip(&self.kernel).map(|(a, b)| a * b).sum()
     }
 
     /// Hard binary decision: `true` selects class 1.
@@ -199,12 +194,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn gaussian_class(
-        rng: &mut StdRng,
-        mean: &[f64],
-        sigma: f64,
-        n: usize,
-    ) -> Vec<Vec<f64>> {
+    fn gaussian_class(rng: &mut StdRng, mean: &[f64], sigma: f64, n: usize) -> Vec<Vec<f64>> {
         use rand_distr::{Distribution, Normal};
         let norm = Normal::new(0.0, sigma).unwrap();
         (0..n)

@@ -87,12 +87,7 @@ impl StreamingDemodulator {
     /// Processes one ADC sample, returning the baseband sample of every
     /// qubit (borrow valid until the next `push`).
     pub fn push(&mut self, sample: Complex) -> &[Complex] {
-        for ((out, phasor), step) in self
-            .buf
-            .iter_mut()
-            .zip(&mut self.phasors)
-            .zip(&self.steps)
-        {
+        for ((out, phasor), step) in self.buf.iter_mut().zip(&mut self.phasors).zip(&self.steps) {
             *out = sample * *phasor;
             *phasor *= *step;
         }

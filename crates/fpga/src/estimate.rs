@@ -300,7 +300,11 @@ mod tests {
         assert!(u_fnn.lut_pct / u_ours.lut_pct > 30.0, "paper: ~60x");
         assert!(u_fnn.lut_pct / u_herq.lut_pct > 7.0, "paper: ~15x");
         assert!(u_herq.lut_pct / u_ours.lut_pct > 2.0, "paper: ~4x");
-        assert!(u_ours.lut_pct < 15.0, "OURS must be small: {}", u_ours.lut_pct);
+        assert!(
+            u_ours.lut_pct < 15.0,
+            "OURS must be small: {}",
+            u_ours.lut_pct
+        );
     }
 
     #[test]

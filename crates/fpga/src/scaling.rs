@@ -62,9 +62,7 @@ pub fn scaling_study(
     for &k in level_counts {
         assert!(k >= 2, "need at least two levels");
         for &n in qubit_counts {
-            let joint = (k as u128)
-                .checked_pow(n as u32)
-                .expect("k^n exceeds u128");
+            let joint = (k as u128).checked_pow(n as u32).expect("k^n exceeds u128");
             for hw in [
                 DiscriminatorHw::ours_paper(n, k, n_samples),
                 DiscriminatorHw::herqules_paper(n, k, n_samples),
@@ -92,11 +90,7 @@ pub fn scaling_study(
 ///
 /// This is the "how far does each architecture scale" headline the sweep
 /// supports.
-pub fn max_feasible_qubits(
-    points: &[ScalingPoint],
-    design: &str,
-    levels: usize,
-) -> Option<usize> {
+pub fn max_feasible_qubits(points: &[ScalingPoint], design: &str, levels: usize) -> Option<usize> {
     points
         .iter()
         .filter(|p| p.design == design && p.levels == levels && p.min_reuse.is_some())
@@ -109,7 +103,12 @@ mod tests {
     use super::*;
 
     fn study() -> Vec<ScalingPoint> {
-        scaling_study(&[2, 3, 5, 8, 10, 15], &[2, 3, 4], 500, &FpgaDevice::xczu7ev())
+        scaling_study(
+            &[2, 3, 5, 8, 10, 15],
+            &[2, 3, 4],
+            500,
+            &FpgaDevice::xczu7ev(),
+        )
     }
 
     fn weights(points: &[ScalingPoint], design: &str, n: usize, k: usize) -> usize {
@@ -123,9 +122,15 @@ mod tests {
     #[test]
     fn paper_point_matches_known_counts() {
         let points = study();
-        assert_eq!(weights(&points, "OURS", 5, 3), 5 * (45 * 22 + 22 * 11 + 11 * 3));
+        assert_eq!(
+            weights(&points, "OURS", 5, 3),
+            5 * (45 * 22 + 22 * 11 + 11 * 3)
+        );
         assert_eq!(weights(&points, "FNN", 5, 3), 685_750);
-        assert_eq!(weights(&points, "HERQULES", 5, 3), 30 * 60 + 60 * 120 + 120 * 243);
+        assert_eq!(
+            weights(&points, "HERQULES", 5, 3),
+            30 * 60 + 60 * 120 + 120 * 243
+        );
     }
 
     #[test]
@@ -141,8 +146,8 @@ mod tests {
     #[test]
     fn joint_designs_grow_exponentially_in_qubits() {
         let points = study();
-        let ours_growth = weights(&points, "OURS", 10, 3) as f64
-            / weights(&points, "OURS", 5, 3) as f64;
+        let ours_growth =
+            weights(&points, "OURS", 10, 3) as f64 / weights(&points, "OURS", 5, 3) as f64;
         for design in ["HERQULES", "FNN"] {
             let w5 = weights(&points, design, 5, 3) as f64;
             let w10 = weights(&points, design, 10, 3) as f64;
@@ -162,8 +167,8 @@ mod tests {
                 "{design} growth {:.1}x per +5 qubits is not in the exponential regime",
                 w15 / w10
             );
-            let ours_tail = weights(&points, "OURS", 15, 3) as f64
-                / weights(&points, "OURS", 10, 3) as f64;
+            let ours_tail =
+                weights(&points, "OURS", 15, 3) as f64 / weights(&points, "OURS", 10, 3) as f64;
             assert!(ours_tail < 10.0, "OURS tail growth {ours_tail:.1}x");
         }
     }

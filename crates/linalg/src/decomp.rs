@@ -261,11 +261,7 @@ mod tests {
 
     #[test]
     fn lu_solves_diagonally_dominant_system() {
-        let a = Matrix::from_rows(&[
-            &[10.0, 2.0, 3.0],
-            &[1.0, 12.0, -1.0],
-            &[2.0, -3.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[10.0, 2.0, 3.0], &[1.0, 12.0, -1.0], &[2.0, -3.0, 9.0]]);
         let b = [1.0, 2.0, 3.0];
         let x = a.lu().unwrap().solve(&b);
         assert!(residual(&a, &x, &b) < 1e-10);
@@ -307,11 +303,7 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
         let ch = a.cholesky().unwrap();
         let l = ch.factor();
         let reconstructed = l * &l.transpose();

@@ -142,11 +142,7 @@ mod tests {
 
     #[test]
     fn eigen_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let eig = a.symmetric_eigen();
         assert!((&reconstruct(&eig) - &a).max_abs() < 1e-9);
     }
@@ -180,11 +176,7 @@ mod tests {
     #[test]
     fn laplacian_null_vector() {
         // Path-graph Laplacian: smallest eigenvalue 0 with constant vector.
-        let a = Matrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         let eig = a.symmetric_eigen();
         assert!(eig.values[0].abs() < 1e-10);
         let v0 = eig.vectors.col(0);

@@ -181,13 +181,16 @@ impl IntMlp {
         let out = self.forward_raw(&self.quantize_input(x));
         out.iter()
             .enumerate()
-            .fold((0usize, i32::MIN), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            })
+            .fold(
+                (0usize, i32::MIN),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            )
             .0
     }
 
@@ -235,8 +238,11 @@ mod tests {
     fn matches_float_quantization_model_exactly() {
         // The headline property: integer datapath == float grid-snapping
         // model, bit for bit, across formats and topologies.
-        for (seed, sizes) in [(0u64, vec![6, 12, 4]), (1, vec![10, 5, 5, 3]), (2, vec![3, 3])]
-        {
+        for (seed, sizes) in [
+            (0u64, vec![6, 12, 4]),
+            (1, vec![10, 5, 5, 3]),
+            (2, vec![3, 3]),
+        ] {
             let mlp = Mlp::new(&sizes, seed);
             for fmt in [
                 FixedPointFormat::HLS4ML_DEFAULT,

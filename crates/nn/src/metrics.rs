@@ -47,7 +47,6 @@ pub fn geometric_mean(fidelities: &[f64]) -> f64 {
     (log_sum / fidelities.len() as f64).exp()
 }
 
-
 /// A point on a receiver-operating-characteristic curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {

@@ -131,13 +131,7 @@ impl Mlp {
         for l in 0..n_layers {
             let relu = l + 1 < n_layers;
             let mut out = Vec::new();
-            Self::layer_forward(
-                &self.weights[l],
-                &self.biases[l],
-                &acts[l],
-                relu,
-                &mut out,
-            );
+            Self::layer_forward(&self.weights[l], &self.biases[l], &acts[l], relu, &mut out);
             acts.push(out);
         }
         acts
@@ -175,6 +169,18 @@ impl Mlp {
     pub fn predict(&self, x: &[f32]) -> usize {
         let logits = self.forward(x);
         argmax_f32(&logits)
+    }
+
+    /// Hard class predictions for a batch of rows, decided exactly as
+    /// [`Mlp::predict`] decides each row. Iterating rows under one call
+    /// keeps the layer weights cache-resident across the whole batch —
+    /// the network-stage half of the batched inference paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the input width.
+    pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
     }
 
     /// Marginal decoding for joint classifiers over a base-`levels` product

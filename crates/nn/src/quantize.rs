@@ -79,7 +79,10 @@ impl FixedPointFormat {
     pub fn quantize(self, x: f64) -> f64 {
         let scale = 2f64.powi(self.fraction_bits() as i32);
         let min = -(2f64.powi(self.int_bits as i32 - 1));
-        (x * scale).round().clamp(min * scale, self.max_value() * scale) / scale
+        (x * scale)
+            .round()
+            .clamp(min * scale, self.max_value() * scale)
+            / scale
     }
 }
 
@@ -117,8 +120,16 @@ impl QuantizedMlp {
         let q = |v: &f32| format.quantize(*v as f64) as f32;
         Self {
             sizes: mlp.sizes().to_vec(),
-            weights: mlp.weights.iter().map(|w| w.iter().map(q).collect()).collect(),
-            biases: mlp.biases.iter().map(|b| b.iter().map(q).collect()).collect(),
+            weights: mlp
+                .weights
+                .iter()
+                .map(|w| w.iter().map(q).collect())
+                .collect(),
+            biases: mlp
+                .biases
+                .iter()
+                .map(|b| b.iter().map(q).collect())
+                .collect(),
             format,
         }
     }

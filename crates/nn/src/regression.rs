@@ -51,8 +51,7 @@ impl RegressionData {
         }
         let in_dim = inputs[0].len();
         let out_dim = targets[0].len();
-        if inputs.iter().any(|x| x.len() != in_dim) || targets.iter().any(|t| t.len() != out_dim)
-        {
+        if inputs.iter().any(|x| x.len() != in_dim) || targets.iter().any(|t| t.len() != out_dim) {
             return Err(DataError::Ragged);
         }
         Ok(Self { inputs, targets })
@@ -144,8 +143,7 @@ impl Mlp {
         assert!(config.batch_size > 0, "batch_size must be positive");
 
         let mut adam = Adam::new(self);
-        let mut grad_w: Vec<Vec<f32>> =
-            self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_w: Vec<Vec<f32>> = self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
         let mut grad_b: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
 
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -392,9 +390,7 @@ mod tests {
 
     #[test]
     fn validation_early_stopping_restores_best() {
-        let rows: Vec<Vec<f32>> = (0..20)
-            .map(|i| vec![(i as f32) / 10.0 - 1.0])
-            .collect();
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![(i as f32) / 10.0 - 1.0]).collect();
         let data = RegressionData::identity(rows.clone()).unwrap();
         let val = RegressionData::identity(rows).unwrap();
         let mut mlp = Mlp::new(&[1, 4, 1], 1);
@@ -430,10 +426,8 @@ mod tests {
         let mut mlp = Mlp::new(&[2, 3, 2], 5);
         let x = [0.3f32, -0.8];
         let t = [0.5f32, 0.25];
-        let mut grad_w: Vec<Vec<f32>> =
-            mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect();
-        let mut grad_b: Vec<Vec<f32>> =
-            mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+        let mut grad_w: Vec<Vec<f32>> = mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_b: Vec<Vec<f32>> = mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect();
         mlp.backprop_mse(&x, &t, &mut grad_w, &mut grad_b);
 
         let loss_of = |mlp: &Mlp| {

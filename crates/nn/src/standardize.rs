@@ -99,6 +99,18 @@ impl Standardizer {
     pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
         rows.iter().map(|r| self.transform(r)).collect()
     }
+
+    /// Standardises a batch of rows directly into `f32` network precision
+    /// — the standardise-once step of the batched inference paths. Each
+    /// row is transformed exactly as [`Standardizer::transform_f32`]
+    /// would, so batched and per-shot inference see identical inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the fitted dimensionality.
+    pub fn transform_batch_f32(&self, rows: &[Vec<f64>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform_f32(r)).collect()
+    }
 }
 
 #[cfg(test)]

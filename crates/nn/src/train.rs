@@ -304,8 +304,7 @@ impl Mlp {
         assert!(config.batch_size > 0, "batch_size must be positive");
 
         let mut adam = Adam::new(self);
-        let mut grad_w: Vec<Vec<f32>> =
-            self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_w: Vec<Vec<f32>> = self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
         let mut grad_b: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
 
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -379,10 +378,7 @@ impl Mlp {
                     stale = 0;
                 } else {
                     stale += 1;
-                    if config
-                        .early_stop_patience
-                        .is_some_and(|p| stale >= p)
-                    {
+                    if config.early_stop_patience.is_some_and(|p| stale >= p) {
                         break;
                     }
                 }
@@ -617,8 +613,7 @@ mod tests {
         let mut mlp = Mlp::new(&[2, 3, 2], 11);
         let x = [0.7f32, -0.4];
         let y = 1usize;
-        let mut grad_w: Vec<Vec<f32>> =
-            mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut grad_w: Vec<Vec<f32>> = mlp.weights.iter().map(|w| vec![0.0; w.len()]).collect();
         let mut grad_b: Vec<Vec<f32>> = mlp.biases.iter().map(|b| vec![0.0; b.len()]).collect();
         mlp.backprop(&x, y, 1.0, &mut grad_w, &mut grad_b);
 

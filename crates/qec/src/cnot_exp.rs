@@ -171,8 +171,7 @@ mod tests {
         let exp = experiment();
         let leaked = exp.run(true);
         let clean = exp.run(false);
-        let ratio =
-            leaked.target_leak_vs_gates[11] / clean.target_leak_vs_gates[11].max(1e-9);
+        let ratio = leaked.target_leak_vs_gates[11] / clean.target_leak_vs_gates[11].max(1e-9);
         assert!(
             (2.0..5.0).contains(&ratio),
             "growth ratio {ratio} (paper: ~3x)"

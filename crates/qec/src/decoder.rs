@@ -4,13 +4,18 @@
 //! The paper's motivation chain ends at QEC reliability: leakage corrupts
 //! syndromes, syndromes feed a decoder, the decoder's failures are logical
 //! errors. This module closes that loop with a deliberately simple,
-//! fully-tested decoder: defects (triggered checks) are greedily matched to
-//! their nearest partner or boundary along the check-adjacency graph, and
-//! the matched paths are flipped. Greedy matching is not minimum-weight
-//! perfect matching, but it corrects every single fault at any distance
-//! and exhibits the qualitative threshold behaviour
-//! (logical error rate falling with distance at low physical error rate)
-//! that the experiments here need.
+//! fully-tested decoder: the globally cheapest defect pair (or
+//! defect-to-boundary hop) is matched first along the check-adjacency
+//! graph, and the matched paths are flipped. Greedy matching is not
+//! minimum-weight perfect matching: tied boundary-column configurations
+//! can draw a heavier-than-necessary correction, so the decoder tolerates
+//! ⌈d/2⌉ faults instead of MWPM's ⌊(d−1)/2⌋ + 1, and its effective
+//! distance grows every *other* code-distance step (d = 3 and d = 5 both
+//! fail at two faults; d = 7 is the first to survive them). Within that
+//! limit it corrects every single fault at any distance and shows the
+//! qualitative suppression (logical error rate falling with effective
+//! distance at low physical error rate) the experiments here need; an
+//! MWPM/union-find upgrade is the natural next step.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -140,14 +145,15 @@ impl GreedyDecoder {
             }
         }
 
-        // Logical operator for this sector: a straight chain of data qubits
-        // connecting the two open boundaries. For Z checks (X errors) the
-        // top row works; for X checks the left column. Each sector check
-        // overlaps it an even number of times, so its parity is gauge
-        // invariant.
+        // Conjugate-logical support for this sector's parity test. A
+        // Z-sector residual is an X-type chain, so it is a logical fault
+        // iff it anticommutes with the representative logical Z (the top
+        // row); dually, X-sector residuals are tested against the logical
+        // X (the left column). The parity is gauge invariant because every
+        // opposite-sector stabilizer overlaps the support evenly.
         let d = code.distance();
         let logical_support: Vec<usize> = match sector {
-            StabilizerKind::Z => (0..d).collect(),            // row 0
+            StabilizerKind::Z => (0..d).collect(),                // row 0
             StabilizerKind::X => (0..d).map(|r| r * d).collect(), // column 0
         };
 
@@ -193,27 +199,37 @@ impl GreedyDecoder {
     /// Panics if the syndrome length differs from [`GreedyDecoder::n_checks`].
     pub fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
         assert_eq!(syndrome.len(), self.n_checks(), "syndrome length");
-        let mut defects: Vec<usize> = (0..self.n_checks())
-            .filter(|&c| syndrome[c])
-            .collect();
+        let mut defects: Vec<usize> = (0..self.n_checks()).filter(|&c| syndrome[c]).collect();
         let mut flips: Vec<usize> = Vec::new();
 
-        while let Some(&a) = defects.first() {
-            // Closest partner defect vs the boundary.
-            let mut best_partner: Option<(usize, usize)> = None; // (dist, defect)
-            for &b in defects.iter().skip(1) {
-                let d = self.dist[a][b];
-                if best_partner.is_none_or(|(bd, _)| d < bd) {
-                    best_partner = Some((d, b));
+        // Globally greedy matching: repeatedly commit the cheapest
+        // remaining match — either a defect pair or a defect-to-boundary
+        // hop — rather than serving defects in index order. Index-order
+        // greedy mis-pairs across the lattice often enough that larger
+        // codes performed *worse* at realistic error rates; global
+        // cheapest-first restores the distance suppression while staying
+        // far simpler than minimum-weight perfect matching.
+        while !defects.is_empty() {
+            let mut best_pair: Option<(usize, usize, usize)> = None; // (dist, a, b)
+            for (i, &a) in defects.iter().enumerate() {
+                for &b in defects.iter().skip(i + 1) {
+                    let d = self.dist[a][b];
+                    if best_pair.is_none_or(|(bd, _, _)| d < bd) {
+                        best_pair = Some((d, a, b));
+                    }
                 }
             }
-            let to_boundary = self.boundary_dist[a];
-            match best_partner {
-                Some((d_pair, b)) if d_pair <= to_boundary => {
+            let best_boundary = defects
+                .iter()
+                .copied()
+                .min_by_key(|&a| self.boundary_dist[a])
+                .map(|a| (self.boundary_dist[a], a));
+            match (best_pair, best_boundary) {
+                (Some((d_pair, a, b)), Some((d_bound, _))) if d_pair <= d_bound => {
                     self.walk(a, b, &mut flips);
                     defects.retain(|&c| c != a && c != b);
                 }
-                _ => {
+                (_, Some((_, a))) => {
                     // Match to the boundary: walk to the nearest boundary
                     // check, then flip its boundary qubit.
                     let target = self.nearest_boundary_check(a);
@@ -221,6 +237,11 @@ impl GreedyDecoder {
                     flips.push(self.boundary_qubit[target]);
                     defects.retain(|&c| c != a);
                 }
+                (Some((_, a, b)), None) => {
+                    self.walk(a, b, &mut flips);
+                    defects.retain(|&c| c != a && c != b);
+                }
+                (None, None) => unreachable!("nonempty defect set"),
             }
         }
 
@@ -409,15 +430,52 @@ mod tests {
 
     #[test]
     fn logical_error_rate_falls_with_distance_at_low_p() {
-        // Greedy matching has a lower threshold than MWPM; stay well below
-        // it so the distance suppression is visible.
+        // Greedy matching tolerates ⌈d/2⌉ faults rather than MWPM's
+        // ⌊(d-1)/2⌋+1 (see the module docs), so its effective distance
+        // only grows every other code-distance step: d=5 tolerates the
+        // same two faults d=3 does, and the first clear suppression
+        // appears at d=7. Compare across a full effective-distance step.
         let p = 0.008;
         let ler3 = logical_error_rate(&SurfaceCode::rotated(3), p, 20_000, 11);
-        let ler5 = logical_error_rate(&SurfaceCode::rotated(5), p, 20_000, 11);
+        let ler7 = logical_error_rate(&SurfaceCode::rotated(7), p, 20_000, 11);
         assert!(
-            ler5 < ler3,
-            "distance should suppress errors: d3 {ler3} vs d5 {ler5}"
+            ler7 < ler3,
+            "distance should suppress errors: d3 {ler3} vs d7 {ler7}"
         );
+    }
+
+    #[test]
+    fn greedy_effective_distance_steps_every_other_d() {
+        // Pin the known greedy limitation so a future MWPM/union-find
+        // decoder visibly lifts it: d=3 and d=5 both fail at two faults in
+        // the left boundary column, d=7 survives every two-fault pattern
+        // there.
+        let two_fault_failure = |d: usize| -> bool {
+            let code = SurfaceCode::rotated(d);
+            let dec = GreedyDecoder::new(&code, StabilizerKind::Z);
+            for a in 0..d {
+                for b in (a + 1)..d {
+                    let flipped = [a * d, b * d]; // column 0 pairs
+                    let syn = dec.syndrome_of(&flipped);
+                    let fix = dec.decode(&syn);
+                    let mut residual: Vec<usize> = flipped.to_vec();
+                    for q in fix {
+                        if let Some(pos) = residual.iter().position(|&x| x == q) {
+                            residual.remove(pos);
+                        } else {
+                            residual.push(q);
+                        }
+                    }
+                    if dec.is_logical_error(&residual) {
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+        assert!(two_fault_failure(3), "d3 must fail at some 2-fault pattern");
+        assert!(two_fault_failure(5), "d5 greedy limitation disappeared?");
+        assert!(!two_fault_failure(7), "d7 should survive 2 boundary faults");
     }
 
     #[test]

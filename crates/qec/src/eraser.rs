@@ -121,8 +121,7 @@ impl EraserExperiment {
         let mut lp_sum = 0.0;
 
         for trial in 0..self.config.trials {
-            let mut rng =
-                StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64 * 7919));
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64 * 7919));
             let mut sim = LeakageSimulator::new(code.clone(), self.config.params);
             let mut prev_syndromes = vec![false; n_anc];
             // Last two cycles' detection events per ancilla (for the

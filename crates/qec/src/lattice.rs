@@ -167,7 +167,11 @@ mod tests {
         for s in code.stabilizers() {
             assert!(s.data.len() == 2 || s.data.len() == 4);
         }
-        let weight4 = code.stabilizers().iter().filter(|s| s.data.len() == 4).count();
+        let weight4 = code
+            .stabilizers()
+            .iter()
+            .filter(|s| s.data.len() == 4)
+            .count();
         // Bulk plaquettes: (d-1)^2 of them.
         assert_eq!(weight4, 16);
     }
@@ -183,10 +187,8 @@ mod tests {
                 stabs.len()
             );
             // Each qubit must be covered by at least one X and one Z check.
-            let kinds: std::collections::HashSet<_> = stabs
-                .iter()
-                .map(|&s| code.stabilizers()[s].kind)
-                .collect();
+            let kinds: std::collections::HashSet<_> =
+                stabs.iter().map(|&s| code.stabilizers()[s].kind).collect();
             assert_eq!(kinds.len(), 2, "qubit {q} missing a check type");
         }
     }

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{SurfaceCode, StabilizerKind};
+use crate::{StabilizerKind, SurfaceCode};
 
 /// Physical rates of the leakage simulator, per QEC cycle unless noted.
 ///
@@ -234,7 +234,11 @@ impl LeakageSimulator {
             // level with the given three-level readout error.
             if let Some(err) = multi_level_readout_error {
                 let truth = self.ancilla_leaked[a];
-                ancilla_leak_flags[a] = if rng.gen::<f64>() < err { !truth } else { truth };
+                ancilla_leak_flags[a] = if rng.gen::<f64>() < err {
+                    !truth
+                } else {
+                    truth
+                };
             }
         }
 

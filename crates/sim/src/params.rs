@@ -364,7 +364,10 @@ mod tests {
         let s1 = spread(&c.qubits[1]);
         for (i, q) in c.qubits.iter().enumerate() {
             if i != 1 {
-                assert!(spread(q) > s1, "qubit {i} should separate better than qubit 2");
+                assert!(
+                    spread(q) > s1,
+                    "qubit {i} should separate better than qubit 2"
+                );
             }
         }
     }

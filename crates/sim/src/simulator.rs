@@ -49,9 +49,7 @@ impl ReadoutSimulator {
             .iter()
             .map(|q| {
                 (0..config.n_samples)
-                    .map(|n| {
-                        Complex::cis(std::f64::consts::TAU * q.if_freq_mhz * n as f64 * dt_us)
-                    })
+                    .map(|n| Complex::cis(std::f64::consts::TAU * q.if_freq_mhz * n as f64 * dt_us))
                     .collect()
             })
             .collect();

@@ -107,7 +107,10 @@ pub fn sample_level_timeline(
 /// Steady-state dispersive response of the resonator when the qubit sits in
 /// `level`.
 pub(crate) fn steady_state(params: &QubitParams, level: Level) -> Complex {
-    Complex::from_polar(params.amplitude, params.phase_deg[level.index()].to_radians())
+    Complex::from_polar(
+        params.amplitude,
+        params.phase_deg[level.index()].to_radians(),
+    )
 }
 
 /// Integrates the resonator response to a level timeline.

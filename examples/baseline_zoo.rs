@@ -35,16 +35,36 @@ fn main() {
     };
 
     println!("Fitting OURS...");
-    add(&OursDiscriminator::fit(&dataset, &split, &OursConfig::default()));
+    add(&OursDiscriminator::fit(
+        &dataset,
+        &split,
+        &OursConfig::default(),
+    ));
     println!("Fitting HERQULES...");
-    add(&HerqulesBaseline::fit(&dataset, &split, &HerqulesConfig::default()));
+    add(&HerqulesBaseline::fit(
+        &dataset,
+        &split,
+        &HerqulesConfig::default(),
+    ));
     println!("Fitting LDA / QDA...");
-    add(&DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda));
-    add(&DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Qda));
+    add(&DiscriminantAnalysis::fit(
+        &dataset,
+        &split,
+        DiscriminantKind::Lda,
+    ));
+    add(&DiscriminantAnalysis::fit(
+        &dataset,
+        &split,
+        DiscriminantKind::Qda,
+    ));
     println!("Fitting HMM...");
     add(&HmmBaseline::fit(&dataset, &split, &HmmConfig::default()));
     println!("Fitting autoencoder...");
-    add(&AutoencoderBaseline::fit(&dataset, &split, &AutoencoderConfig::default()));
+    add(&AutoencoderBaseline::fit(
+        &dataset,
+        &split,
+        &AutoencoderConfig::default(),
+    ));
 
     println!(
         "\n{:>10}  {:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}",
@@ -54,7 +74,11 @@ fn main() {
         let f = &report.per_qubit_fidelity;
         println!(
             "{name:>10}  {weights:>10}  {:>8.4}  {:>8.4}  {:>8.4}  {:>8.4}  {:>8.4}  {:>9.4}",
-            f[0], f[1], f[2], f[3], f[4],
+            f[0],
+            f[1],
+            f[2],
+            f[3],
+            f[4],
             report.geometric_mean_fidelity()
         );
     }
@@ -66,7 +90,7 @@ fn main() {
          than the FNN (omitted here for runtime; see repro_table2/4). On\n\
          this simulator's Gaussian traces the IQ methods are stronger than\n\
          on the paper's hardware (documented as deviation D3 in\n\
-         EXPERIMENTS.md); the joint-output HERQULES still shows its\n\
+         a known deviation); the joint-output HERQULES still shows its\n\
          characteristic three-level fidelity loss."
     );
 }

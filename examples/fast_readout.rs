@@ -23,8 +23,8 @@ fn main() {
         let truncated = dataset.truncated(n_samples);
         let ours = OursDiscriminator::fit(&truncated, &split, &OursConfig::default());
         let report = evaluate(&ours, &truncated, &split.test);
-        let mean = report.per_qubit_fidelity.iter().sum::<f64>()
-            / report.per_qubit_fidelity.len() as f64;
+        let mean =
+            report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         let duration_ns = n_samples as f64 * 2.0;
         let cycle = QecCycleTiming::versluis_surface17(duration_ns);
         println!(

@@ -25,18 +25,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     let path = std::env::temp_dir().join("mlr_model_roundtrip.json");
     ours.save_json_file(&path)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("Saved {} NN weights to {} ({bytes} bytes)", ours.weight_count(), path.display());
+    println!(
+        "Saved {} NN weights to {} ({bytes} bytes)",
+        ours.weight_count(),
+        path.display()
+    );
 
     let restored = OursDiscriminator::load_json_file(&path)?;
-    let mut agree = 0usize;
     let check: Vec<usize> = split.test.iter().take(200).copied().collect();
-    for &i in &check {
-        let raw = &dataset.shots()[i].raw;
-        if ours.predict_shot(raw) == restored.predict_shot(raw) {
-            agree += 1;
-        }
-    }
-    println!("Restored model agrees on {agree}/{} test shots", check.len());
+    // One batched call per model: the round-trip check rides the same
+    // batch-first path the evaluation harness uses.
+    let shots = mlr_core::gather_shots(&dataset, &check);
+    let agree = ours
+        .predict_batch(&shots)
+        .iter()
+        .zip(&restored.predict_batch(&shots))
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "Restored model agrees on {agree}/{} test shots",
+        check.len()
+    );
     assert_eq!(agree, check.len());
 
     // Deployment check: the per-qubit heads under 16-bit fixed point.

@@ -62,4 +62,10 @@ fn main() {
         "Single-shot decision: {:?} (prepared {}, actually started {})",
         decided, shot.prepared, shot.initial
     );
+
+    // Bulk scoring goes through the batch-first engine: one call, shared
+    // fused kernels, decisions identical to the per-shot loop.
+    let first_ten: Vec<usize> = (0..10).collect();
+    let batch = ours.predict_batch(&mlr_core::gather_shots(&dataset, &first_ten));
+    println!("Batched decisions for the first 10 shots: {batch:?}");
 }

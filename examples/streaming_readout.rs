@@ -37,8 +37,8 @@ fn main() {
         };
         let readout = StreamingReadout::fit(&dataset, &split, &config);
         let report = evaluate_streaming(&readout, &dataset, &split.test);
-        let mean_f = report.per_qubit_fidelity.iter().sum::<f64>()
-            / report.per_qubit_fidelity.len() as f64;
+        let mean_f =
+            report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         let label = if confidence > 1.0 {
             "never".to_owned()
         } else {

@@ -1,0 +1,376 @@
+//! Minimal in-tree stand-in for the `proptest` API surface this workspace
+//! uses: the `proptest!` macro, range/tuple/`any`/`collection::vec`
+//! strategies and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! The build image has no registry access, so the real crate cannot be
+//! fetched. Differences from upstream: no shrinking (a failing case
+//! reports its case number and seed instead of a minimised input), and the
+//! case count defaults to 64 (override with `PROPTEST_CASES`).
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds an assumption rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// A source of random values for one test case.
+pub type TestRng = StdRng;
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test, per-case generator.
+pub fn rng_for(test_path: &str, case: u64) -> TestRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u64, u32, i64, i32, f64, f32);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample_value(rng), self.1.sample_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample_value(rng),
+            self.1.sample_value(rng),
+            self.2.sample_value(rng),
+        )
+    }
+}
+
+/// Types with a whole-domain default strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uniform!(u64, usize, u32, i64, i32, u16, u8);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, broad range; upstream's any::<f64>() includes
+        // non-finite values this workspace never relies on.
+        (rng.gen::<f64>() - 0.5) * 2e12
+    }
+}
+
+/// Strategy over a type's whole (finite) domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// The `proptest::collection::vec` constructor.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: strategies, macros and the `prop` module alias.
+pub mod prelude {
+    /// Alias so call sites can write `prop::collection::vec(...)`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+/// Defines randomised property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes one `#[test]`
+/// that draws [`case_count`] input tuples and runs the body on each;
+/// `prop_assert*` failures report the case number, `prop_assume!`
+/// rejections skip the case.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[doc $($doc:tt)*])*
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[doc $($doc)*])*
+        #[test]
+        fn $name() {
+            let cases = $crate::case_count();
+            let path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..cases {
+                let mut rng = $crate::rng_for(path, case);
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)*
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property {path} failed at case {case}: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Skips cases whose inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Sanity: ranges respect their bounds.
+        #[test]
+        fn ranges_are_bounded(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(
+            xs in prop::collection::vec(0f64..1.0, 2..7),
+            pair in prop::collection::vec((-1f64..1.0, -1f64..1.0), 3),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert_eq!(pair.len(), 3);
+            prop_assert_ne!(xs.len(), 0);
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x != 5);
+            prop_assert!(x != 5);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::rng_for("t", 3);
+        let mut b = crate::rng_for("t", 3);
+        let s = 0f64..1.0;
+        assert_eq!(s.sample_value(&mut a), s.sample_value(&mut b));
+    }
+
+    #[test]
+    fn prop_assert_macros_return_errors() {
+        fn body(x: usize) -> Result<(), crate::TestCaseError> {
+            prop_assume!(x != 3);
+            prop_assert!(x < 2, "x was {x}");
+            prop_assert_eq!(x * 2, x + x);
+            Ok(())
+        }
+        assert!(body(0).is_ok());
+        assert!(matches!(body(3), Err(crate::TestCaseError::Reject)));
+        match body(5) {
+            Err(crate::TestCaseError::Fail(msg)) => assert_eq!(msg, "x was 5"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal in-tree stand-in for the `rand_distr` API surface this
+//! workspace uses: [`Normal`] and [`Exp`] over `f64`, plus the
+//! [`Distribution`] trait.
+//!
+//! The build image has no registry access, so the real crate cannot be
+//! fetched. The Gaussian uses Box–Muller rather than upstream's ziggurat:
+//! identical distribution, different (still deterministic) stream.
+
+#![deny(missing_docs)]
+
+use rand::{Rng, RngCore};
+
+/// A distribution samplable with any [`rand::RngCore`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Why a distribution constructor rejected its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Gaussian distribution with given mean and standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rand_distr::{Distribution, Normal};
+///
+/// let normal = Normal::new(0.0, 1.0).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and non-negative"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is shifted into (0, 1] so ln never sees zero.
+        let u1 = 1.0 - rng.gen::<f64>();
+        let u2 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Exponential distribution with a given rate parameter λ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Builds the distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("lambda must be finite and positive"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments_match_parameters() {
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let exp = Exp::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal in-tree stand-in for the `rayon` API surface this workspace
+//! uses (`par_iter`, `into_par_iter`, `map`, `collect`).
+//!
+//! The build image has no registry access, so the real rayon cannot be
+//! fetched. This shim keeps call sites source-compatible by handing back
+//! ordinary sequential iterators: `collect` semantics (including
+//! `Option`/`Result` short-circuiting) are identical, ordering is
+//! identical, only the work-stealing parallelism is absent. Genuinely
+//! parallel batch paths in the workspace use `std::thread::scope` directly
+//! (see `mlr_core::batch`), which this shim does not replace.
+
+#![deny(missing_docs)]
+
+/// The traits call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Sequential stand-in for rayon's by-value parallel iterator conversion.
+pub trait IntoParallelIterator {
+    /// Iterator type produced by [`IntoParallelIterator::into_par_iter`].
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type of the iteration.
+    type Item;
+
+    /// Converts into a (sequential) iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for rayon's by-reference parallel iterator
+/// conversion (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Iterator type produced by [`IntoParallelRefIterator::par_iter`].
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type of the iteration (a reference).
+    type Item: 'data;
+
+    /// Borrowing (sequential) iteration, mirroring `rayon`'s `par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    type Item = <&'data I as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_option_collect() {
+        let evens: Option<Vec<usize>> = (0..4)
+            .into_par_iter()
+            .map(|x| if x < 4 { Some(x) } else { None })
+            .collect();
+        assert_eq!(evens, Some(vec![0, 1, 2, 3]));
+        let none: Option<Vec<usize>> = (0..4)
+            .into_par_iter()
+            .map(|x| (x != 2).then_some(x))
+            .collect();
+        assert_eq!(none, None);
+    }
+}

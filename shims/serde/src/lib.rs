@@ -1,0 +1,405 @@
+//! Minimal in-tree stand-in for the `serde` API surface this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` plus JSON encoding through
+//! the sibling `serde_json` shim.
+//!
+//! The build image has no registry access, so the real serde stack cannot
+//! be fetched. Instead of serde's visitor-based data model, this shim
+//! (de)serialises through one concrete intermediate, [`JsonValue`]; the
+//! derive macro (in the sibling `serde_derive` shim, written against
+//! `proc_macro` alone — no syn/quote) generates `to_json_value` /
+//! `from_json_value` for plain structs and enums, which covers every
+//! serialised type in the workspace.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON data model every (de)serialisation routes through.
+///
+/// Numbers are stored as `f64`; every number this workspace serialises
+/// (layer sizes, physics constants, `f32`/`i32` weights) is exactly
+/// representable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Shared null, so indexing can hand back a reference for missing keys the
+/// way `serde_json` does.
+pub const NULL: JsonValue = JsonValue::Null;
+
+impl JsonValue {
+    /// Borrows the array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<JsonValue>> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, JsonValue)>> {
+        match self {
+            JsonValue::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, JsonValue::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, JsonValue::Object(_))
+    }
+
+    /// Looks up a key, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&str> for JsonValue {
+    type Output = JsonValue;
+
+    fn index(&self, key: &str) -> &JsonValue {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! eq_number {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for JsonValue {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, JsonValue::Number(n) if *n == *other as f64)
+            }
+        }
+    )*};
+}
+
+eq_number!(i32, i64, u32, u64, usize, f64);
+
+impl PartialEq<&str> for JsonValue {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, JsonValue::String(s) if s == other)
+    }
+}
+
+/// Serialisation into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` to a [`JsonValue`].
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Deserialisation from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`JsonValue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape or type does not match.
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError>;
+}
+
+/// A deserialisation failure (wrong type, missing field, out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required object field — the derive macro's helper.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the key is absent.
+pub fn obj_get<'v>(
+    entries: &'v [(String, JsonValue)],
+    key: &str,
+) -> Result<&'v JsonValue, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{key}`")))
+}
+
+impl Serialize for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+                match value {
+                    JsonValue::Number(n) if n.fract() == 0.0 => {
+                        let v = *n as $t;
+                        if v as f64 == *n {
+                            Ok(v)
+                        } else {
+                            Err(DeError::new(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    _ => Err(DeError::new(concat!(
+                        "expected integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serde_int!(usize, u8, u16, u32, u64, u128, i8, i16, i32, i64);
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+                match value {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    _ => Err(DeError::new(concat!(
+                        "expected number for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Array(items) if items.len() == N => {
+                let parsed: Vec<T> = items
+                    .iter()
+                    .map(T::from_json_value)
+                    .collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| DeError::new("array length mismatch"))
+            }
+            _ => Err(DeError::new(format!("expected array of length {N}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Array(items) if items.len() == 2 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+            )),
+            _ => Err(DeError::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Array(items) if items.len() == 3 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+                C::from_json_value(&items[2])?,
+            )),
+            _ => Err(DeError::new("expected 3-element array")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_json_value(&42usize.to_json_value()), Ok(42));
+        assert_eq!(f32::from_json_value(&1.5f32.to_json_value()), Ok(1.5));
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Ok(true));
+        assert_eq!(
+            Option::<u32>::from_json_value(&None::<u32>.to_json_value()),
+            Ok(None)
+        );
+        let v: Vec<i32> = vec![1, -2, 3];
+        assert_eq!(Vec::<i32>::from_json_value(&v.to_json_value()), Ok(v));
+    }
+
+    #[test]
+    fn type_mismatches_are_errors() {
+        assert!(usize::from_json_value(&JsonValue::String("x".into())).is_err());
+        assert!(usize::from_json_value(&JsonValue::Number(1.5)).is_err());
+        assert!(i8::from_json_value(&JsonValue::Number(300.0)).is_err());
+        assert!(bool::from_json_value(&JsonValue::Null).is_err());
+    }
+
+    #[test]
+    fn value_indexing_and_equality() {
+        let v = JsonValue::Object(vec![
+            ("a".into(), JsonValue::Number(1.0)),
+            ("b".into(), JsonValue::Array(vec![JsonValue::Null])),
+        ]);
+        assert_eq!(v["a"], 1);
+        assert!(v["b"].is_array());
+        assert_eq!(v["missing"], JsonValue::Null);
+        assert!(v.is_object());
+    }
+}

@@ -1,0 +1,357 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim, written
+//! against `proc_macro` alone (the build image has no syn/quote).
+//!
+//! Supported shapes — which cover every serialised type in this
+//! workspace:
+//!
+//! * structs with named fields (no generics);
+//! * enums of unit and tuple variants (externally tagged, exactly like
+//!   real serde: `Unit` ⇒ `"Unit"`, `Tup(a, b)` ⇒ `{"Tup": [a, b]}`).
+//!
+//! Generated code goes through the absolute paths `::serde::Serialize` /
+//! `::serde::Deserialize`, so the macro works wherever the shim is a
+//! dependency.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the input item turned out to be.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: `(variant name, tuple arity)`; arity 0 is a unit variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Parses the derive input into a [`Shape`], panicking (a compile error in
+/// a proc macro) on anything the shim does not support.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic types are not supported ({name})")
+        }
+        other => panic!(
+            "serde shim derive: only braced structs/enums are supported \
+             ({name}, got {other:?})"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde shim derive: expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma outside angle
+        // brackets. Parens/brackets/braces arrive as single groups, so
+        // only `<`/`>` depth needs tracking.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts `(name, arity)` for each enum variant.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (e.g. `#[default]`).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde shim derive: expected variant name, got {tree:?}");
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner = g.stream();
+                    arity = tuple_arity(inner);
+                    tokens.next();
+                }
+                Delimiter::Brace => panic!(
+                    "serde shim derive: struct variants are not supported \
+                     ({variant})"
+                ),
+                _ => {}
+            }
+        }
+        variants.push((variant.to_string(), arity));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde shim derive: expected `,`, got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple variant's fields.
+fn tuple_arity(inner: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    for tree in inner {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+/// Derives `serde::Serialize` (the shim's `to_json_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{\n\
+                         let mut entries = Vec::new();\n\
+                         {pushes}\
+                         ::serde::JsonValue::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::JsonValue::String(\"{v}\".to_string()),\n"
+                        )
+                    } else {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::JsonValue::Object(vec![(\
+                             \"{v}\".to_string(), \
+                             ::serde::JsonValue::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            sers.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_json_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                         ::serde::obj_get(entries, \"{f}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::JsonValue) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         let entries = value.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\
+                                 \"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            let tuple_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    let gets: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\
+                                     \"expected array payload for {name}::{v}\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return Err(::serde::DeError::new(\
+                                     \"wrong arity for {name}::{v}\"));\n\
+                             }}\n\
+                             Ok({name}::{v}({}))\n\
+                         }}\n",
+                        gets.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(value: &::serde::JsonValue) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::JsonValue::String(s) => \
+                                 match s.as_str() {{\n\
+                                     {unit_arms}\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }},\n\
+                             ::serde::JsonValue::Object(entries) \
+                                 if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tuple_arms}\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::new(\
+                                 \"expected string or single-key object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

@@ -1,10 +1,9 @@
 //! Facade crate for the `multilevel-readout` workspace: re-exports every
 //! subsystem of the DAC 2025 reproduction under one roof.
 //!
-//! See the [README](https://github.com/mlr-project/multilevel-readout) for
-//! the architecture overview, `DESIGN.md` for the system inventory and
-//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
-//! results.
+//! See `README.md` at the workspace root for the architecture map (crate
+//! graph, tier-1 commands, batch-API quickstart) and the experiment index
+//! of the `repro_*` binaries in `crates/bench/src/bin/`.
 //!
 //! # Examples
 //!

@@ -117,9 +117,8 @@ fn joint_output_designs_lose_leakage_recall() {
     );
     let r_ours = evaluate(&ours, &dataset, &split.test);
     let r_herq = evaluate(&herq, &dataset, &split.test);
-    let mean_leak_recall = |r: &mlr_core::EvalReport| {
-        (r.per_level_recall[0][2] + r.per_level_recall[1][2]) / 2.0
-    };
+    let mean_leak_recall =
+        |r: &mlr_core::EvalReport| (r.per_level_recall[0][2] + r.per_level_recall[1][2]) / 2.0;
     assert!(
         mean_leak_recall(&r_ours) >= mean_leak_recall(&r_herq),
         "OURS {:.3} vs HERQULES {:.3}",

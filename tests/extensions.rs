@@ -4,8 +4,8 @@
 
 use mlr_baselines::{AutoencoderBaseline, AutoencoderConfig, HmmBaseline, HmmConfig};
 use mlr_core::{
-    evaluate, evaluate_streaming, Discriminator, OursConfig, OursDiscriminator,
-    StreamingConfig, StreamingReadout,
+    evaluate, evaluate_streaming, Discriminator, OursConfig, OursDiscriminator, StreamingConfig,
+    StreamingReadout,
 };
 use mlr_nn::{FixedPointFormat, IntMlp, QuantizedMlp, TrainConfig};
 use mlr_sim::{ChipConfig, DatasetSplit, TraceDataset};
@@ -94,7 +94,11 @@ fn integer_deployment_of_trained_heads_is_bit_exact_and_accurate() {
         for &i in split.test.iter().take(50) {
             let feats = ours.extractor().extract(&dataset.shots()[i].raw);
             let x: Vec<f32> = feats.iter().map(|&v| v as f32).collect();
-            assert_eq!(int_head.forward(&x), q_head.forward(&x), "shot {i} head {q}");
+            assert_eq!(
+                int_head.forward(&x),
+                q_head.forward(&x),
+                "shot {i} head {q}"
+            );
         }
     }
 
@@ -163,9 +167,8 @@ fn hmm_exploits_relaxation_structure_on_short_lived_qubits() {
     );
     let r_hmm = evaluate(&hmm, &dataset, &split.test);
     let r_lda = evaluate(&lda, &dataset, &split.test);
-    let excited_recall = |r: &mlr_core::EvalReport| (r.per_level_recall[0][1]
-        + r.per_level_recall[1][1])
-        / 2.0;
+    let excited_recall =
+        |r: &mlr_core::EvalReport| (r.per_level_recall[0][1] + r.per_level_recall[1][1]) / 2.0;
     assert!(
         excited_recall(&r_hmm) > excited_recall(&r_lda) + 0.03,
         "HMM |1> recall {:.4} should beat LDA {:.4} under fast decay",
@@ -194,19 +197,30 @@ fn tone_probes_resolve_the_multiplexed_feedline() {
     let chip = ChipConfig::five_qubit_paper();
     let dataset = TraceDataset::generate(&chip, 3, 2, 3);
     let dt = chip.dt_us();
-    let raw = &dataset.shots()[0].raw;
+    // Average the probe powers over a handful of shots: any single trace
+    // can have one qubit's tone ride a noise trough, but the multiplexing
+    // contrast is a property of the ensemble.
+    let probe: Vec<&[mlr_num::Complex]> = dataset.shots()[..20]
+        .iter()
+        .map(|s| s.raw.as_slice())
+        .collect();
+    let mean_power = |freq_mhz: f64| -> f64 {
+        probe
+            .iter()
+            .map(|raw| mlr_dsp::tone_power(raw, freq_mhz, dt))
+            .sum::<f64>()
+            / probe.len() as f64
+    };
     let on_tone: Vec<f64> = chip
         .qubits
         .iter()
-        .map(|q| mlr_dsp::tone_power(raw, q.if_freq_mhz, dt))
+        .map(|q| mean_power(q.if_freq_mhz))
         .collect();
     // Midpoints between adjacent tones.
     let off_tone: Vec<f64> = chip
         .qubits
         .windows(2)
-        .map(|w| {
-            mlr_dsp::tone_power(raw, (w[0].if_freq_mhz + w[1].if_freq_mhz) / 2.0, dt)
-        })
+        .map(|w| mean_power((w[0].if_freq_mhz + w[1].if_freq_mhz) / 2.0))
         .collect();
     let min_on = on_tone.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_off = off_tone.iter().cloned().fold(0.0, f64::max);

@@ -1,14 +1,122 @@
 //! Property-based tests on the workspace's core data structures and
 //! numeric invariants.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
+use mlr_baselines::{
+    AutoencoderBaseline, AutoencoderConfig, DiscriminantAnalysis, DiscriminantKind, FnnBaseline,
+    FnnConfig, HerqulesBaseline, HerqulesConfig, HmmBaseline, HmmConfig,
+};
+use mlr_core::{
+    DeployedDiscriminator, Discriminator, OursConfig, OursDiscriminator, StreamingConfig,
+    StreamingReadout,
+};
 use mlr_dsp::{Demodulator, MatchedFilter, MatchedFilterKind, StreamingDemodulator};
 use mlr_linalg::Matrix;
-use mlr_nn::{geometric_mean, FixedPointFormat, IntMlp, Mlp, QuantizedMlp};
+use mlr_nn::{geometric_mean, FixedPointFormat, IntMlp, Mlp, QuantizedMlp, TrainConfig};
 use mlr_num::{Complex, Welford};
 use mlr_qec::QecCycleTiming;
-use mlr_sim::{basis_state_count, BasisState, ChipConfig};
+use mlr_sim::{basis_state_count, BasisState, ChipConfig, TraceDataset};
+
+/// Every discriminator family, fitted once on one small two-qubit chip so
+/// the batch-equivalence property can range over all of them cheaply.
+struct DiscriminatorZoo {
+    dataset: TraceDataset,
+    designs: Vec<Box<dyn Discriminator + Send>>,
+    ours: OursDiscriminator,
+}
+
+fn zoo() -> &'static DiscriminatorZoo {
+    static ZOO: OnceLock<DiscriminatorZoo> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        let mut chip = ChipConfig::uniform(2);
+        chip.n_samples = 120;
+        let dataset = TraceDataset::generate(&chip, 3, 14, 23);
+        let split = dataset.split(0.6, 0.1, 23);
+        let quick = TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            early_stop_patience: None,
+            ..TrainConfig::default()
+        };
+        let ours = OursDiscriminator::fit(
+            &dataset,
+            &split,
+            &OursConfig {
+                train: quick.clone(),
+                ..OursConfig::default()
+            },
+        );
+        let designs: Vec<Box<dyn Discriminator + Send>> = vec![
+            Box::new(ours.clone()),
+            Box::new(DeployedDiscriminator::new(
+                &ours,
+                FixedPointFormat::HLS4ML_DEFAULT,
+            )),
+            Box::new(StreamingReadout::fit(
+                &dataset,
+                &split,
+                &StreamingConfig {
+                    checkpoints: vec![60, 120],
+                    confidence: 0.9,
+                    base: OursConfig {
+                        train: quick.clone(),
+                        ..OursConfig::default()
+                    },
+                },
+            )),
+            Box::new(HerqulesBaseline::fit(
+                &dataset,
+                &split,
+                &HerqulesConfig {
+                    train: quick.clone(),
+                    ..HerqulesConfig::default()
+                },
+            )),
+            Box::new(FnnBaseline::fit(
+                &dataset,
+                &split,
+                &FnnConfig {
+                    hidden: vec![24, 12],
+                    train: quick.clone(),
+                },
+            )),
+            Box::new(DiscriminantAnalysis::fit(
+                &dataset,
+                &split,
+                DiscriminantKind::Lda,
+            )),
+            Box::new(DiscriminantAnalysis::fit(
+                &dataset,
+                &split,
+                DiscriminantKind::Qda,
+            )),
+            Box::new(HmmBaseline::fit(&dataset, &split, &HmmConfig::default())),
+            Box::new(AutoencoderBaseline::fit(
+                &dataset,
+                &split,
+                &AutoencoderConfig {
+                    ae_train: TrainConfig {
+                        epochs: 10,
+                        ..quick.clone()
+                    },
+                    head_train: TrainConfig {
+                        epochs: 10,
+                        ..quick
+                    },
+                    ..AutoencoderConfig::default()
+                },
+            )),
+        ];
+        DiscriminatorZoo {
+            dataset,
+            designs,
+            ours,
+        }
+    })
+}
 
 proptest! {
     #[test]
@@ -237,6 +345,54 @@ proptest! {
                 prop_assert!((bb[q] - reference[q][t]).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn predict_batch_equals_mapped_predict_shot(
+        picks in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        // The batch-first engine's contract: for EVERY discriminator
+        // family, one predict_batch call decides exactly what a
+        // predict_shot loop decides, shot for shot, in order.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let shots: Vec<&[Complex]> = picks
+            .iter()
+            .map(|&p| zoo.dataset.shots()[(p as usize) % n].raw.as_slice())
+            .collect();
+        for disc in &zoo.designs {
+            let batch = disc.predict_batch(&shots);
+            let mapped: Vec<Vec<usize>> =
+                shots.iter().map(|raw| disc.predict_shot(raw)).collect();
+            prop_assert_eq!(&batch, &mapped, "design {}", disc.name());
+        }
+    }
+
+    #[test]
+    fn quantized_batch_equals_mapped_quantized_path(
+        picks in prop::collection::vec(any::<u64>(), 1..12),
+        total_bits in 6u32..17,
+    ) {
+        // The quantised inference path must satisfy the same batch
+        // contract: quantise-once batching equals per-shot re-quantised
+        // decisions for any word width.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let fmt = FixedPointFormat::new(total_bits, 4.min(total_bits));
+        let features: Vec<Vec<f64>> = picks
+            .iter()
+            .map(|&p| {
+                zoo.ours
+                    .extractor()
+                    .extract_fused(&zoo.dataset.shots()[(p as usize) % n].raw)
+            })
+            .collect();
+        let batch = zoo.ours.predict_features_quantized_batch(&features, fmt);
+        let mapped: Vec<Vec<usize>> = features
+            .iter()
+            .map(|f| zoo.ours.predict_features_quantized(f, fmt))
+            .collect();
+        prop_assert_eq!(batch, mapped);
     }
 
     #[test]
