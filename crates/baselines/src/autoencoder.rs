@@ -137,7 +137,7 @@ impl AutoencoderBaseline {
                 .par_iter()
                 .map(|&i| {
                     iq_features(&boxcar_decimate(
-                        &demod.demodulate(&dataset.shots()[i].raw, q),
+                        &demod.demodulate(dataset.raw(i), q),
                         config.decimation,
                     ))
                 })
@@ -234,7 +234,7 @@ impl AutoencoderBaseline {
             .iter()
             .map(|&i| {
                 let f = iq_features(&boxcar_decimate(
-                    &self.demod.demodulate(&dataset.shots()[i].raw, q),
+                    &self.demod.demodulate(dataset.raw(i), q),
                     self.decimation,
                 ));
                 model.standardizer.transform_f32(&f)

@@ -93,7 +93,7 @@ impl DiscriminantAnalysis {
                     .train
                     .iter()
                     .map(|&i| {
-                        let z = integrate(&demod.demodulate(&dataset.shots()[i].raw, q));
+                        let z = integrate(&demod.demodulate(dataset.raw(i), q));
                         vec![z.re, z.im]
                     })
                     .collect();

@@ -62,9 +62,7 @@ impl FnnBaseline {
         let input_dim = 2 * dataset.config().n_samples;
 
         let featurize = |idxs: &[usize]| -> Vec<Vec<f64>> {
-            idxs.iter()
-                .map(|&i| iq_features(&dataset.shots()[i].raw))
-                .collect()
+            idxs.iter().map(|&i| iq_features(dataset.raw(i))).collect()
         };
         let raw_train = featurize(&split.train);
         let standardizer = Standardizer::fit(&raw_train).expect("nonempty training batch");
@@ -206,7 +204,7 @@ mod tests {
     #[test]
     fn joint_decoding_shapes() {
         let (ds, _, fnn) = fit_small();
-        let decided = fnn.predict_shot(&ds.shots()[0].raw);
+        let decided = fnn.predict_shot(ds.raw(0));
         assert_eq!(decided.len(), 2);
         assert!(decided.iter().all(|&l| l < 3));
     }

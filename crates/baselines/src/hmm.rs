@@ -208,9 +208,7 @@ impl HmmBaseline {
                 let seqs: Vec<Vec<[f64; 2]>> = split
                     .train
                     .iter()
-                    .map(|&i| {
-                        windowed_obs(&demod.demodulate(&dataset.shots()[i].raw, q), config.window)
-                    })
+                    .map(|&i| windowed_obs(&demod.demodulate(dataset.raw(i), q), config.window))
                     .collect();
                 let labels: Vec<usize> = split.train.iter().map(|&i| dataset.label(i, q)).collect();
 
@@ -440,7 +438,7 @@ mod tests {
             if ds.label(i, 0) != 1 {
                 continue;
             }
-            let obs = windowed_obs(&hmm.demod.demodulate(&ds.shots()[i].raw, 0), hmm.window);
+            let obs = windowed_obs(&hmm.demod.demodulate(ds.raw(i), 0), hmm.window);
             let ll1 = model.forward_loglik(&obs, 1);
             let ll0 = model.forward_loglik(&obs, 0);
             if ll1 > ll0 {
@@ -459,7 +457,7 @@ mod tests {
     fn viterbi_path_starts_at_constrained_state() {
         let (ds, split) = dataset(150);
         let hmm = HmmBaseline::fit(&ds, &split, &HmmConfig::default());
-        let obs = windowed_obs(&hmm.demod.demodulate(&ds.shots()[0].raw, 0), hmm.window);
+        let obs = windowed_obs(&hmm.demod.demodulate(ds.raw(0), 0), hmm.window);
         for init in 0..3 {
             let path = hmm.models[0].viterbi_path(&obs, init);
             assert_eq!(path[0], init);

@@ -1,0 +1,54 @@
+//! Criterion bench of the data layer: simulator shots/s on the five-qubit
+//! paper chip, pinning the arena-generation wins alongside the
+//! `batch_throughput` inference bench.
+//!
+//! `generate_natural_5q_64shots` times one full parallel arena fill
+//! (32 computational states × 2 shots, 500 samples each — divide 64 by the
+//! per-iteration time for shots/s). The `simulate_shot` group isolates the
+//! per-shot cost: the owned path allocates a fresh trace per shot, the
+//! arena path reuses scratch and writes into a pre-sliced chunk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use mlr_num::Complex;
+use mlr_sim::{BasisState, ChipConfig, Level, ReadoutSimulator, SimScratch, TraceDataset};
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let config = ChipConfig::five_qubit_paper();
+
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    group.bench_function("generate_natural_5q_64shots_500samples", |b| {
+        b.iter(|| black_box(TraceDataset::generate_natural(black_box(&config), 2, 7)))
+    });
+    group.finish();
+
+    let sim = ReadoutSimulator::new(config);
+    let prepared = BasisState::uniform(5, Level::Excited);
+    let mut group = c.benchmark_group("simulate_shot");
+    group.sample_size(40);
+    group.bench_function("owned_5q_500samples", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sim.simulate_shot(black_box(&prepared), &mut rng)))
+    });
+    group.bench_function("into_arena_5q_500samples", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = SimScratch::default();
+        let mut out = vec![Complex::ZERO; sim.config().n_samples];
+        b.iter(|| {
+            black_box(sim.simulate_shot_into(
+                black_box(&prepared),
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_generation);
+criterion_main!(benches);

@@ -79,7 +79,7 @@ fn fixtures() -> Fixtures {
 
 fn bench_inference(c: &mut Criterion) {
     let f = fixtures();
-    let raw = &f.dataset.shots()[0].raw;
+    let raw = f.dataset.raw(0);
 
     let mut group = c.benchmark_group("inference_per_shot");
     group.sample_size(40);
@@ -125,13 +125,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
         f.dataset.len() >= 1000,
         "the fixture must generate at least 1000 shots for the throughput claim"
     );
-    let shots: Vec<&[mlr_num::Complex]> = f
-        .dataset
-        .shots()
-        .iter()
-        .take(1000)
-        .map(|s| s.raw.as_slice())
-        .collect();
+    let shots: Vec<&[mlr_num::Complex]> = (0..1000).map(|i| f.dataset.raw(i)).collect();
 
     let mut group = c.benchmark_group("batch_throughput");
     group.sample_size(10);

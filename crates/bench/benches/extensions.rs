@@ -38,7 +38,7 @@ fn bench_shot_stream_push(c: &mut Criterion) {
             base: OursConfig::default(),
         },
     );
-    let raw = ds.shots()[0].raw.clone();
+    let raw = ds.raw(0).to_vec();
     c.bench_function("shot_stream_full_trace_200", |b| {
         b.iter_batched(
             || readout.begin_shot(),
@@ -98,7 +98,7 @@ fn bench_related_work_predict(c: &mut Criterion) {
             ..AutoencoderConfig::default()
         },
     );
-    let raw = ds.shots()[0].raw.clone();
+    let raw = ds.raw(0).to_vec();
     let mut group = c.benchmark_group("related_work_predict_shot");
     group.bench_function("hmm_2q", |b| {
         b.iter(|| black_box(hmm.predict_shot(black_box(&raw))))

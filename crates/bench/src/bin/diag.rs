@@ -7,9 +7,9 @@ use mlr_baselines::{
     DiscriminantAnalysis, DiscriminantKind, FnnBaseline, FnnConfig, HerqulesBaseline,
     HerqulesConfig,
 };
-use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
 use mlr_core::{evaluate, EvalReport, OursConfig, OursDiscriminator};
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::ChipConfig;
 
 fn recall_rows(report: &EvalReport) -> Vec<Vec<String>> {
     (0..report.per_qubit_fidelity.len())
@@ -26,7 +26,7 @@ fn recall_rows(report: &EvalReport) -> Vec<Vec<String>> {
 
 fn main() {
     let config = ChipConfig::five_qubit_paper();
-    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let dataset = cached_natural_dataset(&config, shots_per_state(), seed());
     let split = dataset.paper_split(seed());
     eprintln!(
         "[diag] {} shots, train {}, test {}",

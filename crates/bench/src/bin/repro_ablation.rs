@@ -8,15 +8,15 @@
 //! * fixed-point quantisation of the per-qubit heads (16/8/6 bits), which
 //!   underpins the FPGA resource model's 8-bit assumption.
 
-use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
 use mlr_core::{evaluate, Discriminator, OursConfig, OursDiscriminator};
 use mlr_dsp::MatchedFilterKind;
 use mlr_nn::FixedPointFormat;
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::ChipConfig;
 
 fn main() {
     let config = ChipConfig::five_qubit_paper();
-    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let dataset = cached_natural_dataset(&config, shots_per_state(), seed());
     let split = dataset.paper_split(seed());
 
     let variants = [

@@ -11,10 +11,10 @@
 //!
 //! `MLR_SHOTS` / `MLR_SEED` scale the run as for the other binaries.
 
-use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
 use mlr_core::{evaluate_streaming, StreamingConfig, StreamingReadout};
 use mlr_qec::QecCycleTiming;
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::ChipConfig;
 
 fn main() {
     let chip = ChipConfig::five_qubit_paper();
@@ -26,7 +26,7 @@ fn main() {
         "Generating natural-leakage dataset ({} states x {} shots)...",
         32, shots
     );
-    let dataset = TraceDataset::generate_natural(&chip, shots, seed);
+    let dataset = cached_natural_dataset(&chip, shots, seed);
     let split = dataset.paper_split(seed);
 
     // Checkpoints at 600/800/1000 ns — the paper's Fig. 5(b) band.

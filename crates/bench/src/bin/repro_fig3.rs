@@ -7,17 +7,17 @@
 //!
 //! Being a figure, the output is the underlying data series.
 
-use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
 use mlr_core::NaturalLeakageDetector;
 use mlr_dsp::{boxcar_decimate, Demodulator};
 use mlr_num::Complex;
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::ChipConfig;
 
 fn main() {
     let q = 3; // the paper's qubit 4: strongest natural leakage
     let config = ChipConfig::five_qubit_paper();
     // Two-level dataset: only computational preparations, as in Sec. V-A.
-    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let dataset = cached_natural_dataset(&config, shots_per_state(), seed());
     let all: Vec<usize> = (0..dataset.len()).collect();
 
     let harvest = NaturalLeakageDetector::new().detect(&dataset, q, &all);
@@ -55,7 +55,7 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(pos, &i)| {
-            harvest.assigned_levels[*pos] == 2 && dataset.shots()[i].initial.level(q).is_leaked()
+            harvest.assigned_levels[*pos] == 2 && dataset.initial_level(i, q).is_leaked()
         })
         .count();
     println!(
@@ -69,7 +69,7 @@ fn main() {
     let mut sums = vec![vec![Complex::ZERO; n_bins]; 3];
     for (pos, &i) in all.iter().enumerate() {
         let bb = boxcar_decimate(
-            &demod.demodulate(&dataset.shots()[i].raw, q),
+            &demod.demodulate(dataset.raw(i), q),
             dataset.config().n_samples / n_bins,
         );
         let level = harvest.assigned_levels[pos];
@@ -101,10 +101,10 @@ fn main() {
         ("1 -> 2".into(), Vec::new()),
     ];
     for &i in &all {
-        let shot = &dataset.shots()[i];
-        for e in &shot.events {
+        let shot = dataset.view(i);
+        for e in shot.events {
             if e.qubit == q && !e.is_relaxation() {
-                let mtv = mlr_dsp::mean_trace_value(&demod.demodulate(&shot.raw, q));
+                let mtv = mlr_dsp::mean_trace_value(&demod.demodulate(shot.raw, q));
                 let key = (e.from.index(), e.to.index());
                 let idx = match key {
                     (0, 1) => 0,

@@ -6,13 +6,13 @@
 //! degrades below that. Filters and heads are refit per duration, matching
 //! the paper's per-duration calibration.
 
-use mlr_bench::{print_table, seed, shots_per_state};
+use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
 use mlr_core::{evaluate, OursConfig, OursDiscriminator};
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::ChipConfig;
 
 fn main() {
     let config = ChipConfig::five_qubit_paper();
-    let dataset = TraceDataset::generate_natural(&config, shots_per_state(), seed());
+    let dataset = cached_natural_dataset(&config, shots_per_state(), seed());
     let split = dataset.paper_split(seed());
 
     let mut rows = Vec::new();

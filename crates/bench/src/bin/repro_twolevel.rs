@@ -13,7 +13,9 @@
 //! `MLR_SHOTS` / `MLR_SEED` scale the run as for the other binaries.
 
 use mlr_baselines::{FnnBaseline, FnnConfig, HerqulesBaseline, HerqulesConfig};
-use mlr_bench::{fidelity_row, print_table, seed, shots_per_state};
+use mlr_bench::{
+    cached_dataset, cached_natural_dataset, fidelity_row, print_table, seed, shots_per_state,
+};
 use mlr_core::{evaluate, Discriminator, EvalReport};
 use mlr_sim::{ChipConfig, TraceDataset};
 
@@ -35,11 +37,11 @@ fn main() {
     let seed = seed();
 
     eprintln!("[twolevel] generating two-level dataset (32 states x {shots})...");
-    let ds2 = TraceDataset::generate(&chip, 2, shots, seed);
+    let ds2 = cached_dataset(&mlr_sim::DatasetSpec::full(chip.clone(), 2, shots, seed));
     let (herq2, fnn2, w_herq2, w_fnn2) = fit_pair(&ds2, seed);
 
     eprintln!("[twolevel] generating three-level natural-leakage dataset...");
-    let ds3 = TraceDataset::generate_natural(&chip, shots, seed);
+    let ds3 = cached_natural_dataset(&chip, shots, seed);
     let (herq3, fnn3, w_herq3, w_fnn3) = fit_pair(&ds3, seed);
 
     let qubit_headers: Vec<&str> = ["design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"].to_vec();

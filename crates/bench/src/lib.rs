@@ -8,10 +8,15 @@
 //!
 //! * `MLR_SHOTS` — shots per prepared basis state (default 40; the paper
 //!   records 50 000 on hardware, which is unnecessary for the trends);
-//! * `MLR_SEED` — master seed (default 2025).
+//! * `MLR_SEED` — master seed (default 2025);
+//! * `MLR_THREADS` — worker-thread override for generation and batch
+//!   inference (see `mlr_core::batch_threads`);
+//! * `MLR_DATASET_DIR` — binary dataset cache directory (default
+//!   `datasets/`); see [`cached_dataset`].
 
 #![deny(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use mlr_baselines::{
@@ -20,7 +25,7 @@ use mlr_baselines::{
 };
 use mlr_core::{evaluate, Discriminator, EvalReport, OursConfig, OursDiscriminator};
 use mlr_num::Complex;
-use mlr_sim::{ChipConfig, DatasetSplit, TraceDataset};
+use mlr_sim::{ChipConfig, DatasetSpec, DatasetSplit, TraceDataset};
 
 /// Shots per prepared computational basis state, from `MLR_SHOTS`
 /// (default 600 — 32 × 600 = 19 200 traces; the paper records 50 000 per
@@ -38,6 +43,57 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2025)
+}
+
+/// The binary dataset cache directory: `MLR_DATASET_DIR` when set,
+/// `datasets/` under the working directory otherwise.
+pub fn dataset_dir() -> PathBuf {
+    std::env::var_os("MLR_DATASET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("datasets"))
+}
+
+/// Loads the dataset described by `spec` from the binary cache
+/// ([`dataset_dir`]), simulating it on a miss.
+///
+/// A freshly simulated dataset is written back only when caching was asked
+/// for — `MLR_DATASET_DIR` is set or the default `datasets/` directory
+/// already exists (`mlr dataset generate` creates it) — so a bare repro
+/// run never litters the working directory. Corrupt or stale cache files
+/// are reported and regenerated, never fatal.
+pub fn cached_dataset(spec: &DatasetSpec) -> TraceDataset {
+    let dir = dataset_dir();
+    match spec.load_cached(&dir) {
+        Ok(Some(ds)) => {
+            eprintln!(
+                "[dataset] loaded {} shots from cache {}",
+                ds.len(),
+                spec.cache_path(&dir).display()
+            );
+            return ds;
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("[dataset] ignoring unusable cache file: {e}"),
+    }
+    let ds = spec.generate();
+    let caching_enabled = std::env::var_os("MLR_DATASET_DIR").is_some() || dir.is_dir();
+    if caching_enabled {
+        match spec.store_cached(&dir, &ds) {
+            Ok(path) => eprintln!("[dataset] cached {} shots at {}", ds.len(), path.display()),
+            Err(e) => eprintln!("[dataset] could not write cache: {e}"),
+        }
+    }
+    ds
+}
+
+/// [`cached_dataset`] for the paper's natural-leakage methodology on
+/// `config` — the generation every fidelity-study binary shares.
+pub fn cached_natural_dataset(
+    config: &ChipConfig,
+    shots_per_state: usize,
+    seed: u64,
+) -> TraceDataset {
+    cached_dataset(&DatasetSpec::natural(config.clone(), shots_per_state, seed))
 }
 
 /// The five fitted/evaluated designs of the readout-fidelity experiments.
@@ -79,11 +135,9 @@ impl FidelityStudy {
 /// This is the shared engine behind Fig. 1(c) and Tables II/IV/V/VI.
 pub fn run_fidelity_study(shots_per_state: usize, seed: u64) -> FidelityStudy {
     let config = ChipConfig::five_qubit_paper();
-    eprintln!(
-        "[study] generating natural-leakage dataset: 32 states x {shots_per_state} shots (seed {seed})"
-    );
+    eprintln!("[study] natural-leakage dataset: 32 states x {shots_per_state} shots (seed {seed})");
     let t = Instant::now();
-    let dataset = TraceDataset::generate_natural(&config, shots_per_state, seed);
+    let dataset = cached_natural_dataset(&config, shots_per_state, seed);
     let split = dataset.paper_split(seed);
     let leaked_counts: Vec<usize> = (0..config.n_qubits())
         .map(|q| {

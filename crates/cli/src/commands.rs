@@ -9,7 +9,7 @@ use mlr_core::{
 use mlr_fpga::{max_feasible_qubits, scaling_study, DiscriminatorHw, FpgaDevice, PowerModel};
 use mlr_nn::TrainConfig;
 use mlr_qec::{EraserConfig, EraserExperiment, SpeculationMode};
-use mlr_sim::{ChipConfig, TraceDataset};
+use mlr_sim::{config_hash, ChipConfig, DatasetIoError, DatasetSpec, LabelSource, TraceDataset};
 
 use crate::{ArgError, Args};
 
@@ -24,6 +24,14 @@ COMMANDS:
     dataset    Generate a synthetic readout dataset and print its statistics
                  --qubits N (default 5: the paper chip)  --shots N (default 40)
                  --seed N   --samples N   --natural (harvest natural leakage)
+    dataset generate
+               Simulate a dataset and cache it in the binary arena format;
+               repro binaries and benches load the cache instead of
+               re-simulating. Same flags as dataset, plus
+                 --dir DIR (default $MLR_DATASET_DIR or datasets/)
+    dataset info
+               Print the header and statistics of a cached binary dataset
+                 --file FILE (required)
     train      Fit the paper's discriminator and save it as JSON
                  --out FILE (required)  --qubits N  --shots N  --seed N
                  --epochs N  --natural
@@ -51,6 +59,8 @@ pub enum CliError {
     Arg(ArgError),
     /// Model file I/O failure.
     Model(ModelIoError),
+    /// Binary dataset file failure.
+    Dataset(DatasetIoError),
 }
 
 impl fmt::Display for CliError {
@@ -59,6 +69,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Arg(e) => write!(f, "{e}"),
             CliError::Model(e) => write!(f, "{e}"),
+            CliError::Dataset(e) => write!(f, "{e}"),
         }
     }
 }
@@ -79,6 +90,13 @@ impl From<ModelIoError> for CliError {
     }
 }
 
+#[doc(hidden)]
+impl From<DatasetIoError> for CliError {
+    fn from(e: DatasetIoError) -> Self {
+        CliError::Dataset(e)
+    }
+}
+
 /// Runs one CLI invocation; `argv` excludes the program name.
 ///
 /// # Errors
@@ -90,13 +108,28 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
         None => return Err(CliError::Usage(USAGE.to_owned())),
         Some((c, rest)) => (c.clone(), rest.to_vec()),
     };
+    // `dataset` has positional sub-subcommands (`generate`, `info`);
+    // split them off before flag parsing, which rejects positionals.
+    let (subcommand, rest) = match rest.split_first() {
+        Some((s, tail)) if command == "dataset" && !s.starts_with("--") => {
+            (Some(s.clone()), tail.to_vec())
+        }
+        _ => (None, rest),
+    };
     let args = Args::parse(rest)?;
     if args.switch("--help") {
         println!("{USAGE}");
         return Ok(());
     }
     match command.as_str() {
-        "dataset" => cmd_dataset(&args),
+        "dataset" => match subcommand.as_deref() {
+            None => cmd_dataset(&args),
+            Some("generate") => cmd_dataset_generate(&args),
+            Some("info") => cmd_dataset_info(&args),
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown dataset subcommand '{other}' (expected generate or info)\n\n{USAGE}"
+            ))),
+        },
         "train" => cmd_train(&args),
         "eval" => cmd_eval(&args),
         "resources" => cmd_resources(&args),
@@ -162,10 +195,10 @@ fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-fn cmd_dataset(args: &Args) -> Result<(), CliError> {
-    let chip = chip_from(args)?;
-    let ds = dataset_from(args, &chip)?;
-    args.reject_unknown()?;
+/// Summary line + per-qubit occupancy table shared by the dataset
+/// subcommands.
+fn print_dataset_stats(ds: &TraceDataset) {
+    let chip = ds.config();
     println!(
         "{} shots on {} qubits, {} samples/trace ({} ns at {} MS/s), labels: {:?}",
         ds.len(),
@@ -186,7 +219,7 @@ fn cmd_dataset(args: &Args) -> Result<(), CliError> {
                 counts[0].to_string(),
                 counts[1].to_string(),
                 counts[2].to_string(),
-                format!("{:.3}%", 100.0 * counts[2] as f64 / ds.len() as f64),
+                format!("{:.3}%", 100.0 * counts[2] as f64 / ds.len().max(1) as f64),
             ]
         })
         .collect();
@@ -195,6 +228,95 @@ fn cmd_dataset(args: &Args) -> Result<(), CliError> {
         &["qubit", "|0>", "|1>", "|2>", "leak %"],
         &rows,
     );
+}
+
+fn cmd_dataset(args: &Args) -> Result<(), CliError> {
+    let chip = chip_from(args)?;
+    let ds = dataset_from(args, &chip)?;
+    args.reject_unknown()?;
+    print_dataset_stats(&ds);
+    Ok(())
+}
+
+/// Builds the [`DatasetSpec`] the dataset subcommand flags describe.
+fn spec_from(args: &Args) -> Result<DatasetSpec, CliError> {
+    let chip = chip_from(args)?;
+    let shots: usize = args.get_or("--shots", 40)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    Ok(if args.switch("--natural") {
+        DatasetSpec::natural(chip, shots, seed)
+    } else {
+        DatasetSpec::full(chip, 3, shots, seed)
+    })
+}
+
+fn cmd_dataset_generate(args: &Args) -> Result<(), CliError> {
+    let spec = spec_from(args)?;
+    let dir = args
+        .get_str("--dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(mlr_bench::dataset_dir);
+    args.reject_unknown()?;
+
+    // An unreadable or stale cache file is a miss (it gets regenerated
+    // and overwritten), not a fatal error.
+    match spec.load_cached(&dir) {
+        Ok(Some(ds)) => {
+            println!(
+                "cache hit: {} already holds this dataset",
+                spec.cache_path(&dir).display()
+            );
+            print_dataset_stats(&ds);
+            return Ok(());
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("regenerating unusable cache file: {e}"),
+    }
+    let t = std::time::Instant::now();
+    let ds = spec.generate();
+    let elapsed = t.elapsed().as_secs_f64();
+    let path = spec.store_cached(&dir, &ds)?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "generated {} shots in {:.2}s ({:.0} shots/s), cached {} ({:.1} MiB)",
+        ds.len(),
+        elapsed,
+        ds.len() as f64 / elapsed.max(1e-9),
+        path.display(),
+        bytes as f64 / (1024.0 * 1024.0),
+    );
+    print_dataset_stats(&ds);
+    Ok(())
+}
+
+fn cmd_dataset_info(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get_str("--file")
+        .ok_or_else(|| CliError::Usage("dataset info requires --file FILE".to_owned()))?
+        .to_owned();
+    args.reject_unknown()?;
+
+    let ds = TraceDataset::load_bin_file(&path)?;
+    let store = ds.store();
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "{path}: binary trace dataset v{} ({:.1} MiB)",
+        mlr_sim::DATASET_FORMAT_VERSION,
+        bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "config hash {:016x}; arena stride {} samples, window {} samples; \
+         {} transition events; labels from {}",
+        config_hash(ds.config()),
+        store.n_samples(),
+        ds.config().n_samples,
+        store.events_flat().len(),
+        match ds.label_source() {
+            LabelSource::Prepared => "nominal preparation",
+            LabelSource::Initial => "true initial state (natural leakage)",
+        },
+    );
+    print_dataset_stats(&ds);
     Ok(())
 }
 
@@ -516,6 +638,50 @@ mod tests {
             "4",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn dataset_generate_then_info_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlr_cli_dsgen_{}", std::process::id()));
+        let dir_str = dir.to_str().unwrap().to_owned();
+        let base = [
+            "dataset",
+            "generate",
+            "--qubits",
+            "2",
+            "--shots",
+            "2",
+            "--samples",
+            "40",
+            "--seed",
+            "5",
+            "--natural",
+            "--dir",
+            &dir_str,
+        ];
+        run_tokens(&base).unwrap();
+        // Second run is a cache hit, not an error.
+        run_tokens(&base).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        run_tokens(&["dataset", "info", "--file", file.to_str().unwrap()]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_info_missing_file_is_dataset_error() {
+        let err = run_tokens(&["dataset", "info", "--file", "/nonexistent/x.mlrds"]).unwrap_err();
+        assert!(matches!(err, CliError::Dataset(_)), "{err}");
+    }
+
+    #[test]
+    fn dataset_unknown_subcommand_is_usage() {
+        let err = run_tokens(&["dataset", "frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("dataset subcommand"), "{err}");
     }
 
     #[test]

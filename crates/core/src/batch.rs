@@ -11,9 +11,20 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads batch maps fan out over (the machine's
-/// available parallelism, read once per call; 1 disables threading).
+/// Number of worker threads batch maps fan out over, read once per call;
+/// 1 disables threading.
+///
+/// An `MLR_THREADS` environment override (clamped to at least 1) takes
+/// precedence over the machine's available parallelism, so single-core
+/// benchmark numbers are reproducible without `taskset`; unparseable
+/// values are ignored.
 pub fn batch_threads() -> usize {
+    if let Some(n) = std::env::var("MLR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

@@ -33,7 +33,7 @@ use crate::{Discriminator, FeatureExtractor, OursDiscriminator};
 /// let split = dataset.paper_split(7);
 /// let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
 /// let deployed = DeployedDiscriminator::new(&ours, FixedPointFormat::HLS4ML_DEFAULT);
-/// let decision = deployed.predict_shot(&dataset.shots()[0].raw);
+/// let decision = deployed.predict_shot(dataset.raw(0));
 /// println!("integer decision: {decision:?}");
 /// ```
 #[derive(Debug, Clone)]
@@ -172,7 +172,7 @@ mod tests {
         let fmt = FixedPointFormat::HLS4ML_DEFAULT;
         let deployed = DeployedDiscriminator::new(&ours, fmt);
         for &i in split.test.iter().take(60) {
-            let feats = ours.extractor().extract(&ds.shots()[i].raw);
+            let feats = ours.extractor().extract(ds.raw(i));
             assert_eq!(
                 deployed.predict_features(&feats),
                 ours.predict_features_quantized(&feats, fmt),

@@ -100,10 +100,7 @@ impl EvalReport {
 ///
 /// Panics if any index is out of range.
 pub fn gather_shots<'d>(dataset: &'d TraceDataset, indices: &[usize]) -> Vec<&'d [Complex]> {
-    indices
-        .iter()
-        .map(|&i| dataset.shots()[i].raw.as_slice())
-        .collect()
+    indices.iter().map(|&i| dataset.raw(i)).collect()
 }
 
 /// Evaluates a discriminator on the dataset shots selected by `indices`

@@ -128,7 +128,7 @@ impl FeatureExtractor {
             .map(|q| {
                 let features: Vec<Vec<f64>> = train_indices
                     .iter()
-                    .map(|&i| iq_features(&demod.demodulate(&dataset.shots()[i].raw, q)))
+                    .map(|&i| iq_features(&demod.demodulate(dataset.raw(i), q)))
                     .collect();
                 let labels: Vec<usize> =
                     train_indices.iter().map(|&i| dataset.label(i, q)).collect();
@@ -220,17 +220,14 @@ impl FeatureExtractor {
     ///
     /// Panics if any index is out of range.
     pub fn extract_batch(&self, dataset: &TraceDataset, indices: &[usize]) -> Vec<Vec<f64>> {
-        let shots: Vec<&[Complex]> = indices
-            .iter()
-            .map(|&i| dataset.shots()[i].raw.as_slice())
-            .collect();
+        let shots: Vec<&[Complex]> = indices.iter().map(|&i| dataset.raw(i)).collect();
         self.extract_batch_traces(&shots)
     }
 
     /// Extracts merged feature vectors for a batch of raw traces through
     /// the fused kernels: no per-shot demodulation, each trace flattened
     /// once and scored by contiguous SIMD-friendly dot products, kernels
-    /// read once per [`BATCH_TILE`]-shot tile instead of once per shot,
+    /// read once per 16-shot tile (`BATCH_TILE`) instead of once per shot,
     /// tiles fanned out over cores.
     ///
     /// Scores agree with the per-shot [`FeatureExtractor::extract`] path
@@ -320,7 +317,7 @@ impl FeatureExtractor {
     ) -> Vec<Vec<f64>> {
         indices
             .par_iter()
-            .map(|&i| self.extract_prefix(&dataset.shots()[i].raw, n_samples))
+            .map(|&i| self.extract_prefix(dataset.raw(i), n_samples))
             .collect()
     }
 }
@@ -346,7 +343,7 @@ mod tests {
         assert_eq!(fx.n_qubits(), 5);
         assert_eq!(fx.per_qubit_dim(), 9);
         assert_eq!(fx.feature_dim(), 45);
-        let f = fx.extract(&ds.shots()[0].raw);
+        let f = fx.extract(ds.raw(0));
         assert_eq!(f.len(), 45);
     }
 
@@ -366,10 +363,10 @@ mod tests {
         let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let batch = fx.extract_batch(&ds, &[0, 5, 10]);
         // The batch engine is bit-identical to the single-shot fused path…
-        assert_eq!(batch[1], fx.extract_fused(&ds.shots()[5].raw));
+        assert_eq!(batch[1], fx.extract_fused(ds.raw(5)));
         // …and agrees with the demodulate-then-score reference path to
         // floating-point reassociation.
-        let reference = fx.extract(&ds.shots()[5].raw);
+        let reference = fx.extract(ds.raw(5));
         for (a, b) in batch[1].iter().zip(&reference) {
             assert!(
                 (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
@@ -387,7 +384,7 @@ mod tests {
         let idxs: Vec<usize> = (0..40).collect();
         let batch = fx.extract_batch(&ds, &idxs);
         for (&i, row) in idxs.iter().zip(&batch) {
-            assert_eq!(row, &fx.extract_fused(&ds.shots()[i].raw), "shot {i}");
+            assert_eq!(row, &fx.extract_fused(ds.raw(i)), "shot {i}");
         }
     }
 
@@ -396,7 +393,7 @@ mod tests {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
         let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
-        let raw = &ds.shots()[2].raw;
+        let raw = ds.raw(2);
         let full = fx.extract(raw);
         let prefix = fx.extract_prefix(raw, raw.len());
         for (a, b) in full.iter().zip(&prefix) {
@@ -414,7 +411,7 @@ mod tests {
         let fx = FeatureExtractor::fit(&ds, &all, true, MatchedFilterKind::VarianceSum).unwrap();
         let banks: Vec<QubitMfBank> = (0..fx.n_qubits()).map(|q| fx.bank(q).clone()).collect();
         let rebuilt = FeatureExtractor::from_parts(fx.chip_config().clone(), banks);
-        let raw = &ds.shots()[0].raw;
+        let raw = ds.raw(0);
         assert_eq!(fx.extract(raw), rebuilt.extract(raw));
     }
 
@@ -446,10 +443,7 @@ mod tests {
             let idxs: Vec<usize> = (0..ds.len())
                 .filter(|&i| ds.label(i, 0) == target)
                 .collect();
-            let total: f64 = idxs
-                .iter()
-                .map(|&i| fx.extract(&ds.shots()[i].raw)[idx])
-                .sum();
+            let total: f64 = idxs.iter().map(|&i| fx.extract(ds.raw(i))[idx]).sum();
             total / idxs.len() as f64
         };
         assert!(mean_score(2) > mean_score(0));

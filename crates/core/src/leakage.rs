@@ -93,7 +93,7 @@ impl NaturalLeakageDetector {
         let mtv_points: Vec<[f64; 2]> = indices
             .iter()
             .map(|&i| {
-                let bb = demod.demodulate(&dataset.shots()[i].raw, q);
+                let bb = demod.demodulate(dataset.raw(i), q);
                 let z = mean_trace_value(&bb);
                 [z.re, z.im]
             })
@@ -288,7 +288,7 @@ mod tests {
         // Ground truth: which analysed shots actually started leaked.
         let truly_leaked: Vec<bool> = all
             .iter()
-            .map(|&i| ds.shots()[i].initial.level(3).is_leaked())
+            .map(|&i| ds.initial_level(i, 3).is_leaked())
             .collect();
         let n_true = truly_leaked.iter().filter(|&&b| b).count();
         assert!(n_true >= 10, "test set should contain real leakage");

@@ -258,10 +258,10 @@ mod tests {
         let mut buf = Vec::new();
         ours.save_json(&mut buf).unwrap();
         let restored = OursDiscriminator::load_json(buf.as_slice()).unwrap();
-        for shot in ds.shots().iter().take(30) {
+        for i in 0..30 {
             assert_eq!(
-                ours.predict_shot(&shot.raw),
-                restored.predict_shot(&shot.raw)
+                ours.predict_shot(ds.raw(i)),
+                restored.predict_shot(ds.raw(i))
             );
         }
         assert_eq!(restored.weight_count(), ours.weight_count());

@@ -319,7 +319,7 @@ mod tests {
         let mut scores = Vec::new();
         let mut labels = Vec::new();
         for &i in &split.test {
-            let f = ours.extractor().extract(&ds.shots()[i].raw);
+            let f = ours.extractor().extract(ds.raw(i));
             scores.push(ours.leak_probability(&f, 0));
             labels.push(ds.label(i, 0) == 2);
         }
@@ -332,7 +332,7 @@ mod tests {
     #[test]
     fn predict_features_matches_predict_shot() {
         let (ds, _, ours) = fit_small();
-        let raw = &ds.shots()[7].raw;
+        let raw = ds.raw(7);
         // predict_shot routes through the reference extraction, so this
         // is the exact contract…
         let via_reference = ours.predict_features(&ours.extractor().extract(raw));
@@ -347,10 +347,7 @@ mod tests {
     #[test]
     fn batch_equals_per_shot_exactly() {
         let (ds, split, ours) = fit_small();
-        let shots: Vec<&[mlr_num::Complex]> = split.test[..40]
-            .iter()
-            .map(|&i| ds.shots()[i].raw.as_slice())
-            .collect();
+        let shots: Vec<&[mlr_num::Complex]> = split.test[..40].iter().map(|&i| ds.raw(i)).collect();
         let batch = ours.predict_batch(&shots);
         for (raw, decided) in shots.iter().zip(&batch) {
             assert_eq!(decided, &ours.predict_shot(raw));
@@ -363,7 +360,7 @@ mod tests {
         let fmt = mlr_nn::FixedPointFormat::HLS4ML_DEFAULT;
         let features: Vec<Vec<f64>> = split.test[..20]
             .iter()
-            .map(|&i| ours.extractor().extract_fused(&ds.shots()[i].raw))
+            .map(|&i| ours.extractor().extract_fused(ds.raw(i)))
             .collect();
         let batch = ours.predict_features_quantized_batch(&features, fmt);
         for (f, decided) in features.iter().zip(&batch) {

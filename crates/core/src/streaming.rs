@@ -112,7 +112,7 @@ pub struct StreamingDecision {
 /// let dataset = TraceDataset::generate(&chip, 3, 50, 7);
 /// let split = dataset.paper_split(7);
 /// let readout = StreamingReadout::fit(&dataset, &split, &StreamingConfig::quarters(500));
-/// let decision = readout.process_shot(&dataset.shots()[0].raw);
+/// let decision = readout.process_shot(dataset.raw(0));
 /// println!("decided {:?} after {} samples", decision.levels, decision.samples_used);
 /// ```
 #[derive(Debug, Clone)]
@@ -502,7 +502,7 @@ mod tests {
     #[test]
     fn streaming_accumulator_matches_batch_prefix_extraction() {
         let (ds, _, readout) = fit_streaming(2.0);
-        let raw = &ds.shots()[3].raw;
+        let raw = ds.raw(3);
         let mut stream = readout.begin_shot();
         for &z in &raw[..150] {
             let _ = stream.push(z);
@@ -567,7 +567,7 @@ mod tests {
     #[test]
     fn process_shot_equals_manual_streaming() {
         let (ds, _, readout) = fit_streaming(0.9);
-        let raw = &ds.shots()[5].raw;
+        let raw = ds.raw(5);
         let via_process = readout.process_shot(raw);
         let mut stream = readout.begin_shot();
         let mut via_push = None;
@@ -585,7 +585,7 @@ mod tests {
         let (ds, split, readout) = fit_streaming(0.9);
         let cps = readout.checkpoint_samples();
         for &i in split.test.iter().take(20) {
-            let d = readout.process_shot(&ds.shots()[i].raw);
+            let d = readout.process_shot(ds.raw(i));
             assert_eq!(d.samples_used, cps[d.checkpoint_index]);
             assert_eq!(d.levels.len(), 2);
             assert!(d.confidences.iter().all(|&c| (0.0..=1.0).contains(&c)));
@@ -622,7 +622,7 @@ mod tests {
     #[should_panic(expected = "shot already decided")]
     fn exhausted_stream_rejects_pushes() {
         let (ds, _, readout) = fit_streaming(0.0); // decides at first checkpoint
-        let raw = &ds.shots()[0].raw;
+        let raw = ds.raw(0);
         let mut stream = readout.begin_shot();
         for &z in raw.iter() {
             let done = stream.push(z).is_some();

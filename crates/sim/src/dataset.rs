@@ -1,11 +1,18 @@
-//! Labelled trace datasets and stratified train/validation/test splits.
+//! Labelled trace datasets over the shot arena, and stratified
+//! train/validation/test splits.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
-use crate::{basis_state_count, BasisState, ChipConfig, ReadoutSimulator, Shot};
+use crate::simulator::SimScratch;
+use crate::{
+    basis_state_count, BasisState, ChipConfig, Level, ReadoutSimulator, ShotRecord, ShotView,
+    TraceStore, TransitionEvent,
+};
 
 /// SplitMix64 — mixes a seed and an index into an independent per-shot seed
 /// so parallel generation is deterministic regardless of scheduling.
@@ -14,6 +21,22 @@ fn mix_seed(seed: u64, index: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Worker threads for arena generation: the `MLR_THREADS` override
+/// (clamped to at least 1) or the machine's available parallelism — the
+/// same contract as `mlr_core::batch_threads`, duplicated here because the
+/// simulator sits below the core crate.
+fn generation_threads() -> usize {
+    if let Some(n) = std::env::var("MLR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Where a shot's classification label comes from.
@@ -38,6 +61,12 @@ pub enum LabelSource {
 /// paper's captured five-qubit dataset (all `kⁿ` basis states, a fixed
 /// number of shots each).
 ///
+/// Shots live in a shared structure-of-arrays [`TraceStore`]: one flat
+/// trace arena plus packed label/event side arrays. Read paths borrow
+/// [`ShotView`]s ([`TraceDataset::view`]) or raw trace slices
+/// ([`TraceDataset::raw`]); [`TraceDataset::truncated`] narrows the window
+/// in O(1) by sharing the arena, never copying a trace.
+///
 /// # Examples
 ///
 /// ```
@@ -47,12 +76,13 @@ pub enum LabelSource {
 /// config.n_samples = 100; // keep the doctest fast
 /// let ds = TraceDataset::generate(&config, 2, 2, 42);
 /// assert_eq!(ds.len(), 32 * 2); // 2^5 states x 2 shots
+/// assert_eq!(ds.raw(0).len(), 100);
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceDataset {
     config: ChipConfig,
     levels: usize,
-    shots: Vec<Shot>,
+    store: Arc<TraceStore>,
     label_source: LabelSource,
 }
 
@@ -72,7 +102,10 @@ impl TraceDataset {
     }
 
     /// Simulates `shots_per_state` shots for each of the given prepared
-    /// states, in parallel.
+    /// states, writing every trace directly into a pre-sliced chunk of one
+    /// flat arena. Generation fans contiguous shot ranges out over scoped
+    /// threads (the machine's parallelism, overridable with `MLR_THREADS`);
+    /// per-shot seeds make the result independent of the thread count.
     ///
     /// # Panics
     ///
@@ -84,23 +117,69 @@ impl TraceDataset {
         shots_per_state: usize,
         seed: u64,
     ) -> Self {
+        Self::generate_states_with_threads(
+            config,
+            levels,
+            states,
+            shots_per_state,
+            seed,
+            generation_threads(),
+        )
+    }
+
+    /// [`TraceDataset::generate_states`] with an explicit worker count —
+    /// split out so thread-count independence is testable without touching
+    /// the process environment.
+    fn generate_states_with_threads(
+        config: &ChipConfig,
+        levels: usize,
+        states: &[BasisState],
+        shots_per_state: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         assert!((2..=3).contains(&levels), "levels must be 2 or 3");
         let sim = ReadoutSimulator::new(config.clone());
-        let jobs: Vec<(usize, usize)> = (0..states.len())
-            .flat_map(|s| (0..shots_per_state).map(move |r| (s, r)))
-            .collect();
-        let shots: Vec<Shot> = jobs
-            .par_iter()
-            .map(|&(s, r)| {
-                let shot_seed = mix_seed(seed, (s * shots_per_state + r) as u64);
-                let mut rng = StdRng::seed_from_u64(shot_seed);
-                sim.simulate_shot(&states[s], &mut rng)
-            })
-            .collect();
+        let n_samples = config.n_samples;
+        let n_shots = states.len() * shots_per_state;
+        let mut raw = vec![mlr_num::Complex::ZERO; n_shots * n_samples];
+        let threads = threads.clamp(1, n_shots.max(1));
+        let chunk_shots = n_shots.div_ceil(threads).max(1);
+        let mut records: Vec<ShotRecord> = Vec::with_capacity(n_shots);
+        std::thread::scope(|scope| {
+            let sim = &sim;
+            let handles: Vec<_> = raw
+                .chunks_mut(chunk_shots * n_samples)
+                .enumerate()
+                .map(|(c, arena_chunk)| {
+                    scope.spawn(move || {
+                        let mut scratch = SimScratch::default();
+                        arena_chunk
+                            .chunks_exact_mut(n_samples)
+                            .enumerate()
+                            .map(|(j, out)| {
+                                let g = c * chunk_shots + j;
+                                let mut rng = StdRng::seed_from_u64(mix_seed(seed, g as u64));
+                                sim.simulate_shot_into(
+                                    &states[g / shots_per_state],
+                                    &mut rng,
+                                    &mut scratch,
+                                    out,
+                                )
+                            })
+                            .collect::<Vec<ShotRecord>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                records.extend(handle.join().expect("generation worker panicked"));
+            }
+        });
+        let store = TraceStore::assemble(config.n_qubits(), n_samples, raw, records);
         Self {
             config: config.clone(),
             levels,
-            shots,
+            store: Arc::new(store),
             label_source: LabelSource::Prepared,
         }
     }
@@ -124,7 +203,25 @@ impl TraceDataset {
         ds
     }
 
-    /// The chip configuration the shots were generated with.
+    /// Rebuilds a dataset around an existing store — the binary
+    /// deserialisation path ([`TraceDataset::load_bin`]).
+    pub(crate) fn from_store(
+        config: ChipConfig,
+        levels: usize,
+        label_source: LabelSource,
+        store: Arc<TraceStore>,
+    ) -> Self {
+        Self {
+            config,
+            levels,
+            store,
+            label_source,
+        }
+    }
+
+    /// The chip configuration the shots were generated with. Its
+    /// `n_samples` is the dataset's *window*, which a truncated dataset
+    /// narrows below the store's physical stride.
     pub fn config(&self) -> &ChipConfig {
         &self.config
     }
@@ -134,19 +231,70 @@ impl TraceDataset {
         self.levels
     }
 
-    /// All shots, in generation order (grouped by prepared state).
-    pub fn shots(&self) -> &[Shot] {
-        &self.shots
+    /// The shared structure-of-arrays shot store backing this dataset.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// Samples per trace as exposed by this dataset's window.
+    pub fn n_samples(&self) -> usize {
+        self.config.n_samples
+    }
+
+    /// Raw trace of shot `i`, narrowed to the dataset window — a borrow
+    /// out of the shared arena, never a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn raw(&self, i: usize) -> &[mlr_num::Complex] {
+        &self.store.raw(i)[..self.config.n_samples]
+    }
+
+    /// Zero-copy view of shot `i` (trace and events narrowed to the
+    /// dataset window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view(&self, i: usize) -> ShotView<'_> {
+        self.store
+            .view(i)
+            .truncate(self.config.n_samples, self.config.sample_rate_mhz)
+    }
+
+    /// Iterates zero-copy views over every shot.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ShotView<'_>> {
+        (0..self.len()).map(|i| self.view(i))
+    }
+
+    /// Transition events of shot `i` inside the dataset window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn events(&self, i: usize) -> &[TransitionEvent] {
+        self.view(i).events
+    }
+
+    /// Per-qubit level actually occupied by shot `i` at the start of the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `qubit` is out of range.
+    pub fn initial_level(&self, i: usize, qubit: usize) -> Level {
+        self.store.initial_levels(i)[qubit]
     }
 
     /// Number of shots in the dataset.
     pub fn len(&self) -> usize {
-        self.shots.len()
+        self.store.len()
     }
 
     /// `true` if the dataset holds no shots.
     pub fn is_empty(&self) -> bool {
-        self.shots.is_empty()
+        self.store.is_empty()
     }
 
     /// Where this dataset's labels come from.
@@ -154,16 +302,26 @@ impl TraceDataset {
         self.label_source
     }
 
-    /// The labelled basis state of shot `i` (per [`TraceDataset::label_source`]).
+    /// The labelled per-qubit levels of shot `i` (per
+    /// [`TraceDataset::label_source`]), borrowed from the side arrays.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn labelled_state(&self, i: usize) -> &BasisState {
+    pub fn labelled_levels(&self, i: usize) -> &[Level] {
         match self.label_source {
-            LabelSource::Prepared => &self.shots[i].prepared,
-            LabelSource::Initial => &self.shots[i].initial,
+            LabelSource::Prepared => self.store.prepared_levels(i),
+            LabelSource::Initial => self.store.initial_levels(i),
         }
+    }
+
+    /// The labelled basis state of shot `i` as an owned register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn labelled_state(&self, i: usize) -> BasisState {
+        BasisState::new(self.labelled_levels(i).to_vec())
     }
 
     /// Per-qubit level label of shot `i` (`0`, `1` or `2`).
@@ -172,7 +330,7 @@ impl TraceDataset {
     ///
     /// Panics if `i` or `qubit` is out of range.
     pub fn label(&self, i: usize, qubit: usize) -> usize {
-        self.labelled_state(i).level(qubit).index()
+        self.labelled_levels(i)[qubit].index()
     }
 
     /// Joint flat-index label of shot `i` over the dataset's level alphabet.
@@ -181,20 +339,21 @@ impl TraceDataset {
     ///
     /// Panics if `i` is out of range.
     pub fn joint_label(&self, i: usize) -> usize {
-        self.labelled_state(i).flat_index(self.levels)
+        crate::level::flat_index_of(self.labelled_levels(i), self.levels)
     }
 
-    /// Returns a dataset with every trace truncated to `n_samples` (for the
+    /// Returns a dataset whose window is narrowed to `n_samples` (for the
     /// readout-duration sweep). Labels are preserved.
+    ///
+    /// This is **O(1)** and zero-copy: the returned dataset shares the
+    /// trace arena and side arrays; only the config's window shrinks.
+    /// Views and [`TraceDataset::raw`] slices are stride-narrowed into the
+    /// shared memory.
     pub fn truncated(&self, n_samples: usize) -> Self {
         Self {
             config: self.config.truncated(n_samples),
             levels: self.levels,
-            shots: self
-                .shots
-                .iter()
-                .map(|s| s.truncated(n_samples, self.config.sample_rate_mhz))
-                .collect(),
+            store: Arc::clone(&self.store),
             label_source: self.label_source,
         }
     }
@@ -213,7 +372,7 @@ impl TraceDataset {
         assert!((0.0..=1.0).contains(&val_frac), "val_frac out of range");
         // Group indices by prepared state.
         let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-        for i in 0..self.shots.len() {
+        for i in 0..self.len() {
             groups.entry(self.joint_label(i)).or_default().push(i);
         }
         let mut rng = StdRng::seed_from_u64(seed);
@@ -242,8 +401,9 @@ impl TraceDataset {
     }
 }
 
-/// Index sets produced by [`TraceDataset::split`]. Indices refer to
-/// [`TraceDataset::shots`].
+/// Index sets produced by [`TraceDataset::split`]. Indices refer to shot
+/// positions in the dataset ([`TraceDataset::view`] /
+/// [`TraceDataset::raw`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatasetSplit {
     /// Training-set shot indices.
@@ -282,9 +442,29 @@ mod tests {
         let a = TraceDataset::generate(&c, 2, 3, 7);
         let b = TraceDataset::generate(&c, 2, 3, 7);
         assert_eq!(a.len(), 32 * 3);
-        assert_eq!(a.shots(), b.shots());
+        assert_eq!(a.store(), b.store());
         let other = TraceDataset::generate(&c, 2, 3, 8);
-        assert_ne!(a.shots(), other.shots());
+        assert_ne!(a.store(), other.store());
+    }
+
+    #[test]
+    fn arena_generation_matches_per_shot_simulation() {
+        // The arena path (simulate_shot_into over pre-sliced chunks) must
+        // be bit-identical to driving the simulator one owned Shot at a
+        // time with the same per-shot seeds.
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 3, 2, 11);
+        let sim = ReadoutSimulator::new(c);
+        for i in [0usize, 7, 100, ds.len() - 1] {
+            let state = BasisState::from_flat_index(i / 2, 5, 3);
+            let mut rng = StdRng::seed_from_u64(mix_seed(11, i as u64));
+            let shot = sim.simulate_shot(&state, &mut rng);
+            let v = ds.view(i);
+            assert_eq!(v.raw, &shot.raw[..], "shot {i} trace");
+            assert_eq!(v.events, &shot.events[..], "shot {i} events");
+            assert_eq!(v.initial_state(), shot.initial, "shot {i} initial");
+            assert_eq!(v.final_basis_state(), shot.final_state);
+        }
     }
 
     #[test]
@@ -339,8 +519,26 @@ mod tests {
     fn truncated_dataset_shortens_all_traces() {
         let c = small_config();
         let ds = TraceDataset::generate(&c, 2, 1, 5).truncated(20);
-        assert!(ds.shots().iter().all(|s| s.len() == 20));
+        assert!(ds.iter().all(|v| v.len() == 20));
         assert_eq!(ds.config().n_samples, 20);
+    }
+
+    #[test]
+    fn truncation_is_zero_copy_and_matches_legacy_shot_truncation() {
+        let c = small_config();
+        let ds = TraceDataset::generate(&c, 3, 2, 9);
+        let t = ds.truncated(20);
+        // The truncated dataset shares the arena: O(1), no trace copies.
+        assert!(Arc::ptr_eq(&ds.store, &t.store));
+        let rate = ds.config().sample_rate_mhz;
+        for i in 0..ds.len() {
+            let legacy = ds.view(i).to_shot().truncated(20, rate);
+            let v = t.view(i);
+            assert_eq!(v.raw, &legacy.raw[..], "shot {i} trace");
+            assert_eq!(v.events, &legacy.events[..], "shot {i} events");
+            // raw(i) borrows the same memory the full dataset exposes.
+            assert!(std::ptr::eq(t.raw(i).as_ptr(), ds.raw(i).as_ptr()));
+        }
     }
 
     #[test]
@@ -356,8 +554,8 @@ mod tests {
         assert!(leaked > 20, "found {leaked} leaked labels");
         // ...and labels agree with the simulator's ground truth.
         for i in 0..ds.len() {
-            assert_eq!(ds.label(i, 3), ds.shots()[i].initial.level(3).index());
-            assert!(!ds.shots()[i].prepared.has_leakage());
+            assert_eq!(ds.label(i, 3), ds.initial_level(i, 3).index());
+            assert!(!ds.view(i).prepared_state().has_leakage());
         }
     }
 
@@ -385,5 +583,22 @@ mod tests {
         assert_eq!(ds.len(), 8);
         assert_eq!(ds.joint_label(0), 0);
         assert_eq!(ds.joint_label(7), 242);
+    }
+
+    #[test]
+    fn generation_ignores_thread_count() {
+        // Per-shot seeding makes the arena independent of the worker
+        // count (the MLR_THREADS override only changes that count).
+        let c = small_config();
+        let states: Vec<BasisState> = (0..basis_state_count(5, 2))
+            .map(|i| BasisState::from_flat_index(i, 5, 2))
+            .collect();
+        let single = TraceDataset::generate_states_with_threads(&c, 2, &states, 2, 21, 1);
+        let many = TraceDataset::generate_states_with_threads(&c, 2, &states, 2, 21, 3);
+        let odd = TraceDataset::generate_states_with_threads(&c, 2, &states, 2, 21, 7);
+        assert_eq!(single.store(), many.store());
+        assert_eq!(single.store(), odd.store());
+        // And the default entry point agrees with all of them.
+        assert_eq!(TraceDataset::generate(&c, 2, 2, 21).store(), single.store());
     }
 }

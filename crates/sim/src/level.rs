@@ -75,6 +75,22 @@ impl fmt::Display for Level {
     }
 }
 
+/// Encodes a per-qubit level slice as a flat base-`levels` index — the
+/// shared core of [`BasisState::flat_index`] and the dataset's packed
+/// joint-label path.
+///
+/// # Panics
+///
+/// Panics if any level lies outside the encoded alphabet.
+pub(crate) fn flat_index_of(levels_slice: &[Level], levels: usize) -> usize {
+    let mut idx = 0;
+    for level in levels_slice {
+        assert!(level.index() < levels, "level outside the encoded alphabet");
+        idx = idx * levels + level.index();
+    }
+    idx
+}
+
 /// Number of joint basis states for `n` qubits with `k` levels each (`k^n`).
 ///
 /// # Panics
@@ -144,12 +160,7 @@ impl BasisState {
     ///
     /// Panics if any qubit occupies a level `>= levels`.
     pub fn flat_index(&self, levels: usize) -> usize {
-        let mut idx = 0;
-        for level in &self.0 {
-            assert!(level.index() < levels, "level outside the encoded alphabet");
-            idx = idx * levels + level.index();
-        }
-        idx
+        flat_index_of(&self.0, levels)
     }
 
     /// Number of qubits in the register.

@@ -27,6 +27,15 @@
 //! baseline; demodulation in `mlr-dsp` recovers per-qubit basebands for the
 //! matched-filter designs.
 //!
+//! Shots live in a structure-of-arrays [`TraceStore`] — one flat trace
+//! arena (stride = `n_samples`) plus packed side arrays for labels and
+//! transition events. The simulator writes shots directly into pre-sliced
+//! arena chunks ([`ReadoutSimulator::simulate_shot_into`]), read paths
+//! borrow [`ShotView`]s, and datasets persist in a versioned little-endian
+//! binary format ([`TraceDataset::save_bin`] / [`TraceDataset::load_bin`])
+//! so repro binaries can load a cached dataset instead of re-simulating
+//! ([`DatasetSpec`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -46,13 +55,19 @@
 mod dataset;
 mod level;
 mod params;
+mod persist;
 mod shot;
 mod simulator;
+mod store;
 mod trajectory;
 
 pub use dataset::{DatasetSplit, LabelSource, TraceDataset};
 pub use level::{basis_state_count, BasisState, BasisStates, Level};
 pub use params::{ChipConfig, ConfigError, QubitParams};
+pub use persist::{
+    config_hash, DatasetIoError, DatasetSpec, DATASET_FORMAT_VERSION, DATASET_MAGIC,
+};
 pub use shot::{Shot, TransitionEvent};
-pub use simulator::ReadoutSimulator;
+pub use simulator::{ReadoutSimulator, SimScratch, SIMULATOR_REVISION};
+pub use store::{ShotRecord, ShotView, TraceStore};
 pub use trajectory::{sample_level_timeline, LevelSegment};

@@ -1,0 +1,804 @@
+//! Versioned little-endian binary persistence for [`TraceDataset`] and the
+//! dataset cache that keeps repro binaries from re-simulating.
+//!
+//! Datasets scale as `levels^n_qubits × shots_per_state` and every repro
+//! binary used to re-simulate its own from scratch. The arena layout of
+//! [`crate::TraceStore`] makes the on-disk form trivial — the file is the
+//! arena:
+//!
+//! ```text
+//! offset  field
+//! 0       magic          b"MLRD"
+//! 4       version        u32  (currently 1)
+//! 8       header_hash    u64  FNV-1a of the chip-config JSON + every
+//!                             u64 header field below, so corruption of
+//!                             levels/label_source/counts is caught too
+//! 16      levels         u64
+//! 24      label_source   u64  (0 = Prepared, 1 = Initial)
+//! 32      n_qubits       u64
+//! 40      n_shots        u64
+//! 48      stride         u64  physical samples per trace in the arena
+//! 56      window         u64  samples exposed by the dataset (<= stride)
+//! 64      n_events       u64
+//! 72      config_len     u64  followed by that many JSON bytes
+//! …       raw arena      n_shots × stride × (f64 I, f64 Q)
+//! …       prepared       n_shots × n_qubits × u8 level
+//! …       initial        n_shots × n_qubits × u8 level
+//! …       final          n_shots × n_qubits × u8 level
+//! …       event_offsets  (n_shots + 1) × u64
+//! …       events         n_events × (u32 qubit, u8 from, u8 to, f64 time_us)
+//! ```
+//!
+//! All integers and floats are little-endian; traces round-trip bit-exactly
+//! (`f64::to_le_bytes`). Loading validates the magic, version, config hash,
+//! level bytes and event-offset monotonicity before touching the data, and
+//! reports failures as typed [`DatasetIoError`]s instead of panicking.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mlr_num::Complex;
+
+use crate::{ChipConfig, LabelSource, Level, TraceDataset, TraceStore, TransitionEvent};
+
+/// File magic of the binary dataset format.
+pub const DATASET_MAGIC: [u8; 4] = *b"MLRD";
+
+/// Format version this build reads and writes.
+pub const DATASET_FORMAT_VERSION: u32 = 1;
+
+/// Why a binary dataset file could not be written or read back.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`DATASET_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`DATASET_FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// Structurally invalid content (message names the violated invariant).
+    Corrupt(String),
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "dataset io failed: {e}"),
+            DatasetIoError::BadMagic => write!(f, "not a binary trace dataset (bad magic)"),
+            DatasetIoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "dataset format version {v} (this build reads {DATASET_FORMAT_VERSION})"
+                )
+            }
+            DatasetIoError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Stable 64-bit content hash of a chip configuration (FNV-1a over its
+/// canonical JSON) — part of [`DatasetSpec::fingerprint`] and the binary
+/// header's integrity hash.
+pub fn config_hash(config: &ChipConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("chip config serialises");
+    fnv1a(json.as_bytes(), FNV_OFFSET)
+}
+
+/// Integrity hash stored in the binary header: FNV-1a over the config
+/// JSON chained with every variable u64 header field, so a bit flip in
+/// `levels`/`label_source`/any count is caught instead of silently
+/// loading a differently-labelled dataset.
+fn header_hash(config_json: &[u8], fields: &[u64; 7]) -> u64 {
+    let mut h = fnv1a(config_json, FNV_OFFSET);
+    for f in fields {
+        h = fnv1a(&f.to_le_bytes(), h);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+struct Wr<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Wr<W> {
+    fn u32(&mut self, v: u32) -> std::io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> std::io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+    fn f64(&mut self, v: f64) -> std::io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+struct Rd<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> Rd<R> {
+    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], DatasetIoError> {
+        let mut buf = [0u8; N];
+        self.inner.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+    fn u32(&mut self) -> Result<u32, DatasetIoError> {
+        Ok(u32::from_le_bytes(self.bytes()?))
+    }
+    fn u64(&mut self) -> Result<u64, DatasetIoError> {
+        Ok(u64::from_le_bytes(self.bytes()?))
+    }
+    fn f64(&mut self) -> Result<f64, DatasetIoError> {
+        Ok(f64::from_le_bytes(self.bytes()?))
+    }
+    fn usize(&mut self, what: &str) -> Result<usize, DatasetIoError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| DatasetIoError::Corrupt(format!("{what} exceeds the address space")))
+    }
+    fn u8_levels(&mut self, n: usize, what: &str) -> Result<Vec<Level>, DatasetIoError> {
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        let mut buf = [0u8; 4096];
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(buf.len());
+            self.inner.read_exact(&mut buf[..take])?;
+            for &b in &buf[..take] {
+                out.push(Level::from_index(b as usize).ok_or_else(|| {
+                    DatasetIoError::Corrupt(format!("{what} level byte {b} > 2"))
+                })?);
+            }
+            remaining -= take;
+        }
+        Ok(out)
+    }
+}
+
+/// Upper bound on any single `Vec::with_capacity` driven by an untrusted
+/// header count. Counts above this still load — the vector grows as real
+/// payload bytes arrive — but a corrupt header claiming astronomical sizes
+/// hits a read error (truncation) long before memory is committed, keeping
+/// the typed-error contract instead of aborting on OOM.
+const PREALLOC_CAP: usize = 1 << 22;
+
+/// Reads `n` complex samples in bounded chunks (no `n × 16`-byte staging
+/// allocation for multi-hundred-MB arenas).
+fn read_complex_array<R: Read>(rd: &mut Rd<R>, n: usize) -> Result<Vec<Complex>, DatasetIoError> {
+    const CHUNK_SAMPLES: usize = 4096;
+    let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+    let mut buf = [0u8; CHUNK_SAMPLES * 16];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_SAMPLES);
+        let bytes = &mut buf[..take * 16];
+        rd.inner.read_exact(bytes)?;
+        for s in bytes.chunks_exact(16) {
+            out.push(Complex::new(
+                f64::from_le_bytes(s[..8].try_into().expect("8-byte slice")),
+                f64::from_le_bytes(s[8..].try_into().expect("8-byte slice")),
+            ));
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+impl TraceDataset {
+    /// Writes the dataset in the versioned binary arena format.
+    ///
+    /// The full physical arena is saved (a window-truncated dataset keeps
+    /// its underlying full-stride store); the header's `window` field
+    /// restores the truncation on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetIoError::Io`] on write failure.
+    pub fn save_bin<W: Write>(&self, writer: W) -> Result<(), DatasetIoError> {
+        let store = self.store();
+        let mut w = Wr { inner: writer };
+        let config_json = serde_json::to_string(self.config()).expect("chip config serialises");
+        let fields: [u64; 7] = [
+            self.levels() as u64,
+            match self.label_source() {
+                LabelSource::Prepared => 0,
+                LabelSource::Initial => 1,
+            },
+            store.n_qubits() as u64,
+            store.len() as u64,
+            store.n_samples() as u64,
+            self.config().n_samples as u64,
+            store.events_flat().len() as u64,
+        ];
+        w.inner.write_all(&DATASET_MAGIC)?;
+        w.u32(DATASET_FORMAT_VERSION)?;
+        w.u64(header_hash(config_json.as_bytes(), &fields))?;
+        for f in fields {
+            w.u64(f)?;
+        }
+        w.u64(config_json.len() as u64)?;
+        w.inner.write_all(config_json.as_bytes())?;
+        for z in store.raw_arena() {
+            w.f64(z.re)?;
+            w.f64(z.im)?;
+        }
+        for i in 0..store.len() {
+            w.inner
+                .write_all(&levels_to_bytes(store.prepared_levels(i)))?;
+        }
+        for i in 0..store.len() {
+            w.inner
+                .write_all(&levels_to_bytes(store.initial_levels(i)))?;
+        }
+        for i in 0..store.len() {
+            w.inner.write_all(&levels_to_bytes(store.final_levels(i)))?;
+        }
+        for &off in store.event_offsets() {
+            w.u64(off as u64)?;
+        }
+        for e in store.events_flat() {
+            w.u32(e.qubit as u32)?;
+            w.inner
+                .write_all(&[e.from.index() as u8, e.to.index() as u8])?;
+            w.f64(e.time_us)?;
+        }
+        Ok(())
+    }
+
+    /// Saves the dataset to a binary file (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceDataset::save_bin`].
+    pub fn save_bin_file<P: AsRef<Path>>(&self, path: P) -> Result<(), DatasetIoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.save_bin(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a dataset from the versioned binary arena format, validating
+    /// the header and every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DatasetIoError`]: `BadMagic` / `UnsupportedVersion`
+    /// for foreign or future files, `Corrupt` for hash or shape violations,
+    /// `Io` for underlying read failures (including truncation).
+    pub fn load_bin<R: Read>(reader: R) -> Result<Self, DatasetIoError> {
+        let mut r = Rd { inner: reader };
+        let magic: [u8; 4] = r.bytes()?;
+        if magic != DATASET_MAGIC {
+            return Err(DatasetIoError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != DATASET_FORMAT_VERSION {
+            return Err(DatasetIoError::UnsupportedVersion(version));
+        }
+        let stored_hash = r.u64()?;
+        let mut fields = [0u64; 7];
+        for f in &mut fields {
+            *f = r.u64()?;
+        }
+        let levels = usize::try_from(fields[0])
+            .map_err(|_| DatasetIoError::Corrupt("levels exceeds the address space".into()))?;
+        let label_source = match fields[1] {
+            0 => LabelSource::Prepared,
+            1 => LabelSource::Initial,
+            other => {
+                return Err(DatasetIoError::Corrupt(format!(
+                    "label source tag {other} (expected 0 or 1)"
+                )))
+            }
+        };
+        if !(2..=3).contains(&levels) {
+            return Err(DatasetIoError::Corrupt(format!(
+                "level alphabet {levels} (expected 2 or 3)"
+            )));
+        }
+        let header_usize = |i: usize, what: &str| -> Result<usize, DatasetIoError> {
+            usize::try_from(fields[i])
+                .map_err(|_| DatasetIoError::Corrupt(format!("{what} exceeds the address space")))
+        };
+        let n_qubits = header_usize(2, "n_qubits")?;
+        let n_shots = header_usize(3, "n_shots")?;
+        let stride = header_usize(4, "stride")?;
+        let window = header_usize(5, "window")?;
+        let n_events = header_usize(6, "n_events")?;
+        let config_len = r.usize("config length")?;
+        if config_len > 1 << 24 {
+            return Err(DatasetIoError::Corrupt(format!(
+                "config blob of {config_len} bytes"
+            )));
+        }
+        let mut config_json = vec![0u8; config_len];
+        r.inner.read_exact(&mut config_json)?;
+        let config_json = String::from_utf8(config_json)
+            .map_err(|_| DatasetIoError::Corrupt("config JSON is not UTF-8".into()))?;
+        let config: ChipConfig = serde_json::from_str(&config_json)
+            .map_err(|e| DatasetIoError::Corrupt(format!("config JSON: {e}")))?;
+        if header_hash(config_json.as_bytes(), &fields) != stored_hash {
+            return Err(DatasetIoError::Corrupt(
+                "header hash does not match (corrupt config or header fields)".into(),
+            ));
+        }
+        config
+            .validate()
+            .map_err(|e| DatasetIoError::Corrupt(format!("chip config: {e}")))?;
+        if config.n_qubits() != n_qubits {
+            return Err(DatasetIoError::Corrupt(format!(
+                "config has {} qubits, header says {n_qubits}",
+                config.n_qubits()
+            )));
+        }
+        if config.n_samples != window || window > stride || stride == 0 {
+            return Err(DatasetIoError::Corrupt(format!(
+                "window {window} / stride {stride} / config n_samples {}",
+                config.n_samples
+            )));
+        }
+        let n_arena = n_shots
+            .checked_mul(stride)
+            .ok_or_else(|| DatasetIoError::Corrupt("arena size overflows".into()))?;
+        let n_labels = n_shots
+            .checked_mul(n_qubits)
+            .ok_or_else(|| DatasetIoError::Corrupt("label array size overflows".into()))?;
+
+        let raw = read_complex_array(&mut r, n_arena)?;
+        let prepared = r.u8_levels(n_labels, "prepared")?;
+        let initial = r.u8_levels(n_labels, "initial")?;
+        let finals = r.u8_levels(n_labels, "final")?;
+        // The labelled side array must stay inside the declared alphabet,
+        // or labelling later panics instead of failing typed here. (Only
+        // the labelled array: a two-level dataset legitimately records
+        // leaked *initial*/final states from natural leakage.)
+        let labelled = match label_source {
+            LabelSource::Prepared => &prepared,
+            LabelSource::Initial => &initial,
+        };
+        if let Some(bad) = labelled.iter().find(|l| l.index() >= levels) {
+            return Err(DatasetIoError::Corrupt(format!(
+                "label level {} outside the {levels}-level alphabet",
+                bad.index()
+            )));
+        }
+        let mut event_offsets = Vec::with_capacity((n_shots + 1).min(PREALLOC_CAP));
+        for _ in 0..=n_shots {
+            event_offsets.push(r.usize("event offset")?);
+        }
+        if event_offsets.first() != Some(&0)
+            || event_offsets.last() != Some(&n_events)
+            || event_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(DatasetIoError::Corrupt(
+                "event offsets are not a monotone prefix-sum ending at n_events".into(),
+            ));
+        }
+        let mut events = Vec::with_capacity(n_events.min(PREALLOC_CAP));
+        for _ in 0..n_events {
+            let qubit = r.u32()? as usize;
+            let [from, to]: [u8; 2] = r.bytes()?;
+            let time_us = r.f64()?;
+            if qubit >= n_qubits {
+                return Err(DatasetIoError::Corrupt(format!(
+                    "event qubit {qubit} out of range"
+                )));
+            }
+            let from = Level::from_index(from as usize)
+                .ok_or_else(|| DatasetIoError::Corrupt(format!("event level byte {from}")))?;
+            let to = Level::from_index(to as usize)
+                .ok_or_else(|| DatasetIoError::Corrupt(format!("event level byte {to}")))?;
+            events.push(TransitionEvent {
+                qubit,
+                time_us,
+                from,
+                to,
+            });
+        }
+
+        let store = TraceStore::from_columns(
+            n_qubits,
+            stride,
+            raw,
+            prepared,
+            initial,
+            finals,
+            events,
+            event_offsets,
+        );
+        Ok(TraceDataset::from_store(
+            config,
+            levels,
+            label_source,
+            Arc::new(store),
+        ))
+    }
+
+    /// Loads a dataset from a binary file (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceDataset::load_bin`].
+    pub fn load_bin_file<P: AsRef<Path>>(path: P) -> Result<Self, DatasetIoError> {
+        Self::load_bin(BufReader::new(File::open(path)?))
+    }
+}
+
+fn levels_to_bytes(levels: &[Level]) -> Vec<u8> {
+    levels.iter().map(|l| l.index() as u8).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dataset cache
+// ---------------------------------------------------------------------------
+
+/// A reproducible dataset generation request: everything that determines
+/// the simulated shots, hashed into a cache [`DatasetSpec::fingerprint`].
+///
+/// Repro binaries and benches build a spec, probe the cache directory with
+/// [`DatasetSpec::load_cached`], and fall back to [`DatasetSpec::generate`]
+/// on a miss — so a dataset is simulated once per (chip, levels, shots,
+/// seed) combination instead of once per binary invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Chip configuration to simulate.
+    pub config: ChipConfig,
+    /// Level alphabet (2 or 3); for natural generation this is the label
+    /// alphabet (always 3).
+    pub levels: usize,
+    /// Shots per prepared basis state.
+    pub shots_per_state: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// `true` selects [`TraceDataset::generate_natural`] (computational
+    /// preparations, initial-state labels), `false` the full
+    /// [`TraceDataset::generate`] basis sweep.
+    pub natural: bool,
+}
+
+impl DatasetSpec {
+    /// Spec for the full `levels^n` basis sweep.
+    pub fn full(config: ChipConfig, levels: usize, shots_per_state: usize, seed: u64) -> Self {
+        Self {
+            config,
+            levels,
+            shots_per_state,
+            seed,
+            natural: false,
+        }
+    }
+
+    /// Spec for the paper's calibration-free natural-leakage methodology.
+    pub fn natural(config: ChipConfig, shots_per_state: usize, seed: u64) -> Self {
+        Self {
+            config,
+            levels: 3,
+            shots_per_state,
+            seed,
+            natural: true,
+        }
+    }
+
+    /// Stable content fingerprint of the request — the cache key. Folds
+    /// in [`crate::SIMULATOR_REVISION`], so caches simulated by older
+    /// physics/RNG revisions miss instead of silently masking simulator
+    /// changes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(b"mlr-dataset-v1", FNV_OFFSET);
+        h = fnv1a(&crate::SIMULATOR_REVISION.to_le_bytes(), h);
+        h = fnv1a(
+            serde_json::to_string(&self.config)
+                .expect("chip config serialises")
+                .as_bytes(),
+            h,
+        );
+        h = fnv1a(&(self.levels as u64).to_le_bytes(), h);
+        h = fnv1a(&(self.shots_per_state as u64).to_le_bytes(), h);
+        h = fnv1a(&self.seed.to_le_bytes(), h);
+        fnv1a(&[self.natural as u8], h)
+    }
+
+    /// Cache file name for this spec (`mlr-<fingerprint>.mlrds`).
+    pub fn cache_file_name(&self) -> String {
+        format!("mlr-{:016x}.mlrds", self.fingerprint())
+    }
+
+    /// Path of this spec's cache file inside `dir`.
+    pub fn cache_path(&self, dir: &Path) -> PathBuf {
+        dir.join(self.cache_file_name())
+    }
+
+    /// Simulates the dataset this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or `levels` is out of range, as the
+    /// underlying generators do.
+    pub fn generate(&self) -> TraceDataset {
+        if self.natural {
+            TraceDataset::generate_natural(&self.config, self.shots_per_state, self.seed)
+        } else {
+            TraceDataset::generate(&self.config, self.levels, self.shots_per_state, self.seed)
+        }
+    }
+
+    /// `true` if a loaded dataset plausibly came from this spec (config,
+    /// alphabet, label source and shot count all agree).
+    pub fn matches(&self, ds: &TraceDataset) -> bool {
+        let expected_source = if self.natural {
+            LabelSource::Initial
+        } else {
+            LabelSource::Prepared
+        };
+        let prepared_states = basis_count_for(&self.config, self.levels, self.natural);
+        ds.config() == &self.config
+            && ds.levels() == self.levels
+            && ds.label_source() == expected_source
+            && ds.len() == prepared_states * self.shots_per_state
+    }
+
+    /// Probes `dir` for this spec's cache file.
+    ///
+    /// Returns `Ok(None)` when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetIoError`] when the file exists but cannot be read,
+    /// fails validation, or describes a different spec (stale cache).
+    pub fn load_cached(&self, dir: &Path) -> Result<Option<TraceDataset>, DatasetIoError> {
+        let path = self.cache_path(dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let ds = TraceDataset::load_bin_file(&path)?;
+        if !self.matches(&ds) {
+            return Err(DatasetIoError::Corrupt(format!(
+                "cache file {} does not match its spec",
+                path.display()
+            )));
+        }
+        Ok(Some(ds))
+    }
+
+    /// Saves `ds` as this spec's cache file in `dir` (created if missing),
+    /// returning the written path.
+    ///
+    /// The write is atomic: data lands in a temporary sibling first and is
+    /// renamed into place, so an interrupted save never leaves a truncated
+    /// cache file under the spec's name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetIoError::Io`] on directory or write failure.
+    pub fn store_cached(&self, dir: &Path, ds: &TraceDataset) -> Result<PathBuf, DatasetIoError> {
+        std::fs::create_dir_all(dir)?;
+        let path = self.cache_path(dir);
+        let tmp = dir.join(format!(
+            ".{}.tmp-{}",
+            self.cache_file_name(),
+            std::process::id()
+        ));
+        if let Err(e) = ds.save_bin_file(&tmp) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(path)
+    }
+}
+
+fn basis_count_for(config: &ChipConfig, levels: usize, natural: bool) -> usize {
+    crate::basis_state_count(config.n_qubits(), if natural { 2 } else { levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> TraceDataset {
+        let mut c = ChipConfig::five_qubit_paper();
+        c.n_samples = 40;
+        TraceDataset::generate_natural(&c, 2, 5)
+    }
+
+    fn save_to_vec(ds: &TraceDataset) -> Vec<u8> {
+        let mut buf = Vec::new();
+        ds.save_bin(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ds = small_dataset();
+        let buf = save_to_vec(&ds);
+        let back = TraceDataset::load_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.store(), ds.store());
+        assert_eq!(back.config(), ds.config());
+        assert_eq!(back.levels(), ds.levels());
+        assert_eq!(back.label_source(), ds.label_source());
+    }
+
+    #[test]
+    fn truncated_dataset_roundtrips_with_window() {
+        let ds = small_dataset().truncated(25);
+        let buf = save_to_vec(&ds);
+        let back = TraceDataset::load_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.config().n_samples, 25);
+        assert_eq!(back.store().n_samples(), 40); // full stride preserved
+        for i in 0..ds.len() {
+            assert_eq!(back.raw(i), ds.raw(i));
+            assert_eq!(back.events(i), ds.events(i));
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let ds = small_dataset();
+        let mut buf = save_to_vec(&ds);
+        buf[0] = b'X';
+        assert!(matches!(
+            TraceDataset::load_bin(buf.as_slice()),
+            Err(DatasetIoError::BadMagic)
+        ));
+        let mut buf = save_to_vec(&ds);
+        buf[4] = 99;
+        assert!(matches!(
+            TraceDataset::load_bin(buf.as_slice()),
+            Err(DatasetIoError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected_not_panicked() {
+        let ds = small_dataset();
+        // Flip a byte inside the config JSON: the stored hash must catch it.
+        let mut buf = save_to_vec(&ds);
+        let json_start = 80;
+        buf[json_start + 3] ^= 0x20;
+        match TraceDataset::load_bin(buf.as_slice()) {
+            Err(DatasetIoError::Corrupt(msg)) => {
+                assert!(msg.contains("hash") || msg.contains("JSON"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Truncated file: an Io error, never a panic.
+        let buf = save_to_vec(&ds);
+        let short = &buf[..buf.len() / 2];
+        assert!(matches!(
+            TraceDataset::load_bin(short),
+            Err(DatasetIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn header_field_corruption_is_caught_by_the_hash() {
+        // levels / label_source / counts sit outside the config JSON;
+        // the header hash must cover them so a flipped tag cannot load a
+        // differently-labelled dataset.
+        let ds = small_dataset(); // natural => label_source = Initial
+        for offset in [16usize, 24, 40] {
+            // levels, label_source, n_shots
+            let mut buf = save_to_vec(&ds);
+            buf[offset] ^= 1;
+            match TraceDataset::load_bin(buf.as_slice()) {
+                Err(DatasetIoError::Corrupt(_)) | Err(DatasetIoError::Io(_)) => {}
+                other => panic!("offset {offset}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_label_byte_is_corrupt_not_panic() {
+        // Payload bytes are not hash-covered; the labelled side array gets
+        // an explicit alphabet check instead.
+        let mut c = ChipConfig::uniform(1);
+        c.n_samples = 10;
+        let ds = TraceDataset::generate(&c, 2, 1, 3); // Prepared labels, levels = 2
+        let mut buf = save_to_vec(&ds);
+        let config_len = u64::from_le_bytes(buf[72..80].try_into().unwrap()) as usize;
+        let n_shots = u64::from_le_bytes(buf[40..48].try_into().unwrap()) as usize;
+        let stride = u64::from_le_bytes(buf[48..56].try_into().unwrap()) as usize;
+        let prepared_start = 80 + config_len + n_shots * stride * 16;
+        buf[prepared_start] = 2; // Leaked label in a two-level alphabet
+        match TraceDataset::load_bin(buf.as_slice()) {
+            Err(DatasetIoError::Corrupt(msg)) => assert!(msg.contains("alphabet"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn astronomical_header_counts_fail_typed_not_oom() {
+        // A corrupt header may claim petabyte-scale arrays; loading must
+        // hit the truncation (Io) or a Corrupt check, never pre-commit
+        // the claimed allocation.
+        let ds = small_dataset();
+        for field_offset in [40usize, 48, 64] {
+            // n_shots, stride, n_events
+            let mut buf = save_to_vec(&ds);
+            buf[field_offset..field_offset + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+            match TraceDataset::load_bin(buf.as_slice()) {
+                Err(DatasetIoError::Io(_)) | Err(DatasetIoError::Corrupt(_)) => {}
+                other => panic!("offset {field_offset}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_fingerprint_tracks_every_knob() {
+        let c = ChipConfig::five_qubit_paper();
+        let base = DatasetSpec::natural(c.clone(), 10, 1);
+        let mut fps = vec![base.fingerprint()];
+        fps.push(DatasetSpec::natural(c.clone(), 11, 1).fingerprint());
+        fps.push(DatasetSpec::natural(c.clone(), 10, 2).fingerprint());
+        fps.push(DatasetSpec::full(c.clone(), 3, 10, 1).fingerprint());
+        fps.push(DatasetSpec::full(c.clone(), 2, 10, 1).fingerprint());
+        let mut truncated = c.clone();
+        truncated.n_samples = 100;
+        fps.push(DatasetSpec::natural(truncated, 10, 1).fingerprint());
+        let mut unique = fps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), fps.len(), "fingerprint collision: {fps:?}");
+    }
+
+    #[test]
+    fn cache_roundtrip_and_stale_detection() {
+        let dir = std::env::temp_dir().join(format!("mlr_persist_test_{}", std::process::id()));
+        let mut c = ChipConfig::five_qubit_paper();
+        c.n_samples = 30;
+        let spec = DatasetSpec::natural(c.clone(), 1, 3);
+        assert!(spec.load_cached(&dir).unwrap().is_none());
+        let ds = spec.generate();
+        let path = spec.store_cached(&dir, &ds).unwrap();
+        assert!(path.exists());
+        let cached = spec.load_cached(&dir).unwrap().expect("cache hit");
+        assert_eq!(cached.store(), ds.store());
+        // A different spec saved under this spec's name is rejected.
+        let other = DatasetSpec::natural(c, 2, 3);
+        other.generate().save_bin_file(&path).unwrap();
+        assert!(matches!(
+            spec.load_cached(&dir),
+            Err(DatasetIoError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,13 +24,20 @@ impl TransitionEvent {
     }
 }
 
-/// One digitised readout shot of the whole chip.
+/// One digitised readout shot of the whole chip — the **owned** (AoS)
+/// form.
 ///
 /// `raw` is the composite frequency-multiplexed trace as seen by the ADC —
 /// the sum of every qubit's tone plus receiver noise. Per-qubit information
 /// is recovered by demodulation (`mlr-dsp`). The ground-truth fields record
 /// what the simulator actually did, for labelling and for validating the
 /// error-trace tagging of the discriminators.
+///
+/// Datasets no longer store `Shot`s: shots live in the structure-of-arrays
+/// [`crate::TraceStore`] and read paths borrow [`crate::ShotView`]s out of
+/// it. `Shot` remains the single-shot currency of
+/// [`crate::ReadoutSimulator::simulate_shot`] and the reference for the
+/// zero-copy equivalence tests ([`crate::ShotView::to_shot`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Shot {
     /// Composite ADC trace, one complex (I, Q) sample per time bin.

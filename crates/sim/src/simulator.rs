@@ -5,8 +5,25 @@ use mlr_num::Complex;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 
-use crate::trajectory::{baseband_response, sample_level_timeline};
-use crate::{BasisState, ChipConfig, Level, Shot, TransitionEvent};
+use crate::trajectory::{baseband_response_into, sample_level_timeline};
+use crate::{BasisState, ChipConfig, Level, Shot, ShotRecord, TransitionEvent};
+
+/// Revision of the simulated physics and RNG stream. **Bump this whenever
+/// [`ReadoutSimulator::simulate_shot`]'s output changes for a fixed seed**
+/// (new physics, different draw order, RNG swap): it is folded into
+/// [`crate::DatasetSpec`] fingerprints, so stale binary dataset caches
+/// miss instead of silently serving pre-change traces to repro binaries.
+pub const SIMULATOR_REVISION: u32 = 1;
+
+/// Reusable per-worker scratch memory for [`ReadoutSimulator::simulate_shot_into`]:
+/// the per-qubit baseband responses of one shot, flattened qubit-major.
+///
+/// Dataset generation holds one scratch per worker thread, so filling an
+/// arena performs **zero per-shot heap allocation** for trace memory.
+#[derive(Debug, Default, Clone)]
+pub struct SimScratch {
+    basebands: Vec<Complex>,
+}
 
 /// Simulates digitised readout shots for a configured chip.
 ///
@@ -77,6 +94,38 @@ impl ReadoutSimulator {
     ///
     /// Panics if `prepared` has a different number of qubits than the chip.
     pub fn simulate_shot(&self, prepared: &BasisState, rng: &mut impl Rng) -> Shot {
+        let mut raw = vec![Complex::ZERO; self.config.n_samples];
+        let mut scratch = SimScratch::default();
+        let record = self.simulate_shot_into(prepared, rng, &mut scratch, &mut raw);
+        Shot {
+            raw,
+            prepared: record.prepared,
+            initial: record.initial,
+            final_state: record.final_state,
+            events: record.events,
+        }
+    }
+
+    /// Simulates one shot **into** a caller-provided trace buffer — the
+    /// arena-filling path of [`crate::TraceDataset::generate`]. The raw
+    /// trace is written to `out` (one pre-sliced arena chunk) and the
+    /// ground-truth metadata is returned as a [`ShotRecord`]; `scratch` is
+    /// reused across calls so no per-shot trace memory is allocated.
+    ///
+    /// Bit-identical to [`ReadoutSimulator::simulate_shot`]: same RNG draw
+    /// order, same floating-point operation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` has a different number of qubits than the chip
+    /// or `out` is not exactly `n_samples` long.
+    pub fn simulate_shot_into(
+        &self,
+        prepared: &BasisState,
+        rng: &mut impl Rng,
+        scratch: &mut SimScratch,
+        out: &mut [Complex],
+    ) -> ShotRecord {
         let n_qubits = self.config.n_qubits();
         assert_eq!(
             prepared.n_qubits(),
@@ -84,6 +133,7 @@ impl ReadoutSimulator {
             "prepared state does not match chip size"
         );
         let n_samples = self.config.n_samples;
+        assert_eq!(out.len(), n_samples, "output chunk != readout window");
         let dt_us = self.config.dt_us();
         let duration = self.config.duration_us();
 
@@ -95,11 +145,21 @@ impl ReadoutSimulator {
             }
         }
 
-        // 2. Level dynamics and per-qubit baseband responses.
-        let mut basebands: Vec<Vec<Complex>> = Vec::with_capacity(n_qubits);
+        // 2. Level dynamics and per-qubit baseband responses, written into
+        //    the qubit-major scratch buffer.
+        scratch.basebands.clear();
+        scratch
+            .basebands
+            .resize(n_qubits * n_samples, Complex::ZERO);
         let mut events = Vec::new();
         let mut final_state = initial.clone();
-        for (q, params) in self.config.qubits.iter().enumerate() {
+        for ((q, params), bb) in self
+            .config
+            .qubits
+            .iter()
+            .enumerate()
+            .zip(scratch.basebands.chunks_exact_mut(n_samples))
+        {
             let segments = sample_level_timeline(params, initial.level(q), duration, rng);
             for w in segments.windows(2) {
                 events.push(TransitionEvent {
@@ -110,42 +170,33 @@ impl ReadoutSimulator {
                 });
             }
             final_state.set_level(q, segments.last().expect("nonempty timeline").level);
-            basebands.push(baseband_response(params, &segments, n_samples, dt_us));
+            baseband_response_into(params, &segments, dt_us, bb);
         }
 
-        // 3. Crosstalk: each channel picks up a fraction of its neighbours.
-        let mixed: Vec<Vec<Complex>> = (0..n_qubits)
-            .map(|q| {
-                let row = &self.config.crosstalk[q];
-                (0..n_samples)
-                    .map(|n| {
-                        let mut s = basebands[q][n];
-                        for (p, &beta) in row.iter().enumerate() {
-                            if p != q && beta != 0.0 {
-                                s += basebands[p][n].scale(beta);
-                            }
-                        }
-                        s
-                    })
-                    .collect()
-            })
-            .collect();
-
-        // 4. Frequency multiplexing onto the feedline + receiver noise.
+        // 3 + 4. Crosstalk mixing fused with frequency multiplexing: per
+        // sample, each channel picks up its neighbours' basebands (same
+        // accumulation order as the historic two-pass loop, so results are
+        // bit-identical) and lands on the feedline at its tone frequency;
+        // receiver noise and the ADC transfer function finish the sample.
+        let basebands = &scratch.basebands;
         let noise = Normal::new(0.0, self.config.rx_noise).expect("validated sigma");
-        let mut raw = Vec::with_capacity(n_samples);
-        for n in 0..n_samples {
-            let mut s = Complex::ZERO;
-            for (q, mixed_q) in mixed.iter().enumerate() {
-                s += mixed_q[n] * self.tone_tables[q][n];
+        for (n, slot) in out.iter_mut().enumerate() {
+            let mut acc = Complex::ZERO;
+            for q in 0..n_qubits {
+                let mut s = basebands[q * n_samples + n];
+                for (p, &beta) in self.config.crosstalk[q].iter().enumerate() {
+                    if p != q && beta != 0.0 {
+                        s += basebands[p * n_samples + n].scale(beta);
+                    }
+                }
+                acc += s * self.tone_tables[q][n];
             }
-            s += Complex::new(noise.sample(rng), noise.sample(rng));
-            raw.push(self.quantize(s));
+            acc += Complex::new(noise.sample(rng), noise.sample(rng));
+            *slot = self.quantize(acc);
         }
 
         events.sort_by(|a, b| a.time_us.partial_cmp(&b.time_us).expect("finite times"));
-        Shot {
-            raw,
+        ShotRecord {
             prepared: prepared.clone(),
             initial,
             final_state,

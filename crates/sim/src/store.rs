@@ -1,0 +1,410 @@
+//! The structure-of-arrays trace arena: one flat buffer for every shot's
+//! raw trace plus parallel side arrays for the ground-truth metadata.
+//!
+//! Datasets scale as `levels^n_qubits × shots_per_state`, and the batch
+//! kernels in `mlr-core`/`mlr-dsp` stream traces back to back. Holding each
+//! shot as its own heap allocation (the pre-arena `Vec<Shot>` layout) made
+//! every batch pass chase pointers between shots; [`TraceStore`] instead
+//! owns **one** contiguous `Vec<Complex>` with a fixed stride of
+//! `n_samples` per shot — the layout a frequency-multiplexed ADC capture
+//! naturally produces — and parallel arrays for prepared/initial/final
+//! levels (packed per-qubit) and transition events (CSR-style offsets).
+//!
+//! Read paths borrow [`ShotView`]s out of the arena; nothing on the
+//! inference side owns or copies trace memory. Window truncation is a
+//! stride-narrowed view (see [`ShotView::truncate`]), not a clone.
+
+use mlr_num::Complex;
+
+use crate::{BasisState, Level, Shot, TransitionEvent};
+
+/// The ground-truth metadata of one simulated shot — everything a
+/// [`Shot`] holds except the raw trace, which lives in the arena.
+///
+/// Produced by [`crate::ReadoutSimulator::simulate_shot_into`] while the
+/// trace itself is written directly into a pre-sliced arena chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotRecord {
+    /// State the register was nominally prepared in.
+    pub prepared: BasisState,
+    /// State actually occupied at the start of the window.
+    pub initial: BasisState,
+    /// State occupied at the end of the window.
+    pub final_state: BasisState,
+    /// Every mid-trace level transition, in time order.
+    pub events: Vec<TransitionEvent>,
+}
+
+/// A borrowed, zero-copy view of one shot: the raw trace slice out of the
+/// arena plus per-qubit level slices and the shot's transition events.
+///
+/// This is what every read path (feature extraction, evaluation,
+/// baselines, repro binaries) consumes instead of an owned [`Shot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotView<'a> {
+    /// Composite ADC trace, one complex (I, Q) sample per time bin.
+    pub raw: &'a [Complex],
+    /// Nominally prepared per-qubit levels (the usual classification label).
+    pub prepared: &'a [Level],
+    /// Per-qubit levels actually occupied at the start of the window.
+    pub initial: &'a [Level],
+    /// Per-qubit levels at the end of the window.
+    pub final_state: &'a [Level],
+    /// Mid-trace transitions inside the viewed window, in time order.
+    pub events: &'a [TransitionEvent],
+}
+
+impl<'a> ShotView<'a> {
+    /// Number of ADC samples in the viewed trace.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` if the viewed trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Number of qubits in the register.
+    pub fn n_qubits(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// `true` if qubit `q` jumped at least once inside the viewed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range for the register.
+    pub fn qubit_jumped(&self, q: usize) -> bool {
+        assert!(q < self.n_qubits(), "qubit index out of range");
+        self.events.iter().any(|e| e.qubit == q)
+    }
+
+    /// The prepared register as an owned [`BasisState`].
+    pub fn prepared_state(&self) -> BasisState {
+        BasisState::new(self.prepared.to_vec())
+    }
+
+    /// The true initial register as an owned [`BasisState`].
+    pub fn initial_state(&self) -> BasisState {
+        BasisState::new(self.initial.to_vec())
+    }
+
+    /// The final register as an owned [`BasisState`].
+    pub fn final_basis_state(&self) -> BasisState {
+        BasisState::new(self.final_state.to_vec())
+    }
+
+    /// Narrows the view to the first `n_samples` samples — the zero-copy
+    /// replacement for [`Shot::truncated`]. Events past the shortened
+    /// window are dropped by slicing (they are time-ordered, so the kept
+    /// set is a prefix); no trace or event memory is copied.
+    pub fn truncate(&self, n_samples: usize, sample_rate_mhz: f64) -> ShotView<'a> {
+        let n = n_samples.min(self.raw.len());
+        let t_max = n as f64 / sample_rate_mhz;
+        let kept = self.events.partition_point(|e| e.time_us < t_max);
+        ShotView {
+            raw: &self.raw[..n],
+            events: &self.events[..kept],
+            ..*self
+        }
+    }
+
+    /// Materialises the view as an owned [`Shot`] — the legacy AoS form,
+    /// kept for compatibility checks and equivalence tests.
+    pub fn to_shot(&self) -> Shot {
+        Shot {
+            raw: self.raw.to_vec(),
+            prepared: self.prepared_state(),
+            initial: self.initial_state(),
+            final_state: self.final_basis_state(),
+            events: self.events.to_vec(),
+        }
+    }
+}
+
+/// The structure-of-arrays shot arena backing [`crate::TraceDataset`].
+///
+/// Layout:
+///
+/// ```text
+/// raw:            [ shot 0: n_samples × Complex | shot 1 | … ]   (stride = n_samples)
+/// prepared:       [ shot 0: n_qubits × Level    | shot 1 | … ]   (stride = n_qubits)
+/// initial:        [ …same stride… ]
+/// finals:         [ …same stride… ]
+/// events:         [ all shots' transitions, concatenated ]
+/// event_offsets:  [ n_shots + 1 cumulative counts into `events` ]
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use mlr_sim::{ChipConfig, TraceDataset};
+///
+/// let mut config = ChipConfig::five_qubit_paper();
+/// config.n_samples = 60;
+/// let ds = TraceDataset::generate(&config, 2, 1, 3);
+/// let store = ds.store();
+/// assert_eq!(store.len(), 32);
+/// assert_eq!(store.raw_arena().len(), 32 * 60);
+/// assert_eq!(store.view(0).raw.len(), 60);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStore {
+    n_qubits: usize,
+    n_samples: usize,
+    raw: Vec<Complex>,
+    prepared: Vec<Level>,
+    initial: Vec<Level>,
+    finals: Vec<Level>,
+    events: Vec<TransitionEvent>,
+    event_offsets: Vec<usize>,
+}
+
+impl TraceStore {
+    /// Assembles a store from a filled arena and per-shot records, packing
+    /// the records into the side arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` is not `records.len() * n_samples` or any
+    /// record's register width differs from `n_qubits`.
+    pub fn assemble(
+        n_qubits: usize,
+        n_samples: usize,
+        raw: Vec<Complex>,
+        records: Vec<ShotRecord>,
+    ) -> Self {
+        assert_eq!(
+            raw.len(),
+            records.len() * n_samples,
+            "arena length != n_shots * n_samples"
+        );
+        let n_shots = records.len();
+        let mut prepared = Vec::with_capacity(n_shots * n_qubits);
+        let mut initial = Vec::with_capacity(n_shots * n_qubits);
+        let mut finals = Vec::with_capacity(n_shots * n_qubits);
+        let mut events = Vec::new();
+        let mut event_offsets = Vec::with_capacity(n_shots + 1);
+        event_offsets.push(0);
+        for r in records {
+            assert_eq!(r.prepared.n_qubits(), n_qubits, "record register width");
+            assert_eq!(r.initial.n_qubits(), n_qubits, "record register width");
+            assert_eq!(r.final_state.n_qubits(), n_qubits, "record register width");
+            prepared.extend_from_slice(r.prepared.levels());
+            initial.extend_from_slice(r.initial.levels());
+            finals.extend_from_slice(r.final_state.levels());
+            events.extend_from_slice(&r.events);
+            event_offsets.push(events.len());
+        }
+        Self {
+            n_qubits,
+            n_samples,
+            raw,
+            prepared,
+            initial,
+            finals,
+            events,
+            event_offsets,
+        }
+    }
+
+    /// Rebuilds a store from already-validated columns — the binary
+    /// deserialisation path (`load_bin` validates shapes first).
+    #[allow(clippy::too_many_arguments)] // column-per-argument is the point
+    pub(crate) fn from_columns(
+        n_qubits: usize,
+        n_samples: usize,
+        raw: Vec<Complex>,
+        prepared: Vec<Level>,
+        initial: Vec<Level>,
+        finals: Vec<Level>,
+        events: Vec<TransitionEvent>,
+        event_offsets: Vec<usize>,
+    ) -> Self {
+        Self {
+            n_qubits,
+            n_samples,
+            raw,
+            prepared,
+            initial,
+            finals,
+            events,
+            event_offsets,
+        }
+    }
+
+    /// Number of shots in the store.
+    pub fn len(&self) -> usize {
+        self.event_offsets.len() - 1
+    }
+
+    /// `true` if the store holds no shots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of qubits per shot.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Physical samples per trace — the arena stride. Windowed datasets may
+    /// expose fewer samples per view without copying.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// The whole flat trace arena (`len() * n_samples()` samples).
+    pub fn raw_arena(&self) -> &[Complex] {
+        &self.raw
+    }
+
+    /// Raw trace of shot `i` at full stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn raw(&self, i: usize) -> &[Complex] {
+        &self.raw[i * self.n_samples..(i + 1) * self.n_samples]
+    }
+
+    /// Prepared per-qubit levels of shot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn prepared_levels(&self, i: usize) -> &[Level] {
+        &self.prepared[i * self.n_qubits..(i + 1) * self.n_qubits]
+    }
+
+    /// True initial per-qubit levels of shot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn initial_levels(&self, i: usize) -> &[Level] {
+        &self.initial[i * self.n_qubits..(i + 1) * self.n_qubits]
+    }
+
+    /// Final per-qubit levels of shot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn final_levels(&self, i: usize) -> &[Level] {
+        &self.finals[i * self.n_qubits..(i + 1) * self.n_qubits]
+    }
+
+    /// Transition events of shot `i`, in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn events(&self, i: usize) -> &[TransitionEvent] {
+        &self.events[self.event_offsets[i]..self.event_offsets[i + 1]]
+    }
+
+    /// All shots' events concatenated in shot order (the CSR payload).
+    pub fn events_flat(&self) -> &[TransitionEvent] {
+        &self.events
+    }
+
+    /// Cumulative event offsets (`len() + 1` entries into
+    /// [`TraceStore::events_flat`]).
+    pub fn event_offsets(&self) -> &[usize] {
+        &self.event_offsets
+    }
+
+    /// Full-stride view of shot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view(&self, i: usize) -> ShotView<'_> {
+        ShotView {
+            raw: self.raw(i),
+            prepared: self.prepared_levels(i),
+            initial: self.initial_levels(i),
+            final_state: self.final_levels(i),
+            events: self.events(i),
+        }
+    }
+
+    /// Iterates full-stride views over every shot.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ShotView<'_>> {
+        (0..self.len()).map(|i| self.view(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(width: usize, n_events: usize) -> ShotRecord {
+        ShotRecord {
+            prepared: BasisState::uniform(width, Level::Excited),
+            initial: BasisState::uniform(width, Level::Excited),
+            final_state: BasisState::uniform(width, Level::Ground),
+            events: (0..n_events)
+                .map(|k| TransitionEvent {
+                    qubit: k % width,
+                    time_us: 0.1 * (k + 1) as f64,
+                    from: Level::Excited,
+                    to: Level::Ground,
+                })
+                .collect(),
+        }
+    }
+
+    fn store() -> TraceStore {
+        let raw = vec![Complex::new(1.0, -1.0); 3 * 4];
+        TraceStore::assemble(2, 4, raw, vec![record(2, 0), record(2, 2), record(2, 1)])
+    }
+
+    #[test]
+    fn assembled_shapes_and_views() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.n_qubits(), 2);
+        assert_eq!(s.n_samples(), 4);
+        assert_eq!(s.raw_arena().len(), 12);
+        assert_eq!(s.events(0).len(), 0);
+        assert_eq!(s.events(1).len(), 2);
+        assert_eq!(s.events(2).len(), 1);
+        let v = s.view(1);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.n_qubits(), 2);
+        assert!(v.qubit_jumped(0));
+        assert_eq!(v.prepared_state(), BasisState::uniform(2, Level::Excited));
+    }
+
+    #[test]
+    fn view_truncation_is_a_prefix() {
+        let s = store();
+        let v = s.view(1); // events at 0.1 us and 0.2 us
+        let t = v.truncate(2, 10.0); // keep first 0.2 us
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events.len(), 1);
+        // Zero-copy: same backing memory.
+        assert!(std::ptr::eq(t.raw.as_ptr(), v.raw.as_ptr()));
+        // Clamped, never extended.
+        assert_eq!(v.truncate(99, 10.0).len(), 4);
+    }
+
+    #[test]
+    fn to_shot_matches_legacy_truncation() {
+        let s = store();
+        let v = s.view(1);
+        let legacy = v.to_shot().truncated(2, 10.0);
+        let viewed = v.truncate(2, 10.0);
+        assert_eq!(viewed.raw, &legacy.raw[..]);
+        assert_eq!(viewed.events, &legacy.events[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena length")]
+    fn assemble_checks_arena_shape() {
+        let _ = TraceStore::assemble(2, 4, vec![Complex::ZERO; 5], vec![record(2, 0)]);
+    }
+}

@@ -121,19 +121,19 @@ pub(crate) fn steady_state(params: &QubitParams, level: Level) -> Complex {
 /// the characteristic kinked trajectories that relaxation/excitation matched
 /// filters key on.
 ///
-/// Returns one complex (I, Q) sample per time bin.
-pub(crate) fn baseband_response(
+/// Writes one complex (I, Q) sample per slot of `out` — the
+/// allocation-free form the arena-filling simulator uses.
+pub(crate) fn baseband_response_into(
     params: &QubitParams,
     segments: &[LevelSegment],
-    n_samples: usize,
     dt_us: f64,
-) -> Vec<Complex> {
+    out: &mut [Complex],
+) {
     let tau_us = params.ring_up_tau_ns * 1e-3;
     let alpha = (-dt_us / tau_us).exp();
-    let mut out = Vec::with_capacity(n_samples);
     let mut s = Complex::ZERO;
     let mut seg_idx = 0;
-    for n in 0..n_samples {
+    for (n, slot) in out.iter_mut().enumerate() {
         let t = n as f64 * dt_us;
         while seg_idx + 1 < segments.len() && t >= segments[seg_idx].end_us {
             seg_idx += 1;
@@ -141,9 +141,8 @@ pub(crate) fn baseband_response(
         let target = steady_state(params, segments[seg_idx].level);
         // First-order relaxation toward the target over one sample period.
         s = target + (s - target).scale(alpha);
-        out.push(s);
+        *slot = s;
     }
-    out
 }
 
 #[cfg(test)]
@@ -154,6 +153,17 @@ mod tests {
 
     fn nominal() -> QubitParams {
         QubitParams::nominal()
+    }
+
+    fn baseband_response(
+        params: &QubitParams,
+        segments: &[LevelSegment],
+        n_samples: usize,
+        dt_us: f64,
+    ) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; n_samples];
+        baseband_response_into(params, segments, dt_us, &mut out);
+        out
     }
 
     #[test]

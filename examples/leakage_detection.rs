@@ -26,7 +26,7 @@ fn main() {
         // Simulation luxury: compare against ground truth.
         let truly_leaked: Vec<bool> = all
             .iter()
-            .map(|&i| dataset.shots()[i].initial.level(q).is_leaked())
+            .map(|&i| dataset.initial_level(i, q).is_leaked())
             .collect();
         let n_true = truly_leaked.iter().filter(|&&b| b).count();
         let found = harvest

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut int_matches_float = 0usize;
         let mut int_matches_model = 0usize;
         for &i in check.iter().take(100) {
-            let features = restored.extractor().extract(&dataset.shots()[i].raw);
+            let features = restored.extractor().extract(dataset.raw(i));
             // The head consumes standardised features; reuse the public
             // prediction path for the float reference.
             let x: Vec<f32> = features.iter().map(|&v| v as f32).collect();

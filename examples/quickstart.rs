@@ -56,11 +56,13 @@ fn main() {
     );
 
     // Classify a single fresh shot.
-    let shot = &dataset.shots()[0];
-    let decided = ours.predict_shot(&shot.raw);
+    let shot = dataset.view(0);
+    let decided = ours.predict_shot(shot.raw);
     println!(
         "Single-shot decision: {:?} (prepared {}, actually started {})",
-        decided, shot.prepared, shot.initial
+        decided,
+        shot.prepared_state(),
+        shot.initial_state()
     );
 
     // Bulk scoring goes through the batch-first engine: one call, shared

@@ -152,7 +152,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// Length specification for [`vec()`]: a fixed size or a half-open
     /// range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

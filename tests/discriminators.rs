@@ -67,7 +67,7 @@ fn all_designs_expose_consistent_interfaces() {
 
     for d in &designs {
         assert_eq!(d.n_qubits(), 2);
-        let decided = d.predict_shot(&dataset.shots()[3].raw);
+        let decided = d.predict_shot(dataset.raw(3));
         assert_eq!(decided.len(), 2);
         assert!(decided.iter().all(|&l| l < 3), "{}: {decided:?}", d.name());
 

@@ -75,7 +75,7 @@ fn leakage_detector_agrees_with_discriminator_labels() {
     let harvest = NaturalLeakageDetector::new().detect(&dataset, 1, &all);
     let truly_leaked = all
         .iter()
-        .filter(|&&i| dataset.shots()[i].initial.level(1).is_leaked())
+        .filter(|&&i| dataset.initial_level(i, 1).is_leaked())
         .count();
     // Cluster count within 2x of ground truth occupancy.
     let found = harvest.cluster_sizes[2];

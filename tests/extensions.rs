@@ -92,7 +92,7 @@ fn integer_deployment_of_trained_heads_is_bit_exact_and_accurate() {
         let int_head = IntMlp::from_mlp(head, fmt);
         let q_head = QuantizedMlp::from_mlp(head, fmt);
         for &i in split.test.iter().take(50) {
-            let feats = ours.extractor().extract(&dataset.shots()[i].raw);
+            let feats = ours.extractor().extract(dataset.raw(i));
             let x: Vec<f32> = feats.iter().map(|&v| v as f32).collect();
             assert_eq!(
                 int_head.forward(&x),
@@ -106,7 +106,7 @@ fn integer_deployment_of_trained_heads_is_bit_exact_and_accurate() {
     let mut float_hits = 0usize;
     let mut int_hits = 0usize;
     for &i in &split.test {
-        let raw = &dataset.shots()[i].raw;
+        let raw = dataset.raw(i);
         let truth: Vec<usize> = (0..2).map(|q| dataset.label(i, q)).collect();
         let feats = ours.extractor().extract(raw);
         if ours.predict_features(&feats) == truth {
@@ -139,7 +139,7 @@ fn saved_model_survives_the_full_loop() {
     let restored = OursDiscriminator::load_json(buf.as_slice()).unwrap();
     // The restored model is not merely similar — it is the same function.
     for &i in split.test.iter().take(100) {
-        let raw = &dataset.shots()[i].raw;
+        let raw = dataset.raw(i);
         assert_eq!(ours.predict_shot(raw), restored.predict_shot(raw));
     }
     // And its embedded chip regenerates compatible datasets.
@@ -200,10 +200,7 @@ fn tone_probes_resolve_the_multiplexed_feedline() {
     // Average the probe powers over a handful of shots: any single trace
     // can have one qubit's tone ride a noise trough, but the multiplexing
     // contrast is a property of the ensemble.
-    let probe: Vec<&[mlr_num::Complex]> = dataset.shots()[..20]
-        .iter()
-        .map(|s| s.raw.as_slice())
-        .collect();
+    let probe: Vec<&[mlr_num::Complex]> = (0..20).map(|i| dataset.raw(i)).collect();
     let mean_power = |freq_mhz: f64| -> f64 {
         probe
             .iter()
@@ -240,7 +237,7 @@ fn leak_roc_beats_chance_and_supports_thresholding() {
         let mut scores = Vec::new();
         let mut labels = Vec::new();
         for &i in &split.test {
-            let f = ours.extractor().extract(&dataset.shots()[i].raw);
+            let f = ours.extractor().extract(dataset.raw(i));
             scores.push(ours.leak_probability(&f, q));
             labels.push(dataset.label(i, q) == 2);
         }
@@ -276,7 +273,7 @@ fn all_discriminators_expose_consistent_metadata() {
     ];
     for disc in &discs {
         assert_eq!(disc.n_qubits(), 2, "{}", disc.name());
-        let decision = disc.predict_shot(&dataset.shots()[0].raw);
+        let decision = disc.predict_shot(dataset.raw(0));
         assert_eq!(decision.len(), 2, "{}", disc.name());
         assert!(decision.iter().all(|&l| l < 3), "{}", disc.name());
     }

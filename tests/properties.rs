@@ -18,7 +18,7 @@ use mlr_linalg::Matrix;
 use mlr_nn::{geometric_mean, FixedPointFormat, IntMlp, Mlp, QuantizedMlp, TrainConfig};
 use mlr_num::{Complex, Welford};
 use mlr_qec::QecCycleTiming;
-use mlr_sim::{basis_state_count, BasisState, ChipConfig, TraceDataset};
+use mlr_sim::{basis_state_count, BasisState, ChipConfig, DatasetIoError, TraceDataset};
 
 /// Every discriminator family, fitted once on one small two-qubit chip so
 /// the batch-equivalence property can range over all of them cheaply.
@@ -348,6 +348,75 @@ proptest! {
     }
 
     #[test]
+    fn binary_dataset_roundtrip_is_bit_exact(
+        n_qubits in 1usize..4,
+        n_samples in 10usize..40,
+        shots_per_state in 1usize..3,
+        seed in any::<u64>(),
+        natural in any::<bool>(),
+        window_frac in 0.3f64..1.0,
+    ) {
+        // save_bin -> load_bin must preserve traces, labels, transition
+        // events and the chip config bit-exactly, for both generation
+        // methodologies and for window-truncated datasets.
+        let mut chip = ChipConfig::uniform(n_qubits);
+        chip.n_samples = n_samples;
+        let ds = if natural {
+            TraceDataset::generate_natural(&chip, shots_per_state, seed)
+        } else {
+            TraceDataset::generate(&chip, 3, shots_per_state, seed)
+        };
+        let window = ((n_samples as f64 * window_frac) as usize).max(1);
+        let ds = ds.truncated(window);
+
+        let mut buf = Vec::new();
+        ds.save_bin(&mut buf).unwrap();
+        let back = TraceDataset::load_bin(buf.as_slice()).unwrap();
+
+        prop_assert_eq!(back.store(), ds.store());
+        prop_assert_eq!(back.config(), ds.config());
+        prop_assert_eq!(back.levels(), ds.levels());
+        prop_assert_eq!(back.label_source(), ds.label_source());
+        for i in 0..ds.len() {
+            prop_assert_eq!(back.raw(i), ds.raw(i));
+            prop_assert_eq!(back.events(i), ds.events(i));
+            for q in 0..n_qubits {
+                prop_assert_eq!(back.label(i, q), ds.label(i, q));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_dataset_headers_are_typed_errors(
+        flip_byte in 0usize..80,
+        flip_bit in 0u32..8,
+    ) {
+        // Any single-bit corruption of the fixed header (magic, version,
+        // config hash, and every count field) must surface as a typed
+        // DatasetIoError, never a panic, an OOM abort, or a silently
+        // wrong dataset.
+        let mut chip = ChipConfig::uniform(1);
+        chip.n_samples = 12;
+        let ds = TraceDataset::generate(&chip, 2, 1, 7);
+        let mut buf = Vec::new();
+        ds.save_bin(&mut buf).unwrap();
+        buf[flip_byte] ^= 1u8 << flip_bit;
+        match TraceDataset::load_bin(buf.as_slice()) {
+            Ok(back) => {
+                // The flip may cancel inside unused hash bits only if the
+                // payload still validates; then it must equal the original.
+                prop_assert_eq!(back.store(), ds.store());
+            }
+            Err(
+                DatasetIoError::BadMagic
+                | DatasetIoError::UnsupportedVersion(_)
+                | DatasetIoError::Corrupt(_)
+                | DatasetIoError::Io(_),
+            ) => {}
+        }
+    }
+
+    #[test]
     fn predict_batch_equals_mapped_predict_shot(
         picks in prop::collection::vec(any::<u64>(), 1..20),
     ) {
@@ -358,7 +427,7 @@ proptest! {
         let n = zoo.dataset.len();
         let shots: Vec<&[Complex]> = picks
             .iter()
-            .map(|&p| zoo.dataset.shots()[(p as usize) % n].raw.as_slice())
+            .map(|&p| zoo.dataset.raw((p as usize) % n))
             .collect();
         for disc in &zoo.designs {
             let batch = disc.predict_batch(&shots);
@@ -384,7 +453,7 @@ proptest! {
             .map(|&p| {
                 zoo.ours
                     .extractor()
-                    .extract_fused(&zoo.dataset.shots()[(p as usize) % n].raw)
+                    .extract_fused(zoo.dataset.raw((p as usize) % n))
             })
             .collect();
         let batch = zoo.ours.predict_features_quantized_batch(&features, fmt);
