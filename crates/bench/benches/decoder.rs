@@ -1,0 +1,83 @@
+//! Criterion microbenches for the QEC decoders: greedy vs union-find
+//! syndrome-decode throughput at d ∈ {3, 5, 7, 9}, with and without
+//! erasure heralds.
+//!
+//! Each measured iteration decodes a fixed batch of 64 pre-generated
+//! syndromes (IID X noise at p = 1 %, plus ~1.5 % heralded-leaked qubits
+//! for the erasure variant), so the reported time is per 64 syndromes;
+//! divide by 64 for the per-syndrome decode latency quoted in the README.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mlr_qec::{GreedyDecoder, StabilizerKind, SurfaceCode, UnionFindDecoder};
+
+const BATCH: usize = 64;
+const P_ERROR: f64 = 0.01;
+const P_LEAK: f64 = 0.015;
+
+/// Pre-generates a batch of syndromes and matching erasure heralds for a
+/// distance-`d` code: plain IID X errors, plus leaked qubits that carry an
+/// error half the time (the leakage-transport regime erasures model).
+fn decoder_inputs(d: usize, seed: u64) -> (Vec<Vec<bool>>, Vec<Vec<usize>>) {
+    let code = SurfaceCode::rotated(d);
+    let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut syndromes = Vec::with_capacity(BATCH);
+    let mut erasures = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        let mut flipped = vec![false; code.n_data()];
+        for f in flipped.iter_mut() {
+            *f = rng.gen::<f64>() < P_ERROR;
+        }
+        let erased: Vec<usize> = (0..code.n_data())
+            .filter(|_| rng.gen::<f64>() < P_LEAK)
+            .collect();
+        for &q in &erased {
+            if rng.gen::<bool>() {
+                flipped[q] ^= true;
+            }
+        }
+        let error: Vec<usize> = (0..code.n_data()).filter(|&q| flipped[q]).collect();
+        syndromes.push(decoder.syndrome_of(&error));
+        erasures.push(erased);
+    }
+    (syndromes, erasures)
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    for d in [3usize, 5, 7, 9] {
+        let code = SurfaceCode::rotated(d);
+        let greedy = GreedyDecoder::new(&code, StabilizerKind::Z);
+        let union_find = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        let (syndromes, erasures) = decoder_inputs(d, 1234 + d as u64);
+
+        c.bench_function(&format!("decode_greedy_d{d}_x{BATCH}"), |b| {
+            b.iter(|| {
+                for syn in &syndromes {
+                    black_box(greedy.decode(black_box(syn)));
+                }
+            })
+        });
+        c.bench_function(&format!("decode_union_find_d{d}_x{BATCH}"), |b| {
+            b.iter(|| {
+                for syn in &syndromes {
+                    black_box(union_find.decode(black_box(syn)));
+                }
+            })
+        });
+        c.bench_function(&format!("decode_union_find_erasures_d{d}_x{BATCH}"), |b| {
+            b.iter(|| {
+                for (syn, erased) in syndromes.iter().zip(&erasures) {
+                    black_box(union_find.decode_with_erasures(black_box(syn), black_box(erased)));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use mlr_core::{
 };
 use mlr_fpga::{max_feasible_qubits, scaling_study, DiscriminatorHw, FpgaDevice, PowerModel};
 use mlr_nn::TrainConfig;
-use mlr_qec::{EraserConfig, EraserExperiment, SpeculationMode};
+use mlr_qec::{DecoderKind, EraserConfig, EraserExperiment, SpeculationMode};
 use mlr_sim::{config_hash, ChipConfig, DatasetIoError, DatasetSpec, LabelSource, TraceDataset};
 
 use crate::{ArgError, Args};
@@ -43,6 +43,8 @@ COMMANDS:
                  --samples N
     qec        ERASER vs ERASER+M leakage-speculation comparison
                  --distance D  --cycles N  --trials N  --readout-error P
+                 --decoder greedy|union-find (end-of-run logical failures;
+                 union-find consumes leakage heralds as erasures)
     streaming  Adaptive readout: early-termination accuracy/duration tradeoff
                  --qubits N  --shots N  --seed N  --samples N  --confidence P
     throughput Per-shot vs batched inference rate of the trained design
@@ -472,6 +474,12 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
     let trials: usize = args.get_or("--trials", 200)?;
     let readout_error: f64 = args.get_or("--readout-error", 0.05)?;
     let seed: u64 = args.get_or("--seed", 71)?;
+    let decoder: DecoderKind = match args.get_str("--decoder") {
+        None => DecoderKind::UnionFind,
+        Some(raw) => raw
+            .parse()
+            .map_err(|e: String| CliError::Usage(format!("--decoder: {e}")))?,
+    };
     args.reject_unknown()?;
 
     let config = EraserConfig {
@@ -479,6 +487,7 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
         cycles,
         trials,
         seed,
+        decoder,
         ..EraserConfig::default()
     };
     let experiment = EraserExperiment::new(config);
@@ -489,16 +498,23 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
             "ERASER".to_owned(),
             format!("{:.3}", base.speculation_accuracy),
             format!("{:.2e}", base.leakage_population),
+            format!("{:.3}", base.logical_failure_rate),
         ],
         vec![
             format!("ERASER+M (err {readout_error})"),
             format!("{:.3}", multi.speculation_accuracy),
             format!("{:.2e}", multi.leakage_population),
+            format!("{:.3}", multi.logical_failure_rate),
         ],
     ];
     print_table(
-        &format!("d={distance}, {cycles} cycles, {trials} trials"),
-        &["design", "speculation accuracy", "leakage population"],
+        &format!("d={distance}, {cycles} cycles, {trials} trials, {decoder} decoder"),
+        &[
+            "design",
+            "speculation accuracy",
+            "leakage population",
+            "logical failure",
+        ],
         &rows,
     );
     Ok(())
@@ -699,6 +715,26 @@ mod tests {
     #[test]
     fn qec_runs_tiny() {
         run_tokens(&["qec", "--distance", "3", "--cycles", "2", "--trials", "5"]).unwrap();
+    }
+
+    #[test]
+    fn qec_decoder_flag_selects_and_validates() {
+        for decoder in ["greedy", "union-find"] {
+            run_tokens(&[
+                "qec",
+                "--distance",
+                "3",
+                "--cycles",
+                "2",
+                "--trials",
+                "5",
+                "--decoder",
+                decoder,
+            ])
+            .unwrap();
+        }
+        let err = run_tokens(&["qec", "--trials", "2", "--decoder", "mwpm"]).unwrap_err();
+        assert!(err.to_string().contains("unknown decoder"), "{err}");
     }
 
     #[test]

@@ -1,26 +1,113 @@
-//! A greedy matching decoder for the rotated surface code, and the
-//! logical-error-rate experiment it enables.
+//! The [`Decoder`] abstraction, the greedy matching decoder, and the
+//! logical-error-rate experiment they enable.
 //!
 //! The paper's motivation chain ends at QEC reliability: leakage corrupts
 //! syndromes, syndromes feed a decoder, the decoder's failures are logical
-//! errors. This module closes that loop with a deliberately simple,
-//! fully-tested decoder: the globally cheapest defect pair (or
-//! defect-to-boundary hop) is matched first along the check-adjacency
-//! graph, and the matched paths are flipped. Greedy matching is not
-//! minimum-weight perfect matching: tied boundary-column configurations
-//! can draw a heavier-than-necessary correction, so the decoder tolerates
-//! ⌈d/2⌉ faults instead of MWPM's ⌊(d−1)/2⌋ + 1, and its effective
-//! distance grows every *other* code-distance step (d = 3 and d = 5 both
-//! fail at two faults; d = 7 is the first to survive them). Within that
-//! limit it corrects every single fault at any distance and shows the
-//! qualitative suppression (logical error rate falling with effective
-//! distance at low physical error rate) the experiments here need; an
-//! MWPM/union-find upgrade is the natural next step.
+//! errors. Two decoders implement the shared [`Decoder`] trait:
+//!
+//! * [`GreedyDecoder`] (this module) — the globally cheapest defect pair
+//!   (or defect-to-boundary hop) is matched first along the
+//!   check-adjacency graph and the matched paths are flipped. Greedy
+//!   matching is not minimum-weight perfect matching: tied
+//!   boundary-column configurations can draw a heavier-than-necessary
+//!   correction, so its effective distance grows every *other*
+//!   code-distance step (d = 3 and d = 5 both fail at two faults; d = 7 is
+//!   the first to survive them). It is kept as the simple baseline the
+//!   union-find upgrade is measured against.
+//! * [`UnionFindDecoder`](crate::UnionFindDecoder)
+//!   (`crate::union_find`) — weighted union-find with erasure support,
+//!   restoring the full `⌊(d−1)/2⌋` fault tolerance at every distance and
+//!   consuming the leakage heralds multi-level readout produces.
+//!
+//! [`DecoderKind`] selects between them wherever a decoder is
+//! configuration (the `mlr qec --decoder` flag, [`logical_error_rate`],
+//! [`EraserConfig`](crate::EraserConfig)).
+
+use std::fmt;
+use std::str::FromStr;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{StabilizerKind, SurfaceCode};
+use crate::sector::{cancel_pairs, xor_support, Sector};
+use crate::{StabilizerKind, SurfaceCode, UnionFindDecoder};
+
+/// A syndrome decoder for one Pauli sector of a surface code.
+///
+/// Implementations decode X errors through the Z checks or Z errors
+/// through the X checks (chosen when the decoder is built), propose
+/// data-qubit flips that annihilate a syndrome, and judge residuals
+/// against a representative logical operator.
+pub trait Decoder {
+    /// Number of checks in this decoder's sector.
+    fn n_checks(&self) -> usize;
+
+    /// The sector syndrome of an error set: which checks see odd overlap
+    /// with the flipped data qubits.
+    fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool>;
+
+    /// Decodes a sector syndrome into a proposed set of data-qubit flips
+    /// (sorted; each qubit at most once).
+    fn decode(&self, syndrome: &[bool]) -> Vec<usize>;
+
+    /// Decodes with erasure information: `erased_qubits` are data qubits
+    /// heralded as erased (e.g. reported leaked by multi-level readout).
+    ///
+    /// The default implementation ignores the heralds and falls back to
+    /// [`Decoder::decode`]; erasure-aware decoders override it.
+    fn decode_with_erasures(&self, syndrome: &[bool], erased_qubits: &[usize]) -> Vec<usize> {
+        let _ = erased_qubits;
+        self.decode(syndrome)
+    }
+
+    /// `true` if `residual` (error ⊕ correction) implements a logical
+    /// operator, i.e. overlaps the logical support an odd number of times.
+    fn is_logical_error(&self, residual: &[usize]) -> bool;
+}
+
+/// Which [`Decoder`] implementation to build — the decoder choice threaded
+/// through [`logical_error_rate`], the ERASER experiments, and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// Greedy cheapest-first matching ([`GreedyDecoder`]).
+    Greedy,
+    /// Weighted union-find with erasure support
+    /// ([`UnionFindDecoder`](crate::UnionFindDecoder)).
+    UnionFind,
+}
+
+impl DecoderKind {
+    /// Builds the selected decoder for `sector` on `code`.
+    pub fn build(self, code: &SurfaceCode, sector: StabilizerKind) -> Box<dyn Decoder> {
+        match self {
+            DecoderKind::Greedy => Box::new(GreedyDecoder::new(code, sector)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(code, sector)),
+        }
+    }
+}
+
+impl fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecoderKind::Greedy => write!(f, "greedy"),
+            DecoderKind::UnionFind => write!(f, "union-find"),
+        }
+    }
+}
+
+impl FromStr for DecoderKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "greedy" => Ok(DecoderKind::Greedy),
+            "union-find" | "union_find" | "uf" => Ok(DecoderKind::UnionFind),
+            other => Err(format!(
+                "unknown decoder '{other}' (expected greedy or union-find)"
+            )),
+        }
+    }
+}
 
 /// Greedy matching decoder for one Pauli sector of a [`SurfaceCode`].
 ///
@@ -41,11 +128,8 @@ use crate::{StabilizerKind, SurfaceCode};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GreedyDecoder {
-    /// Indices (into the code's stabilizer list) of the checks in this
-    /// decoder's sector.
-    checks: Vec<usize>,
-    /// `check_of[q]` = sector-checks touching data qubit `q`.
-    check_of: Vec<Vec<usize>>,
+    /// Sector geometry: checks, supports, incidence, logical support.
+    sector: Sector,
     /// Pairwise hop distances between sector checks (BFS over shared data
     /// qubits); `dist[a][b] = usize::MAX` if disconnected.
     dist: Vec<Vec<usize>>,
@@ -56,39 +140,16 @@ pub struct GreedyDecoder {
     /// only one sector check), and the qubit realising it.
     boundary_dist: Vec<usize>,
     boundary_qubit: Vec<usize>,
-    /// Data qubits of one representative logical operator for this sector:
-    /// odd residual-error overlap with it means a logical fault.
-    logical_support: Vec<usize>,
-    n_data: usize,
 }
 
 impl GreedyDecoder {
     /// Builds the decoder for the checks of `sector` on `code`.
     pub fn new(code: &SurfaceCode, sector: StabilizerKind) -> Self {
-        let n_data = code.n_data();
-        let checks: Vec<usize> = code
-            .stabilizers()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.kind == sector)
-            .map(|(i, _)| i)
-            .collect();
-        let index_of = |global: usize| checks.iter().position(|&c| c == global);
-
-        let support: Vec<Vec<usize>> = checks
-            .iter()
-            .map(|&c| code.stabilizers()[c].data.clone())
-            .collect();
-        let mut check_of = vec![Vec::new(); n_data];
-        for (c, sup) in support.iter().enumerate() {
-            for &q in sup {
-                check_of[q].push(c);
-            }
-        }
+        let sector = Sector::new(code, sector);
 
         // BFS from every sector check over "share a data qubit" edges,
         // remembering the first data qubit of each path.
-        let n = checks.len();
+        let n = sector.n_checks();
         let mut dist = vec![vec![usize::MAX; n]; n];
         let mut next_hop = vec![vec![None; n]; n];
         for start in 0..n {
@@ -97,8 +158,8 @@ impl GreedyDecoder {
             while let Some(&_) = frontier.first() {
                 let mut next = Vec::new();
                 for &c in &frontier {
-                    for &q in &support[c] {
-                        for &c2 in &check_of[q] {
+                    for &q in &sector.support[c] {
+                        for &c2 in &sector.check_of[q] {
                             if dist[start][c2] == usize::MAX {
                                 dist[start][c2] = dist[start][c] + 1;
                                 next_hop[start][c2] = if c == start {
@@ -114,17 +175,14 @@ impl GreedyDecoder {
                 frontier = next;
             }
         }
-        // Paths are symmetric; next_hop[a][b] currently stores the first
-        // hop walking from a, which is what decode() needs.
-        let _ = index_of;
 
         // Boundary: data qubits touched by exactly one sector check.
         let mut boundary_dist = vec![usize::MAX; n];
         let mut boundary_qubit = vec![usize::MAX; n];
         for c in 0..n {
             // Direct boundary membership.
-            for &q in &support[c] {
-                if check_of[q].len() == 1 {
+            for &q in &sector.support[c] {
+                if sector.check_of[q].len() == 1 {
                     boundary_dist[c] = 1;
                     boundary_qubit[c] = q;
                     break;
@@ -145,33 +203,18 @@ impl GreedyDecoder {
             }
         }
 
-        // Conjugate-logical support for this sector's parity test. A
-        // Z-sector residual is an X-type chain, so it is a logical fault
-        // iff it anticommutes with the representative logical Z (the top
-        // row); dually, X-sector residuals are tested against the logical
-        // X (the left column). The parity is gauge invariant because every
-        // opposite-sector stabilizer overlaps the support evenly.
-        let d = code.distance();
-        let logical_support: Vec<usize> = match sector {
-            StabilizerKind::Z => (0..d).collect(),                // row 0
-            StabilizerKind::X => (0..d).map(|r| r * d).collect(), // column 0
-        };
-
         Self {
-            checks,
-            check_of,
+            sector,
             dist,
             next_hop,
             boundary_dist,
             boundary_qubit,
-            logical_support,
-            n_data,
         }
     }
 
     /// Number of checks in this sector.
     pub fn n_checks(&self) -> usize {
-        self.checks.len()
+        self.sector.n_checks()
     }
 
     /// The sector syndrome of an error set: which checks see odd overlap
@@ -181,14 +224,7 @@ impl GreedyDecoder {
     ///
     /// Panics if a qubit index is out of range.
     pub fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool> {
-        let mut syn = vec![false; self.n_checks()];
-        for &q in flipped {
-            assert!(q < self.n_data, "qubit out of range");
-            for &c in &self.check_of[q] {
-                syn[c] ^= true;
-            }
-        }
-        syn
+        self.sector.syndrome_of(flipped)
     }
 
     /// Decodes a sector syndrome into a proposed set of data-qubit flips
@@ -246,31 +282,13 @@ impl GreedyDecoder {
         }
 
         // Cancel double flips.
-        flips.sort_unstable();
-        let mut out = Vec::with_capacity(flips.len());
-        let mut i = 0;
-        while i < flips.len() {
-            let mut j = i;
-            while j < flips.len() && flips[j] == flips[i] {
-                j += 1;
-            }
-            if (j - i) % 2 == 1 {
-                out.push(flips[i]);
-            }
-            i = j;
-        }
-        out
+        cancel_pairs(&mut flips)
     }
 
     /// `true` if `residual` (error ⊕ correction) implements a logical
     /// operator, i.e. overlaps the logical support an odd number of times.
     pub fn is_logical_error(&self, residual: &[usize]) -> bool {
-        residual
-            .iter()
-            .filter(|q| self.logical_support.contains(q))
-            .count()
-            % 2
-            == 1
+        self.sector.is_logical_error(residual)
     }
 
     fn nearest_boundary_check(&self, a: usize) -> usize {
@@ -289,7 +307,7 @@ impl GreedyDecoder {
             let q = self.next_hop[a][b].expect("connected checks");
             flips.push(q);
             // Advance: the neighbour of `a` through `q` that is closer to b.
-            let next = self.check_of[q]
+            let next = self.sector.check_of[q]
                 .iter()
                 .copied()
                 .filter(|&c| c != a)
@@ -303,7 +321,25 @@ impl GreedyDecoder {
     }
 }
 
-/// Monte-Carlo logical error rate of the greedy decoder under IID X errors
+impl Decoder for GreedyDecoder {
+    fn n_checks(&self) -> usize {
+        GreedyDecoder::n_checks(self)
+    }
+
+    fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool> {
+        GreedyDecoder::syndrome_of(self, flipped)
+    }
+
+    fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
+        GreedyDecoder::decode(self, syndrome)
+    }
+
+    fn is_logical_error(&self, residual: &[usize]) -> bool {
+        GreedyDecoder::is_logical_error(self, residual)
+    }
+}
+
+/// Monte-Carlo logical error rate of the chosen decoder under IID X errors
 /// of probability `p` (single noiseless syndrome round).
 ///
 /// # Panics
@@ -313,16 +349,22 @@ impl GreedyDecoder {
 /// # Examples
 ///
 /// ```
-/// use mlr_qec::{logical_error_rate, SurfaceCode};
+/// use mlr_qec::{logical_error_rate, DecoderKind, SurfaceCode};
 ///
 /// let code = SurfaceCode::rotated(3);
-/// let ler = logical_error_rate(&code, 0.01, 2_000, 7);
+/// let ler = logical_error_rate(&code, DecoderKind::UnionFind, 0.01, 2_000, 7);
 /// assert!(ler < 0.05);
 /// ```
-pub fn logical_error_rate(code: &SurfaceCode, p: f64, trials: usize, seed: u64) -> f64 {
+pub fn logical_error_rate(
+    code: &SurfaceCode,
+    decoder: DecoderKind,
+    p: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p out of range");
     assert!(trials > 0, "trials must be positive");
-    let decoder = GreedyDecoder::new(code, StabilizerKind::Z);
+    let decoder = decoder.build(code, StabilizerKind::Z);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut failures = 0usize;
     for _ in 0..trials {
@@ -331,25 +373,11 @@ pub fn logical_error_rate(code: &SurfaceCode, p: f64, trials: usize, seed: u64) 
             .collect();
         let syndrome = decoder.syndrome_of(&error);
         let correction = decoder.decode(&syndrome);
-        // Residual = error xor correction.
-        let mut residual: Vec<usize> = error.iter().chain(&correction).copied().collect();
-        residual.sort_unstable();
-        let mut xor = Vec::new();
-        let mut i = 0;
-        while i < residual.len() {
-            let mut j = i;
-            while j < residual.len() && residual[j] == residual[i] {
-                j += 1;
-            }
-            if (j - i) % 2 == 1 {
-                xor.push(residual[i]);
-            }
-            i = j;
-        }
+        let residual = xor_support(&error, &correction);
         // The correction must clear the syndrome…
-        debug_assert!(decoder.syndrome_of(&xor).iter().all(|&s| !s));
+        debug_assert!(decoder.syndrome_of(&residual).iter().all(|&s| !s));
         // …and a logical fault is an odd overlap with the logical operator.
-        if decoder.is_logical_error(&xor) {
+        if decoder.is_logical_error(&residual) {
             failures += 1;
         }
     }
@@ -368,28 +396,13 @@ mod tests {
             for q in 0..code.n_data() {
                 let syndrome = decoder.syndrome_of(&[q]);
                 let correction = decoder.decode(&syndrome);
-                // Correction must clear the syndrome.
-                let mut residual = correction.clone();
-                residual.push(q);
-                residual.sort_unstable();
-                let mut xor = Vec::new();
-                let mut i = 0;
-                while i < residual.len() {
-                    let mut j = i;
-                    while j < residual.len() && residual[j] == residual[i] {
-                        j += 1;
-                    }
-                    if (j - i) % 2 == 1 {
-                        xor.push(residual[i]);
-                    }
-                    i = j;
-                }
+                let residual = xor_support(&correction, &[q]);
                 assert!(
-                    decoder.syndrome_of(&xor).iter().all(|&s| !s),
+                    decoder.syndrome_of(&residual).iter().all(|&s| !s),
                     "d={d} qubit {q}: residual syndrome"
                 );
                 assert!(
-                    !decoder.is_logical_error(&xor),
+                    !decoder.is_logical_error(&residual),
                     "d={d} qubit {q}: logical fault from single error"
                 );
             }
@@ -410,21 +423,11 @@ mod tests {
         for q in 0..code.n_data() {
             let syndrome = decoder.syndrome_of(&[q]);
             let correction = decoder.decode(&syndrome);
-            let mut all: Vec<usize> = correction.into_iter().chain([q]).collect();
-            all.sort_unstable();
-            let mut xor = Vec::new();
-            let mut i = 0;
-            while i < all.len() {
-                let mut j = i;
-                while j < all.len() && all[j] == all[i] {
-                    j += 1;
-                }
-                if (j - i) % 2 == 1 {
-                    xor.push(all[i]);
-                }
-                i = j;
-            }
-            assert!(decoder.syndrome_of(&xor).iter().all(|&s| !s), "qubit {q}");
+            let residual = xor_support(&correction, &[q]);
+            assert!(
+                decoder.syndrome_of(&residual).iter().all(|&s| !s),
+                "qubit {q}"
+            );
         }
     }
 
@@ -435,9 +438,12 @@ mod tests {
         // only grows every other code-distance step: d=5 tolerates the
         // same two faults d=3 does, and the first clear suppression
         // appears at d=7. Compare across a full effective-distance step.
+        // (The union-find decoder's per-distance suppression is pinned in
+        // `tests/fault_coverage.rs`.)
         let p = 0.008;
-        let ler3 = logical_error_rate(&SurfaceCode::rotated(3), p, 20_000, 11);
-        let ler7 = logical_error_rate(&SurfaceCode::rotated(7), p, 20_000, 11);
+        let kind = DecoderKind::Greedy;
+        let ler3 = logical_error_rate(&SurfaceCode::rotated(3), kind, p, 20_000, 11);
+        let ler7 = logical_error_rate(&SurfaceCode::rotated(7), kind, p, 20_000, 11);
         assert!(
             ler7 < ler3,
             "distance should suppress errors: d3 {ler3} vs d7 {ler7}"
@@ -446,10 +452,12 @@ mod tests {
 
     #[test]
     fn greedy_effective_distance_steps_every_other_d() {
-        // Pin the known greedy limitation so a future MWPM/union-find
-        // decoder visibly lifts it: d=3 and d=5 both fail at two faults in
-        // the left boundary column, d=7 survives every two-fault pattern
-        // there.
+        // Pin the known greedy limitation the union-find decoder lifts:
+        // d=3 and d=5 both fail at two faults in the left boundary column,
+        // d=7 survives every two-fault pattern there. The companion test
+        // `union_find_corrects_the_boundary_column_faults_greedy_misses`
+        // (tests/fault_coverage.rs) asserts union-find handles the same
+        // d=5 patterns.
         let two_fault_failure = |d: usize| -> bool {
             let code = SurfaceCode::rotated(d);
             let dec = GreedyDecoder::new(&code, StabilizerKind::Z);
@@ -458,14 +466,7 @@ mod tests {
                     let flipped = [a * d, b * d]; // column 0 pairs
                     let syn = dec.syndrome_of(&flipped);
                     let fix = dec.decode(&syn);
-                    let mut residual: Vec<usize> = flipped.to_vec();
-                    for q in fix {
-                        if let Some(pos) = residual.iter().position(|&x| x == q) {
-                            residual.remove(pos);
-                        } else {
-                            residual.push(q);
-                        }
-                    }
+                    let residual = xor_support(&flipped, &fix);
                     if dec.is_logical_error(&residual) {
                         return true;
                     }
@@ -481,14 +482,44 @@ mod tests {
     #[test]
     fn logical_error_rate_grows_with_p() {
         let code = SurfaceCode::rotated(3);
-        let low = logical_error_rate(&code, 0.005, 3_000, 5);
-        let high = logical_error_rate(&code, 0.08, 3_000, 5);
-        assert!(high > low, "low {low} vs high {high}");
+        for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+            let low = logical_error_rate(&code, kind, 0.005, 3_000, 5);
+            let high = logical_error_rate(&code, kind, 0.08, 3_000, 5);
+            assert!(high > low, "{kind}: low {low} vs high {high}");
+        }
     }
 
     #[test]
     fn zero_noise_means_zero_logical_errors() {
         let code = SurfaceCode::rotated(3);
-        assert_eq!(logical_error_rate(&code, 0.0, 500, 1), 0.0);
+        for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+            assert_eq!(logical_error_rate(&code, kind, 0.0, 500, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn decoder_kind_parses_and_displays() {
+        assert_eq!("greedy".parse::<DecoderKind>(), Ok(DecoderKind::Greedy));
+        for alias in ["union-find", "union_find", "uf"] {
+            assert_eq!(alias.parse::<DecoderKind>(), Ok(DecoderKind::UnionFind));
+        }
+        assert!("mwpm".parse::<DecoderKind>().is_err());
+        assert_eq!(DecoderKind::Greedy.to_string(), "greedy");
+        assert_eq!(DecoderKind::UnionFind.to_string(), "union-find");
+    }
+
+    #[test]
+    fn trait_objects_decode_through_both_kinds() {
+        let code = SurfaceCode::rotated(3);
+        for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+            let dec: Box<dyn Decoder> = kind.build(&code, StabilizerKind::Z);
+            let syndrome = dec.syndrome_of(&[4]);
+            assert_eq!(dec.decode(&syndrome), vec![4], "{kind}");
+            // The default-or-overridden erasure entry point is callable on
+            // every kind; greedy ignores the herald, union-find uses it.
+            let fixed = dec.decode_with_erasures(&syndrome, &[4]);
+            let residual = xor_support(&fixed, &[4]);
+            assert!(dec.syndrome_of(&residual).iter().all(|&s| !s), "{kind}");
+        }
     }
 }

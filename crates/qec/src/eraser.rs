@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{LeakageParams, LeakageSimulator, SurfaceCode};
+use crate::{
+    xor_support, DecoderKind, LeakageParams, LeakageSimulator, StabilizerKind, SurfaceCode,
+};
 
 /// Which speculation signals are available.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +35,10 @@ pub struct EraserConfig {
     pub params: LeakageParams,
     /// Master seed.
     pub seed: u64,
+    /// The decoder fed the accumulated error frame at the end of each
+    /// trial (with leakage heralds as erasures — only the union-find
+    /// decoder consumes them).
+    pub decoder: DecoderKind,
 }
 
 impl Default for EraserConfig {
@@ -43,6 +49,7 @@ impl Default for EraserConfig {
             trials: 300,
             params: LeakageParams::default(),
             seed: 71,
+            decoder: DecoderKind::UnionFind,
         }
     }
 }
@@ -73,6 +80,11 @@ pub struct EraserResult {
     pub false_flag_rate: f64,
     /// Total leakage episodes observed across trials.
     pub episodes: usize,
+    /// Fraction of trials whose end-of-run X-error frame, decoded by the
+    /// configured [`DecoderKind`] (with still-leaked data qubits heralded
+    /// as erasures), left a logical error — the end-to-end QEC payoff of
+    /// better speculation.
+    pub logical_failure_rate: f64,
 }
 
 /// Runs repeated-trial leakage speculation on a rotated surface code.
@@ -108,6 +120,10 @@ impl EraserExperiment {
         let code = SurfaceCode::rotated(self.config.distance);
         let n_data = code.n_data();
         let n_anc = code.n_stabilizers();
+        // X errors are decoded through the Z checks; leakage heralds
+        // become erasures (the greedy decoder's default implementation
+        // ignores them).
+        let decoder = self.config.decoder.build(&code, StabilizerKind::Z);
 
         let mut episodes = 0usize;
         let mut detected = 0usize;
@@ -119,6 +135,7 @@ impl EraserExperiment {
         let mut qubit_cycles = 0usize;
         let mut leaked_decisions = 0usize;
         let mut lp_sum = 0.0;
+        let mut logical_failures = 0usize;
 
         for trial in 0..self.config.trials {
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64 * 7919));
@@ -251,6 +268,20 @@ impl EraserExperiment {
                 anc_events_2 = std::mem::replace(&mut anc_events_1, events);
             }
             lp_sum += sim.leakage_population();
+
+            // Final noiseless round: decode the accumulated X-error frame
+            // through the Z checks, heralding still-leaked data qubits as
+            // erasures. Residual parity against the logical operator is a
+            // logical failure — the metric the decoder quality (and the
+            // speculation quality feeding it) ultimately moves.
+            let error = sim.x_error_qubits();
+            let erased = sim.leaked_data_qubits();
+            let syndrome = decoder.syndrome_of(&error);
+            let correction = decoder.decode_with_erasures(&syndrome, &erased);
+            let residual = xor_support(&error, &correction);
+            if decoder.is_logical_error(&residual) {
+                logical_failures += 1;
+            }
         }
 
         let recall = |det: usize, total: usize| -> f64 {
@@ -276,6 +307,7 @@ impl EraserExperiment {
             leakage_population: lp_sum / self.config.trials as f64,
             false_flag_rate: false_flags as f64 / qubit_cycles.max(1) as f64,
             episodes,
+            logical_failure_rate: logical_failures as f64 / self.config.trials as f64,
         }
     }
 }
@@ -355,6 +387,46 @@ mod tests {
             mitigated.leakage_population,
             lp
         );
+    }
+
+    #[test]
+    fn logical_failure_rate_is_a_rate_for_both_decoders() {
+        let mut config = quick_config();
+        // More physical noise so the end-of-run decode has work to do.
+        config.params.phys_error_per_cycle = 0.02;
+        for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+            config.decoder = kind;
+            let exp = EraserExperiment::new(config.clone());
+            let res = exp.run(SpeculationMode::EraserM {
+                readout_error: 0.05,
+            });
+            assert!(
+                (0.0..=1.0).contains(&res.logical_failure_rate),
+                "{kind}: {}",
+                res.logical_failure_rate
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_run_never_fails_logically() {
+        let config = EraserConfig {
+            distance: 3,
+            cycles: 4,
+            trials: 40,
+            params: LeakageParams {
+                leak_per_gate: 0.0,
+                transport_per_gate: 0.0,
+                malfunction_flip_prob: 0.0,
+                phys_error_per_cycle: 0.0,
+                meas_error: 0.0,
+                ..LeakageParams::default()
+            },
+            ..EraserConfig::default()
+        };
+        let exp = EraserExperiment::new(config);
+        let res = exp.run(SpeculationMode::Eraser);
+        assert_eq!(res.logical_failure_rate, 0.0);
     }
 
     #[test]

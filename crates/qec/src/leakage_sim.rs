@@ -129,6 +129,22 @@ impl LeakageSimulator {
         self.ancilla_leaked[a]
     }
 
+    /// The data qubits currently carrying an X-frame error — the error
+    /// set a Z-sector [`Decoder`](crate::Decoder) is asked to undo at the
+    /// end of a run.
+    pub fn x_error_qubits(&self) -> Vec<usize> {
+        (0..self.data_x.len()).filter(|&q| self.data_x[q]).collect()
+    }
+
+    /// The data qubits currently leaked — the erasure heralds a perfect
+    /// multi-level readout would hand
+    /// [`Decoder::decode_with_erasures`](crate::Decoder::decode_with_erasures).
+    pub fn leaked_data_qubits(&self) -> Vec<usize> {
+        (0..self.data_leaked.len())
+            .filter(|&q| self.data_leaked[q])
+            .collect()
+    }
+
     /// Fraction of data qubits currently leaked — the paper's "leakage
     /// population".
     pub fn leakage_population(&self) -> f64 {

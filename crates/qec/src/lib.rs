@@ -34,11 +34,15 @@ mod decoder;
 mod eraser;
 mod lattice;
 mod leakage_sim;
+mod sector;
 mod timing;
+mod union_find;
 
 pub use cnot_exp::{CnotChannel, CnotExperimentResult, RepeatedCnotExperiment};
-pub use decoder::{logical_error_rate, GreedyDecoder};
+pub use decoder::{logical_error_rate, Decoder, DecoderKind, GreedyDecoder};
 pub use eraser::{EraserConfig, EraserExperiment, EraserResult, SpeculationMode};
 pub use lattice::{Stabilizer, StabilizerKind, SurfaceCode};
 pub use leakage_sim::{LeakageParams, LeakageSimulator};
+pub use sector::xor_support;
 pub use timing::QecCycleTiming;
+pub use union_find::UnionFindDecoder;

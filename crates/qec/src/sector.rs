@@ -1,0 +1,193 @@
+//! One Pauli sector of a surface code as a decoding problem: the checks,
+//! their data-qubit supports, and the representative logical operator.
+//!
+//! Both decoders ([`GreedyDecoder`](crate::GreedyDecoder) and
+//! [`UnionFindDecoder`](crate::UnionFindDecoder)) decode one sector at a
+//! time — X errors through the Z checks or Z errors through the X checks —
+//! so the sector geometry (check supports, qubit-to-check incidence,
+//! syndrome computation, logical-parity test) lives here once instead of
+//! being rebuilt per decoder.
+
+use crate::{StabilizerKind, SurfaceCode};
+
+/// The checks of one stabilizer sector and the incidence maps decoders
+/// need.
+#[derive(Debug, Clone)]
+pub(crate) struct Sector {
+    /// Indices (into the code's stabilizer list) of the checks in this
+    /// sector.
+    pub checks: Vec<usize>,
+    /// `support[c]` = data qubits of sector check `c`.
+    pub support: Vec<Vec<usize>>,
+    /// `check_of[q]` = sector checks touching data qubit `q` (1 on the
+    /// sector's open boundary, 2 in the bulk — the matching-graph
+    /// incidence).
+    pub check_of: Vec<Vec<usize>>,
+    /// Data qubits of one representative logical operator conjugate to
+    /// this sector: odd residual-error overlap with it means a logical
+    /// fault.
+    pub logical_support: Vec<usize>,
+    /// Number of data qubits in the code.
+    pub n_data: usize,
+}
+
+impl Sector {
+    /// Extracts the checks of `kind` from `code`.
+    pub fn new(code: &SurfaceCode, kind: StabilizerKind) -> Self {
+        let n_data = code.n_data();
+        let checks: Vec<usize> = code
+            .stabilizers()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| i)
+            .collect();
+        let support: Vec<Vec<usize>> = checks
+            .iter()
+            .map(|&c| code.stabilizers()[c].data.clone())
+            .collect();
+        let mut check_of = vec![Vec::new(); n_data];
+        for (c, sup) in support.iter().enumerate() {
+            for &q in sup {
+                check_of[q].push(c);
+            }
+        }
+
+        // Conjugate-logical support for this sector's parity test. A
+        // Z-sector residual is an X-type chain, so it is a logical fault
+        // iff it anticommutes with the representative logical Z (the top
+        // row); dually, X-sector residuals are tested against the logical
+        // X (the left column). The parity is gauge invariant because every
+        // opposite-sector stabilizer overlaps the support evenly.
+        let d = code.distance();
+        let logical_support: Vec<usize> = match kind {
+            StabilizerKind::Z => (0..d).collect(),                // row 0
+            StabilizerKind::X => (0..d).map(|r| r * d).collect(), // column 0
+        };
+
+        Self {
+            checks,
+            support,
+            check_of,
+            logical_support,
+            n_data,
+        }
+    }
+
+    /// Number of checks in this sector.
+    pub fn n_checks(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// The sector syndrome of an error set: which checks see odd overlap
+    /// with the flipped data qubits.
+    pub fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool> {
+        let mut syn = vec![false; self.n_checks()];
+        for &q in flipped {
+            assert!(q < self.n_data, "qubit out of range");
+            for &c in &self.check_of[q] {
+                syn[c] ^= true;
+            }
+        }
+        syn
+    }
+
+    /// `true` if `residual` overlaps the logical support an odd number of
+    /// times.
+    pub fn is_logical_error(&self, residual: &[usize]) -> bool {
+        residual
+            .iter()
+            .filter(|q| self.logical_support.contains(q))
+            .count()
+            % 2
+            == 1
+    }
+}
+
+/// Symmetric difference of two qubit-index sets (each set may repeat a
+/// qubit; an even multiplicity cancels), returned sorted.
+///
+/// This is error ⊕ correction: the residual a decoder leaves behind.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_qec::xor_support;
+///
+/// assert_eq!(xor_support(&[0, 3], &[3, 6]), vec![0, 6]);
+/// ```
+pub fn xor_support(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut all: Vec<usize> = a.iter().chain(b).copied().collect();
+    cancel_pairs(&mut all)
+}
+
+/// Sorts `elements` and drops every even-multiplicity entry, returning the
+/// qubits that appear an odd number of times.
+pub(crate) fn cancel_pairs(elements: &mut [usize]) -> Vec<usize> {
+    elements.sort_unstable();
+    let mut out = Vec::with_capacity(elements.len());
+    let mut i = 0;
+    while i < elements.len() {
+        let mut j = i;
+        while j < elements.len() && elements[j] == elements[i] {
+            j += 1;
+        }
+        if (j - i) % 2 == 1 {
+            out.push(elements[i]);
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_qubit_touches_one_or_two_sector_checks() {
+        // The matching-graph premise: per sector, each data qubit is an
+        // edge between two checks (bulk) or a check and the boundary.
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::rotated(d);
+            for kind in [StabilizerKind::Z, StabilizerKind::X] {
+                let sector = Sector::new(&code, kind);
+                for q in 0..code.n_data() {
+                    let n = sector.check_of[q].len();
+                    assert!((1..=2).contains(&n), "d={d} {kind:?} qubit {q}: {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_support_cancels_pairs() {
+        assert_eq!(xor_support(&[], &[]), Vec::<usize>::new());
+        assert_eq!(xor_support(&[1, 2], &[2, 1]), Vec::<usize>::new());
+        // Multiplicity is counted across both sets: 5 appears twice.
+        assert_eq!(xor_support(&[5, 1, 5], &[2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn logical_support_commutes_with_every_stabilizer() {
+        // Gauge invariance of the parity test: the representative logical
+        // must overlap every *opposite*-sector stabilizer evenly (a
+        // Z-sector residual is only defined up to X stabilizers, so the
+        // logical-Z support must commute with all of them, and dually).
+        let code = SurfaceCode::rotated(5);
+        for (kind, conjugate) in [
+            (StabilizerKind::Z, StabilizerKind::X),
+            (StabilizerKind::X, StabilizerKind::Z),
+        ] {
+            let sector = Sector::new(&code, kind);
+            let opposite = Sector::new(&code, conjugate);
+            assert!(
+                opposite
+                    .syndrome_of(&sector.logical_support)
+                    .iter()
+                    .all(|&s| !s),
+                "{kind:?} logical overlaps an opposite-sector check oddly"
+            );
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Weighted union-find decoder with first-class erasure support.
+//!
+//! The decoder follows Delfosse–Nickerson (almost-linear-time decoding of
+//! topological codes): defects seed clusters on the matching graph, odd
+//! clusters grow outward in half-edge steps (smallest cluster first), and
+//! once every cluster is even or touches the open boundary, a peeling pass
+//! over the grown spanning forest extracts the correction. Unlike greedy
+//! matching, this restores the full `⌊(d−1)/2⌋` fault tolerance of the
+//! code at every distance.
+//!
+//! Erasures are what make this decoder the natural endpoint for the
+//! paper's leakage heralds: an erased qubit (e.g. one the multi-level
+//! readout reported leaked) is a zero-weight edge, so its endpoints are
+//! merged before growth starts and the peeling stage can place corrections
+//! there for free — see [`UnionFindDecoder::decode_with_erasures`].
+
+use std::collections::VecDeque;
+
+use crate::sector::Sector;
+use crate::{Decoder, StabilizerKind, SurfaceCode};
+
+/// One matching-graph edge: a data qubit linking two sector checks, or a
+/// check and a virtual boundary vertex.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    u: usize,
+    v: usize,
+    /// Growth budget in half-edge units (uniform 2 unless weighted).
+    weight: u32,
+}
+
+/// Weighted union-find decoder for one Pauli sector of a [`SurfaceCode`].
+///
+/// Decodes X errors through the Z checks (`StabilizerKind::Z`) or Z errors
+/// through the X checks, chosen at construction. Every data qubit is one
+/// matching-graph edge: between its two sector checks in the bulk, or
+/// between its single check and a private virtual boundary vertex on the
+/// sector's open boundary.
+///
+/// # Examples
+///
+/// ```
+/// use mlr_qec::{StabilizerKind, SurfaceCode, UnionFindDecoder};
+///
+/// let code = SurfaceCode::rotated(3);
+/// let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+/// // A single X error on qubit 4 (the centre) triggers its Z checks…
+/// let syndrome = decoder.syndrome_of(&[4]);
+/// // …and the decoder proposes exactly that qubit.
+/// assert_eq!(decoder.decode(&syndrome), vec![4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFindDecoder {
+    sector: Sector,
+    /// Checks first (`0..n_checks`), then one virtual vertex per boundary
+    /// data qubit.
+    n_vertices: usize,
+    /// `edges[q]` is data qubit `q`'s matching-graph edge.
+    edges: Vec<Edge>,
+    /// Edge ids incident to each vertex.
+    incident: Vec<Vec<usize>>,
+}
+
+impl UnionFindDecoder {
+    /// Builds the decoder for the checks of `sector` on `code` with
+    /// uniform edge weights (every data qubit costs two half-edge growth
+    /// steps).
+    pub fn new(code: &SurfaceCode, sector: StabilizerKind) -> Self {
+        Self::with_qubit_weights(code, sector, &vec![2; code.n_data()])
+    }
+
+    /// Builds the decoder with a per-qubit growth budget in half-edge
+    /// units: a qubit with a higher physical error rate can be given a
+    /// smaller weight so clusters grow across it sooner (the weighted
+    /// union-find variant). Erasures are *not* baked in here — they are
+    /// per-shot inputs to [`UnionFindDecoder::decode_with_erasures`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != code.n_data()` or any weight is zero.
+    pub fn with_qubit_weights(code: &SurfaceCode, sector: StabilizerKind, weights: &[u32]) -> Self {
+        assert_eq!(weights.len(), code.n_data(), "one weight per data qubit");
+        assert!(
+            weights.iter().all(|&w| w >= 1),
+            "zero weights are per-shot erasures, not decoder structure"
+        );
+        let sector = Sector::new(code, sector);
+        let n_checks = sector.n_checks();
+        let mut edges = Vec::with_capacity(sector.n_data);
+        let mut n_virtual = 0usize;
+        for (q, &weight) in weights.iter().enumerate() {
+            let touching = &sector.check_of[q];
+            let (u, v) = match touching.len() {
+                2 => (touching[0], touching[1]),
+                1 => {
+                    let virt = n_checks + n_virtual;
+                    n_virtual += 1;
+                    (touching[0], virt)
+                }
+                n => unreachable!("qubit {q} touches {n} sector checks"),
+            };
+            edges.push(Edge { u, v, weight });
+        }
+        let n_vertices = n_checks + n_virtual;
+        let mut incident = vec![Vec::new(); n_vertices];
+        for (e, edge) in edges.iter().enumerate() {
+            incident[edge.u].push(e);
+            incident[edge.v].push(e);
+        }
+        Self {
+            sector,
+            n_vertices,
+            edges,
+            incident,
+        }
+    }
+
+    /// Number of checks in this sector.
+    pub fn n_checks(&self) -> usize {
+        self.sector.n_checks()
+    }
+
+    /// The sector syndrome of an error set: which checks see odd overlap
+    /// with the flipped data qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool> {
+        self.sector.syndrome_of(flipped)
+    }
+
+    /// `true` if `residual` (error ⊕ correction) implements a logical
+    /// operator, i.e. overlaps the logical support an odd number of times.
+    pub fn is_logical_error(&self, residual: &[usize]) -> bool {
+        self.sector.is_logical_error(residual)
+    }
+
+    /// Decodes a sector syndrome into a proposed set of data-qubit flips
+    /// (sorted; each qubit at most once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length differs from
+    /// [`UnionFindDecoder::n_checks`].
+    pub fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
+        self.decode_with_erasures(syndrome, &[])
+    }
+
+    /// Decodes with erasure information: `erased_qubits` (e.g. data qubits
+    /// the multi-level readout heralded as leaked) become zero-weight
+    /// edges, so their endpoints start out merged and the correction can
+    /// traverse them at no growth cost. An error confined to the erased
+    /// set is always corrected exactly (up to stabilizers) as long as the
+    /// erased set does not itself support a logical operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length differs from
+    /// [`UnionFindDecoder::n_checks`] or an erased qubit index is out of
+    /// range.
+    pub fn decode_with_erasures(&self, syndrome: &[bool], erased_qubits: &[usize]) -> Vec<usize> {
+        assert_eq!(syndrome.len(), self.n_checks(), "syndrome length");
+        assert!(
+            erased_qubits.iter().all(|&q| q < self.edges.len()),
+            "erased qubit out of range"
+        );
+        if syndrome.iter().all(|&s| !s) {
+            // Erasures without defects need no correction.
+            return Vec::new();
+        }
+        let mut state = DecodeState::new(self, syndrome, erased_qubits);
+        state.grow();
+        state.peel()
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn n_checks(&self) -> usize {
+        UnionFindDecoder::n_checks(self)
+    }
+
+    fn syndrome_of(&self, flipped: &[usize]) -> Vec<bool> {
+        UnionFindDecoder::syndrome_of(self, flipped)
+    }
+
+    fn decode(&self, syndrome: &[bool]) -> Vec<usize> {
+        UnionFindDecoder::decode(self, syndrome)
+    }
+
+    fn decode_with_erasures(&self, syndrome: &[bool], erased_qubits: &[usize]) -> Vec<usize> {
+        UnionFindDecoder::decode_with_erasures(self, syndrome, erased_qubits)
+    }
+
+    fn is_logical_error(&self, residual: &[usize]) -> bool {
+        UnionFindDecoder::is_logical_error(self, residual)
+    }
+}
+
+/// Per-decode cluster state: a union-find forest over matching-graph
+/// vertices plus edge growth counters.
+struct DecodeState<'a> {
+    dec: &'a UnionFindDecoder,
+    /// Effective edge weights for this shot (erasures zeroed).
+    weight: Vec<u32>,
+    /// Half-edge growth accumulated per edge.
+    growth: Vec<u32>,
+    /// Fully-grown edges (growth reached weight): the peeling substrate.
+    grown: Vec<bool>,
+    /// Union-find forest.
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// At each root: defect-count parity of the cluster.
+    parity: Vec<bool>,
+    /// At each root: does the cluster contain a virtual boundary vertex?
+    boundary: Vec<bool>,
+    /// At each root: candidate frontier edges (compacted lazily).
+    frontier: Vec<Vec<usize>>,
+    /// Whether `frontier[v]` was seeded from `incident[v]` yet — frontiers
+    /// are populated on demand so sparse syndromes never pay for cloning
+    /// the whole graph's incidence lists.
+    frontier_seeded: Vec<bool>,
+    /// Live defect flags (consumed by peeling).
+    defect: Vec<bool>,
+}
+
+impl<'a> DecodeState<'a> {
+    fn new(dec: &'a UnionFindDecoder, syndrome: &[bool], erased_qubits: &[usize]) -> Self {
+        let nv = dec.n_vertices;
+        let n_checks = dec.n_checks();
+        let mut defect = vec![false; nv];
+        for (c, &s) in syndrome.iter().enumerate() {
+            defect[c] = s;
+        }
+        // Indices were validated by `decode_with_erasures` before the
+        // empty-syndrome early return.
+        let mut weight: Vec<u32> = dec.edges.iter().map(|e| e.weight).collect();
+        for &q in erased_qubits {
+            weight[q] = 0;
+        }
+        let mut state = Self {
+            dec,
+            growth: vec![0; dec.edges.len()],
+            grown: vec![false; dec.edges.len()],
+            parent: (0..nv).collect(),
+            size: vec![1; nv],
+            parity: defect.clone(),
+            boundary: (0..nv).map(|v| v >= n_checks).collect(),
+            frontier: vec![Vec::new(); nv],
+            frontier_seeded: vec![false; nv],
+            defect,
+            weight,
+        };
+        // Erased edges are born fully grown: merge their endpoints before
+        // any growth, forming the zero-weight clusters leakage heralds
+        // initialise.
+        for e in 0..state.dec.edges.len() {
+            if state.weight[e] == 0 && !state.grown[e] {
+                state.grown[e] = true;
+                state.union_edge(e);
+            }
+        }
+        state
+    }
+
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            self.parent[v] = self.parent[self.parent[v]];
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Seeds root `v`'s frontier from its incidence list on first use
+    /// (correct only while `v` is still a singleton cluster — multi-vertex
+    /// clusters were seeded when they formed).
+    fn seed_frontier(&mut self, v: usize) {
+        if !self.frontier_seeded[v] {
+            self.frontier_seeded[v] = true;
+            self.frontier[v].extend_from_slice(&self.dec.incident[v]);
+        }
+    }
+
+    /// Merges the clusters at the endpoints of (fully-grown) edge `e`.
+    fn union_edge(&mut self, e: usize) {
+        let (u, v) = (self.dec.edges[e].u, self.dec.edges[e].v);
+        let (mut a, mut b) = (self.find(u), self.find(v));
+        if a == b {
+            return;
+        }
+        self.seed_frontier(a);
+        self.seed_frontier(b);
+        if self.size[a] < self.size[b] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.parent[b] = a;
+        self.size[a] += self.size[b];
+        let parity_b = self.parity[b];
+        self.parity[a] ^= parity_b;
+        self.boundary[a] |= self.boundary[b];
+        let mut frontier_b = std::mem::take(&mut self.frontier[b]);
+        self.frontier[a].append(&mut frontier_b);
+    }
+
+    /// Drops grown and cluster-internal edges from root `r`'s frontier.
+    fn compact_frontier(&mut self, r: usize) {
+        let list = std::mem::take(&mut self.frontier[r]);
+        let mut kept = Vec::with_capacity(list.len());
+        for e in list {
+            if self.grown[e] {
+                continue;
+            }
+            let (u, v) = (self.dec.edges[e].u, self.dec.edges[e].v);
+            if self.find(u) != self.find(v) {
+                kept.push(e);
+            }
+        }
+        self.frontier[r] = kept;
+    }
+
+    /// Grows odd boundary-free clusters half-edge by half-edge, smallest
+    /// frontier first (the Delfosse–Nickerson growth schedule), merging
+    /// clusters whenever an edge fills up, until every cluster is even or
+    /// touches the boundary.
+    fn grow(&mut self) {
+        let nv = self.dec.n_vertices;
+        // Every active (odd) cluster contains at least one defect, so only
+        // defect vertices need scanning; a round stamp dedups roots
+        // without clearing a whole-graph bitmap each round.
+        let defect_vertices: Vec<usize> = (0..self.dec.n_checks())
+            .filter(|&c| self.defect[c])
+            .collect();
+        let mut seen = vec![0u32; nv];
+        let mut round = 0u32;
+        let mut active = Vec::new();
+        loop {
+            round += 1;
+            active.clear();
+            for &v in &defect_vertices {
+                let r = self.find(v);
+                if seen[r] != round {
+                    seen[r] = round;
+                    if self.parity[r] && !self.boundary[r] {
+                        active.push(r);
+                    }
+                }
+            }
+            if active.is_empty() {
+                return;
+            }
+            for &r in &active {
+                self.seed_frontier(r);
+                self.compact_frontier(r);
+            }
+            let r = *active
+                .iter()
+                .min_by_key(|&&r| (self.frontier[r].len(), r))
+                .expect("nonempty active set");
+            // Every connected component of the matching graph contains
+            // boundary vertices, so an odd cluster always has somewhere
+            // left to grow.
+            assert!(
+                !self.frontier[r].is_empty(),
+                "odd cluster with empty frontier"
+            );
+            let mut filled = Vec::new();
+            for i in 0..self.frontier[r].len() {
+                let e = self.frontier[r][i];
+                self.growth[e] += 1;
+                if self.growth[e] >= self.weight[e] && !self.grown[e] {
+                    self.grown[e] = true;
+                    filled.push(e);
+                }
+            }
+            for e in filled {
+                self.union_edge(e);
+            }
+        }
+    }
+
+    /// Extracts the correction by peeling the spanning forest of the grown
+    /// region: leaves are processed first, and a leaf carrying a defect
+    /// flips its tree edge and hands the defect to its parent. Boundary
+    /// vertices are used as forest roots so leftover parity drains into
+    /// the open boundary.
+    fn peel(&mut self) -> Vec<usize> {
+        let nv = self.dec.n_vertices;
+        let n_checks = self.dec.n_checks();
+        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nv];
+        for (e, edge) in self.dec.edges.iter().enumerate() {
+            if self.grown[e] {
+                adjacency[edge.u].push((e, edge.v));
+                adjacency[edge.v].push((e, edge.u));
+            }
+        }
+        let mut visited = vec![false; nv];
+        let mut parent_edge = vec![usize::MAX; nv];
+        let mut parent_vertex = vec![usize::MAX; nv];
+        let mut order = Vec::with_capacity(nv);
+        let mut queue = VecDeque::new();
+        // Boundary vertices first so each tree that can reach the open
+        // boundary is rooted there.
+        for start in (n_checks..nv).chain(0..n_checks) {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                for &(e, w) in &adjacency[v] {
+                    if !visited[w] {
+                        visited[w] = true;
+                        parent_edge[w] = e;
+                        parent_vertex[w] = v;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let mut correction = Vec::new();
+        for &v in order.iter().rev() {
+            if self.defect[v] && parent_edge[v] != usize::MAX {
+                correction.push(parent_edge[v]);
+                self.defect[v] = false;
+                self.defect[parent_vertex[v]] ^= true;
+            }
+        }
+        // All real-check defects must have been annihilated (leftover
+        // parity lives only on virtual boundary roots).
+        debug_assert!(
+            self.defect[..n_checks].iter().all(|&d| !d),
+            "peeling left a defect on a check"
+        );
+        correction.sort_unstable();
+        correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sector::xor_support;
+
+    fn corrects(decoder: &UnionFindDecoder, error: &[usize], erased: &[usize]) -> bool {
+        let syndrome = decoder.syndrome_of(error);
+        let correction = decoder.decode_with_erasures(&syndrome, erased);
+        let residual = xor_support(error, &correction);
+        assert!(
+            decoder.syndrome_of(&residual).iter().all(|&s| !s),
+            "correction must annihilate the syndrome"
+        );
+        !decoder.is_logical_error(&residual)
+    }
+
+    #[test]
+    fn single_errors_are_always_corrected_both_sectors() {
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::rotated(d);
+            for kind in [StabilizerKind::Z, StabilizerKind::X] {
+                let decoder = UnionFindDecoder::new(&code, kind);
+                for q in 0..code.n_data() {
+                    assert!(
+                        corrects(&decoder, &[q], &[]),
+                        "d={d} {kind:?} qubit {q}: logical fault from single error"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_syndrome_decodes_to_nothing() {
+        let code = SurfaceCode::rotated(5);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        assert!(decoder.decode(&vec![false; decoder.n_checks()]).is_empty());
+        // Erasures alone (no defects) also need no correction.
+        assert!(decoder
+            .decode_with_erasures(&vec![false; decoder.n_checks()], &[0, 7, 12])
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "erased qubit out of range")]
+    fn out_of_range_erasure_panics_even_with_empty_syndrome() {
+        let code = SurfaceCode::rotated(3);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        let _ = decoder.decode_with_erasures(&vec![false; decoder.n_checks()], &[9999]);
+    }
+
+    #[test]
+    fn erased_single_error_is_corrected_exactly() {
+        // An error on a heralded-leaked qubit: the zero-weight edge means
+        // the correction is found inside the erased cluster with no
+        // growth, so the proposal is the erased qubit itself.
+        let code = SurfaceCode::rotated(5);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        for q in 0..code.n_data() {
+            let syndrome = decoder.syndrome_of(&[q]);
+            let correction = decoder.decode_with_erasures(&syndrome, &[q]);
+            assert_eq!(correction, vec![q], "erased qubit {q}");
+        }
+    }
+
+    #[test]
+    fn erased_chain_is_corrected() {
+        // A whole erased row segment carrying errors on a few of its
+        // qubits: the correction must clear the syndrome without a logical
+        // fault (erased set of weight < d cannot hide a logical).
+        let code = SurfaceCode::rotated(5);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        let erased = [6, 7, 8, 11]; // L-shaped bulk patch, weight 4 < d
+        for errors in [&erased[..1], &erased[..2], &erased[..3], &erased[..]] {
+            assert!(
+                corrects(&decoder, errors, &erased),
+                "erased-only error {errors:?} must be corrected"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_default_construction() {
+        let code = SurfaceCode::rotated(3);
+        let uniform =
+            UnionFindDecoder::with_qubit_weights(&code, StabilizerKind::Z, &vec![2; code.n_data()]);
+        let default = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        for q in 0..code.n_data() {
+            let syndrome = default.syndrome_of(&[q]);
+            assert_eq!(uniform.decode(&syndrome), default.decode(&syndrome));
+        }
+    }
+
+    #[test]
+    fn weighted_growth_avoids_expensive_qubits() {
+        // Make the centre qubit look nearly error-free: the defect pair it
+        // creates is then cheaper to route to the boundary than across the
+        // heavy edge, so the correction avoids qubit 4 (still clearing the
+        // syndrome).
+        let code = SurfaceCode::rotated(3);
+        let mut weights = vec![2u32; code.n_data()];
+        weights[4] = 100;
+        let heavy = UnionFindDecoder::with_qubit_weights(&code, StabilizerKind::Z, &weights);
+        let syndrome = heavy.syndrome_of(&[4]);
+        let correction = heavy.decode(&syndrome);
+        assert!(!correction.contains(&4), "correction {correction:?}");
+        let residual = xor_support(&[4], &correction);
+        assert!(heavy.syndrome_of(&residual).iter().all(|&s| !s));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per data qubit")]
+    fn rejects_wrong_weight_count() {
+        let code = SurfaceCode::rotated(3);
+        let _ = UnionFindDecoder::with_qubit_weights(&code, StabilizerKind::Z, &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-shot erasures")]
+    fn rejects_zero_structural_weight() {
+        let code = SurfaceCode::rotated(3);
+        let _ = UnionFindDecoder::with_qubit_weights(&code, StabilizerKind::Z, &[0; 9]);
+    }
+}

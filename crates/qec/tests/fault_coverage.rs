@@ -1,0 +1,148 @@
+//! Fault-coverage guarantees of the union-find decoder.
+//!
+//! The headline property: a distance-`d` code must correct **every** error
+//! of weight up to `t = ⌊(d−1)/2⌋`. For d = 3 and d = 5 the whole fault
+//! set is enumerated (both stabilizer sectors); d = 7 and d = 9 are
+//! sampled randomly. A companion test retires the pinned greedy
+//! limitation (`greedy_effective_distance_steps_every_other_d` in
+//! `src/decoder.rs`): the two-boundary-column faults greedy mismatches at
+//! d = 5 are all handled by union-find, and the Monte-Carlo suppression
+//! curve is strictly monotone d = 3 → 5 → 7 — the every-distance scaling
+//! greedy could not show.
+
+use proptest::prelude::*;
+
+use mlr_qec::{
+    logical_error_rate, xor_support, DecoderKind, StabilizerKind, SurfaceCode, UnionFindDecoder,
+};
+
+/// Decodes `error` and returns `true` when the correction both annihilates
+/// the syndrome and leaves no logical operator behind.
+fn corrected(decoder: &UnionFindDecoder, error: &[usize]) -> bool {
+    let syndrome = decoder.syndrome_of(error);
+    let correction = decoder.decode(&syndrome);
+    let residual = xor_support(error, &correction);
+    assert!(
+        decoder.syndrome_of(&residual).iter().all(|&s| !s),
+        "correction must annihilate the syndrome of {error:?}"
+    );
+    !decoder.is_logical_error(&residual)
+}
+
+/// Calls `visit` on every subset of `0..n` with `1..=max_weight` elements.
+fn for_each_pattern(n: usize, max_weight: usize, visit: &mut impl FnMut(&[usize])) {
+    fn recurse(
+        n: usize,
+        max_weight: usize,
+        start: usize,
+        pattern: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if !pattern.is_empty() {
+            visit(pattern);
+        }
+        if pattern.len() == max_weight {
+            return;
+        }
+        for q in start..n {
+            pattern.push(q);
+            recurse(n, max_weight, q + 1, pattern, visit);
+            pattern.pop();
+        }
+    }
+    recurse(n, max_weight, 0, &mut Vec::new(), visit);
+}
+
+#[test]
+fn union_find_corrects_every_fault_pattern_up_to_half_distance() {
+    // The archetype headline: exhaustive weight ≤ ⌊(d−1)/2⌋ coverage at
+    // d = 3 (9 single faults) and d = 5 (25 + 300 patterns), both sectors.
+    for d in [3usize, 5] {
+        let code = SurfaceCode::rotated(d);
+        let t = (d - 1) / 2;
+        for kind in [StabilizerKind::Z, StabilizerKind::X] {
+            let decoder = UnionFindDecoder::new(&code, kind);
+            let mut checked = 0usize;
+            for_each_pattern(code.n_data(), t, &mut |pattern| {
+                checked += 1;
+                assert!(
+                    corrected(&decoder, pattern),
+                    "d={d} {kind:?}: weight-{} fault {pattern:?} decoded to a logical error",
+                    pattern.len()
+                );
+            });
+            // C(n,1) + … + C(n,t): the enumeration really was exhaustive.
+            let expected: usize = (1..=t)
+                .map(|w| (0..w).fold(1usize, |acc, i| acc * (code.n_data() - i) / (i + 1)))
+                .sum();
+            assert_eq!(checked, expected, "d={d} {kind:?} pattern count");
+        }
+    }
+}
+
+#[test]
+fn union_find_corrects_the_boundary_column_faults_greedy_misses() {
+    // `greedy_effective_distance_steps_every_other_d` pins that greedy
+    // mismatches two-fault column-0 patterns at d = 5 (and d = 7 is its
+    // first surviving distance). Union-find restores the full effective
+    // distance: every two-boundary-column fault is within t = 2 at d = 5.
+    for d in [5usize, 7] {
+        let code = SurfaceCode::rotated(d);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let flipped = [a * d, b * d]; // column 0 pairs
+                assert!(
+                    corrected(&decoder, &flipped),
+                    "d={d}: column faults {flipped:?} decoded to a logical error"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn union_find_suppression_is_monotone_at_every_distance_step() {
+    // Monte-Carlo distance scaling at p = 0.5 % IID X noise: the logical
+    // error rate falls strictly at *each* distance step d = 3 → 5 → 7 —
+    // the curve greedy could not show (its effective distance is flat
+    // d = 3 → 5). Seeded and deterministic (the in-tree RNG stream is
+    // platform-independent).
+    let p = 0.005;
+    let trials = 120_000;
+    let kind = DecoderKind::UnionFind;
+    let ler3 = logical_error_rate(&SurfaceCode::rotated(3), kind, p, trials, 17);
+    let ler5 = logical_error_rate(&SurfaceCode::rotated(5), kind, p, trials, 17);
+    let ler7 = logical_error_rate(&SurfaceCode::rotated(7), kind, p, trials, 17);
+    assert!(
+        ler3 > ler5 && ler5 > ler7,
+        "suppression must be strictly monotone: d3 {ler3} > d5 {ler5} > d7 {ler7}"
+    );
+}
+
+proptest! {
+    /// Random weight ≤ t faults at d = 7 and d = 9 (too many to
+    /// enumerate): every sampled pattern must decode without a logical
+    /// error in both sectors.
+    #[test]
+    fn random_bounded_weight_faults_are_corrected_d7_d9(
+        raw7 in prop::collection::vec(0usize..49, 1..4),
+        raw9 in prop::collection::vec(0usize..81, 1..5),
+        sector_bit in any::<bool>(),
+    ) {
+        let kind = if sector_bit { StabilizerKind::Z } else { StabilizerKind::X };
+        for (d, raw) in [(7usize, &raw7), (9usize, &raw9)] {
+            let code = SurfaceCode::rotated(d);
+            let decoder = UnionFindDecoder::new(&code, kind);
+            // Deduplicate: repeated indices would cancel to a lighter
+            // pattern, which is fine but double-counts nothing.
+            let mut pattern = raw.clone();
+            pattern.sort_unstable();
+            pattern.dedup();
+            prop_assert!(
+                corrected(&decoder, &pattern),
+                "d={} {:?}: fault {:?} decoded to a logical error", d, kind, pattern
+            );
+        }
+    }
+}

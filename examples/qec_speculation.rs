@@ -5,7 +5,10 @@
 //! cargo run --release --example qec_speculation
 //! ```
 
-use mlr_qec::{EraserConfig, EraserExperiment, QecCycleTiming, SpeculationMode};
+use mlr_qec::{
+    logical_error_rate, DecoderKind, EraserConfig, EraserExperiment, QecCycleTiming,
+    SpeculationMode, SurfaceCode,
+};
 
 fn main() {
     let exp = EraserExperiment::new(EraserConfig {
@@ -31,6 +34,21 @@ fn main() {
             res.leakage_population,
             res.false_flag_rate
         );
+    }
+
+    // The decoder behind the logical-failure column: union-find restores
+    // the full effective distance greedy matching loses (greedy's only
+    // steps every other d, so d=5 buys it nothing over d=3).
+    println!("\nLogical error rate at p=0.5% IID X noise (20k trials):");
+    for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+        let lers: Vec<String> = [3usize, 5, 7]
+            .iter()
+            .map(|&d| {
+                let ler = logical_error_rate(&SurfaceCode::rotated(d), kind, 0.005, 20_000, 9);
+                format!("d={d} {ler:.2e}")
+            })
+            .collect();
+        println!("  {kind:<11} {}", lers.join("  "));
     }
 
     // The other half of the story: faster readout shortens every cycle.

@@ -17,7 +17,10 @@ use mlr_dsp::{Demodulator, MatchedFilter, MatchedFilterKind, StreamingDemodulato
 use mlr_linalg::Matrix;
 use mlr_nn::{geometric_mean, FixedPointFormat, IntMlp, Mlp, QuantizedMlp, TrainConfig};
 use mlr_num::{Complex, Welford};
-use mlr_qec::QecCycleTiming;
+use mlr_qec::{
+    xor_support, Decoder as QecDecoder, DecoderKind, QecCycleTiming, StabilizerKind, SurfaceCode,
+    UnionFindDecoder,
+};
 use mlr_sim::{basis_state_count, BasisState, ChipConfig, DatasetIoError, TraceDataset};
 
 /// Every discriminator family, fitted once on one small two-qubit chip so
@@ -266,6 +269,67 @@ proptest! {
         let r = base.relative_reduction(&fast);
         prop_assert!((r - saving / base.cycle_ns()).abs() < 1e-12);
         prop_assert!((0.0..1.0).contains(&r));
+    }
+
+    #[test]
+    fn decoder_corrections_always_annihilate_the_syndrome(
+        raw in prop::collection::vec(0usize..25, 0..25),
+        sector_bit in any::<bool>(),
+    ) {
+        // Validity, independent of logical success: whatever error pattern
+        // a decoder is shown, the proposed correction must produce the
+        // same syndrome — the residual is then an undetectable chain, a
+        // stabilizer or at worst a logical, never a leftover defect.
+        let code = SurfaceCode::rotated(5);
+        let sector = if sector_bit { StabilizerKind::Z } else { StabilizerKind::X };
+        let mut error = raw.clone();
+        error.sort_unstable();
+        error.dedup();
+        for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+            let decoder = kind.build(&code, sector);
+            let syndrome = decoder.syndrome_of(&error);
+            let correction = decoder.decode(&syndrome);
+            let residual = xor_support(&error, &correction);
+            prop_assert!(
+                decoder.syndrome_of(&residual).iter().all(|&s| !s),
+                "{} left a residual syndrome for {:?}", kind, error
+            );
+        }
+    }
+
+    #[test]
+    fn erased_only_errors_are_always_corrected(
+        raw in prop::collection::vec(0usize..25, 1..5),
+        mask in any::<u64>(),
+        sector_bit in any::<bool>(),
+    ) {
+        // Leakage heralds as erasures: when every actual error sits on an
+        // erased qubit and the erased set is lighter than the distance (so
+        // it cannot hide a logical operator), `decode_with_erasures` must
+        // recover exactly — no residual syndrome, no logical fault.
+        let code = SurfaceCode::rotated(5);
+        let sector = if sector_bit { StabilizerKind::Z } else { StabilizerKind::X };
+        let decoder = UnionFindDecoder::new(&code, sector);
+        let mut erased = raw.clone();
+        erased.sort_unstable();
+        erased.dedup();
+        let error: Vec<usize> = erased
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &q)| q)
+            .collect();
+        let syndrome = QecDecoder::syndrome_of(&decoder, &error);
+        let correction = decoder.decode_with_erasures(&syndrome, &erased);
+        let residual = xor_support(&error, &correction);
+        prop_assert!(
+            QecDecoder::syndrome_of(&decoder, &residual).iter().all(|&s| !s),
+            "residual syndrome for error {:?} erased {:?}", error, erased
+        );
+        prop_assert!(
+            !decoder.is_logical_error(&residual),
+            "logical fault for erased-only error {:?} erased {:?}", error, erased
+        );
     }
 
     #[test]
