@@ -1,0 +1,108 @@
+//! Criterion microbench for the herald-decode hot path: end-of-run
+//! heralding (ground-truth vs confusion-channel) chained into
+//! `decode_with_erasures`, exactly the per-trial tail of every ERASER
+//! experiment and sweep point.
+//!
+//! Each measured iteration heralds + decodes a fixed batch of 64
+//! pre-generated (leak state, syndrome) pairs, so the reported time is per
+//! 64 trials; divide by 64 for the per-trial herald+decode latency. The
+//! rng is re-seeded per iteration so every pass draws identical herald
+//! noise (stable work across iterations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mlr_qec::{
+    ConfusionMatrixHerald, GroundTruthHerald, HeraldModel, StabilizerKind, SurfaceCode,
+    UnionFindDecoder,
+};
+
+const BATCH: usize = 64;
+const P_ERROR: f64 = 0.01;
+const P_LEAK: f64 = 0.03;
+
+/// Pre-generates end-of-run states for a distance-`d` code: per trial, the
+/// true leak mask plus the syndrome of an IID X frame where leaked qubits
+/// carry an error half the time.
+fn trial_inputs(d: usize, seed: u64) -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+    let code = SurfaceCode::rotated(d);
+    let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut leak_masks = Vec::with_capacity(BATCH);
+    let mut syndromes = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        let mut flipped = vec![false; code.n_data()];
+        for f in flipped.iter_mut() {
+            *f = rng.gen::<f64>() < P_ERROR;
+        }
+        let leaked: Vec<bool> = (0..code.n_data())
+            .map(|_| rng.gen::<f64>() < P_LEAK)
+            .collect();
+        for (q, &l) in leaked.iter().enumerate() {
+            if l && rng.gen::<bool>() {
+                flipped[q] ^= true;
+            }
+        }
+        let error: Vec<usize> = (0..code.n_data()).filter(|&q| flipped[q]).collect();
+        syndromes.push(decoder.syndrome_of(&error));
+        leak_masks.push(leaked);
+    }
+    (leak_masks, syndromes)
+}
+
+/// One herald+decode pass over the whole batch.
+fn herald_decode(
+    herald: &dyn HeraldModel,
+    decoder: &UnionFindDecoder,
+    leak_masks: &[Vec<bool>],
+    syndromes: &[Vec<bool>],
+    rng: &mut StdRng,
+) {
+    for (leaked, syndrome) in leak_masks.iter().zip(syndromes) {
+        let flags = herald.herald(black_box(leaked), rng);
+        let erased: Vec<usize> = (0..flags.len()).filter(|&q| flags[q]).collect();
+        black_box(decoder.decode_with_erasures(black_box(syndrome), &erased));
+    }
+}
+
+fn bench_herald_decode(c: &mut Criterion) {
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::rotated(d);
+        let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+        let (leak_masks, syndromes) = trial_inputs(d, 4321 + d as u64);
+
+        c.bench_function(&format!("herald_decode_ground_truth_d{d}_x{BATCH}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                herald_decode(
+                    &GroundTruthHerald,
+                    &decoder,
+                    &leak_masks,
+                    &syndromes,
+                    &mut rng,
+                );
+            })
+        });
+        for err in [0.05, 0.20] {
+            let herald = ConfusionMatrixHerald::symmetric(err);
+            c.bench_function(
+                &format!(
+                    "herald_decode_confusion{:02}_d{d}_x{BATCH}",
+                    (err * 100.0) as u32
+                ),
+                |b| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        herald_decode(&herald, &decoder, &leak_masks, &syndromes, &mut rng);
+                    })
+                },
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_herald_decode);
+criterion_main!(benches);

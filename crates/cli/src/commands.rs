@@ -8,7 +8,10 @@ use mlr_core::{
 };
 use mlr_fpga::{max_feasible_qubits, scaling_study, DiscriminatorHw, FpgaDevice, PowerModel};
 use mlr_nn::TrainConfig;
-use mlr_qec::{DecoderKind, EraserConfig, EraserExperiment, SpeculationMode};
+use mlr_qec::{
+    herald_sweep, ConfusionMatrixHerald, DecoderKind, EraserConfig, EraserExperiment,
+    HeraldSweepConfig, SpeculationMode,
+};
 use mlr_sim::{config_hash, ChipConfig, DatasetIoError, DatasetSpec, LabelSource, TraceDataset};
 
 use crate::{ArgError, Args};
@@ -45,6 +48,15 @@ COMMANDS:
                  --distance D  --cycles N  --trials N  --readout-error P
                  --decoder greedy|union-find (end-of-run logical failures;
                  union-find consumes leakage heralds as erasures)
+                 --herald-error P (assignment error of the end-of-run
+                 erasure herald; 0 = ground truth, the PR 3 behaviour)
+    qec sweep  Herald-quality sweep: logical failure rate vs herald
+               assignment error, per decoder and distance (Table VI axis)
+                 --distances D,D,..      (default 3,5)
+                 --decoders K,K,..       (default greedy,union-find)
+                 --herald-errors P,P,..  (default 0,0.02,0.05,0.1,0.2)
+                 --cycles N  --trials N  --seed N  --readout-error P
+                 --phys-error P (physical error rate per data qubit/cycle)
     streaming  Adaptive readout: early-termination accuracy/duration tradeoff
                  --qubits N  --shots N  --seed N  --samples N  --confidence P
     throughput Per-shot vs batched inference rate of the trained design
@@ -110,10 +122,13 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
         None => return Err(CliError::Usage(USAGE.to_owned())),
         Some((c, rest)) => (c.clone(), rest.to_vec()),
     };
-    // `dataset` has positional sub-subcommands (`generate`, `info`);
-    // split them off before flag parsing, which rejects positionals.
+    // `dataset` and `qec` have positional sub-subcommands (`generate`,
+    // `info`, `sweep`); split them off before flag parsing, which rejects
+    // positionals.
     let (subcommand, rest) = match rest.split_first() {
-        Some((s, tail)) if command == "dataset" && !s.starts_with("--") => {
+        Some((s, tail))
+            if matches!(command.as_str(), "dataset" | "qec") && !s.starts_with("--") =>
+        {
             (Some(s.clone()), tail.to_vec())
         }
         _ => (None, rest),
@@ -136,7 +151,13 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
         "eval" => cmd_eval(&args),
         "resources" => cmd_resources(&args),
         "scaling" => cmd_scaling(&args),
-        "qec" => cmd_qec(&args),
+        "qec" => match subcommand.as_deref() {
+            None => cmd_qec(&args),
+            Some("sweep") => cmd_qec_sweep(&args),
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown qec subcommand '{other}' (expected sweep)\n\n{USAGE}"
+            ))),
+        },
         "streaming" => cmd_streaming(&args),
         "throughput" => cmd_throughput(&args),
         "help" | "--help" => {
@@ -468,11 +489,49 @@ fn cmd_scaling(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Rejects QEC parameters the lattice/experiment layer would panic on:
+/// rotated surface codes need an odd distance ≥ 3, and rate columns need
+/// at least one trial.
+fn check_qec_grid(distances: &[usize], trials: usize) -> Result<(), CliError> {
+    if let Some(d) = distances.iter().find(|&&d| d < 3 || d % 2 == 0) {
+        return Err(CliError::Usage(format!(
+            "distance {d} is not a rotated surface code (need odd d >= 3)"
+        )));
+    }
+    if trials == 0 {
+        return Err(CliError::Usage("at least one trial is required".to_owned()));
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated list flag (`--distances 3,5`); `default` is
+/// used when the flag is absent.
+fn list_from<T>(args: &Args, flag: &str, default: &[T]) -> Result<Vec<T>, CliError>
+where
+    T: std::str::FromStr + Clone,
+{
+    match args.get_str(flag) {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse().map_err(|_| {
+                    CliError::Arg(ArgError::BadValue {
+                        flag: flag.to_owned(),
+                        value: tok.to_owned(),
+                    })
+                })
+            })
+            .collect(),
+    }
+}
+
 fn cmd_qec(args: &Args) -> Result<(), CliError> {
     let distance: usize = args.get_or("--distance", 7)?;
     let cycles: usize = args.get_or("--cycles", 10)?;
     let trials: usize = args.get_or("--trials", 200)?;
     let readout_error: f64 = args.get_or("--readout-error", 0.05)?;
+    let herald_error: f64 = args.get_or("--herald-error", 0.0)?;
     let seed: u64 = args.get_or("--seed", 71)?;
     let decoder: DecoderKind = match args.get_str("--decoder") {
         None => DecoderKind::UnionFind,
@@ -481,6 +540,12 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
             .map_err(|e: String| CliError::Usage(format!("--decoder: {e}")))?,
     };
     args.reject_unknown()?;
+    if !(0.0..=1.0).contains(&herald_error) {
+        return Err(CliError::Usage(
+            "--herald-error must be in [0, 1]".to_owned(),
+        ));
+    }
+    check_qec_grid(&[distance], trials)?;
 
     let config = EraserConfig {
         distance,
@@ -491,8 +556,11 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
         ..EraserConfig::default()
     };
     let experiment = EraserExperiment::new(config);
-    let base = experiment.run(SpeculationMode::Eraser);
-    let multi = experiment.run(SpeculationMode::EraserM { readout_error });
+    // herald_error == 0 is bit-for-bit the ground-truth herald (the
+    // zero-probability arm draws nothing from the rng).
+    let herald = ConfusionMatrixHerald::symmetric(herald_error);
+    let base = experiment.run_with_herald(SpeculationMode::Eraser, &herald);
+    let multi = experiment.run_with_herald(SpeculationMode::EraserM { readout_error }, &herald);
     let rows = vec![
         vec![
             "ERASER".to_owned(),
@@ -508,7 +576,10 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
         ],
     ];
     print_table(
-        &format!("d={distance}, {cycles} cycles, {trials} trials, {decoder} decoder"),
+        &format!(
+            "d={distance}, {cycles} cycles, {trials} trials, {decoder} decoder, \
+             herald err {herald_error}"
+        ),
         &[
             "design",
             "speculation accuracy",
@@ -516,6 +587,86 @@ fn cmd_qec(args: &Args) -> Result<(), CliError> {
             "logical failure",
         ],
         &rows,
+    );
+    Ok(())
+}
+
+fn cmd_qec_sweep(args: &Args) -> Result<(), CliError> {
+    let distances: Vec<usize> = list_from(args, "--distances", &[3, 5])?;
+    let decoder_names: Vec<String> = list_from(
+        args,
+        "--decoders",
+        &["greedy".to_owned(), "union-find".to_owned()],
+    )?;
+    let herald_errors: Vec<f64> = list_from(args, "--herald-errors", &[0.0, 0.02, 0.05, 0.1, 0.2])?;
+    let defaults = HeraldSweepConfig::default();
+    let cycles: usize = args.get_or("--cycles", defaults.cycles)?;
+    let trials: usize = args.get_or("--trials", defaults.trials)?;
+    let seed: u64 = args.get_or("--seed", defaults.seed)?;
+    let readout_error: f64 = args.get_or("--readout-error", defaults.readout_error)?;
+    let mut params = defaults.params;
+    params.phys_error_per_cycle = args.get_or("--phys-error", params.phys_error_per_cycle)?;
+    args.reject_unknown()?;
+
+    let decoders: Vec<DecoderKind> = decoder_names
+        .iter()
+        .map(|raw| {
+            raw.parse()
+                .map_err(|e: String| CliError::Usage(format!("--decoders: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if herald_errors.iter().any(|e| !(0.0..=1.0).contains(e)) {
+        return Err(CliError::Usage(
+            "--herald-errors must all be in [0, 1]".to_owned(),
+        ));
+    }
+    check_qec_grid(&distances, trials)?;
+
+    let config = HeraldSweepConfig {
+        distances,
+        decoders,
+        herald_errors,
+        cycles,
+        trials,
+        params,
+        readout_error,
+        seed,
+    };
+    let points = herald_sweep(&config);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.distance.to_string(),
+                p.decoder.to_string(),
+                format!("{:.3}", p.herald_error),
+                format!("{:.3}", p.result.herald_false_positive_rate),
+                format!("{:.3}", p.result.herald_false_negative_rate),
+                format!("{:.2e}", p.result.leakage_population),
+                format!("{:.4}", p.result.logical_failure_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "herald-quality sweep: {cycles} cycles, {trials} trials/point, \
+             ancilla readout err {readout_error}, seed {seed}"
+        ),
+        &[
+            "d",
+            "decoder",
+            "herald err",
+            "herald FP",
+            "herald FN",
+            "leakage pop",
+            "logical failure",
+        ],
+        &rows,
+    );
+    println!(
+        "\nherald err 0 = ground-truth erasures; greedy ignores erasures, so its \
+         column isolates the speculation-quality effect while union-find adds the \
+         erasure-decoding payoff."
     );
     Ok(())
 }
@@ -735,6 +886,69 @@ mod tests {
         }
         let err = run_tokens(&["qec", "--trials", "2", "--decoder", "mwpm"]).unwrap_err();
         assert!(err.to_string().contains("unknown decoder"), "{err}");
+    }
+
+    #[test]
+    fn qec_herald_error_flag_validates() {
+        run_tokens(&[
+            "qec",
+            "--distance",
+            "3",
+            "--cycles",
+            "2",
+            "--trials",
+            "5",
+            "--herald-error",
+            "0.1",
+        ])
+        .unwrap();
+        let err = run_tokens(&["qec", "--trials", "2", "--herald-error", "1.5"]).unwrap_err();
+        assert!(err.to_string().contains("--herald-error"), "{err}");
+    }
+
+    #[test]
+    fn qec_sweep_runs_tiny() {
+        run_tokens(&[
+            "qec",
+            "sweep",
+            "--distances",
+            "3",
+            "--decoders",
+            "union-find",
+            "--herald-errors",
+            "0,0.5",
+            "--cycles",
+            "2",
+            "--trials",
+            "5",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn qec_sweep_rejects_bad_lists() {
+        let err = run_tokens(&["qec", "sweep", "--distances", "3,x", "--trials", "2"]).unwrap_err();
+        assert!(err.to_string().contains("--distances"), "{err}");
+        let err = run_tokens(&["qec", "sweep", "--decoders", "mwpm", "--trials", "2"]).unwrap_err();
+        assert!(err.to_string().contains("unknown decoder"), "{err}");
+        let err =
+            run_tokens(&["qec", "sweep", "--herald-errors", "0,2", "--trials", "2"]).unwrap_err();
+        assert!(err.to_string().contains("herald-errors"), "{err}");
+        // Parameters the lattice layer would panic on become usage errors.
+        let err = run_tokens(&["qec", "sweep", "--distances", "4", "--trials", "2"]).unwrap_err();
+        assert!(err.to_string().contains("odd d >= 3"), "{err}");
+        let err = run_tokens(&["qec", "sweep", "--trials", "0"]).unwrap_err();
+        assert!(err.to_string().contains("one trial"), "{err}");
+        let err = run_tokens(&["qec", "--distance", "4", "--trials", "2"]).unwrap_err();
+        assert!(err.to_string().contains("odd d >= 3"), "{err}");
+    }
+
+    #[test]
+    fn qec_unknown_subcommand_is_usage() {
+        let err = run_tokens(&["qec", "frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("qec subcommand"), "{err}");
     }
 
     #[test]

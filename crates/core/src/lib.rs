@@ -46,6 +46,7 @@ mod leakage;
 mod mf_bank;
 mod model_io;
 mod pipeline;
+mod qec_bridge;
 mod streaming;
 
 pub use batch::{batch_threads, par_map, par_map_indexed};
@@ -56,6 +57,7 @@ pub use leakage::{LeakageHarvest, NaturalLeakageDetector};
 pub use mf_bank::{FilterRole, QubitMfBank};
 pub use model_io::{ModelIoError, SavedModel};
 pub use pipeline::{OursConfig, OursDiscriminator};
+pub use qec_bridge::DiscriminatorHerald;
 pub use streaming::{
     evaluate_streaming, ShotStream, StreamingConfig, StreamingDecision, StreamingReadout,
     StreamingReport,

@@ -1,0 +1,286 @@
+//! The readout→QEC bridge: a [`HeraldModel`] backed by the actual
+//! multi-level discriminator path.
+//!
+//! `mlr-qec` defines the herald abstraction (ground truth, calibrated
+//! confusion channel) without depending on the readout stack; this module
+//! supplies the third model the Table VI-style study needs — erasure flags
+//! whose error statistics come from a *real* [`Discriminator`] classifying
+//! simulated readout traces, not from an assumed assignment-error knob.
+//!
+//! [`DiscriminatorHerald::calibrate`] generates a three-level calibration
+//! dataset with `mlr_sim`, pushes every trace through
+//! [`Discriminator::predict_batch`] (the same batch path the fidelity
+//! tables use), and pools the resulting leak/not-leak verdicts per readout
+//! channel and true class. Heralding a surface-code data qubit then
+//! replays a uniformly drawn verdict from the pool matching that qubit's
+//! channel and true leak state — so the herald's false-positive and
+//! false-negative rates *are* the discriminator's measured leak confusion,
+//! per channel, including its asymmetry.
+
+use mlr_num::Complex;
+use mlr_qec::HeraldModel;
+use mlr_sim::{ChipConfig, TraceDataset};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{gather_shots, Discriminator};
+
+/// A [`HeraldModel`] that replays leak/not-leak verdicts the actual
+/// multi-level discriminator produced on simulated calibration traces.
+///
+/// Surface-code data qubit `q` is read through calibration channel
+/// `q % n_channels` (a code has far more data qubits than the chip has
+/// readout channels, so channels are reused round-robin, as frequency
+/// multiplexing would).
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlr_core::{DiscriminatorHerald, OursConfig, OursDiscriminator};
+/// use mlr_qec::{EraserConfig, EraserExperiment, SpeculationMode};
+/// use mlr_sim::{ChipConfig, TraceDataset};
+///
+/// let chip = ChipConfig::five_qubit_paper();
+/// let dataset = TraceDataset::generate_natural(&chip, 200, 7);
+/// let split = dataset.paper_split(7);
+/// let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
+///
+/// // Calibrate the herald on fresh traces, then drive the QEC loop with it.
+/// let herald = DiscriminatorHerald::calibrate(&ours, &chip, 20, 99);
+/// let result = EraserExperiment::new(EraserConfig::default())
+///     .run_with_herald(SpeculationMode::EraserM { readout_error: 0.05 }, &herald);
+/// println!("{}: logical failure {:.3}", herald.design(), result.logical_failure_rate);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscriminatorHerald {
+    design: String,
+    /// `verdicts[channel][class]` — the leak verdicts (`true` = reported
+    /// leaked) the discriminator returned for calibration shots whose true
+    /// state on `channel` was `class` (`0` = computational, `1` = leaked).
+    verdicts: Vec<[Vec<bool>; 2]>,
+}
+
+impl DiscriminatorHerald {
+    /// Calibrates a herald from `disc` by classifying a fresh three-level
+    /// dataset on `chip` (`shots_per_state` shots across all level
+    /// combinations, generated from `seed`) through the discriminator's
+    /// batch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discriminator and chip disagree on the qubit count,
+    /// or if calibration leaves a channel without examples of either
+    /// class (raise `shots_per_state`).
+    pub fn calibrate(
+        disc: &(impl Discriminator + ?Sized),
+        chip: &ChipConfig,
+        shots_per_state: usize,
+        seed: u64,
+    ) -> Self {
+        let dataset = TraceDataset::generate(chip, 3, shots_per_state, seed);
+        Self::calibrate_on(disc, &dataset)
+    }
+
+    /// [`DiscriminatorHerald::calibrate`] on an existing calibration
+    /// dataset — callers comparing several discriminators share one
+    /// simulated trace set instead of regenerating it per design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discriminator and dataset disagree on the qubit
+    /// count, or if a channel ends up without examples of either class.
+    pub fn calibrate_on(disc: &(impl Discriminator + ?Sized), dataset: &TraceDataset) -> Self {
+        assert_eq!(
+            disc.n_qubits(),
+            dataset.config().n_qubits(),
+            "discriminator/dataset qubit count mismatch"
+        );
+        let all: Vec<usize> = (0..dataset.len()).collect();
+        let shots: Vec<&[Complex]> = gather_shots(dataset, &all);
+        let predictions = disc.predict_batch(&shots);
+        Self::from_verdict_stream(disc.name(), dataset, &predictions)
+    }
+
+    /// Pools per-channel verdicts from parallel truth/prediction streams.
+    fn from_verdict_stream(
+        design: &str,
+        dataset: &TraceDataset,
+        predictions: &[Vec<usize>],
+    ) -> Self {
+        let n_channels = dataset.config().n_qubits();
+        let mut verdicts: Vec<[Vec<bool>; 2]> = vec![[Vec::new(), Vec::new()]; n_channels];
+        for (i, prediction) in predictions.iter().enumerate() {
+            for (q, pool) in verdicts.iter_mut().enumerate() {
+                let truth_leaked = dataset.label(i, q) == 2;
+                let reported_leaked = prediction[q] == 2;
+                pool[usize::from(truth_leaked)].push(reported_leaked);
+            }
+        }
+        for (q, pool) in verdicts.iter().enumerate() {
+            assert!(
+                !pool[0].is_empty() && !pool[1].is_empty(),
+                "channel {q}: calibration produced no examples of both classes"
+            );
+        }
+        Self {
+            design: design.to_owned(),
+            verdicts,
+        }
+    }
+
+    /// The calibrated discriminator's design name.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Number of readout channels the calibration covered.
+    pub fn n_channels(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// The measured leak confusion of channel `q`: `(false_positive_rate,
+    /// false_negative_rate)` over the calibration set — the empirical
+    /// equivalent of a
+    /// [`ConfusionMatrixHerald`](mlr_qec::ConfusionMatrixHerald)'s two
+    /// arms, useful for placing a real discriminator on a swept
+    /// assignment-error axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn channel_confusion(&self, q: usize) -> (f64, f64) {
+        let rate = |pool: &[bool], wrong: bool| {
+            pool.iter().filter(|&&v| v == wrong).count() as f64 / pool.len() as f64
+        };
+        (
+            rate(&self.verdicts[q][0], true),  // healthy reported leaked
+            rate(&self.verdicts[q][1], false), // leaked reported healthy
+        )
+    }
+
+    /// Mean `(false_positive_rate, false_negative_rate)` across channels.
+    pub fn mean_confusion(&self) -> (f64, f64) {
+        let n = self.n_channels() as f64;
+        let (fp, fne) = (0..self.n_channels())
+            .map(|q| self.channel_confusion(q))
+            .fold((0.0, 0.0), |(a, b), (fp, fne)| (a + fp, b + fne));
+        (fp / n, fne / n)
+    }
+}
+
+impl HeraldModel for DiscriminatorHerald {
+    fn herald(&self, leaked: &[bool], rng: &mut StdRng) -> Vec<bool> {
+        leaked
+            .iter()
+            .enumerate()
+            .map(|(q, &truth)| {
+                let pool = &self.verdicts[q % self.verdicts.len()][usize::from(truth)];
+                pool[rng.gen_range(0..pool.len())]
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("discriminator({})", self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlr_sim::Level;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> TraceDataset {
+        let mut chip = ChipConfig::uniform(2);
+        chip.n_samples = 40;
+        TraceDataset::generate(&chip, 3, 2, 3)
+    }
+
+    fn truth_predictions(dataset: &TraceDataset) -> Vec<Vec<usize>> {
+        (0..dataset.len())
+            .map(|i| {
+                dataset
+                    .labelled_levels(i)
+                    .iter()
+                    .map(|&l| l as usize)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_predictions_make_a_transparent_herald() {
+        let dataset = tiny_dataset();
+        let predictions = truth_predictions(&dataset);
+        let herald = DiscriminatorHerald::from_verdict_stream("ORACLE", &dataset, &predictions);
+        assert_eq!(herald.mean_confusion(), (0.0, 0.0));
+        let truth = vec![true, false, true, false, false];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(herald.herald(&truth, &mut rng), truth);
+        assert_eq!(herald.name(), "discriminator(ORACLE)");
+    }
+
+    #[test]
+    fn blind_channel_shows_up_as_false_negatives() {
+        let dataset = tiny_dataset();
+        // Channel 1 never reports a leak (all its |2> shots read as |1>).
+        let predictions: Vec<Vec<usize>> = truth_predictions(&dataset)
+            .into_iter()
+            .map(|mut p| {
+                if p[1] == 2 {
+                    p[1] = 1;
+                }
+                p
+            })
+            .collect();
+        let herald = DiscriminatorHerald::from_verdict_stream("BLIND", &dataset, &predictions);
+        assert_eq!(herald.channel_confusion(0), (0.0, 0.0));
+        assert_eq!(herald.channel_confusion(1), (0.0, 1.0));
+        // Code qubits map onto channels round-robin: odd qubits are blind.
+        let truth = vec![true, true, true, true];
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            herald.herald(&truth, &mut rng),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn calibrate_runs_through_a_real_batch_path() {
+        struct AlwaysGround;
+        impl Discriminator for AlwaysGround {
+            fn predict_shot(&self, _raw: &[Complex]) -> Vec<usize> {
+                vec![0; 2]
+            }
+            fn name(&self) -> &str {
+                "GROUND"
+            }
+            fn n_qubits(&self) -> usize {
+                2
+            }
+            fn weight_count(&self) -> usize {
+                0
+            }
+        }
+        let mut chip = ChipConfig::uniform(2);
+        chip.n_samples = 40;
+        let herald = DiscriminatorHerald::calibrate(&AlwaysGround, &chip, 2, 11);
+        // Reporting |0> everywhere means zero false positives and every
+        // leaked shot missed.
+        assert_eq!(herald.mean_confusion(), (0.0, 1.0));
+        assert_eq!(herald.n_channels(), 2);
+    }
+
+    #[test]
+    fn labelled_levels_expose_leak_truth() {
+        // Guard the label convention the pooling relies on: label 2 ⇔
+        // Level::Two.
+        let dataset = tiny_dataset();
+        for i in 0..dataset.len() {
+            for (q, &level) in dataset.labelled_levels(i).iter().enumerate() {
+                assert_eq!(dataset.label(i, q) == 2, level == Level::Leaked);
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //!   code-distance step (d = 3 and d = 5 both fail at two faults; d = 7 is
 //!   the first to survive them). It is kept as the simple baseline the
 //!   union-find upgrade is measured against.
-//! * [`UnionFindDecoder`](crate::UnionFindDecoder)
+//! * [`UnionFindDecoder`]
 //!   (`crate::union_find`) — weighted union-find with erasure support,
 //!   restoring the full `⌊(d−1)/2⌋` fault tolerance at every distance and
 //!   consuming the leakage heralds multi-level readout produces.
@@ -72,7 +72,7 @@ pub enum DecoderKind {
     /// Greedy cheapest-first matching ([`GreedyDecoder`]).
     Greedy,
     /// Weighted union-find with erasure support
-    /// ([`UnionFindDecoder`](crate::UnionFindDecoder)).
+    /// ([`UnionFindDecoder`]).
     UnionFind,
 }
 

@@ -1,11 +1,45 @@
 //! ERASER-style leakage speculation (MICRO '23) with and without
 //! multi-level readout — the engine behind Tables I and VI.
+//!
+//! Each trial simulates `cycles` rounds of stabilizer measurement on a
+//! leaky rotated surface code ([`LeakageSimulator`]), applies LRCs to the
+//! qubits the speculation rules flag, and then decodes the accumulated
+//! end-of-run X-error frame with the configured [`DecoderKind`]. The
+//! erasure set handed to
+//! [`Decoder::decode_with_erasures`](crate::Decoder::decode_with_erasures)
+//! comes from a [`HeraldModel`]: ground truth
+//! reproduces PR 3's perfect heralds, while a noisy model lets readout
+//! assignment error corrupt the flag set — the readout→QEC loop the
+//! Table VI-style sweep measures.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_qec::{ConfusionMatrixHerald, EraserConfig, EraserExperiment, SpeculationMode};
+//!
+//! let experiment = EraserExperiment::new(EraserConfig {
+//!     distance: 3,
+//!     cycles: 3,
+//!     trials: 20,
+//!     ..EraserConfig::default()
+//! });
+//! let mode = SpeculationMode::EraserM { readout_error: 0.05 };
+//!
+//! // Perfect heralds (PR 3 behaviour)…
+//! let perfect = experiment.run(mode);
+//! // …versus a 10 % assignment-error herald channel.
+//! let noisy =
+//!     experiment.run_with_herald(mode, &ConfusionMatrixHerald::symmetric(0.10));
+//! assert_eq!(perfect.herald_false_positive_rate, 0.0);
+//! assert!(noisy.herald_false_positive_rate > 0.0);
+//! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{
-    xor_support, DecoderKind, LeakageParams, LeakageSimulator, StabilizerKind, SurfaceCode,
+    xor_support, DecoderKind, GroundTruthHerald, HeraldModel, LeakageParams, LeakageSimulator,
+    StabilizerKind, SurfaceCode,
 };
 
 /// Which speculation signals are available.
@@ -81,10 +115,18 @@ pub struct EraserResult {
     /// Total leakage episodes observed across trials.
     pub episodes: usize,
     /// Fraction of trials whose end-of-run X-error frame, decoded by the
-    /// configured [`DecoderKind`] (with still-leaked data qubits heralded
+    /// configured [`DecoderKind`] (with the heralded data qubits treated
     /// as erasures), left a logical error — the end-to-end QEC payoff of
     /// better speculation.
     pub logical_failure_rate: f64,
+    /// Fraction of *healthy* end-of-run data qubits the herald wrongly
+    /// flagged as leaked (each one erases a qubit that carried no leak).
+    /// Zero under a ground-truth herald.
+    pub herald_false_positive_rate: f64,
+    /// Fraction of *leaked* end-of-run data qubits the herald missed
+    /// (each one denies the decoder an erasure it should have had). Zero
+    /// under a ground-truth herald.
+    pub herald_false_negative_rate: f64,
 }
 
 /// Runs repeated-trial leakage speculation on a rotated surface code.
@@ -114,9 +156,24 @@ impl EraserExperiment {
         Self { config }
     }
 
-    /// Runs the experiment in the given speculation mode.
-    #[allow(clippy::needless_range_loop)] // qubit index addresses several parallel arrays
+    /// Runs the experiment in the given speculation mode with a perfect
+    /// (ground-truth) end-of-run erasure herald — PR 3's behaviour, and
+    /// the zero-noise endpoint of the herald-quality sweep.
     pub fn run(&self, mode: SpeculationMode) -> EraserResult {
+        self.run_with_herald(mode, &GroundTruthHerald)
+    }
+
+    /// Runs the experiment with the end-of-run erasure set produced by
+    /// `herald` instead of ground truth.
+    ///
+    /// At the end of every trial, the true leak state of each data qubit
+    /// is passed through the [`HeraldModel`]; the *reported* flags become
+    /// the erasure set of the final decode, so herald false positives
+    /// erase healthy qubits and false negatives deny the decoder erasures
+    /// it should have had. The realised error rates of the herald channel
+    /// are reported alongside the logical failure rate.
+    #[allow(clippy::needless_range_loop)] // qubit index addresses several parallel arrays
+    pub fn run_with_herald(&self, mode: SpeculationMode, herald: &dyn HeraldModel) -> EraserResult {
         let code = SurfaceCode::rotated(self.config.distance);
         let n_data = code.n_data();
         let n_anc = code.n_stabilizers();
@@ -136,6 +193,10 @@ impl EraserExperiment {
         let mut leaked_decisions = 0usize;
         let mut lp_sum = 0.0;
         let mut logical_failures = 0usize;
+        let mut herald_false_positives = 0usize;
+        let mut herald_false_negatives = 0usize;
+        let mut herald_healthy = 0usize;
+        let mut herald_leaked = 0usize;
 
         for trial in 0..self.config.trials {
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64 * 7919));
@@ -269,13 +330,26 @@ impl EraserExperiment {
             }
             lp_sum += sim.leakage_population();
 
-            // Final noiseless round: decode the accumulated X-error frame
-            // through the Z checks, heralding still-leaked data qubits as
-            // erasures. Residual parity against the logical operator is a
-            // logical failure — the metric the decoder quality (and the
-            // speculation quality feeding it) ultimately moves.
+            // Final round: decode the accumulated X-error frame through
+            // the Z checks, with the erasure set produced by the herald
+            // model from the true leak state (ground truth only when the
+            // model is perfect). Residual parity against the logical
+            // operator is a logical failure — the metric the readout
+            // quality feeding the herald ultimately moves.
             let error = sim.x_error_qubits();
-            let erased = sim.leaked_data_qubits();
+            let truth: Vec<bool> = (0..n_data).map(|q| sim.data_leaked(q)).collect();
+            let flags = herald.herald(&truth, &mut rng);
+            debug_assert_eq!(flags.len(), n_data, "herald flag count");
+            for q in 0..n_data {
+                if truth[q] {
+                    herald_leaked += 1;
+                    herald_false_negatives += usize::from(!flags[q]);
+                } else {
+                    herald_healthy += 1;
+                    herald_false_positives += usize::from(flags[q]);
+                }
+            }
+            let erased: Vec<usize> = (0..n_data).filter(|&q| flags[q]).collect();
             let syndrome = decoder.syndrome_of(&error);
             let correction = decoder.decode_with_erasures(&syndrome, &erased);
             let residual = xor_support(&error, &correction);
@@ -308,6 +382,9 @@ impl EraserExperiment {
             false_flag_rate: false_flags as f64 / qubit_cycles.max(1) as f64,
             episodes,
             logical_failure_rate: logical_failures as f64 / self.config.trials as f64,
+            herald_false_positive_rate: herald_false_positives as f64
+                / herald_healthy.max(1) as f64,
+            herald_false_negative_rate: herald_false_negatives as f64 / herald_leaked.max(1) as f64,
         }
     }
 }

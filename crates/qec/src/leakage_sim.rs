@@ -1,4 +1,38 @@
 //! Stochastic leakage dynamics of a surface code under repeated QEC cycles.
+//!
+//! [`LeakageSimulator`] tracks, per data and ancilla qubit, whether it is
+//! leaked to `|2⟩` and whether it carries an X/Z error. One
+//! [`LeakageSimulator::run_cycle`] call executes the four CNOT layers
+//! (gate-induced leakage, leakage transport, malfunction flips), measures
+//! every stabilizer (leaked support randomises the outcome), and applies
+//! seepage — producing the syndromes and, in ERASER+M mode, the
+//! three-level ancilla readout flags the speculation rules in
+//! [`crate::eraser`] consume. The end-of-run truth
+//! ([`LeakageSimulator::x_error_qubits`],
+//! [`LeakageSimulator::leaked_data_qubits`]) is what a
+//! [`HeraldModel`](crate::HeraldModel) turns into the decoder's erasure
+//! set.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlr_qec::{LeakageParams, LeakageSimulator, SurfaceCode};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut sim = LeakageSimulator::new(SurfaceCode::rotated(3), LeakageParams::default());
+//! let mut rng = StdRng::seed_from_u64(5);
+//! sim.inject_data_leak(4);
+//! let record = sim.run_cycle(&mut rng, Some(0.0)); // perfect 3-level readout
+//! assert_eq!(record.syndromes.len(), sim.code().n_stabilizers());
+//! assert!(sim.leakage_population() > 0.0);
+//! // An ideal LRC clears the leak.
+//! let params = LeakageParams { lrc_success: 1.0, ..LeakageParams::default() };
+//! let mut sim = LeakageSimulator::new(SurfaceCode::rotated(3), params);
+//! sim.inject_data_leak(4);
+//! sim.apply_lrc_data(4, &mut rng);
+//! assert!(!sim.data_leaked(4));
+//! ```
 
 use rand::Rng;
 

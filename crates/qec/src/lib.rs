@@ -1,9 +1,29 @@
 //! Surface-code simulation with leakage, leakage speculation (ERASER /
-//! ERASER+M), and QEC cycle timing — the quantum-error-correction substrate
-//! behind the paper's Tables I and VI and Secs. III and VII-B.
+//! ERASER+M), erasure-herald models, syndrome decoding, and QEC cycle
+//! timing — the quantum-error-correction substrate behind the paper's
+//! Tables I and VI and Secs. III and VII-B.
+//!
+//! # The readout→QEC loop
 //!
 //! The paper motivates multi-level readout through its effect on **leakage
-//! mitigation** in QEC:
+//! mitigation** in QEC, and this crate closes that loop end-to-end:
+//!
+//! 1. [`LeakageSimulator`] (module [`leakage_sim`]) evolves a rotated
+//!    [`SurfaceCode`] through repeated stabilizer cycles while leakage
+//!    spreads, malfunctions CNOTs, and corrupts syndromes;
+//! 2. [`EraserExperiment`] (module [`eraser`]) runs ERASER / ERASER+M
+//!    speculation over those cycles, applying LRCs to flagged qubits;
+//! 3. a [`HeraldModel`] (module [`herald`]) converts the end-of-run leak
+//!    state into the *reported* erasure flags — ground truth, a calibrated
+//!    confusion channel, or (one crate up, in `mlr-core`) the actual
+//!    multi-level discriminator;
+//! 4. a [`Decoder`] (modules [`decoder`] and [`union_find`]) consumes the
+//!    syndrome plus those imperfect erasures and either corrects the frame
+//!    or commits a logical error — the
+//!    [`logical_failure_rate`](EraserResult::logical_failure_rate) that
+//!    readout quality ultimately moves, swept by [`herald_sweep`].
+//!
+//! # Paper anchors
 //!
 //! * Sec. III-A injects leakage on IBM hardware and observes CNOT
 //!   malfunction (random target flips, 1.5–2 % leakage transport per gate,
@@ -12,7 +32,8 @@
 //! * Table I / Table VI run ERASER (MICRO '23) with and without multi-level
 //!   readout on a distance-7 rotated surface code for 10 cycles —
 //!   reproduced by [`EraserExperiment`] on [`SurfaceCode`] +
-//!   [`LeakageSimulator`];
+//!   [`LeakageSimulator`], with Table VI's discriminator-quality axis
+//!   scanned by [`herald_sweep`];
 //! * Sec. VII-B converts the 200 ns readout saving into a ~17 % QEC cycle
 //!   time reduction for Surface-17 — reproduced by [`QecCycleTiming`].
 //!
@@ -30,17 +51,22 @@
 #![deny(missing_docs)]
 
 mod cnot_exp;
-mod decoder;
-mod eraser;
+pub mod decoder;
+pub mod eraser;
+pub mod herald;
 mod lattice;
-mod leakage_sim;
+pub mod leakage_sim;
 mod sector;
 mod timing;
-mod union_find;
+pub mod union_find;
 
 pub use cnot_exp::{CnotChannel, CnotExperimentResult, RepeatedCnotExperiment};
 pub use decoder::{logical_error_rate, Decoder, DecoderKind, GreedyDecoder};
 pub use eraser::{EraserConfig, EraserExperiment, EraserResult, SpeculationMode};
+pub use herald::{
+    herald_sweep, ConfusionMatrixHerald, GroundTruthHerald, HeraldModel, HeraldSweepConfig,
+    HeraldSweepPoint,
+};
 pub use lattice::{Stabilizer, StabilizerKind, SurfaceCode};
 pub use leakage_sim::{LeakageParams, LeakageSimulator};
 pub use sector::xor_support;

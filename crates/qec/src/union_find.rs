@@ -12,7 +12,27 @@
 //! paper's leakage heralds: an erased qubit (e.g. one the multi-level
 //! readout reported leaked) is a zero-weight edge, so its endpoints are
 //! merged before growth starts and the peeling stage can place corrections
-//! there for free — see [`UnionFindDecoder::decode_with_erasures`].
+//! there for free — see [`UnionFindDecoder::decode_with_erasures`]. The
+//! herald models in [`crate::herald`] are what produce those erasure sets
+//! (faithfully or noisily) from the true leak state.
+//!
+//! # Examples
+//!
+//! Two X faults on an erased pair that would defeat greedy matching at
+//! d = 5 decode cleanly once the erasure is heralded:
+//!
+//! ```
+//! use mlr_qec::{xor_support, Decoder, StabilizerKind, SurfaceCode, UnionFindDecoder};
+//!
+//! let code = SurfaceCode::rotated(5);
+//! let decoder = UnionFindDecoder::new(&code, StabilizerKind::Z);
+//! let error = [0usize, 20]; // boundary-column pair (column 0 rows 0 and 4)
+//! let syndrome = decoder.syndrome_of(&error);
+//! let correction = decoder.decode_with_erasures(&syndrome, &error);
+//! let residual = xor_support(&error, &correction);
+//! assert!(decoder.syndrome_of(&residual).iter().all(|&s| !s));
+//! assert!(!decoder.is_logical_error(&residual));
+//! ```
 
 use std::collections::VecDeque;
 

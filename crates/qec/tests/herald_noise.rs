@@ -1,0 +1,157 @@
+//! Herald-noise pins: the readout→QEC loop must degrade monotonically
+//! with herald assignment error, and a zero-error herald channel must
+//! reproduce the PR 3 ground-truth results bit-for-bit.
+
+use proptest::prelude::*;
+
+use mlr_qec::{
+    herald_sweep, ConfusionMatrixHerald, DecoderKind, EraserConfig, EraserExperiment,
+    GroundTruthHerald, HeraldSweepConfig, LeakageParams, SpeculationMode,
+};
+
+/// Leakage/noise regime with enough physical error that end-of-run decodes
+/// have real work to do (default rates leave most small-distance trials
+/// failure-free, which would make monotonicity vacuous).
+fn noisy_params() -> LeakageParams {
+    LeakageParams {
+        leak_per_gate: 2e-3,
+        phys_error_per_cycle: 0.015,
+        ..LeakageParams::default()
+    }
+}
+
+#[test]
+fn logical_failure_is_monotone_in_herald_error_per_decoder() {
+    // The seeded sweep couples every herald-error point to the same
+    // leakage trajectories (common random numbers): along the error axis
+    // only the herald channel changes, so the failure curve must be
+    // non-decreasing for each (distance, decoder) — greedy's exactly flat
+    // (it ignores erasures), union-find's rising (false positives erode
+    // its effective distance, false negatives starve it of erasures).
+    let config = HeraldSweepConfig {
+        distances: vec![3, 5],
+        decoders: vec![DecoderKind::Greedy, DecoderKind::UnionFind],
+        herald_errors: vec![0.0, 0.15, 0.45],
+        cycles: 6,
+        trials: 240,
+        params: noisy_params(),
+        readout_error: 0.05,
+        seed: 20260728,
+    };
+    let points = herald_sweep(&config);
+    for chunk in points.chunks(config.herald_errors.len()) {
+        for pair in chunk.windows(2) {
+            assert!(
+                pair[1].result.logical_failure_rate >= pair[0].result.logical_failure_rate,
+                "d={} {}: logical failure fell from {} (err {}) to {} (err {})",
+                pair[0].distance,
+                pair[0].decoder,
+                pair[0].result.logical_failure_rate,
+                pair[0].herald_error,
+                pair[1].result.logical_failure_rate,
+                pair[1].herald_error,
+            );
+        }
+    }
+    // The noise must actually bite somewhere, or the assertion is vacuous:
+    // union-find at the noisiest herald must fail strictly more often than
+    // at the perfect herald for at least one distance.
+    let strict_rise = config.distances.iter().any(|&d| {
+        let uf: Vec<_> = points
+            .iter()
+            .filter(|p| p.distance == d && p.decoder == DecoderKind::UnionFind)
+            .collect();
+        uf.last().unwrap().result.logical_failure_rate
+            > uf.first().unwrap().result.logical_failure_rate
+    });
+    assert!(strict_rise, "herald noise never moved the union-find curve");
+}
+
+#[test]
+fn greedy_curve_is_exactly_flat() {
+    // Greedy's `decode_with_erasures` discards the herald, and the herald
+    // draws happen after all decode-relevant randomness in a trial, so its
+    // logical failure rate is *identical* (not just close) at every herald
+    // error.
+    let experiment = EraserExperiment::new(EraserConfig {
+        distance: 3,
+        cycles: 5,
+        trials: 80,
+        params: noisy_params(),
+        seed: 11,
+        decoder: DecoderKind::Greedy,
+    });
+    let mode = SpeculationMode::EraserM {
+        readout_error: 0.05,
+    };
+    let baseline = experiment.run(mode);
+    for err in [0.1, 0.5, 1.0] {
+        let noisy = experiment.run_with_herald(mode, &ConfusionMatrixHerald::symmetric(err));
+        assert_eq!(
+            noisy.logical_failure_rate, baseline.logical_failure_rate,
+            "greedy logical failure moved at herald error {err}"
+        );
+    }
+}
+
+#[test]
+fn herald_error_rates_track_the_configured_channel() {
+    let experiment = EraserExperiment::new(EraserConfig {
+        distance: 5,
+        cycles: 8,
+        trials: 150,
+        params: noisy_params(),
+        seed: 3,
+        decoder: DecoderKind::UnionFind,
+    });
+    let mode = SpeculationMode::EraserM {
+        readout_error: 0.05,
+    };
+    let res = experiment.run_with_herald(mode, &ConfusionMatrixHerald::new(0.25, 0.0));
+    // ~25 % of healthy qubits flagged, no leaked qubit ever missed.
+    assert!(
+        (res.herald_false_positive_rate - 0.25).abs() < 0.05,
+        "fp rate {}",
+        res.herald_false_positive_rate
+    );
+    assert_eq!(res.herald_false_negative_rate, 0.0);
+    // Ground truth reports perfect rates on the same trajectories.
+    let perfect = experiment.run(mode);
+    assert_eq!(perfect.herald_false_positive_rate, 0.0);
+    assert_eq!(perfect.herald_false_negative_rate, 0.0);
+}
+
+proptest! {
+    /// A zero-error [`ConfusionMatrixHerald`] must reproduce PR 3's
+    /// ground-truth-herald results **bit-for-bit** — every field of
+    /// [`mlr_qec::EraserResult`], across random small configurations,
+    /// decoders, and both speculation modes.
+    #[test]
+    fn zero_error_herald_matches_ground_truth_bit_for_bit(
+        seed in 0u64..1_000_000,
+        distance_step in 0usize..2,
+        cycles in 2usize..6,
+        trials in 5usize..30,
+        uf in any::<bool>(),
+        eraser_m in any::<bool>(),
+    ) {
+        let experiment = EraserExperiment::new(EraserConfig {
+            distance: 3 + 2 * distance_step,
+            cycles,
+            trials,
+            seed,
+            decoder: if uf { DecoderKind::UnionFind } else { DecoderKind::Greedy },
+            ..EraserConfig::default()
+        });
+        let mode = if eraser_m {
+            SpeculationMode::EraserM { readout_error: 0.05 }
+        } else {
+            SpeculationMode::Eraser
+        };
+        let truth = experiment.run_with_herald(mode, &GroundTruthHerald);
+        let zero = experiment.run_with_herald(mode, &ConfusionMatrixHerald::symmetric(0.0));
+        prop_assert_eq!(&truth, &zero);
+        // And `run` itself is the ground-truth path.
+        prop_assert_eq!(&truth, &experiment.run(mode));
+    }
+}

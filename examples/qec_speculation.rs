@@ -6,8 +6,8 @@
 //! ```
 
 use mlr_qec::{
-    logical_error_rate, DecoderKind, EraserConfig, EraserExperiment, QecCycleTiming,
-    SpeculationMode, SurfaceCode,
+    logical_error_rate, ConfusionMatrixHerald, DecoderKind, EraserConfig, EraserExperiment,
+    QecCycleTiming, SpeculationMode, SurfaceCode,
 };
 
 fn main() {
@@ -49,6 +49,33 @@ fn main() {
             })
             .collect();
         println!("  {kind:<11} {}", lers.join("  "));
+    }
+
+    // Closing the readout→QEC loop: the end-of-run erasure set is itself a
+    // *measurement*. A noisy herald (readout assignment error) erases
+    // healthy qubits and misses leaked ones, so the union-find decoder's
+    // erasure payoff erodes as readout quality drops — greedy, which
+    // ignores erasures, is the flat baseline. (`mlr qec sweep` scans the
+    // full grid; `repro_herald_sweep` adds discriminator-backed heralds.)
+    println!("\nLogical failure vs herald assignment error (d=5 union-find vs greedy):");
+    let mode = SpeculationMode::EraserM {
+        readout_error: 0.05,
+    };
+    for kind in [DecoderKind::Greedy, DecoderKind::UnionFind] {
+        let exp = EraserExperiment::new(EraserConfig {
+            distance: 5,
+            trials: 200,
+            decoder: kind,
+            ..EraserConfig::default()
+        });
+        let cells: Vec<String> = [0.0, 0.05, 0.2]
+            .iter()
+            .map(|&err| {
+                let res = exp.run_with_herald(mode, &ConfusionMatrixHerald::symmetric(err));
+                format!("err {err:>4}: {:.3}", res.logical_failure_rate)
+            })
+            .collect();
+        println!("  {kind:<11} {}", cells.join("  "));
     }
 
     // The other half of the story: faster readout shortens every cycle.

@@ -50,5 +50,6 @@ pub use mlr_baselines as baselines;
 /// FPGA resource estimation and 45 nm power modelling.
 pub use mlr_fpga as fpga;
 
-/// Surface-code leakage simulation, ERASER speculation, cycle timing.
+/// Surface-code leakage simulation, ERASER speculation, erasure-herald
+/// models, union-find/greedy decoders, cycle timing.
 pub use mlr_qec as qec;
