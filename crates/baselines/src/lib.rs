@@ -1,36 +1,28 @@
-//! Baseline multi-level readout discriminators the paper compares against:
+//! Compatibility facade for the baseline discriminators.
 //!
-//! * [`FnnBaseline`] — the raw-trace deep feed-forward network of Lienhard
-//!   et al. (Phys. Rev. Applied 17, 014024): all 1000 undemodulated ADC
-//!   samples in, one joint softmax over every `kⁿ` basis state out
-//!   (≈686 k weights at five qubits / three levels);
-//! * [`HerqulesBaseline`] — the ISCA '23 HERQULES design: demodulation +
-//!   qubit/relaxation matched filters (no excitation filters), a small
-//!   joint network over all qubits with a `kⁿ`-way output — compact, but
-//!   its output layer still scales exponentially, which is what breaks it
-//!   at three levels;
-//! * [`DiscriminantAnalysis`] — classic per-qubit LDA/QDA on
-//!   boxcar-integrated IQ points (Table V / Table VI rows);
-//! * [`HmmBaseline`] — per-qubit Gaussian hidden Markov model over windowed
-//!   IQ observations (the HMM leakage detectors of Varbanov et al., cited
-//!   as related work in Sec. I);
-//! * [`AutoencoderBaseline`] — dense autoencoder compression of the
-//!   demodulated trace with per-qubit classifier heads on the bottleneck
-//!   code (Luchi et al., Phys. Rev. Applied 20, 014045, Sec. I).
+//! The implementations moved into `mlr-core` (`mlr_core::baselines`
+//! internally) when the unified discriminator registry landed: the
+//! registry ([`mlr_core::registry`]) has to name, fit and persist every
+//! family — the proposed design *and* the baselines — from one crate, so
+//! the baselines now live beside [`mlr_core::Discriminator`] itself.
 //!
-//! All baselines implement [`mlr_core::Discriminator`], so the reproduction
-//! harness evaluates them interchangeably with the proposed design.
+//! This crate re-exports the public types under their historical paths so
+//! `use mlr_baselines::{HerqulesBaseline, ...}` keeps working. New code
+//! should prefer the registry front door:
+//!
+//! ```no_run
+//! use mlr_core::{registry, DiscriminatorSpec};
+//! use mlr_sim::{ChipConfig, TraceDataset};
+//!
+//! let spec: DiscriminatorSpec = "HERQULES".parse().unwrap();
+//! let dataset = TraceDataset::generate(&ChipConfig::five_qubit_paper(), 3, 50, 7);
+//! let split = dataset.paper_split(7);
+//! let model = registry::fit(&spec, &dataset, &split, 7);
+//! ```
 
 #![deny(missing_docs)]
 
-mod autoencoder;
-mod discriminant;
-mod fnn;
-mod herqules;
-mod hmm;
-
-pub use autoencoder::{AutoencoderBaseline, AutoencoderConfig};
-pub use discriminant::{DiscriminantAnalysis, DiscriminantKind};
-pub use fnn::{FnnBaseline, FnnConfig};
-pub use herqules::{HerqulesBaseline, HerqulesConfig};
-pub use hmm::{HmmBaseline, HmmConfig};
+pub use mlr_core::{
+    AutoencoderBaseline, AutoencoderConfig, DiscriminantAnalysis, DiscriminantKind, FnnBaseline,
+    FnnConfig, HerqulesBaseline, HerqulesConfig, HmmBaseline, HmmConfig,
+};

@@ -3,12 +3,8 @@
 //! prints each qubit's per-level recall, which is what the balanced
 //! fidelities of the paper's tables decompose into.
 
-use mlr_baselines::{
-    DiscriminantAnalysis, DiscriminantKind, FnnBaseline, FnnConfig, HerqulesBaseline,
-    HerqulesConfig,
-};
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{evaluate, EvalReport, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, EvalReport};
 use mlr_sim::ChipConfig;
 
 fn recall_rows(report: &EvalReport) -> Vec<Vec<String>> {
@@ -36,17 +32,14 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-    rows.extend(recall_rows(&evaluate(&ours, &dataset, &split.test)));
-    let herq = HerqulesBaseline::fit(&dataset, &split, &HerqulesConfig::default());
-    rows.extend(recall_rows(&evaluate(&herq, &dataset, &split.test)));
-    let lda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda);
-    rows.extend(recall_rows(&evaluate(&lda, &dataset, &split.test)));
-    let qda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Qda);
-    rows.extend(recall_rows(&evaluate(&qda, &dataset, &split.test)));
+    let mut designs = vec!["OURS", "HERQULES", "LDA", "QDA"];
     if std::env::var("MLR_DIAG_FNN").as_deref() == Ok("1") {
-        let fnn = FnnBaseline::fit(&dataset, &split, &FnnConfig::default());
-        rows.extend(recall_rows(&evaluate(&fnn, &dataset, &split.test)));
+        designs.push("FNN");
+    }
+    for name in designs {
+        let spec = name.parse().expect("registry family name");
+        let model = registry::fit(&spec, &dataset, &split, seed());
+        rows.extend(recall_rows(&evaluate(&model, &dataset, &split.test)));
     }
 
     print_table(

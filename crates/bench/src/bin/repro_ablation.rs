@@ -9,7 +9,7 @@
 //!   underpins the FPGA resource model's 8-bit assumption.
 
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{evaluate, Discriminator, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, Discriminator, DiscriminatorSpec, OursConfig};
 use mlr_dsp::MatchedFilterKind;
 use mlr_nn::FixedPointFormat;
 use mlr_sim::ChipConfig;
@@ -40,22 +40,25 @@ fn main() {
     let mut rows = Vec::new();
     let mut full_model = None;
     for (name, include_emf, mf_kind) in variants {
-        let ours = OursDiscriminator::fit(
-            &dataset,
-            &split,
-            &OursConfig {
-                include_emf,
-                mf_kind,
-                ..OursConfig::default()
-            },
-        );
-        let report = evaluate(&ours, &dataset, &split.test);
+        // The EMF arm is the registry's OURS-NO-EMF family; the kernel arm
+        // stays an OURS config knob.
+        let config = OursConfig {
+            mf_kind,
+            ..OursConfig::default()
+        };
+        let spec = if include_emf {
+            DiscriminatorSpec::Ours(config)
+        } else {
+            DiscriminatorSpec::OursNoEmf(config)
+        };
+        let model = registry::fit(&spec, &dataset, &split, seed());
+        let report = evaluate(&model, &dataset, &split.test);
         let mut row = vec![name.to_owned()];
         row.extend(report.per_qubit_fidelity.iter().map(|f| format!("{f:.4}")));
         row.push(format!("{:.4}", report.geometric_mean_fidelity()));
         rows.push(row);
         if include_emf && mf_kind == MatchedFilterKind::VarianceSum {
-            full_model = Some(ours);
+            full_model = Some(model);
         }
     }
     print_table(
@@ -68,7 +71,10 @@ fn main() {
     // through the batch engine and shared across every precision; heads
     // are quantised once per format (predict_features_quantized_batch)
     // instead of once per shot.
-    let ours = full_model.expect("full design fitted");
+    let ours = full_model
+        .as_ref()
+        .and_then(|m| m.as_ours())
+        .expect("full design fitted");
     let features = ours.extractor().extract_batch(&dataset, &split.test);
     let formats = [
         ("f32 (no quantisation)", None),

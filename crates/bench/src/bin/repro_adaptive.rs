@@ -12,7 +12,7 @@
 //! `MLR_SHOTS` / `MLR_SEED` scale the run as for the other binaries.
 
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{evaluate_streaming, StreamingConfig, StreamingReadout};
+use mlr_core::{evaluate_streaming, registry, DiscriminatorSpec, StreamingConfig};
 use mlr_qec::QecCycleTiming;
 use mlr_sim::ChipConfig;
 
@@ -33,13 +33,14 @@ fn main() {
     let checkpoints = vec![300usize, 400, 500];
     let mut rows = Vec::new();
     for confidence in [0.7, 0.9, 0.95, 0.99, 2.0] {
-        let config = StreamingConfig {
+        let spec = DiscriminatorSpec::Streaming(StreamingConfig {
             checkpoints: checkpoints.clone(),
             confidence,
             base: Default::default(),
-        };
-        let readout = StreamingReadout::fit(&dataset, &split, &config);
-        let report = evaluate_streaming(&readout, &dataset, &split.test);
+        });
+        let model = registry::fit(&spec, &dataset, &split, seed);
+        let readout = model.as_streaming().expect("streaming family");
+        let report = evaluate_streaming(readout, &dataset, &split.test);
         let mean_f =
             report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         let dur_ns = report.mean_duration_ns(dt_ns);

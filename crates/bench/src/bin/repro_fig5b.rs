@@ -7,7 +7,7 @@
 //! the paper's per-duration calibration.
 
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{evaluate, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, DiscriminatorSpec};
 use mlr_sim::ChipConfig;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
     let mut series = Vec::new();
     for &n_samples in &[250usize, 300, 350, 400, 450, 500] {
         let truncated = dataset.truncated(n_samples);
-        let ours = OursDiscriminator::fit(&truncated, &split, &OursConfig::default());
+        let ours = registry::fit(&DiscriminatorSpec::default(), &truncated, &split, seed());
         let report = evaluate(&ours, &truncated, &split.test);
         let duration_ns = n_samples as f64 * 2.0; // 500 MS/s -> 2 ns/sample
         let mean_acc =

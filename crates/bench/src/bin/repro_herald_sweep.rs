@@ -22,9 +22,8 @@
 //! (`MLR_SHOTS` ≳ 200 in practice; the confusion sweep of pass 1 has no
 //! such floor).
 
-use mlr_baselines::{DiscriminantAnalysis, DiscriminantKind};
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{DiscriminatorHerald, OursConfig, OursDiscriminator};
+use mlr_core::{registry, DiscriminatorHerald, DiscriminatorSpec};
 use mlr_qec::{
     herald_sweep, DecoderKind, EraserConfig, EraserExperiment, HeraldModel, HeraldSweepConfig,
     SpeculationMode,
@@ -80,8 +79,8 @@ fn main() {
     eprintln!("[herald] fitting discriminators ({shots} shots/state, seed {seed})");
     let dataset = cached_natural_dataset(&chip, shots, seed);
     let split = dataset.paper_split(seed);
-    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-    let lda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda);
+    let ours = registry::fit(&DiscriminatorSpec::default(), &dataset, &split, seed);
+    let lda = registry::fit(&"LDA".parse().unwrap(), &dataset, &split, seed);
 
     // Calibration traces are fresh (different seed): the herald's measured
     // confusion is out-of-sample, as a deployed readout chain's would be.

@@ -17,17 +17,16 @@
 //!
 //! `MLR_SHOTS` / `MLR_SEED` scale the runs as for the other binaries.
 
-use mlr_baselines::{DiscriminantAnalysis, DiscriminantKind};
 use mlr_bench::{cached_natural_dataset, print_table, seed, shots_per_state};
-use mlr_core::{evaluate, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, DiscriminatorSpec};
 use mlr_sim::ChipConfig;
 
 /// Fits OURS + LDA on one chip variant and returns their F5Qs.
 fn pair_f5q(chip: &ChipConfig, shots: usize, seed: u64) -> (f64, f64) {
     let dataset = cached_natural_dataset(chip, shots, seed);
     let split = dataset.paper_split(seed);
-    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-    let lda = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda);
+    let ours = registry::fit(&DiscriminatorSpec::default(), &dataset, &split, seed);
+    let lda = registry::fit(&"LDA".parse().unwrap(), &dataset, &split, seed);
     (
         evaluate(&ours, &dataset, &split.test).geometric_mean_fidelity(),
         evaluate(&lda, &dataset, &split.test).geometric_mean_fidelity(),

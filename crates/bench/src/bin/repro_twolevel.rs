@@ -12,17 +12,16 @@
 //!
 //! `MLR_SHOTS` / `MLR_SEED` scale the run as for the other binaries.
 
-use mlr_baselines::{FnnBaseline, FnnConfig, HerqulesBaseline, HerqulesConfig};
 use mlr_bench::{
     cached_dataset, cached_natural_dataset, fidelity_row, print_table, seed, shots_per_state,
 };
-use mlr_core::{evaluate, Discriminator, EvalReport};
+use mlr_core::{evaluate, registry, Discriminator, EvalReport};
 use mlr_sim::{ChipConfig, TraceDataset};
 
 fn fit_pair(dataset: &TraceDataset, seed: u64) -> (EvalReport, EvalReport, usize, usize) {
     let split = dataset.paper_split(seed);
-    let herq = HerqulesBaseline::fit(dataset, &split, &HerqulesConfig::default());
-    let fnn = FnnBaseline::fit(dataset, &split, &FnnConfig::default());
+    let herq = registry::fit(&"HERQULES".parse().unwrap(), dataset, &split, seed);
+    let fnn = registry::fit(&"FNN".parse().unwrap(), dataset, &split, seed);
     (
         evaluate(&herq, dataset, &split.test),
         evaluate(&fnn, dataset, &split.test),

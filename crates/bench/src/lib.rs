@@ -12,18 +12,16 @@
 //! * `MLR_THREADS` — worker-thread override for generation and batch
 //!   inference (see `mlr_core::batch_threads`);
 //! * `MLR_DATASET_DIR` — binary dataset cache directory (default
-//!   `datasets/`); see [`cached_dataset`].
+//!   `datasets/`); see [`cached_dataset`];
+//! * `MLR_MODEL_DIR` — trained-model cache directory (default `models/`);
+//!   see [`cached_model`].
 
 #![deny(missing_docs)]
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use mlr_baselines::{
-    DiscriminantAnalysis, DiscriminantKind, FnnBaseline, FnnConfig, HerqulesBaseline,
-    HerqulesConfig,
-};
-use mlr_core::{evaluate, Discriminator, EvalReport, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, Discriminator, DiscriminatorSpec, EvalReport, TrainedModel};
 use mlr_num::Complex;
 use mlr_sim::{ChipConfig, DatasetSpec, DatasetSplit, TraceDataset};
 
@@ -96,6 +94,80 @@ pub fn cached_natural_dataset(
     cached_dataset(&DatasetSpec::natural(config.clone(), shots_per_state, seed))
 }
 
+/// The trained-model cache directory: `MLR_MODEL_DIR` when set, `models/`
+/// under the working directory otherwise.
+pub fn model_dir() -> PathBuf {
+    std::env::var_os("MLR_MODEL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("models"))
+}
+
+/// Loads the model `spec` trained on (`dataset_spec`, `seed`) from the
+/// model cache ([`model_dir`]), fitting it on a miss.
+///
+/// The cache key chains the design fingerprint, the dataset fingerprint
+/// and the seed (`mlr_core::registry::model_fingerprint`), so any change
+/// to hyper-parameters, chip, shot budget, simulator revision or seed is
+/// a miss rather than a stale hit. Like the dataset cache, a fresh fit is
+/// written back only when caching was asked for — `MLR_MODEL_DIR` is set
+/// or the default `models/` directory exists — and unusable cache files
+/// are reported and refitted, never fatal.
+///
+/// `split` must be the split the caller evaluates against; the cache key
+/// does not hash it because every harness derives it deterministically
+/// from the same `seed` (`TraceDataset::paper_split`).
+pub fn cached_model(
+    spec: &DiscriminatorSpec,
+    dataset_spec: &DatasetSpec,
+    dataset: &TraceDataset,
+    split: &DatasetSplit,
+    seed: u64,
+) -> TrainedModel {
+    let dir = model_dir();
+    let fp = registry::model_fingerprint(spec, dataset_spec.fingerprint(), seed);
+    let path = dir.join(format!("mlr-model-{fp:016x}.json"));
+    if path.is_file() {
+        match registry::load_json_file(&path) {
+            Ok(model) if model.spec() == spec => {
+                eprintln!("[model] loaded {} from cache {}", spec, path.display());
+                return model;
+            }
+            Ok(model) => eprintln!(
+                "[model] cache {} holds {}, expected {} — refitting",
+                path.display(),
+                model.spec(),
+                spec
+            ),
+            Err(e) => eprintln!("[model] ignoring unusable cache file: {e}"),
+        }
+    }
+    let t = Instant::now();
+    let model = registry::fit(spec, dataset, split, seed);
+    eprintln!("[model] {} fit in {:.1}s", spec, t.elapsed().as_secs_f64());
+    let caching_enabled = std::env::var_os("MLR_MODEL_DIR").is_some() || dir.is_dir();
+    if caching_enabled {
+        match store_model(&dir, &path, &model) {
+            Ok(()) => eprintln!("[model] cached {} at {}", spec, path.display()),
+            Err(e) => eprintln!("[model] could not write cache: {e}"),
+        }
+    }
+    model
+}
+
+/// Writes a model cache entry atomically (tmp + rename), creating `dir`
+/// if needed.
+fn store_model(
+    dir: &std::path::Path,
+    path: &std::path::Path,
+    model: &TrainedModel,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = path.with_extension("json.tmp");
+    model.save_json_file(&tmp)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// The five fitted/evaluated designs of the readout-fidelity experiments.
 #[derive(Debug)]
 pub struct FidelityStudy {
@@ -133,11 +205,15 @@ impl FidelityStudy {
 /// on the test split.
 ///
 /// This is the shared engine behind Fig. 1(c) and Tables II/IV/V/VI.
+/// Every design is constructed through the registry
+/// ([`mlr_core::registry::fit`] via [`cached_model`]), so a warm
+/// `MLR_MODEL_DIR` skips all five fits.
 pub fn run_fidelity_study(shots_per_state: usize, seed: u64) -> FidelityStudy {
     let config = ChipConfig::five_qubit_paper();
     eprintln!("[study] natural-leakage dataset: 32 states x {shots_per_state} shots (seed {seed})");
     let t = Instant::now();
-    let dataset = cached_natural_dataset(&config, shots_per_state, seed);
+    let dataset_spec = DatasetSpec::natural(config.clone(), shots_per_state, seed);
+    let dataset = cached_dataset(&dataset_spec);
     let split = dataset.paper_split(seed);
     let leaked_counts: Vec<usize> = (0..config.n_qubits())
         .map(|q| {
@@ -156,19 +232,15 @@ pub fn run_fidelity_study(shots_per_state: usize, seed: u64) -> FidelityStudy {
         leaked_counts
     );
 
-    let t = Instant::now();
-    let ours_model = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-    eprintln!("[study] OURS fit in {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now();
-    let herq_model = HerqulesBaseline::fit(&dataset, &split, &HerqulesConfig::default());
-    eprintln!("[study] HERQULES fit in {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now();
-    let fnn_model = FnnBaseline::fit(&dataset, &split, &FnnConfig::default());
-    eprintln!("[study] FNN fit in {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now();
-    let lda_model = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Lda);
-    let qda_model = DiscriminantAnalysis::fit(&dataset, &split, DiscriminantKind::Qda);
-    eprintln!("[study] LDA/QDA fit in {:.1}s", t.elapsed().as_secs_f64());
+    let fit = |name: &str| -> TrainedModel {
+        let spec: DiscriminatorSpec = name.parse().expect("registry family name");
+        cached_model(&spec, &dataset_spec, &dataset, &split, seed)
+    };
+    let ours_model = fit("OURS");
+    let herq_model = fit("HERQULES");
+    let fnn_model = fit("FNN");
+    let lda_model = fit("LDA");
+    let qda_model = fit("QDA");
 
     let t = Instant::now();
     let ours = evaluate(&ours_model, &dataset, &split.test);

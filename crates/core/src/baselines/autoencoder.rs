@@ -10,15 +10,16 @@
 //! still per-qubit (no crosstalk correction) — exactly the gap the paper's
 //! matched-filter features close at a fraction of the size.
 
-use mlr_core::Discriminator;
+use crate::Discriminator;
 use mlr_dsp::{boxcar_decimate, iq_features, Demodulator};
 use mlr_nn::{Mlp, RegressionData, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of [`AutoencoderBaseline::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AutoencoderConfig {
     /// ADC samples averaged into one decimated sample before encoding.
     /// 25 samples (50 ns at 500 MS/s) keeps 20 complex points (40 real
@@ -67,7 +68,7 @@ impl Default for AutoencoderConfig {
 }
 
 /// One qubit's autoencoder + classifier-head stack.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct QubitAe {
     standardizer: Standardizer,
     autoencoder: Mlp,
@@ -95,7 +96,7 @@ impl QubitAe {
 /// # Examples
 ///
 /// ```no_run
-/// use mlr_baselines::{AutoencoderBaseline, AutoencoderConfig};
+/// use mlr_core::{AutoencoderBaseline, AutoencoderConfig};
 /// use mlr_core::evaluate;
 /// use mlr_sim::{ChipConfig, TraceDataset};
 ///
@@ -276,10 +277,52 @@ impl Discriminator for AutoencoderBaseline {
     }
 }
 
+/// The serialisable body of a fitted [`AutoencoderBaseline`] inside the
+/// registry's `SavedModel` v2 envelope; the demodulator is rebuilt from
+/// the envelope's chip on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedAutoencoder {
+    models: Vec<QubitAe>,
+    decimation: usize,
+}
+
+impl AutoencoderBaseline {
+    pub(crate) fn to_saved(&self) -> SavedAutoencoder {
+        SavedAutoencoder {
+            models: self.models.clone(),
+            decimation: self.decimation,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedAutoencoder,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        if saved.models.len() != chip.n_qubits() {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} autoencoder stacks for {} qubits",
+                saved.models.len(),
+                chip.n_qubits()
+            )));
+        }
+        if saved.decimation == 0 || saved.decimation > chip.n_samples {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "autoencoder decimation {} outside the {}-sample trace",
+                saved.decimation, chip.n_samples
+            )));
+        }
+        Ok(Self {
+            demod: Demodulator::new(&chip),
+            models: saved.models,
+            decimation: saved.decimation,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::evaluate;
+    use crate::evaluate;
     use mlr_sim::ChipConfig;
 
     fn dataset() -> (TraceDataset, DatasetSplit) {

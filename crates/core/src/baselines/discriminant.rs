@@ -1,14 +1,15 @@
 //! Per-qubit Gaussian discriminant analysis (LDA/QDA) on boxcar-integrated
 //! IQ points — the classical baselines of Tables V and VI.
 
-use mlr_core::Discriminator;
+use crate::Discriminator;
 use mlr_dsp::{integrate, Demodulator};
 use mlr_linalg::{covariance_matrix, Cholesky, Matrix};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 /// Which covariance model the discriminant uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DiscriminantKind {
     /// Linear discriminant analysis: one covariance pooled across classes.
     Lda,
@@ -17,7 +18,7 @@ pub enum DiscriminantKind {
 }
 
 /// Per-class Gaussian model of one qubit's integrated IQ point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct QubitModel {
     /// Class means, one per level.
     means: Vec<Vec<f64>>,
@@ -195,10 +196,46 @@ impl Discriminator for DiscriminantAnalysis {
     }
 }
 
+/// The serialisable body of a fitted [`DiscriminantAnalysis`] inside the
+/// registry's `SavedModel` v2 envelope; the demodulator is rebuilt from
+/// the envelope's chip on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedDiscriminant {
+    models: Vec<QubitModel>,
+    kind: DiscriminantKind,
+}
+
+impl DiscriminantAnalysis {
+    pub(crate) fn to_saved(&self) -> SavedDiscriminant {
+        SavedDiscriminant {
+            models: self.models.clone(),
+            kind: self.kind,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedDiscriminant,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        if saved.models.len() != chip.n_qubits() {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} discriminant models for {} qubits",
+                saved.models.len(),
+                chip.n_qubits()
+            )));
+        }
+        Ok(Self {
+            demod: Demodulator::new(&chip),
+            models: saved.models,
+            kind: saved.kind,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::evaluate;
+    use crate::evaluate;
     use mlr_sim::ChipConfig;
 
     fn dataset() -> (TraceDataset, DatasetSplit) {

@@ -1,14 +1,15 @@
 //! The raw-trace FNN baseline (Fig. 2 top): undemodulated IQ samples in,
 //! joint basis-state softmax out.
 
-use mlr_core::Discriminator;
+use crate::Discriminator;
 use mlr_dsp::iq_features;
 use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{basis_state_count, DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of [`FnnBaseline::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FnnConfig {
     /// Hidden layer widths; the paper uses `[500, 250]`.
     pub hidden: Vec<usize>,
@@ -133,9 +134,9 @@ impl Discriminator for FnnBaseline {
     /// match mapping `predict_shot` exactly — the raw-trace FNN has no
     /// demodulation stage to fuse, so the win is the amortised setup.
     fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
-        let features: Vec<Vec<f64>> = mlr_core::par_map(shots, |raw| iq_features(raw));
+        let features: Vec<Vec<f64>> = crate::par_map(shots, |raw| iq_features(raw));
         let xs = self.standardizer.transform_batch_f32(&features);
-        mlr_core::par_map(&xs, |x| {
+        crate::par_map(&xs, |x| {
             self.mlp.predict_marginal(x, self.n_qubits, self.levels)
         })
     }
@@ -153,10 +154,59 @@ impl Discriminator for FnnBaseline {
     }
 }
 
+/// The serialisable body of a trained [`FnnBaseline`] inside the
+/// registry's `SavedModel` v2 envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedFnn {
+    standardizer: Standardizer,
+    mlp: Mlp,
+    levels: usize,
+}
+
+impl FnnBaseline {
+    pub(crate) fn to_saved(&self) -> SavedFnn {
+        SavedFnn {
+            standardizer: self.standardizer.clone(),
+            mlp: self.mlp.clone(),
+            levels: self.levels,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedFnn,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        let n_qubits = chip.n_qubits();
+        let input_dim = 2 * chip.n_samples;
+        if saved.mlp.input_len() != input_dim || saved.standardizer.dim() != input_dim {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "FNN input {} / standardizer {} != 2 x {} samples",
+                saved.mlp.input_len(),
+                saved.standardizer.dim(),
+                chip.n_samples
+            )));
+        }
+        let n_classes = basis_state_count(n_qubits, saved.levels);
+        if saved.mlp.output_len() != n_classes {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "FNN output {} != {} joint classes",
+                saved.mlp.output_len(),
+                n_classes
+            )));
+        }
+        Ok(Self {
+            standardizer: saved.standardizer,
+            mlp: saved.mlp,
+            n_qubits,
+            levels: saved.levels,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::evaluate;
+    use crate::evaluate;
     use mlr_sim::ChipConfig;
 
     /// Two-qubit three-level fit keeps the joint output at 9 classes and the

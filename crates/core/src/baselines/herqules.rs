@@ -1,14 +1,15 @@
 //! The HERQULES baseline (Fig. 2 bottom): matched-filter features into a
 //! joint classifier whose output layer scales as `levelsⁿ`.
 
-use mlr_core::{Discriminator, FeatureExtractor};
+use crate::{Discriminator, FeatureExtractor};
 use mlr_dsp::MatchedFilterKind;
 use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{basis_state_count, BasisState, DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of [`HerqulesBaseline::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HerqulesConfig {
     /// Hidden layer widths; the paper's Fig. 2 uses `[60, 120]`.
     pub hidden: Vec<usize>,
@@ -165,10 +166,71 @@ impl Discriminator for HerqulesBaseline {
     }
 }
 
+/// The serialisable body of a trained [`HerqulesBaseline`] inside the
+/// registry's `SavedModel` v2 envelope; the chip travels in the envelope
+/// and rebuilds the demodulation tables on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedHerqules {
+    banks: Vec<crate::QubitMfBank>,
+    standardizer: Standardizer,
+    mlp: Mlp,
+    levels: usize,
+}
+
+impl HerqulesBaseline {
+    pub(crate) fn to_saved(&self) -> SavedHerqules {
+        SavedHerqules {
+            banks: (0..self.n_qubits)
+                .map(|q| self.extractor.bank(q).clone())
+                .collect(),
+            standardizer: self.standardizer.clone(),
+            mlp: self.mlp.clone(),
+            levels: self.levels,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedHerqules,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        let n_qubits = chip.n_qubits();
+        if saved.banks.len() != n_qubits {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} HERQULES banks for {} qubits",
+                saved.banks.len(),
+                n_qubits
+            )));
+        }
+        let feature_dim: usize = saved.banks.iter().map(crate::QubitMfBank::n_filters).sum();
+        if saved.standardizer.dim() != feature_dim || saved.mlp.input_len() != feature_dim {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "HERQULES feature dim mismatch: banks {feature_dim}, standardizer {}, mlp {}",
+                saved.standardizer.dim(),
+                saved.mlp.input_len()
+            )));
+        }
+        let n_classes = basis_state_count(n_qubits, saved.levels);
+        if saved.mlp.output_len() != n_classes {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "HERQULES output {} != {} joint classes",
+                saved.mlp.output_len(),
+                n_classes
+            )));
+        }
+        Ok(Self {
+            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            standardizer: saved.standardizer,
+            mlp: saved.mlp,
+            n_qubits,
+            levels: saved.levels,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::evaluate;
+    use crate::evaluate;
     use mlr_sim::ChipConfig;
 
     #[test]

@@ -11,14 +11,15 @@
 //! ambiguous smear between clusters — the same relaxation physics the
 //! paper's RMF matched filters target, modelled generatively.
 
-use mlr_core::Discriminator;
+use crate::Discriminator;
 use mlr_dsp::{boxcar_decimate, Demodulator};
 use mlr_linalg::{covariance_matrix, Cholesky, Matrix};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of [`HmmBaseline::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HmmConfig {
     /// ADC samples averaged into one HMM observation window. 25 samples at
     /// 500 MS/s is a 50 ns window — 20 observations over the paper's 1 µs
@@ -43,7 +44,7 @@ impl Default for HmmConfig {
 }
 
 /// One level's windowed-IQ emission model: a 2-D Gaussian.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Emission {
     mean: Vec<f64>,
     chol: Cholesky,
@@ -72,7 +73,7 @@ impl Emission {
 }
 
 /// One qubit's fitted chain: emissions, log-transitions, label log-priors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct QubitHmm {
     emissions: Vec<Emission>,
     /// `log_trans[from][to]`, rows normalised in probability space.
@@ -165,7 +166,7 @@ fn log_sum_exp(xs: &[f64]) -> f64 {
 /// # Examples
 ///
 /// ```no_run
-/// use mlr_baselines::{HmmBaseline, HmmConfig};
+/// use mlr_core::{HmmBaseline, HmmConfig};
 /// use mlr_core::{evaluate, Discriminator};
 /// use mlr_sim::{ChipConfig, TraceDataset};
 ///
@@ -359,10 +360,52 @@ impl Discriminator for HmmBaseline {
     }
 }
 
+/// The serialisable body of a fitted [`HmmBaseline`] inside the registry's
+/// `SavedModel` v2 envelope; the demodulator is rebuilt from the
+/// envelope's chip on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedHmm {
+    models: Vec<QubitHmm>,
+    window: usize,
+}
+
+impl HmmBaseline {
+    pub(crate) fn to_saved(&self) -> SavedHmm {
+        SavedHmm {
+            models: self.models.clone(),
+            window: self.window,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedHmm,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        if saved.models.len() != chip.n_qubits() {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} HMM chains for {} qubits",
+                saved.models.len(),
+                chip.n_qubits()
+            )));
+        }
+        if saved.window == 0 || saved.window > chip.n_samples {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "HMM window {} outside the {}-sample trace",
+                saved.window, chip.n_samples
+            )));
+        }
+        Ok(Self {
+            demod: Demodulator::new(&chip),
+            models: saved.models,
+            window: saved.window,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlr_core::evaluate;
+    use crate::evaluate;
     use mlr_sim::ChipConfig;
 
     fn dataset(n_samples: usize) -> (TraceDataset, DatasetSplit) {

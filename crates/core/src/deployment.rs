@@ -11,8 +11,29 @@
 
 use mlr_nn::{FixedPointFormat, IntMlp, Standardizer};
 use mlr_num::Complex;
+use serde::{Deserialize, Serialize};
 
-use crate::{Discriminator, FeatureExtractor, OursDiscriminator};
+use crate::{Discriminator, FeatureExtractor, OursConfig, OursDiscriminator};
+
+/// Configuration of the quantised-deployment family (`OURS-INT` in the
+/// registry): how to train the float model and which fixed-point word
+/// format to freeze its heads into.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployedConfig {
+    /// Training configuration of the underlying float model.
+    pub base: OursConfig,
+    /// Head word format after quantisation.
+    pub format: FixedPointFormat,
+}
+
+impl Default for DeployedConfig {
+    fn default() -> Self {
+        Self {
+            base: OursConfig::default(),
+            format: FixedPointFormat::HLS4ML_DEFAULT,
+        }
+    }
+}
 
 /// A trained pipeline frozen into fixed-point heads.
 ///
@@ -140,6 +161,71 @@ impl Discriminator for DeployedDiscriminator {
             .iter()
             .map(|h| h.sizes().windows(2).map(|w| w[0] * w[1]).sum::<usize>())
             .sum()
+    }
+}
+
+/// The serialisable body of a [`DeployedDiscriminator`] inside the
+/// registry's `SavedModel` v2 envelope: the fitted banks plus the heads
+/// already frozen to integers, so a reload serves bit-identically without
+/// requantising.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedDeployed {
+    banks: Vec<crate::QubitMfBank>,
+    standardizer: Standardizer,
+    heads: Vec<IntMlp>,
+    format: FixedPointFormat,
+    levels: usize,
+}
+
+impl DeployedDiscriminator {
+    pub(crate) fn to_saved(&self) -> SavedDeployed {
+        SavedDeployed {
+            banks: (0..self.extractor.n_qubits())
+                .map(|q| self.extractor.bank(q).clone())
+                .collect(),
+            standardizer: self.standardizer.clone(),
+            heads: self.heads.clone(),
+            format: self.format,
+            levels: self.levels,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedDeployed,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        let n = chip.n_qubits();
+        if saved.banks.len() != n || saved.heads.len() != n {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} banks / {} heads for {} qubits",
+                saved.banks.len(),
+                saved.heads.len(),
+                n
+            )));
+        }
+        let feature_dim: usize = saved.banks.iter().map(crate::QubitMfBank::n_filters).sum();
+        if saved.standardizer.dim() != feature_dim {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "standardizer dim {} != feature dim {feature_dim}",
+                saved.standardizer.dim()
+            )));
+        }
+        for (q, head) in saved.heads.iter().enumerate() {
+            let sizes = head.sizes();
+            if sizes.first() != Some(&feature_dim) || sizes.last() != Some(&saved.levels) {
+                return Err(crate::ModelIoError::Invalid(format!(
+                    "integer head {q} shape {sizes:?} != [{feature_dim}, .., {}]",
+                    saved.levels
+                )));
+            }
+        }
+        Ok(Self {
+            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            standardizer: saved.standardizer,
+            heads: saved.heads,
+            format: saved.format,
+            levels: saved.levels,
+        })
     }
 }
 

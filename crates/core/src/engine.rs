@@ -1,0 +1,651 @@
+//! The serving layer of the model lifecycle: a micro-batching inference
+//! engine over any trained discriminator.
+//!
+//! The batch path ([`crate::Discriminator::predict_batch`]) is ~2.4× faster per
+//! shot than the per-shot loop, but it wants shots *in bulk* — while a
+//! control system (or a fleet of concurrent callers) produces them one at
+//! a time. [`ReadoutEngine`] closes that gap the way production model
+//! servers do: callers [`Session::submit`] individual shots from any
+//! thread and get a [`Ticket`] back; a dedicated worker coalesces queued
+//! shots until either `max_batch` is reached or the oldest submission has
+//! waited `max_delay`, issues **one** `predict_batch` call for the whole
+//! micro-batch, and resolves every ticket with its per-qubit verdict.
+//!
+//! Verdicts are identical to calling `predict_batch` directly — batching
+//! only changes *when* shots are grouped, never the decision; the
+//! workspace's tests pin this for arbitrary submission orders and thread
+//! counts. Throughput at saturation stays within ~10 % of one big direct
+//! batch call (see the `engine_throughput` bench): almost every cycle is
+//! still spent inside the same fused batch kernels, and the machinery
+//! around them — conditional worker wakeups, a bounded backpressured
+//! queue, recycled trace buffers — is tuned so the per-shot cost is the
+//! one unavoidable trace copy plus a couple of uncontended lock
+//! acquisitions.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mlr_core::{registry, DiscriminatorSpec, EngineConfig, ReadoutEngine};
+//! use mlr_sim::{ChipConfig, TraceDataset};
+//!
+//! let dataset = TraceDataset::generate(&ChipConfig::five_qubit_paper(), 3, 50, 7);
+//! let split = dataset.paper_split(7);
+//! let model = registry::fit(&DiscriminatorSpec::default(), &dataset, &split, 7);
+//! let engine = ReadoutEngine::new(Box::new(model), EngineConfig::default());
+//! let session = engine.session();
+//! let ticket = session.submit(dataset.raw(0));
+//! println!("verdict: {:?}", ticket.wait());
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mlr_num::Complex;
+
+use crate::spec::BoxedDiscriminator;
+
+/// Locks a mutex, recovering from poisoning: every engine state
+/// transition completes atomically under the guard, so state behind a
+/// poisoned lock is still consistent (poisoning here only means some
+/// *caller* panicked while holding it — e.g. a deliberate
+/// submit-after-shutdown panic).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Micro-batching policy of a [`ReadoutEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Flush as soon as this many shots are queued. 64 matches the batch
+    /// kernels' sweet spot on the 5-qubit chip (see the
+    /// `engine_throughput` bench).
+    pub max_batch: usize,
+    /// Flush when the oldest queued shot has waited this long, so a lone
+    /// shot is never stranded behind an empty queue.
+    pub max_delay: Duration,
+    /// Backpressure bound: [`Session::submit`] blocks while this many
+    /// shots are already queued. Bounds the engine's memory to
+    /// `max_queue` traces and keeps the recycled trace buffers
+    /// cache-resident (an unbounded queue measurably slows the inference
+    /// it feeds — see the `engine_throughput` bench). Must be at least
+    /// `max_batch`.
+    pub max_queue: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            max_queue: 128,
+        }
+    }
+}
+
+/// One queued shot: the owned trace, the slot its verdict lands in, and
+/// when it entered the queue (anchors the flush deadline).
+struct Job {
+    trace: Vec<Complex>,
+    slot: Arc<TicketState>,
+    submitted_at: Instant,
+}
+
+/// Shared resolution state behind a [`Ticket`].
+struct TicketState {
+    state: Mutex<TicketInner>,
+    ready: Condvar,
+}
+
+struct TicketInner {
+    verdict: Option<Vec<usize>>,
+    /// Whether the ticket holder is (about to be) blocked in [`Ticket::wait`];
+    /// lets the resolver skip the wake syscall for tickets nobody is
+    /// waiting on yet — the common case under bulk submission.
+    waiting: bool,
+    /// Set when the worker died (the model panicked) before this shot
+    /// could be classified; waiters propagate instead of hanging.
+    failed: bool,
+}
+
+/// A pending verdict for one submitted shot.
+///
+/// Resolves once the engine's worker has flushed the micro-batch
+/// containing the shot; [`Ticket::wait`] blocks until then.
+pub struct Ticket {
+    slot: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the verdict is available and returns the per-qubit
+    /// level decisions, in qubit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's worker died (the model panicked) before
+    /// this shot's micro-batch was classified — the verdict will never
+    /// arrive, and hanging forever would hide the failure.
+    pub fn wait(self) -> Vec<usize> {
+        let mut guard = lock_recovering(&self.slot.state);
+        loop {
+            if let Some(verdict) = guard.verdict.take() {
+                return verdict;
+            }
+            assert!(
+                !guard.failed,
+                "ReadoutEngine worker panicked; this shot's verdict was lost"
+            );
+            guard.waiting = true;
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Returns a copy of the verdict if it is already available, without
+    /// blocking or consuming it — [`Ticket::wait`] still works afterwards.
+    pub fn try_wait(&self) -> Option<Vec<usize>> {
+        lock_recovering(&self.slot.state).verdict.clone()
+    }
+}
+
+/// Submission queue shared between sessions and the worker.
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals the worker: new work or shutdown.
+    wake: Condvar,
+    /// Signals submitters blocked on the [`EngineConfig::max_queue`]
+    /// backpressure bound: space freed or shutdown.
+    space: Condvar,
+    /// The flush size and queue bound, mirrored out of the config so
+    /// submitters know when a notify is worth a syscall.
+    max_batch: usize,
+    max_queue: usize,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Recycled trace buffers: flushed jobs return their `Vec<Complex>`
+    /// here and submissions refill from it, so a busy engine stops
+    /// touching the allocator (and keeps its working set at roughly one
+    /// micro-batch of traces instead of one per queued shot — cache
+    /// pressure directly measurable in the `engine_throughput` bench).
+    spare_buffers: Vec<Vec<Complex>>,
+    closed: bool,
+}
+
+/// A cloneable handle for submitting shots to a [`ReadoutEngine`] from any
+/// thread.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+}
+
+impl Session {
+    /// Enqueues one raw multiplexed trace for classification; the returned
+    /// [`Ticket`] resolves to the per-qubit verdict once the micro-batch
+    /// containing it is flushed.
+    ///
+    /// The trace is copied into the engine (submission outlives the
+    /// caller's borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has shut down (the [`ReadoutEngine`] was
+    /// dropped while this session survived it).
+    pub fn submit(&self, raw: &[Complex]) -> Ticket {
+        let slot = Arc::new(TicketState {
+            state: Mutex::new(TicketInner {
+                verdict: None,
+                waiting: false,
+                failed: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let must_wake = {
+            let mut queue = lock_recovering(&self.shared.queue);
+            // Backpressure: wait for queue space rather than buffering
+            // without bound (see `EngineConfig::max_queue`).
+            while queue.jobs.len() >= self.shared.max_queue && !queue.closed {
+                queue = self
+                    .shared
+                    .space
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            assert!(!queue.closed, "submit on a shut-down ReadoutEngine");
+            let mut trace = queue.spare_buffers.pop().unwrap_or_default();
+            trace.clear();
+            trace.extend_from_slice(raw);
+            queue.jobs.push_back(Job {
+                trace,
+                slot: Arc::clone(&slot),
+                submitted_at: Instant::now(),
+            });
+            // Wake the worker only on the transitions it can act on: the
+            // queue becoming non-empty (it may be idle-waiting) or
+            // crossing the flush size (it may be deadline-waiting; it
+            // never waits with a full batch queued, so the == transition
+            // is hit exactly once per flush). Anything else would wake it
+            // just to go back to sleep — on a busy engine that is one
+            // context switch per shot, and it dominates serving overhead.
+            let len = queue.jobs.len();
+            len == 1 || len == self.shared.max_batch
+        };
+        if must_wake {
+            self.shared.wake.notify_one();
+        }
+        Ticket { slot }
+    }
+}
+
+/// The micro-batching serving front door; see the [module docs](self).
+///
+/// Owns the trained model (any [`crate::Discriminator`], typically a
+/// [`crate::TrainedModel`] from the registry) and one worker thread.
+/// Dropping the engine flushes the remaining queue and joins the worker;
+/// outstanding tickets still resolve.
+pub struct ReadoutEngine {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl ReadoutEngine {
+    /// Spawns the engine's worker around a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` is zero.
+    pub fn new(model: BoxedDiscriminator, config: EngineConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.max_queue > 0, "max_queue must be positive");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                spare_buffers: Vec::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            space: Condvar::new(),
+            max_batch: config.max_batch,
+            max_queue: config.max_queue.max(config.max_batch),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("mlr-readout-engine".to_owned())
+            .spawn(move || worker_loop(model, &worker_shared, config))
+            .expect("spawn engine worker");
+        Self {
+            shared,
+            worker: Some(worker),
+            config,
+        }
+    }
+
+    /// The engine's batching policy.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Opens a submission handle; sessions are cheap to clone and safe to
+    /// use from many threads at once.
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Convenience: submit a batch of shots through one session and wait
+    /// for all verdicts, in input order.
+    pub fn classify_all(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let session = self.session();
+        let tickets: Vec<Ticket> = shots.iter().map(|raw| session.submit(raw)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for ReadoutEngine {
+    fn drop(&mut self) {
+        {
+            let mut queue = lock_recovering(&self.shared.queue);
+            queue.closed = true;
+        }
+        self.shared.wake.notify_all();
+        self.shared.space.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: wait for work, coalesce a micro-batch (up to `max_batch`
+/// shots or `max_delay` past the oldest submission), classify it in one
+/// `predict_batch` call, resolve the tickets; on shutdown drain whatever
+/// is queued. A model panic fails all outstanding tickets and closes the
+/// engine (see the test `model_panic_fails_tickets_and_closes_engine…`).
+fn worker_loop(model: BoxedDiscriminator, shared: &Shared, config: EngineConfig) {
+    loop {
+        let batch = {
+            let mut queue = lock_recovering(&shared.queue);
+            // Phase 1: sleep until there is at least one job (or shutdown).
+            while queue.jobs.is_empty() && !queue.closed {
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if queue.jobs.is_empty() && queue.closed {
+                return;
+            }
+            // Phase 2: the oldest job's *submission* starts the flush
+            // clock (so a shot queued while the previous batch was being
+            // classified does not have its wait restarted); top the batch
+            // up until it is full, the deadline passes, or shutdown.
+            let deadline =
+                queue.jobs.front().expect("nonempty queue").submitted_at + config.max_delay;
+            while queue.jobs.len() < config.max_batch && !queue.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
+            }
+            let take = queue.jobs.len().min(config.max_batch);
+            queue.jobs.drain(..take).collect::<Vec<Job>>()
+        };
+
+        let shots: Vec<&[Complex]> = batch.iter().map(|job| job.trace.as_slice()).collect();
+        let verdicts = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.predict_batch(&shots)
+        })) {
+            Ok(verdicts) => verdicts,
+            Err(_) => {
+                // The model panicked (e.g. a trace whose length does not
+                // match its chip). Fail loudly instead of hanging: mark
+                // every outstanding ticket failed, close the engine, and
+                // wake everyone — waiters panic in `wait`, submitters
+                // panic on the closed queue.
+                drop(shots);
+                let queued = {
+                    let mut queue = lock_recovering(&shared.queue);
+                    queue.closed = true;
+                    std::mem::take(&mut queue.jobs)
+                };
+                for job in batch.into_iter().chain(queued) {
+                    let mut inner = lock_recovering(&job.slot.state);
+                    inner.failed = true;
+                    drop(inner);
+                    job.slot.ready.notify_all();
+                }
+                shared.wake.notify_all();
+                shared.space.notify_all();
+                return;
+            }
+        };
+        drop(shots);
+        let mut buffers = Vec::with_capacity(batch.len());
+        for (job, verdict) in batch.into_iter().zip(verdicts) {
+            let waiting = {
+                let mut inner = lock_recovering(&job.slot.state);
+                inner.verdict = Some(verdict);
+                inner.waiting
+            };
+            // The wake syscall is only worth it when the holder is (or is
+            // about to be) blocked in `wait`; under bulk submission most
+            // tickets are resolved before anyone waits on them.
+            if waiting {
+                job.slot.ready.notify_all();
+            }
+            buffers.push(job.trace);
+        }
+        // Hand the flushed traces back to the submission pool (bounded at
+        // the queue depth so an idle engine does not pin memory) and let
+        // backpressured submitters move up.
+        {
+            let mut queue = lock_recovering(&shared.queue);
+            let cap = shared.max_queue;
+            while queue.spare_buffers.len() < cap {
+                match buffers.pop() {
+                    Some(buf) => queue.spare_buffers.push(buf),
+                    None => break,
+                }
+            }
+        }
+        shared.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gather_shots, Discriminator};
+    use mlr_sim::{ChipConfig, TraceDataset};
+
+    /// A deterministic stand-in model: "level" = trace length modulo the
+    /// alphabet, so verdicts encode which shot produced them.
+    struct Echo;
+
+    impl Discriminator for Echo {
+        fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+            vec![raw.len() % 3; 2]
+        }
+        fn name(&self) -> &str {
+            "ECHO"
+        }
+        fn n_qubits(&self) -> usize {
+            2
+        }
+        fn weight_count(&self) -> usize {
+            0
+        }
+    }
+
+    fn trace(len: usize) -> Vec<Complex> {
+        vec![Complex::new(1.0, -1.0); len]
+    }
+
+    #[test]
+    #[ignore = "diagnostic timing probe, run with --release -- --ignored"]
+    fn overhead_probe() {
+        let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+        let traces: Vec<Vec<Complex>> = (0..512).map(|_| trace(500)).collect();
+        let shots: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+        let _ = engine.classify_all(&shots); // warm
+        let t = std::time::Instant::now();
+        for _ in 0..20 {
+            let _ = engine.classify_all(&shots);
+        }
+        let per_iter = t.elapsed().as_secs_f64() / 20.0;
+        eprintln!(
+            "pure engine overhead: {:.3} ms per 512 shots ({:.2} us/shot)",
+            per_iter * 1e3,
+            per_iter * 1e6 / 512.0
+        );
+    }
+
+    #[test]
+    fn single_submission_resolves_before_batch_fills() {
+        let engine = ReadoutEngine::new(
+            Box::new(Echo),
+            EngineConfig {
+                max_batch: 64,
+                max_delay: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine.session().submit(&trace(7));
+        assert_eq!(ticket.wait(), vec![1, 1]);
+    }
+
+    #[test]
+    fn verdicts_match_submission_not_arrival_order() {
+        let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+        let session = engine.session();
+        let tickets: Vec<(usize, Ticket)> = (0..200)
+            .map(|i| (i, session.submit(&trace(i + 1))))
+            .collect();
+        for (i, ticket) in tickets {
+            assert_eq!(ticket.wait(), vec![(i + 1) % 3; 2], "shot {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_from_many_threads_agree_with_direct_batch() {
+        let mut chip = ChipConfig::uniform(2);
+        chip.n_samples = 80;
+        let ds = TraceDataset::generate(&chip, 3, 6, 5);
+        let split = ds.split(0.6, 0.0, 5);
+        let spec = crate::DiscriminatorSpec::Discriminant(crate::DiscriminantKind::Lda);
+        let model = crate::registry::fit(&spec, &ds, &split, 5);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let expected = model.predict_batch(&gather_shots(&ds, &all));
+
+        let engine = ReadoutEngine::new(
+            Box::new(model),
+            EngineConfig {
+                max_batch: 7, // deliberately unaligned with the shot count
+                max_delay: Duration::from_micros(50),
+                ..EngineConfig::default()
+            },
+        );
+        let verdicts: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = all
+                .chunks(13)
+                .map(|chunk| {
+                    let session = engine.session();
+                    let ds = &ds;
+                    scope.spawn(move || {
+                        let tickets: Vec<(usize, Ticket)> = chunk
+                            .iter()
+                            .map(|&i| (i, session.submit(ds.raw(i))))
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|(i, t)| (i, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<(usize, Vec<usize>)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect();
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, v)| v).collect()
+        });
+        assert_eq!(verdicts, expected);
+    }
+
+    #[test]
+    fn classify_all_matches_direct_predict_batch() {
+        let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+        let traces: Vec<Vec<Complex>> = (1..40).map(trace).collect();
+        let shots: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+        assert_eq!(engine.classify_all(&shots), Echo.predict_batch(&shots));
+    }
+
+    #[test]
+    fn drop_resolves_outstanding_tickets() {
+        let engine = ReadoutEngine::new(
+            Box::new(Echo),
+            EngineConfig {
+                max_batch: 1000,
+                max_delay: Duration::from_secs(5),
+                ..EngineConfig::default()
+            },
+        );
+        let session = engine.session();
+        let tickets: Vec<Ticket> = (1..20).map(|i| session.submit(&trace(i))).collect();
+        drop(engine); // flushes the queue before joining the worker
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait(), vec![(i + 1) % 3; 2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shut-down ReadoutEngine")]
+    fn submit_after_shutdown_panics() {
+        let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+        let session = engine.session();
+        drop(engine);
+        let _ = session.submit(&trace(3));
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking_and_nonconsuming() {
+        let engine = ReadoutEngine::new(
+            Box::new(Echo),
+            EngineConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(5),
+                ..EngineConfig::default()
+            },
+        );
+        let session = engine.session();
+        let first = session.submit(&trace(4));
+        // One queued shot, batch of two, five-second deadline: nothing can
+        // have resolved yet unless try_wait were to block.
+        let immediate = first.try_wait();
+        assert!(immediate.is_none());
+        let second = session.submit(&trace(5));
+        assert_eq!(second.wait(), vec![2, 2]);
+        // After the flush the first ticket resolves too — and peeking does
+        // not consume it, so wait still returns the verdict.
+        assert_eq!(first.try_wait(), Some(vec![1, 1]));
+        assert_eq!(first.try_wait(), Some(vec![1, 1]));
+        assert_eq!(first.wait(), vec![1, 1]);
+    }
+
+    /// A model that panics on traces of one specific length.
+    struct Tripwire;
+
+    impl Discriminator for Tripwire {
+        fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+            assert!(raw.len() != 13, "tripwire: poisoned trace length");
+            vec![0; 2]
+        }
+        fn name(&self) -> &str {
+            "TRIPWIRE"
+        }
+        fn n_qubits(&self) -> usize {
+            2
+        }
+        fn weight_count(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn model_panic_fails_tickets_and_closes_engine_instead_of_hanging() {
+        let engine = ReadoutEngine::new(
+            Box::new(Tripwire),
+            EngineConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+        );
+        let session = engine.session();
+        // A healthy batch still works.
+        assert_eq!(session.submit(&trace(4)).wait(), vec![0, 0]);
+        // A poisoned batch fails its tickets loudly...
+        let bad = session.submit(&trace(13));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
+        assert!(err.is_err(), "wait on a failed ticket must panic");
+        // ...and the engine refuses further submissions instead of
+        // accepting work it can never classify.
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.submit(&trace(4))));
+        assert!(err.is_err(), "submit after a worker panic must panic");
+    }
+}

@@ -38,26 +38,37 @@
 
 #![deny(missing_docs)]
 
+mod baselines;
 mod batch;
 mod deployment;
 mod discriminator;
+pub mod engine;
 mod features;
 mod leakage;
 mod mf_bank;
 mod model_io;
 mod pipeline;
 mod qec_bridge;
+pub mod registry;
+pub mod spec;
 mod streaming;
 
+pub use baselines::{
+    AutoencoderBaseline, AutoencoderConfig, DiscriminantAnalysis, DiscriminantKind, FnnBaseline,
+    FnnConfig, HerqulesBaseline, HerqulesConfig, HmmBaseline, HmmConfig,
+};
 pub use batch::{batch_threads, par_map, par_map_indexed};
-pub use deployment::DeployedDiscriminator;
+pub use deployment::{DeployedConfig, DeployedDiscriminator};
 pub use discriminator::{evaluate, evaluate_confusion, gather_shots, Discriminator, EvalReport};
+pub use engine::{EngineConfig, ReadoutEngine, Session, Ticket};
 pub use features::FeatureExtractor;
 pub use leakage::{LeakageHarvest, NaturalLeakageDetector};
 pub use mf_bank::{FilterRole, QubitMfBank};
 pub use model_io::{ModelIoError, SavedModel};
 pub use pipeline::{OursConfig, OursDiscriminator};
 pub use qec_bridge::DiscriminatorHerald;
+pub use registry::TrainedModel;
+pub use spec::{DiscriminatorSpec, TrainableDiscriminator};
 pub use streaming::{
     evaluate_streaming, ShotStream, StreamingConfig, StreamingDecision, StreamingReadout,
     StreamingReport,

@@ -27,6 +27,9 @@ pub enum ModelIoError {
     Json(serde_json::Error),
     /// Structurally valid JSON describing an inconsistent model.
     Invalid(String),
+    /// A well-formed envelope written by a newer format revision than this
+    /// build reads (`SavedModel` v1 and the registry's v2 are supported).
+    UnsupportedVersion(u32),
 }
 
 impl fmt::Display for ModelIoError {
@@ -35,6 +38,11 @@ impl fmt::Display for ModelIoError {
             ModelIoError::Io(e) => write!(f, "model io failed: {e}"),
             ModelIoError::Json(e) => write!(f, "model encoding failed: {e}"),
             ModelIoError::Invalid(msg) => write!(f, "invalid model file: {msg}"),
+            ModelIoError::UnsupportedVersion(v) => write!(
+                f,
+                "model format version {v} is newer than this build reads (supported: 1, {})",
+                crate::registry::FORMAT_VERSION
+            ),
         }
     }
 }
@@ -44,7 +52,7 @@ impl std::error::Error for ModelIoError {
         match self {
             ModelIoError::Io(e) => Some(e),
             ModelIoError::Json(e) => Some(e),
-            ModelIoError::Invalid(_) => None,
+            ModelIoError::Invalid(_) | ModelIoError::UnsupportedVersion(_) => None,
         }
     }
 }
@@ -63,7 +71,13 @@ impl From<serde_json::Error> for ModelIoError {
     }
 }
 
-/// The serialisable form of a trained [`OursDiscriminator`].
+/// The serialisable form of a trained [`OursDiscriminator`] — the legacy
+/// v1 file layout.
+///
+/// New code should persist through [`crate::registry`], whose `SavedModel`
+/// v2 envelope covers *every* discriminator family; v1 files written by
+/// this type keep loading through [`crate::registry::load_json`] (and
+/// [`OursDiscriminator::load_json`]) indefinitely.
 ///
 /// # Examples
 ///

@@ -5,11 +5,12 @@ use mlr_dsp::MatchedFilterKind;
 use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 use crate::{Discriminator, FeatureExtractor};
 
 /// Configuration of [`OursDiscriminator::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OursConfig {
     /// Matched-filter kernel normalisation.
     pub mf_kind: MatchedFilterKind,
@@ -261,6 +262,47 @@ impl Discriminator for OursDiscriminator {
 
     fn weight_count(&self) -> usize {
         self.heads.iter().map(Mlp::weight_count).sum()
+    }
+}
+
+/// The serialisable body of a trained [`OursDiscriminator`] inside the
+/// registry's `SavedModel` v2 envelope — the v1 schema minus the chip,
+/// which travels in the envelope (see [`crate::SavedModel`] for the
+/// legacy v1 file layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedOurs {
+    banks: Vec<crate::QubitMfBank>,
+    standardizer: Standardizer,
+    heads: Vec<Mlp>,
+    levels: usize,
+}
+
+impl OursDiscriminator {
+    pub(crate) fn to_saved(&self) -> SavedOurs {
+        SavedOurs {
+            banks: (0..self.extractor.n_qubits())
+                .map(|q| self.extractor.bank(q).clone())
+                .collect(),
+            standardizer: self.standardizer.clone(),
+            heads: self.heads.clone(),
+            levels: self.levels,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedOurs,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        // Same invariants as the legacy v1 loader, shared via SavedModel.
+        let legacy = crate::SavedModel {
+            format_version: crate::SavedModel::CURRENT_VERSION,
+            chip,
+            levels: saved.levels,
+            banks: saved.banks,
+            standardizer: saved.standardizer,
+            heads: saved.heads,
+        };
+        Self::try_from(legacy)
     }
 }
 

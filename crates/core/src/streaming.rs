@@ -24,14 +24,19 @@ use mlr_dsp::StreamingDemodulator;
 use mlr_nn::{Mlp, Standardizer, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
+use serde::{Deserialize, Serialize};
 
 use crate::{Discriminator, FeatureExtractor, OursConfig};
 
 /// Configuration of [`StreamingReadout::fit`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamingConfig {
     /// Sample counts at which decisions may be taken, ascending. The last
-    /// checkpoint is the full readout window and always decides.
+    /// checkpoint is the full readout window and always decides. **An
+    /// empty list means "quarters of the dataset's readout window"**,
+    /// resolved at fit time — what [`StreamingConfig::default`] (and the
+    /// registry's `OURS-STREAM` name) uses, so one spec fits chips with
+    /// any window length.
     pub checkpoints: Vec<usize>,
     /// Per-qubit softmax confidence every qubit must clear to decide at a
     /// non-final checkpoint. Values `> 1` disable early termination.
@@ -53,9 +58,21 @@ impl StreamingConfig {
     }
 }
 
+impl Default for StreamingConfig {
+    /// Window-relative quarter checkpoints (resolved against the dataset
+    /// at fit time) with the paper-flavoured confidence of 0.95.
+    fn default() -> Self {
+        Self {
+            checkpoints: Vec::new(),
+            confidence: 0.95,
+            base: OursConfig::default(),
+        }
+    }
+}
+
 /// One checkpoint's decision stage: a standardiser and per-qubit heads
 /// trained on partial matched-filter scores at that sample count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Checkpoint {
     n_samples: usize,
     standardizer: Standardizer,
@@ -130,18 +147,27 @@ impl StreamingReadout {
     ///
     /// # Panics
     ///
-    /// Panics if `config.checkpoints` is empty, not strictly ascending, or
-    /// exceeds the readout window; if the training split is missing a
+    /// Panics if `config.checkpoints` is not strictly ascending or
+    /// exceeds the readout window (an empty list is valid: it resolves to
+    /// quarter-window checkpoints); if the training split is missing a
     /// level; or if splits index out of range.
     pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &StreamingConfig) -> Self {
         let chip = dataset.config();
-        assert!(!config.checkpoints.is_empty(), "no checkpoints configured");
+        // An empty checkpoint list is window-relative: quarters of this
+        // dataset's readout window.
+        let resolved;
+        let checkpoints: &[usize] = if config.checkpoints.is_empty() {
+            resolved = StreamingConfig::quarters(chip.n_samples).checkpoints;
+            &resolved
+        } else {
+            &config.checkpoints
+        };
         assert!(
-            config.checkpoints.windows(2).all(|w| w[0] < w[1]),
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
             "checkpoints must be strictly ascending"
         );
         assert!(
-            *config.checkpoints.last().expect("nonempty") <= chip.n_samples,
+            *checkpoints.last().expect("nonempty") <= chip.n_samples,
             "checkpoint beyond the readout window"
         );
 
@@ -158,8 +184,7 @@ impl StreamingReadout {
         let p = extractor.feature_dim();
         let sizes = [p, (p / 2).max(levels), (p / 4).max(levels), levels];
 
-        let checkpoints = config
-            .checkpoints
+        let checkpoints = checkpoints
             .iter()
             .enumerate()
             .map(|(ci, &n_samples)| {
@@ -473,6 +498,88 @@ pub fn evaluate_streaming(
     }
 }
 
+/// The serialisable body of a fitted [`StreamingReadout`] inside the
+/// registry's `SavedModel` v2 envelope; the full-length banks and every
+/// checkpoint's decision stage are stored, the demodulation tables are
+/// rebuilt from the envelope's chip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SavedStreaming {
+    banks: Vec<crate::QubitMfBank>,
+    checkpoints: Vec<Checkpoint>,
+    confidence: f64,
+}
+
+impl StreamingReadout {
+    pub(crate) fn to_saved(&self) -> SavedStreaming {
+        SavedStreaming {
+            banks: (0..self.n_qubits)
+                .map(|q| self.extractor.bank(q).clone())
+                .collect(),
+            checkpoints: self.checkpoints.clone(),
+            confidence: self.confidence,
+        }
+    }
+
+    pub(crate) fn from_saved(
+        saved: SavedStreaming,
+        chip: mlr_sim::ChipConfig,
+    ) -> Result<Self, crate::ModelIoError> {
+        let n_qubits = chip.n_qubits();
+        if saved.banks.len() != n_qubits {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "{} streaming banks for {} qubits",
+                saved.banks.len(),
+                n_qubits
+            )));
+        }
+        if saved.checkpoints.is_empty()
+            || !saved
+                .checkpoints
+                .windows(2)
+                .all(|w| w[0].n_samples < w[1].n_samples)
+        {
+            return Err(crate::ModelIoError::Invalid(
+                "streaming checkpoints must be nonempty and strictly ascending".to_owned(),
+            ));
+        }
+        if saved.checkpoints.last().expect("nonempty").n_samples > chip.n_samples {
+            return Err(crate::ModelIoError::Invalid(format!(
+                "checkpoint beyond the {}-sample readout window",
+                chip.n_samples
+            )));
+        }
+        let feature_dim: usize = saved.banks.iter().map(crate::QubitMfBank::n_filters).sum();
+        for (ci, cp) in saved.checkpoints.iter().enumerate() {
+            if cp.heads.len() != n_qubits {
+                return Err(crate::ModelIoError::Invalid(format!(
+                    "checkpoint {ci} has {} heads for {n_qubits} qubits",
+                    cp.heads.len()
+                )));
+            }
+            if cp.standardizer.dim() != feature_dim {
+                return Err(crate::ModelIoError::Invalid(format!(
+                    "checkpoint {ci} standardizer dim {} != feature dim {feature_dim}",
+                    cp.standardizer.dim()
+                )));
+            }
+            for (q, head) in cp.heads.iter().enumerate() {
+                if head.input_len() != feature_dim {
+                    return Err(crate::ModelIoError::Invalid(format!(
+                        "checkpoint {ci} head {q} input {} != feature dim {feature_dim}",
+                        head.input_len()
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            checkpoints: saved.checkpoints,
+            confidence: saved.confidence,
+            n_qubits,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +597,27 @@ mod tests {
         };
         let readout = StreamingReadout::fit(&ds, &split, &config);
         (ds, split, readout)
+    }
+
+    #[test]
+    fn empty_checkpoints_resolve_to_window_quarters() {
+        let mut c = ChipConfig::uniform(2);
+        c.n_samples = 80;
+        let ds = TraceDataset::generate(&c, 2, 6, 1);
+        let split = ds.split(0.5, 0.0, 1);
+        let config = StreamingConfig {
+            base: OursConfig {
+                train: mlr_nn::TrainConfig {
+                    epochs: 2,
+                    ..OursConfig::default().train
+                },
+                ..OursConfig::default()
+            },
+            ..StreamingConfig::default()
+        };
+        let readout = StreamingReadout::fit(&ds, &split, &config);
+        // The registry's OURS-STREAM default adapts to any chip window.
+        assert_eq!(readout.checkpoint_samples(), vec![20, 40, 60, 80]);
     }
 
     #[test]

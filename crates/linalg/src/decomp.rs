@@ -1,6 +1,7 @@
 //! LU (partial pivoting) and Cholesky factorisations.
 
 use crate::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// LU factorisation with partial pivoting: `P * A = L * U`.
 ///
@@ -157,10 +158,30 @@ impl Lu {
 /// let ch = a.cholesky().expect("SPD");
 /// assert!((ch.log_det() - (4.0f64 * 3.0 - 4.0).ln()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Cholesky {
     /// Lower-triangular factor (entries above the diagonal are zero).
     l: Matrix,
+}
+
+/// Hand-written so a deserialised factor is at least square — the solve
+/// and log-det paths index `l[(i, j)]` for `j <= i < n` and would panic
+/// (or read out of shape) on a rectangular payload.
+impl Deserialize for Cholesky {
+    fn from_json_value(value: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("Cholesky: expected an object"))?;
+        let l = Matrix::from_json_value(serde::obj_get(entries, "l")?)?;
+        if l.rows() != l.cols() {
+            return Err(serde::DeError::new(format!(
+                "Cholesky: factor must be square, got {}x{}",
+                l.rows(),
+                l.cols()
+            )));
+        }
+        Ok(Self { l })
+    }
 }
 
 impl Cholesky {

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+use serde::{Deserialize, Serialize};
+
 use crate::{Cholesky, Lu, SymmetricEigen};
 
 /// A dense, row-major `f64` matrix.
@@ -20,11 +22,36 @@ use crate::{Cholesky, Lu, SymmetricEigen};
 /// assert_eq!(&a * &b, a);
 /// assert_eq!(a[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+/// Hand-written so deserialisation cannot bypass the shape invariant a
+/// constructor would enforce: `data.len() == rows * cols`. A derived
+/// impl would accept a truncated or padded payload and index out of
+/// bounds (or silently read garbage) at use time.
+impl Deserialize for Matrix {
+    fn from_json_value(value: &serde::JsonValue) -> Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("Matrix: expected an object"))?;
+        let rows = usize::from_json_value(serde::obj_get(entries, "rows")?)?;
+        let cols = usize::from_json_value(serde::obj_get(entries, "cols")?)?;
+        let data = Vec::<f64>::from_json_value(serde::obj_get(entries, "data")?)?;
+        let expected = rows
+            .checked_mul(cols)
+            .ok_or_else(|| serde::DeError::new("Matrix: rows * cols overflows"))?;
+        if data.len() != expected {
+            return Err(serde::DeError::new(format!(
+                "Matrix: {rows}x{cols} needs {expected} entries, got {}",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
 }
 
 impl Matrix {
@@ -364,6 +391,26 @@ pub fn covariance_matrix(data: &Matrix) -> Matrix {
         }
     }
     cov
+}
+
+#[cfg(test)]
+mod tests_serde {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_and_shape_validation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let json = serde_json::to_string(&m).unwrap();
+        let round: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(round, m);
+        // A payload whose claimed shape disagrees with its data length is
+        // rejected at parse time, not at first (out-of-bounds) use.
+        let bad = json.replace("\"rows\":2", "\"rows\":3");
+        assert_ne!(bad, json);
+        assert!(serde_json::from_str::<Matrix>(&bad).is_err());
+        let bad_chol = format!("{{\"l\":{json}}}").replace("\"cols\":2", "\"cols\":1");
+        assert!(serde_json::from_str::<crate::Cholesky>(&bad_chol).is_err());
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::mlp::{softmax, Mlp};
+use serde::{Deserialize, Serialize};
 
 /// A labelled classification dataset in network precision.
 ///
@@ -139,7 +140,7 @@ impl TrainData {
 }
 
 /// Hyper-parameters for [`Mlp::train`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,

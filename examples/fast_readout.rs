@@ -5,7 +5,7 @@
 //! cargo run --release --example fast_readout
 //! ```
 
-use mlr_core::{evaluate, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, DiscriminatorSpec};
 use mlr_qec::QecCycleTiming;
 use mlr_sim::{ChipConfig, TraceDataset};
 
@@ -21,7 +21,7 @@ fn main() {
     println!("duration  mean fidelity  QEC cycle (Surface-17)");
     for n_samples in [150usize, 200, 250, 300, 350, 400, 450, 500] {
         let truncated = dataset.truncated(n_samples);
-        let ours = OursDiscriminator::fit(&truncated, &split, &OursConfig::default());
+        let ours = registry::fit(&DiscriminatorSpec::default(), &truncated, &split, 3);
         let report = evaluate(&ours, &truncated, &split.test);
         let mean =
             report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;

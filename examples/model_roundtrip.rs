@@ -1,6 +1,7 @@
-//! Calibrate once, deploy everywhere: train the discriminator, save it as
-//! JSON, reload it, and verify the restored model decides identically —
-//! including under the fixed-point arithmetic an FPGA deployment would use.
+//! Calibrate once, deploy everywhere: train discriminators through the
+//! registry, save them as tagged `SavedModel` v2 envelopes, reload them,
+//! and verify the restored models decide bit-identically — for the
+//! proposed design *and* a baseline family, plus a legacy v1 file.
 //!
 //! ```sh
 //! cargo run --release --example model_roundtrip
@@ -8,8 +9,7 @@
 
 use std::error::Error;
 
-use mlr_core::{Discriminator, OursConfig, OursDiscriminator};
-use mlr_nn::{FixedPointFormat, IntMlp, QuantizedMlp};
+use mlr_core::{registry, Discriminator, DiscriminatorSpec};
 use mlr_sim::{ChipConfig, TraceDataset};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -20,63 +20,59 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("Training...");
     let dataset = TraceDataset::generate_natural(&chip, 300, 5);
     let split = dataset.paper_split(5);
-    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-
-    let path = std::env::temp_dir().join("mlr_model_roundtrip.json");
-    ours.save_json_file(&path)?;
-    let bytes = std::fs::metadata(&path)?.len();
-    println!(
-        "Saved {} NN weights to {} ({bytes} bytes)",
-        ours.weight_count(),
-        path.display()
-    );
-
-    let restored = OursDiscriminator::load_json_file(&path)?;
     let check: Vec<usize> = split.test.iter().take(200).copied().collect();
-    // One batched call per model: the round-trip check rides the same
-    // batch-first path the evaluation harness uses.
     let shots = mlr_core::gather_shots(&dataset, &check);
+
+    // Every family round-trips through the same envelope; exercise the
+    // paper's design, its integer deployment, and a classical baseline.
+    for name in ["OURS", "OURS-INT", "QDA"] {
+        let spec: DiscriminatorSpec = name.parse()?;
+        let model = registry::fit(&spec, &dataset, &split, 5);
+
+        let path = std::env::temp_dir().join(format!("mlr_roundtrip_{name}.json"));
+        model.save_json_file(&path)?;
+        let bytes = std::fs::metadata(&path)?.len();
+        let restored = registry::load_json_file(&path)?;
+        assert_eq!(restored.spec(), model.spec());
+
+        // One batched call per model: the round-trip check rides the same
+        // batch-first path the evaluation harness uses.
+        let agree = model
+            .predict_batch(&shots)
+            .iter()
+            .zip(&restored.predict_batch(&shots))
+            .filter(|(a, b)| a == b)
+            .count();
+        println!(
+            "  {name:>8}: {bytes:>8} bytes, restored model agrees on {agree}/{} shots",
+            check.len()
+        );
+        assert_eq!(agree, check.len(), "bit-identity violated");
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Legacy v1 files (the OURS-only schema) load through the same front
+    // door: the registry maps them into the envelope's OURS family.
+    let spec = DiscriminatorSpec::default();
+    let model = registry::fit(&spec, &dataset, &split, 5);
+    let ours = model.as_ours().expect("OURS family");
+    let v1_path = std::env::temp_dir().join("mlr_roundtrip_v1.json");
+    ours.save_json_file(&v1_path)?; // writes the v1 layout
+    let from_v1 = registry::load_json_file(&v1_path)?;
     let agree = ours
         .predict_batch(&shots)
         .iter()
-        .zip(&restored.predict_batch(&shots))
+        .zip(&from_v1.predict_batch(&shots))
         .filter(|(a, b)| a == b)
         .count();
     println!(
-        "Restored model agrees on {agree}/{} test shots",
+        "  v1 file : loads as {} and agrees on {agree}/{} shots",
+        from_v1.spec(),
         check.len()
     );
     assert_eq!(agree, check.len());
+    std::fs::remove_file(&v1_path).ok();
 
-    // Deployment check: the per-qubit heads under 16-bit fixed point.
-    let fmt = FixedPointFormat::HLS4ML_DEFAULT;
-    println!("\nFixed-point deployment ({}-bit words):", fmt.total_bits());
-    for q in 0..2 {
-        let head = restored.head(q);
-        let int_head = IntMlp::from_mlp(head, fmt);
-        let q_head = QuantizedMlp::from_mlp(head, fmt);
-        let mut int_matches_float = 0usize;
-        let mut int_matches_model = 0usize;
-        for &i in check.iter().take(100) {
-            let features = restored.extractor().extract(dataset.raw(i));
-            // The head consumes standardised features; reuse the public
-            // prediction path for the float reference.
-            let x: Vec<f32> = features.iter().map(|&v| v as f32).collect();
-            let _ = &x; // features standardisation is internal; compare heads on raw scores
-            if int_head.predict(&x) == q_head.predict(&x) {
-                int_matches_model += 1;
-            }
-            if int_head.predict(&x) == head.predict(&x) {
-                int_matches_float += 1;
-            }
-        }
-        println!(
-            "  head {q}: integer datapath == float-quantised model on \
-             {int_matches_model}/100 inputs, == float on {int_matches_float}/100"
-        );
-        assert_eq!(int_matches_model, 100, "bit-exactness violated");
-    }
-    std::fs::remove_file(&path).ok();
-    println!("\nRoundtrip and fixed-point checks passed.");
+    println!("\nRoundtrip checks passed.");
     Ok(())
 }

@@ -1,11 +1,12 @@
-//! Quickstart: simulate a readout dataset, fit the proposed multi-level
-//! discriminator, and evaluate its per-qubit fidelity.
+//! Quickstart: simulate a readout dataset, train the proposed multi-level
+//! discriminator through the registry, evaluate it, and serve shots
+//! through the micro-batching engine.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use mlr_core::{evaluate, Discriminator, OursConfig, OursDiscriminator};
+use mlr_core::{evaluate, registry, Discriminator, DiscriminatorSpec, EngineConfig, ReadoutEngine};
 use mlr_sim::{ChipConfig, TraceDataset};
 
 fn main() {
@@ -28,17 +29,16 @@ fn main() {
         split.test.len()
     );
 
-    // Fit: matched-filter banks (QMF/RMF/EMF) + one tiny MLP per qubit.
-    println!("Fitting matched-filter banks and per-qubit heads...");
-    let ours = OursDiscriminator::fit(&dataset, &split, &OursConfig::default());
-    println!(
-        "  {} filters/qubit, {} NN weights total",
-        ours.extractor().per_qubit_dim(),
-        ours.weight_count()
-    );
+    // Train through the registry front door: any of the nine families is
+    // one name away (`mlr designs` lists them). The default spec is the
+    // paper's design — matched-filter banks + one tiny MLP per qubit.
+    let spec = DiscriminatorSpec::default();
+    println!("Fitting {spec} via the registry...");
+    let model = registry::fit(&spec, &dataset, &split, 7);
+    println!("  {} NN weights total", model.weight_count());
 
     // Evaluate: balanced per-qubit assignment fidelity on the test split.
-    let report = evaluate(&ours, &dataset, &split.test);
+    let report = evaluate(&model, &dataset, &split.test);
     for (q, f) in report.per_qubit_fidelity.iter().enumerate() {
         println!(
             "  qubit {}: fidelity {:.4} (per-level recall {:?})",
@@ -55,19 +55,20 @@ fn main() {
         report.geometric_mean_fidelity()
     );
 
-    // Classify a single fresh shot.
+    // Serve it: the engine coalesces shots submitted from any thread into
+    // micro-batches and classifies each with one fused predict_batch call.
+    // Verdicts are identical to calling the model directly.
+    let engine = ReadoutEngine::new(Box::new(model), EngineConfig::default());
+    let session = engine.session();
+    let tickets: Vec<_> = (0..10).map(|i| session.submit(dataset.raw(i))).collect();
+    let verdicts: Vec<Vec<usize>> = tickets.into_iter().map(|t| t.wait()).collect();
+    println!("Micro-batched verdicts for the first 10 shots: {verdicts:?}");
+
     let shot = dataset.view(0);
-    let decided = ours.predict_shot(shot.raw);
     println!(
-        "Single-shot decision: {:?} (prepared {}, actually started {})",
-        decided,
+        "Shot 0 decided {:?} (prepared {}, actually started {})",
+        verdicts[0],
         shot.prepared_state(),
         shot.initial_state()
     );
-
-    // Bulk scoring goes through the batch-first engine: one call, shared
-    // fused kernels, decisions identical to the per-shot loop.
-    let first_ten: Vec<usize> = (0..10).collect();
-    let batch = ours.predict_batch(&mlr_core::gather_shots(&dataset, &first_ten));
-    println!("Batched decisions for the first 10 shots: {batch:?}");
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example streaming_readout
 //! ```
 
-use mlr_core::{evaluate_streaming, StreamingConfig, StreamingReadout};
+use mlr_core::{evaluate_streaming, registry, DiscriminatorSpec, StreamingConfig};
 use mlr_sim::{ChipConfig, TraceDataset};
 
 fn main() {
@@ -30,13 +30,14 @@ fn main() {
         "confidence", "mean fid.", "mean dur (ns)", "decided at cp 0/1/2"
     );
     for confidence in [0.6, 0.8, 0.9, 0.95, 0.99, 2.0] {
-        let config = StreamingConfig {
+        let spec = DiscriminatorSpec::Streaming(StreamingConfig {
             checkpoints: vec![200, 300, 400],
             confidence,
             base: Default::default(),
-        };
-        let readout = StreamingReadout::fit(&dataset, &split, &config);
-        let report = evaluate_streaming(&readout, &dataset, &split.test);
+        });
+        let model = registry::fit(&spec, &dataset, &split, 11);
+        let readout = model.as_streaming().expect("streaming family");
+        let report = evaluate_streaming(readout, &dataset, &split.test);
         let mean_f =
             report.per_qubit_fidelity.iter().sum::<f64>() / report.per_qubit_fidelity.len() as f64;
         let label = if confidence > 1.0 {

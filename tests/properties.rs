@@ -5,13 +5,10 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use mlr_baselines::{
-    AutoencoderBaseline, AutoencoderConfig, DiscriminantAnalysis, DiscriminantKind, FnnBaseline,
-    FnnConfig, HerqulesBaseline, HerqulesConfig, HmmBaseline, HmmConfig,
-};
 use mlr_core::{
-    DeployedDiscriminator, Discriminator, OursConfig, OursDiscriminator, StreamingConfig,
-    StreamingReadout,
+    registry, AutoencoderConfig, DeployedConfig, DiscriminantKind, Discriminator,
+    DiscriminatorSpec, FnnConfig, HerqulesConfig, HmmConfig, OursConfig, OursDiscriminator,
+    StreamingConfig, TrainedModel,
 };
 use mlr_dsp::{Demodulator, MatchedFilter, MatchedFilterKind, StreamingDemodulator};
 use mlr_linalg::Matrix;
@@ -23,12 +20,68 @@ use mlr_qec::{
 };
 use mlr_sim::{basis_state_count, BasisState, ChipConfig, DatasetIoError, TraceDataset};
 
-/// Every discriminator family, fitted once on one small two-qubit chip so
-/// the batch-equivalence property can range over all of them cheaply.
+/// Every registry family, fitted once through `registry::fit` on one
+/// small two-qubit chip so the batch-equivalence and persistence
+/// properties can range over all of them cheaply. `reloaded` holds each
+/// model after one save→load round trip through the `SavedModel` v2
+/// envelope.
 struct DiscriminatorZoo {
     dataset: TraceDataset,
-    designs: Vec<Box<dyn Discriminator + Send>>,
+    models: Vec<TrainedModel>,
+    reloaded: Vec<TrainedModel>,
     ours: OursDiscriminator,
+}
+
+/// One quickly-trainable spec per registry family (test-budget epochs).
+fn zoo_specs() -> Vec<DiscriminatorSpec> {
+    let quick = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        early_stop_patience: None,
+        ..TrainConfig::default()
+    };
+    let quick_ours = OursConfig {
+        train: quick.clone(),
+        ..OursConfig::default()
+    };
+    vec![
+        DiscriminatorSpec::Ours(quick_ours.clone()),
+        DiscriminatorSpec::OursNoEmf(OursConfig {
+            include_emf: false,
+            ..quick_ours.clone()
+        }),
+        DiscriminatorSpec::Deployed(DeployedConfig {
+            base: quick_ours.clone(),
+            format: FixedPointFormat::HLS4ML_DEFAULT,
+        }),
+        DiscriminatorSpec::Streaming(StreamingConfig {
+            checkpoints: vec![60, 120],
+            confidence: 0.9,
+            base: quick_ours,
+        }),
+        DiscriminatorSpec::Herqules(HerqulesConfig {
+            train: quick.clone(),
+            ..HerqulesConfig::default()
+        }),
+        DiscriminatorSpec::Fnn(FnnConfig {
+            hidden: vec![24, 12],
+            train: quick.clone(),
+        }),
+        DiscriminatorSpec::Discriminant(DiscriminantKind::Lda),
+        DiscriminatorSpec::Discriminant(DiscriminantKind::Qda),
+        DiscriminatorSpec::Hmm(HmmConfig::default()),
+        DiscriminatorSpec::Autoencoder(AutoencoderConfig {
+            ae_train: TrainConfig {
+                epochs: 10,
+                ..quick.clone()
+            },
+            head_train: TrainConfig {
+                epochs: 10,
+                ..quick
+            },
+            ..AutoencoderConfig::default()
+        }),
+    ]
 }
 
 fn zoo() -> &'static DiscriminatorZoo {
@@ -38,84 +91,23 @@ fn zoo() -> &'static DiscriminatorZoo {
         chip.n_samples = 120;
         let dataset = TraceDataset::generate(&chip, 3, 14, 23);
         let split = dataset.split(0.6, 0.1, 23);
-        let quick = TrainConfig {
-            epochs: 6,
-            batch_size: 32,
-            early_stop_patience: None,
-            ..TrainConfig::default()
-        };
-        let ours = OursDiscriminator::fit(
-            &dataset,
-            &split,
-            &OursConfig {
-                train: quick.clone(),
-                ..OursConfig::default()
-            },
-        );
-        let designs: Vec<Box<dyn Discriminator + Send>> = vec![
-            Box::new(ours.clone()),
-            Box::new(DeployedDiscriminator::new(
-                &ours,
-                FixedPointFormat::HLS4ML_DEFAULT,
-            )),
-            Box::new(StreamingReadout::fit(
-                &dataset,
-                &split,
-                &StreamingConfig {
-                    checkpoints: vec![60, 120],
-                    confidence: 0.9,
-                    base: OursConfig {
-                        train: quick.clone(),
-                        ..OursConfig::default()
-                    },
-                },
-            )),
-            Box::new(HerqulesBaseline::fit(
-                &dataset,
-                &split,
-                &HerqulesConfig {
-                    train: quick.clone(),
-                    ..HerqulesConfig::default()
-                },
-            )),
-            Box::new(FnnBaseline::fit(
-                &dataset,
-                &split,
-                &FnnConfig {
-                    hidden: vec![24, 12],
-                    train: quick.clone(),
-                },
-            )),
-            Box::new(DiscriminantAnalysis::fit(
-                &dataset,
-                &split,
-                DiscriminantKind::Lda,
-            )),
-            Box::new(DiscriminantAnalysis::fit(
-                &dataset,
-                &split,
-                DiscriminantKind::Qda,
-            )),
-            Box::new(HmmBaseline::fit(&dataset, &split, &HmmConfig::default())),
-            Box::new(AutoencoderBaseline::fit(
-                &dataset,
-                &split,
-                &AutoencoderConfig {
-                    ae_train: TrainConfig {
-                        epochs: 10,
-                        ..quick.clone()
-                    },
-                    head_train: TrainConfig {
-                        epochs: 10,
-                        ..quick
-                    },
-                    ..AutoencoderConfig::default()
-                },
-            )),
-        ];
+        let models: Vec<TrainedModel> = zoo_specs()
+            .iter()
+            .map(|spec| registry::fit(spec, &dataset, &split, 23))
+            .collect();
+        let reloaded: Vec<TrainedModel> = models
+            .iter()
+            .map(|model| {
+                let mut buf = Vec::new();
+                model.save_json(&mut buf).expect("model serialises");
+                registry::load_json(buf.as_slice()).expect("envelope loads")
+            })
+            .collect();
+        let ours = models[0].as_ours().expect("OURS family").clone();
         DiscriminatorZoo {
             dataset,
-            designs,
+            models,
+            reloaded,
             ours,
         }
     })
@@ -493,11 +485,94 @@ proptest! {
             .iter()
             .map(|&p| zoo.dataset.raw((p as usize) % n))
             .collect();
-        for disc in &zoo.designs {
+        for disc in &zoo.models {
             let batch = disc.predict_batch(&shots);
             let mapped: Vec<Vec<usize>> =
                 shots.iter().map(|raw| disc.predict_shot(raw)).collect();
             prop_assert_eq!(&batch, &mapped, "design {}", disc.name());
+        }
+    }
+
+    #[test]
+    fn saved_models_reload_with_bit_identical_batch_predictions(
+        picks in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        // The registry's persistence contract: for EVERY family, a
+        // spec→fit→save→load round trip predicts exactly what the fitted
+        // model predicts, shot for shot (`reloaded` went through the
+        // SavedModel v2 envelope once at zoo construction).
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let shots: Vec<&[Complex]> = picks
+            .iter()
+            .map(|&p| zoo.dataset.raw((p as usize) % n))
+            .collect();
+        for (model, reloaded) in zoo.models.iter().zip(&zoo.reloaded) {
+            prop_assert_eq!(reloaded.spec(), model.spec());
+            prop_assert_eq!(
+                &model.predict_batch(&shots),
+                &reloaded.predict_batch(&shots),
+                "design {}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_sessions_match_direct_batch_for_any_submission_order(
+        order_seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        // The serving layer's contract: micro-batched session verdicts
+        // equal a direct predict_batch call whatever the submission
+        // order and thread count.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let all: Vec<usize> = (0..n).collect();
+        let shots: Vec<&[Complex]> = all.iter().map(|&i| zoo.dataset.raw(i)).collect();
+        let model = &zoo.models[0]; // OURS
+        let expected = model.predict_batch(&shots);
+
+        // A seed-keyed shuffle of the submission order.
+        let mut order = all.clone();
+        let mut state = order_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let engine = mlr_core::ReadoutEngine::new(
+            Box::new(model.clone()),
+            mlr_core::EngineConfig {
+                max_batch: 5, // unaligned with the shot count on purpose
+                max_delay: std::time::Duration::from_micros(100),
+                ..mlr_core::EngineConfig::default()
+            },
+        );
+        let verdicts: Vec<(usize, Vec<usize>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = order
+                .chunks(order.len().div_ceil(threads))
+                .map(|chunk| {
+                    let session = engine.session();
+                    let dataset = &zoo.dataset;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&i| (i, session.submit(dataset.raw(i))))
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .map(|(i, t)| (i, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        for (i, verdict) in verdicts {
+            prop_assert_eq!(&verdict, &expected[i], "shot {}", i);
         }
     }
 
