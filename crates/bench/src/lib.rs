@@ -344,6 +344,143 @@ pub fn measure_throughput(
     }
 }
 
+/// Times `model`'s **layered** batch path (`predict_batch_layered`: the
+/// original per-stage extract → standardise → head pipeline) over `shots`:
+/// three passes after a warm-up, fastest wins — the before-side of the
+/// plan-vs-layered throughput comparison.
+///
+/// # Panics
+///
+/// Panics if `shots` is empty.
+pub fn measure_layered_rate(model: &TrainedModel, shots: &[&[Complex]]) -> f64 {
+    assert!(!shots.is_empty(), "no shots to measure");
+    let warm = shots.len().min(64);
+    let _ = model.predict_batch_layered(&shots[..warm]);
+    let mut t_best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let _ = model.predict_batch_layered(shots);
+        t_best = t_best.min(t.elapsed().as_secs_f64());
+    }
+    shots.len() as f64 / t_best
+}
+
+/// One machine-readable throughput measurement — a row of the repo-root
+/// `BENCH_throughput.json` trajectory that tracks serving performance
+/// across commits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Registry design name, with a `-layered` suffix for reference rows.
+    pub design: String,
+    /// Sustained batch throughput, shots per second.
+    pub shots_per_sec: f64,
+    /// Shots per measured batch call.
+    pub batch: usize,
+    /// Worker threads used (the resolved `MLR_THREADS`).
+    pub threads: usize,
+    /// `git rev-parse --short HEAD` at measurement time (`"unknown"`
+    /// outside a git checkout).
+    pub git_rev: String,
+}
+
+impl BenchRow {
+    fn to_json(&self) -> serde::JsonValue {
+        serde::JsonValue::Object(vec![
+            (
+                "design".to_owned(),
+                serde::JsonValue::String(self.design.clone()),
+            ),
+            (
+                "shots_per_sec".to_owned(),
+                serde::JsonValue::Number(self.shots_per_sec),
+            ),
+            (
+                "batch".to_owned(),
+                serde::JsonValue::Number(self.batch as f64),
+            ),
+            (
+                "threads".to_owned(),
+                serde::JsonValue::Number(self.threads as f64),
+            ),
+            (
+                "git_rev".to_owned(),
+                serde::JsonValue::String(self.git_rev.clone()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &serde::JsonValue) -> Result<Self, String> {
+        let get_str = |key: &str| match v.get(key) {
+            Some(serde::JsonValue::String(s)) => Ok(s.clone()),
+            _ => Err(format!("bench row missing string field {key:?}")),
+        };
+        let get_num = |key: &str| match v.get(key) {
+            Some(serde::JsonValue::Number(n)) => Ok(*n),
+            _ => Err(format!("bench row missing numeric field {key:?}")),
+        };
+        Ok(Self {
+            design: get_str("design")?,
+            shots_per_sec: get_num("shots_per_sec")?,
+            batch: get_num("batch")? as usize,
+            threads: get_num("threads")? as usize,
+            git_rev: get_str("git_rev")?,
+        })
+    }
+}
+
+/// The short git revision of the working tree, `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Reads a `BENCH_*.json` trajectory file: a JSON array of rows.
+///
+/// A missing file reads as an empty trajectory.
+///
+/// # Errors
+///
+/// Returns a description when the file exists but is not a well-formed
+/// array of bench rows — the malformed-JSON gate of the CI smoke step.
+pub fn read_bench_rows(path: &std::path::Path) -> Result<Vec<BenchRow>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let value: serde::JsonValue = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let serde::JsonValue::Array(items) = value else {
+        return Err(format!("{} is not a JSON array", path.display()));
+    };
+    items.iter().map(BenchRow::from_json).collect()
+}
+
+/// Appends `rows` to a `BENCH_*.json` trajectory file, preserving any
+/// rows already recorded (the file stays one flat JSON array).
+///
+/// # Errors
+///
+/// Returns a description when the existing file is malformed or the write
+/// fails — an existing trajectory is never silently clobbered.
+pub fn append_bench_rows(path: &std::path::Path, rows: &[BenchRow]) -> Result<(), String> {
+    let mut all = read_bench_rows(path)?;
+    all.extend(rows.iter().cloned());
+    let value = serde::JsonValue::Array(all.iter().map(BenchRow::to_json).collect());
+    let mut text =
+        serde_json::to_string(&value).map_err(|e| format!("cannot encode bench rows: {e}"))?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 /// Prints an aligned table: header row, then one row per entry.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -59,7 +59,7 @@ pub struct Args {
 
 /// Bare switches (no value) recognised across subcommands; anything else
 /// starting with `--` is treated as a key expecting a value.
-const SWITCHES: &[&str] = &["--natural", "--quiet", "--help"];
+const SWITCHES: &[&str] = &["--natural", "--quiet", "--help", "--json", "--check-plan"];
 
 impl Args {
     /// Parses an iterator of argument tokens.

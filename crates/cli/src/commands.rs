@@ -60,9 +60,13 @@ COMMANDS:
                  --phys-error P (physical error rate per data qubit/cycle)
     streaming  Adaptive readout: early-termination accuracy/duration tradeoff
                  --qubits N  --shots N  --seed N  --samples N  --confidence P
-    throughput Per-shot vs batched inference rate of a trained design
+    throughput Per-shot vs batched inference rate of a trained design,
+               fused-plan vs layered where the family compiles a plan
                  --design NAME  --qubits N  --shots N  --seed N  --samples N
                  --epochs N
+                 --json        append rows to BENCH_throughput.json
+                 --check-plan  fail if the fused plan is slower than the
+                               layered reference path
     help       Show this text
 ";
 
@@ -817,6 +821,8 @@ fn cmd_throughput(args: &Args) -> Result<(), CliError> {
     // Throughput is about the inference path, not model quality, so the
     // default training budget is deliberately small.
     let (spec, seed) = tuned_spec(args, Some(8))?;
+    let json = args.switch("--json");
+    let check_plan = args.switch("--check-plan");
     args.reject_unknown()?;
 
     let split = ds.paper_split(seed);
@@ -824,6 +830,25 @@ fn cmd_throughput(args: &Args) -> Result<(), CliError> {
     let all: Vec<usize> = (0..ds.len()).collect();
     let shots = mlr_core::gather_shots(&ds, &all);
     let report = mlr_bench::measure_throughput(&model, &shots);
+    // Where the family compiles a fused plan, also time the original
+    // layered per-stage pipeline — the before/after of the plan compiler.
+    let layered_rate = model
+        .has_plan()
+        .then(|| mlr_bench::measure_layered_rate(&model, &shots));
+
+    let mut rows = vec![
+        vec![
+            "per-shot loop".to_owned(),
+            format!("{:.0}", report.per_shot_rate),
+        ],
+        vec![
+            "predict_batch".to_owned(),
+            format!("{:.0}", report.batch_rate),
+        ],
+    ];
+    if let Some(rate) = layered_rate {
+        rows.push(vec!["layered batch".to_owned(), format!("{rate:.0}")]);
+    }
     print_table(
         &format!(
             "{spec} inference throughput over {} shots ({} threads)",
@@ -831,18 +856,54 @@ fn cmd_throughput(args: &Args) -> Result<(), CliError> {
             mlr_core::batch_threads()
         ),
         &["path", "shots/s"],
-        &[
-            vec![
-                "per-shot loop".to_owned(),
-                format!("{:.0}", report.per_shot_rate),
-            ],
-            vec![
-                "predict_batch".to_owned(),
-                format!("{:.0}", report.batch_rate),
-            ],
-        ],
+        &rows,
     );
     println!("batch speedup: {:.2}x", report.speedup());
+    if let Some(rate) = layered_rate {
+        println!("fused plan vs layered: {:.2}x", report.batch_rate / rate);
+    }
+
+    if let Some(rate) = layered_rate {
+        if check_plan && report.batch_rate < rate {
+            return Err(CliError::Usage(format!(
+                "fused plan ({:.0} shots/s) is slower than the layered path ({rate:.0} shots/s)",
+                report.batch_rate
+            )));
+        }
+    }
+
+    if json {
+        let path = std::path::Path::new("BENCH_throughput.json");
+        let threads = mlr_core::batch_threads();
+        let rev = mlr_bench::git_rev();
+        let mut bench_rows = vec![mlr_bench::BenchRow {
+            design: spec.family_name().to_owned(),
+            shots_per_sec: report.batch_rate,
+            batch: report.n_shots,
+            threads,
+            git_rev: rev.clone(),
+        }];
+        if let Some(rate) = layered_rate {
+            bench_rows.push(mlr_bench::BenchRow {
+                design: format!("{}-layered", spec.family_name()),
+                shots_per_sec: rate,
+                batch: report.n_shots,
+                threads,
+                git_rev: rev,
+            });
+        }
+        mlr_bench::append_bench_rows(path, &bench_rows).map_err(CliError::Usage)?;
+        // Re-read what was just written: the file must stay a well-formed
+        // trajectory or the CI smoke step fails here.
+        let total = mlr_bench::read_bench_rows(path)
+            .map_err(CliError::Usage)?
+            .len();
+        println!(
+            "recorded {} row(s) in {} ({total} total)",
+            bench_rows.len(),
+            path.display()
+        );
+    }
     Ok(())
 }
 

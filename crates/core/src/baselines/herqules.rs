@@ -51,6 +51,9 @@ pub struct HerqulesBaseline {
     mlp: Mlp,
     n_qubits: usize,
     levels: usize,
+    /// Compiled single-pass plan (standardizer folded into the joint
+    /// network's first layer) — derived data, recompiled on load.
+    plan: crate::CompiledPlan,
 }
 
 impl HerqulesBaseline {
@@ -100,18 +103,62 @@ impl HerqulesBaseline {
         // is part of what the evaluation measures.
         mlp.train(&data, val_data.as_ref(), &config.train);
 
+        let plan = crate::plan::compile(crate::plan::joint_graph(
+            &extractor,
+            &standardizer,
+            &mlp,
+            n_qubits,
+            levels,
+        ));
         Self {
             extractor,
             standardizer,
             mlp,
             n_qubits,
             levels,
+            plan,
         }
     }
 
     /// Borrows the fitted matched-filter feature extractor.
     pub fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
+    }
+
+    /// Borrows the compiled single-pass inference plan serving
+    /// [`Discriminator::predict_shot`] / [`Discriminator::predict_batch`].
+    pub fn plan(&self) -> &crate::CompiledPlan {
+        &self.plan
+    }
+
+    /// Batch inference through the original layered stages (extract,
+    /// standardise, joint classifier) — the reference the plan-vs-layered
+    /// property tests compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let features = self.extractor.extract_batch_traces(shots);
+        let xs = self.standardizer.transform_batch_f32(&features);
+        self.mlp
+            .predict_batch(&xs)
+            .into_iter()
+            .map(|joint| self.decode_joint(joint))
+            .collect()
+    }
+
+    /// Joint logits of one trace through the layered reference stages —
+    /// what [`crate::CompiledPlan::logits_shot`] is checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn logits_layered(&self, raw: &[Complex]) -> Vec<Vec<f32>> {
+        let x = self
+            .standardizer
+            .transform_f32(&self.extractor.extract_fused(raw));
+        vec![self.mlp.forward(&x)]
     }
 
     /// Borrows the trained joint classifier.
@@ -130,27 +177,20 @@ impl HerqulesBaseline {
 }
 
 impl Discriminator for HerqulesBaseline {
+    /// Single-shot inference through the compiled plan. HERQULES outputs
+    /// the joint basis state (Fig. 2 of the paper): argmax over the `kⁿ`
+    /// classes, then split into digits. Under the natural-leakage
+    /// imbalance this is exactly what collapses at three levels: rare
+    /// leaked joint classes never win the argmax.
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
-        let features = self.extractor.extract(raw);
-        let x = self.standardizer.transform_f32(&features);
-        // HERQULES outputs the joint basis state (Fig. 2 of the paper):
-        // argmax over the k^n classes, then split into digits. Under the
-        // natural-leakage imbalance this is exactly what collapses at three
-        // levels: rare leaked joint classes never win the argmax.
-        let joint = self.mlp.predict(&x);
-        self.decode_joint(joint)
+        self.plan.predict_shot(raw)
     }
 
-    /// Native batch path: fused tiled extraction shared with the proposed
-    /// design, standardise-once, then the joint classifier over all rows.
+    /// Native batch path through the compiled plan: fused tiled kernel
+    /// scoring shared with the proposed design, standardisation folded
+    /// into the joint network's first layer at compile time.
     fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
-        let features = self.extractor.extract_batch_traces(shots);
-        let xs = self.standardizer.transform_batch_f32(&features);
-        self.mlp
-            .predict_batch(&xs)
-            .into_iter()
-            .map(|joint| self.decode_joint(joint))
-            .collect()
+        self.plan.predict_batch(shots)
     }
 
     fn name(&self) -> &str {
@@ -217,12 +257,21 @@ impl HerqulesBaseline {
                 n_classes
             )));
         }
+        let extractor = FeatureExtractor::from_parts(chip, saved.banks);
+        let plan = crate::plan::compile(crate::plan::joint_graph(
+            &extractor,
+            &saved.standardizer,
+            &saved.mlp,
+            n_qubits,
+            saved.levels,
+        ));
         Ok(Self {
-            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            extractor,
             standardizer: saved.standardizer,
             mlp: saved.mlp,
             n_qubits,
             levels: saved.levels,
+            plan,
         })
     }
 }

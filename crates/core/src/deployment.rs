@@ -64,6 +64,9 @@ pub struct DeployedDiscriminator {
     heads: Vec<IntMlp>,
     format: FixedPointFormat,
     levels: usize,
+    /// Compiled single-pass plan. Integer heads quantise their own input,
+    /// so here the standardizer folds *backward* into the kernel bank.
+    plan: crate::CompiledPlan,
 }
 
 impl DeployedDiscriminator {
@@ -74,17 +77,55 @@ impl DeployedDiscriminator {
     /// Panics if `format` is wider than 24 bits (see
     /// [`IntMlp::from_mlp`]).
     pub fn new(source: &OursDiscriminator, format: FixedPointFormat) -> Self {
+        let heads: Vec<IntMlp> = source
+            .heads
+            .iter()
+            .map(|h| IntMlp::from_mlp(h, format))
+            .collect();
+        let plan = crate::plan::compile(crate::plan::int_graph(
+            &source.extractor,
+            &source.standardizer,
+            &heads,
+        ));
         Self {
             extractor: source.extractor.clone(),
             standardizer: source.standardizer.clone(),
-            heads: source
-                .heads
-                .iter()
-                .map(|h| IntMlp::from_mlp(h, format))
-                .collect(),
+            heads,
             format,
             levels: source.levels,
+            plan,
         }
+    }
+
+    /// Borrows the compiled single-pass inference plan serving
+    /// [`Discriminator::predict_shot`] / [`Discriminator::predict_batch`].
+    pub fn plan(&self) -> &crate::CompiledPlan {
+        &self.plan
+    }
+
+    /// Batch inference through the original layered stages (extract,
+    /// standardise, integer heads) — the reference the plan-vs-layered
+    /// property tests compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
+    }
+
+    /// Per-head dequantised outputs of one trace through the layered
+    /// reference stages — what [`crate::CompiledPlan::logits_shot`] is
+    /// checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn logits_layered(&self, raw: &[Complex]) -> Vec<Vec<f32>> {
+        let x = self
+            .standardizer
+            .transform_f32(&self.extractor.extract_fused(raw));
+        self.heads.iter().map(|h| h.forward(&x)).collect()
     }
 
     /// The deployed word format.
@@ -137,14 +178,19 @@ impl DeployedDiscriminator {
 }
 
 impl Discriminator for DeployedDiscriminator {
+    /// Single-shot inference through the compiled plan: kernel scoring and
+    /// standardisation fused into one pass (the affine is folded backward
+    /// into the kernel memory), then the integer heads. Bit-identical to
+    /// one shot of [`Discriminator::predict_batch`].
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
-        self.predict_features(&self.extractor.extract(raw))
+        self.plan.predict_shot(raw)
     }
 
-    /// Native batch path: fused demodulation-free tiled extraction,
-    /// standardise-once, head-major integer classification.
+    /// Native batch path through the compiled plan: demodulation-free
+    /// tiled kernel scoring with standardisation pre-folded, then integer
+    /// head classification per shot.
     fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
-        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
+        self.plan.predict_batch(shots)
     }
 
     fn name(&self) -> &str {
@@ -219,12 +265,19 @@ impl DeployedDiscriminator {
                 )));
             }
         }
+        let extractor = FeatureExtractor::from_parts(chip, saved.banks);
+        let plan = crate::plan::compile(crate::plan::int_graph(
+            &extractor,
+            &saved.standardizer,
+            &saved.heads,
+        ));
         Ok(Self {
-            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            extractor,
             standardizer: saved.standardizer,
             heads: saved.heads,
             format: saved.format,
             levels: saved.levels,
+            plan,
         })
     }
 }

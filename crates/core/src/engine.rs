@@ -14,7 +14,11 @@
 //! Verdicts are identical to calling `predict_batch` directly — batching
 //! only changes *when* shots are grouped, never the decision; the
 //! workspace's tests pin this for arbitrary submission orders and thread
-//! counts. Throughput at saturation stays within ~10 % of one big direct
+//! counts. For plan-served families (OURS, OURS-INT, HERQULES) the
+//! worker's `predict_batch` call executes the compiled single-pass
+//! inference plan ([`crate::CompiledPlan`]), so the engine inherits the
+//! fused standardize+head kernels for free. Throughput at saturation
+//! stays within ~10 % of one big direct
 //! batch call (see the `engine_throughput` bench): almost every cycle is
 //! still spent inside the same fused batch kernels, and the machinery
 //! around them — conditional worker wakeups, a bounded backpressured

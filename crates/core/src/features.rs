@@ -196,6 +196,19 @@ impl FeatureExtractor {
         &self.banks[q]
     }
 
+    /// Readout-window length in samples — the trace length every
+    /// extraction path expects.
+    pub fn window_samples(&self) -> usize {
+        self.demod.n_samples()
+    }
+
+    /// Clones the raw-domain fused kernel rows (interleaved `[w_I, w_Q]`
+    /// per sample, in qubit-major score order) — the matched-filter bank
+    /// the inference-plan compiler builds its op graph from.
+    pub(crate) fn fused_rows(&self) -> Vec<Vec<f64>> {
+        self.fused.iter().map(|k| k.w.clone()).collect()
+    }
+
     /// Extracts the merged feature vector of one raw trace: demodulate each
     /// channel, score its bank, concatenate in qubit order.
     ///
@@ -240,22 +253,26 @@ impl FeatureExtractor {
     pub fn extract_batch_traces(&self, shots: &[&[Complex]]) -> Vec<Vec<f64>> {
         let dim = self.feature_dim();
         let n_samples = self.demod.n_samples();
+        let stride = 2 * n_samples;
         let tiles: Vec<&[&[Complex]]> = shots.chunks(BATCH_TILE).collect();
         let per_tile = crate::par_map(&tiles, |tile| {
-            // Flatten the tile's traces once; every kernel reuses them.
-            let mut flats: Vec<Vec<f64>> = Vec::with_capacity(tile.len());
-            for raw in tile.iter() {
+            // Flatten the tile's traces once into a single contiguous
+            // scratch (one allocation per tile, not per shot); every
+            // kernel reuses it.
+            let mut flat = vec![0.0f64; tile.len() * stride];
+            for (dst, raw) in flat.chunks_exact_mut(stride).zip(tile.iter()) {
                 assert_eq!(raw.len(), n_samples, "trace length != readout window");
-                let mut flat = Vec::new();
-                flatten_iq(raw, &mut flat);
-                flats.push(flat);
+                for (pair, z) in dst.chunks_exact_mut(2).zip(raw.iter()) {
+                    pair[0] = z.re;
+                    pair[1] = z.im;
+                }
             }
             let mut out = vec![vec![0.0; dim]; tile.len()];
             // Filter-major over the tile: each kernel is loaded once and
             // stays cache-hot across the tile's shots.
             for (f, kernel) in self.fused.iter().enumerate() {
-                for (features, flat) in out.iter_mut().zip(&flats) {
-                    features[f] = fused_dot(flat, &kernel.w);
+                for (features, flat_s) in out.iter_mut().zip(flat.chunks_exact(stride)) {
+                    features[f] = fused_dot(flat_s, &kernel.w);
                 }
             }
             out

@@ -48,6 +48,7 @@ mod leakage;
 mod mf_bank;
 mod model_io;
 mod pipeline;
+pub mod plan;
 mod qec_bridge;
 pub mod registry;
 pub mod spec;
@@ -66,6 +67,7 @@ pub use leakage::{LeakageHarvest, NaturalLeakageDetector};
 pub use mf_bank::{FilterRole, QubitMfBank};
 pub use model_io::{ModelIoError, SavedModel};
 pub use pipeline::{OursConfig, OursDiscriminator};
+pub use plan::CompiledPlan;
 pub use qec_bridge::DiscriminatorHerald;
 pub use registry::TrainedModel;
 pub use spec::{DiscriminatorSpec, TrainableDiscriminator};

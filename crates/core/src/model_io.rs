@@ -192,11 +192,19 @@ impl TryFrom<SavedModel> for OursDiscriminator {
 
     fn try_from(saved: SavedModel) -> Result<Self, ModelIoError> {
         saved.validate()?;
+        let extractor = FeatureExtractor::from_parts(saved.chip, saved.banks);
+        // The plan is derived data: recompiled at load, never serialised.
+        let plan = crate::plan::compile(crate::plan::per_qubit_graph(
+            &extractor,
+            &saved.standardizer,
+            &saved.heads,
+        ));
         Ok(OursDiscriminator {
-            extractor: FeatureExtractor::from_parts(saved.chip, saved.banks),
+            extractor,
             standardizer: saved.standardizer,
             heads: saved.heads,
             levels: saved.levels,
+            plan,
         })
     }
 }

@@ -59,6 +59,9 @@ pub struct OursDiscriminator {
     pub(crate) standardizer: Standardizer,
     pub(crate) heads: Vec<Mlp>,
     pub(crate) levels: usize,
+    /// Fused single-pass inference plan — derived data, compiled by every
+    /// constructor from the fitted parts, never serialised.
+    pub(crate) plan: crate::CompiledPlan,
 }
 
 impl OursDiscriminator {
@@ -116,17 +119,56 @@ impl OursDiscriminator {
             })
             .collect();
 
+        let plan = crate::plan::compile(crate::plan::per_qubit_graph(
+            &extractor,
+            &standardizer,
+            &heads,
+        ));
         Self {
             extractor,
             standardizer,
             heads,
             levels,
+            plan,
         }
     }
 
     /// Borrows the fitted feature extractor (matched-filter banks).
     pub fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
+    }
+
+    /// Borrows the compiled single-pass inference plan every
+    /// [`Discriminator::predict_shot`] / [`Discriminator::predict_batch`]
+    /// call runs through.
+    pub fn plan(&self) -> &crate::CompiledPlan {
+        &self.plan
+    }
+
+    /// Batch inference through the original layered stages — extract,
+    /// standardise, heads — kept as the bit-exactness reference the
+    /// plan-vs-layered property tests compare [`Discriminator::predict_batch`]
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
+    }
+
+    /// Per-head logits of one trace through the layered reference stages
+    /// (fused `f64` extraction, standardise, heads) — what the compiled
+    /// plan's [`crate::CompiledPlan::logits_shot`] is checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn logits_layered(&self, raw: &[Complex]) -> Vec<Vec<f32>> {
+        let x = self
+            .standardizer
+            .transform_f32(&self.extractor.extract_fused(raw));
+        self.heads.iter().map(|h| h.forward(&x)).collect()
     }
 
     /// Borrows qubit `q`'s classification head.
@@ -235,21 +277,24 @@ impl OursDiscriminator {
 }
 
 impl Discriminator for OursDiscriminator {
-    /// Single-shot inference through the published per-shot datapath:
-    /// demodulate each channel, score its bank, run the heads. This is
-    /// the latency-critical path a control system takes one shot at a
-    /// time; bulk work belongs on [`Discriminator::predict_batch`].
+    /// Single-shot inference through the compiled single-pass plan: the
+    /// standardizer is folded into the first head layers at compile time,
+    /// so the whole shot is kernel dots plus the (tiny) head chains —
+    /// identical arithmetic to one shot of the batch path, hence
+    /// bit-identical decisions. The layered per-stage path survives as
+    /// [`OursDiscriminator::predict_batch_layered`].
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
-        self.predict_features(&self.extractor.extract(raw))
+        self.plan.predict_shot(raw)
     }
 
-    /// Native batch inference: fused demodulation-free tiled feature
-    /// extraction (kernels read once per shot tile instead of once per
-    /// shot), then standardise-once and head-major classification.
-    /// Decisions match the per-shot path — the feature stages agree to
-    /// floating-point reassociation, far below any decision boundary.
+    /// Native batch inference through the compiled plan: demodulation-free
+    /// tiled kernel scoring (rows read once per 16-shot tile) with the
+    /// standardise step folded away, lowered to `f32` explicit-SIMD dots.
+    /// Decisions match the layered reference away from exact
+    /// decision-boundary ties (scores agree to ≈1e-6 relative — `f32`
+    /// rounding — far below any real margin).
     fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
-        self.predict_features_batch(&self.extractor.extract_batch_traces(shots))
+        self.plan.predict_batch(shots)
     }
 
     fn name(&self) -> &str {
@@ -375,15 +420,32 @@ mod tests {
     fn predict_features_matches_predict_shot() {
         let (ds, _, ours) = fit_small();
         let raw = ds.raw(7);
-        // predict_shot routes through the reference extraction, so this
-        // is the exact contract…
+        // predict_shot now routes through the compiled plan; the layered
+        // reference paths must agree on the decision — the arithmetic
+        // differs only by f32 rounding and reassociation, far below any
+        // real decision margin.
         let via_reference = ours.predict_features(&ours.extractor().extract(raw));
         assert_eq!(via_reference, ours.predict_shot(raw));
-        // …while the fused extraction (the batch engine's arithmetic)
-        // agrees on the decision — not bit-exact in features, identical in
-        // outcome away from exact decision-boundary ties.
         let via_fused = ours.predict_features(&ours.extractor().extract_fused(raw));
         assert_eq!(via_fused, ours.predict_shot(raw));
+    }
+
+    #[test]
+    fn plan_folds_standardizer_into_heads() {
+        let (ds, split, ours) = fit_small();
+        let report = ours.plan().fuse_report();
+        assert!(report.affine_into_dense, "affine should fold into heads");
+        assert!(!report.affine_into_bank);
+        // MLP heads are never collapsed into the bank (profitability guard:
+        // 5 × 22 first-layer rows > 45 kernels).
+        assert!(!report.heads_into_bank);
+        assert_eq!(ours.plan().n_kernel_rows(), 45);
+        // Plan decisions equal the layered reference across a real batch.
+        let shots: Vec<&[mlr_num::Complex]> = split.test[..30].iter().map(|&i| ds.raw(i)).collect();
+        assert_eq!(
+            ours.predict_batch(&shots),
+            ours.predict_batch_layered(&shots)
+        );
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! The compiler's back end: lowering a fused [`OpGraph`] to `f32` tiled
+//! kernels, and the explicit-SIMD dot product they are scored by.
+//!
+//! # SIMD contract
+//!
+//! [`dot_f32`] dispatches at runtime (cached feature detection) between an
+//! AVX2 path and a scalar fallback that mirrors the vector code's exact
+//! lane and reduction structure: 4 accumulator vectors × 8 lanes, pairwise
+//! lane reduction `(a0+a1)+(a2+a3)`, the same fixed horizontal tree, and a
+//! shared scalar remainder loop. Both paths use separate multiply-then-add
+//! (deliberately **no FMA** — an FMA's unrounded intermediate would make
+//! the two paths diverge in the last bit, and the kernel is load-bound so
+//! FMA buys no throughput here). The result: scalar and AVX2 agree
+//! **bit-for-bit**, which the workspace's property tests pin, and a host
+//! without AVX2 serves identical decisions.
+
+use mlr_nn::IntMlp;
+use mlr_num::Complex;
+
+use super::graph::{DenseOp, Op, OpGraph, OutputStage};
+
+/// Shots per execution tile: kernel rows stay cache-resident across a
+/// tile, and each tile reuses one flattened-trace scratch buffer.
+const PLAN_TILE: usize = 16;
+
+// ------------------------------------------------------------------ SIMD
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_enabled() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+/// Whether this host serves the AVX2 path (`false` means the bit-identical
+/// scalar fallback is in use).
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_enabled()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Shared tail of both dot paths: fixed-order horizontal reduction of the
+/// 8 lane sums, then the (sub-32-element) remainder accumulated serially.
+#[inline]
+fn finish_dot(lanes: &[f32; 8], ra: &[f32], rb: &[f32]) -> f32 {
+    let mut total = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (&x, &y) in ra.iter().zip(rb) {
+        total += x * y;
+    }
+    total
+}
+
+/// Scalar dot product mirroring the AVX2 path's lane structure exactly:
+/// 32 accumulators laid out as 4 vectors × 8 lanes, reduced pairwise.
+/// Bit-identical to [`dot_f32_avx2`] by construction.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+pub fn dot_f32_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 32];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for ((acc, &x), &y) in acc.iter_mut().zip(xa).zip(xb) {
+            *acc += x * y;
+        }
+    }
+    let mut lanes = [0.0f32; 8];
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        *lane = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
+    }
+    finish_dot(&lanes, ca.remainder(), cb.remainder())
+}
+
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_f32_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let pa = a.as_ptr().add(i);
+        let pb = b.as_ptr().add(i);
+        acc0 = _mm256_add_ps(
+            acc0,
+            _mm256_mul_ps(_mm256_loadu_ps(pa), _mm256_loadu_ps(pb)),
+        );
+        acc1 = _mm256_add_ps(
+            acc1,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(8)), _mm256_loadu_ps(pb.add(8))),
+        );
+        acc2 = _mm256_add_ps(
+            acc2,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(16)), _mm256_loadu_ps(pb.add(16))),
+        );
+        acc3 = _mm256_add_ps(
+            acc3,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(24)), _mm256_loadu_ps(pb.add(24))),
+        );
+        i += 32;
+    }
+    let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), s);
+    finish_dot(&lanes, &a[i..], &b[i..])
+}
+
+/// The AVX2 dot product (safe wrapper) — exposed for the scalar-vs-AVX2
+/// bit-agreement tests.
+///
+/// # Panics
+///
+/// Panics if AVX2 is not available on this host (check [`simd_active`]
+/// first) or, in debug builds, if the slices' lengths differ.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    assert!(avx2_enabled(), "AVX2 unavailable on this host");
+    // SAFETY: availability checked above; equal lengths asserted.
+    unsafe { dot_f32_avx2_impl(a, b) }
+}
+
+/// Contiguous `f32` dot product with runtime SIMD dispatch — every score
+/// the compiled plan produces goes through this one function, single-shot
+/// and batched alike, which is what makes the two bit-identical.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_enabled() {
+            // SAFETY: availability checked at runtime.
+            return unsafe { dot_f32_avx2_impl(a, b) };
+        }
+    }
+    dot_f32_scalar(a, b)
+}
+
+// ------------------------------------------------------------- lowering
+
+/// A dense layer lowered to `f32`.
+#[derive(Debug, Clone)]
+struct DenseF32 {
+    n_in: usize,
+    n_out: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    relu: bool,
+}
+
+impl DenseF32 {
+    fn lower(d: &DenseOp) -> Self {
+        Self {
+            n_in: d.n_in,
+            n_out: d.n_out,
+            w: d.w.iter().map(|&x| x as f32).collect(),
+            b: d.b.iter().map(|&x| x as f32).collect(),
+            relu: d.relu,
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.n_in);
+        out.clear();
+        out.reserve(self.n_out);
+        for (row, &bias) in self.w.chunks_exact(self.n_in).zip(&self.b) {
+            let acc = bias + dot_f32(row, x);
+            out.push(if self.relu { acc.max(0.0) } else { acc });
+        }
+    }
+}
+
+/// The lowered output stage.
+#[derive(Debug, Clone)]
+enum CompiledOutput {
+    PerQubit {
+        branches: Vec<CompiledBranch>,
+    },
+    Joint {
+        layers: Vec<DenseF32>,
+        n_qubits: usize,
+        levels: usize,
+    },
+    PerQubitInt {
+        heads: Vec<IntMlp>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CompiledBranch {
+    start: usize,
+    len: usize,
+    layers: Vec<DenseF32>,
+}
+
+/// Argmax with the network's tie rule (strictly-greater, so ties go to the
+/// lowest index) — must match `mlr_nn`'s own argmax for plan decisions to
+/// equal layered decisions away from exact ties.
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A fused single-pass inference plan: the whole per-shot pipeline —
+/// flatten, matched-filter bank, (folded) standardisation, heads, argmax —
+/// lowered to `f32` tiled kernels scored by [`dot_f32`].
+///
+/// Compiled once at fit/load time ([`crate::plan::compile`]); the layered
+/// per-stage paths survive on each discriminator as the bit-exactness
+/// reference (`predict_batch_layered`).
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    n_samples: usize,
+    /// `2 × n_samples` — the flattened-trace width and kernel row stride.
+    stride: usize,
+    n_rows: usize,
+    /// All kernel rows contiguous, row `r` at `rows[r*stride..][..stride]`.
+    rows: Vec<f32>,
+    row_bias: Vec<f32>,
+    /// Residual standardisation, only when no folding pass could absorb it
+    /// (never the case for the shipped families — kept for generality).
+    affine: Option<(Vec<f32>, Vec<f32>)>,
+    output: CompiledOutput,
+    fuse: super::fuse::FuseReport,
+}
+
+impl CompiledPlan {
+    /// Lowers a fused graph. The trunk must be `[FlattenIq, MfBank]` or
+    /// `[FlattenIq, MfBank, Affine]` (what [`super::fuse::fuse`] leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other trunk shape or on inconsistent dimensions.
+    pub(super) fn lower(graph: &OpGraph, fuse: super::fuse::FuseReport) -> Self {
+        let mut ops = graph.trunk.iter();
+        let Some(&Op::FlattenIq { n_samples }) = ops.next() else {
+            panic!("plan trunk must start with FlattenIq");
+        };
+        let Some(Op::MfBank(bank)) = ops.next() else {
+            panic!("plan trunk must score an MfBank");
+        };
+        let affine = match ops.next() {
+            None => None,
+            Some(Op::Affine(a)) => Some((
+                a.scale.iter().map(|&x| x as f32).collect::<Vec<f32>>(),
+                a.shift.iter().map(|&x| x as f32).collect::<Vec<f32>>(),
+            )),
+            Some(other) => panic!("unexpected trunk op after MfBank: {other:?}"),
+        };
+        assert!(ops.next().is_none(), "trunk too deep after fusing");
+
+        let stride = 2 * n_samples;
+        let n_rows = bank.rows.len();
+        let mut rows = Vec::with_capacity(n_rows * stride);
+        for row in &bank.rows {
+            assert_eq!(row.len(), stride, "kernel row length != 2 × window");
+            rows.extend(row.iter().map(|&x| x as f32));
+        }
+        let row_bias: Vec<f32> = bank.bias.iter().map(|&x| x as f32).collect();
+        assert_eq!(row_bias.len(), n_rows, "bank bias length != row count");
+
+        let output = match &graph.output {
+            OutputStage::PerQubit { branches } => CompiledOutput::PerQubit {
+                branches: branches
+                    .iter()
+                    .map(|br| {
+                        let range = br.take.clone().unwrap_or(0..n_rows);
+                        CompiledBranch {
+                            start: range.start,
+                            len: range.end - range.start,
+                            layers: br.layers.iter().map(DenseF32::lower).collect(),
+                        }
+                    })
+                    .collect(),
+            },
+            OutputStage::Joint {
+                layers,
+                n_qubits,
+                levels,
+            } => CompiledOutput::Joint {
+                layers: layers.iter().map(DenseF32::lower).collect(),
+                n_qubits: *n_qubits,
+                levels: *levels,
+            },
+            OutputStage::PerQubitInt { heads } => CompiledOutput::PerQubitInt {
+                heads: heads.clone(),
+            },
+        };
+
+        Self {
+            n_samples,
+            stride,
+            n_rows,
+            rows,
+            row_bias,
+            affine,
+            output,
+            fuse,
+        }
+    }
+
+    /// Readout-window length the plan expects (samples per trace).
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Kernel rows scored against each shot — after folding, this can be
+    /// smaller than the model's feature dimension (collapsed linear heads).
+    pub fn n_kernel_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Which folding passes fired when this plan was compiled.
+    pub fn fuse_report(&self) -> super::fuse::FuseReport {
+        self.fuse
+    }
+
+    /// Flattens a tile of traces into `flat` (interleaved `f32` IQ) and
+    /// scores every kernel row, filter-major so rows stay cache-hot.
+    /// `feats` is laid out shot-major: shot `s`'s features at
+    /// `feats[s*n_rows..][..n_rows]`.
+    fn features_into(&self, tile: &[&[Complex]], flat: &mut Vec<f32>, feats: &mut Vec<f32>) {
+        let stride = self.stride;
+        flat.clear();
+        flat.resize(tile.len() * stride, 0.0);
+        for (dst, raw) in flat.chunks_exact_mut(stride).zip(tile) {
+            assert_eq!(raw.len(), self.n_samples, "trace length != readout window");
+            for (pair, z) in dst.chunks_exact_mut(2).zip(raw.iter()) {
+                pair[0] = z.re as f32;
+                pair[1] = z.im as f32;
+            }
+        }
+        feats.clear();
+        feats.resize(tile.len() * self.n_rows, 0.0);
+        for (r, (row, &bias)) in self
+            .rows
+            .chunks_exact(stride)
+            .zip(&self.row_bias)
+            .enumerate()
+        {
+            for (s, flat_s) in flat.chunks_exact(stride).enumerate() {
+                feats[s * self.n_rows + r] = dot_f32(flat_s, row) + bias;
+            }
+        }
+        if let Some((scale, shift)) = &self.affine {
+            for f in feats.chunks_exact_mut(self.n_rows) {
+                for ((v, &sc), &sh) in f.iter_mut().zip(scale).zip(shift) {
+                    *v = *v * sc + sh;
+                }
+            }
+        }
+    }
+
+    /// Decides one shot's per-qubit levels from its feature vector.
+    fn decide(&self, f: &[f32]) -> Vec<usize> {
+        match &self.output {
+            CompiledOutput::PerQubit { branches } => {
+                let mut out = Vec::with_capacity(branches.len());
+                let mut cur = Vec::new();
+                let mut next = Vec::new();
+                for br in branches {
+                    let input = &f[br.start..br.start + br.len];
+                    match br.layers.split_first() {
+                        None => out.push(argmax(input)),
+                        Some((first, rest)) => {
+                            first.forward(input, &mut cur);
+                            for layer in rest {
+                                layer.forward(&cur, &mut next);
+                                std::mem::swap(&mut cur, &mut next);
+                            }
+                            out.push(argmax(&cur));
+                        }
+                    }
+                }
+                out
+            }
+            CompiledOutput::Joint {
+                layers,
+                n_qubits,
+                levels,
+            } => {
+                let logits = forward_chain(layers, f);
+                decode_joint(argmax(&logits), *n_qubits, *levels)
+            }
+            CompiledOutput::PerQubitInt { heads } => heads.iter().map(|h| h.predict(f)).collect(),
+        }
+    }
+
+    /// Raw decision scores for one trace, per head: the logits each branch
+    /// argmaxes (for integer heads, the dequantised outputs). The
+    /// plan-vs-layered equivalence property compares these against the
+    /// layered reference within 1e-4 relative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn logits_shot(&self, raw: &[Complex]) -> Vec<Vec<f32>> {
+        let (mut flat, mut feats) = (Vec::new(), Vec::new());
+        self.features_into(&[raw], &mut flat, &mut feats);
+        match &self.output {
+            CompiledOutput::PerQubit { branches } => branches
+                .iter()
+                .map(|br| {
+                    let input = &feats[br.start..br.start + br.len];
+                    if br.layers.is_empty() {
+                        input.to_vec()
+                    } else {
+                        forward_chain(&br.layers, input)
+                    }
+                })
+                .collect(),
+            CompiledOutput::Joint { layers, .. } => vec![forward_chain(layers, &feats)],
+            CompiledOutput::PerQubitInt { heads } => {
+                heads.iter().map(|h| h.forward(&feats)).collect()
+            }
+        }
+    }
+
+    /// Classifies one raw trace through the fused single-pass datapath.
+    /// Identical arithmetic to one shot of [`CompiledPlan::predict_batch`]
+    /// — the per-(shot, kernel) dots are independent of tiling — so batch
+    /// and per-shot decisions are bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        let (mut flat, mut feats) = (Vec::new(), Vec::new());
+        self.features_into(&[raw], &mut flat, &mut feats);
+        self.decide(&feats)
+    }
+
+    /// Classifies a batch of raw traces: 16-shot tiles fanned over worker
+    /// threads (`MLR_THREADS` honoured via [`crate::par_map`]), one
+    /// flattened-trace scratch per tile, kernel rows read once per tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let tiles: Vec<&[&[Complex]]> = shots.chunks(PLAN_TILE).collect();
+        let per_tile = crate::par_map(&tiles, |tile| {
+            let (mut flat, mut feats) = (Vec::new(), Vec::new());
+            self.features_into(tile, &mut flat, &mut feats);
+            feats
+                .chunks_exact(self.n_rows)
+                .map(|f| self.decide(f))
+                .collect::<Vec<_>>()
+        });
+        per_tile.into_iter().flatten().collect()
+    }
+}
+
+/// Runs a dense chain on `x`, returning the final layer's outputs.
+fn forward_chain(layers: &[DenseF32], x: &[f32]) -> Vec<f32> {
+    let (first, rest) = layers.split_first().expect("nonempty chain");
+    let mut cur = Vec::new();
+    let mut next = Vec::new();
+    first.forward(x, &mut cur);
+    for layer in rest {
+        layer.forward(&cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Splits a joint class index into per-qubit digits, most significant
+/// digit first — the same convention as `BasisState::from_flat_index`.
+fn decode_joint(joint: usize, n_qubits: usize, levels: usize) -> Vec<usize> {
+    let mut digits = vec![0usize; n_qubits];
+    let mut rem = joint;
+    for d in digits.iter_mut().rev() {
+        *d = rem % levels;
+        rem /= levels;
+    }
+    digits
+}

@@ -1,0 +1,209 @@
+//! Algebraic folding passes over an [`OpGraph`] — the compiler's middle
+//! end. Each pass is a plain rewrite in `f64`:
+//!
+//! * **Affine → Dense** (forward fold): `W(x∘s + t) + b = (W∘s)x + (Wt + b)`
+//!   — the standardizer disappears into every branch's first layer. This
+//!   is the profitable direction for MLP heads: the affine's O(P) work is
+//!   absorbed into multiplies the first layer performs anyway.
+//! * **Affine → MfBank** (backward fold): `(Kx + c)∘s + t = (s∘K)x + (c∘s + t)`
+//!   — when the output stage cannot absorb floats (integer heads quantise
+//!   their input), the standardizer folds *backward* into the kernel
+//!   memory instead, so extraction and standardisation become one pass.
+//! * **Linear-head collapse**: a single linear (no-ReLU) dense per branch
+//!   composes with the bank into new kernel rows `W·K` — the whole
+//!   pipeline becomes one matrix against the raw trace. Guarded by
+//!   profitability: only done when the heads' total output count is
+//!   smaller than the bank, otherwise the "collapse" would *add* raw-trace
+//!   dots (the paper-scale OURS heads share 45 kernels across 5 × 22 first
+//!   layer rows, so collapsing them would more than double the work).
+
+use super::graph::{Branch, DenseOp, MfBankOp, Op, OpGraph, OutputStage};
+
+/// Which folding passes fired on a graph — returned by [`fuse`] so tests
+/// and diagnostics can assert the expected shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseReport {
+    /// The standardizer folded forward into the first dense layers.
+    pub affine_into_dense: bool,
+    /// The standardizer folded backward into the matched-filter bank.
+    pub affine_into_bank: bool,
+    /// Linear heads collapsed into the bank rows.
+    pub heads_into_bank: bool,
+}
+
+/// Runs every folding pass to fixpoint order (forward fold first, backward
+/// fold for whatever affine remains, then the linear collapse).
+pub fn fuse(graph: &mut OpGraph) -> FuseReport {
+    let affine_into_dense = fold_affine_into_dense(graph);
+    let affine_into_bank = fold_affine_into_bank(graph);
+    let heads_into_bank = collapse_linear_heads(graph);
+    FuseReport {
+        affine_into_dense,
+        affine_into_bank,
+        heads_into_bank,
+    }
+}
+
+/// Folds a trailing trunk [`Op::Affine`] into the first dense layer of
+/// every output branch (or the joint chain). Requires every branch to read
+/// the full feature vector and start with a dense layer; integer heads
+/// never qualify (they quantise their input, so the affine must stay).
+///
+/// Returns whether the pass fired.
+pub fn fold_affine_into_dense(graph: &mut OpGraph) -> bool {
+    let Some(Op::Affine(_)) = graph.trunk.last() else {
+        return false;
+    };
+    let absorbable = match &graph.output {
+        OutputStage::PerQubit { branches } => branches
+            .iter()
+            .all(|b| b.take.is_none() && !b.layers.is_empty()),
+        OutputStage::Joint { layers, .. } => !layers.is_empty(),
+        OutputStage::PerQubitInt { .. } => false,
+    };
+    if !absorbable {
+        return false;
+    }
+    let Some(Op::Affine(affine)) = graph.trunk.pop() else {
+        unreachable!("checked above");
+    };
+    let fold_first = |dense: &mut DenseOp| {
+        assert_eq!(
+            dense.n_in,
+            affine.scale.len(),
+            "affine/dense width mismatch"
+        );
+        // Bias first — it needs the original weights: b' = b + W·shift.
+        for (o, bias) in dense.b.iter_mut().enumerate() {
+            let row = &dense.w[o * dense.n_in..(o + 1) * dense.n_in];
+            *bias += row
+                .iter()
+                .zip(&affine.shift)
+                .map(|(&w, &t)| w * t)
+                .sum::<f64>();
+        }
+        // Then the weights: W' = W ∘ scale (column-wise).
+        for row in dense.w.chunks_exact_mut(dense.n_in) {
+            for (w, &s) in row.iter_mut().zip(&affine.scale) {
+                *w *= s;
+            }
+        }
+    };
+    match &mut graph.output {
+        OutputStage::PerQubit { branches } => {
+            for branch in branches {
+                fold_first(&mut branch.layers[0]);
+            }
+        }
+        OutputStage::Joint { layers, .. } => fold_first(&mut layers[0]),
+        OutputStage::PerQubitInt { .. } => unreachable!("checked above"),
+    }
+    true
+}
+
+/// Folds a trailing trunk [`Op::Affine`] backward into the
+/// [`Op::MfBank`] immediately before it: rows scale elementwise, the shift
+/// becomes a per-row bias. Fires when the forward fold could not (integer
+/// output stages).
+///
+/// Returns whether the pass fired.
+pub fn fold_affine_into_bank(graph: &mut OpGraph) -> bool {
+    let n = graph.trunk.len();
+    if n < 2 {
+        return false;
+    }
+    let (Some(Op::MfBank(_)), Some(Op::Affine(_))) =
+        (graph.trunk.get(n - 2), graph.trunk.get(n - 1))
+    else {
+        return false;
+    };
+    let Some(Op::Affine(affine)) = graph.trunk.pop() else {
+        unreachable!("checked above");
+    };
+    let Some(Op::MfBank(bank)) = graph.trunk.last_mut() else {
+        unreachable!("checked above");
+    };
+    assert_eq!(bank.rows.len(), affine.scale.len(), "affine/bank mismatch");
+    for (row, &s) in bank.rows.iter_mut().zip(&affine.scale) {
+        for w in row.iter_mut() {
+            *w *= s;
+        }
+    }
+    for ((bias, &s), &t) in bank.bias.iter_mut().zip(&affine.scale).zip(&affine.shift) {
+        *bias = *bias * s + t;
+    }
+    true
+}
+
+/// Collapses purely linear per-qubit heads into the matched-filter bank:
+/// each branch's single no-ReLU dense composes with the bank (`W·K` rows,
+/// `W·c + b` bias) and the branch degenerates to an argmax over its slice
+/// of the new, smaller bank.
+///
+/// Guarded by profitability — fires only when the heads' combined output
+/// width is strictly smaller than the bank (otherwise composing would add
+/// raw-trace dot products rather than remove them), which is why the
+/// paper's MLP-headed OURS keeps its shared 45-kernel bank.
+///
+/// Returns whether the pass fired.
+pub fn collapse_linear_heads(graph: &mut OpGraph) -> bool {
+    let Some(Op::MfBank(_)) = graph.trunk.last() else {
+        return false;
+    };
+    let OutputStage::PerQubit { branches } = &graph.output else {
+        return false;
+    };
+    let all_linear = branches
+        .iter()
+        .all(|b| b.take.is_none() && b.layers.len() == 1 && !b.layers[0].relu);
+    if !all_linear {
+        return false;
+    }
+    let Some(Op::MfBank(bank)) = graph.trunk.last() else {
+        unreachable!("checked above");
+    };
+    let total_out: usize = branches.iter().map(|b| b.layers[0].n_out).sum();
+    if total_out >= bank.rows.len() {
+        return false; // collapsing would add work, not remove it
+    }
+
+    let sample_w = bank.rows.first().map_or(0, Vec::len);
+    let mut new_rows: Vec<Vec<f64>> = Vec::with_capacity(total_out);
+    let mut new_bias: Vec<f64> = Vec::with_capacity(total_out);
+    let mut new_branches: Vec<Branch> = Vec::with_capacity(branches.len());
+    let mut start = 0usize;
+    for branch in branches {
+        let dense = &branch.layers[0];
+        assert_eq!(dense.n_in, bank.rows.len(), "head/bank width mismatch");
+        for o in 0..dense.n_out {
+            let wrow = &dense.w[o * dense.n_in..(o + 1) * dense.n_in];
+            let mut row = vec![0.0f64; sample_w];
+            let mut bias = dense.b[o];
+            for ((krow, &kb), &w) in bank.rows.iter().zip(&bank.bias).zip(wrow) {
+                for (dst, &k) in row.iter_mut().zip(krow) {
+                    *dst += w * k;
+                }
+                bias += w * kb;
+            }
+            new_rows.push(row);
+            new_bias.push(bias);
+        }
+        new_branches.push(Branch {
+            take: Some(start..start + dense.n_out),
+            layers: Vec::new(),
+        });
+        start += dense.n_out;
+    }
+
+    let Some(Op::MfBank(bank)) = graph.trunk.last_mut() else {
+        unreachable!("checked above");
+    };
+    *bank = MfBankOp {
+        rows: new_rows,
+        bias: new_bias,
+    };
+    graph.output = OutputStage::PerQubit {
+        branches: new_branches,
+    };
+    true
+}

@@ -1,0 +1,129 @@
+//! Single-pass fused inference plans.
+//!
+//! A discriminator's per-shot pipeline — flatten IQ, matched-filter bank,
+//! standardise, head, argmax — is layered code: each stage materialises
+//! its output before the next starts. This module is a small compiler that
+//! removes those seams. The pipeline is first described as an op graph
+//! ([`OpGraph`]), algebraic folding passes then absorb the standardizer
+//! into neighbouring weights ([`fuse`]), and the result lowers to `f32`
+//! tiled kernels scored by an explicit-SIMD dot product
+//! ([`CompiledPlan`]):
+//!
+//! ```text
+//!   build             fuse                        lower
+//! FlattenIq         FlattenIq                  CompiledPlan
+//! MfBank      ──►   MfBank  (∘ 1/σ, −μ/σ)  ──►   rows: contiguous f32
+//! Affine            heads  (W∘s, b + W·t)        dot_f32 (AVX2 | scalar)
+//! heads                                          tiles of 16 shots
+//! ```
+//!
+//! Plans are **derived data**: every constructor (fit, load, quantise)
+//! compiles one, nothing is serialised, and the saved-model envelope is
+//! untouched. The layered per-stage paths survive on each discriminator
+//! (`predict_batch_layered`) as the bit-exactness reference the property
+//! tests compare against.
+
+mod exec;
+mod fuse;
+mod graph;
+
+#[cfg(target_arch = "x86_64")]
+pub use exec::dot_f32_avx2;
+pub use exec::{dot_f32, dot_f32_scalar, simd_active, CompiledPlan};
+pub use fuse::{
+    collapse_linear_heads, fold_affine_into_bank, fold_affine_into_dense, fuse, FuseReport,
+};
+pub use graph::{AffineOp, Branch, DenseOp, MfBankOp, Op, OpGraph, OutputStage};
+
+use crate::features::FeatureExtractor;
+use mlr_nn::{IntMlp, Mlp, Standardizer};
+
+/// Compiles a graph: runs the folding passes, then lowers to the `f32`
+/// tiled executor.
+///
+/// # Panics
+///
+/// Panics if the fused trunk is not `[FlattenIq, MfBank]` or
+/// `[FlattenIq, MfBank, Affine]` — the shapes the family builders in this
+/// module produce.
+pub fn compile(mut graph: OpGraph) -> CompiledPlan {
+    let report = fuse(&mut graph);
+    CompiledPlan::lower(&graph, report)
+}
+
+/// The shared trunk every family starts from: flatten the window, score
+/// the extractor's fused kernels, standardise.
+fn trunk(extractor: &FeatureExtractor, standardizer: &Standardizer) -> Vec<Op> {
+    let rows = extractor.fused_rows();
+    let bias = vec![0.0; rows.len()];
+    let scale: Vec<f64> = standardizer.stds().iter().map(|&s| 1.0 / s).collect();
+    let shift: Vec<f64> = standardizer
+        .means()
+        .iter()
+        .zip(standardizer.stds())
+        .map(|(&m, &s)| -m / s)
+        .collect();
+    vec![
+        Op::FlattenIq {
+            n_samples: extractor.window_samples(),
+        },
+        Op::MfBank(MfBankOp { rows, bias }),
+        Op::Affine(AffineOp { scale, shift }),
+    ]
+}
+
+/// Builds the OURS-family graph: shared trunk, one float MLP branch per
+/// qubit over the full feature vector.
+pub(crate) fn per_qubit_graph(
+    extractor: &FeatureExtractor,
+    standardizer: &Standardizer,
+    heads: &[Mlp],
+) -> OpGraph {
+    OpGraph {
+        trunk: trunk(extractor, standardizer),
+        output: OutputStage::PerQubit {
+            branches: heads
+                .iter()
+                .map(|mlp| Branch {
+                    take: None,
+                    layers: DenseOp::chain_from_mlp(mlp),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Builds the HERQULES graph: shared trunk, one joint MLP over all qubits
+/// whose argmax decodes into per-qubit levels.
+pub(crate) fn joint_graph(
+    extractor: &FeatureExtractor,
+    standardizer: &Standardizer,
+    mlp: &Mlp,
+    n_qubits: usize,
+    levels: usize,
+) -> OpGraph {
+    OpGraph {
+        trunk: trunk(extractor, standardizer),
+        output: OutputStage::Joint {
+            layers: DenseOp::chain_from_mlp(mlp),
+            n_qubits,
+            levels,
+        },
+    }
+}
+
+/// Builds the deployed (OURS-INT) graph: shared trunk, quantised per-qubit
+/// heads. The heads quantise their own input, so the standardizer folds
+/// *backward* into the kernel bank rather than forward into weights.
+pub(crate) fn int_graph(
+    extractor: &FeatureExtractor,
+    standardizer: &Standardizer,
+    heads: &[IntMlp],
+) -> OpGraph {
+    OpGraph {
+        trunk: trunk(extractor, standardizer),
+        output: OutputStage::PerQubitInt {
+            heads: heads.to_vec(),
+        },
+    }
+}

@@ -144,6 +144,53 @@ impl TrainedModel {
         }
     }
 
+    /// Borrows the concrete integer-datapath deployment when this is
+    /// the `OURS-INT` family (for format diagnostics and the layered
+    /// reference path).
+    pub fn as_deployed(&self) -> Option<&DeployedDiscriminator> {
+        match &self.inner {
+            Family::Deployed(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the concrete joint-MLP baseline when this is the
+    /// `HERQULES` family (for plan diagnostics and the layered
+    /// reference path).
+    pub fn as_herqules(&self) -> Option<&HerqulesBaseline> {
+        match &self.inner {
+            Family::Herqules(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this family serves through a compiled single-pass
+    /// inference plan ([`crate::CompiledPlan`]) — true for the OURS,
+    /// OURS-NO-EMF, OURS-INT and HERQULES families.
+    pub fn has_plan(&self) -> bool {
+        matches!(
+            self.inner,
+            Family::Ours(_) | Family::Deployed(_) | Family::Herqules(_)
+        )
+    }
+
+    /// Batch inference through the family's original layered stages —
+    /// the reference implementation for plan-vs-layered comparisons
+    /// (throughput baselines, equivalence checks). For families without a
+    /// compiled plan this is the same as [`Discriminator::predict_batch`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Discriminator::predict_batch`].
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        match &self.inner {
+            Family::Ours(m) => m.predict_batch_layered(shots),
+            Family::Deployed(m) => m.predict_batch_layered(shots),
+            Family::Herqules(m) => m.predict_batch_layered(shots),
+            _ => self.inner.as_discriminator().predict_batch(shots),
+        }
+    }
+
     /// Serialises the model into the v2 envelope.
     ///
     /// # Errors

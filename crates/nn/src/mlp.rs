@@ -77,6 +77,31 @@ impl Mlp {
         *self.sizes.last().expect("nonempty sizes")
     }
 
+    /// Number of dense layers (`sizes.len() − 1`).
+    pub fn n_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Layer `l`'s row-major weight matrix (`[out × in]`, flattened as
+    /// `w[o * sizes[l] + i]`) — read access for the inference-plan
+    /// compiler, which folds affine pre-processing into these weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_weights(&self, l: usize) -> &[f32] {
+        &self.weights[l]
+    }
+
+    /// Layer `l`'s bias vector (`[out]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_biases(&self, l: usize) -> &[f32] {
+        &self.biases[l]
+    }
+
     /// Total number of trainable parameters (weights + biases).
     pub fn param_count(&self) -> usize {
         self.weights.iter().map(Vec::len).sum::<usize>()

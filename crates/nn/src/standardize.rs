@@ -65,6 +65,19 @@ impl Standardizer {
         self.means.len()
     }
 
+    /// The fitted per-feature means — the `μ` of `x → (x − μ)/σ`, exposed
+    /// so an inference-plan compiler can fold the transform into
+    /// downstream weights.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-feature standard deviations (`σ`, with zero-variance
+    /// features pinned to 1.0 — see [`Standardizer::fit`]).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
     /// Standardises one row.
     ///
     /// # Panics

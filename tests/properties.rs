@@ -624,4 +624,103 @@ proptest! {
             .0;
         prop_assert_eq!(mlp.predict(&xs), argmax);
     }
+
+    #[test]
+    fn fused_plans_decide_exactly_like_the_layered_path(
+        picks in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        // The plan compiler's headline contract: every family served
+        // through a compiled single-pass plan (OURS, OURS-NO-EMF,
+        // OURS-INT, HERQULES) decides exactly what its original layered
+        // stages decide, shot for shot.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let shots: Vec<&[Complex]> = picks
+            .iter()
+            .map(|&p| zoo.dataset.raw((p as usize) % n))
+            .collect();
+        for model in zoo.models.iter().filter(|m| m.has_plan()) {
+            prop_assert_eq!(
+                &model.predict_batch(&shots),
+                &model.predict_batch_layered(&shots),
+                "design {}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_logits_track_layered_logits(pick in any::<u64>()) {
+        // Folding the standardizer into downstream weights and lowering
+        // to f32 must not move any score by more than float-precision
+        // noise. Float heads get a 1e-4 relative budget; the integer
+        // family additionally tolerates a few fixed-point LSBs, since an
+        // f32-vs-f64 standardize difference can flip one quantisation
+        // bucket at the head's input.
+        let zoo = zoo();
+        let raw = zoo.dataset.raw((pick as usize) % zoo.dataset.len());
+
+        let herqules = zoo
+            .models
+            .iter()
+            .find_map(|m| m.as_herqules())
+            .expect("zoo holds a HERQULES model");
+        let deployed = zoo
+            .models
+            .iter()
+            .find_map(|m| m.as_deployed())
+            .expect("zoo holds an OURS-INT model");
+        let slack = 4.0 * deployed.format().resolution() as f32;
+
+        let cases = [
+            ("OURS", zoo.ours.plan().logits_shot(raw), zoo.ours.logits_layered(raw), 0.0),
+            (
+                "HERQULES",
+                herqules.plan().logits_shot(raw),
+                herqules.logits_layered(raw),
+                0.0,
+            ),
+            (
+                "OURS-INT",
+                deployed.plan().logits_shot(raw),
+                deployed.logits_layered(raw),
+                slack,
+            ),
+        ];
+        for (name, fused, layered, extra) in &cases {
+            prop_assert_eq!(fused.len(), layered.len(), "branch count, {}", name);
+            for (f, l) in fused.iter().zip(layered) {
+                prop_assert_eq!(f.len(), l.len(), "logit count, {}", name);
+                for (a, b) in f.iter().zip(l) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-4 * (1.0 + b.abs()) + extra,
+                        "{}: fused logit {} vs layered {}",
+                        name, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_simd_agrees_bitwise_with_scalar(
+        xs in prop::collection::vec(-8f32..8.0, 0..200),
+        ys in prop::collection::vec(-8f32..8.0, 0..200),
+    ) {
+        // The AVX2 kernel mirrors the scalar fallback's reduction tree
+        // exactly (8 lanes x 4 accumulators, pairwise folds, sequential
+        // remainder), so the two must agree to the bit — any drift means
+        // plan scores would depend on the deploy machine.
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let scalar = mlr_core::plan::dot_f32_scalar(a, b);
+        prop_assert_eq!(mlr_core::plan::dot_f32(a, b).to_bits(), scalar.to_bits());
+        #[cfg(target_arch = "x86_64")]
+        if mlr_core::plan::simd_active() {
+            prop_assert_eq!(
+                mlr_core::plan::dot_f32_avx2(a, b).to_bits(),
+                scalar.to_bits()
+            );
+        }
+    }
 }
