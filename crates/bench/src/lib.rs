@@ -428,10 +428,13 @@ impl BenchRow {
     }
 }
 
-/// The short git revision of the working tree, `"unknown"` when git or the
+/// The short git revision of the working tree at call time, with a
+/// `-dirty` suffix when tracked files are modified (the `git describe
+/// --dirty` convention) — so a bench row measured on an edited tree can
+/// never masquerade as the clean commit. `"unknown"` when git or the
 /// repository is unavailable.
 pub fn git_rev() -> String {
-    std::process::Command::new("git")
+    let Some(rev) = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
         .ok()
@@ -439,7 +442,21 @@ pub fn git_rev() -> String {
         .and_then(|out| String::from_utf8(out.stdout).ok())
         .map(|s| s.trim().to_owned())
         .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_owned())
+    else {
+        return "unknown".to_owned();
+    };
+    // `diff-index --quiet` exits non-zero when tracked files differ from
+    // HEAD (untracked files don't count, matching `git describe --dirty`).
+    let dirty = std::process::Command::new("git")
+        .args(["diff-index", "--quiet", "HEAD", "--"])
+        .status()
+        .map(|s| !s.success())
+        .unwrap_or(false);
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
 }
 
 /// Reads a `BENCH_*.json` trajectory file: a JSON array of rows.

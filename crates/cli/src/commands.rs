@@ -64,8 +64,11 @@ COMMANDS:
                fused-plan vs layered where the family compiles a plan
                  --design NAME  --qubits N  --shots N  --seed N  --samples N
                  --epochs N
-                 --json        append rows to BENCH_throughput.json
-                 --check-plan  fail if the fused plan is slower than the
+                 --json        append fused+layered rows (git-rev stamped,
+                               -dirty when the tree is modified); without
+                               --design this sweeps every plan-capable design
+                 --bench-file FILE (default BENCH_throughput.json)
+                 --check-plan  fail if any fused plan is slower than its
                                layered reference path
     help       Show this text
 ";
@@ -815,6 +818,21 @@ fn cmd_streaming(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Every design whose fit compiles a fused inference plan — the sweep set
+/// for `throughput --json` when no explicit `--design` narrows it. QDA and
+/// HMM are the two registry families that stay layered (see
+/// `mlr_core::plan` module docs for why they cannot lower).
+const PLAN_CAPABLE: [&str; 8] = [
+    "OURS",
+    "OURS-NO-EMF",
+    "OURS-INT",
+    "OURS-STREAM",
+    "HERQULES",
+    "FNN",
+    "LDA",
+    "AE",
+];
+
 fn cmd_throughput(args: &Args) -> Result<(), CliError> {
     let chip = chip_from(args)?;
     let ds = dataset_from(args, &chip)?;
@@ -823,75 +841,112 @@ fn cmd_throughput(args: &Args) -> Result<(), CliError> {
     let (spec, seed) = tuned_spec(args, Some(8))?;
     let json = args.switch("--json");
     let check_plan = args.switch("--check-plan");
+    let explicit_design = args.get_str("--design").is_some();
+    let bench_path = args
+        .get_str("--bench-file")
+        .unwrap_or("BENCH_throughput.json")
+        .to_owned();
     args.reject_unknown()?;
 
+    // `--json` without an explicit `--design` benches the whole
+    // plan-capable roster, so the trajectory file gains fused+layered rows
+    // for every design that compiles a plan — not just the default OURS.
+    let specs: Vec<DiscriminatorSpec> = if json && !explicit_design {
+        let epochs: usize = args.get_or("--epochs", 8)?;
+        PLAN_CAPABLE
+            .iter()
+            .map(|name| {
+                name.parse::<DiscriminatorSpec>()
+                    .expect("PLAN_CAPABLE names are registry designs")
+                    .with_epochs(epochs)
+            })
+            .collect()
+    } else {
+        vec![spec]
+    };
+
     let split = ds.paper_split(seed);
-    let model = registry::fit(&spec, &ds, &split, seed);
     let all: Vec<usize> = (0..ds.len()).collect();
     let shots = mlr_core::gather_shots(&ds, &all);
-    let report = mlr_bench::measure_throughput(&model, &shots);
-    // Where the family compiles a fused plan, also time the original
-    // layered per-stage pipeline — the before/after of the plan compiler.
-    let layered_rate = model
-        .has_plan()
-        .then(|| mlr_bench::measure_layered_rate(&model, &shots));
+    let threads = mlr_core::batch_threads();
+    // Stamped once per invocation: the rev the rates were measured at,
+    // `-dirty` when the tree differs from HEAD.
+    let rev = mlr_bench::git_rev();
+    let mut bench_rows = Vec::new();
 
-    let mut rows = vec![
-        vec![
-            "per-shot loop".to_owned(),
-            format!("{:.0}", report.per_shot_rate),
-        ],
-        vec![
-            "predict_batch".to_owned(),
-            format!("{:.0}", report.batch_rate),
-        ],
-    ];
-    if let Some(rate) = layered_rate {
-        rows.push(vec!["layered batch".to_owned(), format!("{rate:.0}")]);
-    }
-    print_table(
-        &format!(
-            "{spec} inference throughput over {} shots ({} threads)",
-            report.n_shots,
-            mlr_core::batch_threads()
-        ),
-        &["path", "shots/s"],
-        &rows,
-    );
-    println!("batch speedup: {:.2}x", report.speedup());
-    if let Some(rate) = layered_rate {
-        println!("fused plan vs layered: {:.2}x", report.batch_rate / rate);
-    }
+    for spec in &specs {
+        let model = registry::fit(spec, &ds, &split, seed);
+        let report = mlr_bench::measure_throughput(&model, &shots);
+        // Where the family compiles a fused plan, also time the original
+        // layered per-stage pipeline — the before/after of the plan
+        // compiler.
+        let layered_rate = model
+            .has_plan()
+            .then(|| mlr_bench::measure_layered_rate(&model, &shots));
 
-    if let Some(rate) = layered_rate {
-        if check_plan && report.batch_rate < rate {
-            return Err(CliError::Usage(format!(
-                "fused plan ({:.0} shots/s) is slower than the layered path ({rate:.0} shots/s)",
-                report.batch_rate
-            )));
+        let mut rows = vec![
+            vec![
+                "per-shot loop".to_owned(),
+                format!("{:.0}", report.per_shot_rate),
+            ],
+            vec![
+                "predict_batch".to_owned(),
+                format!("{:.0}", report.batch_rate),
+            ],
+        ];
+        if let Some(rate) = layered_rate {
+            rows.push(vec!["layered batch".to_owned(), format!("{rate:.0}")]);
+        }
+        print_table(
+            &format!(
+                "{spec} inference throughput over {} shots ({threads} threads)",
+                report.n_shots
+            ),
+            &["path", "shots/s"],
+            &rows,
+        );
+        println!("batch speedup: {:.2}x", report.speedup());
+        if let Some(rate) = layered_rate {
+            println!("fused plan vs layered: {:.2}x", report.batch_rate / rate);
+            if check_plan && report.batch_rate < rate {
+                // At smoke scales (tens of shots) a single measurement can
+                // invert a near-1.0x ranking on timer noise alone;
+                // re-measure before declaring a plan regression.
+                let confirmed = (0..2).all(|_| {
+                    let again = mlr_bench::measure_throughput(&model, &shots);
+                    again.batch_rate < mlr_bench::measure_layered_rate(&model, &shots)
+                });
+                if confirmed {
+                    return Err(CliError::Usage(format!(
+                        "{spec}: fused plan ({:.0} shots/s) is slower than the layered path ({rate:.0} shots/s)",
+                        report.batch_rate
+                    )));
+                }
+            }
+        }
+
+        if json {
+            bench_rows.push(mlr_bench::BenchRow {
+                design: spec.family_name().to_owned(),
+                shots_per_sec: report.batch_rate,
+                batch: report.n_shots,
+                threads,
+                git_rev: rev.clone(),
+            });
+            if let Some(rate) = layered_rate {
+                bench_rows.push(mlr_bench::BenchRow {
+                    design: format!("{}-layered", spec.family_name()),
+                    shots_per_sec: rate,
+                    batch: report.n_shots,
+                    threads,
+                    git_rev: rev.clone(),
+                });
+            }
         }
     }
 
     if json {
-        let path = std::path::Path::new("BENCH_throughput.json");
-        let threads = mlr_core::batch_threads();
-        let rev = mlr_bench::git_rev();
-        let mut bench_rows = vec![mlr_bench::BenchRow {
-            design: spec.family_name().to_owned(),
-            shots_per_sec: report.batch_rate,
-            batch: report.n_shots,
-            threads,
-            git_rev: rev.clone(),
-        }];
-        if let Some(rate) = layered_rate {
-            bench_rows.push(mlr_bench::BenchRow {
-                design: format!("{}-layered", spec.family_name()),
-                shots_per_sec: rate,
-                batch: report.n_shots,
-                threads,
-                git_rev: rev,
-            });
-        }
+        let path = std::path::Path::new(&bench_path);
         mlr_bench::append_bench_rows(path, &bench_rows).map_err(CliError::Usage)?;
         // Re-read what was just written: the file must stay a well-formed
         // trajectory or the CI smoke step fails here.
@@ -1099,6 +1154,61 @@ mod tests {
             "6",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn throughput_json_check_plan_appends_and_revalidates() {
+        let bench = std::env::temp_dir().join(format!("mlr_bench_{}.json", std::process::id()));
+        let bench_str = bench.to_str().unwrap();
+        std::fs::remove_file(&bench).ok();
+        // An explicit --design keeps the sweep to one cheap family; --json
+        // must append a fused and a layered row and re-validate the file.
+        // No --check-plan here: the relative speed of the two paths is a
+        // release-build property (CI's smoke step gates it in release);
+        // under the debug profile the unoptimised f32 kernels lose.
+        run_tokens(&[
+            "throughput",
+            "--qubits",
+            "2",
+            "--shots",
+            "10",
+            "--samples",
+            "100",
+            "--seed",
+            "6",
+            "--design",
+            "LDA",
+            "--json",
+            "--bench-file",
+            bench_str,
+        ])
+        .unwrap();
+        let rows = mlr_bench::read_bench_rows(&bench).unwrap();
+        let designs: Vec<&str> = rows.iter().map(|r| r.design.as_str()).collect();
+        assert_eq!(designs, ["LDA", "LDA-layered"], "{designs:?}");
+        assert!(rows.iter().all(|r| r.shots_per_sec > 0.0));
+        // The rev stamp is taken at run time, never hard-coded.
+        assert!(rows.iter().all(|r| !r.git_rev.is_empty()));
+        // A second run appends — the file is a trajectory, not a snapshot.
+        run_tokens(&[
+            "throughput",
+            "--qubits",
+            "2",
+            "--shots",
+            "10",
+            "--samples",
+            "100",
+            "--seed",
+            "6",
+            "--design",
+            "LDA",
+            "--json",
+            "--bench-file",
+            bench_str,
+        ])
+        .unwrap();
+        assert_eq!(mlr_bench::read_bench_rows(&bench).unwrap().len(), 4);
+        std::fs::remove_file(&bench).ok();
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! still per-qubit (no crosstalk correction) — exactly the gap the paper's
 //! matched-filter features close at a fraction of the size.
 
+use crate::plan::{
+    self, AffineOp, Branch, CompiledPlan, DenseOp, MfBankOp, Op, OpGraph, OutputStage,
+};
 use crate::Discriminator;
 use mlr_dsp::{boxcar_decimate, iq_features, Demodulator};
 use mlr_nn::{Mlp, RegressionData, Standardizer, TrainConfig, TrainData};
@@ -112,6 +115,89 @@ pub struct AutoencoderBaseline {
     demod: Demodulator,
     models: Vec<QubitAe>,
     decimation: usize,
+    /// Fused single-pass plan — derived data, rebuilt by every
+    /// constructor, never serialised. Demodulate + boxcar-decimate is
+    /// linear in the raw trace, so each decimated IQ feature becomes one
+    /// kernel row; the per-qubit encoder + head chains ride as dense
+    /// branches over `take` slices of the concatenated feature bank.
+    plan: CompiledPlan,
+}
+
+/// Builds the autoencoder op graph.
+///
+/// Each qubit's feature vector is `iq_features(boxcar_decimate(demod, dec))`
+/// — `m = ⌈n/dec⌉` complex points laid out I-block-then-Q-block (width
+/// `D = 2m`). Both maps are linear, so feature `I_j` (the mean of chunk
+/// `j`'s demodulated real parts) is a dot against the interleaved raw
+/// trace:
+///
+/// ```text
+/// I_j: row[2t] =  ref.re[t]/L_j,  row[2t+1] = −ref.im[t]/L_j   (t ∈ chunk j)
+/// Q_j: row[2t] =  ref.im[t]/L_j,  row[2t+1] =  ref.re[t]/L_j
+/// ```
+///
+/// with `L_j` the chunk's actual length (the trailing chunk may be
+/// partial, matching `boxcar_decimate`). The bank concatenates every
+/// qubit's `D` rows; the trunk affine concatenates the per-qubit
+/// standardizers, which the forward fold then absorbs into each branch's
+/// first encoder layer through its `take` slice.
+fn ae_graph(demod: &Demodulator, models: &[QubitAe], decimation: usize) -> OpGraph {
+    let n = demod.n_samples();
+    let m = n.div_ceil(decimation);
+    let width = 2 * m;
+    let mut rows = Vec::with_capacity(models.len() * width);
+    let mut scale = Vec::with_capacity(models.len() * width);
+    let mut shift = Vec::with_capacity(models.len() * width);
+    let mut branches = Vec::with_capacity(models.len());
+    for (q, model) in models.iter().enumerate() {
+        let refs = demod.reference(q);
+        // I-feature rows then Q-feature rows — iq_features' block layout.
+        for im_part in [false, true] {
+            for j in 0..m {
+                let chunk = j * decimation..((j + 1) * decimation).min(n);
+                let len = chunk.len() as f64;
+                let mut row = vec![0.0f64; 2 * n];
+                for t in chunk {
+                    let r = refs[t];
+                    if im_part {
+                        row[2 * t] = r.im / len;
+                        row[2 * t + 1] = r.re / len;
+                    } else {
+                        row[2 * t] = r.re / len;
+                        row[2 * t + 1] = -r.im / len;
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        let std = &model.standardizer;
+        scale.extend(std.stds().iter().map(|&s| 1.0 / s));
+        shift.extend(std.means().iter().zip(std.stds()).map(|(&mu, &s)| -mu / s));
+        // Encoder half of the autoencoder (layers 0..=1, ending at the
+        // bottleneck activation), then the classifier head.
+        let mut layers = vec![
+            DenseOp::from_mlp_layer(&model.autoencoder, 0),
+            DenseOp::from_mlp_layer(&model.autoencoder, 1),
+        ];
+        layers.extend(DenseOp::chain_from_mlp(&model.head));
+        branches.push(Branch {
+            take: Some(q * width..(q + 1) * width),
+            layers,
+        });
+    }
+    let bias = vec![0.0; rows.len()];
+    OpGraph {
+        trunk: vec![
+            Op::FlattenIq { n_samples: n },
+            Op::MfBank(MfBankOp {
+                rows,
+                bias,
+                relu: false,
+            }),
+            Op::Affine(AffineOp { scale, shift }),
+        ],
+        output: OutputStage::PerQubit { branches },
+    }
 }
 
 impl AutoencoderBaseline {
@@ -208,13 +294,43 @@ impl AutoencoderBaseline {
 
                 QubitAe { head, ..stack }
             })
-            .collect();
+            .collect::<Vec<QubitAe>>();
 
+        let plan = plan::compile(ae_graph(&demod, &models, config.decimation));
         Self {
             demod,
             models,
             decimation: config.decimation,
+            plan,
         }
+    }
+
+    /// Borrows the compiled single-pass inference plan.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+
+    /// Reference layered path — demodulate, decimate, standardise, encode,
+    /// classify per stage — kept as the exactness reference the plan
+    /// property tests compare against.
+    pub fn predict_shot_layered(&self, raw: &[Complex]) -> Vec<usize> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(q, model)| {
+                let f = iq_features(&boxcar_decimate(
+                    &self.demod.demodulate(raw, q),
+                    self.decimation,
+                ));
+                model.predict(&f)
+            })
+            .collect()
+    }
+
+    /// Layered batch path ([`Self::predict_shot_layered`] fanned over
+    /// cores).
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        crate::par_map(shots, |raw| self.predict_shot_layered(raw))
     }
 
     /// Decimation window in ADC samples.
@@ -247,18 +363,16 @@ impl AutoencoderBaseline {
 }
 
 impl Discriminator for AutoencoderBaseline {
+    /// Served by the fused plan: one pass over the raw trace scoring every
+    /// qubit's decimated-feature rows, standardizer folded into the
+    /// encoders, argmax fused into each head's final layer.
     fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
-        self.models
-            .iter()
-            .enumerate()
-            .map(|(q, model)| {
-                let f = iq_features(&boxcar_decimate(
-                    &self.demod.demodulate(raw, q),
-                    self.decimation,
-                ));
-                model.predict(&f)
-            })
-            .collect()
+        self.plan.predict_shot(raw)
+    }
+
+    /// Fused batch path: 16-shot tiles over the compiled plan.
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.plan.predict_batch(shots)
     }
 
     fn name(&self) -> &str {
@@ -311,10 +425,13 @@ impl AutoencoderBaseline {
                 saved.decimation, chip.n_samples
             )));
         }
+        let demod = Demodulator::new(&chip);
+        let plan = plan::compile(ae_graph(&demod, &saved.models, saved.decimation));
         Ok(Self {
-            demod: Demodulator::new(&chip),
+            demod,
             models: saved.models,
             decimation: saved.decimation,
+            plan,
         })
     }
 }
@@ -373,6 +490,19 @@ mod tests {
         let (ds, split) = dataset();
         let ae = AutoencoderBaseline::fit(&ds, &split, &quick_config());
         assert_eq!(ae.decimation(), 25);
+    }
+
+    #[test]
+    fn plan_matches_layered_labels() {
+        let (ds, split) = dataset();
+        let ae = AutoencoderBaseline::fit(&ds, &split, &quick_config());
+        let shots: Vec<&[Complex]> = split.test.iter().map(|&i| ds.raw(i)).collect();
+        assert_eq!(ae.predict_batch(&shots), ae.predict_batch_layered(&shots));
+        // One kernel row per (qubit, decimated IQ feature): 2 qubits ×
+        // 2 × ⌈200/25⌉ = 32 rows, and the standardizer folded forward into
+        // the encoder first layers.
+        assert_eq!(ae.plan().n_kernel_rows(), 32);
+        assert!(ae.plan().fuse_report().affine_into_dense);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-qubit Gaussian discriminant analysis (LDA/QDA) on boxcar-integrated
 //! IQ points — the classical baselines of Tables V and VI.
 
+use crate::plan::{self, Branch, CompiledPlan, MfBankOp, Op, OpGraph, OutputStage};
 use crate::Discriminator;
 use mlr_dsp::{integrate, Demodulator};
 use mlr_linalg::{covariance_matrix, Cholesky, Matrix};
@@ -69,6 +70,70 @@ pub struct DiscriminantAnalysis {
     demod: Demodulator,
     models: Vec<QubitModel>,
     kind: DiscriminantKind,
+    /// Fused single-pass plan — LDA only. Under a pooled covariance the
+    /// quadratic term `−½·xᵀΣ⁻¹x` is the same for every class, so the
+    /// decision is linear in `x` and composes with demodulation +
+    /// integration into one kernel row per (qubit, level) against the raw
+    /// trace. QDA's per-class covariances keep the quadratic form
+    /// class-dependent, so it stays layered (`plan` is `None`).
+    plan: Option<CompiledPlan>,
+}
+
+/// Builds the LDA op graph: one kernel row per (qubit, level).
+///
+/// The layered path scores `−½(x−μ_c)ᵀΣ⁻¹(x−μ_c) + log π_c` on the
+/// integrated IQ point `x = mean_t(raw[t]·ref[t])`. Expanding and dropping
+/// the class-constant `−½xᵀΣ⁻¹x` leaves the linear discriminant
+/// `w_c·x − ½μ_c·w_c + log π_c` with `w_c = Σ⁻¹μ_c`; substituting the
+/// demodulate-integrate definition of `x` turns `w_c·x` into a dot product
+/// against the interleaved raw trace:
+///
+/// ```text
+/// row[2t]   = (w₀·ref.re[t] + w₁·ref.im[t]) / n
+/// row[2t+1] = (w₁·ref.re[t] − w₀·ref.im[t]) / n
+/// ```
+///
+/// Each qubit's branch argmaxes its `levels`-wide slice of the bank — no
+/// dense layers at all, so the fused path is a single matrix against the
+/// raw trace.
+fn lda_graph(demod: &Demodulator, models: &[QubitModel]) -> OpGraph {
+    let n = demod.n_samples();
+    let inv_n = 1.0 / n as f64;
+    let mut rows = Vec::new();
+    let mut bias = Vec::new();
+    let mut branches = Vec::with_capacity(models.len());
+    let mut start = 0usize;
+    for (q, model) in models.iter().enumerate() {
+        debug_assert_eq!(model.kind, DiscriminantKind::Lda);
+        let refs = demod.reference(q);
+        let levels = model.means.len();
+        for (mean, &log_prior) in model.means.iter().zip(&model.log_priors) {
+            let w = model.chols[0].solve(mean);
+            let mut row = vec![0.0f64; 2 * n];
+            for (t, r) in refs.iter().enumerate() {
+                row[2 * t] = (w[0] * r.re + w[1] * r.im) * inv_n;
+                row[2 * t + 1] = (w[1] * r.re - w[0] * r.im) * inv_n;
+            }
+            rows.push(row);
+            bias.push(-0.5 * (mean[0] * w[0] + mean[1] * w[1]) + log_prior);
+        }
+        branches.push(Branch {
+            take: Some(start..start + levels),
+            layers: Vec::new(),
+        });
+        start += levels;
+    }
+    OpGraph {
+        trunk: vec![
+            Op::FlattenIq { n_samples: n },
+            Op::MfBank(MfBankOp {
+                rows,
+                bias,
+                relu: false,
+            }),
+        ],
+        output: OutputStage::PerQubit { branches },
+    }
 }
 
 impl DiscriminantAnalysis {
@@ -87,7 +152,7 @@ impl DiscriminantAnalysis {
         let demod = Demodulator::new(config);
         let levels = dataset.levels();
 
-        let models = (0..config.n_qubits())
+        let models: Vec<QubitModel> = (0..config.n_qubits())
             .map(|q| {
                 // Integrated IQ features per training shot.
                 let feats: Vec<Vec<f64>> = split
@@ -155,10 +220,13 @@ impl DiscriminantAnalysis {
             })
             .collect();
 
+        let plan =
+            (kind == DiscriminantKind::Lda).then(|| plan::compile(lda_graph(&demod, &models)));
         Self {
             demod,
             models,
             kind,
+            plan,
         }
     }
 
@@ -166,10 +234,17 @@ impl DiscriminantAnalysis {
     pub fn kind(&self) -> DiscriminantKind {
         self.kind
     }
-}
 
-impl Discriminator for DiscriminantAnalysis {
-    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+    /// Borrows the compiled single-pass plan — `Some` for LDA, `None` for
+    /// QDA (whose per-class quadratic form is not lowerable).
+    pub fn plan(&self) -> Option<&CompiledPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Reference layered path — demodulate, integrate, score the full
+    /// Gaussian discriminant in `f64` — kept as the exactness reference
+    /// the plan property tests compare against.
+    pub fn predict_shot_layered(&self, raw: &[Complex]) -> Vec<usize> {
         self.models
             .iter()
             .enumerate()
@@ -178,6 +253,55 @@ impl Discriminator for DiscriminantAnalysis {
                 model.predict(&[z.re, z.im])
             })
             .collect()
+    }
+
+    /// Layered batch path ([`Self::predict_shot_layered`] fanned over
+    /// cores).
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        crate::par_map(shots, |raw| self.predict_shot_layered(raw))
+    }
+
+    /// Layered linear discriminant scores for one trace, per qubit: the
+    /// class-constant quadratic term dropped, exactly what the plan's
+    /// kernel rows compute — the logit reference for the plan property
+    /// tests.
+    pub fn scores_layered(&self, raw: &[Complex]) -> Vec<Vec<f64>> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(q, model)| {
+                let z = integrate(&self.demod.demodulate(raw, q));
+                model
+                    .means
+                    .iter()
+                    .zip(&model.log_priors)
+                    .map(|(mean, &log_prior)| {
+                        let w = model.chols[0].solve(mean);
+                        z.re * w[0] + z.im * w[1] - 0.5 * (mean[0] * w[0] + mean[1] * w[1])
+                            + log_prior
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl Discriminator for DiscriminantAnalysis {
+    /// LDA serves through the fused plan (one kernel row per class against
+    /// the raw trace, argmax fused); QDA stays on the layered Gaussian
+    /// scoring.
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        match &self.plan {
+            Some(plan) => plan.predict_shot(raw),
+            None => self.predict_shot_layered(raw),
+        }
+    }
+
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        match &self.plan {
+            Some(plan) => plan.predict_batch(shots),
+            None => self.predict_batch_layered(shots),
+        }
     }
 
     fn name(&self) -> &str {
@@ -224,10 +348,14 @@ impl DiscriminantAnalysis {
                 chip.n_qubits()
             )));
         }
+        let demod = Demodulator::new(&chip);
+        let plan = (saved.kind == DiscriminantKind::Lda)
+            .then(|| plan::compile(lda_graph(&demod, &saved.models)));
         Ok(Self {
-            demod: Demodulator::new(&chip),
+            demod,
             models: saved.models,
             kind: saved.kind,
+            plan,
         })
     }
 }
@@ -277,6 +405,39 @@ mod tests {
         assert_eq!(lda.name(), "LDA");
         assert_eq!(lda.n_qubits(), 2);
         assert_eq!(lda.weight_count(), 0);
+    }
+
+    #[test]
+    fn lda_plan_matches_layered() {
+        let (ds, split) = dataset();
+        let lda = DiscriminantAnalysis::fit(&ds, &split, DiscriminantKind::Lda);
+        let plan = lda.plan().expect("LDA compiles a plan");
+        // One kernel row per (qubit, level), empty branches: the whole
+        // pipeline is a single matrix against the raw trace.
+        assert_eq!(plan.n_kernel_rows(), 2 * 3);
+        let shots: Vec<&[Complex]> = split.test.iter().map(|&i| ds.raw(i)).collect();
+        assert_eq!(lda.predict_batch(&shots), lda.predict_batch_layered(&shots));
+        // The fused rows compute the layered linear scores (quadratic
+        // class-constant dropped) — compare logits within f32 noise.
+        for &i in split.test.iter().take(10) {
+            let fused = plan.logits_shot(ds.raw(i));
+            let layered = lda.scores_layered(ds.raw(i));
+            for (fq, lq) in fused.iter().zip(&layered) {
+                for (&f, &l) in fq.iter().zip(lq) {
+                    assert!(
+                        (f64::from(f) - l).abs() <= 1e-3 * (1.0 + l.abs()),
+                        "fused {f} vs layered {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qda_has_no_plan() {
+        let (ds, split) = dataset();
+        let qda = DiscriminantAnalysis::fit(&ds, &split, DiscriminantKind::Qda);
+        assert!(qda.plan().is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The raw-trace FNN baseline (Fig. 2 top): undemodulated IQ samples in,
 //! joint basis-state softmax out.
 
+use crate::plan::{self, CompiledPlan};
 use crate::Discriminator;
 use mlr_dsp::iq_features;
 use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
@@ -46,6 +47,11 @@ pub struct FnnBaseline {
     mlp: Mlp,
     n_qubits: usize,
     levels: usize,
+    /// Fused single-pass plan — derived data, rebuilt by every
+    /// constructor, never serialised. The first hidden layer becomes the
+    /// kernel bank (standardizer pre-folded, ReLU riding on the rows), the
+    /// rest a fused marginal-decoded chain.
+    plan: CompiledPlan,
 }
 
 impl FnnBaseline {
@@ -102,11 +108,19 @@ impl FnnBaseline {
         }
         mlp.train(&data, val_data.as_ref(), &train_cfg);
 
+        let plan = plan::compile(plan::fnn_graph(
+            &standardizer,
+            &mlp,
+            dataset.config().n_samples,
+            n_qubits,
+            levels,
+        ));
         Self {
             standardizer,
             mlp,
             n_qubits,
             levels,
+            plan,
         }
     }
 
@@ -119,26 +133,46 @@ impl FnnBaseline {
     pub fn levels(&self) -> usize {
         self.levels
     }
-}
 
-impl Discriminator for FnnBaseline {
-    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
-        let x = self.standardizer.transform_f32(&iq_features(raw));
-        // Per-qubit decisions come from the joint softmax's marginals — the
-        // optimal per-qubit rule, pooling mass across rare joint classes.
-        self.mlp.predict_marginal(&x, self.n_qubits, self.levels)
+    /// Borrows the compiled single-pass inference plan.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
     }
 
-    /// Native batch path: featurise and standardise the whole batch once,
-    /// then decode marginals row by row (fanned over cores). Decisions
-    /// match mapping `predict_shot` exactly — the raw-trace FNN has no
-    /// demodulation stage to fuse, so the win is the amortised setup.
-    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+    /// Reference layered path — standardise `iq_features`, then the
+    /// network's own marginal decoding — kept as the bit-exactness
+    /// reference the plan property tests compare against.
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
         let features: Vec<Vec<f64>> = crate::par_map(shots, |raw| iq_features(raw));
         let xs = self.standardizer.transform_batch_f32(&features);
         crate::par_map(&xs, |x| {
             self.mlp.predict_marginal(x, self.n_qubits, self.levels)
         })
+    }
+
+    /// Layered joint logits for one trace (the vector the marginal decode
+    /// softmaxes) — the reference the plan's logit property compares
+    /// against.
+    pub fn logits_layered(&self, raw: &[Complex]) -> Vec<f32> {
+        let x = self.standardizer.transform_f32(&iq_features(raw));
+        self.mlp.forward(&x)
+    }
+}
+
+impl Discriminator for FnnBaseline {
+    /// Per-qubit decisions come from the joint softmax's marginals — the
+    /// optimal per-qubit rule, pooling mass across rare joint classes —
+    /// served by the fused plan: one pass over the raw trace with the
+    /// standardizer pre-folded into the first layer's rows.
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        self.plan.predict_shot(raw)
+    }
+
+    /// Fused batch path: 16-shot tiles over the compiled plan. Decisions
+    /// match mapping `predict_shot` exactly (per-shot dots are independent
+    /// of tiling).
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.plan.predict_batch(shots)
     }
 
     fn name(&self) -> &str {
@@ -194,11 +228,19 @@ impl FnnBaseline {
                 n_classes
             )));
         }
+        let plan = plan::compile(plan::fnn_graph(
+            &saved.standardizer,
+            &saved.mlp,
+            chip.n_samples,
+            n_qubits,
+            saved.levels,
+        ));
         Ok(Self {
             standardizer: saved.standardizer,
             mlp: saved.mlp,
             n_qubits,
             levels: saved.levels,
+            plan,
         })
     }
 }
@@ -257,5 +299,14 @@ mod tests {
         let decided = fnn.predict_shot(ds.raw(0));
         assert_eq!(decided.len(), 2);
         assert!(decided.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn plan_matches_layered_labels() {
+        let (ds, split, fnn) = fit_small();
+        let shots: Vec<&[Complex]> = split.test.iter().map(|&i| ds.raw(i)).collect();
+        assert_eq!(fnn.predict_batch(&shots), fnn.predict_batch_layered(&shots));
+        // The first hidden layer became the kernel bank: one row per unit.
+        assert_eq!(fnn.plan().n_kernel_rows(), fnn.mlp().sizes()[1]);
     }
 }

@@ -1,18 +1,31 @@
 //! The compiler's back end: lowering a fused [`OpGraph`] to `f32` tiled
-//! kernels, and the explicit-SIMD dot product they are scored by.
+//! kernels scored by the workspace's explicit-SIMD dot product
+//! (`mlr_nn::dot_f32` — shared with the network forward passes, re-exported
+//! from [`crate::plan`]).
 //!
-//! # SIMD contract
+//! # Precision tiers
 //!
-//! [`dot_f32`] dispatches at runtime (cached feature detection) between an
-//! AVX2 path and a scalar fallback that mirrors the vector code's exact
-//! lane and reduction structure: 4 accumulator vectors × 8 lanes, pairwise
-//! lane reduction `(a0+a1)+(a2+a3)`, the same fixed horizontal tree, and a
-//! shared scalar remainder loop. Both paths use separate multiply-then-add
-//! (deliberately **no FMA** — an FMA's unrounded intermediate would make
-//! the two paths diverge in the last bit, and the kernel is load-bound so
-//! FMA buys no throughput here). The result: scalar and AVX2 agree
-//! **bit-for-bit**, which the workspace's property tests pin, and a host
-//! without AVX2 serves identical decisions.
+//! Every plan scores its kernels through one of two dot tiers, selected by
+//! [`PlanPrecision`]:
+//!
+//! * [`PlanPrecision::Reproducible`] (default) — `dot_f32`, the PR 6
+//!   contract: AVX2 and its scalar mirror agree **bit-for-bit** (separate
+//!   multiply-then-add, fixed reduction tree), so every host serves
+//!   identical decisions.
+//! * [`PlanPrecision::Fma`] — `fma_f32`, fused multiply-add on both the
+//!   vector path (`_mm256_fmadd_ps`) and the scalar mirror
+//!   (`f32::mul_add`). One rounding per step instead of two: slightly
+//!   *more* accurate and faster on FMA hosts, but not bit-compatible with
+//!   the reproducible tier, which is why it is opt-in.
+//!
+//! # Fused argmax
+//!
+//! The final dense layer of every argmax-decided head is executed by
+//! [`DenseF32::forward_argmax`]: a running (max, index) pair per output row
+//! instead of a materialised logit vector, with the strictly-greater tie
+//! rule (ties→lowest) shared with `Mlp::predict`. Confidence callers keep
+//! the materialising paths ([`CompiledPlan::logits_shot`],
+//! [`CompiledPlan::decide_proba`]).
 
 use mlr_nn::IntMlp;
 use mlr_num::Complex;
@@ -23,139 +36,29 @@ use super::graph::{DenseOp, Op, OpGraph, OutputStage};
 /// tile, and each tile reuses one flattened-trace scratch buffer.
 const PLAN_TILE: usize = 16;
 
-// ------------------------------------------------------------------ SIMD
-
-#[cfg(target_arch = "x86_64")]
-fn avx2_enabled() -> bool {
-    use std::sync::OnceLock;
-    static AVX2: OnceLock<bool> = OnceLock::new();
-    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+/// Which dot-product tier a compiled plan scores with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanPrecision {
+    /// Bit-reproducible multiply-then-add (`dot_f32`): AVX2 and scalar
+    /// agree bit-for-bit across hosts. The default.
+    #[default]
+    Reproducible,
+    /// Fused multiply-add (`fma_f32`): faster on FMA hosts and one
+    /// rounding per step, but not bit-compatible with the reproducible
+    /// tier. Opt-in via [`CompiledPlan::set_precision`].
+    Fma,
 }
 
-/// Whether this host serves the AVX2 path (`false` means the bit-identical
-/// scalar fallback is in use).
-pub fn simd_active() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        avx2_enabled()
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
+/// The dot function a precision tier dispatches to.
+type DotFn = fn(&[f32], &[f32]) -> f32;
 
-/// Shared tail of both dot paths: fixed-order horizontal reduction of the
-/// 8 lane sums, then the (sub-32-element) remainder accumulated serially.
-#[inline]
-fn finish_dot(lanes: &[f32; 8], ra: &[f32], rb: &[f32]) -> f32 {
-    let mut total = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
-        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
-    for (&x, &y) in ra.iter().zip(rb) {
-        total += x * y;
-    }
-    total
-}
-
-/// Scalar dot product mirroring the AVX2 path's lane structure exactly:
-/// 32 accumulators laid out as 4 vectors × 8 lanes, reduced pairwise.
-/// Bit-identical to [`dot_f32_avx2`] by construction.
-///
-/// # Panics
-///
-/// Panics in debug builds if the slices' lengths differ.
-pub fn dot_f32_scalar(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 32];
-    let mut ca = a.chunks_exact(32);
-    let mut cb = b.chunks_exact(32);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for ((acc, &x), &y) in acc.iter_mut().zip(xa).zip(xb) {
-            *acc += x * y;
+impl PlanPrecision {
+    fn dot(self) -> DotFn {
+        match self {
+            PlanPrecision::Reproducible => mlr_nn::dot_f32,
+            PlanPrecision::Fma => mlr_nn::fma_f32,
         }
     }
-    let mut lanes = [0.0f32; 8];
-    for (l, lane) in lanes.iter_mut().enumerate() {
-        *lane = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
-    }
-    finish_dot(&lanes, ca.remainder(), cb.remainder())
-}
-
-/// # Safety
-///
-/// Caller must ensure AVX2 is available and `a.len() == b.len()`.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn dot_f32_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
-    use std::arch::x86_64::{
-        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
-    };
-    let n = a.len();
-    let mut acc0 = _mm256_setzero_ps();
-    let mut acc1 = _mm256_setzero_ps();
-    let mut acc2 = _mm256_setzero_ps();
-    let mut acc3 = _mm256_setzero_ps();
-    let mut i = 0usize;
-    while i + 32 <= n {
-        let pa = a.as_ptr().add(i);
-        let pb = b.as_ptr().add(i);
-        acc0 = _mm256_add_ps(
-            acc0,
-            _mm256_mul_ps(_mm256_loadu_ps(pa), _mm256_loadu_ps(pb)),
-        );
-        acc1 = _mm256_add_ps(
-            acc1,
-            _mm256_mul_ps(_mm256_loadu_ps(pa.add(8)), _mm256_loadu_ps(pb.add(8))),
-        );
-        acc2 = _mm256_add_ps(
-            acc2,
-            _mm256_mul_ps(_mm256_loadu_ps(pa.add(16)), _mm256_loadu_ps(pb.add(16))),
-        );
-        acc3 = _mm256_add_ps(
-            acc3,
-            _mm256_mul_ps(_mm256_loadu_ps(pa.add(24)), _mm256_loadu_ps(pb.add(24))),
-        );
-        i += 32;
-    }
-    let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
-    let mut lanes = [0.0f32; 8];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), s);
-    finish_dot(&lanes, &a[i..], &b[i..])
-}
-
-/// The AVX2 dot product (safe wrapper) — exposed for the scalar-vs-AVX2
-/// bit-agreement tests.
-///
-/// # Panics
-///
-/// Panics if AVX2 is not available on this host (check [`simd_active`]
-/// first) or, in debug builds, if the slices' lengths differ.
-#[cfg(target_arch = "x86_64")]
-pub fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    assert!(avx2_enabled(), "AVX2 unavailable on this host");
-    // SAFETY: availability checked above; equal lengths asserted.
-    unsafe { dot_f32_avx2_impl(a, b) }
-}
-
-/// Contiguous `f32` dot product with runtime SIMD dispatch — every score
-/// the compiled plan produces goes through this one function, single-shot
-/// and batched alike, which is what makes the two bit-identical.
-///
-/// # Panics
-///
-/// Panics in debug builds if the slices' lengths differ.
-#[inline]
-pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    #[cfg(target_arch = "x86_64")]
-    {
-        if avx2_enabled() {
-            // SAFETY: availability checked at runtime.
-            return unsafe { dot_f32_avx2_impl(a, b) };
-        }
-    }
-    dot_f32_scalar(a, b)
 }
 
 // ------------------------------------------------------------- lowering
@@ -181,14 +84,34 @@ impl DenseF32 {
         }
     }
 
-    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>, dot: DotFn) {
         debug_assert_eq!(x.len(), self.n_in);
         out.clear();
         out.reserve(self.n_out);
         for (row, &bias) in self.w.chunks_exact(self.n_in).zip(&self.b) {
-            let acc = bias + dot_f32(row, x);
+            let acc = bias + dot(row, x);
             out.push(if self.relu { acc.max(0.0) } else { acc });
         }
+    }
+
+    /// Fused final-layer argmax: tracks a running (best value, index) pair
+    /// instead of materialising the logits. Strictly-greater comparison, so
+    /// ties resolve to the lowest index — the same rule as `Mlp::predict`
+    /// and [`argmax`]. Each row's score is computed exactly as
+    /// [`DenseF32::forward`] computes it, so the winner is identical.
+    fn forward_argmax(&self, x: &[f32], dot: DotFn) -> usize {
+        debug_assert_eq!(x.len(), self.n_in);
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (o, (row, &bias)) in self.w.chunks_exact(self.n_in).zip(&self.b).enumerate() {
+            let acc = bias + dot(row, x);
+            let v = if self.relu { acc.max(0.0) } else { acc };
+            if v > best_v {
+                best = o;
+                best_v = v;
+            }
+        }
+        best
     }
 }
 
@@ -199,6 +122,11 @@ enum CompiledOutput {
         branches: Vec<CompiledBranch>,
     },
     Joint {
+        layers: Vec<DenseF32>,
+        n_qubits: usize,
+        levels: usize,
+    },
+    JointMarginal {
         layers: Vec<DenseF32>,
         n_qubits: usize,
         levels: usize,
@@ -215,6 +143,32 @@ struct CompiledBranch {
     layers: Vec<DenseF32>,
 }
 
+impl CompiledBranch {
+    /// Runs the branch's hidden layers into `cur` and returns the input to
+    /// the final layer along with that layer, or `None` for an empty chain
+    /// (the features are already the logits).
+    fn run_hidden<'a>(
+        &'a self,
+        input: &'a [f32],
+        cur: &'a mut Vec<f32>,
+        next: &mut Vec<f32>,
+        dot: DotFn,
+    ) -> Option<(&'a [f32], &'a DenseF32)> {
+        let (last, hidden) = self.layers.split_last()?;
+        match hidden.split_first() {
+            None => Some((input, last)),
+            Some((first, rest)) => {
+                first.forward(input, cur, dot);
+                for layer in rest {
+                    layer.forward(cur, next, dot);
+                    std::mem::swap(cur, next);
+                }
+                Some((cur, last))
+            }
+        }
+    }
+}
+
 /// Argmax with the network's tie rule (strictly-greater, so ties go to the
 /// lowest index) — must match `mlr_nn`'s own argmax for plan decisions to
 /// equal layered decisions away from exact ties.
@@ -228,9 +182,37 @@ fn argmax(xs: &[f32]) -> usize {
     best
 }
 
+/// Numerically stable softmax in `f32` — the plan-side mirror of
+/// `mlr_nn`'s (crate-private) softmax, needed by the marginal decoder and
+/// the streaming confidence path.
+fn softmax_f32(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// `Mlp::predict_marginal`'s decision rule on plan logits: softmax over
+/// the joint classes, per-digit marginal mass (qubit 0 = most significant
+/// digit), argmax per digit with ties→lowest. Accumulation order matches
+/// the network's own implementation exactly.
+fn decide_marginal(logits: &[f32], n_qubits: usize, levels: usize) -> Vec<usize> {
+    let probs = softmax_f32(logits);
+    let mut marginals = vec![vec![0.0f32; levels]; n_qubits];
+    for (class, &p) in probs.iter().enumerate() {
+        let mut rem = class;
+        for digit in (0..n_qubits).rev() {
+            marginals[digit][rem % levels] += p;
+            rem /= levels;
+        }
+    }
+    marginals.iter().map(|m| argmax(m)).collect()
+}
+
 /// A fused single-pass inference plan: the whole per-shot pipeline —
 /// flatten, matched-filter bank, (folded) standardisation, heads, argmax —
-/// lowered to `f32` tiled kernels scored by [`dot_f32`].
+/// lowered to `f32` tiled kernels scored by the selected
+/// [`PlanPrecision`] tier's dot product.
 ///
 /// Compiled once at fit/load time ([`crate::plan::compile`]); the layered
 /// per-stage paths survive on each discriminator as the bit-exactness
@@ -243,12 +225,24 @@ pub struct CompiledPlan {
     n_rows: usize,
     /// All kernel rows contiguous, row `r` at `rows[r*stride..][..stride]`.
     rows: Vec<f32>,
+    /// Per-row nonzero span `(start, end)` within the stride. Matched
+    /// filters are dense (the full stride); banded rows — a boxcar
+    /// decimation chunk (AE), a checkpoint prefix (OURS-STREAM) — only
+    /// touch a window, and scoring skips the structural zeros outside it.
+    /// Trimming drops exact-zero terms only (regrouping the reduction
+    /// lanes by at most one ulp); spans come from the f64 rows, so the
+    /// result stays deterministic and machine-independent.
+    row_spans: Vec<(usize, usize)>,
     row_bias: Vec<f32>,
+    /// ReLU after the bank rows — set when a hidden dense layer was folded
+    /// into the bank (the FNN's first layer).
+    bank_relu: bool,
     /// Residual standardisation, only when no folding pass could absorb it
     /// (never the case for the shipped families — kept for generality).
     affine: Option<(Vec<f32>, Vec<f32>)>,
     output: CompiledOutput,
     fuse: super::fuse::FuseReport,
+    precision: PlanPrecision,
 }
 
 impl CompiledPlan {
@@ -275,13 +269,23 @@ impl CompiledPlan {
             Some(other) => panic!("unexpected trunk op after MfBank: {other:?}"),
         };
         assert!(ops.next().is_none(), "trunk too deep after fusing");
+        assert!(
+            !(bank.relu && affine.is_some()),
+            "residual affine after a ReLU bank is not lowerable"
+        );
 
         let stride = 2 * n_samples;
         let n_rows = bank.rows.len();
         let mut rows = Vec::with_capacity(n_rows * stride);
+        let mut row_spans = Vec::with_capacity(n_rows);
         for row in &bank.rows {
             assert_eq!(row.len(), stride, "kernel row length != 2 × window");
             rows.extend(row.iter().map(|&x| x as f32));
+            // Nonzero span in the f64 source (an all-zero row gets the
+            // empty span: its score is the bias alone).
+            let start = row.iter().position(|&x| x != 0.0).unwrap_or(0);
+            let end = row.iter().rposition(|&x| x != 0.0).map_or(start, |e| e + 1);
+            row_spans.push((start, end));
         }
         let row_bias: Vec<f32> = bank.bias.iter().map(|&x| x as f32).collect();
         assert_eq!(row_bias.len(), n_rows, "bank bias length != row count");
@@ -309,6 +313,15 @@ impl CompiledPlan {
                 n_qubits: *n_qubits,
                 levels: *levels,
             },
+            OutputStage::JointMarginal {
+                layers,
+                n_qubits,
+                levels,
+            } => CompiledOutput::JointMarginal {
+                layers: layers.iter().map(DenseF32::lower).collect(),
+                n_qubits: *n_qubits,
+                levels: *levels,
+            },
             OutputStage::PerQubitInt { heads } => CompiledOutput::PerQubitInt {
                 heads: heads.clone(),
             },
@@ -319,10 +332,13 @@ impl CompiledPlan {
             stride,
             n_rows,
             rows,
+            row_spans,
             row_bias,
+            bank_relu: bank.relu,
             affine,
             output,
             fuse,
+            precision: PlanPrecision::default(),
         }
     }
 
@@ -342,11 +358,26 @@ impl CompiledPlan {
         self.fuse
     }
 
+    /// The dot-product tier this plan scores with.
+    pub fn precision(&self) -> PlanPrecision {
+        self.precision
+    }
+
+    /// Selects the dot-product tier. The default
+    /// ([`PlanPrecision::Reproducible`]) keeps PR 6's bit-reproducibility
+    /// contract; [`PlanPrecision::Fma`] trades it for fused-rounding
+    /// throughput. Decisions agree between tiers except on near-exact logit
+    /// ties.
+    pub fn set_precision(&mut self, precision: PlanPrecision) {
+        self.precision = precision;
+    }
+
     /// Flattens a tile of traces into `flat` (interleaved `f32` IQ) and
     /// scores every kernel row, filter-major so rows stay cache-hot.
     /// `feats` is laid out shot-major: shot `s`'s features at
     /// `feats[s*n_rows..][..n_rows]`.
     fn features_into(&self, tile: &[&[Complex]], flat: &mut Vec<f32>, feats: &mut Vec<f32>) {
+        let dot = self.precision.dot();
         let stride = self.stride;
         flat.clear();
         flat.resize(tile.len() * stride, 0.0);
@@ -359,14 +390,23 @@ impl CompiledPlan {
         }
         feats.clear();
         feats.resize(tile.len() * self.n_rows, 0.0);
-        for (r, (row, &bias)) in self
+        for (r, ((row, &bias), &(s0, s1))) in self
             .rows
             .chunks_exact(stride)
             .zip(&self.row_bias)
+            .zip(&self.row_spans)
             .enumerate()
         {
+            // Banded rows (boxcar chunks, checkpoint prefixes) score only
+            // their nonzero window.
+            let krow = &row[s0..s1];
             for (s, flat_s) in flat.chunks_exact(stride).enumerate() {
-                feats[s * self.n_rows + r] = dot_f32(flat_s, row) + bias;
+                let score = dot(&flat_s[s0..s1], krow) + bias;
+                feats[s * self.n_rows + r] = if self.bank_relu {
+                    score.max(0.0)
+                } else {
+                    score
+                };
             }
         }
         if let Some((scale, shift)) = &self.affine {
@@ -378,8 +418,33 @@ impl CompiledPlan {
         }
     }
 
-    /// Decides one shot's per-qubit levels from its feature vector.
+    /// Post-trunk feature vectors (kernel scores after folding, bank
+    /// activation, and any residual affine) for a batch of traces — the
+    /// compiled trunk alone, exposed so fit-time callers can reuse the
+    /// fused extraction without the decision stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's length differs from the readout window.
+    pub fn features_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<f32>> {
+        let tiles: Vec<&[&[Complex]]> = shots.chunks(PLAN_TILE).collect();
+        let per_tile = crate::par_map(&tiles, |tile| {
+            let (mut flat, mut feats) = (Vec::new(), Vec::new());
+            self.features_into(tile, &mut flat, &mut feats);
+            feats
+                .chunks_exact(self.n_rows)
+                .map(<[f32]>::to_vec)
+                .collect::<Vec<_>>()
+        });
+        per_tile.into_iter().flatten().collect()
+    }
+
+    /// Decides one shot's per-qubit levels from its feature vector. Every
+    /// argmax-decided head runs its final dense layer through the fused
+    /// running-max kernel ([`DenseF32::forward_argmax`]) — logits are never
+    /// materialised on this path.
     fn decide(&self, f: &[f32]) -> Vec<usize> {
+        let dot = self.precision.dot();
         match &self.output {
             CompiledOutput::PerQubit { branches } => {
                 let mut out = Vec::with_capacity(branches.len());
@@ -387,16 +452,9 @@ impl CompiledPlan {
                 let mut next = Vec::new();
                 for br in branches {
                     let input = &f[br.start..br.start + br.len];
-                    match br.layers.split_first() {
+                    match br.run_hidden(input, &mut cur, &mut next, dot) {
                         None => out.push(argmax(input)),
-                        Some((first, rest)) => {
-                            first.forward(input, &mut cur);
-                            for layer in rest {
-                                layer.forward(&cur, &mut next);
-                                std::mem::swap(&mut cur, &mut next);
-                            }
-                            out.push(argmax(&cur));
-                        }
+                        Some((x, last)) => out.push(last.forward_argmax(x, dot)),
                     }
                 }
                 out
@@ -406,11 +464,78 @@ impl CompiledPlan {
                 n_qubits,
                 levels,
             } => {
-                let logits = forward_chain(layers, f);
-                decode_joint(argmax(&logits), *n_qubits, *levels)
+                let (last, hidden) = layers.split_last().expect("nonempty joint chain");
+                let joint = if hidden.is_empty() {
+                    last.forward_argmax(f, dot)
+                } else {
+                    let h = forward_chain(hidden, f, dot);
+                    last.forward_argmax(&h, dot)
+                };
+                decode_joint(joint, *n_qubits, *levels)
+            }
+            CompiledOutput::JointMarginal {
+                layers,
+                n_qubits,
+                levels,
+            } => {
+                // Marginal decoding needs the full softmax — no argmax
+                // fusion possible here.
+                let logits = forward_chain(layers, f, dot);
+                decide_marginal(&logits, *n_qubits, *levels)
             }
             CompiledOutput::PerQubitInt { heads } => heads.iter().map(|h| h.predict(f)).collect(),
         }
+    }
+
+    /// Per-qubit `(level, confidence)` decisions from one feature vector:
+    /// each argmax head's softmax winner and its probability — the fused
+    /// form of the streaming checkpoints' confidence rule. Falls back to
+    /// probability 1.0 for heads with no probabilistic reading (collapsed
+    /// linear branches, integer heads).
+    fn decide_proba(&self, f: &[f32]) -> Vec<(usize, f64)> {
+        let dot = self.precision.dot();
+        match &self.output {
+            CompiledOutput::PerQubit { branches } => {
+                let mut out = Vec::with_capacity(branches.len());
+                let mut cur = Vec::new();
+                let mut next = Vec::new();
+                for br in branches {
+                    let input = &f[br.start..br.start + br.len];
+                    let logits: &[f32] = match br.run_hidden(input, &mut cur, &mut next, dot) {
+                        None => input,
+                        Some((x, last)) => {
+                            last.forward(x, &mut next, dot);
+                            std::mem::swap(&mut cur, &mut next);
+                            &cur
+                        }
+                    };
+                    let probs = softmax_f32(logits);
+                    let (mut best, mut best_p) = (0usize, f64::NEG_INFINITY);
+                    for (i, &p) in probs.iter().enumerate() {
+                        if (p as f64) > best_p {
+                            best = i;
+                            best_p = p as f64;
+                        }
+                    }
+                    out.push((best, best_p));
+                }
+                out
+            }
+            _ => self.decide(f).into_iter().map(|l| (l, 1.0)).collect(),
+        }
+    }
+
+    /// Fused per-qubit `(level, confidence)` decisions for one raw trace —
+    /// the streaming checkpoints' verdict, end-to-end on the compiled
+    /// datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's length differs from the readout window.
+    pub fn predict_shot_proba(&self, raw: &[Complex]) -> Vec<(usize, f64)> {
+        let (mut flat, mut feats) = (Vec::new(), Vec::new());
+        self.features_into(&[raw], &mut flat, &mut feats);
+        self.decide_proba(&feats)
     }
 
     /// Raw decision scores for one trace, per head: the logits each branch
@@ -422,6 +547,7 @@ impl CompiledPlan {
     ///
     /// Panics if the trace's length differs from the readout window.
     pub fn logits_shot(&self, raw: &[Complex]) -> Vec<Vec<f32>> {
+        let dot = self.precision.dot();
         let (mut flat, mut feats) = (Vec::new(), Vec::new());
         self.features_into(&[raw], &mut flat, &mut feats);
         match &self.output {
@@ -432,11 +558,13 @@ impl CompiledPlan {
                     if br.layers.is_empty() {
                         input.to_vec()
                     } else {
-                        forward_chain(&br.layers, input)
+                        forward_chain(&br.layers, input, dot)
                     }
                 })
                 .collect(),
-            CompiledOutput::Joint { layers, .. } => vec![forward_chain(layers, &feats)],
+            CompiledOutput::Joint { layers, .. } | CompiledOutput::JointMarginal { layers, .. } => {
+                vec![forward_chain(layers, &feats, dot)]
+            }
             CompiledOutput::PerQubitInt { heads } => {
                 heads.iter().map(|h| h.forward(&feats)).collect()
             }
@@ -479,13 +607,13 @@ impl CompiledPlan {
 }
 
 /// Runs a dense chain on `x`, returning the final layer's outputs.
-fn forward_chain(layers: &[DenseF32], x: &[f32]) -> Vec<f32> {
+fn forward_chain(layers: &[DenseF32], x: &[f32], dot: DotFn) -> Vec<f32> {
     let (first, rest) = layers.split_first().expect("nonempty chain");
     let mut cur = Vec::new();
     let mut next = Vec::new();
-    first.forward(x, &mut cur);
+    first.forward(x, &mut cur, dot);
     for layer in rest {
-        layer.forward(&cur, &mut next);
+        layer.forward(&cur, &mut next, dot);
         std::mem::swap(&mut cur, &mut next);
     }
     cur

@@ -45,20 +45,25 @@ pub fn fuse(graph: &mut OpGraph) -> FuseReport {
 }
 
 /// Folds a trailing trunk [`Op::Affine`] into the first dense layer of
-/// every output branch (or the joint chain). Requires every branch to read
-/// the full feature vector and start with a dense layer; integer heads
-/// never qualify (they quantise their input, so the affine must stay).
+/// every output branch (or the joint chain). Each branch must start with a
+/// dense layer; a branch reading a `take` slice of the feature vector
+/// folds the matching slice of the affine (the autoencoder's per-qubit
+/// feature blocks). Integer heads never qualify (they quantise their
+/// input, so the affine must stay).
 ///
 /// Returns whether the pass fired.
 pub fn fold_affine_into_dense(graph: &mut OpGraph) -> bool {
-    let Some(Op::Affine(_)) = graph.trunk.last() else {
+    let Some(Op::Affine(affine_ref)) = graph.trunk.last() else {
         return false;
     };
+    let width = affine_ref.scale.len();
     let absorbable = match &graph.output {
         OutputStage::PerQubit { branches } => branches
             .iter()
-            .all(|b| b.take.is_none() && !b.layers.is_empty()),
-        OutputStage::Joint { layers, .. } => !layers.is_empty(),
+            .all(|b| !b.layers.is_empty() && b.take.as_ref().is_none_or(|r| r.end <= width)),
+        OutputStage::Joint { layers, .. } | OutputStage::JointMarginal { layers, .. } => {
+            !layers.is_empty()
+        }
         OutputStage::PerQubitInt { .. } => false,
     };
     if !absorbable {
@@ -67,24 +72,16 @@ pub fn fold_affine_into_dense(graph: &mut OpGraph) -> bool {
     let Some(Op::Affine(affine)) = graph.trunk.pop() else {
         unreachable!("checked above");
     };
-    let fold_first = |dense: &mut DenseOp| {
-        assert_eq!(
-            dense.n_in,
-            affine.scale.len(),
-            "affine/dense width mismatch"
-        );
+    let fold_first = |dense: &mut DenseOp, scale: &[f64], shift: &[f64]| {
+        assert_eq!(dense.n_in, scale.len(), "affine/dense width mismatch");
         // Bias first — it needs the original weights: b' = b + W·shift.
         for (o, bias) in dense.b.iter_mut().enumerate() {
             let row = &dense.w[o * dense.n_in..(o + 1) * dense.n_in];
-            *bias += row
-                .iter()
-                .zip(&affine.shift)
-                .map(|(&w, &t)| w * t)
-                .sum::<f64>();
+            *bias += row.iter().zip(shift).map(|(&w, &t)| w * t).sum::<f64>();
         }
         // Then the weights: W' = W ∘ scale (column-wise).
         for row in dense.w.chunks_exact_mut(dense.n_in) {
-            for (w, &s) in row.iter_mut().zip(&affine.scale) {
+            for (w, &s) in row.iter_mut().zip(scale) {
                 *w *= s;
             }
         }
@@ -92,10 +89,17 @@ pub fn fold_affine_into_dense(graph: &mut OpGraph) -> bool {
     match &mut graph.output {
         OutputStage::PerQubit { branches } => {
             for branch in branches {
-                fold_first(&mut branch.layers[0]);
+                let range = branch.take.clone().unwrap_or(0..width);
+                fold_first(
+                    &mut branch.layers[0],
+                    &affine.scale[range.clone()],
+                    &affine.shift[range],
+                );
             }
         }
-        OutputStage::Joint { layers, .. } => fold_first(&mut layers[0]),
+        OutputStage::Joint { layers, .. } | OutputStage::JointMarginal { layers, .. } => {
+            fold_first(&mut layers[0], &affine.scale, &affine.shift)
+        }
         OutputStage::PerQubitInt { .. } => unreachable!("checked above"),
     }
     true
@@ -112,11 +116,14 @@ pub fn fold_affine_into_bank(graph: &mut OpGraph) -> bool {
     if n < 2 {
         return false;
     }
-    let (Some(Op::MfBank(_)), Some(Op::Affine(_))) =
+    let (Some(Op::MfBank(bank)), Some(Op::Affine(_))) =
         (graph.trunk.get(n - 2), graph.trunk.get(n - 1))
     else {
         return false;
     };
+    if bank.relu {
+        return false; // the affine sits after the activation; can't cross it
+    }
     let Some(Op::Affine(affine)) = graph.trunk.pop() else {
         unreachable!("checked above");
     };
@@ -147,9 +154,12 @@ pub fn fold_affine_into_bank(graph: &mut OpGraph) -> bool {
 ///
 /// Returns whether the pass fired.
 pub fn collapse_linear_heads(graph: &mut OpGraph) -> bool {
-    let Some(Op::MfBank(_)) = graph.trunk.last() else {
+    let Some(Op::MfBank(bank)) = graph.trunk.last() else {
         return false;
     };
+    if bank.relu {
+        return false; // linear composition cannot cross the activation
+    }
     let OutputStage::PerQubit { branches } = &graph.output else {
         return false;
     };
@@ -201,6 +211,7 @@ pub fn collapse_linear_heads(graph: &mut OpGraph) -> bool {
     *bank = MfBankOp {
         rows: new_rows,
         bias: new_bias,
+        relu: false,
     };
     graph.output = OutputStage::PerQubit {
         branches: new_branches,

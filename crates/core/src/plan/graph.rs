@@ -78,6 +78,12 @@ pub struct MfBankOp {
     pub rows: Vec<Vec<f64>>,
     /// Per-row bias added to each dot product.
     pub bias: Vec<f64>,
+    /// Apply ReLU after each row's dot + bias. Matched-filter banks are
+    /// linear (`false`); a dense *hidden* layer folded down into the bank —
+    /// the FNN's first layer scored directly against the raw trace —
+    /// carries its activation with it (`true`). A ReLU bank is a fusion
+    /// barrier: nothing linear can fold across it.
+    pub relu: bool,
 }
 
 /// One trunk op, shared by every output branch.
@@ -121,6 +127,20 @@ pub enum OutputStage {
         /// Qubit count the joint class index decodes into.
         n_qubits: usize,
         /// Level-alphabet size per qubit.
+        levels: usize,
+    },
+    /// One joint head whose `levelsⁿ` softmax is decoded by per-qubit
+    /// *marginals* rather than a joint argmax: the mass of every joint
+    /// class sharing each digit value is summed and each digit argmaxed
+    /// separately — `Mlp::predict_marginal`'s rule, used by the FNN
+    /// baseline. Needs the full softmax, so argmax cannot fuse into the
+    /// last layer here.
+    JointMarginal {
+        /// Dense layers from features to the joint logits.
+        layers: Vec<DenseOp>,
+        /// Digit count (qubits) the marginals decode into.
+        n_qubits: usize,
+        /// Level-alphabet size per digit.
         levels: usize,
     },
     /// Per-qubit integer (fixed-point) heads. These quantise their own

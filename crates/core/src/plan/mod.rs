@@ -13,7 +13,7 @@
 //!   build             fuse                        lower
 //! FlattenIq         FlattenIq                  CompiledPlan
 //! MfBank      ──►   MfBank  (∘ 1/σ, −μ/σ)  ──►   rows: contiguous f32
-//! Affine            heads  (W∘s, b + W·t)        dot_f32 (AVX2 | scalar)
+//! Affine            heads  (W∘s, b + W·t)        dot_f32 | fma_f32
 //! heads                                          tiles of 16 shots
 //! ```
 //!
@@ -22,18 +22,33 @@
 //! untouched. The layered per-stage paths survive on each discriminator
 //! (`predict_batch_layered`) as the bit-exactness reference the property
 //! tests compare against.
+//!
+//! Eight of the ten registry families compile a plan: OURS, OURS-NO-EMF,
+//! OURS-INT, and HERQULES through the shared extractor trunk; the FNN
+//! through `fnn_graph` (its first hidden layer *is* the bank, scored
+//! against the raw trace); OURS-STREAM through one prefix-windowed plan
+//! per checkpoint (`prefix_per_qubit_graph`); LDA and the autoencoder
+//! through family-local builders in their own modules. The two that
+//! cannot: QDA's decision is a per-class quadratic form (Mahalanobis
+//! distance under per-class covariances) — not a fixed linear bank — and
+//! the HMM decodes each trace *sequentially* through time-dependent
+//! emissions, so neither reduces to dot-products against static kernels.
 
 mod exec;
 mod fuse;
 mod graph;
 
-#[cfg(target_arch = "x86_64")]
-pub use exec::dot_f32_avx2;
-pub use exec::{dot_f32, dot_f32_scalar, simd_active, CompiledPlan};
+pub use exec::{CompiledPlan, PlanPrecision};
 pub use fuse::{
     collapse_linear_heads, fold_affine_into_bank, fold_affine_into_dense, fuse, FuseReport,
 };
 pub use graph::{AffineOp, Branch, DenseOp, MfBankOp, Op, OpGraph, OutputStage};
+// The SIMD dot kernels live in `mlr_nn` (so the network's own forward
+// passes share them) and are re-exported here, where the plan executor's
+// callers and the property tests have always found them.
+pub use mlr_nn::{dot_f32, dot_f32_scalar, fma_active, fma_f32, fma_f32_scalar, simd_active};
+#[cfg(target_arch = "x86_64")]
+pub use mlr_nn::{dot_f32_avx2, fma_f32_avx2};
 
 use crate::features::FeatureExtractor;
 use mlr_nn::{IntMlp, Mlp, Standardizer};
@@ -51,10 +66,10 @@ pub fn compile(mut graph: OpGraph) -> CompiledPlan {
     CompiledPlan::lower(&graph, report)
 }
 
-/// The shared trunk every family starts from: flatten the window, score
-/// the extractor's fused kernels, standardise.
-fn trunk(extractor: &FeatureExtractor, standardizer: &Standardizer) -> Vec<Op> {
-    let rows = extractor.fused_rows();
+/// Trunk over explicit kernel rows: flatten `n_samples`, score the rows,
+/// standardise. [`trunk`] is the full-window special case; the streaming
+/// builder passes prefix-truncated rows with per-checkpoint standardizers.
+fn trunk_from_rows(rows: Vec<Vec<f64>>, n_samples: usize, standardizer: &Standardizer) -> Vec<Op> {
     let bias = vec![0.0; rows.len()];
     let scale: Vec<f64> = standardizer.stds().iter().map(|&s| 1.0 / s).collect();
     let shift: Vec<f64> = standardizer
@@ -64,12 +79,24 @@ fn trunk(extractor: &FeatureExtractor, standardizer: &Standardizer) -> Vec<Op> {
         .map(|(&m, &s)| -m / s)
         .collect();
     vec![
-        Op::FlattenIq {
-            n_samples: extractor.window_samples(),
-        },
-        Op::MfBank(MfBankOp { rows, bias }),
+        Op::FlattenIq { n_samples },
+        Op::MfBank(MfBankOp {
+            rows,
+            bias,
+            relu: false,
+        }),
         Op::Affine(AffineOp { scale, shift }),
     ]
+}
+
+/// The shared trunk every extractor-based family starts from: flatten the
+/// window, score the extractor's fused kernels, standardise.
+fn trunk(extractor: &FeatureExtractor, standardizer: &Standardizer) -> Vec<Op> {
+    trunk_from_rows(
+        extractor.fused_rows(),
+        extractor.window_samples(),
+        standardizer,
+    )
 }
 
 /// Builds the OURS-family graph: shared trunk, one float MLP branch per
@@ -81,6 +108,43 @@ pub(crate) fn per_qubit_graph(
 ) -> OpGraph {
     OpGraph {
         trunk: trunk(extractor, standardizer),
+        output: OutputStage::PerQubit {
+            branches: heads
+                .iter()
+                .map(|mlp| Branch {
+                    take: None,
+                    layers: DenseOp::chain_from_mlp(mlp),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Builds one streaming checkpoint's graph: the extractor's full-window
+/// fused kernel rows truncated to the checkpoint's sample prefix (a
+/// streamed partial score *is* the full dot product over the first
+/// `2 × n_samples` interleaved weights), that checkpoint's own
+/// standardizer re-folded over them, and its per-qubit heads.
+///
+/// # Panics
+///
+/// Panics (downstream) if any row is shorter than the prefix.
+pub(crate) fn prefix_per_qubit_graph(
+    extractor: &FeatureExtractor,
+    n_samples: usize,
+    standardizer: &Standardizer,
+    heads: &[Mlp],
+) -> OpGraph {
+    let rows: Vec<Vec<f64>> = extractor
+        .fused_rows()
+        .into_iter()
+        .map(|mut row| {
+            row.truncate(2 * n_samples);
+            row
+        })
+        .collect();
+    OpGraph {
+        trunk: trunk_from_rows(rows, n_samples, standardizer),
         output: OutputStage::PerQubit {
             branches: heads
                 .iter()
@@ -124,6 +188,82 @@ pub(crate) fn int_graph(
         trunk: trunk(extractor, standardizer),
         output: OutputStage::PerQubitInt {
             heads: heads.to_vec(),
+        },
+    }
+}
+
+/// Builds the FNN graph. The FNN has no matched-filter bank — its input is
+/// the raw trace's `iq_features` layout (`[I₀…I_{n−1}, Q₀…Q_{n−1}]`) run
+/// through a standardizer and an MLP. The builder makes its first hidden
+/// layer the bank: each hidden unit's weight row is permuted from the
+/// block layout onto the plan's interleaved `[re, im, …]` columns with the
+/// standardizer pre-folded in (`w/σ` weights, `b − Σ w·μ/σ` bias), and the
+/// layer's ReLU rides on the bank (`relu: true`). The remaining layers
+/// form a [`OutputStage::JointMarginal`] chain — `Mlp::predict_marginal`'s
+/// decision rule, fused.
+///
+/// # Panics
+///
+/// Panics if the standardizer/MLP widths don't match `2 × n_samples`.
+pub(crate) fn fnn_graph(
+    standardizer: &Standardizer,
+    mlp: &Mlp,
+    n_samples: usize,
+    n_qubits: usize,
+    levels: usize,
+) -> OpGraph {
+    let width = 2 * n_samples;
+    assert_eq!(mlp.sizes()[0], width, "FNN input width != 2 × window");
+    assert_eq!(standardizer.means().len(), width, "standardizer width");
+    assert!(mlp.n_layers() >= 2, "FNN needs hidden layers");
+    let scale: Vec<f64> = standardizer.stds().iter().map(|&s| 1.0 / s).collect();
+    let shift: Vec<f64> = standardizer
+        .means()
+        .iter()
+        .zip(standardizer.stds())
+        .map(|(&m, &s)| -m / s)
+        .collect();
+
+    let h0 = mlp.sizes()[1];
+    let w0 = mlp.layer_weights(0);
+    let b0 = mlp.layer_biases(0);
+    let mut rows = Vec::with_capacity(h0);
+    let mut bias = Vec::with_capacity(h0);
+    for o in 0..h0 {
+        let wrow = &w0[o * width..(o + 1) * width];
+        let mut row = vec![0.0f64; width];
+        let mut b = f64::from(b0[o]);
+        for (j, &w) in wrow.iter().enumerate() {
+            let w = f64::from(w);
+            // iq_features column j (I-block then Q-block) ↔ interleaved
+            // flat column: I_t at 2t, Q_t at 2t + 1.
+            let col = if j < n_samples {
+                2 * j
+            } else {
+                2 * (j - n_samples) + 1
+            };
+            row[col] = w * scale[j];
+            b += w * shift[j];
+        }
+        rows.push(row);
+        bias.push(b);
+    }
+
+    OpGraph {
+        trunk: vec![
+            Op::FlattenIq { n_samples },
+            Op::MfBank(MfBankOp {
+                rows,
+                bias,
+                relu: true,
+            }),
+        ],
+        output: OutputStage::JointMarginal {
+            layers: (1..mlp.n_layers())
+                .map(|l| DenseOp::from_mlp_layer(mlp, l))
+                .collect(),
+            n_qubits,
+            levels,
         },
     }
 }

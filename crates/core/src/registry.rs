@@ -165,13 +165,22 @@ impl TrainedModel {
     }
 
     /// Whether this family serves through a compiled single-pass
-    /// inference plan ([`crate::CompiledPlan`]) — true for the OURS,
-    /// OURS-NO-EMF, OURS-INT and HERQULES families.
+    /// inference plan ([`crate::CompiledPlan`]) — true for eight of the
+    /// ten families: OURS, OURS-NO-EMF, OURS-INT, HERQULES, FNN,
+    /// OURS-STREAM (one plan per checkpoint), LDA, and the autoencoder.
+    /// False for QDA (per-class quadratic form) and the HMM (sequential
+    /// decoding), which cannot lower to static kernel banks.
     pub fn has_plan(&self) -> bool {
-        matches!(
-            self.inner,
-            Family::Ours(_) | Family::Deployed(_) | Family::Herqules(_)
-        )
+        match &self.inner {
+            Family::Ours(_)
+            | Family::Deployed(_)
+            | Family::Herqules(_)
+            | Family::Fnn(_)
+            | Family::Streaming(_)
+            | Family::Autoencoder(_) => true,
+            Family::Discriminant(m) => m.plan().is_some(),
+            Family::Hmm(_) => false,
+        }
     }
 
     /// Batch inference through the family's original layered stages —
@@ -187,7 +196,11 @@ impl TrainedModel {
             Family::Ours(m) => m.predict_batch_layered(shots),
             Family::Deployed(m) => m.predict_batch_layered(shots),
             Family::Herqules(m) => m.predict_batch_layered(shots),
-            _ => self.inner.as_discriminator().predict_batch(shots),
+            Family::Fnn(m) => m.predict_batch_layered(shots),
+            Family::Streaming(m) => m.predict_batch_layered(shots),
+            Family::Autoencoder(m) => m.predict_batch_layered(shots),
+            Family::Discriminant(m) => m.predict_batch_layered(shots),
+            Family::Hmm(_) => self.inner.as_discriminator().predict_batch(shots),
         }
     }
 

@@ -26,6 +26,7 @@ use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
 use serde::{Deserialize, Serialize};
 
+use crate::plan::{self, CompiledPlan};
 use crate::{Discriminator, FeatureExtractor, OursConfig};
 
 /// Configuration of [`StreamingReadout::fit`].
@@ -138,6 +139,32 @@ pub struct StreamingReadout {
     checkpoints: Vec<Checkpoint>,
     confidence: f64,
     n_qubits: usize,
+    /// One fused prefix-windowed plan per checkpoint — the full-length
+    /// kernel rows truncated to the checkpoint's sample prefix with its
+    /// own standardizer re-folded over them. Derived data, rebuilt by
+    /// every constructor, never serialised.
+    plans: Vec<CompiledPlan>,
+}
+
+/// Compiles every checkpoint's prefix-windowed plan. A streamed partial
+/// score at `n` samples *is* the full fused kernel's dot product over the
+/// first `2n` interleaved weights, so each checkpoint lowers to an
+/// ordinary full-window plan on a truncated bank.
+fn compile_checkpoint_plans(
+    extractor: &FeatureExtractor,
+    checkpoints: &[Checkpoint],
+) -> Vec<CompiledPlan> {
+    checkpoints
+        .iter()
+        .map(|cp| {
+            plan::compile(plan::prefix_per_qubit_graph(
+                extractor,
+                cp.n_samples,
+                &cp.standardizer,
+                &cp.heads,
+            ))
+        })
+        .collect()
 }
 
 impl StreamingReadout {
@@ -233,13 +260,15 @@ impl StreamingReadout {
                     heads,
                 }
             })
-            .collect();
+            .collect::<Vec<Checkpoint>>();
 
+        let plans = compile_checkpoint_plans(&extractor, &checkpoints);
         Self {
             extractor,
             checkpoints,
             confidence: config.confidence,
             n_qubits,
+            plans,
         }
     }
 
@@ -258,13 +287,47 @@ impl StreamingReadout {
         ShotStream::new(self)
     }
 
-    /// Streams a captured trace through the pipeline, returning the
-    /// (possibly early) decision.
+    /// Processes a captured trace through the fused per-checkpoint plans,
+    /// returning the (possibly early) decision: each checkpoint's verdict
+    /// is one single-pass prefix-windowed plan evaluation, and later
+    /// checkpoints are never touched once a confident decision lands.
+    ///
+    /// Decisions match [`StreamingReadout::process_shot_layered`] (the
+    /// sample-at-a-time reference) up to `f32`-vs-`f64` rounding of the
+    /// softmax confidences; labels agree away from exact ties.
     ///
     /// # Panics
     ///
     /// Panics if the trace is shorter than the last checkpoint.
     pub fn process_shot(&self, raw: &[Complex]) -> StreamingDecision {
+        let last = self.checkpoints.last().expect("nonempty").n_samples;
+        assert!(raw.len() >= last, "trace shorter than the readout window");
+        for (ci, (cp, cp_plan)) in self.checkpoints.iter().zip(&self.plans).enumerate() {
+            let final_cp = ci + 1 == self.checkpoints.len();
+            let per_qubit = cp_plan.predict_shot_proba(&raw[..cp.n_samples]);
+            let confident = per_qubit.iter().all(|&(_, c)| c >= self.confidence);
+            if confident || final_cp {
+                return StreamingDecision {
+                    levels: per_qubit.iter().map(|&(l, _)| l).collect(),
+                    confidences: per_qubit.iter().map(|&(_, c)| c).collect(),
+                    samples_used: cp.n_samples,
+                    checkpoint_index: ci,
+                };
+            }
+        }
+        unreachable!("the final checkpoint always decides");
+    }
+
+    /// Streams a captured trace sample-at-a-time through the accumulator
+    /// datapath ([`StreamingReadout::begin_shot`]) — the layered reference
+    /// path the fused [`StreamingReadout::process_shot`] is property-tested
+    /// against, and the exact arithmetic an FPGA's running-sum deployment
+    /// performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is shorter than the last checkpoint.
+    pub fn process_shot_layered(&self, raw: &[Complex]) -> StreamingDecision {
         let last = self.checkpoints.last().expect("nonempty").n_samples;
         assert!(raw.len() >= last, "trace shorter than the readout window");
         let mut stream = self.begin_shot();
@@ -285,6 +348,22 @@ impl StreamingReadout {
     /// Panics if any trace is shorter than the last checkpoint.
     pub fn process_batch(&self, shots: &[&[Complex]]) -> Vec<StreamingDecision> {
         crate::par_map(shots, |raw| self.process_shot(raw))
+    }
+
+    /// Layered batch path: every shot through the sample-at-a-time
+    /// accumulator reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace is shorter than the last checkpoint.
+    pub fn predict_batch_layered(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        crate::par_map(shots, |raw| self.process_shot_layered(raw).levels)
+    }
+
+    /// Borrows the compiled prefix-windowed plans, one per checkpoint in
+    /// checkpoint order.
+    pub fn checkpoint_plans(&self) -> &[CompiledPlan] {
+        &self.plans
     }
 
     /// Decision at checkpoint `ci` for a partial feature vector, plus
@@ -571,11 +650,14 @@ impl StreamingReadout {
                 }
             }
         }
+        let extractor = FeatureExtractor::from_parts(chip, saved.banks);
+        let plans = compile_checkpoint_plans(&extractor, &saved.checkpoints);
         Ok(Self {
-            extractor: FeatureExtractor::from_parts(chip, saved.banks),
+            extractor,
             checkpoints: saved.checkpoints,
             confidence: saved.confidence,
             n_qubits,
+            plans,
         })
     }
 }
@@ -693,10 +775,10 @@ mod tests {
     }
 
     #[test]
-    fn process_shot_equals_manual_streaming() {
+    fn layered_process_shot_equals_manual_streaming() {
         let (ds, _, readout) = fit_streaming(0.9);
         let raw = ds.raw(5);
-        let via_process = readout.process_shot(raw);
+        let via_process = readout.process_shot_layered(raw);
         let mut stream = readout.begin_shot();
         let mut via_push = None;
         for &z in raw.iter() {
@@ -706,6 +788,37 @@ mod tests {
             }
         }
         assert_eq!(Some(via_process), via_push);
+    }
+
+    #[test]
+    fn plan_matches_layered_at_every_checkpoint() {
+        let (ds, split, readout) = fit_streaming(2.0);
+        assert_eq!(readout.plans.len(), readout.checkpoints.len());
+        for (ci, cp_plan) in readout.plans.iter().enumerate() {
+            let n = readout.checkpoints[ci].n_samples;
+            assert_eq!(cp_plan.n_samples(), n);
+            for &i in split.test.iter().take(30) {
+                let raw = ds.raw(i);
+                let fused = cp_plan.predict_shot(&raw[..n]);
+                let (layered, _) =
+                    readout.checkpoint_decision(ci, &readout.extractor.extract_prefix(raw, n));
+                assert_eq!(fused, layered.levels, "shot {i} checkpoint {ci}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_streaming_decisions_match_layered() {
+        let (ds, split, readout) = fit_streaming(0.9);
+        for &i in split.test.iter().take(30) {
+            let fused = readout.process_shot(ds.raw(i));
+            let layered = readout.process_shot_layered(ds.raw(i));
+            assert_eq!(fused.levels, layered.levels, "shot {i}");
+            assert_eq!(fused.checkpoint_index, layered.checkpoint_index, "shot {i}");
+            for (a, b) in fused.confidences.iter().zip(&layered.confidences) {
+                assert!((a - b).abs() < 1e-4, "shot {i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -35,13 +35,17 @@ mod metrics;
 mod mlp;
 mod quantize;
 mod regression;
+mod simd;
 mod standardize;
 mod train;
 
 pub use intmlp::IntMlp;
 pub use metrics::{accuracy, auc, geometric_mean, roc_curve, ConfusionMatrix, RocPoint};
-pub use mlp::Mlp;
+pub use mlp::{ForwardScratch, Mlp};
 pub use quantize::{FixedPointFormat, QuantizedMlp};
 pub use regression::{RegressionData, RegressionReport};
+pub use simd::{dot_f32, dot_f32_scalar, fma_active, fma_f32, fma_f32_scalar, simd_active};
+#[cfg(target_arch = "x86_64")]
+pub use simd::{dot_f32_avx2, fma_f32_avx2};
 pub use standardize::Standardizer;
 pub use train::{inverse_frequency_weights, DataError, TrainConfig, TrainData, TrainReport};

@@ -114,17 +114,17 @@ impl Mlp {
         self.weights.iter().map(Vec::len).sum()
     }
 
-    /// Dense layer primitive: `out = W x + b`, ReLU if `relu`.
+    /// Dense layer primitive: `out = W x + b`, ReLU if `relu`. Scored by
+    /// the workspace's shared explicit-SIMD dot ([`crate::dot_f32`]) — the
+    /// same kernel the compiled inference plans run on, so layered
+    /// reference paths, training forward passes, and fused plans share one
+    /// arithmetic.
     #[inline]
     fn layer_forward(w: &[f32], b: &[f32], x: &[f32], relu: bool, out: &mut Vec<f32>) {
         out.clear();
         let n_in = x.len();
-        for (o, &bias) in b.iter().enumerate() {
-            let row = &w[o * n_in..(o + 1) * n_in];
-            let mut acc = bias;
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
+        for (row, &bias) in w.chunks_exact(n_in).zip(b) {
+            let acc = bias + crate::dot_f32(row, x);
             out.push(if relu { acc.max(0.0) } else { acc });
         }
     }
@@ -135,16 +135,37 @@ impl Mlp {
     ///
     /// Panics if `x.len()` differs from the input width.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut scratch = ForwardScratch::default();
+        self.forward_scratch(x, &mut scratch);
+        scratch.take_output()
+    }
+
+    /// Runs the network into a caller-held ping-pong scratch, returning the
+    /// output logits as a borrow. Identical arithmetic to [`Mlp::forward`],
+    /// but a hot loop (batch inference, per-epoch evaluation during
+    /// training) reuses the same two buffers for every row instead of
+    /// allocating fresh `Vec`s per layer per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_scratch<'s>(&self, x: &[f32], scratch: &'s mut ForwardScratch) -> &'s [f32] {
         assert_eq!(x.len(), self.input_len(), "input length mismatch");
         let n_layers = self.weights.len();
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
         for l in 0..n_layers {
             let relu = l + 1 < n_layers;
-            Self::layer_forward(&self.weights[l], &self.biases[l], &cur, relu, &mut next);
-            std::mem::swap(&mut cur, &mut next);
+            Self::layer_forward(
+                &self.weights[l],
+                &self.biases[l],
+                &scratch.cur,
+                relu,
+                &mut scratch.next,
+            );
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        cur
+        &scratch.cur
     }
 
     /// Forward pass that also returns every layer's post-activation values
@@ -196,16 +217,30 @@ impl Mlp {
         argmax_f32(&logits)
     }
 
+    /// [`Mlp::predict`] through a caller-held scratch — same decision,
+    /// no per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn predict_scratch(&self, x: &[f32], scratch: &mut ForwardScratch) -> usize {
+        argmax_f32(self.forward_scratch(x, scratch))
+    }
+
     /// Hard class predictions for a batch of rows, decided exactly as
     /// [`Mlp::predict`] decides each row. Iterating rows under one call
-    /// keeps the layer weights cache-resident across the whole batch —
-    /// the network-stage half of the batched inference paths.
+    /// keeps the layer weights cache-resident across the whole batch and
+    /// reuses one ping-pong scratch for every row — the network-stage half
+    /// of the batched inference paths.
     ///
     /// # Panics
     ///
     /// Panics if any row length differs from the input width.
     pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict(r)).collect()
+        let mut scratch = ForwardScratch::default();
+        rows.iter()
+            .map(|r| self.predict_scratch(r, &mut scratch))
+            .collect()
     }
 
     /// Marginal decoding for joint classifiers over a base-`levels` product
@@ -238,6 +273,23 @@ impl Mlp {
             }
         }
         marginals.iter().map(|m| argmax_f32(m)).collect()
+    }
+}
+
+/// Reusable ping-pong buffers for [`Mlp::forward_scratch`]: the forward
+/// pass alternates between `cur` and `next` layer by layer, so a network of
+/// any depth needs exactly two buffers and a hot loop allocates neither.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    cur: Vec<f32>,
+    next: Vec<f32>,
+}
+
+impl ForwardScratch {
+    /// Moves the most recent forward pass's output logits out of the
+    /// scratch (leaving it reusable).
+    fn take_output(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.cur)
     }
 }
 

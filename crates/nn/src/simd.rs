@@ -1,0 +1,346 @@
+//! Explicit-SIMD `f32` dot products — the one kernel every fused inference
+//! path in the workspace is built on, living here (below `mlr_core`) so the
+//! network's own forward passes run on the same arithmetic as the compiled
+//! inference plans.
+//!
+//! # The bit-reproducible tier
+//!
+//! [`dot_f32`] dispatches at runtime (cached feature detection) between an
+//! AVX2 path and a scalar fallback that mirrors the vector code's exact
+//! lane and reduction structure: 4 accumulator vectors × 8 lanes, pairwise
+//! lane reduction `(a0+a1)+(a2+a3)`, the same fixed horizontal tree, and a
+//! shared scalar remainder loop. Both paths use separate multiply-then-add
+//! (deliberately **no FMA** — an FMA's unrounded intermediate would make
+//! the two paths diverge in the last bit, and the kernel is load-bound so
+//! FMA buys no throughput there). The result: scalar and AVX2 agree
+//! **bit-for-bit**, which the workspace's property tests pin, and a host
+//! without AVX2 serves identical decisions.
+//!
+//! # The FMA tier
+//!
+//! [`fma_f32`] is the opt-in higher-throughput tier: the same lane and
+//! reduction structure, but every multiply-accumulate is *fused*
+//! (`_mm256_fmadd_ps` on the vector path, [`f32::mul_add`] on the scalar
+//! mirror — one rounding per step instead of two). Fused rounding means
+//! this tier does **not** promise bit-equality with [`dot_f32`]; its
+//! contract is tolerance-level agreement (≈1e-5 relative on standardised
+//! features), which is why plans only select it through an explicit
+//! `PlanPrecision` knob and the default stays bit-reproducible.
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_enabled() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_enabled() -> bool {
+    use std::sync::OnceLock;
+    static FMA: OnceLock<bool> = OnceLock::new();
+    // The vector FMA path uses AVX2 shuffles/loads alongside fmadd, so
+    // require both (every AVX2-era x86 part ships FMA3, but check anyway).
+    *FMA.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+/// Whether this host serves the AVX2 path (`false` means the bit-identical
+/// scalar fallback is in use).
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_enabled()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether this host serves the vector FMA path (`false` means
+/// [`fma_f32`] falls back to its [`f32::mul_add`] scalar mirror).
+pub fn fma_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        fma_enabled()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Shared tail of both mul-then-add dot paths: fixed-order horizontal
+/// reduction of the 8 lane sums, then the (sub-32-element) remainder
+/// accumulated serially.
+#[inline]
+fn finish_dot(lanes: &[f32; 8], ra: &[f32], rb: &[f32]) -> f32 {
+    let mut total = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (&x, &y) in ra.iter().zip(rb) {
+        total += x * y;
+    }
+    total
+}
+
+/// Shared tail of both FMA dot paths — the same reduction tree, but the
+/// remainder keeps the fused-rounding semantics ([`f32::mul_add`]).
+#[inline]
+fn finish_fma(lanes: &[f32; 8], ra: &[f32], rb: &[f32]) -> f32 {
+    let mut total = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (&x, &y) in ra.iter().zip(rb) {
+        total = x.mul_add(y, total);
+    }
+    total
+}
+
+/// Scalar dot product mirroring the AVX2 path's lane structure exactly:
+/// 32 accumulators laid out as 4 vectors × 8 lanes, reduced pairwise.
+/// Bit-identical to [`dot_f32_avx2`] by construction.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+pub fn dot_f32_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 32];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for ((acc, &x), &y) in acc.iter_mut().zip(xa).zip(xb) {
+            *acc += x * y;
+        }
+    }
+    let mut lanes = [0.0f32; 8];
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        *lane = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
+    }
+    finish_dot(&lanes, ca.remainder(), cb.remainder())
+}
+
+/// Scalar FMA dot product mirroring [`fma_f32_avx2`]'s lane structure with
+/// the same fused-rounding semantics: 32 accumulators updated via
+/// [`f32::mul_add`] (one rounding per step), reduced pairwise.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+pub fn fma_f32_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 32];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for ((acc, &x), &y) in acc.iter_mut().zip(xa).zip(xb) {
+            *acc = x.mul_add(y, *acc);
+        }
+    }
+    let mut lanes = [0.0f32; 8];
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        *lane = (acc[l] + acc[8 + l]) + (acc[16 + l] + acc[24 + l]);
+    }
+    finish_fma(&lanes, ca.remainder(), cb.remainder())
+}
+
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_f32_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let pa = a.as_ptr().add(i);
+        let pb = b.as_ptr().add(i);
+        acc0 = _mm256_add_ps(
+            acc0,
+            _mm256_mul_ps(_mm256_loadu_ps(pa), _mm256_loadu_ps(pb)),
+        );
+        acc1 = _mm256_add_ps(
+            acc1,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(8)), _mm256_loadu_ps(pb.add(8))),
+        );
+        acc2 = _mm256_add_ps(
+            acc2,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(16)), _mm256_loadu_ps(pb.add(16))),
+        );
+        acc3 = _mm256_add_ps(
+            acc3,
+            _mm256_mul_ps(_mm256_loadu_ps(pa.add(24)), _mm256_loadu_ps(pb.add(24))),
+        );
+        i += 32;
+    }
+    let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), s);
+    finish_dot(&lanes, &a[i..], &b[i..])
+}
+
+/// # Safety
+///
+/// Caller must ensure AVX2 + FMA are available and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fma_f32_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let pa = a.as_ptr().add(i);
+        let pb = b.as_ptr().add(i);
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa), _mm256_loadu_ps(pb), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(8)), _mm256_loadu_ps(pb.add(8)), acc1);
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(16)),
+            _mm256_loadu_ps(pb.add(16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(24)),
+            _mm256_loadu_ps(pb.add(24)),
+            acc3,
+        );
+        i += 32;
+    }
+    let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), s);
+    finish_fma(&lanes, &a[i..], &b[i..])
+}
+
+/// The AVX2 dot product (safe wrapper) — exposed for the scalar-vs-AVX2
+/// bit-agreement tests.
+///
+/// # Panics
+///
+/// Panics if AVX2 is not available on this host (check [`simd_active`]
+/// first) or, in debug builds, if the slices' lengths differ.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    assert!(avx2_enabled(), "AVX2 unavailable on this host");
+    // SAFETY: availability checked above; equal lengths asserted.
+    unsafe { dot_f32_avx2_impl(a, b) }
+}
+
+/// The vector FMA dot product (safe wrapper) — exposed for the FMA-tier
+/// scalar-vs-vector agreement tests.
+///
+/// # Panics
+///
+/// Panics if AVX2 + FMA are not available on this host (check
+/// [`fma_active`] first) or, in debug builds, if the slices' lengths
+/// differ.
+#[cfg(target_arch = "x86_64")]
+pub fn fma_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    assert!(fma_enabled(), "AVX2+FMA unavailable on this host");
+    // SAFETY: availability checked above; equal lengths asserted.
+    unsafe { fma_f32_avx2_impl(a, b) }
+}
+
+/// Contiguous `f32` dot product with runtime SIMD dispatch — every score
+/// the compiled plans and the network forward passes produce goes through
+/// this one function, single-shot and batched alike, which is what makes
+/// them bit-identical to each other.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_enabled() {
+            // SAFETY: availability checked at runtime.
+            return unsafe { dot_f32_avx2_impl(a, b) };
+        }
+    }
+    dot_f32_scalar(a, b)
+}
+
+/// Contiguous `f32` dot product on the fused-rounding (FMA) tier, with
+/// runtime dispatch between `_mm256_fmadd_ps` and the [`f32::mul_add`]
+/// scalar mirror. Not bit-compatible with [`dot_f32`] — see the module
+/// docs for the tier contract.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices' lengths differ.
+#[inline]
+pub fn fma_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma_enabled() {
+            // SAFETY: availability checked at runtime.
+            return unsafe { fma_f32_avx2_impl(a, b) };
+        }
+    }
+    fma_f32_scalar(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        // Deterministic pseudo-random data with mixed signs/magnitudes.
+        let mut state = 0x2545_F491u32;
+        let mut next = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        };
+        let a = (0..n).map(|_| next() * 3.0).collect();
+        let b = (0..n).map(|_| next() * 3.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn reproducible_tier_simd_agrees_bitwise_with_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        if simd_active() {
+            for n in [0, 1, 7, 31, 32, 33, 64, 120, 1000] {
+                let (a, b) = vecs(n);
+                assert_eq!(
+                    dot_f32_avx2(&a, &b).to_bits(),
+                    dot_f32_scalar(&a, &b).to_bits(),
+                    "length {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fma_tier_agrees_with_reproducible_tier_within_tolerance() {
+        for n in [1, 31, 32, 33, 120, 1000] {
+            let (a, b) = vecs(n);
+            let base = dot_f32(&a, &b) as f64;
+            let fused = fma_f32(&a, &b) as f64;
+            let norm: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                .sum();
+            assert!(
+                (base - fused).abs() <= 1e-5 * (1.0 + norm),
+                "length {n}: {base} vs {fused}"
+            );
+        }
+    }
+}

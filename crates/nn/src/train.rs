@@ -401,10 +401,11 @@ impl Mlp {
     ///
     /// Panics if the data dimensionality differs from the input width.
     pub fn evaluate(&self, data: &TrainData) -> f64 {
+        let mut scratch = crate::ForwardScratch::default();
         let correct = (0..data.len())
             .filter(|&i| {
                 let (x, y) = data.sample(i);
-                self.predict(x) == y
+                self.predict_scratch(x, &mut scratch) == y
             })
             .count();
         correct as f64 / data.len() as f64
@@ -420,10 +421,11 @@ impl Mlp {
         let k = data.n_classes();
         let mut hits = vec![0usize; k];
         let mut counts = vec![0usize; k];
+        let mut scratch = crate::ForwardScratch::default();
         for i in 0..data.len() {
             let (x, y) = data.sample(i);
             counts[y] += 1;
-            if self.predict(x) == y {
+            if self.predict_scratch(x, &mut scratch) == y {
                 hits[y] += 1;
             }
         }

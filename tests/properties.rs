@@ -631,8 +631,10 @@ proptest! {
     ) {
         // The plan compiler's headline contract: every family served
         // through a compiled single-pass plan (OURS, OURS-NO-EMF,
-        // OURS-INT, HERQULES) decides exactly what its original layered
-        // stages decide, shot for shot.
+        // OURS-INT, OURS-STREAM, HERQULES, FNN, LDA, AE) decides exactly
+        // what its original layered stages decide, shot for shot. The zoo
+        // ranges over all ten registry families; `has_plan()` selects the
+        // eight that lower.
         let zoo = zoo();
         let n = zoo.dataset.len();
         let shots: Vec<&[Complex]> = picks
@@ -698,6 +700,118 @@ proptest! {
                         name, a, b
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_argmax_tie_breaking_matches_mlp_predict(
+        seed in any::<u64>(),
+        n_samples in 2usize..6,
+        k in 2usize..5,
+        raw_parts in prop::collection::vec((-2f64..2.0, -2f64..2.0), 8),
+    ) {
+        // Duplicating every output row of a linear head manufactures
+        // exact logit ties between index i and i + k. The fused
+        // running-max kernel (`forward_argmax`) must resolve them the way
+        // `Mlp::predict` does — strictly-greater fold, ties→lowest — so
+        // the winner always sits below the duplicate block.
+        use mlr_core::plan::{Branch, DenseOp, MfBankOp, Op, OpGraph, OutputStage};
+        let d = 2 * n_samples;
+        let mlp = Mlp::new(&[d, k], seed);
+        let head = DenseOp::from_mlp_layer(&mlp, 0);
+        let mut w = head.w.clone();
+        w.extend_from_slice(&head.w);
+        let mut b = head.b.clone();
+        b.extend_from_slice(&head.b);
+        let doubled = DenseOp { n_in: d, n_out: 2 * k, w, b, relu: false };
+        // Identity bank: features are exactly the flattened [re, im, …]
+        // trace, so the head sees the same input the reference Mlp sees.
+        let rows: Vec<Vec<f64>> = (0..d)
+            .map(|i| {
+                let mut row = vec![0.0; d];
+                row[i] = 1.0;
+                row
+            })
+            .collect();
+        let graph = OpGraph {
+            trunk: vec![
+                Op::FlattenIq { n_samples },
+                Op::MfBank(MfBankOp { rows, bias: vec![0.0; d], relu: false }),
+            ],
+            output: OutputStage::PerQubit {
+                branches: vec![Branch { take: None, layers: vec![doubled] }],
+            },
+        };
+        let plan = mlr_core::plan::compile(graph);
+        let raw: Vec<Complex> = raw_parts[..n_samples]
+            .iter()
+            .map(|&(re, im)| Complex::new(re, im))
+            .collect();
+        let feats: Vec<f32> = raw
+            .iter()
+            .flat_map(|z| [z.re as f32, z.im as f32])
+            .collect();
+        let picked = plan.predict_shot(&raw)[0];
+        prop_assert!(picked < k, "tie resolved into the duplicate block: {}", picked);
+        prop_assert_eq!(picked, mlp.predict(&feats));
+    }
+
+    #[test]
+    fn fma_tier_scalar_and_simd_agree_within_documented_budget(
+        xs in prop::collection::vec(-8f32..8.0, 1..200),
+        ys in prop::collection::vec(-8f32..8.0, 1..200),
+    ) {
+        // The FMA tier trades the reproducible tier's bitwise contract
+        // for fused rounding, so its own scalar mirror (`fma_f32_scalar`,
+        // sequential `mul_add`) and the 8-lane AVX2 kernel may round
+        // differently — but only within the tier's documented relative
+        // budget of 1e-5 on the absolute-product norm. The reproducible
+        // dot must sit inside the same envelope.
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let norm: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (f64::from(x) * f64::from(y)).abs())
+            .sum();
+        let tol = 1e-5 * (1.0 + norm);
+        let scalar = f64::from(mlr_core::plan::fma_f32_scalar(a, b));
+        let fused = f64::from(mlr_core::plan::fma_f32(a, b));
+        let base = f64::from(mlr_core::plan::dot_f32(a, b));
+        prop_assert!((scalar - fused).abs() <= tol, "{} vs {}", scalar, fused);
+        prop_assert!((base - fused).abs() <= tol, "{} vs {}", base, fused);
+        #[cfg(target_arch = "x86_64")]
+        if mlr_core::plan::fma_active() {
+            let simd = f64::from(mlr_core::plan::fma_f32_avx2(a, b));
+            prop_assert!((scalar - simd).abs() <= tol, "{} vs {}", scalar, simd);
+        }
+    }
+
+    #[test]
+    fn fma_precision_tier_moves_plan_logits_within_budget(pick in any::<u64>()) {
+        // Switching a compiled plan to the FMA tier may move every score
+        // by fused-rounding noise but must stay within a small relative
+        // budget of the reproducible tier — the precision knob trades
+        // reproducibility for speed, never correctness.
+        let zoo = zoo();
+        let raw = zoo.dataset.raw((pick as usize) % zoo.dataset.len());
+        let mut fma_plan = zoo.ours.plan().clone();
+        fma_plan.set_precision(mlr_core::plan::PlanPrecision::Fma);
+        prop_assert_eq!(
+            zoo.ours.plan().precision(),
+            mlr_core::plan::PlanPrecision::Reproducible
+        );
+        let base = zoo.ours.plan().logits_shot(raw);
+        let fused = fma_plan.logits_shot(raw);
+        for (f, l) in fused.iter().zip(&base) {
+            prop_assert_eq!(f.len(), l.len());
+            for (a, b) in f.iter().zip(l) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-3 * (1.0 + b.abs()),
+                    "fma logit {} vs reproducible {}",
+                    a, b
+                );
             }
         }
     }
