@@ -1,0 +1,129 @@
+//! Criterion benches of the multi-model serving fleet: many sessions ×
+//! many models ([`mlr_bench::fleet::run_fleet_throughput`]) against the
+//! direct-equivalent baseline, plus the overload drain
+//! ([`mlr_bench::fleet::run_fleet_saturation`]).
+//!
+//! The acceptance bar (checked continuously by `mlr serve-stats
+//! --check-fleet` in CI): aggregate fleet throughput ≥ 80 % of the
+//! direct-equivalent rate — the time the same shots would take as plain
+//! sequential `predict_batch` calls across the tenants — with zero lost
+//! tickets, and overload absorbed by the shed counters rather than a
+//! hang. The headline println makes the README/CHANGES numbers
+//! reproducible from `cargo bench -p mlr-bench --bench fleet_saturation`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlr_bench::fleet::{run_fleet_saturation, run_fleet_throughput, FleetScenario};
+use mlr_core::spec::BoxedDiscriminator;
+use mlr_core::{registry, DiscriminatorSpec, EngineConfig, FleetConfig, FleetEngine};
+use mlr_num::Complex;
+use mlr_sim::{ChipConfig, TraceDataset};
+
+struct Fixtures {
+    shots: Vec<Vec<Complex>>,
+    /// (fingerprint, model, direct predict_batch rate in shots/s).
+    tenants: Vec<(u64, mlr_core::TrainedModel, f64)>,
+}
+
+/// Two fast training-free tenants (LDA and QDA) over one small dataset:
+/// these benches time serving, not training.
+fn fixtures() -> Fixtures {
+    let mut config = ChipConfig::five_qubit_paper();
+    config.n_samples = 250;
+    let dataset = TraceDataset::generate_natural(&config, 30, 808);
+    let split = dataset.split(0.5, 0.1, 808);
+    let shots: Vec<Vec<Complex>> = (0..dataset.len().min(256))
+        .map(|i| dataset.raw(i).to_vec())
+        .collect();
+    let borrowed: Vec<&[Complex]> = shots.iter().map(Vec::as_slice).collect();
+    let tenants = ["LDA", "QDA"]
+        .iter()
+        .map(|name| {
+            let spec: DiscriminatorSpec = name.parse().expect("registry family");
+            let model = registry::fit(&spec, &dataset, &split, 808);
+            let rate = mlr_bench::measure_throughput(&model, &borrowed).batch_rate;
+            (spec.fingerprint(), model, rate)
+        })
+        .collect();
+    Fixtures { shots, tenants }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let f = fixtures();
+    let scenario = FleetScenario {
+        sessions_per_model: 8,
+        shots_per_session: 128,
+        engine: EngineConfig::default(),
+    };
+
+    let fleet = FleetEngine::new(FleetConfig {
+        engine: scenario.engine,
+        max_models: f.tenants.len(),
+        ..FleetConfig::default()
+    });
+    for (fp, model, _) in &f.tenants {
+        fleet
+            .register(*fp, Box::new(model.clone()))
+            .expect("register tenant");
+    }
+    let fingerprints: Vec<u64> = f.tenants.iter().map(|(fp, _, _)| *fp).collect();
+
+    let mut group = c.benchmark_group("fleet_saturation");
+    group.sample_size(10);
+    group.bench_function("fleet_2models_8sessions", |b| {
+        b.iter(|| {
+            black_box(run_fleet_throughput(
+                &fleet,
+                &fingerprints,
+                black_box(&f.shots),
+                &scenario,
+                2,
+            ))
+        })
+    });
+    group.bench_function("saturation_drain_2models", |b| {
+        b.iter(|| {
+            let models: Vec<BoxedDiscriminator> = f
+                .tenants
+                .iter()
+                .map(|(_, m, _)| Box::new(m.clone()) as BoxedDiscriminator)
+                .collect();
+            let report = run_fleet_saturation(
+                models,
+                black_box(&f.shots),
+                &FleetScenario {
+                    sessions_per_model: 4,
+                    shots_per_session: 64,
+                    engine: EngineConfig::with_queue(32),
+                },
+            );
+            assert_eq!(report.lost, 0, "saturation lost tickets");
+            assert!(report.shed > 0, "saturation did not shed");
+            black_box(report)
+        })
+    });
+    group.finish();
+
+    // Headline: one measured pass, compared against the direct-equivalent
+    // rate computed from each tenant's own predict_batch rate.
+    let report = run_fleet_throughput(&fleet, &fingerprints, &f.shots, &scenario, 2);
+    let shots_per_model =
+        vec![(scenario.sessions_per_model * scenario.shots_per_session) as u64; f.tenants.len()];
+    let direct_rates: Vec<f64> = f.tenants.iter().map(|(_, _, r)| *r).collect();
+    let efficiency = report.efficiency_vs_direct(&direct_rates, &shots_per_model);
+    println!(
+        "fleet {} models x {} sessions: {:.0} shots/s aggregate, {:.1}% of direct-equivalent \
+         ({} completed, {} shed-retries, {} lost)",
+        report.models,
+        report.sessions,
+        report.aggregate_rate,
+        100.0 * efficiency,
+        report.completed,
+        report.shed_retries,
+        report.lost,
+    );
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -18,6 +18,8 @@
 
 #![deny(missing_docs)]
 
+pub mod fleet;
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -59,7 +59,15 @@ pub struct Args {
 
 /// Bare switches (no value) recognised across subcommands; anything else
 /// starting with `--` is treated as a key expecting a value.
-const SWITCHES: &[&str] = &["--natural", "--quiet", "--help", "--json", "--check-plan"];
+const SWITCHES: &[&str] = &[
+    "--natural",
+    "--quiet",
+    "--help",
+    "--json",
+    "--check-plan",
+    "--saturate",
+    "--check-fleet",
+];
 
 impl Args {
     /// Parses an iterator of argument tokens.

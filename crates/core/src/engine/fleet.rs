@@ -1,0 +1,313 @@
+//! Multi-model serving: one micro-batching worker per discriminator
+//! spec, spun up lazily from the registry cache.
+//!
+//! A [`FleetEngine`] is a map from [`DiscriminatorSpec`] fingerprint to a
+//! running [`ReadoutEngine`], behind one front door: ask for a
+//! [`FleetEngine::session`] on a spec and the fleet either routes to the
+//! already-running worker or loads the model from the `MLR_MODEL_DIR`
+//! envelope cache ([`crate::registry::find_in_dir`]) and spins one up.
+//! Workers are fully isolated — a model that panics or mis-shapes a
+//! batch fails its own tickets and refuses further work
+//! ([`super::Rejected::WorkerFailed`]), while every other worker keeps
+//! serving; the fault-injection tests pin this.
+//!
+//! The fleet adds one admission layer of its own: at most
+//! [`FleetConfig::max_models`] workers ([`FleetError::FleetFull`]), on
+//! top of each worker's per-queue watermarks. Counters aggregate across
+//! workers ([`FleetEngine::aggregate_stats`]) for `mlr serve-stats`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::model_io::ModelIoError;
+use crate::registry;
+use crate::spec::BoxedDiscriminator;
+use crate::DiscriminatorSpec;
+
+use super::{Clock, EngineConfig, EngineStats, Qos, ReadoutEngine, Session, WallClock};
+
+/// Sizing and model-source policy of a [`FleetEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Batching and admission policy applied to every worker.
+    pub engine: EngineConfig,
+    /// Directory scanned for saved model envelopes on a fingerprint miss
+    /// (the `MLR_MODEL_DIR` cache written by `mlr-bench`).
+    pub model_dir: PathBuf,
+    /// Hard bound on concurrently served models; further specs are
+    /// refused with [`FleetError::FleetFull`] rather than spawning
+    /// without limit.
+    pub max_models: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            model_dir: PathBuf::from("models"),
+            max_models: 8,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The deployment-facing constructor: defaults overridden by the
+    /// `MLR_MODEL_DIR` (model cache directory), `MLR_FLEET_MAX_MODELS`
+    /// (worker bound), `MLR_FLEET_MAX_QUEUE` and `MLR_FLEET_MAX_BATCH`
+    /// (per-worker queue sizing, see [`EngineConfig::with_queue`])
+    /// environment variables. Unparsable values fall back to defaults —
+    /// serving starts conservatively rather than not at all.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(dir) = std::env::var_os("MLR_MODEL_DIR") {
+            config.model_dir = PathBuf::from(dir);
+        }
+        if let Some(n) = env_usize("MLR_FLEET_MAX_MODELS") {
+            config.max_models = n.max(1);
+        }
+        if let Some(n) = env_usize("MLR_FLEET_MAX_QUEUE") {
+            config.engine = EngineConfig::with_queue(n);
+        }
+        if let Some(n) = env_usize("MLR_FLEET_MAX_BATCH") {
+            config.engine.max_batch = n.max(1);
+            config.engine.max_queue = config.engine.max_queue.max(config.engine.max_batch);
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why the fleet could not open a session on a spec.
+#[derive(Debug)]
+pub enum FleetError {
+    /// No running worker serves the fingerprint and no envelope in
+    /// [`FleetConfig::model_dir`] matches it.
+    UnknownModel {
+        /// The requested spec fingerprint.
+        fingerprint: u64,
+        /// The directory that was scanned.
+        dir: PathBuf,
+    },
+    /// A matching envelope exists but failed to load, or the model
+    /// directory is unreadable.
+    ModelIo(ModelIoError),
+    /// The fleet already serves [`FleetConfig::max_models`] models.
+    FleetFull {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownModel { fingerprint, dir } => write!(
+                f,
+                "no worker or saved model for spec fingerprint {fingerprint:016x} in {}",
+                dir.display()
+            ),
+            FleetError::ModelIo(e) => write!(f, "model load failed: {e}"),
+            FleetError::FleetFull { limit } => {
+                write!(f, "fleet already serves its maximum of {limit} models")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::ModelIo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelIoError> for FleetError {
+    fn from(e: ModelIoError) -> Self {
+        FleetError::ModelIo(e)
+    }
+}
+
+/// One fleet worker's identity and serving counters, as reported by
+/// [`FleetEngine::stats`] (and printed by `mlr serve-stats`).
+#[derive(Debug, Clone)]
+pub struct ModelServeStats {
+    /// The worker's key: [`DiscriminatorSpec::fingerprint`].
+    pub fingerprint: u64,
+    /// The served design's name ([`crate::Discriminator::name`]).
+    pub family: String,
+    /// Whether this worker died to a model fault.
+    pub failed: bool,
+    /// The worker's counters.
+    pub stats: EngineStats,
+}
+
+struct FleetWorker {
+    engine: ReadoutEngine,
+    family: String,
+}
+
+/// The multi-model serving fleet; see the [module docs](self).
+pub struct FleetEngine {
+    config: FleetConfig,
+    clock: Arc<dyn Clock>,
+    workers: Mutex<HashMap<u64, FleetWorker>>,
+}
+
+impl FleetEngine {
+    /// An empty fleet timed by the production [`WallClock`]; workers
+    /// appear on demand.
+    pub fn new(config: FleetConfig) -> Self {
+        Self::with_clock(config, Arc::new(WallClock::new()))
+    }
+
+    /// [`FleetEngine::new`] with an injected time source, shared by every
+    /// worker the fleet spins up (one [`super::ManualClock`] can drive
+    /// all flush deadlines in tests).
+    pub fn with_clock(config: FleetConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            config,
+            clock,
+            workers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The fleet's sizing policy.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Installs an already-built model under `fingerprint`, spinning up
+    /// its worker immediately — the test/bench path that skips the disk.
+    /// Replaces (and drains) any worker already serving the key.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::FleetFull`] when the fleet is at
+    /// [`FleetConfig::max_models`] and `fingerprint` is new.
+    pub fn register(&self, fingerprint: u64, model: BoxedDiscriminator) -> Result<(), FleetError> {
+        let family = model.name().to_owned();
+        let mut workers = lock(&self.workers);
+        if workers.len() >= self.config.max_models && !workers.contains_key(&fingerprint) {
+            return Err(FleetError::FleetFull {
+                limit: self.config.max_models,
+            });
+        }
+        let engine = ReadoutEngine::with_clock(model, self.config.engine, Arc::clone(&self.clock));
+        workers.insert(fingerprint, FleetWorker { engine, family });
+        Ok(())
+    }
+
+    /// Opens a [`Qos::Standard`] session on the worker serving `spec`,
+    /// lazily loading the model from [`FleetConfig::model_dir`] if no
+    /// worker runs yet.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError`] when the model cannot be found, loaded, or admitted.
+    pub fn session(&self, spec: &DiscriminatorSpec) -> Result<Session, FleetError> {
+        self.session_with(spec, Qos::Standard)
+    }
+
+    /// [`FleetEngine::session`] with an explicit [`Qos`] class.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FleetEngine::session`].
+    pub fn session_with(&self, spec: &DiscriminatorSpec, qos: Qos) -> Result<Session, FleetError> {
+        self.session_by_fingerprint(spec.fingerprint(), qos)
+    }
+
+    /// Opens a session keyed directly by spec fingerprint (the wire-level
+    /// form a serving front end routes on). A fingerprint miss scans
+    /// [`FleetConfig::model_dir`] for a matching envelope
+    /// ([`registry::find_in_dir`]); the load happens under the fleet lock,
+    /// so concurrent first requests for the same model fit it once.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError`] when the model cannot be found, loaded, or admitted.
+    pub fn session_by_fingerprint(
+        &self,
+        fingerprint: u64,
+        qos: Qos,
+    ) -> Result<Session, FleetError> {
+        let mut workers = lock(&self.workers);
+        if let Some(worker) = workers.get(&fingerprint) {
+            return Ok(worker.engine.session_with(qos));
+        }
+        if workers.len() >= self.config.max_models {
+            return Err(FleetError::FleetFull {
+                limit: self.config.max_models,
+            });
+        }
+        let model =
+            registry::find_in_dir(&self.config.model_dir, fingerprint)?.ok_or_else(|| {
+                FleetError::UnknownModel {
+                    fingerprint,
+                    dir: self.config.model_dir.clone(),
+                }
+            })?;
+        let family = model.spec().family_name().to_owned();
+        let engine =
+            ReadoutEngine::with_clock(Box::new(model), self.config.engine, Arc::clone(&self.clock));
+        let session = engine.session_with(qos);
+        workers.insert(fingerprint, FleetWorker { engine, family });
+        Ok(session)
+    }
+
+    /// Number of models currently served.
+    pub fn len(&self) -> usize {
+        lock(&self.workers).len()
+    }
+
+    /// Whether no worker is running yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-worker serving counters, sorted by fingerprint for stable
+    /// output.
+    pub fn stats(&self) -> Vec<ModelServeStats> {
+        let workers = lock(&self.workers);
+        let mut rows: Vec<ModelServeStats> = workers
+            .iter()
+            .map(|(&fingerprint, worker)| ModelServeStats {
+                fingerprint,
+                family: worker.family.clone(),
+                failed: worker.engine.is_failed(),
+                stats: worker.engine.stats(),
+            })
+            .collect();
+        rows.sort_by_key(|row| row.fingerprint);
+        rows
+    }
+
+    /// Fleet-wide counter sum ([`EngineStats::merge`] over every worker).
+    pub fn aggregate_stats(&self) -> EngineStats {
+        lock(&self.workers)
+            .values()
+            .fold(EngineStats::default(), |acc, worker| {
+                acc.merge(&worker.engine.stats())
+            })
+    }
+
+    /// Drops the worker serving `fingerprint` (draining its queue),
+    /// freeing its [`FleetConfig::max_models`] slot. Returns whether a
+    /// worker was running. Outstanding tickets still resolve; sessions
+    /// held on the retired worker see it as shut down.
+    pub fn retire(&self, fingerprint: u64) -> bool {
+        lock(&self.workers).remove(&fingerprint).is_some()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

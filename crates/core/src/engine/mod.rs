@@ -1,0 +1,868 @@
+//! The serving layer of the model lifecycle: micro-batching inference
+//! engines over trained discriminators, and the multi-model fleet that
+//! scales them.
+//!
+//! The batch path ([`crate::Discriminator::predict_batch`]) is ~2.4× faster per
+//! shot than the per-shot loop, but it wants shots *in bulk* — while a
+//! control system (or a fleet of concurrent callers) produces them one at
+//! a time. [`ReadoutEngine`] closes that gap the way production model
+//! servers do: callers [`Session::submit`] individual shots from any
+//! thread and get a [`Ticket`] back; a dedicated worker coalesces queued
+//! shots until either `max_batch` is reached or the oldest submission has
+//! waited `max_delay`, issues **one** `predict_batch` call for the whole
+//! micro-batch, and resolves every ticket with its per-qubit verdict.
+//! [`FleetEngine`] (in [`fleet`]) runs one such worker per model,
+//! keyed by [`crate::DiscriminatorSpec`] fingerprint and lazily loaded
+//! from the `MLR_MODEL_DIR` registry cache.
+//!
+//! Verdicts are identical to calling `predict_batch` directly — batching
+//! only changes *when* shots are grouped, never the decision; the
+//! workspace's tests pin this for arbitrary submission orders, thread
+//! counts and model mixes. For plan-served families the worker's
+//! `predict_batch` call executes the compiled single-pass inference plan
+//! ([`crate::CompiledPlan`]), so the engine inherits the fused
+//! standardize+head kernels for free.
+//!
+//! Three serving concerns layer on top of the micro-batcher:
+//!
+//! * **QoS** ([`Qos`]): each session carries a priority class; when the
+//!   queue holds more than one flush's worth of work, realtime shots
+//!   flush ahead of standard ahead of bulk.
+//! * **Admission control** ([`Session::try_submit`]): instead of the
+//!   blocking backpressure of [`Session::submit`], non-blocking
+//!   submission sheds load with a typed [`Rejected`] verdict once the
+//!   queue crosses the class's watermark ([`EngineConfig`]), so an
+//!   overloaded worker degrades by refusing bulk work, not by stalling
+//!   everyone.
+//! * **Observability** ([`EngineStats`]): request/shed/latency counters
+//!   per worker, surfaced by `mlr serve-stats` and summed fleet-wide.
+//!
+//! Time is injectable ([`Clock`]): production engines read a
+//! [`WallClock`], tests drive flush deadlines with a [`ManualClock`] so
+//! nothing races the real 200 µs window. Faults are injectable too
+//! ([`fault::FaultyDiscriminator`]): a panicking, blocking or
+//! wrong-shaped model fails its own tickets loudly — never hangs them —
+//! and never touches another worker.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mlr_core::{registry, DiscriminatorSpec, EngineConfig, ReadoutEngine};
+//! use mlr_sim::{ChipConfig, TraceDataset};
+//!
+//! let dataset = TraceDataset::generate(&ChipConfig::five_qubit_paper(), 3, 50, 7);
+//! let split = dataset.paper_split(7);
+//! let model = registry::fit(&DiscriminatorSpec::default(), &dataset, &split, 7);
+//! let engine = ReadoutEngine::new(Box::new(model), EngineConfig::default());
+//! let session = engine.session();
+//! let ticket = session.submit(dataset.raw(0));
+//! println!("verdict: {:?}", ticket.wait());
+//! ```
+
+mod clock;
+pub mod fault;
+pub mod fleet;
+mod stats;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use fleet::{FleetConfig, FleetEngine, FleetError, ModelServeStats};
+pub use stats::EngineStats;
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mlr_num::Complex;
+
+use crate::spec::BoxedDiscriminator;
+use stats::StatCells;
+
+/// Locks a mutex, recovering from poisoning: every engine state
+/// transition completes atomically under the guard, so state behind a
+/// poisoned lock is still consistent (poisoning here only means some
+/// *caller* panicked while holding it — e.g. a deliberate
+/// submit-after-shutdown panic, or a waiter that panicked between lock
+/// and wait).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Per-session priority class of the micro-batcher.
+///
+/// Priorities decide two things: flush order when the queue holds more
+/// than one batch of work (realtime first), and the admission watermark
+/// at which [`Session::try_submit`] starts shedding the class
+/// ([`EngineConfig::watermark`] — bulk sheds earliest, realtime only when
+/// the queue is full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(usize)]
+pub enum Qos {
+    /// Feedback-latency-critical shots: flushed first, shed last.
+    Realtime = 0,
+    /// The default class.
+    #[default]
+    Standard = 1,
+    /// Throughput-oriented background work: first to be shed under load.
+    Bulk = 2,
+}
+
+impl Qos {
+    /// Number of priority classes.
+    pub const CLASSES: usize = 3;
+
+    /// All classes, highest priority first.
+    pub const ALL: [Qos; Qos::CLASSES] = [Qos::Realtime, Qos::Standard, Qos::Bulk];
+
+    /// Lower-case class name (`realtime` / `standard` / `bulk`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Qos::Realtime => "realtime",
+            Qos::Standard => "standard",
+            Qos::Bulk => "bulk",
+        }
+    }
+}
+
+impl fmt::Display for Qos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Qos {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "realtime" => Ok(Qos::Realtime),
+            "standard" => Ok(Qos::Standard),
+            "bulk" => Ok(Qos::Bulk),
+            other => Err(format!(
+                "unknown QoS class '{other}' (expected realtime, standard or bulk)"
+            )),
+        }
+    }
+}
+
+/// Micro-batching and admission policy of a [`ReadoutEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Flush as soon as this many shots are queued. 64 matches the batch
+    /// kernels' sweet spot on the 5-qubit chip (see the
+    /// `engine_throughput` bench).
+    pub max_batch: usize,
+    /// Flush when the oldest queued shot has waited this long (on the
+    /// engine's [`Clock`]), so a lone shot is never stranded behind an
+    /// empty queue.
+    pub max_delay: Duration,
+    /// Hard queue bound: [`Session::submit`] blocks (and
+    /// [`Session::try_submit`] rejects with [`Rejected::QueueFull`])
+    /// while this many shots are already queued. Bounds the engine's
+    /// memory to `max_queue` traces and keeps the recycled trace buffers
+    /// cache-resident (an unbounded queue measurably slows the inference
+    /// it feeds — see the `engine_throughput` bench). Clamped up to at
+    /// least `max_batch`.
+    pub max_queue: usize,
+    /// Admission watermark for [`Qos::Standard`] `try_submit`s: reject
+    /// with [`Rejected::Shed`] once the queue depth reaches this.
+    /// Clamped to `max_queue`.
+    pub standard_watermark: usize,
+    /// Admission watermark for [`Qos::Bulk`] `try_submit`s — lower than
+    /// `standard_watermark`, so bulk load sheds first.
+    pub bulk_watermark: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::with_queue(128)
+    }
+}
+
+impl EngineConfig {
+    /// The default policy scaled to a hard queue bound of `max_queue`:
+    /// micro-batches of 64 (clamped to the queue), a 200 µs flush
+    /// deadline, standard admission at 7/8 of the queue and bulk
+    /// admission at half of it.
+    pub fn with_queue(max_queue: usize) -> Self {
+        let max_queue = max_queue.max(1);
+        Self {
+            max_batch: 64.min(max_queue),
+            max_delay: Duration::from_micros(200),
+            max_queue,
+            standard_watermark: (max_queue - max_queue / 8).max(1),
+            bulk_watermark: (max_queue / 2).max(1),
+        }
+    }
+
+    /// Queue depth at which a [`Session::try_submit`] of class `qos` is
+    /// shed: the class watermark, except realtime which is only refused
+    /// by the full queue.
+    pub fn watermark(&self, qos: Qos) -> usize {
+        let cap = self.max_queue.max(self.max_batch);
+        match qos {
+            Qos::Realtime => cap,
+            Qos::Standard => self.standard_watermark.min(cap),
+            Qos::Bulk => self.bulk_watermark.min(cap),
+        }
+    }
+}
+
+/// Why [`Session::try_submit`] refused a shot — the typed load-shedding
+/// verdicts of the admission controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The queue is at its hard [`EngineConfig::max_queue`] bound; even
+    /// realtime work is refused rather than buffered without limit.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+    /// The queue crossed this class's admission watermark; higher-priority
+    /// classes may still be admitted.
+    Shed {
+        /// The rejected class.
+        qos: Qos,
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The class's watermark ([`EngineConfig::watermark`]).
+        watermark: usize,
+    },
+    /// The worker died classifying an earlier batch (model panic or
+    /// wrong-shape output); this model serves nothing further.
+    WorkerFailed,
+    /// The engine is shutting down cleanly.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth } => write!(f, "queue full at depth {depth}"),
+            Rejected::Shed {
+                qos,
+                depth,
+                watermark,
+            } => write!(
+                f,
+                "{qos} load shed at depth {depth} (watermark {watermark})"
+            ),
+            Rejected::WorkerFailed => write!(f, "worker failed"),
+            Rejected::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// The verdict for this shot was lost to a worker fault (the model
+/// panicked or returned wrong-shaped output while classifying its
+/// micro-batch). Returned by [`Ticket::outcome`] and the ticket's
+/// [`Future`] impl; [`Ticket::wait`] panics instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketFailed;
+
+impl fmt::Display for TicketFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "readout worker failed before this shot's micro-batch was classified"
+        )
+    }
+}
+
+impl std::error::Error for TicketFailed {}
+
+/// One queued shot: the owned trace, the slot its verdict lands in, and
+/// when it entered the queue (anchors the flush deadline and the latency
+/// counters, on the engine's [`Clock`]).
+struct Job {
+    trace: Vec<Complex>,
+    slot: Arc<TicketState>,
+    submitted_at: Duration,
+}
+
+/// Shared resolution state behind a [`Ticket`].
+struct TicketState {
+    state: Mutex<TicketInner>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(TicketInner {
+                verdict: None,
+                waiting: false,
+                failed: false,
+                waker: None,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Resolves the slot with a verdict, waking a blocked or async waiter.
+    fn resolve(&self, verdict: Vec<usize>) {
+        let (waiting, waker) = {
+            let mut inner = lock_recovering(&self.state);
+            inner.verdict = Some(verdict);
+            (inner.waiting, inner.waker.take())
+        };
+        // The wake syscall is only worth it when the holder is (or is
+        // about to be) blocked in `wait`; under bulk submission most
+        // tickets are resolved before anyone waits on them.
+        if waiting {
+            self.ready.notify_all();
+        }
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Marks the slot failed (worker fault), waking any waiter so it can
+    /// propagate instead of hanging.
+    fn fail(&self) {
+        let waker = {
+            let mut inner = lock_recovering(&self.state);
+            inner.failed = true;
+            inner.waker.take()
+        };
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+struct TicketInner {
+    verdict: Option<Vec<usize>>,
+    /// Whether the ticket holder is (about to be) blocked in [`Ticket::wait`];
+    /// lets the resolver skip the wake syscall for tickets nobody is
+    /// waiting on yet — the common case under bulk submission.
+    waiting: bool,
+    /// Set when the worker died (the model panicked or mis-shaped a
+    /// batch) before this shot could be classified; waiters propagate
+    /// instead of hanging.
+    failed: bool,
+    /// Waker of a task awaiting this ticket through its [`Future`] impl.
+    waker: Option<Waker>,
+}
+
+/// A pending verdict for one submitted shot.
+///
+/// Resolves once the engine's worker has flushed the micro-batch
+/// containing the shot. Consume it synchronously with [`Ticket::wait`] /
+/// [`Ticket::outcome`], peek with [`Ticket::try_wait`], or `.await` it —
+/// a ticket is a [`Future`] (its condvar slot doubles as the waker slot),
+/// which is what the fleet's async front end builds on.
+pub struct Ticket {
+    slot: Arc<TicketState>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = lock_recovering(&self.slot.state);
+        f.debug_struct("Ticket")
+            .field("resolved", &inner.verdict.is_some())
+            .field("failed", &inner.failed)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the verdict is available and returns the per-qubit
+    /// level decisions, in qubit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's worker died (the model panicked) before
+    /// this shot's micro-batch was classified — the verdict will never
+    /// arrive, and hanging forever would hide the failure. Use
+    /// [`Ticket::outcome`] to handle that case as a value instead.
+    pub fn wait(self) -> Vec<usize> {
+        match self.outcome() {
+            Ok(verdict) => verdict,
+            // Panic with no lock held: a panicking waiter must not
+            // poison state shared with sibling tickets or the worker.
+            Err(TicketFailed) => {
+                panic!("ReadoutEngine worker panicked; this shot's verdict was lost")
+            }
+        }
+    }
+
+    /// Blocks until the shot is classified (`Ok`) or its worker fails
+    /// (`Err`), never panicking: the non-blocking-policy twin of
+    /// [`Ticket::wait`].
+    pub fn outcome(self) -> Result<Vec<usize>, TicketFailed> {
+        let mut guard = lock_recovering(&self.slot.state);
+        loop {
+            if let Some(verdict) = guard.verdict.take() {
+                return Ok(verdict);
+            }
+            if guard.failed {
+                // Surface the failure outside the lock (see `wait`).
+                drop(guard);
+                return Err(TicketFailed);
+            }
+            guard.waiting = true;
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Returns a copy of the verdict if it is already available, without
+    /// blocking or consuming it — [`Ticket::wait`] still works afterwards.
+    pub fn try_wait(&self) -> Option<Vec<usize>> {
+        lock_recovering(&self.slot.state).verdict.clone()
+    }
+}
+
+impl Future for Ticket {
+    type Output = Result<Vec<usize>, TicketFailed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = lock_recovering(&self.slot.state);
+        if let Some(verdict) = inner.verdict.take() {
+            return Poll::Ready(Ok(verdict));
+        }
+        if inner.failed {
+            return Poll::Ready(Err(TicketFailed));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Submission queue shared between sessions and the worker.
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals the worker: new work or shutdown. `Arc` so a
+    /// [`ManualClock`] can subscribe it for deterministic deadline wakes.
+    wake: Arc<Condvar>,
+    /// Signals submitters blocked on the [`EngineConfig::max_queue`]
+    /// backpressure bound: space freed or shutdown.
+    space: Condvar,
+    /// The engine's time source (flush deadlines, latency counters).
+    clock: Arc<dyn Clock>,
+    /// Serving counters, updated lock-free on the submit/resolve paths.
+    stats: StatCells,
+    /// The batching policy, mirrored out of the config so submitters know
+    /// when a notify is worth a syscall and what each class's admission
+    /// watermark is.
+    config: EngineConfig,
+}
+
+struct Queue {
+    /// One FIFO lane per [`Qos`] class, drained highest priority first.
+    lanes: [VecDeque<Job>; Qos::CLASSES],
+    /// Total queued jobs across lanes.
+    len: usize,
+    /// Recycled trace buffers: flushed jobs return their `Vec<Complex>`
+    /// here and submissions refill from it, so a busy engine stops
+    /// touching the allocator (and keeps its working set at roughly one
+    /// micro-batch of traces instead of one per queued shot — cache
+    /// pressure directly measurable in the `engine_throughput` bench).
+    spare_buffers: Vec<Vec<Complex>>,
+    closed: bool,
+    /// `closed` because the worker died (model fault), not a clean
+    /// shutdown — distinguishes [`Rejected::WorkerFailed`] from
+    /// [`Rejected::ShuttingDown`].
+    failed: bool,
+}
+
+impl Queue {
+    /// Submission timestamp of the oldest queued job across all lanes
+    /// (the flush-deadline anchor).
+    fn oldest_submission(&self) -> Option<Duration> {
+        self.lanes
+            .iter()
+            .filter_map(|lane| lane.front().map(|job| job.submitted_at))
+            .min()
+    }
+
+    /// Drains up to `max` jobs, highest-priority lanes first, FIFO within
+    /// a lane.
+    fn drain_batch(&mut self, max: usize) -> Vec<Job> {
+        let mut batch = Vec::with_capacity(max.min(self.len));
+        for lane in &mut self.lanes {
+            while batch.len() < max {
+                match lane.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+        }
+        self.len -= batch.len();
+        batch
+    }
+}
+
+/// A cloneable handle for submitting shots to a [`ReadoutEngine`] from any
+/// thread, carrying its [`Qos`] class.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    qos: Qos,
+}
+
+impl Session {
+    /// This session's priority class.
+    pub fn qos(&self) -> Qos {
+        self.qos
+    }
+
+    /// Enqueues one raw multiplexed trace for classification; the returned
+    /// [`Ticket`] resolves to the per-qubit verdict once the micro-batch
+    /// containing it is flushed.
+    ///
+    /// This is the *cooperative backpressure* path: it blocks while the
+    /// queue is at [`EngineConfig::max_queue`], bypassing the admission
+    /// watermarks. Use [`Session::try_submit`] for the non-blocking,
+    /// load-shedding path.
+    ///
+    /// The trace is copied into the engine (submission outlives the
+    /// caller's borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has shut down (the [`ReadoutEngine`] was
+    /// dropped while this session survived it, or its worker died).
+    pub fn submit(&self, raw: &[Complex]) -> Ticket {
+        let slot = TicketState::new();
+        let must_wake = {
+            let mut queue = lock_recovering(&self.shared.queue);
+            // Backpressure: wait for queue space rather than buffering
+            // without bound (see `EngineConfig::max_queue`).
+            while queue.len >= self.shared.config.max_queue && !queue.closed {
+                queue = self
+                    .shared
+                    .space
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            assert!(!queue.closed, "submit on a shut-down ReadoutEngine");
+            self.enqueue(&mut queue, raw, &slot)
+        };
+        if must_wake {
+            self.shared.wake.notify_one();
+        }
+        Ticket { slot }
+    }
+
+    /// Non-blocking admission-controlled submission: enqueues the trace
+    /// if this session's class is below its watermark
+    /// ([`EngineConfig::watermark`]), otherwise sheds it with a typed
+    /// [`Rejected`] verdict. Never blocks, never panics — the fleet
+    /// front door.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] describes why the shot was refused; the caller can
+    /// retry later, downgrade, or drop the work.
+    pub fn try_submit(&self, raw: &[Complex]) -> Result<Ticket, Rejected> {
+        let slot = TicketState::new();
+        let must_wake = {
+            let mut queue = lock_recovering(&self.shared.queue);
+            if queue.closed {
+                self.shared.stats.record_rejected_closed();
+                return Err(if queue.failed {
+                    Rejected::WorkerFailed
+                } else {
+                    Rejected::ShuttingDown
+                });
+            }
+            let depth = queue.len;
+            let watermark = self.shared.config.watermark(self.qos);
+            if depth >= watermark {
+                self.shared.stats.record_shed(self.qos);
+                return Err(if depth >= self.shared.config.max_queue {
+                    Rejected::QueueFull { depth }
+                } else {
+                    Rejected::Shed {
+                        qos: self.qos,
+                        depth,
+                        watermark,
+                    }
+                });
+            }
+            self.enqueue(&mut queue, raw, &slot)
+        };
+        if must_wake {
+            self.shared.wake.notify_one();
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Pushes the job into this session's lane; returns whether the
+    /// worker needs a wake.
+    fn enqueue(&self, queue: &mut Queue, raw: &[Complex], slot: &Arc<TicketState>) -> bool {
+        let mut trace = queue.spare_buffers.pop().unwrap_or_default();
+        trace.clear();
+        trace.extend_from_slice(raw);
+        queue.lanes[self.qos as usize].push_back(Job {
+            trace,
+            slot: Arc::clone(slot),
+            submitted_at: self.shared.clock.now(),
+        });
+        queue.len += 1;
+        self.shared.stats.record_submit(self.qos, queue.len);
+        // Wake the worker only on the transitions it can act on: the
+        // queue becoming non-empty (it may be idle-waiting) or
+        // crossing the flush size (it may be deadline-waiting; it
+        // never waits with a full batch queued, so the == transition
+        // is hit exactly once per flush). Anything else would wake it
+        // just to go back to sleep — on a busy engine that is one
+        // context switch per shot, and it dominates serving overhead.
+        queue.len == 1 || queue.len == self.shared.config.max_batch
+    }
+}
+
+/// The micro-batching serving front door; see the [module docs](self).
+///
+/// Owns the trained model (any [`crate::Discriminator`], typically a
+/// [`crate::TrainedModel`] from the registry) and one worker thread.
+/// Dropping the engine flushes the remaining queue and joins the worker;
+/// outstanding tickets still resolve.
+pub struct ReadoutEngine {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl ReadoutEngine {
+    /// Spawns the engine's worker around a trained model, timed by the
+    /// production [`WallClock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.max_queue` is zero.
+    pub fn new(model: BoxedDiscriminator, config: EngineConfig) -> Self {
+        Self::with_clock(model, config, Arc::new(WallClock::new()))
+    }
+
+    /// [`ReadoutEngine::new`] with an injected time source — a
+    /// [`ManualClock`] makes every flush deadline deterministic in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.max_queue` is zero.
+    pub fn with_clock(
+        model: BoxedDiscriminator,
+        mut config: EngineConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.max_queue > 0, "max_queue must be positive");
+        config.max_queue = config.max_queue.max(config.max_batch);
+        let wake = Arc::new(Condvar::new());
+        clock.subscribe(&wake);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                lanes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                spare_buffers: Vec::new(),
+                closed: false,
+                failed: false,
+            }),
+            wake,
+            space: Condvar::new(),
+            clock,
+            stats: StatCells::default(),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("mlr-readout-engine".to_owned())
+            .spawn(move || worker_loop(model, &worker_shared, config))
+            .expect("spawn engine worker");
+        Self {
+            shared,
+            worker: Some(worker),
+            config,
+        }
+    }
+
+    /// The engine's batching policy (after clamping).
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Opens a [`Qos::Standard`] submission handle; sessions are cheap to
+    /// clone and safe to use from many threads at once.
+    pub fn session(&self) -> Session {
+        self.session_with(Qos::Standard)
+    }
+
+    /// Opens a submission handle with an explicit priority class.
+    pub fn session_with(&self, qos: Qos) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            qos,
+        }
+    }
+
+    /// A snapshot of this worker's serving counters.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Whether the worker died to a model fault (every subsequent
+    /// submission is refused; outstanding tickets were failed loudly).
+    pub fn is_failed(&self) -> bool {
+        lock_recovering(&self.shared.queue).failed
+    }
+
+    /// Convenience: submit a batch of shots through one session and wait
+    /// for all verdicts, in input order.
+    pub fn classify_all(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        let session = self.session();
+        let tickets: Vec<Ticket> = shots.iter().map(|raw| session.submit(raw)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for ReadoutEngine {
+    fn drop(&mut self) {
+        {
+            let mut queue = lock_recovering(&self.shared.queue);
+            queue.closed = true;
+        }
+        self.shared.wake.notify_all();
+        self.shared.space.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: wait for work, coalesce a micro-batch (up to `max_batch`
+/// shots or `max_delay` past the oldest submission, on the engine's
+/// [`Clock`]), classify it in one `predict_batch` call, resolve the
+/// tickets; on shutdown drain whatever is queued. A model fault — a panic
+/// *or* a wrong-shape output (batch or per-shot verdict length mismatch)
+/// — fails all outstanding tickets loudly and closes the engine (see the
+/// fault-injection tests).
+fn worker_loop(model: BoxedDiscriminator, shared: &Shared, config: EngineConfig) {
+    let n_qubits = model.n_qubits();
+    loop {
+        let batch = {
+            let mut queue = lock_recovering(&shared.queue);
+            // Phase 1: sleep until there is at least one job (or shutdown).
+            while queue.len == 0 && !queue.closed {
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if queue.len == 0 && queue.closed {
+                return;
+            }
+            // Phase 2: the oldest job's *submission* starts the flush
+            // clock (so a shot queued while the previous batch was being
+            // classified does not have its wait restarted); top the batch
+            // up until it is full, the deadline passes, or shutdown.
+            while queue.len < config.max_batch && !queue.closed {
+                let deadline =
+                    queue.oldest_submission().expect("nonempty queue") + config.max_delay;
+                if shared.clock.now() >= deadline {
+                    break;
+                }
+                queue = match shared.clock.timeout_until(deadline) {
+                    // Manual clock: untimed wait — new work, shutdown or
+                    // a clock advance are the only wake sources, so the
+                    // deadline re-check races nothing.
+                    None => shared
+                        .wake
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    Some(timeout) => {
+                        let (guard, _timeout) = shared
+                            .wake
+                            .wait_timeout(queue, timeout)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        guard
+                    }
+                };
+            }
+            queue.drain_batch(config.max_batch)
+        };
+
+        let shots: Vec<&[Complex]> = batch.iter().map(|job| job.trace.as_slice()).collect();
+        let verdicts =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict_batch(&shots)));
+        drop(shots);
+        // A panic and a wrong-shape output are the same fault: this
+        // model can no longer be trusted to resolve tickets.
+        let verdicts = match verdicts {
+            Ok(verdicts)
+                if verdicts.len() == batch.len()
+                    && verdicts.iter().all(|v| v.len() == n_qubits) =>
+            {
+                verdicts
+            }
+            _ => {
+                // Fail loudly instead of hanging: mark every outstanding
+                // ticket failed, close the engine, and wake everyone —
+                // waiters see the failure, submitters are refused.
+                let queued = {
+                    let mut queue = lock_recovering(&shared.queue);
+                    queue.closed = true;
+                    queue.failed = true;
+                    queue.len = 0;
+                    std::mem::replace(&mut queue.lanes, std::array::from_fn(|_| VecDeque::new()))
+                };
+                // Count before waking anyone: a waiter that sees its
+                // ticket fail must already find the failure in the stats.
+                let jobs: Vec<Job> = batch
+                    .into_iter()
+                    .chain(queued.into_iter().flatten())
+                    .collect();
+                shared.stats.record_failed(jobs.len());
+                for job in jobs {
+                    job.slot.fail();
+                }
+                shared.wake.notify_all();
+                shared.space.notify_all();
+                return;
+            }
+        };
+        shared.stats.record_flush(batch.len());
+        let resolved_at = shared.clock.now();
+        let mut buffers = Vec::with_capacity(batch.len());
+        for (job, verdict) in batch.into_iter().zip(verdicts) {
+            // Stats before the wake: a caller returning from `wait` must
+            // already see its own completion counted.
+            shared
+                .stats
+                .record_completed(resolved_at.saturating_sub(job.submitted_at));
+            job.slot.resolve(verdict);
+            buffers.push(job.trace);
+        }
+        // Hand the flushed traces back to the submission pool (bounded at
+        // the queue depth so an idle engine does not pin memory) and let
+        // backpressured submitters move up.
+        {
+            let mut queue = lock_recovering(&shared.queue);
+            let cap = config.max_queue;
+            while queue.spare_buffers.len() < cap {
+                match buffers.pop() {
+                    Some(buf) => queue.spare_buffers.push(buf),
+                    None => break,
+                }
+            }
+        }
+        shared.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,744 @@
+//! Engine and fleet unit tests. Everything deadline-related runs on a
+//! [`ManualClock`] — time only moves when a test says so, so no
+//! assertion races the real 200 µs flush window (the PR that introduced
+//! these engines had wall-clock-based tests that flaked under load).
+
+use super::fault::{FaultMode, FaultyDiscriminator, Gate};
+use super::*;
+use crate::{gather_shots, Discriminator};
+use mlr_sim::{ChipConfig, TraceDataset};
+
+/// A deterministic stand-in model: "level" = trace length modulo the
+/// alphabet, so verdicts encode which shot produced them.
+struct Echo;
+
+impl Discriminator for Echo {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        vec![raw.len() % 3; 2]
+    }
+    fn name(&self) -> &str {
+        "ECHO"
+    }
+    fn n_qubits(&self) -> usize {
+        2
+    }
+    fn weight_count(&self) -> usize {
+        0
+    }
+}
+
+/// [`Echo`] with a constant level offset — distinguishable fleet tenants.
+struct EchoOffset(usize);
+
+impl Discriminator for EchoOffset {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        vec![(raw.len() + self.0) % 3; 2]
+    }
+    fn name(&self) -> &str {
+        "ECHO-OFFSET"
+    }
+    fn n_qubits(&self) -> usize {
+        2
+    }
+    fn weight_count(&self) -> usize {
+        0
+    }
+}
+
+/// An [`Echo`] that records the trace lengths of every batch it is asked
+/// to classify — lets tests observe *flush composition*, not just
+/// verdicts.
+struct Recorder {
+    batches: Arc<Mutex<Vec<Vec<usize>>>>,
+}
+
+impl Discriminator for Recorder {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        vec![raw.len() % 3; 2]
+    }
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.batches
+            .lock()
+            .unwrap()
+            .push(shots.iter().map(|s| s.len()).collect());
+        shots.iter().map(|s| self.predict_shot(s)).collect()
+    }
+    fn name(&self) -> &str {
+        "RECORDER"
+    }
+    fn n_qubits(&self) -> usize {
+        2
+    }
+    fn weight_count(&self) -> usize {
+        0
+    }
+}
+
+/// An [`Echo`] whose batch path announces entry (opens `entered`) and
+/// then blocks on `hold` — pins the worker inside `predict_batch` at a
+/// moment the test chooses, with no sleeps.
+struct GatedEcho {
+    hold: Arc<Gate>,
+    entered: Arc<Gate>,
+}
+
+impl Discriminator for GatedEcho {
+    fn predict_shot(&self, raw: &[Complex]) -> Vec<usize> {
+        vec![raw.len() % 3; 2]
+    }
+    fn predict_batch(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
+        self.entered.open();
+        self.hold.pass();
+        shots.iter().map(|s| self.predict_shot(s)).collect()
+    }
+    fn name(&self) -> &str {
+        "GATED-ECHO"
+    }
+    fn n_qubits(&self) -> usize {
+        2
+    }
+    fn weight_count(&self) -> usize {
+        0
+    }
+}
+
+fn trace(len: usize) -> Vec<Complex> {
+    vec![Complex::new(1.0, -1.0); len]
+}
+
+fn manual() -> Arc<ManualClock> {
+    Arc::new(ManualClock::new())
+}
+
+#[test]
+#[ignore = "diagnostic timing probe, run with --release -- --ignored"]
+fn overhead_probe() {
+    let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+    let traces: Vec<Vec<Complex>> = (0..512).map(|_| trace(500)).collect();
+    let shots: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+    let _ = engine.classify_all(&shots); // warm
+    let t = std::time::Instant::now();
+    for _ in 0..20 {
+        let _ = engine.classify_all(&shots);
+    }
+    let per_iter = t.elapsed().as_secs_f64() / 20.0;
+    eprintln!(
+        "pure engine overhead: {:.3} ms per 512 shots ({:.2} us/shot)",
+        per_iter * 1e3,
+        per_iter * 1e6 / 512.0
+    );
+}
+
+#[test]
+fn single_submission_resolves_on_deadline_advance() {
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            ..EngineConfig::default()
+        },
+        clock.clone(),
+    );
+    let ticket = engine.session().submit(&trace(7));
+    // Time has not reached the deadline: a flush is *impossible*, so the
+    // peek is deterministic no matter how threads are scheduled.
+    clock.advance(Duration::from_micros(100));
+    assert!(ticket.try_wait().is_none());
+    // Crossing the deadline wakes the worker and flushes the lone shot.
+    clock.advance(Duration::from_micros(150));
+    assert_eq!(ticket.wait(), vec![1, 1]);
+}
+
+#[test]
+fn verdicts_match_submission_not_arrival_order() {
+    let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+    let session = engine.session();
+    let tickets: Vec<(usize, Ticket)> = (0..200)
+        .map(|i| (i, session.submit(&trace(i + 1))))
+        .collect();
+    for (i, ticket) in tickets {
+        assert_eq!(ticket.wait(), vec![(i + 1) % 3; 2], "shot {i}");
+    }
+}
+
+#[test]
+fn concurrent_sessions_from_many_threads_agree_with_direct_batch() {
+    let mut chip = ChipConfig::uniform(2);
+    chip.n_samples = 80;
+    let ds = TraceDataset::generate(&chip, 3, 6, 5);
+    let split = ds.split(0.6, 0.0, 5);
+    let spec = crate::DiscriminatorSpec::Discriminant(crate::DiscriminantKind::Lda);
+    let model = crate::registry::fit(&spec, &ds, &split, 5);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let expected = model.predict_batch(&gather_shots(&ds, &all));
+
+    let engine = ReadoutEngine::new(
+        Box::new(model),
+        EngineConfig {
+            max_batch: 7, // deliberately unaligned with the shot count
+            max_delay: Duration::from_micros(50),
+            ..EngineConfig::default()
+        },
+    );
+    let verdicts: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = all
+            .chunks(13)
+            .map(|chunk| {
+                let session = engine.session();
+                let ds = &ds;
+                scope.spawn(move || {
+                    let tickets: Vec<(usize, Ticket)> = chunk
+                        .iter()
+                        .map(|&i| (i, session.submit(ds.raw(i))))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|(i, t)| (i, t.wait()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut indexed: Vec<(usize, Vec<usize>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("submitter thread"))
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    });
+    assert_eq!(verdicts, expected);
+}
+
+#[test]
+fn classify_all_matches_direct_predict_batch() {
+    let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+    let traces: Vec<Vec<Complex>> = (1..40).map(trace).collect();
+    let shots: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+    assert_eq!(engine.classify_all(&shots), Echo.predict_batch(&shots));
+}
+
+#[test]
+fn drop_resolves_outstanding_tickets() {
+    // Frozen clock and an unreachable batch size: only the drop-drain can
+    // resolve these tickets, so the test pins exactly that path.
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 1000,
+            max_queue: 1000,
+            ..EngineConfig::default()
+        },
+        manual(),
+    );
+    let session = engine.session();
+    let tickets: Vec<Ticket> = (1..20).map(|i| session.submit(&trace(i))).collect();
+    drop(engine); // flushes the queue before joining the worker
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(ticket.wait(), vec![(i + 1) % 3; 2]);
+    }
+}
+
+#[test]
+#[should_panic(expected = "shut-down ReadoutEngine")]
+fn submit_after_shutdown_panics() {
+    let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+    let session = engine.session();
+    drop(engine);
+    drop(session.submit(&trace(3)));
+}
+
+#[test]
+fn poisoned_queue_lock_does_not_wedge_later_submitters() {
+    // The shutdown panic fires while the queue guard is held, poisoning
+    // the mutex. Every *later* submitter must still fail with the same
+    // clean panic — not a PoisonError, not a hang (the regression this
+    // pins: one panicking caller must never wedge its siblings).
+    let engine = ReadoutEngine::new(Box::new(Echo), EngineConfig::default());
+    let session = engine.session();
+    drop(engine);
+    for attempt in 0..2 {
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.submit(&trace(3))))
+                .expect_err("submit on a shut-down engine must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("shut-down ReadoutEngine"),
+            "attempt {attempt}: unexpected panic {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn resolving_a_poisoned_ticket_slot_still_wakes_waiters() {
+    // Poison the slot mutex the way a panicking waiter would, then check
+    // that the worker-side resolve path and a sibling waiter both recover.
+    let slot = TicketState::new();
+    let poisoner = Arc::clone(&slot);
+    let _ = std::thread::spawn(move || {
+        let _guard = poisoner.state.lock().unwrap();
+        panic!("deliberate poison");
+    })
+    .join();
+    assert!(slot.state.lock().is_err(), "mutex must be poisoned");
+
+    let waiter_slot = Arc::clone(&slot);
+    let waiter = std::thread::spawn(move || Ticket { slot: waiter_slot }.outcome());
+    slot.resolve(vec![2, 1]);
+    assert_eq!(waiter.join().expect("waiter thread"), Ok(vec![2, 1]));
+}
+
+#[test]
+fn try_wait_is_nonblocking_and_nonconsuming() {
+    // Frozen clock, batch of two: after one submission *nothing* can have
+    // resolved (the deadline cannot pass), so the None peek is exact.
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+        clock,
+    );
+    let session = engine.session();
+    let first = session.submit(&trace(4));
+    assert!(first.try_wait().is_none());
+    let second = session.submit(&trace(5));
+    assert_eq!(second.wait(), vec![2, 2]);
+    // After the flush the first ticket resolves too — and peeking does
+    // not consume it, so wait still returns the verdict.
+    assert_eq!(first.try_wait(), Some(vec![1, 1]));
+    assert_eq!(first.try_wait(), Some(vec![1, 1]));
+    assert_eq!(first.wait(), vec![1, 1]);
+}
+
+#[test]
+fn qos_lanes_flush_realtime_before_standard_before_bulk() {
+    let batches = Arc::new(Mutex::new(Vec::new()));
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Recorder {
+            batches: Arc::clone(&batches),
+        }),
+        EngineConfig {
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+        clock,
+    );
+    let bulk = engine.session_with(Qos::Bulk);
+    let realtime = engine.session_with(Qos::Realtime);
+    let standard = engine.session_with(Qos::Standard);
+    assert_eq!(realtime.qos(), Qos::Realtime);
+    // Frozen clock: the flush can only trigger on the 4th submission, so
+    // all four are queued when the worker drains — and must come out in
+    // priority order (realtime FIFO, then standard, then bulk), not
+    // submission order.
+    let tickets = [
+        bulk.submit(&trace(1)),
+        realtime.submit(&trace(2)),
+        standard.submit(&trace(3)),
+        realtime.submit(&trace(4)),
+    ];
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    let seen = batches.lock().unwrap();
+    assert_eq!(seen.as_slice(), &[vec![2, 4, 3, 1]]);
+}
+
+#[test]
+fn admission_sheds_by_class_and_conserves_every_ticket() {
+    let hold = Gate::new();
+    let entered = Gate::new();
+    let config = EngineConfig {
+        max_batch: 1,
+        max_queue: 8,
+        standard_watermark: 6,
+        bulk_watermark: 3,
+        ..EngineConfig::default()
+    };
+    let engine = ReadoutEngine::with_clock(
+        Box::new(GatedEcho {
+            hold: Arc::clone(&hold),
+            entered: Arc::clone(&entered),
+        }),
+        config,
+        manual(),
+    );
+    assert_eq!(config.watermark(Qos::Realtime), 8);
+    assert_eq!(config.watermark(Qos::Standard), 6);
+    assert_eq!(config.watermark(Qos::Bulk), 3);
+
+    // Pin the worker inside the model, then fill the queue behind it: the
+    // depth the admission controller sees is now fully deterministic.
+    let bulk = engine.session_with(Qos::Bulk);
+    let standard = engine.session_with(Qos::Standard);
+    let realtime = engine.session_with(Qos::Realtime);
+    let mut tickets = vec![standard.submit(&trace(9))];
+    entered.pass();
+
+    for depth in 0..3 {
+        tickets.push(
+            bulk.try_submit(&trace(depth + 1))
+                .unwrap_or_else(|r| panic!("bulk at depth {depth} rejected: {r}")),
+        );
+    }
+    match bulk.try_submit(&trace(4)) {
+        Err(Rejected::Shed {
+            qos: Qos::Bulk,
+            depth: 3,
+            watermark: 3,
+        }) => {}
+        other => panic!("expected bulk shed, got {other:?}"),
+    }
+    for depth in 3..6 {
+        tickets.push(standard.try_submit(&trace(depth + 1)).unwrap());
+    }
+    assert!(matches!(
+        standard.try_submit(&trace(7)),
+        Err(Rejected::Shed {
+            qos: Qos::Standard,
+            depth: 6,
+            watermark: 6,
+        })
+    ));
+    for depth in 6..8 {
+        tickets.push(realtime.try_submit(&trace(depth + 1)).unwrap());
+    }
+    assert!(matches!(
+        realtime.try_submit(&trace(9)),
+        Err(Rejected::QueueFull { depth: 8 })
+    ));
+
+    // Release the worker: every accepted ticket must resolve (shed load
+    // was refused up front, not lost).
+    hold.open();
+    let accepted = tickets.len();
+    for ticket in tickets {
+        assert!(ticket.outcome().is_ok());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, [2, 4, 3]);
+    assert_eq!(stats.shed, [1, 1, 1]);
+    assert_eq!(stats.completed, accepted as u64);
+    assert_eq!(stats.outstanding(), 0, "no ticket may be lost");
+    assert_eq!(stats.max_depth, 8);
+    assert_eq!(stats.flushes, 9);
+}
+
+#[test]
+fn model_panic_fails_tickets_and_closes_engine_instead_of_hanging() {
+    // Batch size 1: every submission flushes immediately, so the fault
+    // fires on the exact batch the FaultyDiscriminator was told to hit.
+    let engine = ReadoutEngine::with_clock(
+        FaultyDiscriminator::boxed(Box::new(Echo), FaultMode::PanicOnFlush(1)),
+        EngineConfig {
+            max_batch: 1,
+            ..EngineConfig::default()
+        },
+        manual(),
+    );
+    let session = engine.session();
+    // A healthy batch still works.
+    assert_eq!(session.submit(&trace(4)).wait(), vec![1, 1]);
+    // The poisoned batch fails its ticket loudly...
+    let bad = session.submit(&trace(13));
+    assert_eq!(bad.outcome(), Err(TicketFailed));
+    assert!(engine.is_failed());
+    // ...blocking submission panics rather than accepting doomed work...
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.submit(&trace(4))));
+    assert!(err.is_err(), "submit after a worker panic must panic");
+    // ...and the admission path reports the same as a typed verdict.
+    assert!(matches!(
+        session.try_submit(&trace(4)),
+        Err(Rejected::WorkerFailed)
+    ));
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.rejected_closed, 1);
+    assert_eq!(
+        stats.outstanding(),
+        0,
+        "failed tickets are accounted, not lost"
+    );
+}
+
+#[test]
+fn panicking_waiter_does_not_wedge_sibling_tickets() {
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        FaultyDiscriminator::boxed(Box::new(Echo), FaultMode::PanicOnFlush(0)),
+        EngineConfig {
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+        clock,
+    );
+    let session = engine.session();
+    let first = session.submit(&trace(4));
+    let second = session.submit(&trace(5)); // fills the batch -> flush -> panic
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || first.wait()));
+    assert!(err.is_err(), "wait on a failed ticket must panic");
+    // The sibling's outcome is still reachable after its neighbour's
+    // waiter panicked — failure is per-ticket state, not shared poison.
+    assert_eq!(second.outcome(), Err(TicketFailed));
+}
+
+#[test]
+fn wrong_shape_outputs_fail_tickets_like_a_panic() {
+    for mode in [FaultMode::TruncateBatch(0), FaultMode::WidenVerdicts(0)] {
+        let engine = ReadoutEngine::with_clock(
+            FaultyDiscriminator::boxed(Box::new(Echo), mode.clone()),
+            EngineConfig {
+                max_batch: 2,
+                ..EngineConfig::default()
+            },
+            manual(),
+        );
+        let session = engine.session();
+        let first = session.submit(&trace(4));
+        let second = session.submit(&trace(5));
+        // Silently zipping a short batch would strand `second` forever;
+        // the worker must treat any shape mismatch as a model fault.
+        assert_eq!(first.outcome(), Err(TicketFailed), "{mode:?}");
+        assert_eq!(second.outcome(), Err(TicketFailed), "{mode:?}");
+        assert!(engine.is_failed(), "{mode:?}");
+        assert_eq!(engine.stats().failed, 2, "{mode:?}");
+    }
+}
+
+#[test]
+fn tickets_are_futures_resolving_to_outcomes() {
+    let engine = ReadoutEngine::new(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let session = engine.session();
+    let verdict = exec::block_on(async { session.submit(&trace(7)).await });
+    assert_eq!(verdict, Ok(vec![1, 1]));
+
+    // A failed worker resolves awaited tickets to the typed error.
+    let faulty = ReadoutEngine::with_clock(
+        FaultyDiscriminator::boxed(Box::new(Echo), FaultMode::PanicOnFlush(0)),
+        EngineConfig {
+            max_batch: 1,
+            ..EngineConfig::default()
+        },
+        manual(),
+    );
+    let session = faulty.session();
+    let outcome = exec::block_on(async { session.submit(&trace(4)).await });
+    assert_eq!(outcome, Err(TicketFailed));
+}
+
+#[test]
+fn latency_counters_read_the_injected_clock() {
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+        clock.clone(),
+    );
+    let session = engine.session();
+    let first = session.submit(&trace(4));
+    clock.advance(Duration::from_micros(100));
+    let second = session.submit(&trace(5)); // fills the batch at t=100us
+    assert_eq!(first.wait(), vec![1, 1]);
+    assert_eq!(second.wait(), vec![2, 2]);
+    let stats = engine.stats();
+    // first waited the full 100us, second flushed immediately: the
+    // manual clock makes these latencies exact, not approximate.
+    assert_eq!(stats.completed, 2);
+    assert!((stats.mean_latency_us - 50.0).abs() < 1e-9, "{stats:?}");
+    assert!((stats.max_latency_us - 100.0).abs() < 1e-9, "{stats:?}");
+    assert_eq!(stats.flushes, 1);
+    assert!((stats.mean_batch() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn qos_parses_and_displays() {
+    for qos in Qos::ALL {
+        assert_eq!(qos.name().parse::<Qos>().unwrap(), qos);
+        assert_eq!(format!("{qos}"), qos.name());
+    }
+    assert!("turbo".parse::<Qos>().is_err());
+}
+
+#[test]
+fn fleet_routes_by_fingerprint_and_bounds_model_count() {
+    let fleet = FleetEngine::with_clock(
+        FleetConfig {
+            engine: EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+            model_dir: std::path::PathBuf::from("this-dir-does-not-exist"),
+            max_models: 2,
+        },
+        manual(),
+    );
+    assert!(fleet.is_empty());
+    fleet.register(1, Box::new(EchoOffset(0))).unwrap();
+    fleet.register(2, Box::new(EchoOffset(1))).unwrap();
+    let s1 = fleet.session_by_fingerprint(1, Qos::Standard).unwrap();
+    let s2 = fleet.session_by_fingerprint(2, Qos::Bulk).unwrap();
+    // Same trace, different tenants, different verdicts: routing is real.
+    assert_eq!(s1.submit(&trace(4)).wait(), vec![1, 1]);
+    assert_eq!(s2.submit(&trace(4)).wait(), vec![2, 2]);
+
+    // The fleet refuses a third model rather than growing without bound —
+    // before it even looks at the (nonexistent) model directory.
+    assert!(matches!(
+        fleet.register(3, Box::new(EchoOffset(2))),
+        Err(FleetError::FleetFull { limit: 2 })
+    ));
+    assert!(matches!(
+        fleet.session_by_fingerprint(3, Qos::Standard),
+        Err(FleetError::FleetFull { limit: 2 })
+    ));
+
+    let rows = fleet.stats();
+    assert_eq!(rows.len(), 2);
+    assert_eq!((rows[0].fingerprint, rows[1].fingerprint), (1, 2));
+    assert!(rows.iter().all(|r| !r.failed && r.stats.completed == 1));
+    let agg = fleet.aggregate_stats();
+    assert_eq!(agg.total_submitted(), 2);
+    assert_eq!(agg.completed, 2);
+    assert_eq!(agg.outstanding(), 0);
+
+    // Retiring frees the slot.
+    assert!(fleet.retire(1));
+    assert!(!fleet.retire(1));
+    fleet.register(3, Box::new(EchoOffset(2))).unwrap();
+    assert_eq!(fleet.len(), 2);
+}
+
+#[test]
+fn fleet_worker_failure_is_contained_to_its_model() {
+    let fleet = FleetEngine::with_clock(
+        FleetConfig {
+            engine: EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+        manual(),
+    );
+    fleet.register(7, Box::new(EchoOffset(0))).unwrap();
+    fleet
+        .register(
+            8,
+            FaultyDiscriminator::boxed(Box::new(EchoOffset(0)), FaultMode::PanicOnFlush(0)),
+        )
+        .unwrap();
+    let healthy = fleet.session_by_fingerprint(7, Qos::Standard).unwrap();
+    let doomed = fleet.session_by_fingerprint(8, Qos::Standard).unwrap();
+
+    assert_eq!(doomed.submit(&trace(4)).outcome(), Err(TicketFailed));
+    // The faulty tenant is failed and refuses work; the healthy tenant
+    // never notices.
+    assert!(matches!(
+        doomed.try_submit(&trace(4)),
+        Err(Rejected::WorkerFailed)
+    ));
+    assert_eq!(healthy.submit(&trace(4)).wait(), vec![1, 1]);
+
+    let rows = fleet.stats();
+    let failed_row = rows.iter().find(|r| r.fingerprint == 8).unwrap();
+    let healthy_row = rows.iter().find(|r| r.fingerprint == 7).unwrap();
+    assert!(failed_row.failed && failed_row.stats.failed == 1);
+    assert!(!healthy_row.failed && healthy_row.stats.completed == 1);
+    assert_eq!(fleet.aggregate_stats().outstanding(), 0);
+}
+
+#[test]
+fn fleet_lazily_loads_saved_models_and_matches_direct() {
+    let mut chip = ChipConfig::uniform(2);
+    chip.n_samples = 80;
+    let ds = TraceDataset::generate(&chip, 3, 6, 5);
+    let split = ds.split(0.6, 0.0, 5);
+    let spec = crate::DiscriminatorSpec::Discriminant(crate::DiscriminantKind::Lda);
+    let model = crate::registry::fit(&spec, &ds, &split, 5);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let expected = model.predict_batch(&gather_shots(&ds, &all));
+
+    let dir = std::env::temp_dir().join(format!("mlr-fleet-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    model
+        .save_json_file(dir.join("mlr-model-0123456789abcdef.json"))
+        .unwrap();
+
+    let fleet = FleetEngine::new(FleetConfig {
+        engine: EngineConfig {
+            max_batch: 7,
+            max_delay: Duration::from_micros(50),
+            ..EngineConfig::default()
+        },
+        model_dir: dir.clone(),
+        ..FleetConfig::default()
+    });
+    // First session loads from disk and spins the worker up...
+    let session = fleet.session(&spec).unwrap();
+    assert_eq!(fleet.len(), 1);
+    // ...a second request routes to the same worker, no reload.
+    let _again = fleet.session(&spec).unwrap();
+    assert_eq!(fleet.len(), 1);
+
+    let tickets: Vec<Ticket> = all.iter().map(|&i| session.submit(ds.raw(i))).collect();
+    let verdicts: Vec<Vec<usize>> = tickets.into_iter().map(Ticket::wait).collect();
+    assert_eq!(verdicts, expected, "fleet serving must be bit-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_reports_unknown_models_with_the_scanned_dir() {
+    let dir = std::env::temp_dir().join(format!("mlr-fleet-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fleet = FleetEngine::new(FleetConfig {
+        model_dir: dir.clone(),
+        ..FleetConfig::default()
+    });
+    match fleet.session_by_fingerprint(0xDEAD_BEEF, Qos::Standard) {
+        Err(FleetError::UnknownModel {
+            fingerprint,
+            dir: scanned,
+        }) => {
+            assert_eq!(fingerprint, 0xDEAD_BEEF);
+            assert_eq!(scanned, dir);
+        }
+        other => panic!("expected UnknownModel, got {:?}", other.map(|_| ())),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_config_reads_env_overrides() {
+    std::env::set_var("MLR_FLEET_MAX_MODELS", "3");
+    std::env::set_var("MLR_FLEET_MAX_QUEUE", "32");
+    std::env::set_var("MLR_FLEET_MAX_BATCH", "16");
+    let config = FleetConfig::from_env();
+    std::env::remove_var("MLR_FLEET_MAX_MODELS");
+    std::env::remove_var("MLR_FLEET_MAX_QUEUE");
+    std::env::remove_var("MLR_FLEET_MAX_BATCH");
+    assert_eq!(config.max_models, 3);
+    assert_eq!(config.engine.max_queue, 32);
+    assert_eq!(config.engine.max_batch, 16);
+    // Watermarks scale with the queue, not the defaults.
+    assert_eq!(config.engine.standard_watermark, 28);
+    assert_eq!(config.engine.bulk_watermark, 16);
+}

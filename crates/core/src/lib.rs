@@ -61,7 +61,10 @@ pub use baselines::{
 pub use batch::{batch_threads, par_map, par_map_indexed};
 pub use deployment::{DeployedConfig, DeployedDiscriminator};
 pub use discriminator::{evaluate, evaluate_confusion, gather_shots, Discriminator, EvalReport};
-pub use engine::{EngineConfig, ReadoutEngine, Session, Ticket};
+pub use engine::{
+    Clock, EngineConfig, EngineStats, FleetConfig, FleetEngine, FleetError, ManualClock,
+    ModelServeStats, Qos, ReadoutEngine, Rejected, Session, Ticket, TicketFailed, WallClock,
+};
 pub use features::FeatureExtractor;
 pub use leakage::{LeakageHarvest, NaturalLeakageDetector};
 pub use mf_bank::{FilterRole, QubitMfBank};

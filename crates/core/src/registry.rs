@@ -514,6 +514,69 @@ fn json_shape_error(msg: &str) -> ModelIoError {
     ModelIoError::Invalid(msg.to_owned())
 }
 
+/// Scans `dir` for a saved model envelope whose **spec** fingerprint is
+/// `spec_fingerprint`, returning the first match in file-name order.
+///
+/// This is the fleet's lazy-load path: workers are keyed by
+/// [`DiscriminatorSpec::fingerprint`], while `MLR_MODEL_DIR` file names
+/// carry the *model* fingerprint ([`model_fingerprint`], which also mixes
+/// in dataset and seed) — so the match is decided by each envelope's
+/// embedded `spec_fingerprint` field, read before the payload is
+/// deserialised. Files that are not readable model envelopes are skipped,
+/// not errors: a cache directory may hold junk.
+///
+/// Returns `Ok(None)` when no envelope in the directory serves the spec.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError`] only when the directory itself cannot be read,
+/// or a matching envelope fails to load (a *matching* model that does not
+/// deserialise is corruption worth surfacing, unlike unrelated files).
+pub fn find_in_dir<P: AsRef<Path>>(
+    dir: P,
+    spec_fingerprint: u64,
+) -> Result<Option<TrainedModel>, ModelIoError> {
+    let mut names: Vec<_> = std::fs::read_dir(dir.as_ref())?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|ext| ext == "json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("mlr-model-"))
+        })
+        .collect();
+    names.sort();
+    let wanted = format!("{spec_fingerprint:016x}");
+    for path in names {
+        let Ok(file) = File::open(&path) else {
+            continue;
+        };
+        let value: JsonValue = match serde_json::from_reader(BufReader::new(file)) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        match value.get("spec_fingerprint") {
+            // v2 envelopes announce their spec up front: cheap mismatch.
+            Some(JsonValue::String(fp)) if *fp != wanted => continue,
+            Some(JsonValue::String(_)) => return load_v2(&value).map(Some),
+            // v1 legacy files (implicit default-OURS spec) and envelopes
+            // without the fingerprint field: decide by actually loading.
+            _ => {
+                let loaded = match value.get("format_version") {
+                    Some(JsonValue::Number(n)) if *n == 1.0 => load_v1(&value),
+                    _ => load_v2(&value),
+                };
+                if let Ok(model) = loaded {
+                    if model.spec().fingerprint() == spec_fingerprint {
+                        return Ok(Some(model));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Stable cache key for a trained model: the spec fingerprint chained
 /// with the dataset fingerprint and the training seed — the recipe
 /// `mlr_bench::cached_model` uses for `MLR_MODEL_DIR` file names.

@@ -1,0 +1,630 @@
+//! Minimal in-tree futures executor: the async front end of the serving
+//! fleet without an external runtime.
+//!
+//! The build image has no registry access, so tokio/async-std/futures
+//! cannot be fetched; the workspace's async needs are deliberately tiny —
+//! await a condvar-backed ticket (`mlr_core::Ticket` implements
+//! [`Future`] directly) and fan a few hundred session tasks over a small
+//! thread pool — so this shim hand-rolls exactly that:
+//!
+//! * [`block_on`] drives one future on the calling thread, parking on a
+//!   condvar between polls;
+//! * [`Executor`] is a fixed-size thread pool with one shared injector
+//!   queue; [`Executor::spawn`] returns a [`TaskHandle`] that can be
+//!   [`TaskHandle::join`]ed (blocking) or awaited (it is itself a future);
+//! * [`yield_now`] reschedules the current task to the back of the queue.
+//!
+//! Wakers are built from [`std::task::Wake`] (no unsafe raw-vtable code).
+//! Scheduling follows the classic four-state task machine (idle /
+//! scheduled / running / notified), so a wake that lands while the task is
+//! being polled re-enqueues it exactly once instead of being lost or
+//! duplicated.
+//!
+//! What differs from a real runtime: no timers, no I/O reactor, no task
+//! budgets. Dropping the [`Executor`] cancels tasks that have not started
+//! or finished; joining their handles then panics rather than hanging.
+//!
+//! # Examples
+//!
+//! ```
+//! let pool = exec::Executor::new(2);
+//! let handles: Vec<_> = (0..8)
+//!     .map(|i| pool.spawn(async move { i * i }))
+//!     .collect();
+//! let total: usize = handles.into_iter().map(exec::TaskHandle::join).sum();
+//! assert_eq!(total, 140);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering from poisoning: every state transition in
+/// this crate completes atomically under the guard, so state behind a
+/// poisoned lock is still consistent (poisoning only means some caller
+/// panicked while holding it).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// block_on
+// ---------------------------------------------------------------------------
+
+/// Thread parker used as the [`block_on`] waker: `wake` sets the flag and
+/// notifies, `park` blocks until it is set.
+struct Parker {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn park(&self) {
+        let mut woken = lock_recovering(&self.woken);
+        while !*woken {
+            woken = self
+                .cv
+                .wait(woken)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *woken = false;
+    }
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        *lock_recovering(&self.woken) = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Runs `future` to completion on the calling thread, parking between
+/// polls until the future's waker fires.
+///
+/// This is the bridge from synchronous code into the async front end:
+/// `exec::block_on(ticket)` awaits one serving verdict, and
+/// `exec::block_on(handle)` awaits a spawned task without burning a pool
+/// thread.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let parker = Arc::new(Parker {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = Box::pin(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => parker.park(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Task states of the wake/poll protocol.
+const IDLE: u8 = 0;
+/// In the injector queue, waiting for a worker.
+const SCHEDULED: u8 = 1;
+/// Being polled right now.
+const RUNNING: u8 = 2;
+/// Woken while running: reschedule after the poll returns `Pending`.
+const NOTIFIED: u8 = 3;
+/// Completed (or cancelled): never polled again.
+const DONE: u8 = 4;
+
+/// The shared run queue: workers pop from the front, wakes push to the
+/// back, `closed` drains the pool on executor drop.
+struct Injector {
+    queue: Mutex<InjectorState>,
+    cv: Condvar,
+}
+
+struct InjectorState {
+    tasks: VecDeque<Arc<Task>>,
+    closed: bool,
+}
+
+impl Injector {
+    fn push(&self, task: Arc<Task>) {
+        let mut state = lock_recovering(&self.queue);
+        if state.closed {
+            // The pool is gone; the task can never run again.
+            drop(state);
+            task.cancel();
+            return;
+        }
+        state.tasks.push_back(task);
+        drop(state);
+        self.cv.notify_one();
+    }
+}
+
+/// One spawned future plus its scheduling state.
+struct Task {
+    state: AtomicU8,
+    /// The future, boxed and pinned; `None` once completed or while a
+    /// worker holds it for polling.
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// Weak so wakers outliving the executor become no-ops instead of
+    /// keeping a dead pool alive.
+    injector: Weak<Injector>,
+}
+
+impl Task {
+    /// Transition into `SCHEDULED` and enqueue, following the four-state
+    /// protocol; no-ops when already queued, notified or done.
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            let current = self.state.load(Ordering::Acquire);
+            let (next, enqueue) = match current {
+                IDLE => (SCHEDULED, true),
+                RUNNING => (NOTIFIED, false),
+                SCHEDULED | NOTIFIED | DONE => return,
+                _ => unreachable!("invalid task state {current}"),
+            };
+            if self
+                .state
+                .compare_exchange(current, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            if enqueue {
+                if let Some(injector) = self.injector.upgrade() {
+                    injector.push(Arc::clone(self));
+                } else {
+                    self.cancel();
+                }
+            }
+            return;
+        }
+    }
+
+    /// Marks the task dead and drops its future (firing the completion
+    /// guard, which flags the handle as cancelled).
+    fn cancel(&self) {
+        self.state.store(DONE, Ordering::Release);
+        lock_recovering(&self.future).take();
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// A fixed-size thread-pool executor; see the [module docs](self).
+pub struct Executor {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(InjectorState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let injector = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("exec-worker-{i}"))
+                    .spawn(move || worker_loop(&injector))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Self { injector, workers }
+    }
+
+    /// Submits a future to the pool, returning a handle that yields its
+    /// output — blocking via [`TaskHandle::join`] or awaited as a future.
+    pub fn spawn<F>(&self, future: F) -> TaskHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let handle = Arc::new(HandleState {
+            inner: Mutex::new(HandleInner {
+                result: None,
+                cancelled: false,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        });
+        // The guard marks the handle cancelled if the wrapped future is
+        // dropped before completing (executor shut down mid-task), so a
+        // join panics instead of hanging.
+        let mut guard = CompletionGuard {
+            handle: Arc::clone(&handle),
+            completed: false,
+        };
+        let wrapped = async move {
+            let output = future.await;
+            guard.complete(output);
+        };
+        let task = Arc::new(Task {
+            state: AtomicU8::new(IDLE),
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            injector: Arc::downgrade(&self.injector),
+        });
+        task.schedule();
+        TaskHandle { state: handle }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        let leftover = {
+            let mut state = lock_recovering(&self.injector.queue);
+            state.closed = true;
+            std::mem::take(&mut state.tasks)
+        };
+        self.injector.cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Tasks still queued never ran; cancel them so joins fail loudly.
+        for task in leftover {
+            task.cancel();
+        }
+    }
+}
+
+/// Worker: pop a scheduled task, poll it once, reschedule on a mid-poll
+/// wake, park when the queue is empty.
+fn worker_loop(injector: &Arc<Injector>) {
+    loop {
+        let task = {
+            let mut state = lock_recovering(&injector.queue);
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break task;
+                }
+                if state.closed {
+                    return;
+                }
+                state = injector
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // SCHEDULED -> RUNNING. A task in the queue is always SCHEDULED
+        // (wakes on SCHEDULED are no-ops), so this cannot race.
+        task.state.store(RUNNING, Ordering::Release);
+        let Some(mut future) = lock_recovering(&task.future).take() else {
+            // Cancelled between scheduling and polling.
+            task.state.store(DONE, Ordering::Release);
+            continue;
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        // A panicking task poisons nothing outside its own future; the
+        // worker and its queue survive (mirrors how the serving engine
+        // contains a panicking model).
+        let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            future.as_mut().poll(&mut cx)
+        }));
+        match polled {
+            Ok(Poll::Ready(())) => task.state.store(DONE, Ordering::Release),
+            Ok(Poll::Pending) => {
+                // Park the future back before leaving RUNNING, so a wake
+                // arriving after the transition finds it present.
+                *lock_recovering(&task.future) = Some(future);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // NOTIFIED during the poll: run again.
+                    task.state.store(SCHEDULED, Ordering::Release);
+                    injector.push(Arc::clone(&task));
+                }
+            }
+            Err(_) => {
+                // The future panicked: it is already dropped (consumed by
+                // the panic unwinding through `poll`), its completion
+                // guard has flagged the handle, and the task is dead.
+                task.state.store(DONE, Ordering::Release);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskHandle
+// ---------------------------------------------------------------------------
+
+struct HandleInner<T> {
+    result: Option<T>,
+    cancelled: bool,
+    /// Waker of a task awaiting this handle as a future.
+    waker: Option<Waker>,
+}
+
+struct HandleState<T> {
+    inner: Mutex<HandleInner<T>>,
+    cv: Condvar,
+}
+
+/// Flags the handle cancelled when the task's future is dropped without
+/// completing (pool shutdown or a panicking task).
+struct CompletionGuard<T> {
+    handle: Arc<HandleState<T>>,
+    completed: bool,
+}
+
+impl<T> CompletionGuard<T> {
+    fn complete(&mut self, output: T) {
+        self.completed = true;
+        let waker = {
+            let mut inner = lock_recovering(&self.handle.inner);
+            inner.result = Some(output);
+            inner.waker.take()
+        };
+        self.handle.cv.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let waker = {
+            let mut inner = lock_recovering(&self.handle.inner);
+            inner.cancelled = true;
+            inner.waker.take()
+        };
+        self.handle.cv.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// The output side of [`Executor::spawn`]: join it (blocking) or await it
+/// (non-blocking, usable inside another task).
+pub struct TaskHandle<T> {
+    state: Arc<HandleState<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks until the task completes and returns its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was cancelled (its executor was dropped before
+    /// it finished) or its future panicked — the output will never
+    /// arrive, and hanging forever would hide the failure.
+    pub fn join(self) -> T {
+        let mut inner = lock_recovering(&self.state.inner);
+        loop {
+            if let Some(result) = inner.result.take() {
+                return result;
+            }
+            if inner.cancelled {
+                drop(inner);
+                panic!("task cancelled: executor shut down or the task panicked");
+            }
+            inner = self
+                .state
+                .cv
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Returns the output if the task already completed, without blocking
+    /// or consuming the handle.
+    pub fn is_finished(&self) -> bool {
+        let inner = lock_recovering(&self.state.inner);
+        inner.result.is_some() || inner.cancelled
+    }
+}
+
+impl<T> Future for TaskHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = lock_recovering(&self.state.inner);
+        if let Some(result) = inner.result.take() {
+            return Poll::Ready(result);
+        }
+        if inner.cancelled {
+            drop(inner);
+            panic!("task cancelled: executor shut down or the task panicked");
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// yield_now
+// ---------------------------------------------------------------------------
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Reschedules the current task to the back of the run queue once —
+/// cooperative fairness for submission loops that would otherwise
+/// monopolise a worker.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_future_woken_from_another_thread() {
+        // A one-shot condvar-backed cell, the same shape as an engine
+        // ticket: poll stores the waker, a foreign thread stores the
+        // value and wakes.
+        struct Cell {
+            inner: Mutex<(Option<u32>, Option<Waker>)>,
+        }
+        struct CellFut(Arc<Cell>);
+        impl Future for CellFut {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let mut inner = lock_recovering(&self.0.inner);
+                if let Some(v) = inner.0.take() {
+                    return Poll::Ready(v);
+                }
+                inner.1 = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let cell = Arc::new(Cell {
+            inner: Mutex::new((None, None)),
+        });
+        let producer = Arc::clone(&cell);
+        let t = std::thread::spawn(move || {
+            let waker = {
+                let mut inner = lock_recovering(&producer.inner);
+                inner.0 = Some(7);
+                inner.1.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        });
+        assert_eq!(block_on(CellFut(cell)), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn spawned_tasks_all_run_and_join() {
+        let pool = Executor::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<TaskHandle<usize>> = (0..100)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                pool.spawn(async move {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+            })
+            .collect();
+        let sum: usize = handles.into_iter().map(TaskHandle::join).sum();
+        assert_eq!(sum, 99 * 100 / 2);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn handles_are_awaitable_from_other_tasks() {
+        let pool = Executor::new(2);
+        let inner = pool.spawn(async { 10usize });
+        let outer = pool.spawn(async move { inner.await + 1 });
+        assert_eq!(outer.join(), 11);
+    }
+
+    #[test]
+    fn yield_now_reschedules_instead_of_spinning() {
+        let pool = Executor::new(1);
+        // Two tasks on one worker: each yields between increments; both
+        // must make progress (a yield that never rescheduled would leave
+        // the second task starved and this join hanging).
+        let a = pool.spawn(async {
+            for _ in 0..10 {
+                yield_now().await;
+            }
+            1
+        });
+        let b = pool.spawn(async {
+            for _ in 0..10 {
+                yield_now().await;
+            }
+            2
+        });
+        assert_eq!(a.join() + b.join(), 3);
+    }
+
+    #[test]
+    fn dropped_executor_cancels_unfinished_tasks() {
+        // A future that never resolves but does register its waker.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                cx.waker().wake_by_ref();
+                // Yield forever without completing; the wake keeps it
+                // cycling through the queue until shutdown.
+                Poll::Pending
+            }
+        }
+        let pool = Executor::new(1);
+        let handle = pool.spawn(async {
+            Never.await;
+        });
+        drop(pool);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        assert!(err.is_err(), "join on a cancelled task must panic");
+    }
+
+    #[test]
+    fn panicking_task_flags_its_handle_and_spares_the_pool() {
+        let pool = Executor::new(1);
+        let bad = pool.spawn(async {
+            panic!("task panic");
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.join()));
+        assert!(err.is_err(), "join on a panicked task must panic");
+        // The worker survived: new tasks still run.
+        assert_eq!(pool.spawn(async { 5 }).join(), 5);
+    }
+}

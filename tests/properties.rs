@@ -577,6 +577,88 @@ proptest! {
     }
 
     #[test]
+    fn fleet_sessions_match_direct_batch_across_models(
+        order_seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        // The multi-tenant serving contract: whatever the interleaving of
+        // sessions across models and threads, every fleet verdict equals
+        // the owning model's direct predict_batch decision — tenants never
+        // bleed into each other's queues.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let tenants = [6usize, 7, 8]; // LDA, QDA, HMM: cheap inference
+        let shots: Vec<&[Complex]> = (0..n).map(|i| zoo.dataset.raw(i)).collect();
+        let expected: Vec<Vec<Vec<usize>>> = tenants
+            .iter()
+            .map(|&t| zoo.models[t].predict_batch(&shots))
+            .collect();
+
+        let fleet = mlr_core::FleetEngine::new(mlr_core::FleetConfig {
+            engine: mlr_core::EngineConfig {
+                max_batch: 5, // unaligned with the shot count on purpose
+                max_delay: std::time::Duration::from_micros(100),
+                ..mlr_core::EngineConfig::default()
+            },
+            max_models: tenants.len(),
+            ..mlr_core::FleetConfig::default()
+        });
+        for (k, &t) in tenants.iter().enumerate() {
+            fleet
+                .register(k as u64, Box::new(zoo.models[t].clone()))
+                .expect("register tenant");
+        }
+
+        // A seed-keyed shuffle of every (tenant, shot) pair.
+        let mut work: Vec<(usize, usize)> = (0..tenants.len())
+            .flat_map(|m| (0..n).map(move |i| (m, i)))
+            .collect();
+        let mut state = order_seed | 1;
+        for i in (1..work.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            work.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let verdicts: Vec<(usize, usize, Vec<usize>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(work.len().div_ceil(threads))
+                .map(|chunk| {
+                    let fleet = &fleet;
+                    let dataset = &zoo.dataset;
+                    scope.spawn(move || {
+                        // One session per tenant per thread, each in a
+                        // different QoS lane — interleavings cross lanes too.
+                        let sessions: Vec<mlr_core::Session> = (0..tenants.len())
+                            .map(|m| {
+                                fleet
+                                    .session_by_fingerprint(
+                                        m as u64,
+                                        mlr_core::Qos::ALL[m % mlr_core::Qos::CLASSES],
+                                    )
+                                    .expect("registered tenant")
+                            })
+                            .collect();
+                        chunk
+                            .iter()
+                            .map(|&(m, i)| (m, i, sessions[m].submit(dataset.raw(i))))
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .map(|(m, i, t)| (m, i, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        for (m, i, verdict) in verdicts {
+            prop_assert_eq!(&verdict, &expected[m][i], "tenant {} shot {}", m, i);
+        }
+    }
+
+    #[test]
     fn quantized_batch_equals_mapped_quantized_path(
         picks in prop::collection::vec(any::<u64>(), 1..12),
         total_bits in 6u32..17,
