@@ -1,20 +1,25 @@
 //! Criterion benches of the multi-model serving fleet: many sessions ×
-//! many models ([`mlr_bench::fleet::run_fleet_throughput`]) against the
-//! direct-equivalent baseline, plus the overload drain
-//! ([`mlr_bench::fleet::run_fleet_saturation`]).
+//! many models ([`mlr_bench::fleet::run_fleet_throughput`]) — scalar and
+//! vectored (window 64) submission — against the direct-equivalent
+//! baseline, the overload drain
+//! ([`mlr_bench::fleet::run_fleet_saturation`]), and LRU eviction churn
+//! ([`mlr_bench::fleet::run_fleet_eviction_churn`]).
 //!
 //! The acceptance bar (checked continuously by `mlr serve-stats
 //! --check-fleet` in CI): aggregate fleet throughput ≥ 80 % of the
-//! direct-equivalent rate — the time the same shots would take as plain
-//! sequential `predict_batch` calls across the tenants — with zero lost
-//! tickets, and overload absorbed by the shed counters rather than a
-//! hang. The headline println makes the README/CHANGES numbers
-//! reproducible from `cargo bench -p mlr-bench --bench fleet_saturation`.
+//! direct-equivalent rate scalar, ≥ 75 % vectored at window ≥ 64 — the
+//! time the same shots would take as plain sequential `predict_batch`
+//! calls across the tenants — with zero lost tickets, and overload
+//! absorbed by the shed counters rather than a hang. The headline
+//! println makes the README/CHANGES numbers reproducible from
+//! `cargo bench -p mlr-bench --bench fleet_saturation`.
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlr_bench::fleet::{run_fleet_saturation, run_fleet_throughput, FleetScenario};
+use mlr_bench::fleet::{
+    run_fleet_eviction_churn, run_fleet_saturation, run_fleet_throughput, FleetScenario,
+};
 use mlr_core::spec::BoxedDiscriminator;
 use mlr_core::{registry, DiscriminatorSpec, EngineConfig, FleetConfig, FleetEngine};
 use mlr_num::Complex;
@@ -54,7 +59,12 @@ fn bench_fleet(c: &mut Criterion) {
     let scenario = FleetScenario {
         sessions_per_model: 8,
         shots_per_session: 128,
+        window: 1,
         engine: EngineConfig::default(),
+    };
+    let vectored = FleetScenario {
+        window: 64,
+        ..scenario
     };
 
     let fleet = FleetEngine::new(FleetConfig {
@@ -82,6 +92,17 @@ fn bench_fleet(c: &mut Criterion) {
             ))
         })
     });
+    group.bench_function("fleet_2models_8sessions_window64", |b| {
+        b.iter(|| {
+            black_box(run_fleet_throughput(
+                &fleet,
+                &fingerprints,
+                black_box(&f.shots),
+                &vectored,
+                2,
+            ))
+        })
+    });
     group.bench_function("saturation_drain_2models", |b| {
         b.iter(|| {
             let models: Vec<BoxedDiscriminator> = f
@@ -95,6 +116,7 @@ fn bench_fleet(c: &mut Criterion) {
                 &FleetScenario {
                     sessions_per_model: 4,
                     shots_per_session: 64,
+                    window: 1,
                     engine: EngineConfig::with_queue(32),
                 },
             );
@@ -103,26 +125,51 @@ fn bench_fleet(c: &mut Criterion) {
             black_box(report)
         })
     });
+    group.bench_function("eviction_churn_6models_2slots", |b| {
+        b.iter(|| {
+            // Six copies of the two tenants stream through a 2-slot LRU
+            // fleet: every iteration retires four models mid-serve.
+            let models: Vec<BoxedDiscriminator> = (0..6)
+                .map(|i| Box::new(f.tenants[i % f.tenants.len()].1.clone()) as BoxedDiscriminator)
+                .collect();
+            let report = run_fleet_eviction_churn(
+                models,
+                black_box(&f.shots),
+                &FleetScenario {
+                    sessions_per_model: 1,
+                    shots_per_session: 64,
+                    window: 16,
+                    engine: EngineConfig::default(),
+                },
+                2,
+            );
+            assert_eq!(report.lost, 0, "eviction churn lost tickets");
+            assert_eq!(report.evictions, 4, "6 models through 2 slots evict 4");
+            black_box(report)
+        })
+    });
     group.finish();
 
-    // Headline: one measured pass, compared against the direct-equivalent
-    // rate computed from each tenant's own predict_batch rate.
-    let report = run_fleet_throughput(&fleet, &fingerprints, &f.shots, &scenario, 2);
+    // Headline: one measured pass per submission mode, compared against
+    // the direct-equivalent rate from each tenant's own predict_batch rate.
     let shots_per_model =
         vec![(scenario.sessions_per_model * scenario.shots_per_session) as u64; f.tenants.len()];
     let direct_rates: Vec<f64> = f.tenants.iter().map(|(_, _, r)| *r).collect();
-    let efficiency = report.efficiency_vs_direct(&direct_rates, &shots_per_model);
-    println!(
-        "fleet {} models x {} sessions: {:.0} shots/s aggregate, {:.1}% of direct-equivalent \
-         ({} completed, {} shed-retries, {} lost)",
-        report.models,
-        report.sessions,
-        report.aggregate_rate,
-        100.0 * efficiency,
-        report.completed,
-        report.shed_retries,
-        report.lost,
-    );
+    for (label, s) in [("scalar", &scenario), ("window=64", &vectored)] {
+        let report = run_fleet_throughput(&fleet, &fingerprints, &f.shots, s, 2);
+        let efficiency = report.efficiency_vs_direct(&direct_rates, &shots_per_model);
+        println!(
+            "fleet {} models x {} sessions ({label}): {:.0} shots/s aggregate, \
+             {:.1}% of direct-equivalent ({} completed, {} shed-retries, {} lost)",
+            report.models,
+            report.sessions,
+            report.aggregate_rate,
+            100.0 * efficiency,
+            report.completed,
+            report.shed_retries,
+            report.lost,
+        );
+    }
 }
 
 criterion_group!(benches, bench_fleet);

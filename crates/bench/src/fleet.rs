@@ -1,7 +1,7 @@
 //! Multi-tenant serving workloads: the drivers behind `mlr serve-stats`,
 //! the `fleet_saturation` bench and the CI fleet smoke step.
 //!
-//! Two scenarios, both built on [`mlr_core::FleetEngine`]:
+//! Three scenarios, all built on [`mlr_core::FleetEngine`]:
 //!
 //! * **Throughput** ([`run_fleet_throughput`]): many concurrent sessions
 //!   per model submit shots through the admission-controlled path,
@@ -21,6 +21,11 @@
 //!   never by a hang or a lost ticket: once the gates open and the fleet
 //!   drains, `accepted == completed` exactly ([`SaturationReport::lost`]
 //!   is zero). Deterministic by construction: gates, not sleeps.
+//! * **Eviction churn** ([`run_fleet_eviction_churn`]): more models than
+//!   hot slots stream through an LRU-evicting fleet, each served a
+//!   vectored burst before the next registration evicts the coldest.
+//!   Conservation must survive the churn — counters from retired tenants
+//!   fold into the aggregate and no accepted shot is ever lost.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -30,7 +35,8 @@ use exec::Executor;
 use mlr_core::engine::fault::{FaultMode, FaultyDiscriminator, Gate};
 use mlr_core::spec::BoxedDiscriminator;
 use mlr_core::{
-    EngineConfig, EngineStats, FleetConfig, FleetEngine, Qos, Rejected, Session, Ticket,
+    BatchTicket, EngineConfig, EngineStats, EvictPolicy, FleetConfig, FleetEngine, Qos, Rejected,
+    Session, Ticket,
 };
 use mlr_num::Complex;
 
@@ -41,6 +47,11 @@ pub struct FleetScenario {
     pub sessions_per_model: usize,
     /// Shots each session submits.
     pub shots_per_session: usize,
+    /// Shots per submission call. `1` uses the scalar `try_submit` path;
+    /// anything larger submits vectored windows through
+    /// [`Session::try_submit_all`] — one lock, one wake, one
+    /// [`BatchTicket`] per window.
+    pub window: usize,
     /// Per-worker batching and admission policy.
     pub engine: EngineConfig,
 }
@@ -50,6 +61,7 @@ impl Default for FleetScenario {
         Self {
             sessions_per_model: 8,
             shots_per_session: 512,
+            window: 1,
             engine: EngineConfig::default(),
         }
     }
@@ -150,15 +162,79 @@ async fn session_task(
     (completed, shed_retries)
 }
 
+/// One session's *vectored* submission loop: zero-copy `window`-shot
+/// slices through [`Session::try_submit_all_shared`] (the engine clones
+/// `Arc` refcounts instead of memcpying 4 KB per shot), a bounded deque
+/// of in-flight [`BatchTicket`]s, and [`mlr_core::PartialShed`]-aware
+/// backpressure — a shed window keeps its admitted prefix, and the
+/// refused remainder goes through the blocking
+/// [`Session::submit_all_shared`] path, which parks on the queue's space
+/// condvar instead of busy-retrying (a retry loop would re-shed the same
+/// window on every spin and drown the shed counters in noise).
+async fn vectored_session_task(
+    session: Session,
+    shots: Arc<Vec<Arc<[Complex]>>>,
+    offset: usize,
+    count: usize,
+    window: usize,
+) -> (u64, u64) {
+    const MAX_INFLIGHT_WINDOWS: usize = 2;
+    let mut inflight: VecDeque<BatchTicket> = VecDeque::new();
+    let mut completed = 0u64;
+    let mut shed_windows = 0u64;
+    let mut submitted = 0usize;
+    while submitted < count {
+        let take = window.min(count - submitted);
+        let refs: Vec<Arc<[Complex]>> = (0..take)
+            .map(|k| Arc::clone(&shots[(offset + submitted + k) % shots.len()]))
+            .collect();
+        match session.try_submit_all_shared(&refs) {
+            Ok(ticket) => {
+                submitted += take;
+                inflight.push_back(ticket);
+            }
+            Err(shed) => {
+                // The admitted prefix is already queued — account it
+                // before handling the remainder, or shots double-submit.
+                submitted += shed.admitted_count;
+                if let Some(ticket) = shed.admitted {
+                    inflight.push_back(ticket);
+                }
+                match shed.reason {
+                    Rejected::Shed { .. } | Rejected::QueueFull { .. } => {
+                        shed_windows += 1;
+                        let remainder = &refs[shed.admitted_count..];
+                        inflight.push_back(session.submit_all_shared(remainder));
+                        submitted += remainder.len();
+                    }
+                    refusal => panic!("fleet refused a healthy window: {refusal}"),
+                }
+            }
+        }
+        while inflight.len() > MAX_INFLIGHT_WINDOWS {
+            let ticket = inflight.pop_front().expect("bounded inflight deque");
+            let verdicts = ticket.await.expect("fleet worker failed mid-run");
+            completed += verdicts.len() as u64;
+        }
+    }
+    while let Some(ticket) = inflight.pop_front() {
+        let verdicts = ticket.await.expect("fleet worker failed mid-run");
+        completed += verdicts.len() as u64;
+    }
+    (completed, shed_windows)
+}
+
 /// Serves `shots` through every registered tenant of `fleet` from
 /// `scenario.sessions_per_model` concurrent async sessions per model and
 /// measures the aggregate verdict rate.
 ///
 /// `tenants` are the fingerprints to hit (all must be registered or
 /// loadable). Sessions run as tasks on a [`exec::Executor`] with
-/// `executor_threads` workers; each session's submission window is sized
-/// from the engine config so the fleet is kept busy without tripping its
-/// own admission control.
+/// `executor_threads` workers. With `scenario.window == 1` each session
+/// drives the scalar `try_submit` path with an in-flight ticket window
+/// sized from the engine config; with `scenario.window > 1` sessions
+/// submit whole windows through [`Session::try_submit_all`] — one lock
+/// and one wake per window instead of per shot.
 ///
 /// # Panics
 ///
@@ -174,11 +250,21 @@ pub fn run_fleet_throughput(
     assert!(!tenants.is_empty(), "no tenants to serve");
     assert!(!shots.is_empty(), "no shots to submit");
     let sessions_per_model = scenario.sessions_per_model.max(1);
-    // Keep the per-model queue roughly half full when every session's
-    // window is outstanding: deep enough to always have a batch to
-    // flush, shallow enough not to trip the bulk watermark.
-    let window = (scenario.engine.max_queue / (2 * sessions_per_model)).max(1);
-    let shots = Arc::new(shots.to_vec());
+    // Scalar path: keep the per-model queue roughly half full when every
+    // session's ticket window is outstanding — deep enough to always have
+    // a batch to flush, shallow enough not to trip the bulk watermark.
+    let inflight_window = (scenario.engine.max_queue / (2 * sessions_per_model)).max(1);
+    let submit_window = scenario.window.max(1);
+    let shots_owned = Arc::new(shots.to_vec());
+    // The vectored path shares shot storage with the engine zero-copy;
+    // built before the timer, like a control system's pre-pinned DMA
+    // buffers.
+    let shots_shared: Arc<Vec<Arc<[Complex]>>> = Arc::new(
+        shots
+            .iter()
+            .map(|trace| Arc::from(trace.as_slice()))
+            .collect(),
+    );
     let executor = Executor::new(executor_threads.max(1));
 
     let t = Instant::now();
@@ -188,14 +274,19 @@ pub fn run_fleet_throughput(
             let session = fleet
                 .session_by_fingerprint(fingerprint, Qos::Standard)
                 .unwrap_or_else(|e| panic!("tenant {fingerprint:016x}: {e}"));
-            let shots = Arc::clone(&shots);
             let offset = s * scenario.shots_per_session;
             let count = scenario.shots_per_session;
-            handles.push(
-                executor.spawn(
-                    async move { session_task(session, shots, offset, count, window).await },
-                ),
-            );
+            handles.push(if submit_window > 1 {
+                let shots = Arc::clone(&shots_shared);
+                executor.spawn(async move {
+                    vectored_session_task(session, shots, offset, count, submit_window).await
+                })
+            } else {
+                let shots = Arc::clone(&shots_owned);
+                executor.spawn(async move {
+                    session_task(session, shots, offset, count, inflight_window).await
+                })
+            });
         }
     }
     let mut completed = 0u64;
@@ -335,6 +426,92 @@ pub fn run_fleet_saturation(
     }
 }
 
+/// Outcome of a [`run_fleet_eviction_churn`] run.
+#[derive(Debug, Clone)]
+pub struct EvictionChurnReport {
+    /// Models pushed through the fleet.
+    pub registrations: usize,
+    /// Hot slots the fleet was capped at (`max_models`).
+    pub capacity: usize,
+    /// Models LRU-evicted to make room (`registrations - capacity`).
+    pub evictions: u64,
+    /// Shots that resolved with a verdict, across live and evicted
+    /// tenants alike.
+    pub completed: u64,
+    /// Accepted-but-never-resolved tickets — must be zero: eviction may
+    /// retire a model, never a ticket.
+    pub lost: u64,
+    /// Wall-clock seconds for the whole churn.
+    pub elapsed: f64,
+    /// Fleet-wide counter sum *including retired tenants* after the run.
+    pub stats: EngineStats,
+}
+
+/// Streams more models than the fleet has hot slots through an
+/// LRU-evicting [`FleetEngine`], serving a vectored burst on each before
+/// the next registration evicts the coldest, and audits conservation:
+/// every accepted shot resolves even though most tenants are retired by
+/// the end ([`EvictionChurnReport::lost`] is zero).
+///
+/// The fleet is built with `capacity` hot slots and
+/// [`EvictPolicy::Lru`]; `scenario.window` sizes the per-model vectored
+/// bursts (`scenario.shots_per_session` shots per model in total).
+///
+/// # Panics
+///
+/// Panics if a registration is refused — under LRU with every prior
+/// tenant drained, room must always be made — or if a worker fails.
+pub fn run_fleet_eviction_churn(
+    models: Vec<BoxedDiscriminator>,
+    shots: &[Vec<Complex>],
+    scenario: &FleetScenario,
+    capacity: usize,
+) -> EvictionChurnReport {
+    assert!(!models.is_empty(), "no models to churn");
+    assert!(!shots.is_empty(), "no shots to submit");
+    let n_models = models.len();
+    let capacity = capacity.max(1);
+    let window = scenario.window.max(1);
+    let fleet = FleetEngine::new(FleetConfig {
+        engine: scenario.engine,
+        max_models: capacity,
+        evict: EvictPolicy::Lru,
+        ..FleetConfig::default()
+    });
+
+    let t = Instant::now();
+    let mut completed = 0u64;
+    for (i, model) in models.into_iter().enumerate() {
+        fleet
+            .register(i as u64, model)
+            .expect("LRU eviction makes room for every registration");
+        let session = fleet
+            .session_by_fingerprint(i as u64, Qos::Standard)
+            .expect("freshly registered tenant");
+        let mut submitted = 0usize;
+        while submitted < scenario.shots_per_session {
+            let take = window.min(scenario.shots_per_session - submitted);
+            let refs: Vec<&[Complex]> = (0..take)
+                .map(|k| shots[(submitted + k) % shots.len()].as_slice())
+                .collect();
+            completed += session.submit_all(&refs).wait().len() as u64;
+            submitted += take;
+        }
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+
+    let stats = fleet.aggregate_stats();
+    EvictionChurnReport {
+        registrations: n_models,
+        capacity,
+        evictions: n_models.saturating_sub(capacity) as u64,
+        completed,
+        lost: stats.outstanding(),
+        elapsed,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +551,7 @@ mod tests {
         let scenario = FleetScenario {
             sessions_per_model: 3,
             shots_per_session: 50,
+            window: 1,
             engine: EngineConfig::with_queue(32),
         };
         let report = run_fleet_throughput(&fleet, &[0, 1], &pool(16), &scenario, 2);
@@ -386,12 +564,58 @@ mod tests {
     }
 
     #[test]
+    fn vectored_throughput_driver_conserves_and_counts() {
+        let fleet = FleetEngine::new(FleetConfig {
+            engine: EngineConfig::with_queue(32),
+            max_models: 2,
+            ..FleetConfig::default()
+        });
+        fleet.register(0, Box::new(Echo)).unwrap();
+        fleet.register(1, Box::new(Echo)).unwrap();
+        // window 7 does not divide 50: the driver must handle a ragged
+        // tail window and still conserve every shot.
+        let scenario = FleetScenario {
+            sessions_per_model: 3,
+            shots_per_session: 50,
+            window: 7,
+            engine: EngineConfig::with_queue(32),
+        };
+        let report = run_fleet_throughput(&fleet, &[0, 1], &pool(16), &scenario, 2);
+        assert_eq!(report.completed, 2 * 3 * 50);
+        assert_eq!(report.lost, 0, "no vectored window may be lost");
+        assert_eq!(report.stats.completed, report.completed);
+        assert_eq!(report.stats.failed, 0);
+    }
+
+    #[test]
+    fn eviction_churn_driver_conserves_across_retirements() {
+        let scenario = FleetScenario {
+            sessions_per_model: 1,
+            shots_per_session: 20,
+            window: 5,
+            engine: EngineConfig::with_queue(32),
+        };
+        let models: Vec<BoxedDiscriminator> = (0..6)
+            .map(|_| Box::new(Echo) as BoxedDiscriminator)
+            .collect();
+        let report = run_fleet_eviction_churn(models, &pool(8), &scenario, 2);
+        assert_eq!(report.registrations, 6);
+        assert_eq!(report.capacity, 2);
+        assert_eq!(report.evictions, 4, "6 models through 2 slots evict 4");
+        assert_eq!(report.completed, 6 * 20);
+        assert_eq!(report.lost, 0, "eviction may retire models, not tickets");
+        assert_eq!(report.stats.completed, report.completed);
+        assert_eq!(report.stats.failed, 0);
+    }
+
+    #[test]
     fn saturation_sheds_and_conserves() {
         // 4 sessions x 64 shots = 256 >> max_queue(16) + max_batch(4):
         // shedding is guaranteed by construction, not by timing.
         let scenario = FleetScenario {
             sessions_per_model: 4,
             shots_per_session: 64,
+            window: 1,
             engine: EngineConfig {
                 max_batch: 4,
                 max_queue: 16,

@@ -8,13 +8,16 @@
 //! production code runs on [`WallClock`] while tests drive a
 //! [`ManualClock`] whose time only moves when the test says so.
 //!
-//! The design constraint is that the worker waits on the **engine's own**
-//! condvar (releasing the queue lock atomically); the clock cannot wait on
-//! the worker's behalf. So a manual clock instead *subscribes* to the
-//! condvar and notifies it from [`ManualClock::advance`], and tells the
-//! worker (via [`Clock::timeout_until`] returning `None`) to wait untimed:
-//! the only things that can wake it are new work, shutdown, or the test
-//! moving time — never a scheduler race.
+//! The design constraint is that workers wait on their **own** condvar
+//! (releasing their lock atomically) — a solo engine on its queue
+//! condvar, the shared fleet pool on the one pool-wide wake condvar all
+//! `MLR_FLEET_WORKERS` threads share — so the clock cannot wait on a
+//! worker's behalf. A manual clock instead *subscribes* to each condvar
+//! and notifies them all from [`ManualClock::advance`] (one advance
+//! re-evaluates every tenant's flush deadline across the whole pool),
+//! and tells workers (via [`Clock::timeout_until`] returning `None`) to
+//! wait untimed: the only things that can wake them are new work,
+//! shutdown, or the test moving time — never a scheduler race.
 
 use std::sync::{Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};

@@ -1,44 +1,95 @@
-//! Multi-model serving: one micro-batching worker per discriminator
-//! spec, spun up lazily from the registry cache.
+//! Multi-model serving: per-fingerprint tenant queues drained by a
+//! shared bounded worker pool, with models loaded lazily from the
+//! registry cache and (optionally) evicted LRU.
 //!
 //! A [`FleetEngine`] is a map from [`DiscriminatorSpec`] fingerprint to a
-//! running [`ReadoutEngine`], behind one front door: ask for a
+//! serving `Tenant` queue, behind one front door: ask for a
 //! [`FleetEngine::session`] on a spec and the fleet either routes to the
-//! already-running worker or loads the model from the `MLR_MODEL_DIR`
-//! envelope cache ([`crate::registry::find_in_dir`]) and spins one up.
-//! Workers are fully isolated — a model that panics or mis-shapes a
-//! batch fails its own tickets and refuses further work
-//! ([`super::Rejected::WorkerFailed`]), while every other worker keeps
-//! serving; the fault-injection tests pin this.
+//! already-serving tenant or loads the model from the `MLR_MODEL_DIR`
+//! envelope cache ([`crate::registry::find_in_dir`]) and installs one.
+//! Every tenant's queue is drained by the **same** pool of
+//! [`FleetConfig::workers`] threads (`MLR_FLEET_WORKERS`), round-robin
+//! across tenants and lane-priority within each (see `super::pool`) —
+//! so all sessions of one fingerprint merge into one `predict_batch`
+//! call, and serving `n` models costs `workers` threads, not `n`.
+//!
+//! Tenants stay fault-isolated despite the shared threads — a model that
+//! panics or mis-shapes a batch fails its own tickets and refuses further
+//! work ([`super::Rejected::WorkerFailed`]), while every other tenant
+//! keeps serving; a model that *blocks* pins at most the one pool thread
+//! that claimed its batch. The fault-injection tests pin both.
 //!
 //! The fleet adds one admission layer of its own: at most
-//! [`FleetConfig::max_models`] workers ([`FleetError::FleetFull`]), on
-//! top of each worker's per-queue watermarks. Counters aggregate across
-//! workers ([`FleetEngine::aggregate_stats`]) for `mlr serve-stats`.
+//! [`FleetConfig::max_models`] tenants. Past the bound the fleet either
+//! refuses ([`FleetError::FleetFull`], which names the coldest evictable
+//! tenant so callers can act) or — under [`EvictPolicy::Lru`]
+//! (`MLR_FLEET_EVICT=lru`) — retires the least-recently-used *idle*
+//! tenant to make room. Access times are stamped on session opens and
+//! submissions from the engine [`Clock`]; tenants with tickets in flight
+//! are never eviction candidates. Counters aggregate across live and
+//! retired tenants ([`FleetEngine::aggregate_stats`]) for
+//! `mlr serve-stats`, so eviction churn never loses a count.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::model_io::ModelIoError;
 use crate::registry;
 use crate::spec::BoxedDiscriminator;
 use crate::DiscriminatorSpec;
 
-use super::{Clock, EngineConfig, EngineStats, Qos, ReadoutEngine, Session, WallClock};
+use super::pool::WorkerPool;
+use super::{Clock, EngineConfig, EngineStats, Qos, Session, Tenant, WallClock};
+
+/// What the fleet does when [`FleetEngine::register`] or a lazy load
+/// needs a slot past [`FleetConfig::max_models`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictPolicy {
+    /// Refuse with [`FleetError::FleetFull`] (the pre-eviction behaviour,
+    /// and the default).
+    #[default]
+    Refuse,
+    /// Retire the least-recently-used **idle** tenant to make room
+    /// (`MLR_FLEET_EVICT=lru`). Tenants with queued work, a batch being
+    /// classified, or unresolved tickets are pinned and never evicted; if
+    /// nothing is idle the fleet still refuses.
+    Lru,
+}
+
+impl std::str::FromStr for EvictPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "lru" => Ok(EvictPolicy::Lru),
+            "refuse" | "off" | "none" => Ok(EvictPolicy::Refuse),
+            other => Err(format!(
+                "unknown eviction policy '{other}' (expected lru or refuse)"
+            )),
+        }
+    }
+}
 
 /// Sizing and model-source policy of a [`FleetEngine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetConfig {
-    /// Batching and admission policy applied to every worker.
+    /// Batching and admission policy applied to every tenant queue.
     pub engine: EngineConfig,
     /// Directory scanned for saved model envelopes on a fingerprint miss
     /// (the `MLR_MODEL_DIR` cache written by `mlr-bench`).
     pub model_dir: PathBuf,
-    /// Hard bound on concurrently served models; further specs are
-    /// refused with [`FleetError::FleetFull`] rather than spawning
-    /// without limit.
+    /// Hard bound on concurrently served models; what happens past it is
+    /// [`FleetConfig::evict`]'s call.
     pub max_models: usize,
+    /// Worker threads in the shared pool draining every tenant
+    /// (`MLR_FLEET_WORKERS`). Two by default, so one blocking tenant
+    /// cannot stall the whole fleet; clamped to at least one.
+    pub workers: usize,
+    /// Behaviour at the [`FleetConfig::max_models`] bound
+    /// (`MLR_FLEET_EVICT`).
+    pub evict: EvictPolicy,
 }
 
 impl Default for FleetConfig {
@@ -47,6 +98,8 @@ impl Default for FleetConfig {
             engine: EngineConfig::default(),
             model_dir: PathBuf::from("models"),
             max_models: 8,
+            workers: 2,
+            evict: EvictPolicy::Refuse,
         }
     }
 }
@@ -54,8 +107,10 @@ impl Default for FleetConfig {
 impl FleetConfig {
     /// The deployment-facing constructor: defaults overridden by the
     /// `MLR_MODEL_DIR` (model cache directory), `MLR_FLEET_MAX_MODELS`
-    /// (worker bound), `MLR_FLEET_MAX_QUEUE` and `MLR_FLEET_MAX_BATCH`
-    /// (per-worker queue sizing, see [`EngineConfig::with_queue`])
+    /// (tenant bound), `MLR_FLEET_WORKERS` (shared pool size),
+    /// `MLR_FLEET_EVICT` (`lru` to retire cold idle tenants at the
+    /// bound), `MLR_FLEET_MAX_QUEUE` and `MLR_FLEET_MAX_BATCH`
+    /// (per-tenant queue sizing, see [`EngineConfig::with_queue`])
     /// environment variables. Unparsable values fall back to defaults —
     /// serving starts conservatively rather than not at all.
     pub fn from_env() -> Self {
@@ -65,6 +120,14 @@ impl FleetConfig {
         }
         if let Some(n) = env_usize("MLR_FLEET_MAX_MODELS") {
             config.max_models = n.max(1);
+        }
+        if let Some(n) = env_usize("MLR_FLEET_WORKERS") {
+            config.workers = n.max(1);
+        }
+        if let Ok(policy) = std::env::var("MLR_FLEET_EVICT") {
+            if let Ok(policy) = policy.parse() {
+                config.evict = policy;
+            }
         }
         if let Some(n) = env_usize("MLR_FLEET_MAX_QUEUE") {
             config.engine = EngineConfig::with_queue(n);
@@ -81,11 +144,22 @@ fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
+/// The coldest idle tenant at the moment a [`FleetError::FleetFull`] was
+/// raised: what [`EvictPolicy::Lru`] would have retired to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionCandidate {
+    /// The idle tenant's spec fingerprint.
+    pub fingerprint: u64,
+    /// How long since its last session open or submission, on the
+    /// fleet's [`Clock`].
+    pub idle_for: Duration,
+}
+
 /// Why the fleet could not open a session on a spec.
 #[derive(Debug)]
 pub enum FleetError {
-    /// No running worker serves the fingerprint and no envelope in
-    /// [`FleetConfig::model_dir`] matches it.
+    /// No serving tenant matches the fingerprint and no envelope in
+    /// [`FleetConfig::model_dir`] does either.
     UnknownModel {
         /// The requested spec fingerprint.
         fingerprint: u64,
@@ -95,10 +169,14 @@ pub enum FleetError {
     /// A matching envelope exists but failed to load, or the model
     /// directory is unreadable.
     ModelIo(ModelIoError),
-    /// The fleet already serves [`FleetConfig::max_models`] models.
+    /// The fleet already serves [`FleetConfig::max_models`] models and
+    /// the eviction policy did not (or could not) make room.
     FleetFull {
         /// The configured bound.
         limit: usize,
+        /// The coldest idle tenant — what LRU eviction would retire —
+        /// or `None` when every tenant is pinned by work in flight.
+        coldest: Option<EvictionCandidate>,
     },
 }
 
@@ -111,8 +189,17 @@ impl std::fmt::Display for FleetError {
                 dir.display()
             ),
             FleetError::ModelIo(e) => write!(f, "model load failed: {e}"),
-            FleetError::FleetFull { limit } => {
-                write!(f, "fleet already serves its maximum of {limit} models")
+            FleetError::FleetFull { limit, coldest } => {
+                write!(f, "fleet already serves its maximum of {limit} models")?;
+                match coldest {
+                    Some(c) => write!(
+                        f,
+                        "; coldest idle model {:016x} (idle {} µs) is evictable under MLR_FLEET_EVICT=lru",
+                        c.fingerprint,
+                        c.idle_for.as_micros()
+                    ),
+                    None => write!(f, "; every model has tickets in flight — nothing is evictable"),
+                }
             }
         }
     }
@@ -133,22 +220,22 @@ impl From<ModelIoError> for FleetError {
     }
 }
 
-/// One fleet worker's identity and serving counters, as reported by
+/// One fleet tenant's identity and serving counters, as reported by
 /// [`FleetEngine::stats`] (and printed by `mlr serve-stats`).
 #[derive(Debug, Clone)]
 pub struct ModelServeStats {
-    /// The worker's key: [`DiscriminatorSpec::fingerprint`].
+    /// The tenant's key: [`DiscriminatorSpec::fingerprint`].
     pub fingerprint: u64,
     /// The served design's name ([`crate::Discriminator::name`]).
     pub family: String,
-    /// Whether this worker died to a model fault.
+    /// Whether this tenant died to a model fault.
     pub failed: bool,
-    /// The worker's counters.
+    /// The tenant's counters.
     pub stats: EngineStats,
 }
 
-struct FleetWorker {
-    engine: ReadoutEngine,
+struct FleetTenant {
+    tenant: Arc<Tenant>,
     family: String,
 }
 
@@ -156,24 +243,32 @@ struct FleetWorker {
 pub struct FleetEngine {
     config: FleetConfig,
     clock: Arc<dyn Clock>,
-    workers: Mutex<HashMap<u64, FleetWorker>>,
+    tenants: Mutex<HashMap<u64, FleetTenant>>,
+    /// Counters of retired/evicted tenants, folded into
+    /// [`FleetEngine::aggregate_stats`] so churn never loses a count.
+    retired: Mutex<EngineStats>,
+    pool: WorkerPool,
 }
 
 impl FleetEngine {
-    /// An empty fleet timed by the production [`WallClock`]; workers
+    /// An empty fleet timed by the production [`WallClock`]; tenants
     /// appear on demand.
     pub fn new(config: FleetConfig) -> Self {
         Self::with_clock(config, Arc::new(WallClock::new()))
     }
 
-    /// [`FleetEngine::new`] with an injected time source, shared by every
-    /// worker the fleet spins up (one [`super::ManualClock`] can drive
-    /// all flush deadlines in tests).
+    /// [`FleetEngine::new`] with an injected time source, shared by the
+    /// worker pool and every tenant the fleet installs (one
+    /// [`super::ManualClock`] can drive all flush deadlines — and all
+    /// LRU access stamps — in tests).
     pub fn with_clock(config: FleetConfig, clock: Arc<dyn Clock>) -> Self {
+        let pool = WorkerPool::new(config.workers, Arc::clone(&clock), "mlr-fleet-worker");
         Self {
             config,
             clock,
-            workers: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            retired: Mutex::new(EngineStats::default()),
+            pool,
         }
     }
 
@@ -182,30 +277,47 @@ impl FleetEngine {
         &self.config
     }
 
-    /// Installs an already-built model under `fingerprint`, spinning up
-    /// its worker immediately — the test/bench path that skips the disk.
-    /// Replaces (and drains) any worker already serving the key.
+    /// Installs an already-built model under `fingerprint`, serving it
+    /// immediately — the test/bench path that skips the disk. Replaces
+    /// (and drains) any tenant already serving the key.
     ///
     /// # Errors
     ///
     /// [`FleetError::FleetFull`] when the fleet is at
-    /// [`FleetConfig::max_models`] and `fingerprint` is new.
+    /// [`FleetConfig::max_models`], `fingerprint` is new, and the
+    /// eviction policy found nothing to retire.
     pub fn register(&self, fingerprint: u64, model: BoxedDiscriminator) -> Result<(), FleetError> {
         let family = model.name().to_owned();
-        let mut workers = lock(&self.workers);
-        if workers.len() >= self.config.max_models && !workers.contains_key(&fingerprint) {
-            return Err(FleetError::FleetFull {
-                limit: self.config.max_models,
-            });
+        let tenant = Tenant::new(model, self.config.engine, Arc::clone(&self.clock));
+        tenant.touch();
+        let mut outgoing = Vec::new();
+        {
+            let mut tenants = lock(&self.tenants);
+            if !tenants.contains_key(&fingerprint) {
+                if let Some(evicted) = self.make_room(&mut tenants)? {
+                    outgoing.push(evicted);
+                }
+            }
+            if let Some(replaced) = tenants.insert(
+                fingerprint,
+                FleetTenant {
+                    tenant: Arc::clone(&tenant),
+                    family,
+                },
+            ) {
+                outgoing.push(replaced);
+            }
+            self.pool.core().add(fingerprint, tenant);
         }
-        let engine = ReadoutEngine::with_clock(model, self.config.engine, Arc::clone(&self.clock));
-        workers.insert(fingerprint, FleetWorker { engine, family });
+        for old in outgoing {
+            self.retire_tenant(old);
+        }
         Ok(())
     }
 
-    /// Opens a [`Qos::Standard`] session on the worker serving `spec`,
-    /// lazily loading the model from [`FleetConfig::model_dir`] if no
-    /// worker runs yet.
+    /// Opens a [`Qos::Standard`] session on the tenant serving `spec`,
+    /// lazily loading the model from [`FleetConfig::model_dir`] if none
+    /// serves it yet.
     ///
     /// # Errors
     ///
@@ -224,10 +336,12 @@ impl FleetEngine {
     }
 
     /// Opens a session keyed directly by spec fingerprint (the wire-level
-    /// form a serving front end routes on). A fingerprint miss scans
-    /// [`FleetConfig::model_dir`] for a matching envelope
-    /// ([`registry::find_in_dir`]); the load happens under the fleet lock,
-    /// so concurrent first requests for the same model fit it once.
+    /// form a serving front end routes on). A fingerprint miss first
+    /// secures a slot — erroring with [`FleetError::FleetFull`] (or
+    /// evicting, under [`EvictPolicy::Lru`]) *before* touching the disk —
+    /// then scans [`FleetConfig::model_dir`] for a matching envelope
+    /// ([`registry::find_in_dir`]); the load happens under the fleet
+    /// lock, so concurrent first requests for the same model fit it once.
     ///
     /// # Errors
     ///
@@ -237,74 +351,159 @@ impl FleetEngine {
         fingerprint: u64,
         qos: Qos,
     ) -> Result<Session, FleetError> {
-        let mut workers = lock(&self.workers);
-        if let Some(worker) = workers.get(&fingerprint) {
-            return Ok(worker.engine.session_with(qos));
+        let mut tenants = lock(&self.tenants);
+        if let Some(serving) = tenants.get(&fingerprint) {
+            serving.tenant.touch();
+            return Ok(Session::open(
+                Arc::clone(&serving.tenant),
+                self.pool.core(),
+                qos,
+            ));
         }
-        if workers.len() >= self.config.max_models {
-            return Err(FleetError::FleetFull {
-                limit: self.config.max_models,
-            });
-        }
-        let model =
-            registry::find_in_dir(&self.config.model_dir, fingerprint)?.ok_or_else(|| {
-                FleetError::UnknownModel {
+        let evicted = self.make_room(&mut tenants)?;
+        let result = registry::find_in_dir(&self.config.model_dir, fingerprint)
+            .map_err(FleetError::from)
+            .and_then(|found| {
+                found.ok_or_else(|| FleetError::UnknownModel {
                     fingerprint,
                     dir: self.config.model_dir.clone(),
-                }
-            })?;
-        let family = model.spec().family_name().to_owned();
-        let engine =
-            ReadoutEngine::with_clock(Box::new(model), self.config.engine, Arc::clone(&self.clock));
-        let session = engine.session_with(qos);
-        workers.insert(fingerprint, FleetWorker { engine, family });
-        Ok(session)
+                })
+            })
+            .map(|model| {
+                let family = model.spec().family_name().to_owned();
+                let tenant =
+                    Tenant::new(Box::new(model), self.config.engine, Arc::clone(&self.clock));
+                tenant.touch();
+                tenants.insert(
+                    fingerprint,
+                    FleetTenant {
+                        tenant: Arc::clone(&tenant),
+                        family,
+                    },
+                );
+                self.pool.core().add(fingerprint, Arc::clone(&tenant));
+                Session::open(tenant, self.pool.core(), qos)
+            });
+        drop(tenants);
+        // An eviction made for a load that then failed still retires
+        // cleanly — the candidate was idle, so nothing is lost but cache
+        // warmth.
+        if let Some(old) = evicted {
+            self.retire_tenant(old);
+        }
+        result
+    }
+
+    /// Secures one free tenant slot while holding the fleet lock: a no-op
+    /// below [`FleetConfig::max_models`]; at the bound, retires the
+    /// coldest idle tenant (LRU by access stamp) under
+    /// [`EvictPolicy::Lru`] and returns it for the caller to drain, or
+    /// refuses with a [`FleetError::FleetFull`] that names that
+    /// candidate.
+    fn make_room(
+        &self,
+        tenants: &mut HashMap<u64, FleetTenant>,
+    ) -> Result<Option<FleetTenant>, FleetError> {
+        if tenants.len() < self.config.max_models {
+            return Ok(None);
+        }
+        // Ties on the access stamp break by fingerprint so eviction order
+        // is deterministic under a frozen ManualClock.
+        let coldest = tenants
+            .iter()
+            .filter(|(_, t)| t.tenant.is_idle())
+            .min_by_key(|(&fp, t)| (t.tenant.last_access_nanos(), fp))
+            .map(|(&fp, _)| fp);
+        match (self.config.evict, coldest) {
+            (EvictPolicy::Lru, Some(fingerprint)) => {
+                let old = tenants
+                    .remove(&fingerprint)
+                    .expect("coldest fingerprint is present");
+                self.pool.core().remove(fingerprint);
+                Ok(Some(old))
+            }
+            (_, coldest) => Err(FleetError::FleetFull {
+                limit: self.config.max_models,
+                coldest: coldest.map(|fingerprint| EvictionCandidate {
+                    fingerprint,
+                    idle_for: self.clock.now().saturating_sub(Duration::from_nanos(
+                        tenants[&fingerprint].tenant.last_access_nanos(),
+                    )),
+                }),
+            }),
+        }
+    }
+
+    /// Closes a tenant removed from the roster, flushes whatever its
+    /// queue still holds on *this* thread, and folds its counters into
+    /// the retired aggregate.
+    fn retire_tenant(&self, old: FleetTenant) {
+        old.tenant.close();
+        old.tenant.drain_after_close();
+        let snapshot = old.tenant.stats();
+        let mut retired = lock(&self.retired);
+        *retired = retired.merge(&snapshot);
     }
 
     /// Number of models currently served.
     pub fn len(&self) -> usize {
-        lock(&self.workers).len()
+        lock(&self.tenants).len()
     }
 
-    /// Whether no worker is running yet.
+    /// Whether no tenant is serving yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Per-worker serving counters, sorted by fingerprint for stable
+    /// Per-tenant serving counters, sorted by fingerprint for stable
     /// output.
     pub fn stats(&self) -> Vec<ModelServeStats> {
-        let workers = lock(&self.workers);
-        let mut rows: Vec<ModelServeStats> = workers
+        let tenants = lock(&self.tenants);
+        let mut rows: Vec<ModelServeStats> = tenants
             .iter()
-            .map(|(&fingerprint, worker)| ModelServeStats {
+            .map(|(&fingerprint, serving)| ModelServeStats {
                 fingerprint,
-                family: worker.family.clone(),
-                failed: worker.engine.is_failed(),
-                stats: worker.engine.stats(),
+                family: serving.family.clone(),
+                failed: serving.tenant.is_failed(),
+                stats: serving.tenant.stats(),
             })
             .collect();
         rows.sort_by_key(|row| row.fingerprint);
         rows
     }
 
-    /// Fleet-wide counter sum ([`EngineStats::merge`] over every worker).
+    /// Fleet-wide counter sum ([`EngineStats::merge`] over every live
+    /// tenant, plus everything retired or evicted since the fleet
+    /// started) — the conservation-audit view.
     pub fn aggregate_stats(&self) -> EngineStats {
-        lock(&self.workers)
+        let live = lock(&self.tenants)
             .values()
-            .fold(EngineStats::default(), |acc, worker| {
-                acc.merge(&worker.engine.stats())
-            })
+            .fold(EngineStats::default(), |acc, serving| {
+                acc.merge(&serving.tenant.stats())
+            });
+        live.merge(&lock(&self.retired))
     }
 
-    /// Drops the worker serving `fingerprint` (draining its queue),
-    /// freeing its [`FleetConfig::max_models`] slot. Returns whether a
-    /// worker was running. Outstanding tickets still resolve; sessions
-    /// held on the retired worker see it as shut down.
+    /// Retires the tenant serving `fingerprint` (draining its queue on
+    /// this thread), freeing its [`FleetConfig::max_models`] slot.
+    /// Returns whether one was serving. Outstanding tickets still
+    /// resolve; sessions held on the retired tenant see it as shut down,
+    /// and its counters stay in [`FleetEngine::aggregate_stats`].
     pub fn retire(&self, fingerprint: u64) -> bool {
-        lock(&self.workers).remove(&fingerprint).is_some()
+        let old = lock(&self.tenants).remove(&fingerprint);
+        match old {
+            Some(old) => {
+                self.pool.core().remove(fingerprint);
+                self.retire_tenant(old);
+                true
+            }
+            None => false,
+        }
     }
 }
+
+// Dropping the fleet drops its `WorkerPool`, which closes every roster
+// tenant, flushes the remaining queues, and joins the threads.
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex

@@ -7,21 +7,34 @@
 //! control system (or a fleet of concurrent callers) produces them one at
 //! a time. [`ReadoutEngine`] closes that gap the way production model
 //! servers do: callers [`Session::submit`] individual shots from any
-//! thread and get a [`Ticket`] back; a dedicated worker coalesces queued
-//! shots until either `max_batch` is reached or the oldest submission has
+//! thread and get a [`Ticket`] back; a worker coalesces queued shots
+//! until either `max_batch` is reached or the oldest submission has
 //! waited `max_delay`, issues **one** `predict_batch` call for the whole
 //! micro-batch, and resolves every ticket with its per-qubit verdict.
-//! [`FleetEngine`] (in [`fleet`]) runs one such worker per model,
-//! keyed by [`crate::DiscriminatorSpec`] fingerprint and lazily loaded
-//! from the `MLR_MODEL_DIR` registry cache.
+//!
+//! When the caller already holds a *window* of shots — a feedline's worth
+//! of multiplexed readout, not one shot at a time — [`Session::submit_all`]
+//! enqueues the whole window under **one** lock acquisition and one wake
+//! and returns a [`BatchTicket`] that resolves to every verdict in
+//! submission order ([`Session::try_submit_all`] is its non-blocking,
+//! partial-shedding twin). Vectored submission collapses the per-ticket
+//! lock/wake overhead that otherwise caps cheap plan-fused tenants.
+//!
+//! Workers live in a shared `pool`: a bounded set of threads drains
+//! every tenant's queue — lane-priority within a tenant, round-robin
+//! across tenants — so [`FleetEngine`] (in [`fleet`]) serves many models
+//! from `MLR_FLEET_WORKERS` threads instead of one thread per model,
+//! merging all sessions of the same fingerprint into one `predict_batch`
+//! call. A [`ReadoutEngine`] is simply a pool of one thread over one
+//! tenant.
 //!
 //! Verdicts are identical to calling `predict_batch` directly — batching
 //! only changes *when* shots are grouped, never the decision; the
 //! workspace's tests pin this for arbitrary submission orders, thread
-//! counts and model mixes. For plan-served families the worker's
-//! `predict_batch` call executes the compiled single-pass inference plan
-//! ([`crate::CompiledPlan`]), so the engine inherits the fused
-//! standardize+head kernels for free.
+//! counts, window sizes and model mixes. For plan-served families the
+//! worker's `predict_batch` call executes the compiled single-pass
+//! inference plan ([`crate::CompiledPlan`]), so the engine inherits the
+//! fused standardize+head kernels for free.
 //!
 //! Three serving concerns layer on top of the micro-batcher:
 //!
@@ -33,7 +46,8 @@
 //!   submission sheds load with a typed [`Rejected`] verdict once the
 //!   queue crosses the class's watermark ([`EngineConfig`]), so an
 //!   overloaded worker degrades by refusing bulk work, not by stalling
-//!   everyone.
+//!   everyone. [`Session::try_submit_all`] admits the window prefix that
+//!   fits and sheds the rest with a typed [`PartialShed`].
 //! * **Observability** ([`EngineStats`]): request/shed/latency counters
 //!   per worker, surfaced by `mlr serve-stats` and summed fleet-wide.
 //!
@@ -62,24 +76,28 @@
 mod clock;
 pub mod fault;
 pub mod fleet;
+mod pool;
 mod stats;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use fleet::{FleetConfig, FleetEngine, FleetError, ModelServeStats};
+pub use fleet::{
+    EvictPolicy, EvictionCandidate, FleetConfig, FleetEngine, FleetError, ModelServeStats,
+};
 pub use stats::EngineStats;
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mlr_num::Complex;
 
 use crate::spec::BoxedDiscriminator;
+use pool::{PoolCore, WorkerPool};
 use stats::StatCells;
 
 /// Locks a mutex, recovering from poisoning: every engine state
@@ -88,7 +106,7 @@ use stats::StatCells;
 /// *caller* panicked while holding it — e.g. a deliberate
 /// submit-after-shutdown panic, or a waiter that panicked between lock
 /// and wait).
-fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -279,13 +297,51 @@ impl fmt::Display for TicketFailed {
 
 impl std::error::Error for TicketFailed {}
 
-/// One queued shot: the owned trace, the slot its verdict lands in, and
-/// when it entered the queue (anchors the flush deadline and the latency
-/// counters, on the engine's [`Clock`]).
-struct Job {
-    trace: Vec<Complex>,
-    slot: Arc<TicketState>,
+/// One queued shot: its sample storage, the slot its verdict lands in,
+/// and when it entered the queue (anchors the flush deadline and the
+/// latency counters, on the engine's [`Clock`]).
+pub(crate) struct Job {
+    trace: TraceBuf,
+    slot: VerdictSlot,
     submitted_at: Duration,
+}
+
+/// A queued shot's sample storage. Scalar and borrowed-window submission
+/// copy the caller's slice into an engine-owned (recycled) buffer; the
+/// `*_shared` vectored paths enqueue an [`Arc`] clone of caller-owned
+/// storage instead — for fast plan-fused models the 4 KB-per-shot copy
+/// *is* the serving overhead, and sharing removes it.
+pub(crate) enum TraceBuf {
+    Owned(Vec<Complex>),
+    Shared(Arc<[Complex]>),
+}
+
+impl TraceBuf {
+    fn as_slice(&self) -> &[Complex] {
+        match self {
+            TraceBuf::Owned(trace) => trace,
+            TraceBuf::Shared(trace) => trace,
+        }
+    }
+}
+
+/// Where a flushed job's verdict lands: a scalar [`Ticket`] slot, or one
+/// index of a vectored [`BatchTicket`] window.
+enum VerdictSlot {
+    Single(Arc<TicketState>),
+    Window {
+        batch: Arc<BatchState>,
+        index: usize,
+    },
+}
+
+impl VerdictSlot {
+    fn fail(&self) {
+        match self {
+            VerdictSlot::Single(slot) => slot.fail(),
+            VerdictSlot::Window { batch, .. } => batch.fail(),
+        }
+    }
 }
 
 /// Shared resolution state behind a [`Ticket`].
@@ -442,12 +498,211 @@ impl Future for Ticket {
     }
 }
 
-/// Submission queue shared between sessions and the worker.
-struct Shared {
+/// Shared resolution state behind a [`BatchTicket`]: one slot per shot of
+/// the window, a remaining-count, and one condvar/waker for the whole
+/// window.
+struct BatchState {
+    state: Mutex<BatchInner>,
+    ready: Condvar,
+}
+
+struct BatchInner {
+    /// Per-shot verdicts, indexed by submission order within the window.
+    verdicts: Vec<Option<Vec<usize>>>,
+    /// Unresolved slots; the window completes when this reaches zero.
+    remaining: usize,
+    /// A worker fault hit (at least) one shot of the window: the whole
+    /// window's verdict set is unusable, so the ticket fails as a unit.
+    failed: bool,
+    /// Whether the holder is (about to be) blocked in [`BatchTicket::wait`].
+    waiting: bool,
+    /// Waker of a task awaiting the window through its [`Future`] impl.
+    waker: Option<Waker>,
+}
+
+impl BatchState {
+    fn new(len: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(BatchInner {
+                verdicts: vec![None; len],
+                remaining: len,
+                failed: false,
+                waiting: false,
+                waker: None,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Lands a whole run of verdicts from one flush under a single lock
+    /// acquisition — a 64-shot flush of one window pays one lock on the
+    /// resolve path, not 64 — and wakes the holder only when the last
+    /// slot fills: one wake per window, not per shot.
+    fn resolve_many(&self, run: Vec<(usize, Vec<usize>)>) {
+        let (done, waiting, waker) = {
+            let mut inner = lock_recovering(&self.state);
+            for (index, verdict) in run {
+                if inner.verdicts[index].is_none() {
+                    inner.remaining -= 1;
+                }
+                inner.verdicts[index] = Some(verdict);
+            }
+            let done = inner.remaining == 0;
+            let waker = if done { inner.waker.take() } else { None };
+            (done, inner.waiting, waker)
+        };
+        if done {
+            if waiting {
+                self.ready.notify_all();
+            }
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Fails the whole window (worker fault on any of its shots), waking
+    /// waiters immediately.
+    fn fail(&self) {
+        let waker = {
+            let mut inner = lock_recovering(&self.state);
+            inner.failed = true;
+            inner.waker.take()
+        };
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// The pending verdicts for one vectored window submitted with
+/// [`Session::submit_all`] / [`Session::try_submit_all`].
+///
+/// Resolves once every shot of the window has been classified — the
+/// verdicts come back in submission order regardless of how the worker
+/// grouped the window into micro-batches. Like [`Ticket`], it is also a
+/// [`Future`]. If a worker fault hits *any* shot of the window, the whole
+/// ticket fails ([`TicketFailed`]): a partially-classified window is not
+/// a usable readout result.
+pub struct BatchTicket {
+    slot: Arc<BatchState>,
+}
+
+impl fmt::Debug for BatchTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = lock_recovering(&self.slot.state);
+        f.debug_struct("BatchTicket")
+            .field("len", &inner.verdicts.len())
+            .field("pending", &inner.remaining)
+            .field("failed", &inner.failed)
+            .finish()
+    }
+}
+
+impl BatchTicket {
+    /// Number of shots in the window.
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.slot.state).verdicts.len()
+    }
+
+    /// Whether the window holds no shots (an empty window resolves
+    /// immediately).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shots of the window still awaiting a verdict.
+    pub fn pending(&self) -> usize {
+        lock_recovering(&self.slot.state).remaining
+    }
+
+    /// Blocks until every shot of the window is classified and returns
+    /// the per-shot verdicts in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker died before the window completed (see
+    /// [`Ticket::wait`]); use [`BatchTicket::outcome`] to handle the
+    /// failure as a value.
+    pub fn wait(self) -> Vec<Vec<usize>> {
+        match self.outcome() {
+            Ok(verdicts) => verdicts,
+            Err(TicketFailed) => {
+                panic!("ReadoutEngine worker panicked; this window's verdicts were lost")
+            }
+        }
+    }
+
+    /// Blocks until the window completes (`Ok`, verdicts in submission
+    /// order) or its worker fails (`Err`), never panicking.
+    pub fn outcome(self) -> Result<Vec<Vec<usize>>, TicketFailed> {
+        let mut guard = lock_recovering(&self.slot.state);
+        loop {
+            if guard.failed {
+                drop(guard);
+                return Err(TicketFailed);
+            }
+            if guard.remaining == 0 {
+                let verdicts = guard
+                    .verdicts
+                    .iter_mut()
+                    .map(|slot| slot.take().unwrap_or_default())
+                    .collect();
+                return Ok(verdicts);
+            }
+            guard.waiting = true;
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Future for BatchTicket {
+    type Output = Result<Vec<Vec<usize>>, TicketFailed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = lock_recovering(&self.slot.state);
+        if inner.failed {
+            return Poll::Ready(Err(TicketFailed));
+        }
+        if inner.remaining == 0 {
+            let verdicts = inner
+                .verdicts
+                .iter_mut()
+                .map(|slot| slot.take().unwrap_or_default())
+                .collect();
+            return Poll::Ready(Ok(verdicts));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// What [`Session::try_submit_all`] did with a window it could not admit
+/// in full: the prefix that fit (if any) and the typed reason the first
+/// refused shot was shed.
+#[derive(Debug)]
+pub struct PartialShed {
+    /// Ticket covering the admitted window *prefix*, in submission order;
+    /// `None` when the queue had no room for even one shot.
+    pub admitted: Option<BatchTicket>,
+    /// Shots admitted (the prefix length; the rest of the window was
+    /// shed).
+    pub admitted_count: usize,
+    /// Why the first refused shot was shed — the same typed verdicts as
+    /// [`Session::try_submit`].
+    pub reason: Rejected,
+}
+
+/// One tenant of the worker [`pool`]: a model, its lane-prioritised
+/// submission queue, and its serving counters. A [`ReadoutEngine`] owns
+/// exactly one; a [`FleetEngine`] keeps one per fingerprint.
+pub(crate) struct Tenant {
     queue: Mutex<Queue>,
-    /// Signals the worker: new work or shutdown. `Arc` so a
-    /// [`ManualClock`] can subscribe it for deterministic deadline wakes.
-    wake: Arc<Condvar>,
     /// Signals submitters blocked on the [`EngineConfig::max_queue`]
     /// backpressure bound: space freed or shutdown.
     space: Condvar,
@@ -455,10 +710,16 @@ struct Shared {
     clock: Arc<dyn Clock>,
     /// Serving counters, updated lock-free on the submit/resolve paths.
     stats: StatCells,
-    /// The batching policy, mirrored out of the config so submitters know
-    /// when a notify is worth a syscall and what each class's admission
-    /// watermark is.
+    /// The batching policy (clamped: `max_queue >= max_batch`).
     config: EngineConfig,
+    /// The served model. [`crate::Discriminator`] is `Sync`, so any pool
+    /// thread may call `predict_batch` on it.
+    model: BoxedDiscriminator,
+    /// Cached `model.n_qubits()` for the output shape check.
+    n_qubits: usize,
+    /// Nanoseconds (on the engine clock) of the last session open or
+    /// submission — the fleet's LRU eviction stamp.
+    last_access: AtomicU64,
 }
 
 struct Queue {
@@ -472,6 +733,10 @@ struct Queue {
     /// micro-batch of traces instead of one per queued shot — cache
     /// pressure directly measurable in the `engine_throughput` bench).
     spare_buffers: Vec<Vec<Complex>>,
+    /// A pool thread is classifying a batch drained from this queue;
+    /// exactly one drainer per tenant at a time keeps flush order
+    /// deterministic and pins the tenant against eviction.
+    draining: bool,
     closed: bool,
     /// `closed` because the worker died (model fault), not a clean
     /// shutdown — distinguishes [`Rejected::WorkerFailed`] from
@@ -506,15 +771,295 @@ impl Queue {
     }
 }
 
-/// A cloneable handle for submitting shots to a [`ReadoutEngine`] from any
-/// thread, carrying its [`Qos`] class.
+/// Whether an enqueue that moved the queue from `pre` to `post` jobs must
+/// wake a pool thread. Only the transitions a worker can act on are worth
+/// the syscall: the queue becoming non-empty (a thread may be
+/// idle-waiting) or crossing the flush size (a thread may be
+/// deadline-waiting; threads rescan after every drain, so the crossing is
+/// hit exactly once per flush). Anything else would wake a thread just to
+/// go back to sleep — on a busy engine that is one context switch per
+/// shot, and it dominates serving overhead.
+fn wake_worthy(pre: usize, post: usize, max_batch: usize) -> bool {
+    (pre == 0 && post > 0) || (pre < max_batch && post >= max_batch)
+}
+
+impl Tenant {
+    /// Builds a tenant around a model, clamping the config like
+    /// [`ReadoutEngine::with_clock`] documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.max_queue` is zero.
+    fn new(
+        model: BoxedDiscriminator,
+        mut config: EngineConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.max_queue > 0, "max_queue must be positive");
+        config.max_queue = config.max_queue.max(config.max_batch);
+        let n_qubits = model.n_qubits();
+        Arc::new(Self {
+            queue: Mutex::new(Queue {
+                lanes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                spare_buffers: Vec::new(),
+                draining: false,
+                closed: false,
+                failed: false,
+            }),
+            space: Condvar::new(),
+            clock,
+            stats: StatCells::default(),
+            config,
+            model,
+            n_qubits,
+            last_access: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    pub(crate) fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn is_failed(&self) -> bool {
+        lock_recovering(&self.queue).failed
+    }
+
+    /// Stamps the LRU clock: called on session open (the submit paths
+    /// stamp from the enqueue timestamp instead).
+    pub(crate) fn touch(&self) {
+        self.stamp_access(self.clock.now());
+    }
+
+    fn stamp_access(&self, at: Duration) {
+        let nanos = u64::try_from(at.as_nanos()).unwrap_or(u64::MAX);
+        self.last_access.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The LRU stamp, in nanoseconds on the engine clock.
+    pub(crate) fn last_access_nanos(&self) -> u64 {
+        self.last_access.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing pins this tenant: no queued work, no batch being
+    /// classified, no unresolved ticket. Only idle tenants are LRU
+    /// eviction candidates — tickets in flight pin their worker.
+    pub(crate) fn is_idle(&self) -> bool {
+        let queue = lock_recovering(&self.queue);
+        !queue.draining && queue.len == 0 && self.stats.snapshot().outstanding() == 0
+    }
+
+    /// Closes the queue: submissions are refused from here on. Queued
+    /// work is *not* dropped — a pool thread (or
+    /// [`Tenant::drain_after_close`]) still flushes it.
+    pub(crate) fn close(&self) {
+        {
+            let mut queue = lock_recovering(&self.queue);
+            queue.closed = true;
+        }
+        self.space.notify_all();
+    }
+
+    /// If this tenant has a flushable batch (full, past deadline, or
+    /// closed) and no other thread is draining it, claims it: marks the
+    /// queue draining and returns the batch. The caller must hand the
+    /// batch to [`Tenant::classify_and_resolve`] with
+    /// `clear_draining = true`.
+    pub(crate) fn try_begin_drain(&self, now: Duration) -> Option<Vec<Job>> {
+        let mut queue = lock_recovering(&self.queue);
+        if queue.draining || queue.len == 0 {
+            return None;
+        }
+        let deadline_hit = queue
+            .oldest_submission()
+            .is_some_and(|oldest| now >= oldest + self.config.max_delay);
+        if !(queue.closed || queue.len >= self.config.max_batch || deadline_hit) {
+            return None;
+        }
+        queue.draining = true;
+        Some(queue.drain_batch(self.config.max_batch))
+    }
+
+    /// Queue length, plus the flush deadline if the queue holds
+    /// not-yet-drainable work (the pool's sleep bound). `None` deadline
+    /// when empty, closed, or another thread is already draining.
+    pub(crate) fn pending_deadline(&self) -> (usize, Option<Duration>) {
+        let queue = lock_recovering(&self.queue);
+        let deadline = if queue.len > 0 && !queue.draining && !queue.closed {
+            queue
+                .oldest_submission()
+                .map(|oldest| oldest + self.config.max_delay)
+        } else {
+            None
+        };
+        (queue.len, deadline)
+    }
+
+    /// Classifies one drained batch in a single `predict_batch` call and
+    /// resolves its tickets; on a model fault (panic *or* wrong-shape
+    /// output) fails every outstanding ticket loudly and closes the
+    /// tenant. `clear_draining` is set by pool threads that claimed the
+    /// batch via [`Tenant::try_begin_drain`].
+    pub(crate) fn classify_and_resolve(&self, batch: Vec<Job>, clear_draining: bool) {
+        let shots: Vec<&[Complex]> = batch.iter().map(|job| job.trace.as_slice()).collect();
+        let verdicts = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.model.predict_batch(&shots)
+        }));
+        drop(shots);
+        // A panic and a wrong-shape output are the same fault: this
+        // model can no longer be trusted to resolve tickets.
+        let verdicts = match verdicts {
+            Ok(verdicts)
+                if verdicts.len() == batch.len()
+                    && verdicts.iter().all(|v| v.len() == self.n_qubits) =>
+            {
+                verdicts
+            }
+            _ => {
+                self.fail_with(batch, clear_draining);
+                return;
+            }
+        };
+        self.stats.record_flush(batch.len());
+        let resolved_at = self.clock.now();
+        let n = batch.len() as u64;
+        let mut latency_sum = 0u64;
+        let mut latency_max = 0u64;
+        let mut resolved = Vec::with_capacity(batch.len());
+        let mut buffers = Vec::with_capacity(batch.len());
+        for (job, verdict) in batch.into_iter().zip(verdicts) {
+            let ns = u64::try_from(resolved_at.saturating_sub(job.submitted_at).as_nanos())
+                .unwrap_or(u64::MAX);
+            latency_sum = latency_sum.saturating_add(ns);
+            latency_max = latency_max.max(ns);
+            resolved.push((job.slot, verdict));
+            // Shared traces belong to the submitter; only engine-owned
+            // buffers go back to the recycle pool.
+            if let TraceBuf::Owned(buf) = job.trace {
+                buffers.push(buf);
+            }
+        }
+        // Stats before the wake: a caller returning from `wait` must
+        // already see its own completion counted.
+        self.stats
+            .record_completed_batch(n, latency_sum, latency_max);
+        // Hand the flushed traces back to the submission pool (bounded at
+        // the queue depth so an idle engine does not pin memory) and
+        // release the drain claim *before* resolving: a holder returning
+        // from `wait` must already find the tenant idle (the fleet's
+        // eviction pin reads exactly this).
+        {
+            let mut queue = lock_recovering(&self.queue);
+            if clear_draining {
+                queue.draining = false;
+            }
+            let cap = self.config.max_queue;
+            while queue.spare_buffers.len() < cap {
+                match buffers.pop() {
+                    Some(buf) => queue.spare_buffers.push(buf),
+                    None => break,
+                }
+            }
+        }
+        // Resolve in runs: consecutive shots of the same vectored window
+        // land under one BatchState lock via `resolve_many`; scalar
+        // tickets resolve individually as before.
+        type Run = (Arc<BatchState>, Vec<(usize, Vec<usize>)>);
+        let mut pending: Option<Run> = None;
+        for (slot, verdict) in resolved {
+            match slot {
+                VerdictSlot::Single(ticket) => {
+                    if let Some((prev, run)) = pending.take() {
+                        prev.resolve_many(run);
+                    }
+                    ticket.resolve(verdict);
+                }
+                VerdictSlot::Window { batch, index } => match &mut pending {
+                    Some((current, run)) if Arc::ptr_eq(current, &batch) => {
+                        run.push((index, verdict));
+                    }
+                    _ => {
+                        if let Some((prev, run)) = pending.take() {
+                            prev.resolve_many(run);
+                        }
+                        pending = Some((batch, vec![(index, verdict)]));
+                    }
+                },
+            }
+        }
+        if let Some((batch, run)) = pending.take() {
+            batch.resolve_many(run);
+        }
+        // Backpressured submitters move up.
+        self.space.notify_all();
+    }
+
+    /// The fail-loudly path: mark every outstanding ticket failed, close
+    /// the tenant, and wake everyone — waiters see the failure,
+    /// submitters are refused.
+    fn fail_with(&self, batch: Vec<Job>, clear_draining: bool) {
+        let queued = {
+            let mut queue = lock_recovering(&self.queue);
+            queue.closed = true;
+            queue.failed = true;
+            queue.len = 0;
+            if clear_draining {
+                queue.draining = false;
+            }
+            std::mem::replace(&mut queue.lanes, std::array::from_fn(|_| VecDeque::new()))
+        };
+        // Count before waking anyone: a waiter that sees its ticket fail
+        // must already find the failure in the stats.
+        let jobs: Vec<Job> = batch
+            .into_iter()
+            .chain(queued.into_iter().flatten())
+            .collect();
+        self.stats.record_failed(jobs.len());
+        for job in jobs {
+            job.slot.fail();
+        }
+        self.space.notify_all();
+    }
+
+    /// Synchronously flushes everything still queued on a closed tenant —
+    /// the fleet's retire/evict path runs this on the caller's thread so
+    /// a retired tenant's tickets resolve even after it leaves the pool
+    /// roster. Safe alongside a pool thread finishing its last claimed
+    /// batch: each job is drained exactly once, and concurrent
+    /// `predict_batch` calls are fine (`Discriminator: Sync`).
+    pub(crate) fn drain_after_close(&self) {
+        loop {
+            let batch = {
+                let mut queue = lock_recovering(&self.queue);
+                if queue.len == 0 {
+                    break;
+                }
+                queue.drain_batch(self.config.max_batch)
+            };
+            self.classify_and_resolve(batch, false);
+        }
+    }
+}
+
+/// A cloneable handle for submitting shots to a [`ReadoutEngine`] or
+/// [`FleetEngine`] tenant from any thread, carrying its [`Qos`] class.
 #[derive(Clone)]
 pub struct Session {
-    shared: Arc<Shared>,
+    tenant: Arc<Tenant>,
+    pool: Arc<PoolCore>,
     qos: Qos,
 }
 
 impl Session {
+    pub(crate) fn open(tenant: Arc<Tenant>, pool: Arc<PoolCore>, qos: Qos) -> Self {
+        Self { tenant, pool, qos }
+    }
+
     /// This session's priority class.
     pub fn qos(&self) -> Qos {
         self.qos
@@ -539,21 +1084,31 @@ impl Session {
     pub fn submit(&self, raw: &[Complex]) -> Ticket {
         let slot = TicketState::new();
         let must_wake = {
-            let mut queue = lock_recovering(&self.shared.queue);
+            let mut queue = lock_recovering(&self.tenant.queue);
             // Backpressure: wait for queue space rather than buffering
             // without bound (see `EngineConfig::max_queue`).
-            while queue.len >= self.shared.config.max_queue && !queue.closed {
+            while queue.len >= self.tenant.config.max_queue && !queue.closed {
                 queue = self
-                    .shared
+                    .tenant
                     .space
                     .wait(queue)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             assert!(!queue.closed, "submit on a shut-down ReadoutEngine");
-            self.enqueue(&mut queue, raw, &slot)
+            let pre = queue.len;
+            let trace = raw.to_buf(&mut queue);
+            let submitted_at = self.stamp_now();
+            self.enqueue(
+                &mut queue,
+                trace,
+                VerdictSlot::Single(Arc::clone(&slot)),
+                submitted_at,
+            );
+            self.tenant.stats.record_submit(self.qos, queue.len);
+            wake_worthy(pre, queue.len, self.tenant.config.max_batch)
         };
         if must_wake {
-            self.shared.wake.notify_one();
+            self.pool.wake_one();
         }
         Ticket { slot }
     }
@@ -571,9 +1126,9 @@ impl Session {
     pub fn try_submit(&self, raw: &[Complex]) -> Result<Ticket, Rejected> {
         let slot = TicketState::new();
         let must_wake = {
-            let mut queue = lock_recovering(&self.shared.queue);
+            let mut queue = lock_recovering(&self.tenant.queue);
             if queue.closed {
-                self.shared.stats.record_rejected_closed();
+                self.tenant.stats.record_rejected_closed();
                 return Err(if queue.failed {
                     Rejected::WorkerFailed
                 } else {
@@ -581,10 +1136,10 @@ impl Session {
                 });
             }
             let depth = queue.len;
-            let watermark = self.shared.config.watermark(self.qos);
+            let watermark = self.tenant.config.watermark(self.qos);
             if depth >= watermark {
-                self.shared.stats.record_shed(self.qos);
-                return Err(if depth >= self.shared.config.max_queue {
+                self.tenant.stats.record_shed(self.qos);
+                return Err(if depth >= self.tenant.config.max_queue {
                     Rejected::QueueFull { depth }
                 } else {
                     Rejected::Shed {
@@ -594,47 +1149,257 @@ impl Session {
                     }
                 });
             }
-            self.enqueue(&mut queue, raw, &slot)
+            let pre = queue.len;
+            let trace = raw.to_buf(&mut queue);
+            let submitted_at = self.stamp_now();
+            self.enqueue(
+                &mut queue,
+                trace,
+                VerdictSlot::Single(Arc::clone(&slot)),
+                submitted_at,
+            );
+            self.tenant.stats.record_submit(self.qos, queue.len);
+            wake_worthy(pre, queue.len, self.tenant.config.max_batch)
         };
         if must_wake {
-            self.shared.wake.notify_one();
+            self.pool.wake_one();
         }
         Ok(Ticket { slot })
     }
 
-    /// Pushes the job into this session's lane; returns whether the
-    /// worker needs a wake.
-    fn enqueue(&self, queue: &mut Queue, raw: &[Complex], slot: &Arc<TicketState>) -> bool {
-        let mut trace = queue.spare_buffers.pop().unwrap_or_default();
-        trace.clear();
-        trace.extend_from_slice(raw);
+    /// Vectored submission: enqueues a whole window of shots under one
+    /// lock acquisition and (at most) one worker wake per queue refill,
+    /// instead of a lock+wake pair per shot. The returned [`BatchTicket`]
+    /// resolves to every verdict in submission order.
+    ///
+    /// Like [`Session::submit`] this is the blocking-backpressure path: a
+    /// window larger than the queue's free space is enqueued in chunks,
+    /// waiting for the worker to make room — the caller never sheds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has shut down (see [`Session::submit`]); any
+    /// already-enqueued prefix of the window is still classified or
+    /// failed, never lost.
+    pub fn submit_all(&self, window: &[&[Complex]]) -> BatchTicket {
+        self.submit_all_inner(window)
+    }
+
+    /// Zero-copy [`Session::submit_all`]: the window shares the caller's
+    /// [`Arc`]-owned shot storage instead of copying each trace into the
+    /// queue. For plan-fused models whose per-shot compute is comparable
+    /// to a trace memcpy, the copy *is* the serving overhead — this is
+    /// the path that lets cheap tenants track their direct-equivalent
+    /// rate. The engine drops its refcounts as each flush resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has shut down, exactly like
+    /// [`Session::submit_all`].
+    pub fn submit_all_shared(&self, window: &[Arc<[Complex]>]) -> BatchTicket {
+        self.submit_all_inner(window)
+    }
+
+    fn submit_all_inner<T: TraceSource>(&self, window: &[T]) -> BatchTicket {
+        let batch = BatchState::new(window.len());
+        let mut next = 0;
+        while next < window.len() {
+            let must_wake = {
+                let mut queue = lock_recovering(&self.tenant.queue);
+                while queue.len >= self.tenant.config.max_queue && !queue.closed {
+                    queue = self
+                        .tenant
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                assert!(!queue.closed, "submit on a shut-down ReadoutEngine");
+                let room = self.tenant.config.max_queue - queue.len;
+                let take = room.min(window.len() - next);
+                let pre = queue.len;
+                let submitted_at = self.stamp_now();
+                for offset in 0..take {
+                    let trace = window[next + offset].to_buf(&mut queue);
+                    self.enqueue(
+                        &mut queue,
+                        trace,
+                        VerdictSlot::Window {
+                            batch: Arc::clone(&batch),
+                            index: next + offset,
+                        },
+                        submitted_at,
+                    );
+                }
+                next += take;
+                self.tenant.stats.record_submit_n(self.qos, take, queue.len);
+                wake_worthy(pre, queue.len, self.tenant.config.max_batch)
+            };
+            if must_wake {
+                self.pool.wake_one();
+            }
+        }
+        BatchTicket { slot: batch }
+    }
+
+    /// Non-blocking vectored submission: admits the longest window
+    /// *prefix* that fits under this class's watermark
+    /// ([`EngineConfig::watermark`]) — still one lock acquisition and at
+    /// most one wake — and sheds the rest with a typed [`PartialShed`].
+    ///
+    /// # Errors
+    ///
+    /// [`PartialShed`] when any shot was refused: it carries the ticket
+    /// for the admitted prefix (if any) plus the same typed
+    /// [`Rejected`] reason [`Session::try_submit`] would give the first
+    /// refused shot. A fully-admitted window returns `Ok`.
+    pub fn try_submit_all(&self, window: &[&[Complex]]) -> Result<BatchTicket, PartialShed> {
+        self.try_submit_all_inner(window)
+    }
+
+    /// Zero-copy [`Session::try_submit_all`]: admission control and typed
+    /// partial shedding over windows that share the caller's
+    /// [`Arc`]-owned shot storage (see [`Session::submit_all_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PartialShed`] exactly as [`Session::try_submit_all`].
+    pub fn try_submit_all_shared(
+        &self,
+        window: &[Arc<[Complex]>],
+    ) -> Result<BatchTicket, PartialShed> {
+        self.try_submit_all_inner(window)
+    }
+
+    fn try_submit_all_inner<T: TraceSource>(
+        &self,
+        window: &[T],
+    ) -> Result<BatchTicket, PartialShed> {
+        let n = window.len();
+        let (result, must_wake) = {
+            let mut queue = lock_recovering(&self.tenant.queue);
+            if queue.closed {
+                self.tenant.stats.record_rejected_closed_n(n);
+                return Err(PartialShed {
+                    admitted: None,
+                    admitted_count: 0,
+                    reason: if queue.failed {
+                        Rejected::WorkerFailed
+                    } else {
+                        Rejected::ShuttingDown
+                    },
+                });
+            }
+            let watermark = self.tenant.config.watermark(self.qos);
+            let take = watermark.saturating_sub(queue.len).min(n);
+            let batch = BatchState::new(take);
+            let pre = queue.len;
+            if take > 0 {
+                let submitted_at = self.stamp_now();
+                for (offset, raw) in window.iter().enumerate().take(take) {
+                    let trace = raw.to_buf(&mut queue);
+                    self.enqueue(
+                        &mut queue,
+                        trace,
+                        VerdictSlot::Window {
+                            batch: Arc::clone(&batch),
+                            index: offset,
+                        },
+                        submitted_at,
+                    );
+                }
+            }
+            if take > 0 {
+                self.tenant.stats.record_submit_n(self.qos, take, queue.len);
+            }
+            let must_wake = wake_worthy(pre, queue.len, self.tenant.config.max_batch);
+            let ticket = BatchTicket { slot: batch };
+            if take == n {
+                (Ok(ticket), must_wake)
+            } else {
+                self.tenant.stats.record_shed_n(self.qos, n - take);
+                let depth = queue.len;
+                let reason = if depth >= self.tenant.config.max_queue {
+                    Rejected::QueueFull { depth }
+                } else {
+                    Rejected::Shed {
+                        qos: self.qos,
+                        depth,
+                        watermark,
+                    }
+                };
+                (
+                    Err(PartialShed {
+                        admitted: (take > 0).then_some(ticket),
+                        admitted_count: take,
+                        reason,
+                    }),
+                    must_wake,
+                )
+            }
+        };
+        if must_wake {
+            self.pool.wake_one();
+        }
+        result
+    }
+
+    /// Reads the clock once and stamps the tenant's LRU access time:
+    /// vectored windows pay one clock read per chunk, not per shot.
+    fn stamp_now(&self) -> Duration {
+        let now = self.tenant.clock.now();
+        self.tenant.stamp_access(now);
+        now
+    }
+
+    /// Pushes one job into this session's lane. Callers stamp the clock
+    /// ([`Session::stamp_now`]), record stats and decide the wake.
+    fn enqueue(
+        &self,
+        queue: &mut Queue,
+        trace: TraceBuf,
+        slot: VerdictSlot,
+        submitted_at: Duration,
+    ) {
         queue.lanes[self.qos as usize].push_back(Job {
             trace,
-            slot: Arc::clone(slot),
-            submitted_at: self.shared.clock.now(),
+            slot,
+            submitted_at,
         });
         queue.len += 1;
-        self.shared.stats.record_submit(self.qos, queue.len);
-        // Wake the worker only on the transitions it can act on: the
-        // queue becoming non-empty (it may be idle-waiting) or
-        // crossing the flush size (it may be deadline-waiting; it
-        // never waits with a full batch queued, so the == transition
-        // is hit exactly once per flush). Anything else would wake it
-        // just to go back to sleep — on a busy engine that is one
-        // context switch per shot, and it dominates serving overhead.
-        queue.len == 1 || queue.len == self.shared.config.max_batch
+    }
+}
+
+/// Internal: how each submission path materialises a queued [`TraceBuf`].
+/// Borrowed slices copy into a recycled engine-owned buffer; `Arc` shots
+/// clone the refcount and share the caller's storage zero-copy.
+trait TraceSource {
+    fn to_buf(&self, queue: &mut Queue) -> TraceBuf;
+}
+
+impl TraceSource for &[Complex] {
+    fn to_buf(&self, queue: &mut Queue) -> TraceBuf {
+        let mut trace = queue.spare_buffers.pop().unwrap_or_default();
+        trace.clear();
+        trace.extend_from_slice(self);
+        TraceBuf::Owned(trace)
+    }
+}
+
+impl TraceSource for Arc<[Complex]> {
+    fn to_buf(&self, _queue: &mut Queue) -> TraceBuf {
+        TraceBuf::Shared(Arc::clone(self))
     }
 }
 
 /// The micro-batching serving front door; see the [module docs](self).
 ///
 /// Owns the trained model (any [`crate::Discriminator`], typically a
-/// [`crate::TrainedModel`] from the registry) and one worker thread.
-/// Dropping the engine flushes the remaining queue and joins the worker;
-/// outstanding tickets still resolve.
+/// [`crate::TrainedModel`] from the registry) and a single-thread worker
+/// `pool`. Dropping the engine flushes the remaining queue and joins
+/// the worker; outstanding tickets still resolve.
 pub struct ReadoutEngine {
-    shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    tenant: Arc<Tenant>,
+    pool: WorkerPool,
     config: EngineConfig,
 }
 
@@ -657,36 +1422,16 @@ impl ReadoutEngine {
     /// Panics if `config.max_batch` or `config.max_queue` is zero.
     pub fn with_clock(
         model: BoxedDiscriminator,
-        mut config: EngineConfig,
+        config: EngineConfig,
         clock: Arc<dyn Clock>,
     ) -> Self {
-        assert!(config.max_batch > 0, "max_batch must be positive");
-        assert!(config.max_queue > 0, "max_queue must be positive");
-        config.max_queue = config.max_queue.max(config.max_batch);
-        let wake = Arc::new(Condvar::new());
-        clock.subscribe(&wake);
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
-                lanes: std::array::from_fn(|_| VecDeque::new()),
-                len: 0,
-                spare_buffers: Vec::new(),
-                closed: false,
-                failed: false,
-            }),
-            wake,
-            space: Condvar::new(),
-            clock,
-            stats: StatCells::default(),
-            config,
-        });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("mlr-readout-engine".to_owned())
-            .spawn(move || worker_loop(model, &worker_shared, config))
-            .expect("spawn engine worker");
+        let tenant = Tenant::new(model, config, Arc::clone(&clock));
+        let config = tenant.config();
+        let pool = WorkerPool::new(1, clock, "mlr-readout-engine");
+        pool.core().add(0, Arc::clone(&tenant));
         Self {
-            shared,
-            worker: Some(worker),
+            tenant,
+            pool,
             config,
         }
     }
@@ -704,165 +1449,30 @@ impl ReadoutEngine {
 
     /// Opens a submission handle with an explicit priority class.
     pub fn session_with(&self, qos: Qos) -> Session {
-        Session {
-            shared: Arc::clone(&self.shared),
-            qos,
-        }
+        Session::open(Arc::clone(&self.tenant), self.pool.core(), qos)
     }
 
     /// A snapshot of this worker's serving counters.
     pub fn stats(&self) -> EngineStats {
-        self.shared.stats.snapshot()
+        self.tenant.stats()
     }
 
     /// Whether the worker died to a model fault (every subsequent
     /// submission is refused; outstanding tickets were failed loudly).
     pub fn is_failed(&self) -> bool {
-        lock_recovering(&self.shared.queue).failed
+        self.tenant.is_failed()
     }
 
     /// Convenience: submit a batch of shots through one session and wait
-    /// for all verdicts, in input order.
+    /// for all verdicts, in input order — one vectored
+    /// [`Session::submit_all`] under the hood.
     pub fn classify_all(&self, shots: &[&[Complex]]) -> Vec<Vec<usize>> {
-        let session = self.session();
-        let tickets: Vec<Ticket> = shots.iter().map(|raw| session.submit(raw)).collect();
-        tickets.into_iter().map(Ticket::wait).collect()
+        self.session().submit_all(shots).wait()
     }
 }
 
-impl Drop for ReadoutEngine {
-    fn drop(&mut self) {
-        {
-            let mut queue = lock_recovering(&self.shared.queue);
-            queue.closed = true;
-        }
-        self.shared.wake.notify_all();
-        self.shared.space.notify_all();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
-    }
-}
-
-/// The worker: wait for work, coalesce a micro-batch (up to `max_batch`
-/// shots or `max_delay` past the oldest submission, on the engine's
-/// [`Clock`]), classify it in one `predict_batch` call, resolve the
-/// tickets; on shutdown drain whatever is queued. A model fault — a panic
-/// *or* a wrong-shape output (batch or per-shot verdict length mismatch)
-/// — fails all outstanding tickets loudly and closes the engine (see the
-/// fault-injection tests).
-fn worker_loop(model: BoxedDiscriminator, shared: &Shared, config: EngineConfig) {
-    let n_qubits = model.n_qubits();
-    loop {
-        let batch = {
-            let mut queue = lock_recovering(&shared.queue);
-            // Phase 1: sleep until there is at least one job (or shutdown).
-            while queue.len == 0 && !queue.closed {
-                queue = shared
-                    .wake
-                    .wait(queue)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-            if queue.len == 0 && queue.closed {
-                return;
-            }
-            // Phase 2: the oldest job's *submission* starts the flush
-            // clock (so a shot queued while the previous batch was being
-            // classified does not have its wait restarted); top the batch
-            // up until it is full, the deadline passes, or shutdown.
-            while queue.len < config.max_batch && !queue.closed {
-                let deadline =
-                    queue.oldest_submission().expect("nonempty queue") + config.max_delay;
-                if shared.clock.now() >= deadline {
-                    break;
-                }
-                queue = match shared.clock.timeout_until(deadline) {
-                    // Manual clock: untimed wait — new work, shutdown or
-                    // a clock advance are the only wake sources, so the
-                    // deadline re-check races nothing.
-                    None => shared
-                        .wake
-                        .wait(queue)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner),
-                    Some(timeout) => {
-                        let (guard, _timeout) = shared
-                            .wake
-                            .wait_timeout(queue, timeout)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        guard
-                    }
-                };
-            }
-            queue.drain_batch(config.max_batch)
-        };
-
-        let shots: Vec<&[Complex]> = batch.iter().map(|job| job.trace.as_slice()).collect();
-        let verdicts =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict_batch(&shots)));
-        drop(shots);
-        // A panic and a wrong-shape output are the same fault: this
-        // model can no longer be trusted to resolve tickets.
-        let verdicts = match verdicts {
-            Ok(verdicts)
-                if verdicts.len() == batch.len()
-                    && verdicts.iter().all(|v| v.len() == n_qubits) =>
-            {
-                verdicts
-            }
-            _ => {
-                // Fail loudly instead of hanging: mark every outstanding
-                // ticket failed, close the engine, and wake everyone —
-                // waiters see the failure, submitters are refused.
-                let queued = {
-                    let mut queue = lock_recovering(&shared.queue);
-                    queue.closed = true;
-                    queue.failed = true;
-                    queue.len = 0;
-                    std::mem::replace(&mut queue.lanes, std::array::from_fn(|_| VecDeque::new()))
-                };
-                // Count before waking anyone: a waiter that sees its
-                // ticket fail must already find the failure in the stats.
-                let jobs: Vec<Job> = batch
-                    .into_iter()
-                    .chain(queued.into_iter().flatten())
-                    .collect();
-                shared.stats.record_failed(jobs.len());
-                for job in jobs {
-                    job.slot.fail();
-                }
-                shared.wake.notify_all();
-                shared.space.notify_all();
-                return;
-            }
-        };
-        shared.stats.record_flush(batch.len());
-        let resolved_at = shared.clock.now();
-        let mut buffers = Vec::with_capacity(batch.len());
-        for (job, verdict) in batch.into_iter().zip(verdicts) {
-            // Stats before the wake: a caller returning from `wait` must
-            // already see its own completion counted.
-            shared
-                .stats
-                .record_completed(resolved_at.saturating_sub(job.submitted_at));
-            job.slot.resolve(verdict);
-            buffers.push(job.trace);
-        }
-        // Hand the flushed traces back to the submission pool (bounded at
-        // the queue depth so an idle engine does not pin memory) and let
-        // backpressured submitters move up.
-        {
-            let mut queue = lock_recovering(&shared.queue);
-            let cap = config.max_queue;
-            while queue.spare_buffers.len() < cap {
-                match buffers.pop() {
-                    Some(buf) => queue.spare_buffers.push(buf),
-                    None => break,
-                }
-            }
-        }
-        shared.space.notify_all();
-    }
-}
+// No Drop impl needed: dropping `pool` (a `WorkerPool`) closes every
+// roster tenant, drains the queues, and joins the threads.
 
 #[cfg(test)]
 mod tests;

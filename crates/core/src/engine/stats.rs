@@ -30,16 +30,30 @@ pub(super) struct StatCells {
 
 impl StatCells {
     pub(super) fn record_submit(&self, qos: Qos, depth: usize) {
-        self.submitted[qos as usize].fetch_add(1, Ordering::Relaxed);
+        self.record_submit_n(qos, 1, depth);
+    }
+
+    /// Counts `n` accepted submissions in one atomic add — the vectored
+    /// submission path pays two atomics per *window*, not two per shot.
+    pub(super) fn record_submit_n(&self, qos: Qos, n: usize, depth: usize) {
+        self.submitted[qos as usize].fetch_add(n as u64, Ordering::Relaxed);
         self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
     pub(super) fn record_shed(&self, qos: Qos) {
-        self.shed[qos as usize].fetch_add(1, Ordering::Relaxed);
+        self.record_shed_n(qos, 1);
+    }
+
+    pub(super) fn record_shed_n(&self, qos: Qos, n: usize) {
+        self.shed[qos as usize].fetch_add(n as u64, Ordering::Relaxed);
     }
 
     pub(super) fn record_rejected_closed(&self) {
-        self.rejected_closed.fetch_add(1, Ordering::Relaxed);
+        self.record_rejected_closed_n(1);
+    }
+
+    pub(super) fn record_rejected_closed_n(&self, n: usize) {
+        self.rejected_closed.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     pub(super) fn record_flush(&self, batch: usize) {
@@ -47,11 +61,15 @@ impl StatCells {
         let _ = batch;
     }
 
-    pub(super) fn record_completed(&self, latency: std::time::Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.latency_ns_sum.fetch_add(ns, Ordering::Relaxed);
-        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    /// Counts a whole flush's completions in one set of atomic adds —
+    /// the resolve path pays three atomics per *flush*, not three per
+    /// shot. Callers pre-aggregate the latency sum and max.
+    pub(super) fn record_completed_batch(&self, n: u64, latency_ns_sum: u64, latency_ns_max: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+        self.latency_ns_sum
+            .fetch_add(latency_ns_sum, Ordering::Relaxed);
+        self.latency_ns_max
+            .fetch_max(latency_ns_max, Ordering::Relaxed);
     }
 
     pub(super) fn record_failed(&self, count: usize) {
@@ -174,7 +192,6 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     #[test]
     fn snapshot_reports_conservation_and_latency() {
@@ -184,8 +201,7 @@ mod tests {
         cells.record_submit(Qos::Bulk, 3);
         cells.record_shed(Qos::Bulk);
         cells.record_flush(2);
-        cells.record_completed(Duration::from_micros(10));
-        cells.record_completed(Duration::from_micros(30));
+        cells.record_completed_batch(2, 40_000, 30_000);
         cells.record_failed(1);
 
         let s = cells.snapshot();

@@ -578,6 +578,256 @@ fn qos_parses_and_displays() {
 }
 
 #[test]
+fn submit_all_matches_per_shot_submission_bit_for_bit() {
+    let mut chip = ChipConfig::uniform(2);
+    chip.n_samples = 60;
+    let ds = TraceDataset::generate(&chip, 3, 5, 9);
+    let split = ds.split(0.6, 0.0, 9);
+    let spec = crate::DiscriminatorSpec::Discriminant(crate::DiscriminantKind::Lda);
+    let model = crate::registry::fit(&spec, &ds, &split, 9);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let shots = gather_shots(&ds, &all);
+    let expected = model.predict_batch(&shots);
+
+    let engine = ReadoutEngine::new(
+        Box::new(model),
+        EngineConfig {
+            max_batch: 7, // deliberately unaligned with the window size
+            max_delay: Duration::from_micros(50),
+            ..EngineConfig::default()
+        },
+    );
+    let vectored = engine.session().submit_all(&shots).wait();
+    assert_eq!(
+        vectored, expected,
+        "vectored verdicts must be bit-identical"
+    );
+
+    let session = engine.session();
+    let tickets: Vec<Ticket> = shots.iter().map(|s| session.submit(s)).collect();
+    let scalar: Vec<Vec<usize>> = tickets.into_iter().map(Ticket::wait).collect();
+    assert_eq!(scalar, expected, "scalar verdicts must be bit-identical");
+}
+
+#[test]
+fn shared_windows_are_zero_copy_and_bit_identical() {
+    let clock = manual();
+    let engine = ReadoutEngine::with_clock(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 64, // larger than the window: only the deadline can flush
+            max_delay: Duration::from_micros(200),
+            ..EngineConfig::default()
+        },
+        clock.clone(),
+    );
+    let traces: Vec<std::sync::Arc<[Complex]>> =
+        (1..=6).map(|n| std::sync::Arc::from(trace(n))).collect();
+    let borrowed: Vec<&[Complex]> = traces.iter().map(|t| &t[..]).collect();
+    let expected = Echo.predict_batch(&borrowed);
+
+    let ticket = engine.session().submit_all_shared(&traces);
+    // The frozen clock pins every shot in the queue, where the engine
+    // must hold a refcount on the caller's buffer — not a copy of it.
+    for t in &traces {
+        assert!(
+            std::sync::Arc::strong_count(t) >= 2,
+            "queued shared trace should be refcounted by the engine"
+        );
+    }
+    clock.advance(Duration::from_micros(250));
+    assert_eq!(
+        ticket.wait(),
+        expected,
+        "shared verdicts must be bit-identical"
+    );
+    // Shared buffers are dropped before the wake (they are never
+    // recycled into the spare pool), so ownership is already back with
+    // the caller by the time `wait` returns.
+    for t in &traces {
+        assert_eq!(std::sync::Arc::strong_count(t), 1);
+    }
+
+    let retry = engine
+        .session()
+        .try_submit_all_shared(&traces)
+        .expect("drained queue admits the whole window");
+    clock.advance(Duration::from_micros(250));
+    assert_eq!(
+        retry.wait(),
+        expected,
+        "try-path shared verdicts must match"
+    );
+}
+
+#[test]
+fn empty_windows_resolve_immediately() {
+    // Frozen clock: nothing can ever flush, so only the
+    // empty-window-is-already-complete path can resolve these.
+    let engine = ReadoutEngine::with_clock(Box::new(Echo), EngineConfig::default(), manual());
+    let session = engine.session();
+    let empty = session.submit_all(&[]);
+    assert!(empty.is_empty());
+    assert_eq!(empty.wait(), Vec::<Vec<usize>>::new());
+    let ok = session
+        .try_submit_all(&[])
+        .expect("empty window always fits");
+    assert_eq!(ok.outcome(), Ok(vec![]));
+}
+
+#[test]
+fn submit_all_chunks_windows_larger_than_the_queue() {
+    let engine = ReadoutEngine::new(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 1,
+            max_queue: 2,
+            standard_watermark: 2,
+            bulk_watermark: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let traces: Vec<Vec<Complex>> = (1..=9).map(trace).collect();
+    let window: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+    let expected = Echo.predict_batch(&window);
+    // 9 shots through a queue of 2: submit_all must block-and-chunk
+    // behind the worker, never shed, and still resolve in submission
+    // order.
+    assert_eq!(engine.session().submit_all(&window).wait(), expected);
+    assert_eq!(engine.stats().total_submitted(), 9);
+    assert_eq!(engine.stats().outstanding(), 0);
+}
+
+#[test]
+fn try_submit_all_admits_a_prefix_and_sheds_the_rest_typed() {
+    let hold = Gate::new();
+    let entered = Gate::new();
+    let config = EngineConfig {
+        max_batch: 1,
+        max_queue: 8,
+        standard_watermark: 6,
+        bulk_watermark: 3,
+        ..EngineConfig::default()
+    };
+    let engine = ReadoutEngine::with_clock(
+        Box::new(GatedEcho {
+            hold: Arc::clone(&hold),
+            entered: Arc::clone(&entered),
+        }),
+        config,
+        manual(),
+    );
+    // Pin the worker inside the model so the queue depth the vectored
+    // admission sees is fully deterministic.
+    let first = engine.session().submit(&trace(9));
+    entered.pass();
+
+    let traces: Vec<Vec<Complex>> = (1..=5).map(trace).collect();
+    let window: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+
+    // Bulk watermark 3, empty queue: only a 3-shot prefix fits.
+    let bulk = engine.session_with(Qos::Bulk);
+    let shed = bulk.try_submit_all(&window).unwrap_err();
+    assert_eq!(shed.admitted_count, 3);
+    assert!(matches!(
+        shed.reason,
+        Rejected::Shed {
+            qos: Qos::Bulk,
+            depth: 3,
+            watermark: 3,
+        }
+    ));
+    let prefix = shed.admitted.expect("a prefix was admitted");
+    assert_eq!(prefix.len(), 3);
+    assert_eq!(prefix.pending(), 3);
+
+    // At the watermark nothing fits: a fully-shed window carries no
+    // ticket at all.
+    let none = bulk.try_submit_all(&window).unwrap_err();
+    assert!(none.admitted.is_none());
+    assert_eq!(none.admitted_count, 0);
+
+    // Realtime rides past the bulk watermark to the full-queue bound...
+    let realtime = engine.session_with(Qos::Realtime);
+    let full_window = realtime
+        .try_submit_all(&window)
+        .expect("5 realtime shots fit in the remaining 5 slots");
+    // ...and the 9th slot is the hard bound even for realtime.
+    let refused = realtime.try_submit_all(&window).unwrap_err();
+    assert!(matches!(refused.reason, Rejected::QueueFull { depth: 8 }));
+
+    // Release the worker: every admitted shot resolves, in submission
+    // order, and shed load was refused up front — not lost.
+    hold.open();
+    assert_eq!(first.wait(), vec![0, 0]);
+    assert_eq!(
+        prefix.wait(),
+        vec![vec![1, 1], vec![2, 2], vec![0, 0]],
+        "prefix verdicts come back in submission order"
+    );
+    assert_eq!(full_window.wait(), Echo.predict_batch(&window));
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, [5, 1, 3]);
+    assert_eq!(stats.shed, [5, 0, 7]);
+    assert_eq!(stats.completed, 9);
+    assert_eq!(stats.outstanding(), 0, "no vectored ticket may be lost");
+}
+
+#[test]
+fn panic_mid_window_fails_the_whole_batch_ticket() {
+    // Window of 4 over micro-batches of 2: the first flush classifies,
+    // the second panics. A half-resolved window is not a usable readout
+    // result, so the whole BatchTicket fails — loudly, never a hang.
+    let engine = ReadoutEngine::with_clock(
+        FaultyDiscriminator::boxed(Box::new(Echo), FaultMode::PanicOnFlush(1)),
+        EngineConfig {
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+        manual(),
+    );
+    let session = engine.session();
+    let traces: Vec<Vec<Complex>> = (1..=4).map(trace).collect();
+    let window: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+    let ticket = session.submit_all(&window);
+    assert_eq!(ticket.outcome(), Err(TicketFailed));
+    assert!(engine.is_failed());
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.outstanding(), 0, "failed shots are accounted");
+}
+
+#[test]
+fn batch_tickets_are_futures_resolving_to_outcomes() {
+    let engine = ReadoutEngine::new(
+        Box::new(Echo),
+        EngineConfig {
+            max_batch: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let traces: Vec<Vec<Complex>> = (1..=4).map(trace).collect();
+    let window: Vec<&[Complex]> = traces.iter().map(Vec::as_slice).collect();
+    let session = engine.session();
+    let verdicts = exec::block_on(async { session.submit_all(&window).await });
+    assert_eq!(verdicts, Ok(Echo.predict_batch(&window)));
+
+    // A failed worker resolves awaited windows to the typed error.
+    let faulty = ReadoutEngine::with_clock(
+        FaultyDiscriminator::boxed(Box::new(Echo), FaultMode::PanicOnFlush(0)),
+        EngineConfig {
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+        manual(),
+    );
+    let session = faulty.session();
+    let outcome = exec::block_on(async { session.submit_all(&window).await });
+    assert_eq!(outcome, Err(TicketFailed));
+}
+
+#[test]
 fn fleet_routes_by_fingerprint_and_bounds_model_count() {
     let fleet = FleetEngine::with_clock(
         FleetConfig {
@@ -587,6 +837,7 @@ fn fleet_routes_by_fingerprint_and_bounds_model_count() {
             },
             model_dir: std::path::PathBuf::from("this-dir-does-not-exist"),
             max_models: 2,
+            ..FleetConfig::default()
         },
         manual(),
     );
@@ -603,11 +854,11 @@ fn fleet_routes_by_fingerprint_and_bounds_model_count() {
     // before it even looks at the (nonexistent) model directory.
     assert!(matches!(
         fleet.register(3, Box::new(EchoOffset(2))),
-        Err(FleetError::FleetFull { limit: 2 })
+        Err(FleetError::FleetFull { limit: 2, .. })
     ));
     assert!(matches!(
         fleet.session_by_fingerprint(3, Qos::Standard),
-        Err(FleetError::FleetFull { limit: 2 })
+        Err(FleetError::FleetFull { limit: 2, .. })
     ));
 
     let rows = fleet.stats();
@@ -731,14 +982,165 @@ fn fleet_config_reads_env_overrides() {
     std::env::set_var("MLR_FLEET_MAX_MODELS", "3");
     std::env::set_var("MLR_FLEET_MAX_QUEUE", "32");
     std::env::set_var("MLR_FLEET_MAX_BATCH", "16");
+    std::env::set_var("MLR_FLEET_WORKERS", "4");
+    std::env::set_var("MLR_FLEET_EVICT", "lru");
     let config = FleetConfig::from_env();
     std::env::remove_var("MLR_FLEET_MAX_MODELS");
     std::env::remove_var("MLR_FLEET_MAX_QUEUE");
     std::env::remove_var("MLR_FLEET_MAX_BATCH");
+    std::env::remove_var("MLR_FLEET_WORKERS");
+    std::env::remove_var("MLR_FLEET_EVICT");
     assert_eq!(config.max_models, 3);
     assert_eq!(config.engine.max_queue, 32);
     assert_eq!(config.engine.max_batch, 16);
+    assert_eq!(config.workers, 4);
+    assert_eq!(config.evict, EvictPolicy::Lru);
     // Watermarks scale with the queue, not the defaults.
     assert_eq!(config.engine.standard_watermark, 28);
     assert_eq!(config.engine.bulk_watermark, 16);
+    // An unset policy variable leaves the conservative default.
+    assert_eq!(FleetConfig::from_env().evict, EvictPolicy::Refuse);
+    assert!("lru".parse::<EvictPolicy>().is_ok());
+    assert!("sometimes".parse::<EvictPolicy>().is_err());
+}
+
+#[test]
+fn fleet_lru_evicts_the_coldest_idle_model_and_conserves_its_counters() {
+    let clock = manual();
+    let fleet = FleetEngine::with_clock(
+        FleetConfig {
+            engine: EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+            max_models: 2,
+            evict: EvictPolicy::Lru,
+            ..FleetConfig::default()
+        },
+        clock.clone(),
+    );
+    fleet.register(1, Box::new(EchoOffset(0))).unwrap();
+    fleet.register(2, Box::new(EchoOffset(1))).unwrap();
+    let s1 = fleet.session_by_fingerprint(1, Qos::Standard).unwrap();
+    let s2 = fleet.session_by_fingerprint(2, Qos::Standard).unwrap();
+    assert_eq!(s1.submit(&trace(4)).wait(), vec![1, 1]);
+    assert_eq!(s2.submit(&trace(4)).wait(), vec![2, 2]);
+
+    // Step time, then touch model 1: model 2 is now strictly the coldest,
+    // on ManualClock-stamped access times — no wall-clock ambiguity.
+    clock.advance(Duration::from_micros(10));
+    let _warm = fleet.session_by_fingerprint(1, Qos::Standard).unwrap();
+    fleet
+        .register(3, Box::new(EchoOffset(2)))
+        .expect("LRU eviction makes room instead of FleetFull");
+    assert_eq!(fleet.len(), 2);
+    let fingerprints: Vec<u64> = fleet.stats().iter().map(|r| r.fingerprint).collect();
+    assert_eq!(fingerprints, vec![1, 3], "model 2 was the LRU victim");
+
+    // The evicted tenant's counters survive in the aggregate: eviction
+    // churn never loses a count...
+    let agg = fleet.aggregate_stats();
+    assert_eq!(agg.completed, 2);
+    assert_eq!(agg.outstanding(), 0);
+    // ...and sessions held on the victim see a clean shutdown, not a hang.
+    assert!(matches!(
+        s2.try_submit(&trace(4)),
+        Err(Rejected::ShuttingDown)
+    ));
+    assert_eq!(
+        fleet
+            .session_by_fingerprint(3, Qos::Standard)
+            .unwrap()
+            .submit(&trace(4))
+            .wait(),
+        vec![0, 0]
+    );
+}
+
+#[test]
+fn fleet_full_names_the_coldest_evictable_model() {
+    let clock = manual();
+    let fleet = FleetEngine::with_clock(
+        FleetConfig {
+            max_models: 1,
+            ..FleetConfig::default()
+        },
+        clock.clone(),
+    );
+    fleet.register(0xAB, Box::new(EchoOffset(0))).unwrap();
+    clock.advance(Duration::from_micros(5));
+    let err = fleet.register(0xCD, Box::new(EchoOffset(1))).unwrap_err();
+    match &err {
+        FleetError::FleetFull {
+            limit: 1,
+            coldest: Some(candidate),
+        } => {
+            assert_eq!(candidate.fingerprint, 0xAB);
+            assert_eq!(candidate.idle_for, Duration::from_micros(5));
+        }
+        other => panic!("expected FleetFull with a candidate, got {other:?}"),
+    }
+    // Regression-pin the message shape: the limit, the coldest
+    // fingerprint, its idle age, and the knob that would evict it.
+    let msg = err.to_string();
+    assert!(msg.contains("maximum of 1 models"), "{msg}");
+    assert!(msg.contains("00000000000000ab"), "{msg}");
+    assert!(msg.contains("idle 5 µs"), "{msg}");
+    assert!(msg.contains("MLR_FLEET_EVICT=lru"), "{msg}");
+}
+
+#[test]
+fn eviction_refuses_models_pinned_by_tickets_in_flight() {
+    let hold = Gate::new();
+    let entered = Gate::new();
+    let fleet = FleetEngine::with_clock(
+        FleetConfig {
+            engine: EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+            max_models: 1,
+            evict: EvictPolicy::Lru,
+            ..FleetConfig::default()
+        },
+        manual(),
+    );
+    fleet
+        .register(
+            1,
+            Box::new(GatedEcho {
+                hold: Arc::clone(&hold),
+                entered: Arc::clone(&entered),
+            }),
+        )
+        .unwrap();
+    let session = fleet.session_by_fingerprint(1, Qos::Standard).unwrap();
+    let inflight = session.submit(&trace(4));
+    entered.pass(); // the pool thread is now pinned inside the model
+
+    // Even under LRU the sole tenant is not idle: its in-flight ticket
+    // pins it, so the fleet refuses — with no candidate to name.
+    match fleet.register(2, Box::new(EchoOffset(0))).unwrap_err() {
+        FleetError::FleetFull {
+            limit: 1,
+            coldest: None,
+        } => {}
+        other => panic!("expected FleetFull with no candidate, got {other:?}"),
+    }
+    let msg = fleet
+        .register(2, Box::new(EchoOffset(0)))
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("nothing is evictable"), "{msg}");
+
+    // Once the ticket resolves the tenant is idle again and eviction
+    // proceeds.
+    hold.open();
+    assert_eq!(inflight.wait(), vec![1, 1]);
+    fleet
+        .register(2, Box::new(EchoOffset(0)))
+        .expect("drained tenant is evictable");
+    assert_eq!(fleet.len(), 1);
+    assert_eq!(fleet.stats()[0].fingerprint, 2);
+    assert_eq!(fleet.aggregate_stats().completed, 1);
 }

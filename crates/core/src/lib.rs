@@ -62,8 +62,9 @@ pub use batch::{batch_threads, par_map, par_map_indexed};
 pub use deployment::{DeployedConfig, DeployedDiscriminator};
 pub use discriminator::{evaluate, evaluate_confusion, gather_shots, Discriminator, EvalReport};
 pub use engine::{
-    Clock, EngineConfig, EngineStats, FleetConfig, FleetEngine, FleetError, ManualClock,
-    ModelServeStats, Qos, ReadoutEngine, Rejected, Session, Ticket, TicketFailed, WallClock,
+    BatchTicket, Clock, EngineConfig, EngineStats, EvictPolicy, EvictionCandidate, FleetConfig,
+    FleetEngine, FleetError, ManualClock, ModelServeStats, PartialShed, Qos, ReadoutEngine,
+    Rejected, Session, Ticket, TicketFailed, WallClock,
 };
 pub use features::FeatureExtractor;
 pub use leakage::{LeakageHarvest, NaturalLeakageDetector};

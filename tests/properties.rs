@@ -659,6 +659,112 @@ proptest! {
     }
 
     #[test]
+    fn vectored_windows_match_scalar_and_direct_across_pool_sizes(
+        order_seed in any::<u64>(),
+        workers in 1usize..4,
+        max_window in 1usize..9,
+    ) {
+        // The vectored serving contract: slicing a tenant's shots into
+        // arbitrary windows (submit_all), interleaved with scalar submits,
+        // across 1-3 shared pool threads and every QoS lane, yields
+        // verdicts bit-identical to the owning model's direct
+        // predict_batch — windowing only changes when shots are grouped,
+        // never the decision.
+        let zoo = zoo();
+        let n = zoo.dataset.len();
+        let tenants = [6usize, 7, 8]; // LDA, QDA, HMM: cheap inference
+        let shots: Vec<&[Complex]> = (0..n).map(|i| zoo.dataset.raw(i)).collect();
+        let expected: Vec<Vec<Vec<usize>>> = tenants
+            .iter()
+            .map(|&t| zoo.models[t].predict_batch(&shots))
+            .collect();
+
+        let fleet = mlr_core::FleetEngine::new(mlr_core::FleetConfig {
+            engine: mlr_core::EngineConfig {
+                max_batch: 5, // unaligned with the window sizes on purpose
+                max_delay: std::time::Duration::from_micros(100),
+                ..mlr_core::EngineConfig::default()
+            },
+            max_models: tenants.len(),
+            workers,
+            ..mlr_core::FleetConfig::default()
+        });
+        for (k, &t) in tenants.iter().enumerate() {
+            fleet
+                .register(k as u64, Box::new(zoo.models[t].clone()))
+                .expect("register tenant");
+        }
+
+        let results: Vec<(usize, usize, Vec<usize>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..tenants.len())
+                .map(|m| {
+                    let fleet = &fleet;
+                    let dataset = &zoo.dataset;
+                    scope.spawn(move || {
+                        let session = fleet
+                            .session_by_fingerprint(
+                                m as u64,
+                                mlr_core::Qos::ALL[m % mlr_core::Qos::CLASSES],
+                            )
+                            .expect("registered tenant");
+                        // Tenant-keyed shot order, sliced into seed-sized
+                        // windows that alternate vectored/scalar.
+                        let mut order: Vec<usize> = (0..n).collect();
+                        let mut state = order_seed.wrapping_add(m as u64) | 1;
+                        for i in (1..order.len()).rev() {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            order.swap(i, (state >> 33) as usize % (i + 1));
+                        }
+                        let mut windows: Vec<(&[usize], mlr_core::BatchTicket)> = Vec::new();
+                        let mut scalars: Vec<(usize, mlr_core::Ticket)> = Vec::new();
+                        let mut cursor = 0usize;
+                        let mut vectored = true;
+                        while cursor < n {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let take =
+                                1 + (state >> 33) as usize % max_window.min(n - cursor);
+                            let idx = &order[cursor..cursor + take];
+                            if vectored {
+                                let window: Vec<&[Complex]> =
+                                    idx.iter().map(|&i| dataset.raw(i)).collect();
+                                windows.push((idx, session.submit_all(&window)));
+                            } else {
+                                for &i in idx {
+                                    scalars.push((i, session.submit(dataset.raw(i))));
+                                }
+                            }
+                            vectored = !vectored;
+                            cursor += take;
+                        }
+                        let mut out = Vec::with_capacity(n);
+                        for (idx, ticket) in windows {
+                            for (&i, v) in idx.iter().zip(ticket.wait()) {
+                                out.push((m, i, v));
+                            }
+                        }
+                        for (i, ticket) in scalars {
+                            out.push((m, i, ticket.wait()));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tenant thread"))
+                .collect()
+        });
+        prop_assert_eq!(results.len(), tenants.len() * n, "every shot resolves");
+        for (m, i, verdict) in results {
+            prop_assert_eq!(&verdict, &expected[m][i], "tenant {} shot {}", m, i);
+        }
+    }
+
+    #[test]
     fn quantized_batch_equals_mapped_quantized_path(
         picks in prop::collection::vec(any::<u64>(), 1..12),
         total_bits in 6u32..17,
