@@ -1,0 +1,84 @@
+//! Criterion bench of multiplexed-feedline dataset production: sharded
+//! generation (M independent lines, one [`mlr_sim::DatasetSpec`] each)
+//! against a single-pass simulation of one line carrying every tone.
+//!
+//! Both arms produce the same total tone-shots at the same tone spacing
+//! (the single-pass line doubles the band so per-tone crowding matches),
+//! but the simulator's per-sample work — crosstalk row scan plus tone
+//! accumulation — is quadratic in tones per line, so sharding 2×N lines
+//! should beat one 2N line by more than the 2× a linear model predicts,
+//! and the margin should widen from 20 to 40 tones per line.
+//!
+//! Before timing anything, the harness pins thread-count independence:
+//! shards generated under `MLR_THREADS=1` must be bit-identical to the
+//! machine-parallel default (per-shot seeding makes scheduling
+//! invisible). A failed pin panics the bench rather than reporting
+//! numbers for data that would not reproduce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mlr_sim::{FeedlineSpec, MultiplexedChip, TraceDataset};
+
+/// Sampled preparations per shard and shots per preparation: small enough
+/// to iterate, big enough to amortise per-dataset setup.
+const STATES: usize = 8;
+const SHOTS_PER_STATE: usize = 2;
+const SEED: u64 = 7;
+
+/// Asserts shards reproduce bit-identically with the worker count forced
+/// to one, then leaves the environment as it found it.
+fn pin_thread_independence(chip: &MultiplexedChip) {
+    let parallel = chip.generate(3, STATES, SHOTS_PER_STATE, SEED);
+    let saved = std::env::var_os("MLR_THREADS");
+    std::env::set_var("MLR_THREADS", "1");
+    let serial = chip.generate(3, STATES, SHOTS_PER_STATE, SEED);
+    match saved {
+        Some(v) => std::env::set_var("MLR_THREADS", v),
+        None => std::env::remove_var("MLR_THREADS"),
+    }
+    assert_eq!(parallel.len(), serial.len(), "shard count");
+    for (a, b) in parallel.iter().zip(&serial) {
+        assert!(
+            datasets_bit_identical(a, b),
+            "sharded generation must not depend on the worker count"
+        );
+    }
+}
+
+/// Shot-for-shot, sample-for-sample, label-for-label equality.
+fn datasets_bit_identical(a: &TraceDataset, b: &TraceDataset) -> bool {
+    let n_qubits = a.config().n_qubits();
+    a.len() == b.len()
+        && b.config().n_qubits() == n_qubits
+        && (0..a.len())
+            .all(|i| a.raw(i) == b.raw(i) && (0..n_qubits).all(|q| a.label(i, q) == b.label(i, q)))
+}
+
+fn bench_multiplex_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplex_generation");
+    group.sample_size(10);
+    for per_line in [20usize, 40] {
+        let sharded = MultiplexedChip::homogeneous(2, FeedlineSpec::crowded(per_line));
+        // One line, every tone: double the band so the grid spacing (and
+        // with it the Lorentzian crosstalk profile per tone) matches the
+        // sharded arm — the comparison isolates feedline partitioning.
+        let mut wide = FeedlineSpec::crowded(2 * per_line);
+        wide.band_mhz = 2.0 * FeedlineSpec::crowded(per_line).band_mhz;
+        let single = MultiplexedChip::homogeneous(1, wide);
+
+        pin_thread_independence(&sharded);
+        pin_thread_independence(&single);
+
+        group.bench_function(&format!("sharded_2x{per_line}"), |b| {
+            b.iter(|| black_box(sharded.generate(3, STATES, SHOTS_PER_STATE, SEED)))
+        });
+        group.bench_function(&format!("single_pass_{}", 2 * per_line), |b| {
+            b.iter(|| black_box(single.generate(3, STATES, SHOTS_PER_STATE, SEED)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiplex_generation);
+criterion_main!(benches);

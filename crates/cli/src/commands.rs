@@ -11,7 +11,10 @@ use mlr_qec::{
     herald_sweep, ConfusionMatrixHerald, DecoderKind, EraserConfig, EraserExperiment,
     HeraldSweepConfig, SpeculationMode,
 };
-use mlr_sim::{config_hash, ChipConfig, DatasetIoError, DatasetSpec, LabelSource, TraceDataset};
+use mlr_sim::{
+    config_hash, ChipConfig, DatasetIoError, DatasetSpec, FeedlineSpec, LabelSource,
+    MultiplexedChip, TraceDataset,
+};
 
 use crate::{ArgError, Args};
 
@@ -60,6 +63,25 @@ COMMANDS:
                  --phys-error P (physical error rate per data qubit/cycle)
     streaming  Adaptive readout: early-termination accuracy/duration tradeoff
                  --qubits N  --shots N  --seed N  --samples N  --confidence P
+    multiplex sweep
+               Crowded-feedline scaling study: held-out assignment error
+               and throughput vs tones per line, per-qubit vs joint
+               crosstalk-aware kernels trained on the same shards and
+               scored on freshly sampled preparations
+                 --per-line N,N,..  tones per feedline (default 5,10,20,40)
+                 --feedlines M      lines in the fleet (default 1)
+                 --states N  sampled training preparations (default 256)
+                 --shots N   shots per preparation (default 4)
+                 --eval-states N  held-out preparations (default 64)
+                 --eval-shots N   shots per held-out preparation (default 8)
+                 --neighbors K  joint spectral radius (default 2)
+                 --epochs N (default 30)  --seed N
+                 --dir DIR   shard cache (fingerprint-keyed; hits load)
+                 --json      append MUX-N{n}-PERQ / MUX-N{n}-JOINT rows
+                 --bench-file FILE (default BENCH_throughput.json)
+                 --check-plan  tighten the always-on fused-vs-layered
+                               label check (0.1% budget) to exact
+                               equality on every held-out shot
     throughput Per-shot vs batched inference rate of a trained design,
                fused-plan vs layered where the family compiles a plan
                  --design NAME  --qubits N  --shots N  --seed N  --samples N
@@ -156,12 +178,13 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
         None => return Err(CliError::Usage(USAGE.to_owned())),
         Some((c, rest)) => (c.clone(), rest.to_vec()),
     };
-    // `dataset` and `qec` have positional sub-subcommands (`generate`,
-    // `info`, `sweep`); split them off before flag parsing, which rejects
-    // positionals.
+    // `dataset`, `qec`, and `multiplex` have positional sub-subcommands
+    // (`generate`, `info`, `sweep`); split them off before flag parsing,
+    // which rejects positionals.
     let (subcommand, rest) = match rest.split_first() {
         Some((s, tail))
-            if matches!(command.as_str(), "dataset" | "qec") && !s.starts_with("--") =>
+            if matches!(command.as_str(), "dataset" | "qec" | "multiplex")
+                && !s.starts_with("--") =>
         {
             (Some(s.clone()), tail.to_vec())
         }
@@ -194,6 +217,12 @@ pub fn run(argv: Vec<String>) -> Result<(), CliError> {
             ))),
         },
         "streaming" => cmd_streaming(&args),
+        "multiplex" => match subcommand.as_deref() {
+            Some("sweep") => cmd_multiplex_sweep(&args),
+            _ => Err(CliError::Usage(format!(
+                "multiplex requires the sweep subcommand\n\n{USAGE}"
+            ))),
+        },
         "throughput" => cmd_throughput(&args),
         "serve-stats" => cmd_serve_stats(&args),
         "help" | "--help" => {
@@ -841,6 +870,212 @@ fn cmd_streaming(args: &Args) -> Result<(), CliError> {
         ],
         &rows,
     );
+    Ok(())
+}
+
+/// One arm of the multiplexing scaling study: a fitted OURS model's
+/// held-out assignment error, fused batch rate, and plan health.
+struct MuxArm {
+    assignment_error: f64,
+    batch_rate: f64,
+    layered_rate: f64,
+    n_shots: usize,
+}
+
+/// Fits an OURS discriminator with the given joint radius on one feedline
+/// shard, then scores it on a held-out dataset of freshly sampled
+/// preparations (same chip, disjoint state combinations — the shot-level
+/// test split of the training shard would let heads memorise the crosstalk
+/// pattern of each prepared state, which is exactly what a crowding study
+/// must not reward). Also measures fused throughput and fused-vs-layered
+/// label equality (budgeted at the repo-wide 0.1 % of shots, the same bar
+/// `measure_throughput` holds batch-vs-per-shot to).
+///
+/// The training recipe deviates from `OursConfig::default()` in two
+/// places, both forced by the held-out protocol: a 5x learning rate
+/// (sampled shards are small — default epochs take too few optimiser
+/// steps) and a 2e-2 weight decay (without it the heads overfit the
+/// training preparations and the crosstalk signal drowns in variance).
+fn fit_mux_arm(
+    ds: &TraceDataset,
+    split: &mlr_sim::DatasetSplit,
+    eval_ds: &TraceDataset,
+    joint_neighbors: usize,
+    epochs: usize,
+    seed: u64,
+    strict_plan: bool,
+) -> Result<MuxArm, CliError> {
+    let mut config = OursConfig {
+        joint_neighbors,
+        ..OursConfig::default()
+    };
+    config.train.epochs = epochs;
+    config.train.learning_rate = 1e-2;
+    config.train.weight_decay = 2e-2;
+    let model = registry::fit(&DiscriminatorSpec::Ours(config), ds, split, seed);
+
+    let eval_idx: Vec<usize> = (0..eval_ds.len()).collect();
+    let eval_shots = mlr_core::gather_shots(eval_ds, &eval_idx);
+    let fused = model.predict_batch(&eval_shots);
+    let layered = model.predict_batch_layered(&eval_shots);
+    let plan_mismatches = fused.iter().zip(&layered).filter(|(a, b)| a != b).count();
+    // Always-on guard at the repo-wide 0.1 % budget; `--check-plan`
+    // tightens it to exact label equality on every held-out shot.
+    let budget = if strict_plan {
+        0
+    } else {
+        eval_shots.len() / 1000
+    };
+    if plan_mismatches > budget {
+        return Err(CliError::Usage(format!(
+            "joint_neighbors = {joint_neighbors}: fused plan labels diverge from the \
+             layered path on {plan_mismatches}/{} held-out shots (budget {budget})",
+            eval_shots.len()
+        )));
+    }
+
+    let n_qubits = eval_ds.config().n_qubits();
+    let wrong: usize = fused
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(q, &lvl)| lvl != eval_ds.label(i, q))
+                .count()
+        })
+        .sum();
+    let assignment_error = wrong as f64 / (eval_ds.len() * n_qubits) as f64;
+
+    let report = mlr_bench::measure_throughput(&model, &eval_shots);
+    let layered_rate = mlr_bench::measure_layered_rate(&model, &eval_shots);
+    Ok(MuxArm {
+        assignment_error,
+        batch_rate: report.batch_rate,
+        layered_rate,
+        n_shots: eval_shots.len(),
+    })
+}
+
+fn cmd_multiplex_sweep(args: &Args) -> Result<(), CliError> {
+    let per_line: Vec<usize> = list_from(args, "--per-line", &[5, 10, 20, 40])?;
+    let feedlines: usize = args.get_or("--feedlines", 1)?;
+    let states: usize = args.get_or("--states", 256)?;
+    let shots_per_state: usize = args.get_or("--shots", 4)?;
+    let eval_states: usize = args.get_or("--eval-states", 64)?;
+    let eval_shots: usize = args.get_or("--eval-shots", 8)?;
+    let neighbors: usize = args.get_or("--neighbors", 2)?;
+    let epochs: usize = args.get_or("--epochs", 30)?;
+    let seed: u64 = args.get_or("--seed", 2025)?;
+    let dir = args.get_str("--dir").map(std::path::PathBuf::from);
+    let json = args.switch("--json");
+    let check_plan = args.switch("--check-plan");
+    let bench_path = args
+        .get_str("--bench-file")
+        .unwrap_or("BENCH_throughput.json")
+        .to_owned();
+    args.reject_unknown()?;
+    if per_line.is_empty()
+        || feedlines == 0
+        || states == 0
+        || shots_per_state == 0
+        || eval_states == 0
+        || eval_shots == 0
+    {
+        return Err(CliError::Usage(
+            "multiplex sweep needs at least one tone count, feedline, state and shot".to_owned(),
+        ));
+    }
+    if neighbors == 0 {
+        return Err(CliError::Usage(
+            "--neighbors 0 makes the joint arm identical to per-qubit; use K >= 1".to_owned(),
+        ));
+    }
+
+    let threads = mlr_core::batch_threads();
+    let rev = mlr_bench::git_rev();
+    let mut bench_rows = Vec::new();
+    let mut table = Vec::new();
+    for &n in &per_line {
+        let mux = MultiplexedChip::homogeneous(feedlines, FeedlineSpec::crowded(n));
+        let (shards, hits) = match &dir {
+            Some(d) => mux.generate_cached(3, states, shots_per_state, seed, d)?,
+            None => (mux.generate(3, states, shots_per_state, seed), 0),
+        };
+        if dir.is_some() {
+            println!(
+                "N={n}: {} shard(s), {hits} cache hit(s), {} shots/shard",
+                shards.len(),
+                shards[0].len()
+            );
+        }
+        // The fleet is homogeneous, so every line is statistically
+        // identical; line 0's shard carries the discrimination study.
+        let ds = &shards[0];
+        // All labelled shots go to train/val; generalisation is scored on
+        // the held-out preparations below, not a shot split of the shard.
+        let split = ds.split(0.8, 0.2, seed);
+        let eval_ds = DatasetSpec::sampled(
+            ds.config().clone(),
+            3,
+            eval_states,
+            eval_shots,
+            seed ^ 0xABCD,
+        )
+        .generate();
+
+        let perq = fit_mux_arm(ds, &split, &eval_ds, 0, epochs, seed, check_plan)?;
+        let joint = fit_mux_arm(ds, &split, &eval_ds, neighbors, epochs, seed, check_plan)?;
+        for (tag, arm) in [("PERQ", &perq), ("JOINT", &joint)] {
+            table.push(vec![
+                format!("N={n}"),
+                tag.to_owned(),
+                format!("{:.4}", arm.assignment_error),
+                format!("{:.0}", arm.batch_rate),
+                format!("{:.2}x", arm.batch_rate / arm.layered_rate),
+            ]);
+            if json {
+                bench_rows.push(mlr_bench::BenchRow {
+                    design: format!("MUX-N{n}-{tag}"),
+                    shots_per_sec: arm.batch_rate,
+                    batch: arm.n_shots,
+                    threads,
+                    git_rev: rev.clone(),
+                });
+            }
+        }
+        // The crowding payoff the study exists to show: once tones are
+        // dense enough (>= 20 per line), de-mixing must win.
+        if n >= 20 && joint.assignment_error > perq.assignment_error {
+            return Err(CliError::Usage(format!(
+                "N={n}: joint kernels ({:.4}) did not beat per-qubit ({:.4}) on \
+                 assignment error",
+                joint.assignment_error, perq.assignment_error
+            )));
+        }
+    }
+    print_table(
+        &format!(
+            "multiplex scaling: {feedlines} line(s), {states} states x {shots_per_state} \
+             shots, held out {eval_states} x {eval_shots}, joint radius {neighbors}, \
+             {epochs} epochs ({threads} threads)"
+        ),
+        &["tones", "kernels", "assign err", "shots/s", "fused/layered"],
+        &table,
+    );
+
+    if json {
+        let path = std::path::Path::new(&bench_path);
+        mlr_bench::append_bench_rows(path, &bench_rows).map_err(CliError::Usage)?;
+        let total = mlr_bench::read_bench_rows(path)
+            .map_err(CliError::Usage)?
+            .len();
+        println!(
+            "recorded {} row(s) in {} ({total} total)",
+            bench_rows.len(),
+            path.display()
+        );
+    }
     Ok(())
 }
 
@@ -1790,5 +2025,83 @@ mod tests {
     fn eval_missing_model_file_is_io_error() {
         let err = run_tokens(&["eval", "--model", "/nonexistent/mlr.json"]).unwrap_err();
         assert!(matches!(err, CliError::Model(_)), "{err}");
+    }
+
+    #[test]
+    fn multiplex_sweep_runs_tiny_and_lands_mux_rows() {
+        let dir = std::env::temp_dir().join(format!("mlr_cli_mux_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        let bench_str = bench.to_str().unwrap().to_owned();
+        run_tokens(&[
+            "multiplex",
+            "sweep",
+            "--per-line",
+            "3",
+            "--states",
+            "12",
+            "--shots",
+            "2",
+            "--eval-states",
+            "6",
+            "--eval-shots",
+            "2",
+            "--epochs",
+            "2",
+            "--seed",
+            "11",
+            "--json",
+            "--bench-file",
+            &bench_str,
+        ])
+        .unwrap();
+        let rows = mlr_bench::read_bench_rows(&bench).unwrap();
+        let names: Vec<&str> = rows.iter().map(|r| r.design.as_str()).collect();
+        assert_eq!(names, ["MUX-N3-PERQ", "MUX-N3-JOINT"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiplex_sweep_shard_cache_hits_on_second_run() {
+        let dir = std::env::temp_dir().join(format!("mlr_cli_muxcache_{}", std::process::id()));
+        let dir_str = dir.to_str().unwrap().to_owned();
+        let base = [
+            "multiplex",
+            "sweep",
+            "--per-line",
+            "3",
+            "--states",
+            "12",
+            "--shots",
+            "2",
+            "--eval-states",
+            "6",
+            "--eval-shots",
+            "2",
+            "--epochs",
+            "2",
+            "--seed",
+            "11",
+            "--dir",
+            &dir_str,
+        ];
+        run_tokens(&base).unwrap();
+        // Second run must load the shard from the fingerprint cache, not
+        // fail or regenerate into a new file.
+        let files = || std::fs::read_dir(&dir).unwrap().count();
+        let after_first = files();
+        run_tokens(&base).unwrap();
+        assert_eq!(files(), after_first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiplex_sweep_rejects_zero_neighbors_and_empty_grid() {
+        let err = run_tokens(&["multiplex", "sweep", "--neighbors", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--neighbors"), "{err}");
+        let err = run_tokens(&["multiplex", "sweep", "--states", "0"]).unwrap_err();
+        assert!(err.to_string().contains("multiplex sweep needs"), "{err}");
+        let err = run_tokens(&["multiplex", "frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("sweep"), "{err}");
     }
 }

@@ -239,6 +239,7 @@ impl DeployedDiscriminator {
     pub(crate) fn from_saved(
         saved: SavedDeployed,
         chip: mlr_sim::ChipConfig,
+        joint_neighbors: usize,
     ) -> Result<Self, crate::ModelIoError> {
         let n = chip.n_qubits();
         if saved.banks.len() != n || saved.heads.len() != n {
@@ -265,7 +266,7 @@ impl DeployedDiscriminator {
                 )));
             }
         }
-        let extractor = FeatureExtractor::from_parts(chip, saved.banks);
+        let extractor = FeatureExtractor::from_parts_joint(chip, saved.banks, joint_neighbors);
         let plan = crate::plan::compile(crate::plan::int_graph(
             &extractor,
             &saved.standardizer,

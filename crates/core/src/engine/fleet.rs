@@ -84,8 +84,10 @@ pub struct FleetConfig {
     /// [`FleetConfig::evict`]'s call.
     pub max_models: usize,
     /// Worker threads in the shared pool draining every tenant
-    /// (`MLR_FLEET_WORKERS`). Two by default, so one blocking tenant
-    /// cannot stall the whole fleet; clamped to at least one.
+    /// (`MLR_FLEET_WORKERS`). Defaults to the machine's available
+    /// parallelism (at least two, so one blocking tenant cannot stall the
+    /// whole fleet even on a single-core box); clamped to at least one
+    /// when overridden.
     pub workers: usize,
     /// Behaviour at the [`FleetConfig::max_models`] bound
     /// (`MLR_FLEET_EVICT`).
@@ -98,10 +100,23 @@ impl Default for FleetConfig {
             engine: EngineConfig::default(),
             model_dir: PathBuf::from("models"),
             max_models: 8,
-            workers: 2,
+            workers: default_workers(),
             evict: EvictPolicy::Refuse,
         }
     }
+}
+
+/// Default shared-pool size: every hardware thread the host advertises,
+/// floored at two. Serving is throughput work — leaving cores idle by
+/// default only made sense when the pool was shared by a single tenant —
+/// but the floor keeps the one-blocking-tenant isolation guarantee on
+/// single-core machines, and `MLR_FLEET_WORKERS` still pins any size
+/// (down to one) explicitly.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .max(2)
 }
 
 impl FleetConfig {

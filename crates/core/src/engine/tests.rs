@@ -978,6 +978,17 @@ fn fleet_reports_unknown_models_with_the_scanned_dir() {
 }
 
 #[test]
+fn fleet_config_default_workers_track_host_parallelism() {
+    let workers = FleetConfig::default().workers;
+    // Floored at two so one blocking tenant cannot stall the fleet even
+    // on a single-core host; otherwise every advertised hardware thread.
+    assert!(workers >= 2);
+    if let Ok(cores) = std::thread::available_parallelism() {
+        assert_eq!(workers, cores.get().max(2));
+    }
+}
+
+#[test]
 fn fleet_config_reads_env_overrides() {
     std::env::set_var("MLR_FLEET_MAX_MODELS", "3");
     std::env::set_var("MLR_FLEET_MAX_QUEUE", "32");

@@ -40,6 +40,27 @@ fn flatten_iq(raw: &[Complex], flat: &mut Vec<f64>) {
     }
 }
 
+/// The effective (de-mixed) baseband of one qubit: the α-weighted sum of
+/// the participating channels' demodulated traces. The single-entry
+/// identity recipe short-circuits to plain demodulation, so the
+/// `joint_neighbors = 0` layered path is bit-identical to the historic
+/// per-qubit one.
+fn joint_baseband(demod: &Demodulator, mix_q: &[(usize, f64)], raw: &[Complex]) -> Vec<Complex> {
+    if let [(q, alpha)] = mix_q {
+        if *alpha == 1.0 {
+            return demod.demodulate(raw, *q);
+        }
+    }
+    let mut out = vec![Complex::ZERO; raw.len()];
+    for &(p, alpha) in mix_q {
+        for (acc, z) in out.iter_mut().zip(demod.demodulate(raw, p)) {
+            acc.re += alpha * z.re;
+            acc.im += alpha * z.im;
+        }
+    }
+    out
+}
+
 /// Contiguous dot product with four independent accumulators, breaking the
 /// FMA latency chain so the compiler can keep SIMD lanes busy. Every
 /// fused-path score — single-shot and batched — goes through this one
@@ -80,21 +101,82 @@ pub struct FeatureExtractor {
     chip: ChipConfig,
     demod: Demodulator,
     banks: Vec<QubitMfBank>,
+    /// Spectral-neighbourhood radius of the joint crosstalk-aware kernels
+    /// (0 = the classic per-qubit bank).
+    joint_neighbors: usize,
+    /// Per-qubit de-mixing recipe: qubit `q`'s effective baseband is
+    /// `Σ (p, α) ∈ mix[q] of α · demod_p(raw)`; derived from `chip` +
+    /// `joint_neighbors`, rebuilt rather than serialised.
+    mix: Vec<Vec<(usize, f64)>>,
     /// Raw-domain kernels, flattened in qubit-major score order; derived
-    /// from `banks` + `demod`, rebuilt rather than serialised.
+    /// from `banks` + `demod` + `mix`, rebuilt rather than serialised.
     fused: Vec<FusedKernel>,
 }
 
-/// Folds every bank's kernels through its qubit's reference phasors.
-fn fuse_kernels(demod: &Demodulator, banks: &[QubitMfBank]) -> Vec<FusedKernel> {
+/// Builds the per-qubit de-mixing tables for a spectral-neighbourhood
+/// radius of `joint_neighbors` tones each side.
+///
+/// The simulator mixes channel `p` into channel `q`'s baseband with weight
+/// `β[q][p]` (the chip's crosstalk row). Subtracting `β[q][p] ·
+/// demod_p(raw)` from `demod_q(raw)` cancels that contamination to first
+/// order in β, so qubit `q`'s entry is `[(q, 1.0)]` followed by
+/// `(p, −β[q][p])` for the `joint_neighbors` nearest tones on each side in
+/// frequency order (zero-β neighbours are skipped — they widen kernel
+/// support for nothing). With `joint_neighbors = 0` every entry is the
+/// identity `[(q, 1.0)]`, which reproduces the per-qubit bank bit-exactly.
+fn joint_mix(chip: &ChipConfig, joint_neighbors: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = chip.n_qubits();
+    let mut by_freq: Vec<usize> = (0..n).collect();
+    by_freq.sort_by(|&a, &b| {
+        chip.qubits[a]
+            .if_freq_mhz
+            .total_cmp(&chip.qubits[b].if_freq_mhz)
+            .then(a.cmp(&b))
+    });
+    let mut rank = vec![0usize; n];
+    for (r, &q) in by_freq.iter().enumerate() {
+        rank[q] = r;
+    }
+    (0..n)
+        .map(|q| {
+            let mut mix = vec![(q, 1.0)];
+            for d in 1..=joint_neighbors {
+                let r = rank[q];
+                let left = r.checked_sub(d).map(|rl| by_freq[rl]);
+                let right = (r + d < n).then(|| by_freq[r + d]);
+                for p in left.into_iter().chain(right) {
+                    let beta = chip.crosstalk[q][p];
+                    if beta != 0.0 {
+                        mix.push((p, -beta));
+                    }
+                }
+            }
+            mix
+        })
+        .collect()
+}
+
+/// Folds every bank's kernels through its qubit's de-mixing recipe: the
+/// raw-domain row of a joint kernel is the α-weighted sum of the same
+/// bank kernel rotated by each participating channel's reference phasor.
+fn fuse_kernels(
+    demod: &Demodulator,
+    banks: &[QubitMfBank],
+    mix: &[Vec<(usize, f64)>],
+) -> Vec<FusedKernel> {
     let mut fused = Vec::with_capacity(banks.iter().map(QubitMfBank::n_filters).sum());
     for (q, bank) in banks.iter().enumerate() {
-        let refs = demod.reference(q);
         for (ki, kq) in bank.kernels_iq() {
-            let mut w = Vec::with_capacity(2 * refs.len());
-            for (c, (i, q)) in refs.iter().zip(ki.iter().zip(&kq)) {
-                w.push(i * c.re + q * c.im);
-                w.push(q * c.re - i * c.im);
+            let mut w = vec![0.0; 2 * demod.n_samples()];
+            for &(p, alpha) in &mix[q] {
+                let refs = demod.reference(p);
+                for (pair, (c, (i, q))) in w
+                    .chunks_exact_mut(2)
+                    .zip(refs.iter().zip(ki.iter().zip(&kq)))
+                {
+                    pair[0] += alpha * (i * c.re + q * c.im);
+                    pair[1] += alpha * (q * c.re - i * c.im);
+                }
             }
             fused.push(FusedKernel { w });
         }
@@ -118,17 +200,39 @@ impl FeatureExtractor {
         include_emf: bool,
         kind: MatchedFilterKind,
     ) -> Option<Self> {
+        Self::fit_joint(dataset, train_indices, include_emf, kind, 0)
+    }
+
+    /// [`FeatureExtractor::fit`] with joint crosstalk-aware kernels over a
+    /// spectral neighbourhood of `joint_neighbors` tones each side.
+    ///
+    /// Banks are fitted on the **de-mixed** basebands (see `joint_mix`),
+    /// so matched filters and their raw-domain folded kernels agree on
+    /// what a channel looks like. `joint_neighbors = 0` is bit-identical
+    /// to [`FeatureExtractor::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_indices` is empty or out of range.
+    pub fn fit_joint(
+        dataset: &TraceDataset,
+        train_indices: &[usize],
+        include_emf: bool,
+        kind: MatchedFilterKind,
+        joint_neighbors: usize,
+    ) -> Option<Self> {
         assert!(!train_indices.is_empty(), "no training shots");
         let config = dataset.config();
         let demod = Demodulator::new(config);
         let levels = dataset.levels();
+        let mix = joint_mix(config, joint_neighbors);
 
         let banks: Option<Vec<QubitMfBank>> = (0..config.n_qubits())
             .into_par_iter()
             .map(|q| {
                 let features: Vec<Vec<f64>> = train_indices
                     .iter()
-                    .map(|&i| iq_features(&demod.demodulate(dataset.raw(i), q)))
+                    .map(|&i| iq_features(&joint_baseband(&demod, &mix[q], dataset.raw(i))))
                     .collect();
                 let labels: Vec<usize> =
                     train_indices.iter().map(|&i| dataset.label(i, q)).collect();
@@ -137,11 +241,13 @@ impl FeatureExtractor {
             .collect();
 
         let banks = banks?;
-        let fused = fuse_kernels(&demod, &banks);
+        let fused = fuse_kernels(&demod, &banks, &mix);
         Some(Self {
             chip: config.clone(),
             demod,
             banks,
+            joint_neighbors,
+            mix,
             fused,
         })
     }
@@ -155,14 +261,34 @@ impl FeatureExtractor {
     /// Panics if `banks` is empty or its length differs from the chip's
     /// qubit count.
     pub fn from_parts(chip: ChipConfig, banks: Vec<QubitMfBank>) -> Self {
+        Self::from_parts_joint(chip, banks, 0)
+    }
+
+    /// [`FeatureExtractor::from_parts`] with the joint-kernel radius the
+    /// banks were fitted with — the deserialisation path of joint models,
+    /// where `joint_neighbors` travels in the envelope's spec and the mix
+    /// table is derived data rebuilt from the chip's crosstalk matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or its length differs from the chip's
+    /// qubit count.
+    pub fn from_parts_joint(
+        chip: ChipConfig,
+        banks: Vec<QubitMfBank>,
+        joint_neighbors: usize,
+    ) -> Self {
         assert!(!banks.is_empty(), "no banks");
         assert_eq!(banks.len(), chip.n_qubits(), "bank count != qubit count");
         let demod = Demodulator::new(&chip);
-        let fused = fuse_kernels(&demod, &banks);
+        let mix = joint_mix(&chip, joint_neighbors);
+        let fused = fuse_kernels(&demod, &banks, &mix);
         Self {
             chip,
             demod,
             banks,
+            joint_neighbors,
+            mix,
             fused,
         }
     }
@@ -175,6 +301,12 @@ impl FeatureExtractor {
     /// Number of qubits.
     pub fn n_qubits(&self) -> usize {
         self.banks.len()
+    }
+
+    /// Spectral-neighbourhood radius of the joint crosstalk-aware kernels
+    /// (0 = the classic per-qubit bank).
+    pub fn joint_neighbors(&self) -> usize {
+        self.joint_neighbors
     }
 
     /// Scores per qubit (9 for the full three-level bank).
@@ -218,7 +350,7 @@ impl FeatureExtractor {
     pub fn extract(&self, raw: &[Complex]) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.feature_dim());
         for (q, bank) in self.banks.iter().enumerate() {
-            let baseband = self.demod.demodulate(raw, q);
+            let baseband = joint_baseband(&self.demod, &self.mix[q], raw);
             out.extend(bank.apply(&iq_features(&baseband)));
         }
         out
@@ -314,7 +446,7 @@ impl FeatureExtractor {
         assert!(n_samples <= raw.len(), "prefix longer than trace");
         let mut out = Vec::with_capacity(self.feature_dim());
         for (q, bank) in self.banks.iter().enumerate() {
-            let baseband = self.demod.demodulate(&raw[..n_samples], q);
+            let baseband = joint_baseband(&self.demod, &self.mix[q], &raw[..n_samples]);
             out.extend(bank.apply_prefix(&baseband));
         }
         out

@@ -190,9 +190,26 @@ impl From<&OursDiscriminator> for SavedModel {
 impl TryFrom<SavedModel> for OursDiscriminator {
     type Error = ModelIoError;
 
+    /// Legacy v1 files predate joint kernels, so they always rebuild with
+    /// `joint_neighbors = 0`; the v2 registry path threads the radius from
+    /// the envelope's spec via `OursDiscriminator::from_legacy_joint`.
     fn try_from(saved: SavedModel) -> Result<Self, ModelIoError> {
+        Self::from_legacy_joint(saved, 0)
+    }
+}
+
+impl OursDiscriminator {
+    /// Rebuilds a discriminator from its serialised parts with the joint
+    /// spectral-neighbourhood radius the banks were fitted with. The mix
+    /// table, fused kernels, and compiled plan are all derived data
+    /// reconstructed from `chip` + `joint_neighbors`.
+    pub(crate) fn from_legacy_joint(
+        saved: SavedModel,
+        joint_neighbors: usize,
+    ) -> Result<Self, ModelIoError> {
         saved.validate()?;
-        let extractor = FeatureExtractor::from_parts(saved.chip, saved.banks);
+        let extractor =
+            FeatureExtractor::from_parts_joint(saved.chip, saved.banks, joint_neighbors);
         // The plan is derived data: recompiled at load, never serialised.
         let plan = crate::plan::compile(crate::plan::per_qubit_graph(
             &extractor,

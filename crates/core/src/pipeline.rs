@@ -5,12 +5,12 @@ use mlr_dsp::MatchedFilterKind;
 use mlr_nn::{Mlp, Standardizer, TrainConfig, TrainData};
 use mlr_num::Complex;
 use mlr_sim::{DatasetSplit, TraceDataset};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, JsonValue, Serialize};
 
 use crate::{Discriminator, FeatureExtractor};
 
 /// Configuration of [`OursDiscriminator::fit`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OursConfig {
     /// Matched-filter kernel normalisation.
     pub mf_kind: MatchedFilterKind,
@@ -24,6 +24,13 @@ pub struct OursConfig {
     /// heads. Natural leakage can be a <1 % class, so a generous cap is
     /// needed for the `|2⟩` boundary to be learned at all.
     pub class_weight_cap: f32,
+    /// Spectral-neighbourhood radius of the joint crosstalk-aware matched
+    /// filters: each qubit's kernels fold in the reference phasors of its
+    /// `joint_neighbors` nearest tones on each side, weighted by the chip's
+    /// crosstalk matrix, cancelling spectral bleed to first order. `0`
+    /// (the default) is the classic per-qubit bank, bit-identical to the
+    /// pre-joint pipeline.
+    pub joint_neighbors: usize,
 }
 
 impl Default for OursConfig {
@@ -39,7 +46,55 @@ impl Default for OursConfig {
             },
             include_emf: true,
             class_weight_cap: 100.0,
+            joint_neighbors: 0,
         }
+    }
+}
+
+impl Serialize for OursConfig {
+    /// `joint_neighbors` is omitted when 0 (its default), so the canonical
+    /// JSON of every pre-joint config — and therefore every spec
+    /// fingerprint and saved v2 envelope — is unchanged by the field's
+    /// existence.
+    fn to_json_value(&self) -> JsonValue {
+        let mut entries = vec![
+            ("mf_kind".to_owned(), self.mf_kind.to_json_value()),
+            ("train".to_owned(), self.train.to_json_value()),
+            ("include_emf".to_owned(), self.include_emf.to_json_value()),
+            (
+                "class_weight_cap".to_owned(),
+                self.class_weight_cap.to_json_value(),
+            ),
+        ];
+        if self.joint_neighbors != 0 {
+            entries.push((
+                "joint_neighbors".to_owned(),
+                self.joint_neighbors.to_json_value(),
+            ));
+        }
+        JsonValue::Object(entries)
+    }
+}
+
+impl Deserialize for OursConfig {
+    /// A missing `joint_neighbors` key reads as 0, so configs written
+    /// before the joint-kernel extension load unchanged.
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("OursConfig missing field `{name}`")))
+        };
+        Ok(Self {
+            mf_kind: MatchedFilterKind::from_json_value(field("mf_kind")?)?,
+            train: TrainConfig::from_json_value(field("train")?)?,
+            include_emf: bool::from_json_value(field("include_emf")?)?,
+            class_weight_cap: f32::from_json_value(field("class_weight_cap")?)?,
+            joint_neighbors: match value.get("joint_neighbors") {
+                Some(v) => usize::from_json_value(v)?,
+                None => 0,
+            },
+        })
     }
 }
 
@@ -74,9 +129,14 @@ impl OursDiscriminator {
     /// Panics if the training split is missing a level for some qubit
     /// (banks would be underdetermined), or splits index out of range.
     pub fn fit(dataset: &TraceDataset, split: &DatasetSplit, config: &OursConfig) -> Self {
-        let extractor =
-            FeatureExtractor::fit(dataset, &split.train, config.include_emf, config.mf_kind)
-                .expect("every qubit needs every level in the training split");
+        let extractor = FeatureExtractor::fit_joint(
+            dataset,
+            &split.train,
+            config.include_emf,
+            config.mf_kind,
+            config.joint_neighbors,
+        )
+        .expect("every qubit needs every level in the training split");
 
         let raw_train_x = extractor.extract_batch(dataset, &split.train);
         let standardizer = Standardizer::fit(&raw_train_x).expect("nonempty training batch");
@@ -337,8 +397,10 @@ impl OursDiscriminator {
     pub(crate) fn from_saved(
         saved: SavedOurs,
         chip: mlr_sim::ChipConfig,
+        joint_neighbors: usize,
     ) -> Result<Self, crate::ModelIoError> {
-        // Same invariants as the legacy v1 loader, shared via SavedModel.
+        // Same invariants as the legacy v1 loader, shared via SavedModel;
+        // the joint radius travels in the envelope's spec, not the payload.
         let legacy = crate::SavedModel {
             format_version: crate::SavedModel::CURRENT_VERSION,
             chip,
@@ -347,7 +409,7 @@ impl OursDiscriminator {
             standardizer: saved.standardizer,
             heads: saved.heads,
         };
-        Self::try_from(legacy)
+        Self::from_legacy_joint(legacy, joint_neighbors)
     }
 }
 

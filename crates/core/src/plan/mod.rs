@@ -33,6 +33,12 @@
 //! distance under per-class covariances) — not a fixed linear bank — and
 //! the HMM decodes each trace *sequentially* through time-dependent
 //! emissions, so neither reduces to dot-products against static kernels.
+//!
+//! Joint crosstalk-aware kernels (`joint_neighbors > 0` on the OURS
+//! families) need no compiler support: widening a kernel row with a
+//! neighbour tone's reference phasor only changes the row's *values*, and
+//! the lowering pass already computes each row's nonzero span from the
+//! data, so joint rows flow through the same banded-row executor.
 
 mod exec;
 mod fuse;

@@ -456,19 +456,24 @@ fn load_v2(value: &JsonValue) -> Result<TrainedModel, ModelIoError> {
 
     let de = |e: serde::DeError| json_shape_error(&e.to_string());
     let inner = match &spec {
-        DiscriminatorSpec::Ours(_) | DiscriminatorSpec::OursNoEmf(_) => {
+        // The joint spectral-neighbourhood radius travels in the spec, not
+        // the payload, and the mix table is rebuilt from the chip at load.
+        DiscriminatorSpec::Ours(c) | DiscriminatorSpec::OursNoEmf(c) => {
             Family::Ours(OursDiscriminator::from_saved(
                 Deserialize::from_json_value(payload).map_err(de)?,
                 chip.clone(),
+                c.joint_neighbors,
             )?)
         }
-        DiscriminatorSpec::Deployed(_) => Family::Deployed(DeployedDiscriminator::from_saved(
+        DiscriminatorSpec::Deployed(c) => Family::Deployed(DeployedDiscriminator::from_saved(
             Deserialize::from_json_value(payload).map_err(de)?,
             chip.clone(),
+            c.base.joint_neighbors,
         )?),
-        DiscriminatorSpec::Streaming(_) => Family::Streaming(StreamingReadout::from_saved(
+        DiscriminatorSpec::Streaming(c) => Family::Streaming(StreamingReadout::from_saved(
             Deserialize::from_json_value(payload).map_err(de)?,
             chip.clone(),
+            c.base.joint_neighbors,
         )?),
         DiscriminatorSpec::Herqules(_) => Family::Herqules(HerqulesBaseline::from_saved(
             Deserialize::from_json_value(payload).map_err(de)?,

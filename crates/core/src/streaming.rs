@@ -198,11 +198,12 @@ impl StreamingReadout {
             "checkpoint beyond the readout window"
         );
 
-        let extractor = FeatureExtractor::fit(
+        let extractor = FeatureExtractor::fit_joint(
             dataset,
             &split.train,
             config.base.include_emf,
             config.base.mf_kind,
+            config.base.joint_neighbors,
         )
         .expect("every qubit needs every level in the training split");
 
@@ -602,6 +603,7 @@ impl StreamingReadout {
     pub(crate) fn from_saved(
         saved: SavedStreaming,
         chip: mlr_sim::ChipConfig,
+        joint_neighbors: usize,
     ) -> Result<Self, crate::ModelIoError> {
         let n_qubits = chip.n_qubits();
         if saved.banks.len() != n_qubits {
@@ -650,7 +652,7 @@ impl StreamingReadout {
                 }
             }
         }
-        let extractor = FeatureExtractor::from_parts(chip, saved.banks);
+        let extractor = FeatureExtractor::from_parts_joint(chip, saved.banks, joint_neighbors);
         let plans = compile_checkpoint_plans(&extractor, &saved.checkpoints);
         Ok(Self {
             extractor,

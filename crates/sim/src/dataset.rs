@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::simulator::SimScratch;
 use crate::{
@@ -16,7 +16,7 @@ use crate::{
 
 /// SplitMix64 — mixes a seed and an index into an independent per-shot seed
 /// so parallel generation is deterministic regardless of scheduling.
-fn mix_seed(seed: u64, index: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -37,6 +37,40 @@ fn generation_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Salt separating the state-sampling RNG stream from per-shot seeds, so
+/// sampled preparations never correlate with the shots simulated for them.
+const STATE_SAMPLE_SALT: u64 = 0x4D55_585F_5354_4154; // "MUX_STAT"
+
+/// Draws `n_states` independent uniform basis states (each qubit's level
+/// iid over `0..levels`) as a pure function of the inputs — the bounded
+/// preparation set used when `levels^n` basis states cannot be enumerated
+/// (crowded multiplexed feedlines; see [`crate::DatasetSpec::sampled`]).
+///
+/// # Panics
+///
+/// Panics if `levels` is not 2 or 3.
+pub fn sample_basis_states(
+    n_qubits: usize,
+    levels: usize,
+    n_states: usize,
+    seed: u64,
+) -> Vec<BasisState> {
+    assert!((2..=3).contains(&levels), "levels must be 2 or 3");
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed, STATE_SAMPLE_SALT));
+    (0..n_states)
+        .map(|_| {
+            BasisState::new(
+                (0..n_qubits)
+                    .map(|_| {
+                        crate::Level::from_index(rng.gen_range(0..levels))
+                            .expect("sampled level < levels <= 3")
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 /// Where a shot's classification label comes from.

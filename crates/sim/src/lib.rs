@@ -54,6 +54,7 @@
 
 mod dataset;
 mod level;
+pub mod multiplex;
 mod params;
 mod persist;
 mod shot;
@@ -61,8 +62,9 @@ mod simulator;
 mod store;
 mod trajectory;
 
-pub use dataset::{DatasetSplit, LabelSource, TraceDataset};
+pub use dataset::{sample_basis_states, DatasetSplit, LabelSource, TraceDataset};
 pub use level::{basis_state_count, BasisState, BasisStates, Level};
+pub use multiplex::{FeedlineSpec, MultiplexedChip};
 pub use params::{ChipConfig, ConfigError, QubitParams};
 pub use persist::{
     config_hash, DatasetIoError, DatasetSpec, DATASET_FORMAT_VERSION, DATASET_MAGIC,

@@ -80,6 +80,12 @@ pub enum ConfigError {
     ProbabilityRange(&'static str),
     /// Trace length or sample rate is zero.
     EmptyTrace,
+    /// Two qubits on the shared feedline have identical or sub-resolution
+    /// intermediate frequencies: their tones land in the same spectral
+    /// bin of the readout window (`sample_rate / n_samples`), so
+    /// demodulation cannot separate the channels and the dataset would be
+    /// silently degenerate. Holds the colliding qubit indices.
+    ToneCollision(usize, usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -92,6 +98,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "{field} must lie in [0, 1]")
             }
             ConfigError::EmptyTrace => write!(f, "trace length and sample rate must be nonzero"),
+            ConfigError::ToneCollision(a, b) => write!(
+                f,
+                "qubits {a} and {b} have sub-resolution tone separation on the shared feedline"
+            ),
         }
     }
 }
@@ -287,6 +297,14 @@ impl ChipConfig {
         c
     }
 
+    /// Spectral resolution of the readout window in MHz: tones closer
+    /// than one DFT bin (`sample_rate / n_samples`) cannot be separated
+    /// by demodulation over the window and count as colliding at
+    /// acquisition time ([`ChipConfig::validate_for_acquisition`]).
+    pub fn tone_resolution_mhz(&self) -> f64 {
+        self.sample_rate_mhz / self.n_samples as f64
+    }
+
     /// Checks structural and numeric validity.
     ///
     /// # Errors
@@ -302,6 +320,16 @@ impl ChipConfig {
         }
         if self.n_samples == 0 || self.sample_rate_mhz <= 0.0 {
             return Err(ConfigError::EmptyTrace);
+        }
+        // Exactly coincident tones are degenerate at any window length:
+        // the channels demodulate to the same baseband and every
+        // discriminator silently fails on both.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.qubits[a].if_freq_mhz == self.qubits[b].if_freq_mhz {
+                    return Err(ConfigError::ToneCollision(a, b));
+                }
+            }
         }
         if self.rx_noise < 0.0 {
             return Err(ConfigError::NonPositive("rx_noise"));
@@ -327,6 +355,35 @@ impl ChipConfig {
             }
             if !(0.0..=1.0).contains(&q.direct_leak_decay_prob) {
                 return Err(ConfigError::ProbabilityRange("direct_leak_decay_prob"));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ChipConfig::validate`] plus the acquisition-time tone-resolution
+    /// criterion: every qubit pair on the shared feedline needs at least
+    /// one spectral bin ([`ChipConfig::tone_resolution_mhz`]) of
+    /// separation over the configured window, or demodulation cannot
+    /// separate the channels and generated data would be degenerate.
+    ///
+    /// Only data *generation* enforces this — prefix-truncated views of a
+    /// valid acquisition (streaming checkpoints, [`ChipConfig::truncated`])
+    /// legitimately widen the bin past close tone spacings, and reloading
+    /// such a dataset must not reject it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`].
+    pub fn validate_for_acquisition(&self) -> Result<(), ConfigError> {
+        self.validate()?;
+        let n = self.qubits.len();
+        let resolution = self.tone_resolution_mhz();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let sep = (self.qubits[a].if_freq_mhz - self.qubits[b].if_freq_mhz).abs();
+                if sep < resolution {
+                    return Err(ConfigError::ToneCollision(a, b));
+                }
             }
         }
         Ok(())
@@ -403,6 +460,42 @@ mod tests {
         let mut c = ChipConfig::five_qubit_paper();
         c.qubits.clear();
         assert_eq!(c.validate(), Err(ConfigError::NoQubits));
+    }
+
+    #[test]
+    fn tone_collisions_are_typed_errors() {
+        // Identical intermediate frequencies collide outright, even under
+        // the structural check that reloads use.
+        let mut c = ChipConfig::five_qubit_paper();
+        c.qubits[3].if_freq_mhz = c.qubits[1].if_freq_mhz;
+        assert_eq!(c.validate(), Err(ConfigError::ToneCollision(1, 3)));
+
+        // Sub-resolution separation collides at acquisition time only:
+        // 500 samples at 500 MS/s resolve 1 MHz, so tones 0.4 MHz apart
+        // share a DFT bin and must not be *generated* — but the config
+        // stays structurally valid, so truncated views still reload.
+        let mut c = ChipConfig::five_qubit_paper();
+        c.qubits[2].if_freq_mhz = c.qubits[1].if_freq_mhz + 0.4;
+        assert_eq!(
+            c.validate_for_acquisition(),
+            Err(ConfigError::ToneCollision(1, 2))
+        );
+        assert_eq!(c.validate(), Ok(()));
+        assert!((c.tone_resolution_mhz() - 1.0).abs() < 1e-12);
+
+        // Exactly one bin of separation is the limiting valid spacing.
+        let mut c = ChipConfig::five_qubit_paper();
+        c.qubits[2].if_freq_mhz = c.qubits[1].if_freq_mhz + 1.0;
+        assert_eq!(c.validate_for_acquisition(), Ok(()));
+
+        // Prefix truncation widens the bin past the paper chip's 50 MHz
+        // spacing; the structural check must keep accepting the view.
+        let c = ChipConfig::five_qubit_paper().truncated(5);
+        assert!(c.tone_resolution_mhz() > 50.0);
+        assert_eq!(c.validate(), Ok(()));
+
+        let msg = ConfigError::ToneCollision(1, 3).to_string();
+        assert!(msg.contains('1') && msg.contains('3'));
     }
 
     #[test]

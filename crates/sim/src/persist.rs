@@ -490,6 +490,13 @@ pub struct DatasetSpec {
     /// preparations, initial-state labels), `false` the full
     /// [`TraceDataset::generate`] basis sweep.
     pub natural: bool,
+    /// `Some(k)` replaces the exhaustive `levels^n` basis sweep with `k`
+    /// seed-derived random preparations — the only tractable methodology
+    /// past ~12 qubits, where the full sweep is astronomically large
+    /// (multiplexed feedlines read 20–40 qubits per line). `None` keeps
+    /// the exhaustive sweep and leaves the fingerprint identical to
+    /// pre-sampling cache keys.
+    pub sampled_states: Option<usize>,
 }
 
 impl DatasetSpec {
@@ -501,6 +508,7 @@ impl DatasetSpec {
             shots_per_state,
             seed,
             natural: false,
+            sampled_states: None,
         }
     }
 
@@ -512,6 +520,29 @@ impl DatasetSpec {
             shots_per_state,
             seed,
             natural: true,
+            sampled_states: None,
+        }
+    }
+
+    /// Spec for `n_states` seed-derived random preparations instead of the
+    /// exhaustive basis sweep — the crowded-feedline methodology, where
+    /// `levels^n` states cannot be enumerated. The sampled states are a
+    /// pure function of `(seed, n_states, n_qubits, levels)`, so the spec
+    /// stays reproducible and cacheable like the exhaustive modes.
+    pub fn sampled(
+        config: ChipConfig,
+        levels: usize,
+        n_states: usize,
+        shots_per_state: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            config,
+            levels,
+            shots_per_state,
+            seed,
+            natural: false,
+            sampled_states: Some(n_states),
         }
     }
 
@@ -531,7 +562,14 @@ impl DatasetSpec {
         h = fnv1a(&(self.levels as u64).to_le_bytes(), h);
         h = fnv1a(&(self.shots_per_state as u64).to_le_bytes(), h);
         h = fnv1a(&self.seed.to_le_bytes(), h);
-        fnv1a(&[self.natural as u8], h)
+        h = fnv1a(&[self.natural as u8], h);
+        // Folded only when present, so every pre-sampling fingerprint (and
+        // therefore every existing cache file name) is unchanged.
+        if let Some(k) = self.sampled_states {
+            h = fnv1a(b"sampled", h);
+            h = fnv1a(&(k as u64).to_le_bytes(), h);
+        }
+        h
     }
 
     /// Cache file name for this spec (`mlr-<fingerprint>.mlrds`).
@@ -551,7 +589,17 @@ impl DatasetSpec {
     /// Panics if the config is invalid or `levels` is out of range, as the
     /// underlying generators do.
     pub fn generate(&self) -> TraceDataset {
-        if self.natural {
+        if let Some(k) = self.sampled_states {
+            let states =
+                crate::sample_basis_states(self.config.n_qubits(), self.levels, k, self.seed);
+            TraceDataset::generate_states(
+                &self.config,
+                self.levels,
+                &states,
+                self.shots_per_state,
+                self.seed,
+            )
+        } else if self.natural {
             TraceDataset::generate_natural(&self.config, self.shots_per_state, self.seed)
         } else {
             TraceDataset::generate(&self.config, self.levels, self.shots_per_state, self.seed)
@@ -566,7 +614,9 @@ impl DatasetSpec {
         } else {
             LabelSource::Prepared
         };
-        let prepared_states = basis_count_for(&self.config, self.levels, self.natural);
+        let prepared_states = self
+            .sampled_states
+            .unwrap_or_else(|| basis_count_for(&self.config, self.levels, self.natural));
         ds.config() == &self.config
             && ds.levels() == self.levels
             && ds.label_source() == expected_source

@@ -56,10 +56,15 @@ impl ReadoutSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`ChipConfig::validate`]; construct
-    /// and validate the config separately to handle errors gracefully.
+    /// Panics if the configuration fails
+    /// [`ChipConfig::validate_for_acquisition`] — generation is where
+    /// sub-resolution tone spacing would silently produce degenerate
+    /// channels; construct and validate the config separately to handle
+    /// errors gracefully.
     pub fn new(config: ChipConfig) -> Self {
-        config.validate().expect("invalid chip configuration");
+        config
+            .validate_for_acquisition()
+            .expect("invalid chip configuration");
         let dt_us = config.dt_us();
         let tone_tables = config
             .qubits

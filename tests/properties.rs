@@ -18,7 +18,9 @@ use mlr_qec::{
     xor_support, Decoder as QecDecoder, DecoderKind, QecCycleTiming, StabilizerKind, SurfaceCode,
     UnionFindDecoder,
 };
-use mlr_sim::{basis_state_count, BasisState, ChipConfig, DatasetIoError, TraceDataset};
+use mlr_sim::{
+    basis_state_count, BasisState, ChipConfig, DatasetIoError, FeedlineSpec, TraceDataset,
+};
 
 /// Every registry family, fitted once through `registry::fit` on one
 /// small two-qubit chip so the batch-equivalence and persistence
@@ -109,6 +111,110 @@ fn zoo() -> &'static DiscriminatorZoo {
             models,
             reloaded,
             ours,
+        }
+    })
+}
+
+/// Crosstalk-aware fixtures for the joint-kernel properties, fitted once:
+/// three crowded feedlines of different density each carry a joint OURS
+/// model, and a crosstalk-free line carries a `joint_neighbors = 0` /
+/// `joint_neighbors = 2` pair per plan-capable OURS variant (on a β ≡ 0
+/// chip the de-mix recipe prunes to the identity, so the pair must be
+/// bit-identical).
+struct JointZoo {
+    /// `(dataset, joint OURS model)` per crowding config.
+    crowded: Vec<(TraceDataset, TrainedModel)>,
+    clean_ds: TraceDataset,
+    /// `(radius-0 model, radius-2 model)` per OURS variant on the clean chip.
+    clean_pairs: Vec<(TrainedModel, TrainedModel)>,
+}
+
+/// The plan-capable OURS variants that carry an [`OursConfig`] payload,
+/// with the given joint radius at test-budget epochs.
+fn ours_variant_specs(joint_neighbors: usize) -> Vec<DiscriminatorSpec> {
+    let quick = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        early_stop_patience: None,
+        ..TrainConfig::default()
+    };
+    let base = OursConfig {
+        joint_neighbors,
+        train: quick,
+        ..OursConfig::default()
+    };
+    vec![
+        DiscriminatorSpec::Ours(base.clone()),
+        DiscriminatorSpec::OursNoEmf(OursConfig {
+            include_emf: false,
+            ..base.clone()
+        }),
+        DiscriminatorSpec::Deployed(DeployedConfig {
+            base: base.clone(),
+            format: FixedPointFormat::HLS4ML_DEFAULT,
+        }),
+        DiscriminatorSpec::Streaming(StreamingConfig {
+            checkpoints: vec![60, 120],
+            confidence: 0.9,
+            base,
+        }),
+    ]
+}
+
+fn joint_zoo() -> &'static JointZoo {
+    static ZOO: OnceLock<JointZoo> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        // Dense tone grids at test scale: band shrunk so the Lorentzian
+        // tails overlap hard even with 3-5 tones.
+        let crowded = [
+            (3usize, 36.0, 0.9, 1usize),
+            (4, 40.0, 0.7, 2),
+            (5, 45.0, 0.5, 2),
+        ]
+        .into_iter()
+        .map(|(n, band_mhz, coupling, radius)| {
+            let mut line = FeedlineSpec::crowded(n);
+            line.band_mhz = band_mhz;
+            line.coupling = coupling;
+            line.n_samples = 120;
+            let ds = TraceDataset::generate(&line.chip(), 3, 6, 31);
+            let split = ds.split(0.6, 0.1, 31);
+            let spec = DiscriminatorSpec::Ours(OursConfig {
+                joint_neighbors: radius,
+                train: TrainConfig {
+                    epochs: 6,
+                    batch_size: 32,
+                    early_stop_patience: None,
+                    ..TrainConfig::default()
+                },
+                ..OursConfig::default()
+            });
+            let model = registry::fit(&spec, &ds, &split, 31);
+            (ds, model)
+        })
+        .collect();
+
+        let mut clean_line = FeedlineSpec::crowded(3);
+        clean_line.coupling = 0.0;
+        clean_line.n_samples = 120;
+        let clean_ds = TraceDataset::generate(&clean_line.chip(), 3, 6, 37);
+        let split = clean_ds.split(0.6, 0.1, 37);
+        let perq_specs = ours_variant_specs(0);
+        let joint_specs = ours_variant_specs(2);
+        let clean_pairs = perq_specs
+            .iter()
+            .zip(&joint_specs)
+            .map(|(perq, joint)| {
+                (
+                    registry::fit(perq, &clean_ds, &split, 37),
+                    registry::fit(joint, &clean_ds, &split, 37),
+                )
+            })
+            .collect();
+        JointZoo {
+            crowded,
+            clean_ds,
+            clean_pairs,
         }
     })
 }
@@ -835,6 +941,62 @@ proptest! {
                 &model.predict_batch_layered(&shots),
                 "design {}",
                 model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn joint_radius_zero_is_bit_identical_to_the_per_qubit_bank(
+        picks in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        // On a crosstalk-free line the joint de-mix recipe prunes every
+        // β == 0 neighbour and collapses to the identity, so a widened
+        // radius must change NOTHING: for every plan-capable OURS variant
+        // (OURS, OURS-NO-EMF, OURS-INT, OURS-STREAM) the radius-0 and
+        // radius-2 fits decide bit-identically, fused and layered both.
+        let zoo = joint_zoo();
+        let n = zoo.clean_ds.len();
+        let shots: Vec<&[Complex]> = picks
+            .iter()
+            .map(|&p| zoo.clean_ds.raw((p as usize) % n))
+            .collect();
+        for (perq, joint) in &zoo.clean_pairs {
+            prop_assert_eq!(
+                &perq.predict_batch(&shots),
+                &joint.predict_batch(&shots),
+                "fused, design {}",
+                perq.name()
+            );
+            prop_assert_eq!(
+                &perq.predict_batch_layered(&shots),
+                &joint.predict_batch_layered(&shots),
+                "layered, design {}",
+                perq.name()
+            );
+        }
+    }
+
+    #[test]
+    fn joint_plans_decide_exactly_like_the_layered_joint_path(
+        picks in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        // Joint kernels reach the plan compiler as ordinary widened rows
+        // (the lowering derives each row's span from the data), so the
+        // fused single-pass plan must reproduce the layered
+        // de-mix → bank → head path label-for-label across crowding
+        // densities and joint radii.
+        let zoo = joint_zoo();
+        for (ds, model) in &zoo.crowded {
+            let n = ds.len();
+            let shots: Vec<&[Complex]> = picks
+                .iter()
+                .map(|&p| ds.raw((p as usize) % n))
+                .collect();
+            prop_assert_eq!(
+                &model.predict_batch(&shots),
+                &model.predict_batch_layered(&shots),
+                "{} tones",
+                ds.config().n_qubits()
             );
         }
     }
